@@ -1,0 +1,34 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures, asserts
+its qualitative shape, and writes the rendered rows to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write one experiment's rendered output to its results file."""
+
+    def _write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        # also echo for -s runs
+        print(f"\n=== {name} ===\n{text}")
+
+    return _write

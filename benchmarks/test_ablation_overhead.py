@@ -1,0 +1,519 @@
+"""Ablations of the design choices DESIGN.md calls out (paper sections
+2.5, 2.6, 5.3): adaptation-actuation cost, profiling gating, trigger
+policy, and PSE-count scaling."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.apps.harness import run_pipeline
+from repro.apps.imagestream import (
+    build_partitioned_push,
+    make_mp_image_version,
+    scenario_stream,
+)
+from repro.apps.mp_version import MethodPartitioningVersion
+from repro.apps.sensor import build_partitioned_process, reading_stream
+from repro.core.plan import receiver_heavy_plan, sender_heavy_plan
+from repro.core.runtime.reconfig import ReconfigurationUnit
+from repro.core.runtime.triggers import (
+    CompositeTrigger,
+    DiffTrigger,
+    RateTrigger,
+)
+from repro.jecho import estimate_installation
+from repro.simnet import (
+    Simulator,
+    WIRELESS_BETA,
+    wireless_testbed,
+)
+
+
+def test_plan_switch_vs_redeployment(benchmark, record_result):
+    """Paper section 2.6: 'once the modulator has been sent to the message
+    sender, there is no need for additional code migration, and
+    adaptations simply involve changes to a few flag values.'  Compare the
+    measured flag-switch cost against the (simulated) cost of re-shipping
+    the modulator over the wireless link."""
+    partitioned, _ = build_partitioned_push()
+    modulator = partitioned.make_modulator()
+    plans = [
+        sender_heavy_plan(partitioned.cut),
+        receiver_heavy_plan(partitioned.cut),
+    ]
+    state = {"i": 0}
+
+    def switch():
+        state["i"] ^= 1
+        modulator.apply_plan(plans[state["i"]])
+
+    benchmark(switch)
+    switch_cost_s = benchmark.stats.stats.mean
+
+    install = estimate_installation(partitioned)
+    redeploy_s = install.total_bytes * WIRELESS_BETA
+
+    record_result(
+        "ablation_switch_vs_redeploy",
+        (
+            f"plan switch:        {switch_cost_s * 1e6:10.3f} us\n"
+            f"modulator redeploy: {redeploy_s * 1e6:10.3f} us "
+            f"({install.total_bytes} bytes over 802.11b)\n"
+            f"ratio:              {redeploy_s / switch_cost_s:10.1f}x"
+        ),
+    )
+    assert switch_cost_s < redeploy_s
+
+
+def test_profiling_gating(benchmark, record_result):
+    """Paper section 2.5: per-PSE profiling flags and sampling bound the
+    profiling overhead at the price of staleness."""
+
+    def run(sample_period, enable):
+        version = make_mp_image_version(sample_period=sample_period)
+        if not enable:
+            version.profiling.enable_all(False)
+        frames = scenario_stream("mixed", 120, seed=5)
+        sim = Simulator()
+        testbed = wireless_testbed(sim)
+        started = time.perf_counter()
+        result = run_pipeline(testbed, version, frames)
+        wall = time.perf_counter() - started
+        return version, result, wall
+
+    rows = []
+    results = {}
+    for label, period, enable in (
+        ("always-on", 1, True),
+        ("sampled-1/8", 8, True),
+        ("disabled", 1, False),
+    ):
+        version, result, wall = run(period, enable)
+        rows.append(
+            f"{label:<12} measurements={version.profiling.measurements_taken:<6}"
+            f" fps={result.throughput:8.2f} wall={wall * 1e3:7.1f} ms"
+        )
+        results[label] = (version, result)
+    record_result("ablation_profiling_gating", "\n".join(rows))
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    always, sampled, disabled = (
+        results["always-on"],
+        results["sampled-1/8"],
+        results["disabled"],
+    )
+    assert (
+        sampled[0].profiling.measurements_taken
+        < always[0].profiling.measurements_taken
+    )
+    assert disabled[0].profiling.measurements_taken == 0
+    # without profiling the plan never follows the data: fps suffers
+    assert disabled[1].throughput < always[1].throughput
+
+
+def test_trigger_policies(benchmark, record_result):
+    """Rate- vs diff-triggered feedback (paper section 2.5): adaptation
+    counts and achieved throughput on the mixed scenario."""
+
+    def run(trigger):
+        partitioned, _ = build_partitioned_push()
+        version = MethodPartitioningVersion(
+            partitioned,
+            trigger=trigger,
+            ewma_alpha=0.6,
+            location="sender",
+        )
+        frames = scenario_stream("mixed", 150, seed=9)
+        sim = Simulator()
+        testbed = wireless_testbed(sim)
+        result = run_pipeline(testbed, version, frames)
+        return version, result
+
+    rows = []
+    outcomes = {}
+    for label, trigger in (
+        ("rate-5", RateTrigger(period=5)),
+        ("rate-25", RateTrigger(period=25)),
+        ("diff-0.2", DiffTrigger(threshold=0.2, min_interval=1)),
+        (
+            "diff+rate",
+            CompositeTrigger(
+                DiffTrigger(threshold=0.2, min_interval=1),
+                RateTrigger(period=50),
+            ),
+        ),
+    ):
+        version, result = run(trigger)
+        reconfigs = version.reconfig.reconfiguration_count
+        rows.append(
+            f"{label:<10} reconfigs={reconfigs:<4} "
+            f"plan_updates={version.plan_updates_applied:<4} "
+            f"fps={result.throughput:8.2f}"
+        )
+        outcomes[label] = (version, result)
+    record_result("ablation_triggers", "\n".join(rows))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    # the diff trigger reacts exactly when the workload shifts, so it
+    # adapts at least as well as any rate trigger; the slow rate trigger
+    # fires least but pays for its lag in throughput
+    fast_rate = outcomes["rate-5"]
+    slow_rate = outcomes["rate-25"]
+    diff = outcomes["diff-0.2"]
+    assert diff[1].throughput >= fast_rate[1].throughput * 0.98
+    assert diff[1].throughput > slow_rate[1].throughput
+    assert (
+        slow_rate[0].reconfig.reconfiguration_count
+        < diff[0].reconfig.reconfiguration_count
+    )
+
+
+def test_pse_count_scaling(benchmark, record_result):
+    """Paper section 5.3: reconfiguration stays cheap for realistic PSE
+    graphs; installation footprint grows per PSE (~650 + ~150 bytes)."""
+    rows = []
+    solve_times = {}
+    for n_stages in (5, 10, 20, 40):
+        partitioned, _ = build_partitioned_process(n_stages=n_stages)
+        profiling = partitioned.make_profiling_unit()
+        unit = ReconfigurationUnit(partitioned.cut)
+        snapshot = profiling.snapshot()
+        started = time.perf_counter()
+        for _ in range(50):
+            unit.select_plan(snapshot)
+        solve = (time.perf_counter() - started) / 50
+        solve_times[n_stages] = solve
+        install = estimate_installation(partitioned)
+        rows.append(
+            f"stages={n_stages:<3} PSEs={len(partitioned.pses):<4} "
+            f"min-cut={solve * 1e6:9.1f} us "
+            f"install={install.total_bytes:>7} bytes"
+        )
+    record_result("ablation_pse_scaling", "\n".join(rows))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    # negligible even at 40 stages (well under a millisecond per re-cut)
+    assert solve_times[40] < 0.05
+
+
+def test_divided_split_sweep(benchmark, record_result):
+    """Where should a manual split sit?  Sweep the Divided Version's split
+    stage and compare every position against Method Partitioning — the
+    point of fine-grained placement is that no single fixed stage is right
+    for every environment."""
+    from repro.apps.sensor import (
+        DividedVersion,
+        N_STAGES,
+        make_mp_sensor_version,
+        reading_stream,
+    )
+    from repro.simnet import Simulator, heterogeneous_pair, intel_pair
+
+    def run_version(version, make_testbed):
+        sim = Simulator()
+        testbed = make_testbed(sim)
+        result = run_pipeline(testbed, version, reading_stream(60))
+        return result.avg_processing_time * 1e3
+
+    environments = {
+        "equal hosts": lambda sim: intel_pair(sim),
+        "PC->Sun": lambda sim: heterogeneous_pair(sim, producer="pc"),
+        "Sun->PC": lambda sim: heterogeneous_pair(sim, producer="sun"),
+    }
+    split_stages = (4, 8, 10, 12, 16)
+    rows = [
+        f"{'environment':<12}"
+        + "".join(f"{f'split@{k}':>10}" for k in split_stages)
+        + f"{'MP':>10}"
+    ]
+    best_fixed = {}
+    mp_times = {}
+    for env_name, make_testbed in environments.items():
+        times = []
+        for split in split_stages:
+            times.append(
+                run_version(
+                    DividedVersion(split_stage=split), make_testbed
+                )
+            )
+        mp = run_version(make_mp_sensor_version(), make_testbed)
+        best_fixed[env_name] = (min(times), split_stages[times.index(min(times))])
+        mp_times[env_name] = mp
+        rows.append(
+            f"{env_name:<12}"
+            + "".join(f"{t:>10.2f}" for t in times)
+            + f"{mp:>10.2f}"
+        )
+    record_result("ablation_divided_sweep", "\n".join(rows))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    # the best fixed stage differs across environments...
+    stages = {stage for _, stage in best_fixed.values()}
+    assert len(stages) > 1
+    # ...while MP is competitive with the best fixed split everywhere
+    for env_name in environments:
+        assert mp_times[env_name] <= best_fixed[env_name][0] * 1.15
+
+
+def test_convexity_gap(benchmark, record_result):
+    """Paper section 7: "partitioning currently allows only convex cuts of
+    the UG, thus potentially excluding better partitioning plans."  Measure
+    the hypothetical gap with profiled costs.  Finding: on both of the
+    paper's handlers the gap is zero — the convexity restriction excludes
+    nothing the unconstrained cut would want, so the safety constraint is
+    free for these applications."""
+    from repro.apps.imagestream import build_partitioned_push, make_frame
+    from repro.apps.sensor import reading_stream
+    from repro.core.diagnostics import convexity_gap
+
+    def profile(partitioned, events):
+        profiling = partitioned.make_profiling_unit()
+        modulator = partitioned.make_modulator(profiling=profiling)
+        demodulator = partitioned.make_demodulator(profiling=profiling)
+        for event in events:
+            result = modulator.process(event)
+            if result.message is not None:
+                demodulator.process(result.message)
+        return profiling.snapshot()
+
+    cases = {}
+    push_pm, _ = build_partitioned_push()
+    cases["image push()"] = (
+        push_pm.cut,
+        profile(push_pm, [make_frame(200, 200)] * 6),
+    )
+    sensor_pm, _ = build_partitioned_process()
+    cases["sensor chain"] = (
+        sensor_pm.cut,
+        profile(sensor_pm, reading_stream(6)),
+    )
+
+    rows = [
+        f"{'handler':<14} {'convex cut':>12} {'unconstrained':>14} {'gap':>8}"
+    ]
+    gaps = {}
+    for name, (cut, snapshot) in cases.items():
+        convex, unconstrained = convexity_gap(cut, snapshot)
+        gap = (convex - unconstrained) / convex if convex else 0.0
+        gaps[name] = (convex, unconstrained)
+        rows.append(
+            f"{name:<14} {convex:>12.1f} {unconstrained:>14.1f} {gap:>7.1%}"
+        )
+    record_result("ablation_convexity_gap", "\n".join(rows))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    for convex, unconstrained in gaps.values():
+        assert unconstrained <= convex + 1e-9
+    # The finding: on the paper's handlers, relaxing convexity buys nothing.
+    for name in ("image push()", "sensor chain"):
+        convex, unconstrained = gaps[name]
+        assert unconstrained == pytest.approx(convex)
+
+
+def test_upstream_propagation(benchmark, record_result):
+    """Paper section 7: "propagating modulators upward along a data
+    stream, whenever this is useful for further optimization."  Sweep the
+    modulator's hop along a 4-hop path (sensor→gateway→broker→client) and
+    check the analytic placement model picks the empirically best hop."""
+    from repro.apps.chain_harness import (
+        ChainTestbed,
+        measure_stream,
+        run_chain_pipeline,
+    )
+    from repro.apps.imagestream import build_partitioned_push, make_frame
+    from repro.core.placement import (
+        Hop,
+        PlacementController,
+        StreamPath,
+        best_placement,
+    )
+    from repro.core.plan import sender_heavy_plan
+    from repro.serialization import measure_size
+    from repro.simnet import Simulator
+
+    path = StreamPath(
+        [
+            Hop("sensor", cpu_speed=0.05e6, link_alpha=0.0005, link_beta=2e-7),
+            Hop("gateway", cpu_speed=0.5e6, link_alpha=0.0005, link_beta=4e-7),
+            Hop("broker", cpu_speed=2.0e6, link_alpha=0.005, link_beta=1e-6),
+            Hop("client", cpu_speed=0.15e6),
+        ]
+    )
+
+    def make_version():
+        partitioned, _ = build_partitioned_push()
+        return (
+            MethodPartitioningVersion(
+                partitioned,
+                plan=sender_heavy_plan(partitioned.cut),
+                adaptive=False,
+                location="sender",
+            ),
+            partitioned,
+        )
+
+    frames = [make_frame(320, 240)] * 50
+    _, pm = make_version()
+    sizes = [float(measure_size(f, pm.serializer_registry)) for f in frames]
+
+    rows = [f"{'modulator hop':<14} {'measured ms/msg':>16}"]
+    measured = {}
+    for placement in path.placements():
+        version, _ = make_version()
+        sim = Simulator()
+        testbed = ChainTestbed(sim, path)
+        result = run_chain_pipeline(
+            testbed, version, frames, sizes, placement=placement
+        )
+        measured[placement] = result.avg_processing_time * 1e3
+        rows.append(
+            f"{path[placement].name:<14} {measured[placement]:>16.2f}"
+        )
+
+    m = measure_stream(
+        lambda: make_version()[0], frames[0], sizes[0]
+    )
+    chosen, _ = best_placement(path, m)
+    controller = PlacementController(
+        path, installation_bytes=3000.0, initial_placement=0
+    )
+    migrated_to = controller.consider(m)
+    rows.append(f"model's choice: {path[chosen].name}")
+    rows.append(
+        f"controller migration from sensor: "
+        f"{path[migrated_to].name if migrated_to is not None else '(stay)'}"
+    )
+    record_result("ablation_upstream_propagation", "\n".join(rows))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    assert measured[chosen] == min(measured.values())
+    assert migrated_to == chosen
+
+
+def test_feedback_period(benchmark, record_result):
+    """Explicit monitoring traffic (paper section 2.5): how the feedback
+    flush period trades adaptation quality against feedback bytes on the
+    mixed image scenario with receiver-located reconfiguration."""
+    from repro.apps.imagestream import build_partitioned_push, scenario_stream
+    from repro.simnet import wireless_testbed
+
+    def run(feedback_period):
+        partitioned, _ = build_partitioned_push()
+        version = MethodPartitioningVersion(
+            partitioned,
+            trigger=CompositeTrigger(
+                DiffTrigger(threshold=0.2, min_interval=1),
+                RateTrigger(period=50),
+            ),
+            ewma_alpha=0.6,
+            location="receiver",
+            feedback_period=feedback_period,
+        )
+        frames = scenario_stream("mixed", 150, seed=9)
+        sim = Simulator()
+        testbed = wireless_testbed(sim)
+        result = run_pipeline(testbed, version, frames)
+        return version, result
+
+    rows = [
+        f"{'flush period':<14} {'fps':>8} {'feedback msgs':>14} "
+        f"{'feedback bytes':>15}"
+    ]
+    outcomes = {}
+    for label, period in (
+        ("instant", None),
+        ("every 2", 2),
+        ("every 10", 10),
+        ("every 50", 50),
+    ):
+        version, result = run(period)
+        outcomes[label] = (version, result)
+        rows.append(
+            f"{label:<14} {result.throughput:>8.2f} "
+            f"{version.feedback_messages:>14} "
+            f"{version.feedback_bytes:>15.0f}"
+        )
+    record_result("ablation_feedback_period", "\n".join(rows))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    # batching reduces monitoring messages...
+    assert (
+        outcomes["every 50"][0].feedback_messages
+        < outcomes["every 2"][0].feedback_messages
+    )
+    # ...while throughput degrades gracefully with staleness
+    assert (
+        outcomes["every 2"][1].throughput
+        >= outcomes["every 50"][1].throughput * 0.85
+    )
+    assert (
+        outcomes["instant"][1].throughput
+        >= outcomes["every 50"][1].throughput * 0.9
+    )
+
+
+def test_whole_program_inlining(benchmark, record_result):
+    """Paper section 7: expanding helper UGs instead of treating calls as
+    opaque.  A handler whose work hides inside one helper call has almost
+    no split choices opaque; inlined, the helper's stage boundaries become
+    PSEs and the balanced split exists again."""
+    from repro.core.api import MethodPartitioner
+    from repro.core.costmodels import ExecutionTimeCostModel, NetworkParameters
+    from repro.ir.registry import default_registry
+    from repro.serialization import SerializerRegistry
+
+    registry = default_registry()
+    registry.register_function(
+        "heavy_a", lambda x: x + 1, cycle_cost=lambda x: 20_000.0
+    )
+    registry.register_function(
+        "heavy_b", lambda x: x * 2, cycle_cost=lambda x: 20_000.0
+    )
+    registry.register_inline(
+        "process_all",
+        "def process_all(x):\n"
+        "    y = heavy_a(x)\n"
+        "    z = heavy_b(y)\n"
+        "    return z\n",
+    )
+    registry.register_function(
+        "deliver", lambda x: None, receiver_only=True, pure=False
+    )
+    source = "def h(e):\n    r = process_all(e)\n    deliver(r)\n"
+    model = lambda: ExecutionTimeCostModel(
+        NetworkParameters(alpha=0.0002, beta=0.0004, units=100)
+    )
+    partitioner = MethodPartitioner(registry, SerializerRegistry())
+    opaque = partitioner.partition(source, model(), inline_helpers=False)
+    expanded = partitioner.partition(source, model(), inline_helpers=True)
+
+    def balance(pm):
+        """Best achievable |work split| over the PSE candidates."""
+        interp_total = 40_000.0 + 40.0  # two heavies + overhead-ish
+        best = 1.0
+        from repro.core.plan import PartitioningPlan
+
+        for edge in pm.pses:
+            modulator = pm.make_modulator(
+                plan=PartitioningPlan(active=frozenset({edge}))
+            )
+            result = modulator.process(7)
+            if result.edge != edge:
+                continue
+            share = result.cycles / interp_total
+            best = min(best, abs(share - 0.5))
+        return best
+
+    rows = [
+        f"opaque:   PSEs={len(opaque.pses):<3} "
+        f"best split distance from 50/50 = {balance(opaque):.2f}",
+        f"expanded: PSEs={len(expanded.pses):<3} "
+        f"best split distance from 50/50 = {balance(expanded):.2f}",
+    ]
+    record_result("ablation_whole_program", "\n".join(rows))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    assert len(expanded.pses) > len(opaque.pses)
+    assert balance(expanded) < balance(opaque)

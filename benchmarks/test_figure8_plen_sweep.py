@@ -1,0 +1,37 @@
+"""Figure 8: impact of consumer-side active-period expected-length changes.
+
+The Method Partitioning version across consumer-side expected PLen
+{0.25, 0.5, 1, 2, 4} seconds (LIndex = 0.8, AProb = 0.5, producer
+load-free).  The paper's claim: "the Method Partitioning version is
+relatively stable against changes in perturbation patterns."
+
+The other versions are swept too for context (the figure plots only MP).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.sensor import FIGURE8_PLENS, format_curves, run_figure8
+
+_KWARGS = dict(n_messages=400, seeds=(1, 2, 3), lindex=0.8)
+
+
+def test_figure8(benchmark, record_result):
+    curves = benchmark.pedantic(
+        run_figure8, kwargs=_KWARGS, rounds=1, iterations=1
+    )
+    record_result(
+        "figure8", format_curves(curves, "Consumer PLen(s)")
+    )
+
+    mp = [y for _, y in curves["Method Partitioning"]]
+    # "relatively stable": worst point within 60% of best across a 16x
+    # PLen range
+    assert max(mp) <= min(mp) * 1.6
+    # and MP stays below the consumer-heavy versions at every PLen
+    consumer = [y for _, y in curves["Consumer Version"]]
+    divided = [y for _, y in curves["Divided Version"]]
+    for m, c, d in zip(mp, consumer, divided):
+        assert m < c
+        assert m < d * 1.05

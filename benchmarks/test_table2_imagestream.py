@@ -1,0 +1,67 @@
+"""Table 2: effects of runtime adaptation with Method Partitioning.
+
+Regenerates the paper's wireless image-streaming table: three
+implementations × {small 80×80, large 200×200, mixed} scenarios, metric =
+average frames per second over the 802.11b-class simulated link.
+
+Expected shape (paper values in parentheses):
+* MP ≈ Image<Display on small (29.72 vs 29.79), both ≫ Image>Display;
+* MP ≈ Image>Display on large (12.07 vs 12.11), both ≫ Image<Display;
+* MP beats both manual versions on mixed (17.65 vs 12.98 / 12.19).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.imagestream import (
+    SCENARIOS,
+    Table2Config,
+    VERSION_NAMES,
+    format_table2,
+    run_table2,
+)
+
+_CONFIG = Table2Config(n_frames=300, seed=7)
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_table2(_CONFIG)
+
+
+def test_table2(benchmark, record_result):
+    table = benchmark.pedantic(
+        run_table2, args=(_CONFIG,), rounds=1, iterations=1
+    )
+    record_result("table2", format_table2(table))
+
+    mp = table["Method Partitioning"]
+    client = table["Image<Display"]
+    server = table["Image>Display"]
+
+    # static scenarios: MP within 5% of the matching manual optimum
+    assert mp["small"] >= 0.95 * client["small"]
+    assert mp["large"] >= 0.95 * server["large"]
+    # each manual version wins its own scenario decisively
+    assert client["small"] > 1.5 * server["small"]
+    assert server["large"] > 1.3 * client["large"]
+    # dynamic scenario: MP beats both manual versions
+    assert mp["mixed"] > client["mixed"]
+    assert mp["mixed"] > server["mixed"]
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_mp_cell(benchmark, scenario):
+    """Per-cell benchmark of the Method Partitioning column."""
+    from repro.apps.imagestream.experiment import run_cell
+
+    config = Table2Config(n_frames=120, seed=7)
+    result = benchmark.pedantic(
+        run_cell,
+        args=("Method Partitioning", scenario, config),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["fps"] = result.throughput
+    assert result.n_delivered == config.n_frames

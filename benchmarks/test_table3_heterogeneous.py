@@ -1,0 +1,49 @@
+"""Table 3: running on heterogeneous platforms.
+
+Four sensor-app versions on the PC↔Sun pair (no perturbation), both
+directions; metric = average message processing time (ms).
+
+Expected shape (paper values in parentheses):
+* MP lowest in both directions (109.34 / 74.67);
+* Consumer Version worst when the consumer is the slow Sun host — the
+  paper reports it 222% slower than MP for PC→Sun;
+* Producer Version worst when the producer is the Sun host (86% slower
+  than MP for Sun→PC).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.sensor import VERSION_NAMES, format_table3, run_table3
+
+_N_MESSAGES = 200
+
+
+def test_table3(benchmark, record_result):
+    table = benchmark.pedantic(
+        run_table3, kwargs={"n_messages": _N_MESSAGES}, rounds=1, iterations=1
+    )
+    record_result("table3", format_table3(table))
+
+    mp = table["Method Partitioning"]
+    for direction in ("PC->Sun", "Sun->PC"):
+        for name in VERSION_NAMES:
+            if name != "Method Partitioning":
+                assert mp[direction] < table[name][direction], (
+                    direction,
+                    name,
+                )
+
+    # the paper's headline ratios
+    assert table["Consumer Version"]["PC->Sun"] / mp["PC->Sun"] > 2.5
+    assert table["Producer Version"]["Sun->PC"] / mp["Sun->PC"] > 1.5
+    # manual versions suffer when their host is the slow one
+    assert (
+        table["Consumer Version"]["PC->Sun"]
+        > table["Consumer Version"]["Sun->PC"]
+    )
+    assert (
+        table["Producer Version"]["Sun->PC"]
+        > table["Producer Version"]["PC->Sun"]
+    )

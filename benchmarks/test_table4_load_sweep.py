@@ -1,0 +1,69 @@
+"""Table 4: performance under producer/consumer perturbation load.
+
+Four versions on the homogeneous Intel pair, (producer LIndex, consumer
+LIndex) ∈ {0/0, 0/0.6, 0/1.0, 0.6/0.6, 0.6/0, 1.0/0}; expected PLen
+1000 ms, AProb 0.5; values averaged over seeded runs that share
+perturbation timelines across versions (the paper's pre-generated random
+arrays).
+
+Expected shape (paper values in parentheses):
+* MP lowest in every row (48.445 … 65.26);
+* MP beats Divided even unloaded (48.445 vs 58.52 — loop distribution);
+* Producer Version flat against consumer load (80.455/80.26/80.405);
+* Consumer Version flat against producer load (88.44/87.315/88.805)
+  but degrading steeply with its own load (88.44 → 215.195).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.sensor import (
+    TABLE4_LOADS,
+    VERSION_NAMES,
+    format_table4,
+    run_table4,
+)
+
+_KWARGS = dict(n_messages=150, seeds=(1, 2, 3, 4, 5))
+
+
+def test_table4(benchmark, record_result):
+    table = benchmark.pedantic(
+        run_table4, kwargs=_KWARGS, rounds=1, iterations=1
+    )
+    record_result("table4", format_table4(table))
+
+    # MP lowest (or tied) everywhere
+    for loads, row in table.items():
+        mp = row["Method Partitioning"]
+        for name in VERSION_NAMES:
+            if name != "Method Partitioning":
+                assert mp <= row[name] * 1.05, (loads, name)
+
+    # loop distribution: MP beats Divided with no load at all
+    unloaded = table[(0.0, 0.0)]
+    assert unloaded["Method Partitioning"] < unloaded["Divided Version"]
+
+    # Producer Version ignores consumer load
+    assert table[(0.0, 1.0)]["Producer Version"] == pytest.approx(
+        unloaded["Producer Version"], rel=0.1
+    )
+    # Consumer Version ignores producer load
+    assert table[(1.0, 0.0)]["Consumer Version"] == pytest.approx(
+        unloaded["Consumer Version"], rel=0.1
+    )
+    # Consumer Version degrades steeply with its own load
+    assert (
+        table[(0.0, 1.0)]["Consumer Version"]
+        > 1.7 * unloaded["Consumer Version"]
+    )
+    # MP degrades far less than the loaded side's dedicated version
+    assert (
+        table[(0.0, 1.0)]["Method Partitioning"]
+        < table[(0.0, 1.0)]["Consumer Version"] * 0.6
+    )
+    assert (
+        table[(1.0, 0.0)]["Method Partitioning"]
+        < table[(1.0, 0.0)]["Producer Version"] * 0.6
+    )

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Deployment-time customization: choosing and composing cost models.
+
+The only application knowledge Method Partitioning needs is the cost model
+(paper section 2.6).  This example partitions ONE handler under four
+different models and shows how the chosen criterion changes both the PSE
+set and the runtime plan:
+
+* data-size        — minimize bytes on the wire (section 4.1);
+* execution-time   — minimize max(T_mod, T_demod) per message (section 4.2);
+* power            — minimize the handheld's joules (section 7 extension);
+* composite        — a weighted blend (section 7 extension).
+
+Run:  python examples/custom_cost_model.py
+"""
+
+from repro import (
+    CompositeCostModel,
+    DataSizeCostModel,
+    ExecutionTimeCostModel,
+    MethodPartitioner,
+    NetworkParameters,
+    PowerCostModel,
+    default_registry,
+)
+from repro.serialization import SerializerRegistry
+
+
+class Telemetry:
+    """A chunky sensor record: headers plus a big sample block."""
+
+    def __init__(self, samples):
+        self.samples = samples
+
+
+def compress(record):
+    """Drop-sample compression: keeps every 4th sample."""
+    return Telemetry(record.samples[::4])
+
+
+def summarize(record):
+    return [min(record.samples), max(record.samples)]
+
+
+consumed = []
+
+
+def consume(summary):
+    consumed.append(summary)
+
+
+def build(model):
+    registry = default_registry()
+    registry.register_class(Telemetry)
+    registry.register_function(
+        "compress", compress, pure=True,
+        cycle_cost=lambda r: len(r.samples) * 4.0,
+    )
+    registry.register_function(
+        "summarize", summarize, pure=True,
+        cycle_cost=lambda r: len(r.samples) * 1.0,
+    )
+    registry.register_function(
+        "consume", consume, receiver_only=True, pure=False
+    )
+    sreg = SerializerRegistry()
+    sreg.register(Telemetry, fields=("samples",))
+
+    handler = """
+def on_record(event):
+    if isinstance(event, Telemetry):
+        packed = compress(event)
+        summary = summarize(packed)
+        consume(summary)
+"""
+    return MethodPartitioner(registry, sreg).partition(handler, model)
+
+
+def drive(partitioned, n=12):
+    """Push records through with profiling + reconfiguration; report the
+    split the min-cut settles on."""
+    from repro.core.runtime import RateTrigger
+
+    profiling = partitioned.make_profiling_unit()
+    modulator = partitioned.make_modulator(profiling=profiling)
+    demodulator = partitioned.make_demodulator(profiling=profiling)
+    unit = partitioned.make_reconfiguration_unit(
+        trigger=RateTrigger(period=3)
+    )
+    record = Telemetry(list(range(400)))
+    for _ in range(n):
+        result = modulator.process(record)
+        if result.message is not None:
+            demodulator.process(result.message)
+        plan = unit.consider(profiling)
+        if plan is not None:
+            modulator.apply_plan(plan)
+    active = modulator.plan_runtime.active_edges()
+    return {
+        tuple(sorted(v.name for v in partitioned.cut.pses[e].inter))
+        for e in active
+    }
+
+
+def main():
+    exec_model = ExecutionTimeCostModel(
+        NetworkParameters(alpha=0.001, beta=0.0001, units=100)
+    )
+    models = {
+        "data-size": DataSizeCostModel(),
+        "execution-time": exec_model,
+        "power (handheld receiver)": PowerCostModel(
+            joules_per_byte=5e-6, joules_per_cycle=1e-9
+        ),
+        "composite (0.7*size + 0.3*power)": CompositeCostModel(
+            [(DataSizeCostModel(), 0.7), (PowerCostModel(), 0.3)]
+        ),
+    }
+    for name, model in models.items():
+        partitioned = build(model)
+        n_pse = len(partitioned.pses)
+        split = drive(partitioned)
+        print(f"{name:<34} PSEs={n_pse:<3} settled split carries {sorted(split)}")
+
+    print(
+        "\nReading: each criterion scores the same candidate edges"
+        "\ndifferently — the data-size and power models prefer shipping the"
+        "\ntiny summary; the execution-time model balances the per-message"
+        "\ncompute between the two sides."
+    )
+
+
+if __name__ == "__main__":
+    main()

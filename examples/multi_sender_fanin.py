@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Many senders, one handler: per-pair customization (paper Figure 1).
+
+"A single method handler can be used to handle messages from multiple
+senders ... multiple modulators may reside in a single sender."  Each
+(sender, receiver) pair carries its own modulator instance with its own
+flags, profiling and reconfiguration — so two senders of the *same*
+subscription settle on *different* splits when their data differs.
+
+Here: one display-client subscribes its push() handler once; three camera
+sources attach.  The thumbnail camera ships raw frames (smaller than the
+display), the panorama camera transforms before shipping, and the junk
+feed gets filtered at its own sender without disturbing anyone.
+
+Run:  python examples/multi_sender_fanin.py
+"""
+
+from repro.apps.imagestream import build_partitioned_push, make_frame
+from repro.core.runtime.triggers import RateTrigger
+from repro.jecho import EventChannel
+
+partitioned, sink = build_partitioned_push()
+channel = EventChannel(
+    serializer_registry=partitioned.serializer_registry
+)
+subscription = channel.subscribe_partitioned(
+    partitioned, trigger_factory=lambda: RateTrigger(period=3)
+)
+
+thumbnail_cam = channel.add_source("thumbnail-cam")   # 64x64 frames
+panorama_cam = channel.add_source("panorama-cam")     # 320x240 frames
+junk_feed = channel.add_source("junk-feed")           # not images at all
+
+for i in range(9):
+    thumbnail_cam.publish(make_frame(64, 64, seed=i))
+    panorama_cam.publish(make_frame(320, 240, seed=i))
+    junk_feed.publish({"telemetry": i})
+
+print(f"frames displayed at the client: {len(sink.frames)}")
+print(f"events filtered at their senders: {subscription.stats.events_filtered}")
+print(f"plan updates across pairs: {subscription.stats.plan_updates}\n")
+
+print(f"{'sender':<16} {'messages':>9} {'split ships':>14} {'bytes sent':>11}")
+for pair in subscription.pairs:
+    if pair.source.name == "default":
+        continue
+    ships = {
+        ", ".join(sorted(v.name for v in partitioned.cut.pses[e].inter))
+        or "(nothing)"
+        for e in pair.modulator.plan_runtime.active_edges()
+    }
+    snapshot = pair.profiling.snapshot()
+    sent = sum(
+        s.data_size * s.splits
+        for s in snapshot.values()
+        if s.data_size is not None and s.splits
+    )
+    print(
+        f"{pair.source.name:<16} {pair.profiling.messages_seen:>9} "
+        f"{' | '.join(sorted(ships)):>14} {sent:>11.0f}"
+    )
+
+print(
+    "\nReading: the SAME handler, three senders, three different runtime"
+    "\ncustomizations — raw shipping, sender-side transform, and pure"
+    "\nfiltering — each chosen by that pair's own profiled costs."
+)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The paper's first application: wireless image streaming (section 5.1).
+
+A laptop server streams frames to an iPAQ-class client over a simulated
+802.11b link.  Frames may be smaller or larger than the client's 160×160
+display window, "without the client's a priori knowledge" — so where the
+resample should run (server or client) depends on each frame.
+
+This example regenerates a compact version of the paper's Table 2: three
+implementations × three scenarios, frames/sec, then shows what the Method
+Partitioning version actually did (plan updates, bytes shipped).
+
+Run:  python examples/wireless_image_streaming.py
+"""
+
+from repro.apps.harness import run_pipeline
+from repro.apps.imagestream import (
+    ClientTransformVersion,
+    ServerTransformVersion,
+    make_mp_image_version,
+    scenario_stream,
+)
+from repro.simnet import Simulator, wireless_testbed
+
+N_FRAMES = 200
+
+
+def run(version, scenario):
+    frames = scenario_stream(scenario, N_FRAMES, seed=7)
+    sim = Simulator()
+    testbed = wireless_testbed(sim)
+    result = run_pipeline(testbed, version, frames)
+    return result
+
+
+def main():
+    factories = {
+        "Image<Display (manual)": lambda: ClientTransformVersion(),
+        "Image>Display (manual)": lambda: ServerTransformVersion(),
+        "Method Partitioning": lambda: make_mp_image_version(),
+    }
+    scenarios = ("small", "large", "mixed")
+
+    print(f"{'version':<24}" + "".join(f"{s:>10}" for s in scenarios))
+    mp_runs = {}
+    for name, factory in factories.items():
+        fps = []
+        for scenario in scenarios:
+            version = factory()
+            result = run(version, scenario)
+            fps.append(result.throughput)
+            if name.startswith("Method"):
+                mp_runs[scenario] = (version, result)
+        print(f"{name:<24}" + "".join(f"{f:>10.2f}" for f in fps))
+
+    print("\nWhat Method Partitioning did:")
+    for scenario, (version, result) in mp_runs.items():
+        per_frame = result.bytes_sent / max(result.n_delivered, 1)
+        print(
+            f"  {scenario:<6} plan updates: {version.plan_updates_applied:<3}"
+            f" bytes/frame: {per_frame:9.0f}"
+            f" frames displayed: {len(version.display.frames)}"
+        )
+    print(
+        "\nReading: in static scenarios MP matches the matching manual"
+        "\noptimum; in the mixed scenario it beats both, because a plan"
+        "\nswitch costs only a few flag writes (paper Table 2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Method Partitioning — a reproduction of Zhou, Pande & Schwan
+(ICDCS 2003).
+
+Runtime customization of message handlers: static analysis finds the
+Potential Split Edges of a handler, a cost model scores them, and the
+generated modulator (sender side) / demodulator (receiver side) pair moves
+the split point at runtime by flipping flags.
+
+Quick start::
+
+    from repro import MethodPartitioner, DataSizeCostModel, default_registry
+
+    registry = default_registry()
+    registry.register_class(ImageData)
+    registry.register_function("display", display, receiver_only=True)
+
+    pm = MethodPartitioner(registry).partition(push, DataSizeCostModel())
+    modulator = pm.make_modulator()      # deploy into the sender
+    demodulator = pm.make_demodulator()  # lives in the receiver
+
+    result = modulator.process(event)
+    if result.message is not None:       # ship the continuation
+        demodulator.process(result.message)
+
+Packages:
+
+* :mod:`repro.core` — the paper's contribution: ConvexCut, cost models,
+  plans, Remote Continuation, Profiling/Reconfiguration Units.
+* :mod:`repro.ir` — instruction-level IR + interpreter (the Jimple/JVM
+  substitute).
+* :mod:`repro.analysis` — UG/DDG/liveness/StopNodes/TargetPaths.
+* :mod:`repro.serialization` — wire format, sizing, self-describing sizes.
+* :mod:`repro.jecho` — the event-channel substrate (pub/sub, deployment).
+* :mod:`repro.simnet` — discrete-event hosts/links/perturbation.
+* :mod:`repro.apps` — the paper's two evaluation applications.
+"""
+
+from repro.core import (
+    ContinuationCodec,
+    ContinuationMessage,
+    Demodulator,
+    MethodPartitioner,
+    Modulator,
+    PartitionedMethod,
+    PartitioningPlan,
+)
+from repro.core.costmodels import (
+    CompositeCostModel,
+    DataSizeCostModel,
+    ExecutionTimeCostModel,
+    NetworkParameters,
+    PowerCostModel,
+)
+from repro.errors import ReproError
+from repro.ir import FunctionRegistry, default_registry
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "MethodPartitioner",
+    "PartitionedMethod",
+    "Modulator",
+    "Demodulator",
+    "PartitioningPlan",
+    "ContinuationMessage",
+    "ContinuationCodec",
+    "DataSizeCostModel",
+    "ExecutionTimeCostModel",
+    "NetworkParameters",
+    "CompositeCostModel",
+    "PowerCostModel",
+    "FunctionRegistry",
+    "default_registry",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Static analyses over the IR: the substrate for PSE discovery.
+
+* :class:`UnitGraph` — instruction-level CFG (paper's UG).
+* :func:`compute_liveness` — IN/OUT live sets; ``inter(edge)`` gives the
+  continuation hand-over set.
+* :func:`compute_reaching` / :class:`DataDependencyGraph` — def-use edges.
+* :func:`mark_stop_nodes` — receiver-pinned instructions.
+* :func:`enumerate_target_paths` — the paper's TargetPaths.
+* :func:`compute_dominators` — plan diagnostics.
+* :func:`compute_aliases` — points-to-based cost deduplication.
+"""
+
+from repro.analysis.ddg import DataDependencyGraph, DDGEdge
+from repro.analysis.dominators import DominatorResult, compute_dominators
+from repro.analysis.liveness import LivenessResult, compute_liveness
+from repro.analysis.paths import (
+    PathExplosionError,
+    TargetPath,
+    enumerate_target_paths,
+    path_edge_index,
+)
+from repro.analysis.points_to import AliasResult, compute_aliases
+from repro.analysis.postdominators import (
+    PostDominatorResult,
+    compute_postdominators,
+)
+from repro.analysis.reaching import Definition, ReachingResult, compute_reaching
+from repro.analysis.stopnodes import StopNodeResult, mark_stop_nodes
+from repro.analysis.unit_graph import UnitGraph
+
+__all__ = [
+    "UnitGraph",
+    "LivenessResult",
+    "compute_liveness",
+    "ReachingResult",
+    "Definition",
+    "compute_reaching",
+    "DataDependencyGraph",
+    "DDGEdge",
+    "StopNodeResult",
+    "mark_stop_nodes",
+    "TargetPath",
+    "enumerate_target_paths",
+    "path_edge_index",
+    "PathExplosionError",
+    "DominatorResult",
+    "compute_dominators",
+    "PostDominatorResult",
+    "compute_postdominators",
+    "AliasResult",
+    "compute_aliases",
+]

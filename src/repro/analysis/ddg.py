@@ -1,0 +1,64 @@
+"""Data Dependency Graph (DDG).
+
+Each UG node has a corresponding DDG node (paper section 3).  A DDG edge
+``Edge(out, in)`` records that the value produced (or mutation performed) at
+node *out* is consumed at node *in*.  Edges are derived from reaching
+definitions: for every variable used at *in*, every definition of that
+variable reaching *in* contributes an edge.
+
+ConvexCut consumes the DDG to poison UG edges that would let data flow from
+the demodulator back to the modulator (possible only around loops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.analysis.reaching import ReachingResult, compute_reaching
+from repro.analysis.unit_graph import UnitGraph
+from repro.ir.values import Var
+
+#: A data-dependency edge (def_node, use_node).
+DDGEdge = Tuple[int, int]
+
+
+@dataclass
+class DataDependencyGraph:
+    """Def-use edges over UG nodes."""
+
+    graph: UnitGraph
+    edges: FrozenSet[DDGEdge]
+    #: edge -> variables carried by that dependency
+    edge_vars: Dict[DDGEdge, FrozenSet[Var]]
+
+    @classmethod
+    def build(
+        cls, graph: UnitGraph, reaching: ReachingResult = None
+    ) -> "DataDependencyGraph":
+        if reaching is None:
+            reaching = compute_reaching(graph)
+        fn = graph.function
+        edges: Set[DDGEdge] = set()
+        edge_vars: Dict[DDGEdge, Set[Var]] = {}
+        for use_node in range(len(fn.instrs)):
+            for var in fn.instrs[use_node].uses():
+                for def_node in reaching.definitions_reaching(use_node, var):
+                    if def_node == use_node:
+                        continue  # self-loop (e.g. i = i + 1): not a UG cycle
+                    edge = (def_node, use_node)
+                    edges.add(edge)
+                    edge_vars.setdefault(edge, set()).add(var)
+        return cls(
+            graph=graph,
+            edges=frozenset(edges),
+            edge_vars={e: frozenset(vs) for e, vs in edge_vars.items()},
+        )
+
+    def dependencies_of(self, node: int) -> FrozenSet[int]:
+        """Def nodes that *node* consumes from."""
+        return frozenset(d for d, u in self.edges if u == node)
+
+    def consumers_of(self, node: int) -> FrozenSet[int]:
+        """Use nodes consuming values produced at *node*."""
+        return frozenset(u for d, u in self.edges if d == node)

@@ -1,0 +1,69 @@
+"""Dominator analysis over the Unit Graph.
+
+Used to sanity-check partitioning plans: a set of split edges is a valid
+cut only if every path from the StartNode to a StopNode/exit crosses one of
+them, which is conveniently checked through reachability after edge removal
+— but dominators give cheap necessary conditions and power diagnostics
+("this PSE is post-dominated by that one, so both never fire in one run").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Set, Tuple
+
+from repro.analysis.unit_graph import UnitGraph
+
+
+@dataclass
+class DominatorResult:
+    """dom[n] = set of nodes dominating n (including n itself)."""
+
+    graph: UnitGraph
+    dom: Dict[int, FrozenSet[int]]
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True when every path entry → b passes through a."""
+        return a in self.dom.get(b, frozenset())
+
+    def immediate_dominator(self, node: int) -> int:
+        """The closest strict dominator of *node* (-1 for the entry)."""
+        strict = self.dom[node] - {node}
+        if not strict:
+            return -1
+        # The idom is the strict dominator dominated by all other strict
+        # dominators.
+        for cand in strict:
+            if all(c == cand or c in self.dom[cand] for c in strict):
+                return cand
+        return -1  # unreachable node
+
+
+def compute_dominators(graph: UnitGraph) -> DominatorResult:
+    """Classic iterative dominator computation."""
+    n = len(graph)
+    entry = graph.entry
+    all_nodes = frozenset(range(n))
+    dom: Dict[int, Set[int]] = {i: set(all_nodes) for i in range(n)}
+    dom[entry] = {entry}
+
+    changed = True
+    while changed:
+        changed = False
+        for node in range(n):
+            if node == entry:
+                continue
+            preds = graph.preds[node]
+            if preds:
+                new = set(all_nodes)
+                for p in preds:
+                    new &= dom[p]
+            else:
+                new = set()  # unreachable
+            new.add(node)
+            if new != dom[node]:
+                dom[node] = new
+                changed = True
+    return DominatorResult(
+        graph=graph, dom={i: frozenset(s) for i, s in dom.items()}
+    )

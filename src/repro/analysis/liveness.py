@@ -1,0 +1,86 @@
+"""Live-variable analysis over the Unit Graph.
+
+Classic backward may-analysis:
+
+* ``IN[n]  = USE[n] ∪ (OUT[n] − DEF[n])``
+* ``OUT[n] = ∪ IN[s] for s in succs(n)``
+
+The paper uses the IN/OUT sets to compute the hand-over set of a Potential
+Split Edge: ``INTER(e) = OUT(out-node) ∩ IN(in-node)`` (section 2.4).  That
+intersection is exactly the data the modulator must marshal into the
+continuation message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+from repro.analysis.unit_graph import UnitGraph
+from repro.ir.interpreter import Edge
+from repro.ir.values import Var
+
+
+@dataclass
+class LivenessResult:
+    """IN/OUT live-variable sets per UG node."""
+
+    graph: UnitGraph
+    in_sets: Dict[int, FrozenSet[Var]]
+    out_sets: Dict[int, FrozenSet[Var]]
+
+    def live_in(self, node: int) -> FrozenSet[Var]:
+        return self.in_sets[node]
+
+    def live_out(self, node: int) -> FrozenSet[Var]:
+        return self.out_sets[node]
+
+    def inter(self, edge: Edge) -> FrozenSet[Var]:
+        """INTER(e) = OUT(out) ∩ IN(in): the continuation hand-over set."""
+        out_node, in_node = edge
+        return self.out_sets[out_node] & self.in_sets[in_node]
+
+
+def compute_liveness(graph: UnitGraph) -> LivenessResult:
+    """Iterate the backward dataflow equations to a fixpoint.
+
+    Uses a reverse-postorder worklist over the reversed graph for fast
+    convergence; correctness does not depend on the order.
+    """
+    fn = graph.function
+    n = len(fn.instrs)
+    use: Dict[int, FrozenSet[Var]] = {}
+    defs: Dict[int, FrozenSet[Var]] = {}
+    for i in range(n):
+        instr = fn.instrs[i]
+        use[i] = instr.uses()
+        defs[i] = instr.defs()
+
+    in_sets: Dict[int, FrozenSet[Var]] = {i: frozenset() for i in range(n)}
+    out_sets: Dict[int, FrozenSet[Var]] = {i: frozenset() for i in range(n)}
+
+    worklist = list(range(n - 1, -1, -1))
+    in_work = set(worklist)
+    while worklist:
+        node = worklist.pop()
+        in_work.discard(node)
+        out: FrozenSet[Var] = frozenset()
+        for s in graph.succs[node]:
+            out |= in_sets[s]
+        new_in = use[node] | (out - defs[node])
+        if new_in != in_sets[node]:
+            in_sets[node] = new_in
+            for p in graph.preds[node]:
+                if p not in in_work:
+                    in_work.add(p)
+                    worklist.append(p)
+
+    # Final pass: OUT is fully determined by the fixpoint IN sets.  (During
+    # the worklist loop a node's OUT can change without its IN changing, so
+    # we only trust OUT computed after convergence.)
+    for node in range(n):
+        out = frozenset()
+        for s in graph.succs[node]:
+            out |= in_sets[s]
+        out_sets[node] = out
+    return LivenessResult(graph=graph, in_sets=in_sets, out_sets=out_sets)

@@ -1,0 +1,98 @@
+"""TargetPath enumeration (paper section 3).
+
+"A TargetPath is a path in a UG that starts from StartNode, and ends at
+either the ExitNode or a StopNode, where none of the intermediate nodes are
+StopNodes."
+
+The paper's example UGs are acyclic.  Real handlers contain loops, which
+would make the path set infinite; we therefore enumerate paths over the
+*forward* view of the UG (back edges removed), i.e. each loop body is
+traversed at most once per path.  This is sound for PSE discovery because a
+PSE is an *edge* property — an edge inside a loop appears on some forward
+path whenever it appears on any path — and because ConvexCut separately
+poisons loop edges whose cutting would create backward data flow.
+
+Path counts are capped; handlers whose branching exceeds the cap raise
+:class:`PathExplosionError` so callers can fall back to per-edge analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple
+
+from repro.analysis.stopnodes import StopNodeResult
+from repro.analysis.unit_graph import UnitGraph
+from repro.errors import AnalysisError
+from repro.ir.interpreter import Edge
+
+
+class PathExplosionError(AnalysisError):
+    """TargetPath enumeration exceeded the configured cap."""
+
+
+@dataclass(frozen=True)
+class TargetPath:
+    """A TargetPath as a node sequence; edges are consecutive pairs."""
+
+    nodes: Tuple[int, ...]
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        return tuple(zip(self.nodes, self.nodes[1:]))
+
+    @property
+    def end(self) -> int:
+        return self.nodes[-1]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.nodes)
+
+
+def enumerate_target_paths(
+    graph: UnitGraph,
+    stops: StopNodeResult,
+    *,
+    max_paths: int = 4096,
+) -> Tuple[TargetPath, ...]:
+    """All TargetPaths from the StartNode, over the acyclic forward view."""
+    start = graph.start_node
+    fwd = graph.forward_succs()
+    paths: List[TargetPath] = []
+
+    # If the start node itself is a stop node, the entire handler is pinned
+    # to the receiver; the single trivial path carries no edges.
+    if stops.is_stop(start):
+        return (TargetPath(nodes=(start,)),)
+
+    stack: List[List[int]] = [[start]]
+    while stack:
+        path = stack.pop()
+        node = path[-1]
+        succs = fwd[node]
+        if not succs:
+            paths.append(TargetPath(nodes=tuple(path)))
+            continue
+        for s in succs:
+            if stops.is_stop(s):
+                paths.append(TargetPath(nodes=tuple(path) + (s,)))
+            else:
+                stack.append(path + [s])
+        if len(paths) + len(stack) > max_paths:
+            raise PathExplosionError(
+                f"{graph.function.name}: more than {max_paths} TargetPaths; "
+                f"simplify the handler or raise max_paths"
+            )
+    return tuple(paths)
+
+
+def path_edge_index(paths: Sequence[TargetPath]) -> Dict[Edge, FrozenSet[int]]:
+    """Map each edge to the indices of the paths containing it."""
+    acc: Dict[Edge, set] = {}
+    for i, p in enumerate(paths):
+        for e in p.edges:
+            acc.setdefault(e, set()).add(i)
+    return {e: frozenset(s) for e, s in acc.items()}

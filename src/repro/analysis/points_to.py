@@ -1,0 +1,93 @@
+"""Flow-insensitive points-to / alias analysis.
+
+The paper uses points-to analysis (citing Shapiro & Horwitz [41]) for one
+purpose: recognizing that two variables with different names reference the
+same object, so two candidate split edges whose INTER sets differ only by
+such aliases have *identical* costs and one can be dropped (sections 3 and
+4.1 — e.g. after ``r2 = (ImageData) r1``, edges carrying ``{r1}`` and
+``{r2}`` cost the same).
+
+We implement a Steensgaard-style unification analysis: every copy-like
+assignment (``x = y``, ``x = (Cls) y``) unions the alias classes of the two
+variables.  Allocations (``new``, list/tuple builds, calls) start fresh
+classes.  This is coarser than Andersen's analysis but exactly strong
+enough for the cost-deduplication use, and it runs in near-linear time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Set
+
+from repro.ir.function import IRFunction
+from repro.ir.instructions import Assign, Identity
+from repro.ir.values import Cast, OperandExpr, Var
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[str, str] = {}
+
+    def find(self, x: str) -> str:
+        parent = self._parent.setdefault(x, x)
+        if parent != x:
+            root = self.find(parent)
+            self._parent[x] = root
+            return root
+        return x
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+
+@dataclass
+class AliasResult:
+    """Alias classes over a function's variables."""
+
+    function: IRFunction
+    _uf: _UnionFind
+
+    def may_alias(self, a: Var, b: Var) -> bool:
+        """True when a and b may reference the same object."""
+        if a == b:
+            return True
+        return self._uf.find(a.name) == self._uf.find(b.name)
+
+    def canonical(self, v: Var) -> str:
+        """A canonical representative name for v's alias class."""
+        return self._uf.find(v.name)
+
+    def canonicalize(self, vars_: Iterable[Var]) -> FrozenSet[str]:
+        """Map a variable set to its set of alias-class representatives.
+
+        Two INTER sets with equal canonicalizations carry the same objects,
+        hence cost the same under the data-size model.
+        """
+        return frozenset(self._uf.find(v.name) for v in vars_)
+
+    def classes(self) -> Dict[str, FrozenSet[str]]:
+        acc: Dict[str, Set[str]] = {}
+        for name in list(self._uf._parent):
+            acc.setdefault(self._uf.find(name), set()).add(name)
+        return {root: frozenset(members) for root, members in acc.items()}
+
+
+def compute_aliases(fn: IRFunction) -> AliasResult:
+    """Unify alias classes across copy-like assignments of *fn*."""
+    uf = _UnionFind()
+    for p in fn.params:
+        uf.find(p.name)
+    for instr in fn.instrs:
+        if isinstance(instr, Identity):
+            uf.find(instr.target.name)
+        elif isinstance(instr, Assign):
+            expr = instr.expr
+            if isinstance(expr, OperandExpr) and isinstance(expr.operand, Var):
+                uf.union(instr.target.name, expr.operand.name)
+            elif isinstance(expr, Cast) and isinstance(expr.operand, Var):
+                uf.union(instr.target.name, expr.operand.name)
+            else:
+                uf.find(instr.target.name)
+    return AliasResult(function=fn, _uf=uf)

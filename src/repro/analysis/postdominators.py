@@ -1,0 +1,66 @@
+"""Post-dominator analysis over the Unit Graph.
+
+The reverse of dominators: node ``a`` post-dominates node ``b`` when every
+path from ``b`` to any exit passes through ``a``.  Used for PSE
+diagnostics: if one PSE's *in* node post-dominates another PSE's *in*
+node, any execution splitting at the first would otherwise also have
+reached the second — i.e. the two PSEs are ordered on every path and never
+*both* fire, which bounds the useful size of multi-flag plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Set
+
+from repro.analysis.unit_graph import UnitGraph
+
+
+@dataclass
+class PostDominatorResult:
+    """pdom[n] = set of nodes post-dominating n (including n itself)."""
+
+    graph: UnitGraph
+    pdom: Dict[int, FrozenSet[int]]
+
+    def post_dominates(self, a: int, b: int) -> bool:
+        """True when every path b → exit passes through a."""
+        return a in self.pdom.get(b, frozenset())
+
+
+def compute_postdominators(graph: UnitGraph) -> PostDominatorResult:
+    """Iterative post-dominator computation with a virtual exit.
+
+    Multiple Return nodes are joined through a virtual exit so the
+    analysis is well defined for multi-exit handlers.
+    """
+    n = len(graph)
+    exits = set(graph.exit_nodes())
+    all_nodes = frozenset(range(n))
+    pdom: Dict[int, Set[int]] = {}
+    for i in range(n):
+        if i in exits:
+            pdom[i] = {i}
+        else:
+            pdom[i] = set(all_nodes)
+
+    changed = True
+    while changed:
+        changed = False
+        for node in range(n - 1, -1, -1):
+            if node in exits:
+                continue
+            succs = graph.succs[node]
+            if succs:
+                new = set(all_nodes)
+                for s in succs:
+                    new &= pdom[s]
+            else:
+                new = set()  # dead ends that are not Returns
+            new.add(node)
+            if new != pdom[node]:
+                pdom[node] = new
+                changed = True
+    return PostDominatorResult(
+        graph=graph, pdom={i: frozenset(s) for i, s in pdom.items()}
+    )

@@ -1,0 +1,69 @@
+"""StopNode marking (paper section 3).
+
+"A node is a StopNode if the node is a return instruction, uses variable(s)
+that are mutable outside the event handler, or if it references native
+variables or invokes native methods."
+
+In this reproduction:
+
+* ``Return`` instructions are StopNodes;
+* instructions that invoke a function registered ``receiver_only=True``
+  (the paper's "native methods" — e.g. a display routine bound to the
+  receiver's hardware) are StopNodes;
+* instructions that read or write a variable listed in the handler's
+  ``receiver_vars`` (receiver-resident mutable state, e.g. a field of the
+  receiving component) are StopNodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Set
+
+from repro.analysis.unit_graph import UnitGraph
+from repro.ir.function import IRFunction
+from repro.ir.instructions import Instr, Return
+from repro.ir.registry import FunctionRegistry
+
+
+@dataclass
+class StopNodeResult:
+    """The StopNode set plus per-node reasons (for diagnostics)."""
+
+    nodes: FrozenSet[int]
+    reasons: dict  # node -> str
+
+    def is_stop(self, node: int) -> bool:
+        return node in self.nodes
+
+
+def mark_stop_nodes(
+    graph: UnitGraph, registry: FunctionRegistry
+) -> StopNodeResult:
+    """Compute the StopNode set of *graph* against *registry*."""
+    fn = graph.function
+    receiver_vars = set(fn.receiver_vars)
+    nodes: Set[int] = set()
+    reasons = {}
+    for i, instr in enumerate(fn.instrs):
+        reason = _stop_reason(instr, registry, receiver_vars)
+        if reason is not None:
+            nodes.add(i)
+            reasons[i] = reason
+    return StopNodeResult(nodes=frozenset(nodes), reasons=reasons)
+
+
+def _stop_reason(
+    instr: Instr, registry: FunctionRegistry, receiver_vars: Set[str]
+) -> str:
+    if isinstance(instr, Return):
+        return "return instruction"
+    for name in instr.called_functions():
+        if registry.is_receiver_only(name):
+            return f"invokes receiver-only function {name!r}"
+    if receiver_vars:
+        touched = {v.name for v in instr.uses() | instr.defs()}
+        hit = touched & receiver_vars
+        if hit:
+            return f"references receiver-resident variable(s) {sorted(hit)}"
+    return None

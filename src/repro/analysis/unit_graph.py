@@ -1,0 +1,159 @@
+"""The Unit Graph (UG).
+
+"A UG is similar to a Control Flow Graph except that each node is an
+instruction instead of a basic block" (paper section 2.1).  Node ids are
+instruction indices into the owning :class:`~repro.ir.function.IRFunction`;
+edges are ``(out, in)`` pairs following the paper's ``Edge(out, in)``
+notation where data/control flows from *out* to *in*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.errors import AnalysisError
+from repro.ir.function import IRFunction
+from repro.ir.interpreter import Edge
+
+
+@dataclass
+class UnitGraph:
+    """Instruction-level control-flow graph over an IR function."""
+
+    function: IRFunction
+    succs: Dict[int, Tuple[int, ...]]
+    preds: Dict[int, Tuple[int, ...]]
+
+    @classmethod
+    def build(cls, fn: IRFunction) -> "UnitGraph":
+        n = len(fn.instrs)
+        succs: Dict[int, Tuple[int, ...]] = {}
+        preds_acc: Dict[int, List[int]] = {i: [] for i in range(n)}
+        for i in range(n):
+            ss = fn.successors(i)
+            succs[i] = ss
+            for s in ss:
+                if not (0 <= s < n):
+                    raise AnalysisError(
+                        f"{fn.name}: successor {s} of instruction {i} "
+                        f"out of range"
+                    )
+                preds_acc[s].append(i)
+        preds = {i: tuple(ps) for i, ps in preds_acc.items()}
+        return cls(function=fn, succs=succs, preds=preds)
+
+    # -- basic views --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.function.instrs)
+
+    @property
+    def entry(self) -> int:
+        return 0
+
+    @property
+    def start_node(self) -> int:
+        """The StartNode: first instruction after parameter Identities."""
+        return self.function.start_index
+
+    def exit_nodes(self) -> Tuple[int, ...]:
+        """Nodes with no successors (Return instructions)."""
+        return tuple(i for i in range(len(self)) if not self.succs[i])
+
+    def edges(self) -> Tuple[Edge, ...]:
+        out: List[Edge] = []
+        for i in range(len(self)):
+            for s in self.succs[i]:
+                out.append((i, s))
+        return tuple(out)
+
+    def has_edge(self, edge: Edge) -> bool:
+        i, j = edge
+        return 0 <= i < len(self) and j in self.succs.get(i, ())
+
+    # -- reachability ----------------------------------------------------------
+
+    def reachable_from(self, node: int) -> FrozenSet[int]:
+        seen: Set[int] = set()
+        stack = [node]
+        while stack:
+            i = stack.pop()
+            if i in seen:
+                continue
+            seen.add(i)
+            stack.extend(s for s in self.succs[i] if s not in seen)
+        return frozenset(seen)
+
+    def reaches(self, src: int, dst: int) -> bool:
+        """True when a (possibly empty) control path exists src → dst."""
+        return dst in self.reachable_from(src)
+
+    # -- loop structure ------------------------------------------------------------
+
+    def back_edges(self) -> FrozenSet[Edge]:
+        """Edges closing a cycle under DFS from the entry.
+
+        Used by TargetPath enumeration to traverse each loop body at most
+        once (the paper's example UGs are acyclic; loops in real handlers
+        need this to keep the path set finite).
+        """
+        color: Dict[int, int] = {}  # 0 unvisited (absent), 1 on stack, 2 done
+        back: Set[Edge] = set()
+
+        # Iterative DFS with explicit stack carrying (node, successor-iter).
+        for root in range(len(self)):
+            if color.get(root):
+                continue
+            stack: List[Tuple[int, int]] = [(root, 0)]
+            color[root] = 1
+            while stack:
+                node, idx = stack[-1]
+                succs = self.succs[node]
+                if idx < len(succs):
+                    stack[-1] = (node, idx + 1)
+                    nxt = succs[idx]
+                    state = color.get(nxt, 0)
+                    if state == 1:
+                        back.add((node, nxt))
+                    elif state == 0:
+                        color[nxt] = 1
+                        stack.append((nxt, 0))
+                else:
+                    color[node] = 2
+                    stack.pop()
+        return frozenset(back)
+
+    def forward_succs(self) -> Dict[int, Tuple[int, ...]]:
+        """Successor map with back edges removed (an acyclic view)."""
+        back = self.back_edges()
+        return {
+            i: tuple(s for s in ss if (i, s) not in back)
+            for i, ss in self.succs.items()
+        }
+
+    def paths_exist_between(self, src: int, dst: int) -> bool:
+        return self.reaches(src, dst)
+
+    def edges_on_paths(self, src: int, dst: int) -> FrozenSet[Edge]:
+        """All edges (u, v) lying on some path src → ... → dst.
+
+        An edge (u, v) is on such a path iff src reaches u and v reaches dst.
+        Used by ConvexCut to poison edges that would carry data backwards.
+        """
+        from_src = self.reachable_from(src)
+        # Nodes that reach dst: compute on the reverse graph.
+        to_dst: Set[int] = set()
+        stack = [dst]
+        while stack:
+            i = stack.pop()
+            if i in to_dst:
+                continue
+            to_dst.add(i)
+            stack.extend(p for p in self.preds[i] if p not in to_dst)
+        out: Set[Edge] = set()
+        for u in from_src:
+            for v in self.succs[u]:
+                if v in to_dst:
+                    out.add((u, v))
+        return frozenset(out)

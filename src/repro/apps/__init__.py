@@ -1,0 +1,19 @@
+"""The paper's two evaluation applications plus the shared harness."""
+
+from repro.apps.harness import (
+    PipelineResult,
+    ReceiverShare,
+    SenderShare,
+    Version,
+    run_pipeline,
+)
+from repro.apps.mp_version import MethodPartitioningVersion
+
+__all__ = [
+    "Version",
+    "SenderShare",
+    "ReceiverShare",
+    "PipelineResult",
+    "run_pipeline",
+    "MethodPartitioningVersion",
+]

@@ -1,0 +1,175 @@
+"""N-hop chain pipeline: empirical validation of the placement model.
+
+Runs a stream along an arbitrary :class:`~repro.core.placement.StreamPath`
+with the modulator at a chosen hop, measuring actual steady-state
+throughput — the ground truth the analytic
+:func:`~repro.core.placement.predicted_bottleneck` is tested against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.apps.harness import PipelineResult
+from repro.apps.mp_version import MethodPartitioningVersion
+from repro.core.placement import StreamMeasurements, StreamPath
+from repro.simnet.host import Host
+from repro.simnet.link import Link
+from repro.simnet.simulator import Delay, Simulator
+
+
+class ChainTestbed:
+    """Hosts and links realizing a StreamPath inside one simulator."""
+
+    def __init__(self, sim: Simulator, path: StreamPath) -> None:
+        self.sim = sim
+        self.path = path
+        self.hosts: List[Host] = [
+            Host(sim, hop.name, speed=hop.cpu_speed) for hop in path.hops
+        ]
+        self.links: List[Link] = [
+            Link(
+                sim,
+                f"{path[i].name}->{path[i + 1].name}",
+                alpha=path[i].link_alpha,
+                beta=path[i].link_beta,
+            )
+            for i in range(len(path) - 1)
+        ]
+
+
+def run_chain_pipeline(
+    testbed: ChainTestbed,
+    version: MethodPartitioningVersion,
+    events: Sequence[object],
+    event_sizes: Sequence[float],
+    *,
+    placement: int,
+    relay_cycles: float = 10.0,
+    window: int = 16,
+) -> PipelineResult:
+    """Push *events* along the chain with the modulator at hop *placement*.
+
+    Hops before the placement relay the raw event; the placement hop runs
+    the modulator (``version.sender_share``); downstream hops relay the
+    continuation; the final hop runs the demodulator
+    (``version.receiver_share``).
+    """
+    path = testbed.path
+    if placement not in path.placements():
+        raise ValueError(
+            f"placement {placement} invalid for a {len(path)}-hop path"
+        )
+    if version.location != "sender":
+        raise ValueError(
+            "chain pipelines need a version with location='sender'"
+        )
+    sim = testbed.sim
+    n_hops = len(path)
+    mailboxes = [sim.store() for _ in range(n_hops - 1)]  # inbox of hop i+1
+    credits = sim.store()
+    for _ in range(window):
+        credits.put(None)
+    completions: List[Tuple[float, float]] = []
+    counters = {"filtered": 0}
+    start_time = sim.now
+
+    def generator():
+        host = testbed.hosts[0]
+        for event, raw_size in zip(events, event_sizes):
+            generated = sim.now
+            if placement == 0:
+                share = version.sender_share(event)
+                if share.cycles > 0:
+                    s, f = host.execute(share.cycles)
+                    yield Delay(f - sim.now)
+                    version.on_sender_done(share, f - s, sim, testbed)
+                if share.payload is None:
+                    counters["filtered"] += 1
+                    continue
+                payload, size = share, share.size
+            else:
+                s, f = host.execute(relay_cycles)
+                yield Delay(f - sim.now)
+                payload, size = event, raw_size
+            yield credits.get()
+            testbed.links[0].send(
+                size, mailboxes[0], (generated, payload, size)
+            )
+
+    def middle(hop_index: int):
+        host = testbed.hosts[hop_index]
+        inbox = mailboxes[hop_index - 1]
+        outbox = mailboxes[hop_index]
+        while True:
+            generated, payload, size = yield inbox.get()
+            if hop_index == placement:
+                share = version.sender_share(payload)
+                if share.cycles > 0:
+                    s, f = host.execute(share.cycles)
+                    yield Delay(f - sim.now)
+                    version.on_sender_done(share, f - s, sim, testbed)
+                if share.payload is None:
+                    counters["filtered"] += 1
+                    credits.put(None)
+                    continue
+                payload, size = share, share.size
+            else:
+                s, f = host.execute(relay_cycles)
+                yield Delay(f - sim.now)
+            testbed.links[hop_index].send(
+                size, outbox, (generated, payload, size)
+            )
+
+    def receiver():
+        host = testbed.hosts[-1]
+        inbox = mailboxes[-1]
+        while True:
+            generated, share, _size = yield inbox.get()
+            rshare = version.receiver_share(share.payload)
+            if rshare.cycles > 0:
+                s, f = host.execute(rshare.cycles)
+                yield Delay(f - sim.now)
+                version.on_receiver_done(rshare, f - s, sim, testbed)
+            completions.append((generated, sim.now))
+            credits.put(None)
+
+    sim.spawn(generator())
+    for i in range(1, n_hops - 1):
+        sim.spawn(middle(i))
+    sim.spawn(receiver())
+    sim.run()
+
+    return PipelineResult(
+        version=f"{version.name} (hop {placement}: {path[placement].name})",
+        n_events=len(events),
+        n_delivered=len(completions),
+        n_filtered=counters["filtered"],
+        start_time=start_time,
+        end_time=sim.now,
+        completions=completions,
+        bytes_sent=sum(link.bytes_sent for link in testbed.links),
+    )
+
+
+def measure_stream(
+    version_factory,
+    sample_event: object,
+    sample_size: float,
+    *,
+    relay_cycles: float = 10.0,
+) -> StreamMeasurements:
+    """Profile one event through a fresh modulator/demodulator pair to fill
+    a :class:`StreamMeasurements` for the analytic placement model."""
+    version = version_factory()
+    share = version.sender_share(sample_event)
+    if share.payload is None:
+        raise ValueError("sample event was filtered; pick a passing one")
+    rshare = version.receiver_share(share.payload)
+    return StreamMeasurements(
+        mod_cycles=share.cycles,
+        demod_cycles=rshare.cycles,
+        raw_size=sample_size,
+        continuation_size=share.size,
+        relay_cycles=relay_cycles,
+    )

@@ -1,0 +1,61 @@
+"""Wireless image-streaming application (paper section 5.1, Table 2)."""
+
+from repro.apps.imagestream.app import (
+    DISPLAY_CYCLES_PER_PIXEL,
+    IMAGE_HANDLER_SOURCE,
+    RESAMPLE_CYCLES_PER_PIXEL,
+    DisplaySink,
+    build_image_registries,
+    build_partitioned_push,
+    display_cycles,
+    resample,
+    resample_cycles,
+)
+from repro.apps.imagestream.data import (
+    DISPLAY_SIZE,
+    LARGE_SIZE,
+    SMALL_SIZE,
+    ImageFrame,
+    make_frame,
+    scenario_stream,
+)
+from repro.apps.imagestream.experiment import (
+    SCENARIOS,
+    VERSION_NAMES,
+    Table2Config,
+    format_table2,
+    run_cell,
+    run_table2,
+)
+from repro.apps.imagestream.versions import (
+    ClientTransformVersion,
+    ServerTransformVersion,
+    make_mp_image_version,
+)
+
+__all__ = [
+    "ImageFrame",
+    "make_frame",
+    "scenario_stream",
+    "DISPLAY_SIZE",
+    "SMALL_SIZE",
+    "LARGE_SIZE",
+    "DisplaySink",
+    "resample",
+    "resample_cycles",
+    "display_cycles",
+    "build_image_registries",
+    "build_partitioned_push",
+    "IMAGE_HANDLER_SOURCE",
+    "RESAMPLE_CYCLES_PER_PIXEL",
+    "DISPLAY_CYCLES_PER_PIXEL",
+    "ClientTransformVersion",
+    "ServerTransformVersion",
+    "make_mp_image_version",
+    "Table2Config",
+    "run_cell",
+    "run_table2",
+    "format_table2",
+    "SCENARIOS",
+    "VERSION_NAMES",
+]

@@ -1,0 +1,87 @@
+"""Image frames and scenario streams for the wireless application
+(paper section 5.1).
+
+The paper's setup: display window 160×160 on the iPAQ; incoming frames are
+either 80×80 ("small") or 200×200 ("large"), "without the client's a priori
+knowledge".  The mixed scenario alternates between the two, each run
+lasting n frames with n uniform on [1, 20].
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+#: Paper's display window edge (160×160).
+DISPLAY_SIZE = 160
+#: Paper's small-image edge (80×80).
+SMALL_SIZE = 80
+#: Paper's large-image edge (200×200).
+LARGE_SIZE = 200
+
+
+class ImageFrame:
+    """A grayscale frame: width × height single-byte pixels."""
+
+    def __init__(self, width: int, height: int, pixels: bytes = None) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("frame dimensions must be positive")
+        self.width = width
+        self.height = height
+        if pixels is None:
+            pixels = bytes(width * height)
+        if len(pixels) != width * height:
+            raise ValueError(
+                f"pixel buffer is {len(pixels)} bytes; expected "
+                f"{width * height}"
+            )
+        self.pixels = pixels
+
+    @property
+    def pixel_count(self) -> int:
+        return self.width * self.height
+
+    def __repr__(self) -> str:
+        return f"<ImageFrame {self.width}x{self.height}>"
+
+
+def make_frame(width: int, height: int, seed: int = 0) -> ImageFrame:
+    """A frame with deterministic pseudo-content (a diagonal gradient)."""
+    pixels = bytes(
+        ((i // width) + (i % width) + seed) % 256 for i in range(width * height)
+    )
+    return ImageFrame(width, height, pixels)
+
+
+def scenario_stream(
+    scenario: str,
+    n_frames: int,
+    *,
+    seed: int = 0,
+    small: int = SMALL_SIZE,
+    large: int = LARGE_SIZE,
+) -> List[ImageFrame]:
+    """Build the frame stream for one Table 2 scenario.
+
+    ``"small"`` and ``"large"`` are constant streams; ``"mixed"`` alternates
+    between the two sizes in runs of n frames, n ~ U[1, 20] (paper
+    section 5.1).  The same seed yields the same stream for every version —
+    the paper's shared pre-generated random numbers.
+    """
+    small_frame = make_frame(small, small)
+    large_frame = make_frame(large, large)
+    if scenario == "small":
+        return [small_frame] * n_frames
+    if scenario == "large":
+        return [large_frame] * n_frames
+    if scenario != "mixed":
+        raise ValueError(f"unknown scenario {scenario!r}")
+    rng = random.Random(seed)
+    frames: List[ImageFrame] = []
+    use_small = bool(rng.getrandbits(1))
+    while len(frames) < n_frames:
+        run = rng.randint(1, 20)
+        frame = small_frame if use_small else large_frame
+        frames.extend([frame] * min(run, n_frames - len(frames)))
+        use_small = not use_small
+    return frames

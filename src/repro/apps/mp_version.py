@@ -1,0 +1,208 @@
+"""Method Partitioning as a pipeline :class:`~repro.apps.harness.Version`.
+
+Wires a :class:`~repro.core.PartitionedMethod` into the experiment harness
+with the full adaptation loop of the paper:
+
+* the modulator runs on the sender host (cycles paid there); INTER-set
+  sizes and work counts are profiled on both sides;
+* seconds-per-cycle rates are measured from *simulated* service times, so
+  host speed and perturbation load flow into the execution-time model;
+* the Reconfiguration Unit (receiver-located by default) re-runs min-cut
+  when its trigger fires, and the new plan travels back over the feedback
+  link with real latency before the modulator's flags flip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.harness import ReceiverShare, SenderShare, Version
+from repro.core.partitioned import PartitionedMethod
+from repro.core.plan import PartitioningPlan
+from repro.core.runtime.triggers import FeedbackTrigger, RateTrigger
+from repro.simnet.cluster import Testbed
+from repro.simnet.simulator import Simulator
+
+#: Wire size of a plan update: a handful of edge flags.
+_PLAN_UPDATE_BYTES = 64.0
+
+
+class MethodPartitioningVersion(Version):
+    """The adaptive implementation of the paper's evaluations."""
+
+    name = "Method Partitioning"
+
+    def __init__(
+        self,
+        partitioned: PartitionedMethod,
+        *,
+        plan: Optional[PartitioningPlan] = None,
+        trigger: Optional[FeedbackTrigger] = None,
+        sample_period: int = 1,
+        ewma_alpha: float = 0.4,
+        adaptive: bool = True,
+        location: str = "receiver",
+        feedback_period: Optional[int] = None,
+    ) -> None:
+        """``location`` places the Reconfiguration Unit (paper section 2.5):
+        ``"sender"`` re-selects plans right after each modulator run and
+        flips the flags locally (zero feedback latency — best when the
+        modulator's own measurements dominate, as in the data-size model);
+        ``"receiver"`` re-selects after each demodulator run and ships the
+        plan back over the feedback link with real latency.
+
+        ``feedback_period`` (receiver location only) makes profiling
+        distribution explicit: the modulator records into a
+        :class:`RemoteProfilingProxy` and its observations travel to the
+        receiver-side unit as a feedback message every N messages, paying
+        bytes and latency.  ``None`` keeps the default instantly-shared
+        unit (equivalent to flushing every message at zero cost).
+        """
+        if location not in ("sender", "receiver"):
+            raise ValueError("location must be 'sender' or 'receiver'")
+        if feedback_period is not None and location != "receiver":
+            raise ValueError(
+                "feedback_period applies to receiver-located "
+                "reconfiguration only"
+            )
+        self.partitioned = partitioned
+        self.location = location
+        self.feedback_period = feedback_period
+        self.profiling = partitioned.make_profiling_unit(
+            sample_period=sample_period, ewma_alpha=ewma_alpha
+        )
+        self.sender_proxy = None
+        modulator_profiling = self.profiling
+        if feedback_period is not None:
+            from repro.core.runtime.feedback import RemoteProfilingProxy
+
+            self.sender_proxy = RemoteProfilingProxy(
+                partitioned.cut, sample_period=sample_period
+            )
+            modulator_profiling = self.sender_proxy
+        # Rates come from simulated service times (see on_*_done), so the
+        # modulator/demodulator must not record their own cycle-based rates.
+        self.modulator = partitioned.make_modulator(
+            plan=plan, profiling=modulator_profiling, record_rates=False
+        )
+        self.demodulator = partitioned.make_demodulator(
+            profiling=self.profiling, record_rates=False
+        )
+        self.adaptive = adaptive
+        self.reconfig = (
+            partitioned.make_reconfiguration_unit(
+                trigger=trigger or RateTrigger(period=10),
+                location=location,
+            )
+            if adaptive
+            else None
+        )
+        self.plan_updates_applied = 0
+        self.feedback_bytes = 0.0
+        self.feedback_messages = 0
+
+    # -- Version interface -----------------------------------------------------
+
+    def sender_share(self, event: object) -> SenderShare:
+        result = self.modulator.process(event)
+        if result.completed:
+            return SenderShare(
+                payload=None, size=0.0, cycles=result.cycles, info=None
+            )
+        if result.message is None:  # filtered at the sender
+            return SenderShare(
+                payload=None, size=0.0, cycles=result.cycles, info=None
+            )
+        size = float(self.partitioned.codec.size(result.message))
+        return SenderShare(
+            payload=result.message,
+            size=size,
+            cycles=result.cycles,
+            info=result.edge,
+        )
+
+    def receiver_share(self, payload: object) -> ReceiverShare:
+        outcome = self.demodulator.process(payload)
+        return ReceiverShare(cycles=outcome.cycles, info=outcome.edge)
+
+    def on_sender_done(
+        self,
+        share: SenderShare,
+        service_time: float,
+        sim: Simulator,
+        testbed: Testbed,
+    ) -> None:
+        recorder = self.sender_proxy or self.profiling
+        if share.cycles > 0:
+            recorder.record_sender_rate(service_time, share.cycles)
+        if self.sender_proxy is not None:
+            self._maybe_flush_feedback(sim, testbed)
+        if self.location == "sender":
+            self._maybe_reconfigure(sim, testbed)
+
+    def _maybe_flush_feedback(self, sim: Simulator, testbed: Testbed) -> None:
+        """Ship buffered sender-side observations over the feedback link."""
+        proxy = self.sender_proxy
+        if proxy.messages_seen == 0 or (
+            proxy.messages_seen % self.feedback_period != 0
+        ):
+            return
+        if proxy.pending == 0:
+            return
+        from repro.core.runtime.feedback import ingest
+
+        payload, size = proxy.flush()
+        self.feedback_bytes += size
+        self.feedback_messages += 1
+        # Sender-side observations travel WITH the data (forward link),
+        # sharing its bandwidth — monitoring traffic is not free.
+        arrival = testbed.link.delivery_time(size)
+        sim.schedule(
+            arrival - sim.now,
+            lambda _v, p=payload: ingest(self.profiling, p),
+            None,
+        )
+
+    def on_receiver_done(
+        self,
+        share: ReceiverShare,
+        service_time: float,
+        sim: Simulator,
+        testbed: Testbed,
+    ) -> None:
+        if share.cycles > 0:
+            self.profiling.record_receiver_rate(service_time, share.cycles)
+        if self.location == "receiver":
+            self._maybe_reconfigure(sim, testbed)
+
+    def on_transfer(self, size: float, seconds: float) -> None:
+        model = self.partitioned.cut.cost_model
+        observe = getattr(model, "observe_transfer", None)
+        if observe is not None:
+            observe(size, seconds)
+
+    def _maybe_reconfigure(self, sim: Simulator, testbed: Testbed) -> None:
+        if self.reconfig is None:
+            return
+        plan = self.reconfig.consider(self.profiling)
+        if plan is None:
+            return
+        if (
+            self.modulator.plan_runtime.current_plan is not None
+            and plan.active == self.modulator.plan_runtime.current_plan.active
+        ):
+            return  # nothing to change; no update shipped
+        if self.location == "sender":
+            # Co-located with the modulator: flip the flags directly.
+            self.modulator.apply_plan(plan)
+        else:
+            # The new plan travels to the sender over the feedback link.
+            arrival = testbed.feedback_link.delivery_time(_PLAN_UPDATE_BYTES)
+            self.feedback_bytes += _PLAN_UPDATE_BYTES
+            sim.schedule(
+                arrival - sim.now,
+                lambda _v, p=plan: self.modulator.apply_plan(p),
+                None,
+            )
+        self.plan_updates_applied += 1

@@ -1,0 +1,165 @@
+"""Three-host experiment pipeline: sender → broker → receiver.
+
+The simulated counterpart of :mod:`repro.jecho.broker`: a weak sender
+relays raw events over an uplink; the broker runs the modulator share on
+its own CPU; continuations cross the downlink to the receiver.  Used by
+the third-party-placement ablation and the broker example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.apps.harness import PipelineResult
+from repro.apps.mp_version import MethodPartitioningVersion
+from repro.simnet.host import Host
+from repro.simnet.link import Link
+from repro.simnet.simulator import Delay, Simulator
+
+
+@dataclass
+class RelayTestbed:
+    """Sender, broker, receiver plus the two links between them."""
+
+    sim: Simulator
+    sender: Host
+    broker: Host
+    receiver: Host
+    uplink: Link
+    downlink: Link
+
+
+def relay_testbed(
+    sim: Simulator,
+    *,
+    sender_speed: float = 0.05e6,   # a bare sensor
+    broker_speed: float = 2.0e6,    # a well-provisioned edge box
+    receiver_speed: float = 0.15e6,
+    uplink_alpha: float = 0.0005,
+    uplink_beta: float = 2.0e-7,    # sensor→broker: wired, fast
+    downlink_alpha: float = 0.005,
+    downlink_beta: float = 2.0e-6,  # broker→client: wireless, slow
+) -> RelayTestbed:
+    return RelayTestbed(
+        sim=sim,
+        sender=Host(sim, "sensor", speed=sender_speed),
+        broker=Host(sim, "broker", speed=broker_speed),
+        receiver=Host(sim, "client", speed=receiver_speed),
+        uplink=Link(sim, "uplink", alpha=uplink_alpha, beta=uplink_beta),
+        downlink=Link(
+            sim, "downlink", alpha=downlink_alpha, beta=downlink_beta
+        ),
+    )
+
+
+def run_relay_pipeline(
+    testbed: RelayTestbed,
+    version: MethodPartitioningVersion,
+    events: Sequence[object],
+    event_sizes: Sequence[float],
+    *,
+    modulator_at: str = "broker",
+    generation_cycles: float = 10.0,
+    window: int = 16,
+) -> PipelineResult:
+    """Run the stream with the modulator placed at *modulator_at*.
+
+    ``modulator_at="broker"``: the sender only generates and relays raw
+    events (paying ``generation_cycles`` each); the broker runs the
+    modulator share.  ``modulator_at="sender"``: the classic placement —
+    the sender runs the modulator, the broker merely forwards the
+    continuation bytes.
+    """
+    if modulator_at not in ("sender", "broker"):
+        raise ValueError("modulator_at must be 'sender' or 'broker'")
+    if version.location != "sender":
+        # The relay testbed has no receiver→sender feedback link; the
+        # Reconfiguration Unit must be co-located with the modulator.
+        raise ValueError(
+            "relay pipelines need a version with location='sender' "
+            "(reconfiguration co-located with the modulator)"
+        )
+    sim = testbed.sim
+    to_broker = sim.store()
+    to_receiver = sim.store()
+    credits = sim.store()
+    for _ in range(window):
+        credits.put(None)
+    completions: List[Tuple[float, float]] = []
+    counters = {"filtered": 0}
+    start_time = sim.now
+
+    def sender_proc():
+        for event, raw_size in zip(events, event_sizes):
+            generated = sim.now
+            if modulator_at == "sender":
+                share = version.sender_share(event)
+                if share.cycles > 0:
+                    s, f = testbed.sender.execute(share.cycles)
+                    yield Delay(f - sim.now)
+                    version.on_sender_done(share, f - s, sim, testbed)
+                if share.payload is None:
+                    counters["filtered"] += 1
+                    continue
+                yield credits.get()
+                testbed.uplink.send(
+                    share.size, to_broker, (generated, share)
+                )
+            else:
+                s, f = testbed.sender.execute(generation_cycles)
+                yield Delay(f - sim.now)
+                yield credits.get()
+                testbed.uplink.send(
+                    raw_size, to_broker, (generated, event)
+                )
+
+    def broker_proc():
+        while True:
+            generated, item = yield to_broker.get()
+            if modulator_at == "sender":
+                # pure relay: forward the continuation unchanged
+                share = item
+                testbed.downlink.send(
+                    share.size, to_receiver, (generated, share)
+                )
+                continue
+            share = version.sender_share(item)  # the modulator share
+            if share.cycles > 0:
+                s, f = testbed.broker.execute(share.cycles)
+                yield Delay(f - sim.now)
+                version.on_sender_done(share, f - s, sim, testbed)
+            if share.payload is None:
+                counters["filtered"] += 1
+                credits.put(None)
+                continue
+            testbed.downlink.send(
+                share.size, to_receiver, (generated, share)
+            )
+
+    def receiver_proc():
+        while True:
+            generated, share = yield to_receiver.get()
+            rshare = version.receiver_share(share.payload)
+            if rshare.cycles > 0:
+                s, f = testbed.receiver.execute(rshare.cycles)
+                yield Delay(f - sim.now)
+                version.on_receiver_done(rshare, f - s, sim, testbed)
+            completions.append((generated, sim.now))
+            credits.put(None)
+
+    sim.spawn(sender_proc())
+    sim.spawn(broker_proc())
+    sim.spawn(receiver_proc())
+    sim.run()
+
+    return PipelineResult(
+        version=f"{version.name} (modulator at {modulator_at})",
+        n_events=len(events),
+        n_delivered=len(completions),
+        n_filtered=counters["filtered"],
+        start_time=start_time,
+        end_time=sim.now,
+        completions=completions,
+        bytes_sent=testbed.downlink.bytes_sent,
+    )

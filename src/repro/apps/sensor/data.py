@@ -1,0 +1,46 @@
+"""Sensor readings for the compute-bound application (paper section 5.2).
+
+A mobile sensor captures a block of samples per message; a chain of
+processing stages turns it into a small result for the client.  Only the
+relative sizes matter: the raw reading is kilobytes, the final result a
+few dozen bytes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+#: samples per reading
+DEFAULT_SAMPLES = 256
+
+
+class SensorReading:
+    """One captured data block."""
+
+    def __init__(self, samples: List[float], seq: int = 0) -> None:
+        if not samples:
+            raise ValueError("a reading needs at least one sample")
+        self.samples = list(samples)
+        self.seq = seq
+
+    def __repr__(self) -> str:
+        return f"<SensorReading #{self.seq} n={len(self.samples)}>"
+
+
+def make_reading(seq: int, n_samples: int = DEFAULT_SAMPLES) -> SensorReading:
+    """A deterministic pseudo-signal: a noisy sine sweep."""
+    rng = random.Random(seq)
+    samples = [
+        math.sin(0.05 * i + 0.1 * seq) + 0.1 * rng.random()
+        for i in range(n_samples)
+    ]
+    return SensorReading(samples, seq=seq)
+
+
+def reading_stream(
+    n_messages: int, *, n_samples: int = DEFAULT_SAMPLES
+) -> List[SensorReading]:
+    """The message stream shared by all compared versions."""
+    return [make_reading(i, n_samples) for i in range(n_messages)]

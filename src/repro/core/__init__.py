@@ -1,0 +1,70 @@
+"""Method Partitioning core: the paper's primary contribution.
+
+* :class:`MethodPartitioner` — facade: handler + cost model → partitioned
+  method.
+* :func:`convex_cut` / :class:`ConvexCutResult` / :class:`PSE` — static
+  analysis (paper Figure 3).
+* :class:`PartitioningPlan` / :class:`PlanRuntime` and the plan helpers —
+  flag-based actual partitionings.
+* :class:`Modulator` / :class:`Demodulator` / :class:`PartitionedMethod` —
+  the generated pair.
+* :class:`ContinuationMessage` / :class:`ContinuationCodec` — Remote
+  Continuation.
+* :mod:`repro.core.runtime` — Profiling and Reconfiguration Units.
+* :mod:`repro.core.costmodels` — deployment-time customization criteria.
+"""
+
+from repro.core.api import MethodPartitioner
+from repro.core.context import AnalysisContext
+from repro.core.continuation import ContinuationCodec, ContinuationMessage
+from repro.core.convexcut import PSE, ConvexCutResult, convex_cut
+from repro.core.placement import (
+    Hop,
+    PlacementController,
+    StreamMeasurements,
+    StreamPath,
+    best_placement,
+    predicted_bottleneck,
+)
+from repro.core.partitioned import (
+    Demodulator,
+    DemodulatorResult,
+    Modulator,
+    ModulatorResult,
+    PartitionedMethod,
+)
+from repro.core.plan import (
+    PartitioningPlan,
+    PlanRuntime,
+    receiver_heavy_plan,
+    sender_heavy_plan,
+    static_optimal_plan,
+    validate_plan,
+)
+
+__all__ = [
+    "MethodPartitioner",
+    "AnalysisContext",
+    "convex_cut",
+    "ConvexCutResult",
+    "PSE",
+    "PartitioningPlan",
+    "PlanRuntime",
+    "receiver_heavy_plan",
+    "sender_heavy_plan",
+    "static_optimal_plan",
+    "validate_plan",
+    "Modulator",
+    "ModulatorResult",
+    "Demodulator",
+    "DemodulatorResult",
+    "PartitionedMethod",
+    "ContinuationMessage",
+    "ContinuationCodec",
+    "Hop",
+    "StreamPath",
+    "StreamMeasurements",
+    "PlacementController",
+    "best_placement",
+    "predicted_bottleneck",
+]

@@ -1,0 +1,104 @@
+"""High-level facade: partition a Python handler in one call.
+
+Typical use::
+
+    from repro.core import MethodPartitioner
+    from repro.core.costmodels import DataSizeCostModel
+    from repro.ir import default_registry
+
+    registry = default_registry()
+    registry.register_class(ImageData)
+    registry.register_function("display", display, receiver_only=True)
+
+    partitioner = MethodPartitioner(registry)
+    pm = partitioner.partition(push_handler, DataSizeCostModel())
+    modulator = pm.make_modulator(profiling=pm.make_profiling_unit())
+    demodulator = pm.make_demodulator()
+
+    result = modulator.process(event)
+    if result.message is not None:
+        demodulator.process(result.message)   # at the receiver
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Union
+
+from repro.core.context import AnalysisContext
+from repro.core.continuation import ContinuationCodec
+from repro.core.convexcut import convex_cut
+from repro.core.costmodels.base import CostModel
+from repro.core.partitioned import PartitionedMethod
+from repro.ir.builder import lower_function
+from repro.ir.function import IRFunction
+from repro.ir.interpreter import Interpreter
+from repro.ir.registry import FunctionRegistry, default_registry
+from repro.ir.validate import validate_function
+from repro.serialization import SerializerRegistry
+
+
+class MethodPartitioner:
+    """Front door of the library: handler in, modulator/demodulator out.
+
+    The only application knowledge required is the cost model passed to
+    :meth:`partition` — the paper's "minimal deployment-time knowledge".
+    """
+
+    def __init__(
+        self,
+        registry: Optional[FunctionRegistry] = None,
+        serializer_registry: Optional[SerializerRegistry] = None,
+    ) -> None:
+        self.registry = registry or default_registry()
+        self.serializer_registry = serializer_registry or SerializerRegistry()
+        self.interpreter = Interpreter(self.registry)
+
+    def partition(
+        self,
+        handler: Union[Callable, str, IRFunction],
+        cost_model: CostModel,
+        *,
+        receiver_vars: Sequence[str] = (),
+        constants: Optional[Dict[str, object]] = None,
+        max_paths: int = 4096,
+        inline_helpers: bool = True,
+    ) -> PartitionedMethod:
+        """Statically analyze *handler* and produce its partitioned form.
+
+        Args:
+            handler: a Python function, handler source text, or an already
+                lowered :class:`IRFunction`.
+            cost_model: the deployment-time customization criterion.
+            receiver_vars: variable names pinned to the receiver
+                (instructions touching them become StopNodes).
+            constants: compile-time constant names for the handler body.
+            max_paths: TargetPath enumeration cap.
+            inline_helpers: expand helpers registered via
+                ``registry.register_inline`` into the handler's UG (the
+                paper's whole-program future work); opaque functions are
+                unaffected either way.
+        """
+        if isinstance(handler, IRFunction):
+            fn = handler
+        else:
+            fn = lower_function(
+                handler,
+                self.registry,
+                receiver_vars=receiver_vars,
+                constants=constants,
+            )
+        if inline_helpers:
+            from repro.ir.inliner import inline_calls
+
+            fn = inline_calls(fn, self.registry)
+        validate_function(fn)
+        ctx = AnalysisContext.build(fn, self.registry, max_paths=max_paths)
+        cut = convex_cut(ctx, cost_model)
+        return PartitionedMethod(
+            function=fn,
+            cut=cut,
+            registry=self.registry,
+            serializer_registry=self.serializer_registry,
+            interpreter=self.interpreter,
+            codec=ContinuationCodec(self.serializer_registry),
+        )

@@ -1,0 +1,88 @@
+"""Bundled static-analysis results for one handler.
+
+Every stage of Method Partitioning (ConvexCut, cost models, splitter,
+runtime units) consumes the same set of analyses over the same handler;
+:class:`AnalysisContext` computes them once and passes them around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.analysis import (
+    AliasResult,
+    DataDependencyGraph,
+    LivenessResult,
+    ReachingResult,
+    StopNodeResult,
+    TargetPath,
+    UnitGraph,
+    compute_aliases,
+    compute_liveness,
+    compute_reaching,
+    enumerate_target_paths,
+    mark_stop_nodes,
+)
+from repro.ir.function import IRFunction
+from repro.ir.interpreter import Edge
+from repro.ir.registry import FunctionRegistry
+
+
+@dataclass
+class AnalysisContext:
+    """All static analyses of a handler, computed once."""
+
+    function: IRFunction
+    registry: FunctionRegistry
+    graph: UnitGraph
+    liveness: LivenessResult
+    reaching: ReachingResult
+    ddg: DataDependencyGraph
+    stops: StopNodeResult
+    paths: Tuple[TargetPath, ...]
+    aliases: AliasResult
+
+    @classmethod
+    def build(
+        cls,
+        fn: IRFunction,
+        registry: FunctionRegistry,
+        *,
+        max_paths: int = 4096,
+    ) -> "AnalysisContext":
+        graph = UnitGraph.build(fn)
+        liveness = compute_liveness(graph)
+        reaching = compute_reaching(graph)
+        ddg = DataDependencyGraph.build(graph, reaching)
+        stops = mark_stop_nodes(graph, registry)
+        paths = enumerate_target_paths(graph, stops, max_paths=max_paths)
+        aliases = compute_aliases(fn)
+        return cls(
+            function=fn,
+            registry=registry,
+            graph=graph,
+            liveness=liveness,
+            reaching=reaching,
+            ddg=ddg,
+            stops=stops,
+            paths=paths,
+            aliases=aliases,
+        )
+
+    def inter(self, edge: Edge):
+        """INTER(e): the continuation hand-over variable set of *edge*."""
+        return self.liveness.inter(edge)
+
+    def stop_entry_edges(self) -> Tuple[Edge, ...]:
+        """Edges whose *in* node is a StopNode.
+
+        These are the terminal split points: when no earlier PSE fires on an
+        execution path, the modulator must split here because the StopNode
+        itself can only run at the receiver.
+        """
+        out = []
+        for edge in self.graph.edges():
+            if self.stops.is_stop(edge[1]) and not self.stops.is_stop(edge[0]):
+                out.append(edge)
+        return tuple(out)

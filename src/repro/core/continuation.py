@@ -1,0 +1,100 @@
+"""Remote Continuation messages (paper section 2.4).
+
+When an active PSE fires, the modulator packs the live variables of the
+edge (the INTER set) plus the PSE's unique ID into a *continuation
+message* and hands it to the runtime system for delivery.  The demodulator
+restores the variables, jumps to the PSE, and continues processing.
+
+:class:`ContinuationMessage` is the wire object;
+:class:`ContinuationCodec` binds it to the custom serializer so its size
+can both be measured (profiling) and paid (simulated network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ContinuationError
+from repro.ir.interpreter import Continuation, Edge
+from repro.serialization import Serializer, SerializerRegistry, measure_size
+
+
+@dataclass
+class ContinuationMessage:
+    """A serializable remote continuation.
+
+    ``pse_id`` is the paper's "special ID for the PSE"; ``edge`` is its
+    resolved (out, in) instruction pair; ``variables`` is the restored
+    environment for the demodulator.
+    """
+
+    function: str
+    pse_id: str
+    edge: Edge
+    variables: Dict[str, object]
+
+    @classmethod
+    def from_continuation(
+        cls, continuation: Continuation, pse_id: str
+    ) -> "ContinuationMessage":
+        return cls(
+            function=continuation.function,
+            pse_id=pse_id,
+            edge=continuation.edge,
+            variables=dict(continuation.variables),
+        )
+
+    def to_continuation(self) -> Continuation:
+        return Continuation(
+            function=self.function,
+            edge=self.edge,
+            variables=dict(self.variables),
+        )
+
+
+class ContinuationCodec:
+    """Wire encoding of continuation messages via the custom serializer."""
+
+    def __init__(self, registry: Optional[SerializerRegistry] = None) -> None:
+        self.registry = registry or SerializerRegistry()
+        self._serializer = Serializer(self.registry)
+
+    def encode(self, message: ContinuationMessage) -> bytes:
+        payload = (
+            message.function,
+            message.pse_id,
+            message.edge[0],
+            message.edge[1],
+            message.variables,
+        )
+        return self._serializer.serialize(payload)
+
+    def decode(self, data: bytes) -> ContinuationMessage:
+        payload = self._serializer.deserialize(data)
+        if not (isinstance(payload, tuple) and len(payload) == 5):
+            raise ContinuationError("malformed continuation message")
+        function, pse_id, out_node, in_node, variables = payload
+        return ContinuationMessage(
+            function=function,
+            pse_id=pse_id,
+            edge=(out_node, in_node),
+            variables=variables,
+        )
+
+    def size(self, message: ContinuationMessage) -> int:
+        """Wire size without serializing (the profiling fast path)."""
+        payload = (
+            message.function,
+            message.pse_id,
+            message.edge[0],
+            message.edge[1],
+            message.variables,
+        )
+        return measure_size(payload, self.registry, use_self_sizing=True)
+
+    def payload_size(self, message: ContinuationMessage) -> int:
+        """Wire size of the variables alone (the cost-model quantity)."""
+        return measure_size(
+            message.variables, self.registry, use_self_sizing=True
+        )

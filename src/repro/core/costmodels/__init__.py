@@ -1,0 +1,36 @@
+"""Cost models: the only deployment-time knowledge Method Partitioning needs.
+
+* :class:`DataSizeCostModel` — minimize modulator→demodulator bytes
+  (paper section 4.1).
+* :class:`ExecutionTimeCostModel` + :class:`NetworkParameters` — minimize
+  total program time via the Kim et al. segmentation model (section 4.2).
+* :class:`CompositeCostModel`, :class:`PowerCostModel` — the extensions the
+  paper lists as future work (section 7).
+* :class:`EdgeCost` / :class:`CostModel` — the static/runtime interface.
+"""
+
+from repro.core.costmodels.base import INFINITE_COST, CostModel, EdgeCost
+from repro.core.costmodels.composite import CompositeCostModel
+from repro.core.costmodels.datasize import DataSizeCostModel
+from repro.core.costmodels.exectime import (
+    ExecutionTimeCostModel,
+    NetworkParameters,
+    predicted_total_time,
+)
+from repro.core.costmodels.power import PowerCostModel
+from repro.core.costmodels.responsetime import ResponseTimeCostModel
+from repro.core.costmodels.static_sizes import infer_static_sizes
+
+__all__ = [
+    "CostModel",
+    "EdgeCost",
+    "INFINITE_COST",
+    "DataSizeCostModel",
+    "ExecutionTimeCostModel",
+    "NetworkParameters",
+    "predicted_total_time",
+    "CompositeCostModel",
+    "PowerCostModel",
+    "ResponseTimeCostModel",
+    "infer_static_sizes",
+]

@@ -1,0 +1,125 @@
+"""Cost-model abstractions (paper sections 2.2 and 4).
+
+A cost model assigns a cost to each Unit Graph edge; edge costs determine
+partitioning-plan costs.  Two facts shape the interface:
+
+* Some edge costs are **not statically determinable** — they depend on
+  runtime values (e.g. the serialized size of an object behind an
+  interface).  Static analysis still needs to *compare* such costs, so an
+  :class:`EdgeCost` carries a determinable part, a lower bound, and the set
+  of (alias-canonicalized) variables behind the non-determinable part.  Two
+  non-determinable costs whose symbolic sets are identical can be compared
+  by their determinable parts alone (paper section 4.1).
+* Runtime reconfiguration needs a single number per edge, produced from
+  profiled statistics (:meth:`CostModel.runtime_edge_cost`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, TYPE_CHECKING
+
+from repro.errors import CostModelError
+from repro.ir.interpreter import Edge
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.paths import TargetPath
+    from repro.core.context import AnalysisContext
+    from repro.core.runtime.profiling import PSEStats
+
+
+@dataclass(frozen=True)
+class EdgeCost:
+    """The statically computed cost of a UG edge.
+
+    ``deterministic`` is the statically-known partial cost; ``symbolic`` is
+    the set of alias-class representatives whose runtime cost is unknown.
+    When ``symbolic`` is empty the cost is fully determinable and equals
+    ``deterministic``.  ``INFINITE`` poisons edges that would break
+    convexity.
+    """
+
+    deterministic: float
+    symbolic: FrozenSet[str] = frozenset()
+    infinite: bool = False
+
+    @property
+    def determinable(self) -> bool:
+        return not self.symbolic and not self.infinite
+
+    @property
+    def lower_bound(self) -> float:
+        """A value the true runtime cost can never be below."""
+        if self.infinite:
+            return float("inf")
+        # Each symbolic variable contributes at least one wire byte.
+        return self.deterministic + len(self.symbolic)
+
+    def determinably_less(self, other: "EdgeCost") -> bool:
+        """True when self's cost is provably strictly below other's.
+
+        This implements the paper's comparison rules:
+
+        * two determinable costs compare numerically;
+        * a determinable cost beats a non-determinable one when it is below
+          the latter's lower bound;
+        * two non-determinable costs with *identical* symbolic sets compare
+          by their deterministic parts;
+        * anything else is incomparable (returns False).
+        """
+        if self.infinite:
+            return False
+        if other.infinite:
+            return True
+        if self.determinable and other.determinable:
+            return self.deterministic < other.deterministic
+        if self.determinable:
+            return self.deterministic < other.lower_bound
+        if self.symbolic == other.symbolic:
+            return self.deterministic < other.deterministic
+        return False
+
+    def identical_to(self, other: "EdgeCost") -> bool:
+        """True when both costs are equal for every possible execution."""
+        return (
+            self.infinite == other.infinite
+            and self.symbolic == other.symbolic
+            and self.deterministic == other.deterministic
+        )
+
+
+INFINITE_COST = EdgeCost(deterministic=float("inf"), infinite=True)
+
+
+class CostModel:
+    """Interface between static analysis and the runtime units."""
+
+    #: short name used in plan metadata and experiment logs
+    name: str = "abstract"
+
+    def static_edge_cost(
+        self,
+        ctx: "AnalysisContext",
+        edge: Edge,
+        path: Optional["TargetPath"] = None,
+    ) -> EdgeCost:
+        """Cost of *edge* as visible to static analysis.
+
+        *path* is the TargetPath under consideration; models whose static
+        costs are path-relative (the execution-time model) require it.
+        """
+        raise NotImplementedError
+
+    def needs_profiling(self, cost: EdgeCost) -> bool:
+        """Whether runtime profiling is required to know this edge's cost."""
+        return not cost.determinable
+
+    def runtime_edge_cost(self, stats: "PSEStats") -> float:
+        """Scalar cost of splitting at a PSE given its profiled statistics.
+
+        Used by the Reconfiguration Unit as the min-cut edge weight.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name

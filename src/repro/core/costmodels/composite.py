@@ -1,0 +1,59 @@
+"""Composite cost models (paper section 7, future work).
+
+"We would also like to ... experiment with composite cost models."  A
+composite model combines member models by non-negative weights.  The
+deterministic parts add (weighted); the symbolic parts union, so the
+comparison rules of :class:`EdgeCost` stay sound (a composite cost is
+determinable only when every member's is).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core.context import AnalysisContext
+from repro.core.costmodels.base import CostModel, EdgeCost
+from repro.errors import CostModelError
+from repro.ir.interpreter import Edge
+
+
+class CompositeCostModel(CostModel):
+    """Weighted combination of cost models."""
+
+    name = "composite"
+
+    def __init__(self, members: Sequence[Tuple[CostModel, float]]) -> None:
+        if not members:
+            raise CostModelError("composite model needs at least one member")
+        for _, weight in members:
+            if weight < 0:
+                raise CostModelError("composite weights must be non-negative")
+        self.members = tuple(members)
+        self.name = "composite(" + "+".join(
+            f"{w:g}*{m.name}" for m, w in self.members
+        ) + ")"
+
+    def static_edge_cost(
+        self, ctx: AnalysisContext, edge: Edge, path=None
+    ) -> EdgeCost:
+        deterministic = 0.0
+        symbolic = set()
+        infinite = False
+        for model, weight in self.members:
+            cost = model.static_edge_cost(ctx, edge, path)
+            if cost.infinite:
+                infinite = True
+                continue
+            deterministic += weight * cost.deterministic
+            symbolic |= set(cost.symbolic)
+        if infinite:
+            return EdgeCost(deterministic=float("inf"), infinite=True)
+        return EdgeCost(
+            deterministic=deterministic, symbolic=frozenset(symbolic)
+        )
+
+    def runtime_edge_cost(self, stats) -> float:
+        return sum(
+            weight * model.runtime_edge_cost(stats)
+            for model, weight in self.members
+        )

@@ -1,0 +1,70 @@
+"""Cost model minimizing network communication (paper section 4.1).
+
+"This cost model defines costs as proportional to the amount of data sent
+from the modulator to the demodulator."  The cost of a PSE is the serialized
+size of its INTER set — unique reachable objects plus back-references for
+duplicates, which is exactly what :func:`repro.serialization.measure_size`
+computes over the captured variables.
+
+Statically, each INTER variable contributes either an exact size (from
+:func:`infer_static_sizes`) to the deterministic part or its alias-class
+representative to the symbolic part, enabling the paper's comparison rules
+(lower bounds; identical symbolic sets compare by deterministic parts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.context import AnalysisContext
+from repro.core.costmodels.base import CostModel, EdgeCost
+from repro.core.costmodels.static_sizes import infer_static_sizes
+from repro.ir.interpreter import Edge
+
+
+class DataSizeCostModel(CostModel):
+    """Edge cost = bytes shipped in the continuation message."""
+
+    name = "data-size"
+
+    def __init__(self) -> None:
+        self._size_cache: Dict[int, Dict[str, int]] = {}
+
+    def _sizes_for(self, ctx: AnalysisContext) -> Dict[str, int]:
+        key = id(ctx.function)
+        if key not in self._size_cache:
+            self._size_cache[key] = infer_static_sizes(ctx.function)
+        return self._size_cache[key]
+
+    def static_edge_cost(
+        self, ctx: AnalysisContext, edge: Edge, path=None
+    ) -> EdgeCost:
+        sizes = self._sizes_for(ctx)
+        inter = ctx.inter(edge)
+        deterministic = 0.0
+        symbolic = set()
+        for var in inter:
+            size = sizes.get(var.name)
+            if size is not None:
+                deterministic += size
+            else:
+                symbolic.add(ctx.aliases.canonical(var))
+        return EdgeCost(
+            deterministic=deterministic, symbolic=frozenset(symbolic)
+        )
+
+    def runtime_edge_cost(self, snap) -> float:
+        """Expected bytes per message through this PSE.
+
+        ``data_size`` is profiled by the size-calculation tool on the live
+        environment whenever either side traverses the edge; weighting by
+        the PSE's path probability makes rarely-executed expensive edges
+        cheap in expectation, which is what the min-cut should optimize.
+        """
+        if snap.path_probability == 0.0 and snap.splits == 0:
+            # The edge's path never executes: splitting there is free.
+            return 0.0
+        if snap.data_size is None:
+            # Traversed but never measured: fall back to the static bound.
+            return snap.static_lower_bound
+        return snap.data_size * max(snap.path_probability, 0.0)

@@ -1,0 +1,71 @@
+"""Power-consumption cost model (paper section 7, future work).
+
+"We would also like to work on extending cost models to include
+considerations of power consumption."  The model charges the
+battery-constrained side (by default the receiver — a handheld) for
+
+* CPU energy: joules per abstract cycle executed on that side, and
+* radio energy: joules per byte received (or sent).
+
+Statically this behaves like the data-size model scaled by the radio
+coefficient, because the receive-side CPU share of an edge is not
+statically known: the symbolic part therefore always includes a CPU
+placeholder unless the edge ships nothing and leaves nothing to compute.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import AnalysisContext
+from repro.core.costmodels.base import CostModel, EdgeCost
+from repro.core.costmodels.datasize import DataSizeCostModel
+from repro.ir.interpreter import Edge
+
+
+class PowerCostModel(CostModel):
+    """Edge cost = estimated joules drawn from the constrained side."""
+
+    name = "power"
+
+    def __init__(
+        self,
+        *,
+        joules_per_byte: float = 1e-6,
+        joules_per_cycle: float = 1e-9,
+        constrained_side: str = "receiver",
+    ) -> None:
+        if constrained_side not in ("receiver", "sender"):
+            raise ValueError("constrained_side must be 'receiver' or 'sender'")
+        self.joules_per_byte = joules_per_byte
+        self.joules_per_cycle = joules_per_cycle
+        self.constrained_side = constrained_side
+        self._datasize = DataSizeCostModel()
+
+    def static_edge_cost(
+        self, ctx: AnalysisContext, edge: Edge, path=None
+    ) -> EdgeCost:
+        base = self._datasize.static_edge_cost(ctx, edge, path)
+        if base.infinite:
+            return base
+        symbolic = set(base.symbolic)
+        # CPU share on the constrained side is runtime-dependent.
+        symbolic.add(f"$cpu[{self.constrained_side}]")
+        return EdgeCost(
+            deterministic=base.deterministic * self.joules_per_byte,
+            symbolic=frozenset(symbolic),
+        )
+
+    def needs_profiling(self, cost: EdgeCost) -> bool:
+        # CPU draw is never statically known.
+        return True
+
+    def runtime_edge_cost(self, snap) -> float:
+        radio = 0.0
+        if snap.data_size is not None:
+            radio = snap.data_size * self.joules_per_byte
+        work = (
+            snap.work_after
+            if self.constrained_side == "receiver"
+            else snap.work_before
+        )
+        cpu = work * self.joules_per_cycle if work is not None else 0.0
+        return (radio + cpu) * max(snap.path_probability, 0.0)

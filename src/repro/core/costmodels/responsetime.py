@@ -1,0 +1,90 @@
+"""Response-time cost model: per-message latency including the network.
+
+The paper's execution-time model (section 4.2) assumes "the network
+resources available to a message sender and receiver pair are guaranteed
+and do not change over time" and overlaps communication with computation.
+This model drops both assumptions to cover the *other* dynamic the paper
+motivates — "dynamic changes in network capacity" (section 1): the cost
+of splitting at an edge is the non-overlapped per-message response time
+
+    ``cost(e) = T_mod(e) + β_now · size(e) + T_demod(e)``
+
+where ``β_now`` is the *currently estimated* seconds-per-byte of the
+link, fed in at runtime from observed transfers.  When bandwidth
+collapses, edges shipping less data win even at higher CPU cost; when
+bandwidth recovers, the optimum flips back — adaptation that neither the
+data-size model (bandwidth-blind) nor the execution-time model
+(network-blind) can express.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.context import AnalysisContext
+from repro.core.costmodels.base import CostModel, EdgeCost
+from repro.ir.interpreter import Edge
+
+
+class ResponseTimeCostModel(CostModel):
+    """Edge cost = estimated sender CPU + wire + receiver CPU time."""
+
+    name = "response-time"
+
+    def __init__(
+        self,
+        *,
+        initial_beta: float = 1e-6,
+        link_alpha: float = 0.0,
+        estimate_alpha: float = 0.7,
+    ) -> None:
+        """``link_alpha`` is the link's known per-message setup time
+        (deployment knowledge, like the execution-time model's α): it is
+        subtracted from observed transfer times so small messages do not
+        inflate the per-byte estimate."""
+        if initial_beta <= 0:
+            raise ValueError("initial_beta must be positive")
+        if link_alpha < 0:
+            raise ValueError("link_alpha must be non-negative")
+        if not (0.0 < estimate_alpha <= 1.0):
+            raise ValueError("estimate_alpha must be in (0, 1]")
+        #: current seconds-per-byte estimate; update via observe_transfer
+        self.beta_estimate = initial_beta
+        self.link_alpha = link_alpha
+        self._beta_alpha = estimate_alpha
+
+    def observe_transfer(self, size: float, seconds: float) -> None:
+        """Fold one observed transfer into the bandwidth estimate."""
+        if size <= 0 or seconds < 0:
+            return
+        sample = max(seconds - self.link_alpha, 0.0) / size
+        self.beta_estimate += self._beta_alpha * (
+            sample - self.beta_estimate
+        )
+
+    def static_edge_cost(
+        self, ctx: AnalysisContext, edge: Edge, path=None
+    ) -> EdgeCost:
+        # Entirely runtime-dependent: times and β are profiled.  Every
+        # edge stays a candidate (unique symbolic identity), like the
+        # execution-time model.
+        return EdgeCost(
+            deterministic=0.0,
+            symbolic=frozenset((f"$rt@{edge[0]}-{edge[1]}",)),
+        )
+
+    def needs_profiling(self, cost: EdgeCost) -> bool:
+        return True
+
+    def runtime_edge_cost(self, snap) -> float:
+        if snap.path_probability == 0.0 and snap.splits == 0:
+            # The edge's path never executes: splitting there is free.
+            return 0.0
+        if snap.data_size is None or snap.t_mod is None or (
+            snap.t_demod is None
+        ):
+            return snap.static_lower_bound
+        total = (
+            snap.t_mod + self.beta_estimate * snap.data_size + snap.t_demod
+        )
+        return total * max(snap.path_probability, 0.0)

@@ -1,0 +1,118 @@
+"""Static inference of variable wire sizes.
+
+The data-size cost model needs, for each variable in an INTER set, either
+its exact serialized size (when every execution gives it the same size) or
+the admission that the size is runtime-dependent.  "Programs can use
+interfaces, superclasses and arrays whose sizes are only known at runtime"
+(paper section 4.1) — the Python analogues are parameters, call results,
+attribute loads and container builds with dynamic contents.
+
+The inference is deliberately conservative: a variable has a known size
+only when *all* of its definitions produce values of one statically fixed
+wire size.  Booleans (from comparisons/isinstance) are 1 byte; ints and
+floats are tag+8; constants measure exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ir.function import IRFunction
+from repro.ir.instructions import Assign, Identity
+from repro.ir.values import (
+    BinOp,
+    Compare,
+    Const,
+    Expr,
+    IsInstance,
+    OperandExpr,
+    UnaryOp,
+    Var,
+)
+from repro.serialization import format as wf
+from repro.serialization.sizing import measure_size
+
+_BOOL_SIZE = wf.TAG_SIZE
+_NUM_OPS_INT = {"+", "-", "*", "//", "%", "**", "<<", ">>", "&", "|", "^"}
+
+
+def infer_static_sizes(fn: IRFunction) -> Dict[str, int]:
+    """Map variable names to their exact wire size where determinable.
+
+    Iterates to a fixpoint so sizes propagate through copy chains and
+    integer arithmetic.  Variables absent from the result have
+    runtime-dependent sizes.
+    """
+    # Collect definitions per variable.
+    defs: Dict[str, list] = {}
+    for instr in fn.instrs:
+        if isinstance(instr, Assign):
+            defs.setdefault(instr.target.name, []).append(instr.expr)
+        elif isinstance(instr, Identity):
+            # Parameters: unknown size.
+            defs.setdefault(instr.target.name, []).append(None)
+
+    sizes: Dict[str, int] = {}
+    changed = True
+    while changed:
+        changed = False
+        for name, exprs in defs.items():
+            if name in sizes:
+                continue
+            candidate: Optional[int] = None
+            ok = True
+            for expr in exprs:
+                s = _expr_size(expr, sizes)
+                if s is None:
+                    ok = False
+                    break
+                if candidate is None:
+                    candidate = s
+                elif candidate != s:
+                    ok = False
+                    break
+            if ok and candidate is not None:
+                sizes[name] = candidate
+                changed = True
+    return sizes
+
+
+def _expr_size(expr: Optional[Expr], sizes: Dict[str, int]) -> Optional[int]:
+    if expr is None:  # parameter
+        return None
+    if isinstance(expr, OperandExpr):
+        return _operand_size(expr.operand, sizes)
+    if isinstance(expr, (Compare, IsInstance)):
+        return _BOOL_SIZE
+    if isinstance(expr, BinOp):
+        left = _operand_size(expr.left, sizes)
+        right = _operand_size(expr.right, sizes)
+        if left is None or right is None:
+            return None
+        # Integer-sized operands under closed numeric ops keep int size;
+        # anything else (e.g. string concatenation) is value-dependent.
+        int_size = wf.TAG_SIZE + wf.INT_SIZE
+        if left == int_size and right == int_size and expr.op in _NUM_OPS_INT:
+            return int_size
+        if expr.op == "/" and left == int_size and right == int_size:
+            return wf.TAG_SIZE + wf.FLOAT_SIZE
+        return None
+    if isinstance(expr, UnaryOp):
+        inner = _operand_size(expr.operand, sizes)
+        if expr.op == "not":
+            return _BOOL_SIZE
+        if expr.op in ("-", "+", "~"):
+            return inner
+        return None
+    return None
+
+
+def _operand_size(operand, sizes: Dict[str, int]) -> Optional[int]:
+    if isinstance(operand, Const):
+        value = operand.value
+        if isinstance(value, (int, float, str, bytes, bool)) or value is None:
+            return measure_size(value)
+        return None
+    if isinstance(operand, Var):
+        return sizes.get(operand.name)
+    return None

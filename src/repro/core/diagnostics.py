@@ -1,0 +1,127 @@
+"""Diagnostics over a ConvexCut result: PSE ordering and plan rendering.
+
+These are operator-facing views used by the CLI tools and the examples:
+
+* :func:`pse_ordering` — which PSEs are strictly ordered on every
+  execution (via post-dominance), so multi-flag plans can be reasoned
+  about ("if both flags are set, the earlier edge always wins");
+* :func:`render_partition` — the paper's Figure 1/6 view: the handler
+  listing with StartNode/StopNodes and candidate/active split edges
+  marked.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.analysis.postdominators import compute_postdominators
+from repro.core.convexcut import ConvexCutResult
+from repro.core.plan import PartitioningPlan
+from repro.ir.interpreter import Edge
+from repro.ir.printer import format_unit_graph
+
+
+def pse_ordering(cut: ConvexCutResult) -> Tuple[Tuple[Edge, Edge], ...]:
+    """Pairs (earlier, later) of PSEs strictly ordered on every execution.
+
+    ``(a, b)`` means: every execution that crosses ``a`` would, absent a
+    split, also cross ``b`` (b's in-node post-dominates a's in-node), and
+    ``a`` comes first.  With both flags set, ``a`` always fires.
+    """
+    pdom = compute_postdominators(cut.ctx.graph)
+    edges = sorted(cut.pses)
+    pairs: List[Tuple[Edge, Edge]] = []
+    for a in edges:
+        for b in edges:
+            if a == b:
+                continue
+            # b's entry post-dominates a's entry, and a can reach b
+            if pdom.post_dominates(b[1], a[1]) and cut.ctx.graph.reaches(
+                a[1], b[0]
+            ):
+                pairs.append((a, b))
+    return tuple(pairs)
+
+
+def render_partition(
+    cut: ConvexCutResult, plan: Optional[PartitioningPlan] = None
+) -> str:
+    """ASCII view of the handler with split candidates and the active plan."""
+    active = frozenset(plan.active) if plan is not None else frozenset()
+    return format_unit_graph(
+        cut.ctx.function,
+        stop_nodes=cut.ctx.stops.nodes,
+        pse_edges=cut.pse_edges,
+        active_edges=active | (cut.terminal_edges() & active),
+        start_node=cut.ctx.graph.start_node,
+    )
+
+
+def convexity_gap(
+    cut: ConvexCutResult, snapshot: Optional[dict] = None
+) -> Tuple[float, float]:
+    """Quantify the cost of the convexity restriction (paper section 7).
+
+    "Partitioning currently allows only convex cuts of the UG, thus
+    potentially excluding better partitioning plans."  Returns
+    ``(convex_value, relaxed_value)``: the min-cut value under the real
+    rules vs the same selection with *only the poisoning step disabled* —
+    loop-body PSE candidates become cuttable, everything else is
+    unchanged.  A relaxed plan could not actually execute (data would flow
+    demodulator → modulator), so the gap is a hypothetical upper bound on
+    what the paper's future-work non-convex plans could save.
+
+    Edge weights are profiled where *snapshot* has data, static lower
+    bounds otherwise — the same weighting the Reconfiguration Unit uses.
+    """
+    from repro.core.convexcut import convex_cut as _convex_cut
+    from repro.core.runtime.maxflow import INF, FlowNetwork
+
+    relaxed = _convex_cut(
+        cut.ctx, cut.cost_model, enforce_convexity=False
+    )
+
+    def solve(which: ConvexCutResult) -> float:
+        ctx = which.ctx
+        net = FlowNetwork()
+        for edge in ctx.graph.edges():
+            if edge in which.pses and edge not in which.poisoned:
+                if snapshot is not None and edge in snapshot:
+                    weight = max(
+                        which.cost_model.runtime_edge_cost(snapshot[edge]),
+                        1e-9,
+                    )
+                else:
+                    weight = max(
+                        which.pses[edge].static_cost.lower_bound, 1e-9
+                    )
+                net.add_edge(edge[0], edge[1], weight)
+            else:
+                net.add_edge(edge[0], edge[1], INF)
+        sink = "$sink"
+        for node in ctx.stops.nodes:
+            net.add_edge(node, sink, INF)
+        if not net.has_node(ctx.graph.start_node) or not net.has_node(sink):
+            return 0.0
+        value, _cut_edges, _side = net.min_cut(ctx.graph.start_node, sink)
+        return value
+
+    return solve(cut), solve(relaxed)
+
+
+def describe_plan(cut: ConvexCutResult, plan: PartitioningPlan) -> str:
+    """One line per activated PSE: id, edge, hand-over set."""
+    lines = [f"plan {plan.name or '(unnamed)'}:"]
+    if not plan.active:
+        lines.append(
+            "  (no optional flags set: splits happen at the forced "
+            "terminal edges)"
+        )
+    for edge in sorted(plan.active):
+        pse = cut.pses.get(edge)
+        if pse is None:
+            lines.append(f"  Edge{edge}: NOT A PSE (invalid)")
+            continue
+        inter = ", ".join(sorted(v.name for v in pse.inter)) or "∅"
+        lines.append(f"  {pse.pse_id}: Edge{edge} ships {{{inter}}}")
+    return "\n".join(lines)

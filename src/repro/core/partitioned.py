@@ -1,0 +1,350 @@
+"""The modulator/demodulator pair generated from a partitioned handler.
+
+Static analysis "generates the modulator/demodulator pair from the handling
+method" (paper section 2.1).  In this reproduction both halves execute the
+*same* IR program under the interpreter; the difference is where execution
+starts and stops:
+
+* the :class:`Modulator` (inside the message **sender**) runs the handler
+  from the top under the plan's split hook, so it stops at the first active
+  or forced PSE and emits a :class:`ContinuationMessage`;
+* the :class:`Demodulator` (inside the **receiver**) resumes the handler at
+  the continuation's PSE with the handed-over variables restored.
+
+Profiling code "inserted along each PSE" is realized by the hooks around
+the split/resume boundary, gated by the Profiling Unit's per-PSE flags.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.core.continuation import ContinuationCodec, ContinuationMessage
+from repro.core.convexcut import ConvexCutResult, PSE
+from repro.core.plan import PartitioningPlan, PlanRuntime, static_optimal_plan
+from repro.core.runtime.profiling import ProfilingUnit
+from repro.core.runtime.reconfig import ReconfigurationUnit
+from repro.core.runtime.triggers import FeedbackTrigger
+from repro.errors import PartitionError
+from repro.ir.function import IRFunction
+from repro.ir.interpreter import CycleMeter, Edge, Interpreter, Outcome
+from repro.ir.registry import FunctionRegistry
+from repro.serialization import SerializerRegistry, measure_size
+
+
+@dataclass
+class ModulatorResult:
+    """Outcome of pushing one message through a modulator."""
+
+    #: True when the handler ran to completion inside the sender (possible
+    #: only for handlers without StopNodes on the executed path).
+    completed: bool
+    value: object = None
+    #: the continuation to ship; None when completed or elided
+    message: Optional[ContinuationMessage] = None
+    #: PSE edge where the split happened (None when completed)
+    edge: Optional[Edge] = None
+    #: abstract cycles consumed on the sender
+    cycles: float = 0.0
+    #: True when the continuation was a no-op and was dropped (filtering)
+    elided: bool = False
+
+
+@dataclass
+class DemodulatorResult:
+    """Outcome of resuming one continuation in a demodulator."""
+
+    value: object
+    edge: Edge
+    cycles: float = 0.0
+
+
+class Modulator:
+    """The sender-side half of a partitioned handler.
+
+    When a profiling unit is attached, the modulator observes every PSE
+    edge it traverses — not only the one it splits at — recording the
+    work done up to that edge and (flag-gated, sampled) the serialized
+    size of the edge's INTER set from the live environment.  That is the
+    modulator half of the paper's "profiling information from both the
+    modulator and demodulator sides".
+
+    ``record_rates=False`` lets an external harness (e.g. the simulation
+    pipeline) supply its own seconds-per-cycle rate measurements instead of
+    the modulator's wall-clock/cycle ones.
+    """
+
+    def __init__(
+        self,
+        partitioned: "PartitionedMethod",
+        *,
+        plan: Optional[PartitioningPlan] = None,
+        profiling: Optional[ProfilingUnit] = None,
+        wall_clock: bool = False,
+        record_rates: bool = True,
+    ) -> None:
+        self.partitioned = partitioned
+        self.plan_runtime = PlanRuntime(partitioned.cut)
+        self.plan_runtime.apply_plan(plan or static_optimal_plan(partitioned.cut))
+        self.profiling = profiling
+        self.wall_clock = wall_clock
+        self.record_rates = record_rates
+        self._interp = partitioned.interpreter
+        self._codec = partitioned.codec
+
+    def apply_plan(self, plan: PartitioningPlan) -> None:
+        """Adaptation actuation: flip the flag values (paper section 2.6)."""
+        self.plan_runtime.apply_plan(plan)
+
+    @property
+    def switch_count(self) -> int:
+        return self.plan_runtime.switch_count
+
+    def _measure_inter(self, edge: Edge, env: Dict[str, object]) -> float:
+        """Size-calculation tool: wire size of INTER(e) from the live env."""
+        pse = self.partitioned.cut.pses[edge]
+        payload = {
+            v.name: env[v.name] for v in pse.inter if v.name in env
+        }
+        return float(
+            measure_size(
+                payload,
+                self.partitioned.serializer_registry,
+                use_self_sizing=True,
+            )
+        )
+
+    def process(self, *args: object) -> ModulatorResult:
+        """Run the handler on *args* until it splits (or completes)."""
+        profiling = self.profiling
+        if profiling is not None:
+            profiling.record_message()
+        meter = CycleMeter()
+        observations: list = []
+        observer = None
+        if profiling is not None:
+            pses = self.partitioned.cut.pses
+
+            def observer(edge: Edge, env: Dict[str, object]) -> None:
+                if edge in pses:
+                    size: Optional[float] = None
+                    if profiling.should_measure(edge):
+                        size = self._measure_inter(edge, env)
+                    observations.append((edge, meter.cycles, size))
+
+        started = time.perf_counter() if self.wall_clock else 0.0
+        outcome = self._interp.run(
+            self.partitioned.function,
+            args,
+            split_hook=self.plan_runtime,
+            edge_observer=observer,
+            meter=meter,
+        )
+        elapsed = (
+            time.perf_counter() - started if self.wall_clock else meter.cycles
+        )
+
+        split_edge: Optional[Edge] = (
+            outcome.continuation.edge if outcome.split else None
+        )
+        if profiling is not None:
+            for edge, work_before, size in observations:
+                profiling.record_edge_observation(
+                    edge,
+                    data_size=size,
+                    work_before=work_before,
+                    is_split=(edge == split_edge),
+                )
+            if self.record_rates:
+                profiling.record_sender_rate(elapsed, meter.cycles)
+
+        if outcome.returned:
+            if profiling is not None:
+                profiling.record_local_completion()
+            return ModulatorResult(
+                completed=True, value=outcome.value, cycles=meter.cycles
+            )
+
+        continuation = outcome.continuation
+        pse = self.partitioned.cut.pses.get(split_edge)
+        pse_id = pse.pse_id if pse is not None else f"forced{split_edge}"
+        message = ContinuationMessage.from_continuation(continuation, pse_id)
+        elided = (
+            pse is not None and pse.noop_resume and not message.variables
+        )
+        if profiling is not None:
+            if elided:
+                profiling.record_local_completion()
+            else:
+                # Pair this message's modulator cycles with the
+                # demodulator's (FIFO) so total per-message work is known.
+                profiling.record_mod_total(meter.cycles)
+        return ModulatorResult(
+            completed=False,
+            message=None if elided else message,
+            edge=split_edge,
+            cycles=meter.cycles,
+            elided=elided,
+        )
+
+
+class Demodulator:
+    """The receiver-side half of a partitioned handler.
+
+    Observes every PSE edge downstream of the resume point, recording the
+    residual work after each edge and (flag-gated) INTER-set sizes — the
+    demodulator half of two-sided profiling.
+    """
+
+    def __init__(
+        self,
+        partitioned: "PartitionedMethod",
+        *,
+        profiling: Optional[ProfilingUnit] = None,
+        wall_clock: bool = False,
+        record_rates: bool = True,
+    ) -> None:
+        self.partitioned = partitioned
+        self.profiling = profiling
+        self.wall_clock = wall_clock
+        self.record_rates = record_rates
+        self._interp = partitioned.interpreter
+
+    def process(self, message: ContinuationMessage) -> DemodulatorResult:
+        """Restore the live variables, jump to the PSE, continue processing."""
+        profiling = self.profiling
+        meter = CycleMeter()
+        observations: list = []
+        observer = None
+        if profiling is not None:
+            pses = self.partitioned.cut.pses
+
+            def observer(edge: Edge, env: Dict[str, object]) -> None:
+                if edge in pses:
+                    size: Optional[float] = None
+                    if profiling.should_measure(edge):
+                        payload = {
+                            v.name: env[v.name]
+                            for v in pses[edge].inter
+                            if v.name in env
+                        }
+                        size = float(
+                            measure_size(
+                                payload,
+                                self.partitioned.serializer_registry,
+                                use_self_sizing=True,
+                            )
+                        )
+                    observations.append((edge, meter.cycles, size))
+
+        started = time.perf_counter() if self.wall_clock else 0.0
+        outcome = self._interp.resume(
+            self.partitioned.function,
+            message.to_continuation(),
+            edge_observer=observer,
+            meter=meter,
+        )
+        elapsed = (
+            time.perf_counter() - started if self.wall_clock else meter.cycles
+        )
+        if not outcome.returned:
+            raise PartitionError(
+                f"{self.partitioned.function.name}: demodulator split again "
+                f"at {outcome.continuation.edge}; nested partitioning is not "
+                f"supported (paper section 7)"
+            )
+        if profiling is not None:
+            total = meter.cycles
+            for edge, work_at_edge, size in observations:
+                profiling.record_edge_observation(
+                    edge, data_size=size, work_after=total - work_at_edge
+                )
+            # The resume edge itself: everything this side did is its
+            # residual.  Do not re-count the traversal — the modulator
+            # already counted it when it split here.
+            profiling.record_edge_observation(
+                message.edge, work_after=total, count_traversal=False
+            )
+            profiling.record_demod_total(total)
+            if self.record_rates:
+                profiling.record_receiver_rate(elapsed, total)
+        return DemodulatorResult(
+            value=outcome.value, edge=message.edge, cycles=meter.cycles
+        )
+
+
+@dataclass
+class PartitionedMethod:
+    """A handler after static analysis: PSEs plus runtime factories."""
+
+    function: IRFunction
+    cut: ConvexCutResult
+    registry: FunctionRegistry
+    serializer_registry: SerializerRegistry
+    interpreter: Interpreter
+    codec: ContinuationCodec
+
+    @property
+    def pses(self) -> Dict[Edge, PSE]:
+        return self.cut.pses
+
+    def make_profiling_unit(
+        self, *, ewma_alpha: float = 0.3, sample_period: int = 1
+    ) -> ProfilingUnit:
+        return ProfilingUnit(
+            self.cut, ewma_alpha=ewma_alpha, sample_period=sample_period
+        )
+
+    def make_modulator(
+        self,
+        *,
+        plan: Optional[PartitioningPlan] = None,
+        profiling: Optional[ProfilingUnit] = None,
+        wall_clock: bool = False,
+        record_rates: bool = True,
+    ) -> Modulator:
+        return Modulator(
+            self,
+            plan=plan,
+            profiling=profiling,
+            wall_clock=wall_clock,
+            record_rates=record_rates,
+        )
+
+    def make_demodulator(
+        self,
+        *,
+        profiling: Optional[ProfilingUnit] = None,
+        wall_clock: bool = False,
+        record_rates: bool = True,
+    ) -> Demodulator:
+        return Demodulator(
+            self,
+            profiling=profiling,
+            wall_clock=wall_clock,
+            record_rates=record_rates,
+        )
+
+    def make_reconfiguration_unit(
+        self,
+        *,
+        trigger: Optional[FeedbackTrigger] = None,
+        location: str = "receiver",
+    ) -> ReconfigurationUnit:
+        return ReconfigurationUnit(
+            self.cut, trigger=trigger, location=location
+        )
+
+    def run_reference(self, *args: object) -> Outcome:
+        """Execute the whole handler locally, without any partitioning.
+
+        Used by the test suite to check the semantic-equivalence invariant:
+        modulator + demodulator must compute exactly what the original
+        handler computes.
+        """
+        return self.interpreter.run(self.function, args)
+
+    def describe(self) -> str:
+        return self.cut.describe()

@@ -1,0 +1,203 @@
+"""Modulator placement along a multi-hop data stream (paper section 7).
+
+"In addition, we are developing methods for propagating modulators upward
+along a data stream, whenever this is useful for further optimization."
+
+A data stream traverses a chain of hops (sensor → gateway → broker → …
+→ client).  The receiver's modulator can live at *any* hop: hops before
+it relay the raw event, the placement hop runs the modulator, hops after
+it carry only the continuation.  This module provides
+
+* :class:`StreamPath` — the chain description (per-hop CPU speed, per-link
+  α/β);
+* :func:`predicted_bottleneck` — steady-state per-message time of a given
+  placement (the pipeline's slowest stage);
+* :func:`best_placement` — argmin over hops;
+* :class:`PlacementController` — the runtime policy: migrate the modulator
+  upstream/downstream when another hop's predicted bottleneck beats the
+  current one by a hysteresis margin *and* the improvement amortizes the
+  one-time migration cost within a configured horizon.
+
+Unlike flag flips, moving the modulator IS code migration — the paper's
+installation costs (section 5.3) apply — so the controller treats it as
+the expensive, rare adaptation it is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import PartitionError
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One host along the stream, plus the link toward the next hop.
+
+    The final hop's link parameters are unused (it is the receiver).
+    """
+
+    name: str
+    cpu_speed: float  # cycles per second
+    link_alpha: float = 0.0  # toward the next hop
+    link_beta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_speed <= 0:
+            raise PartitionError(
+                f"hop {self.name!r}: cpu_speed must be positive"
+            )
+
+
+@dataclass(frozen=True)
+class StreamMeasurements:
+    """Profiled per-message quantities the placement decision needs."""
+
+    #: modulator cycles per message
+    mod_cycles: float
+    #: demodulator cycles per message
+    demod_cycles: float
+    #: wire bytes of the raw event
+    raw_size: float
+    #: wire bytes of the continuation message
+    continuation_size: float
+    #: cycles a relay hop spends forwarding one message
+    relay_cycles: float = 10.0
+
+
+class StreamPath:
+    """A chain of hops; index 0 is the sender, the last is the receiver."""
+
+    def __init__(self, hops: Sequence[Hop]) -> None:
+        if len(hops) < 2:
+            raise PartitionError("a stream path needs at least two hops")
+        self.hops: Tuple[Hop, ...] = tuple(hops)
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+    def __getitem__(self, i: int) -> Hop:
+        return self.hops[i]
+
+    def placements(self) -> range:
+        """Hops that can host the modulator: anywhere but the receiver."""
+        return range(len(self.hops) - 1)
+
+
+def stage_times(
+    path: StreamPath, placement: int, m: StreamMeasurements
+) -> List[Tuple[str, float]]:
+    """Per-stage service times of the pipeline for one placement.
+
+    Stages: each hop's CPU work and each link's transmission time.  Hops
+    strictly before the placement relay the raw event; the placement hop
+    runs the modulator; hops after it (except the receiver) relay the
+    continuation; the receiver runs the demodulator.  Links before the
+    placement carry the raw event, links at/after it the continuation.
+    """
+    if placement not in path.placements():
+        raise PartitionError(
+            f"placement {placement} invalid for a {len(path)}-hop path"
+        )
+    stages: List[Tuple[str, float]] = []
+    last = len(path) - 1
+    for i, hop in enumerate(path.hops):
+        if i == last:
+            cycles = m.demod_cycles
+        elif i == placement:
+            cycles = m.mod_cycles + (m.relay_cycles if i > 0 else 0.0)
+        elif i == 0:
+            cycles = m.relay_cycles  # generation/forwarding
+        else:
+            cycles = m.relay_cycles
+        stages.append((f"cpu:{hop.name}", cycles / hop.cpu_speed))
+        if i < last:
+            size = m.raw_size if i < placement else m.continuation_size
+            stages.append(
+                (
+                    f"link:{hop.name}->{path[i + 1].name}",
+                    hop.link_beta * size,
+                )
+            )
+    return stages
+
+
+def predicted_bottleneck(
+    path: StreamPath, placement: int, m: StreamMeasurements
+) -> float:
+    """Steady-state per-message time: the slowest pipeline stage."""
+    return max(t for _, t in stage_times(path, placement, m))
+
+
+def best_placement(
+    path: StreamPath, m: StreamMeasurements
+) -> Tuple[int, float]:
+    """The hop minimizing the predicted bottleneck (ties go upstream-most,
+    which also minimizes raw-event traffic)."""
+    best_idx = 0
+    best_time = float("inf")
+    for idx in path.placements():
+        t = predicted_bottleneck(path, idx, m)
+        if t < best_time - 1e-15:
+            best_idx, best_time = idx, t
+    return best_idx, best_time
+
+
+class PlacementController:
+    """Decides when moving the modulator to another hop pays off.
+
+    Migration ships ``installation_bytes`` across every link between the
+    current and the target hop; the controller migrates only when the
+    predicted per-message saving, over ``amortization_messages`` messages,
+    exceeds that cost *and* the relative improvement clears
+    ``hysteresis`` (no flapping on noise).
+    """
+
+    def __init__(
+        self,
+        path: StreamPath,
+        *,
+        installation_bytes: float,
+        initial_placement: int = 0,
+        hysteresis: float = 0.1,
+        amortization_messages: int = 200,
+    ) -> None:
+        if initial_placement not in path.placements():
+            raise PartitionError(
+                f"initial placement {initial_placement} invalid"
+            )
+        if not (0.0 <= hysteresis):
+            raise PartitionError("hysteresis must be non-negative")
+        self.path = path
+        self.installation_bytes = installation_bytes
+        self.placement = initial_placement
+        self.hysteresis = hysteresis
+        self.amortization_messages = amortization_messages
+        self.migrations: List[Tuple[int, int]] = []
+
+    def migration_cost_seconds(self, target: int) -> float:
+        """Time to ship the modulator from the current hop to *target*."""
+        lo, hi = sorted((self.placement, target))
+        total = 0.0
+        for i in range(lo, hi):
+            hop = self.path[i]
+            total += hop.link_alpha + hop.link_beta * self.installation_bytes
+        return total
+
+    def consider(self, m: StreamMeasurements) -> Optional[int]:
+        """Return the new placement when migration is worth it, else None."""
+        current_time = predicted_bottleneck(self.path, self.placement, m)
+        target, target_time = best_placement(self.path, m)
+        if target == self.placement:
+            return None
+        saving = current_time - target_time
+        if saving <= current_time * self.hysteresis:
+            return None
+        if saving * self.amortization_messages < self.migration_cost_seconds(
+            target
+        ):
+            return None
+        self.migrations.append((self.placement, target))
+        self.placement = target
+        return target

@@ -1,0 +1,184 @@
+"""Distributed profiling feedback (paper section 2.5).
+
+"The exchange of such [profiling] information between the modulator and
+demodulator sides of an interacting component is activated by
+application-defined triggers" — feedback is a *message*, not shared
+memory.  This module makes that explicit:
+
+* :class:`RemoteProfilingProxy` — stands in for the Profiling Unit on the
+  side that does NOT host it.  It accepts the exact same recording calls
+  the modulator/demodulator make, applies the same flag/sampling gating,
+  and buffers :class:`ObservationRecord` entries instead of updating
+  state.
+* :meth:`RemoteProfilingProxy.flush` — drains the buffer into a feedback
+  payload with an estimated wire size (what the FeedbackEnvelope carries).
+* :func:`ingest` — replays a payload into the authoritative
+  :class:`~repro.core.runtime.profiling.ProfilingUnit` on the other side.
+
+Invariant (tested): recording through a proxy and ingesting every flush
+yields byte-identical statistics to recording into the unit directly —
+the only difference distribution introduces is *staleness* between
+flushes, which is exactly the paper's sampling-vs-timeliness trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.convexcut import ConvexCutResult
+from repro.core.runtime.profiling import ProfilingUnit
+from repro.ir.interpreter import Edge
+
+#: estimated wire bytes per observation record (kind tag + edge + floats)
+_RECORD_BYTES = 28.0
+#: envelope overhead of one feedback message
+_ENVELOPE_BYTES = 32.0
+
+
+@dataclass(frozen=True)
+class ObservationRecord:
+    """One buffered profiling event, replayable on the other side."""
+
+    kind: str  # message | edge | sender_rate | receiver_rate |
+    #            mod_total | demod_total | local_completion
+    edge: Optional[Edge] = None
+    data_size: Optional[float] = None
+    work_before: Optional[float] = None
+    work_after: Optional[float] = None
+    is_split: bool = False
+    count_traversal: bool = True
+    seconds: float = 0.0
+    cycles: float = 0.0
+
+
+class RemoteProfilingProxy:
+    """Profiling recorder for the side away from the Profiling Unit.
+
+    Mirrors the unit's gating configuration (per-PSE profile flags and the
+    sampling period) so the expensive measurements are skipped in the same
+    pattern; everything recorded is buffered until :meth:`flush`.
+    """
+
+    def __init__(
+        self,
+        cut: ConvexCutResult,
+        *,
+        sample_period: int = 1,
+    ) -> None:
+        if sample_period < 1:
+            raise ValueError("sample_period must be >= 1")
+        self.cut = cut
+        self.sample_period = sample_period
+        # same flag defaults as the authoritative unit
+        self.profile_flags = {
+            edge: cut.cost_model.needs_profiling(pse.static_cost)
+            for edge, pse in cut.pses.items()
+        }
+        self.messages_seen = 0
+        self._buffer: List[ObservationRecord] = []
+        self.flushes = 0
+        self.bytes_flushed = 0.0
+
+    # -- the recording interface the modulator/demodulator call ---------------
+
+    def record_message(self) -> None:
+        self.messages_seen += 1
+        self._buffer.append(ObservationRecord(kind="message"))
+
+    def should_measure(self, edge: Edge) -> bool:
+        if not self.profile_flags.get(edge, False):
+            return False
+        return self.messages_seen % self.sample_period == 0
+
+    def record_edge_observation(
+        self,
+        edge: Edge,
+        *,
+        data_size: Optional[float] = None,
+        work_before: Optional[float] = None,
+        work_after: Optional[float] = None,
+        is_split: bool = False,
+        count_traversal: bool = True,
+    ) -> None:
+        self._buffer.append(
+            ObservationRecord(
+                kind="edge",
+                edge=edge,
+                data_size=data_size,
+                work_before=work_before,
+                work_after=work_after,
+                is_split=is_split,
+                count_traversal=count_traversal,
+            )
+        )
+
+    def record_sender_rate(self, seconds: float, cycles: float) -> None:
+        self._buffer.append(
+            ObservationRecord(
+                kind="sender_rate", seconds=seconds, cycles=cycles
+            )
+        )
+
+    def record_receiver_rate(self, seconds: float, cycles: float) -> None:
+        self._buffer.append(
+            ObservationRecord(
+                kind="receiver_rate", seconds=seconds, cycles=cycles
+            )
+        )
+
+    def record_mod_total(self, cycles: float) -> None:
+        self._buffer.append(
+            ObservationRecord(kind="mod_total", cycles=cycles)
+        )
+
+    def record_demod_total(self, cycles: float) -> None:
+        self._buffer.append(
+            ObservationRecord(kind="demod_total", cycles=cycles)
+        )
+
+    def record_local_completion(self) -> None:
+        self._buffer.append(ObservationRecord(kind="local_completion"))
+
+    # -- shipping --------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        return len(self._buffer)
+
+    def flush(self) -> Tuple[List[ObservationRecord], float]:
+        """Drain the buffer; returns (payload, estimated wire bytes)."""
+        payload = self._buffer
+        self._buffer = []
+        size = _ENVELOPE_BYTES + _RECORD_BYTES * len(payload)
+        self.flushes += 1
+        self.bytes_flushed += size
+        return payload, size
+
+
+def ingest(unit: ProfilingUnit, payload: List[ObservationRecord]) -> None:
+    """Replay a feedback payload into the authoritative unit."""
+    for rec in payload:
+        if rec.kind == "message":
+            unit.record_message()
+        elif rec.kind == "edge":
+            unit.record_edge_observation(
+                rec.edge,
+                data_size=rec.data_size,
+                work_before=rec.work_before,
+                work_after=rec.work_after,
+                is_split=rec.is_split,
+                count_traversal=rec.count_traversal,
+            )
+        elif rec.kind == "sender_rate":
+            unit.record_sender_rate(rec.seconds, rec.cycles)
+        elif rec.kind == "receiver_rate":
+            unit.record_receiver_rate(rec.seconds, rec.cycles)
+        elif rec.kind == "mod_total":
+            unit.record_mod_total(rec.cycles)
+        elif rec.kind == "demod_total":
+            unit.record_demod_total(rec.cycles)
+        elif rec.kind == "local_completion":
+            unit.record_local_completion()
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown observation kind {rec.kind!r}")

@@ -1,0 +1,144 @@
+"""Max-flow / min-cut on the PSE graph (paper sections 2.1 and 2.5).
+
+The Reconfiguration Unit "invokes a max-flow algorithm to re-select a
+(near) optimal partition" — by max-flow/min-cut duality, the cheapest set
+of edges separating the StartNode from every StopNode, where PSEs carry
+their profiled costs as capacities and all other edges are uncuttable
+(infinite capacity).
+
+This is a from-scratch Dinic implementation over float capacities; the
+test suite cross-checks it against ``networkx`` on random graphs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+INF = float("inf")
+
+
+@dataclass
+class _Arc:
+    to: int
+    cap: float
+    rev: int  # index of the reverse arc in adj[to]
+    #: user key of the original edge (None for reverse arcs)
+    key: Optional[Tuple[Hashable, Hashable]] = None
+
+
+class FlowNetwork:
+    """Directed flow network over arbitrary hashable node ids."""
+
+    def __init__(self) -> None:
+        self._ids: Dict[Hashable, int] = {}
+        self._nodes: List[Hashable] = []
+        self._adj: List[List[_Arc]] = []
+
+    def _node(self, key: Hashable) -> int:
+        if key not in self._ids:
+            self._ids[key] = len(self._nodes)
+            self._nodes.append(key)
+            self._adj.append([])
+        return self._ids[key]
+
+    def add_edge(self, u: Hashable, v: Hashable, capacity: float) -> None:
+        """Add a directed edge u→v.  Parallel edges accumulate naturally."""
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        ui, vi = self._node(u), self._node(v)
+        self._adj[ui].append(
+            _Arc(to=vi, cap=capacity, rev=len(self._adj[vi]), key=(u, v))
+        )
+        self._adj[vi].append(_Arc(to=ui, cap=0.0, rev=len(self._adj[ui]) - 1))
+
+    def has_node(self, key: Hashable) -> bool:
+        return key in self._ids
+
+    # -- Dinic ---------------------------------------------------------------
+
+    def max_flow(self, source: Hashable, sink: Hashable) -> float:
+        if source not in self._ids or sink not in self._ids:
+            return 0.0
+        s, t = self._ids[source], self._ids[sink]
+        if s == t:
+            raise ValueError("source and sink must differ")
+        flow = 0.0
+        while True:
+            level = self._bfs_levels(s, t)
+            if level[t] < 0:
+                return flow
+            it = [0] * len(self._nodes)
+            while True:
+                pushed = self._dfs_push(s, t, INF, level, it)
+                if pushed <= 0:
+                    break
+                flow += pushed
+                if flow == INF:
+                    return INF
+
+    def _bfs_levels(self, s: int, t: int) -> List[int]:
+        level = [-1] * len(self._nodes)
+        level[s] = 0
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for arc in self._adj[u]:
+                if arc.cap > 1e-12 and level[arc.to] < 0:
+                    level[arc.to] = level[u] + 1
+                    queue.append(arc.to)
+        return level
+
+    def _dfs_push(
+        self, u: int, t: int, limit: float, level: List[int], it: List[int]
+    ) -> float:
+        if u == t:
+            return limit
+        while it[u] < len(self._adj[u]):
+            arc = self._adj[u][it[u]]
+            if arc.cap > 1e-12 and level[arc.to] == level[u] + 1:
+                pushed = self._dfs_push(
+                    arc.to, t, min(limit, arc.cap), level, it
+                )
+                if pushed > 0:
+                    arc.cap -= pushed
+                    self._adj[arc.to][arc.rev].cap += pushed
+                    return pushed
+            it[u] += 1
+        return 0.0
+
+    # -- min cut ------------------------------------------------------------------
+
+    def min_cut(
+        self, source: Hashable, sink: Hashable
+    ) -> Tuple[float, FrozenSet[Tuple[Hashable, Hashable]], FrozenSet[Hashable]]:
+        """Run max-flow, then return (value, cut edge keys, source side).
+
+        Mutates the network (residual capacities); build a fresh network
+        per query.  Returns the original user edge keys crossing the cut —
+        for the Reconfiguration Unit these are exactly the PSE edges whose
+        flags the new plan sets.
+        """
+        value = self.max_flow(source, sink)
+        s = self._ids.get(source)
+        if s is None:
+            return 0.0, frozenset(), frozenset()
+        # Source side = nodes reachable in the residual graph.
+        reach: Set[int] = set()
+        stack = [s]
+        while stack:
+            u = stack.pop()
+            if u in reach:
+                continue
+            reach.add(u)
+            for arc in self._adj[u]:
+                if arc.cap > 1e-12 and arc.to not in reach:
+                    stack.append(arc.to)
+        cut_keys: Set[Tuple[Hashable, Hashable]] = set()
+        for u in reach:
+            for arc in self._adj[u]:
+                if arc.key is not None and arc.to not in reach:
+                    cut_keys.add(arc.key)
+        source_side = frozenset(self._nodes[i] for i in reach)
+        return value, frozenset(cut_keys), source_side

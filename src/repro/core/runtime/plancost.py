@@ -1,0 +1,162 @@
+"""Path-sensitive plan costing and exhaustive plan selection.
+
+Paper section 2.3: "Profiling code can also be used to collect statistical
+data about actual execution paths for path-sensitive optimization."  The
+Profiling Unit already tracks per-PSE traversal probabilities; this module
+turns them into *plan*-level expected costs:
+
+* :func:`first_split_on_path` — which PSE a plan fires on a given
+  TargetPath (the first activated-or-forced edge along it);
+* :func:`expected_plan_cost` — the probability-weighted per-message cost
+  of a plan: Σ over paths of P(path) × cost(split edge on that path);
+* :func:`enumerate_plans` — the full valid plan space for small handlers
+  (one activated candidate per TargetPath, or none → the forced terminal);
+* :func:`exhaustive_best_plan` — brute-force argmin over that space.
+
+The min-cut selector (:class:`ReconfigurationUnit`) is the scalable
+mechanism; the exhaustive selector exists to *validate* it — the test
+suite checks the two agree on the paper's handlers — and to power the
+plan-selection ablation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.paths import TargetPath
+from repro.core.convexcut import ConvexCutResult
+from repro.core.costmodels.base import CostModel
+from repro.core.plan import PartitioningPlan
+from repro.core.runtime.profiling import PSESnapshot
+from repro.errors import PartitionError
+from repro.ir.interpreter import Edge
+
+
+def first_split_on_path(
+    cut: ConvexCutResult, plan: PartitioningPlan, path: TargetPath
+) -> Optional[Edge]:
+    """The edge where *plan* splits an execution following *path*.
+
+    The first activated or forced (terminal) edge along the path; None
+    when the path has no split at all (possible only for paths ending in
+    dead ends rather than StopNodes, e.g. loop-truncated paths).
+    """
+    forced = cut.terminal_edges()
+    for edge in path.edges:
+        if edge in plan.active or edge in forced:
+            return edge
+    return None
+
+
+def _path_probabilities(
+    cut: ConvexCutResult, snapshot: Dict[Edge, PSESnapshot]
+) -> List[float]:
+    """Empirical probability of each TargetPath from edge traversals.
+
+    A path's probability is estimated from its most distinctive edge: the
+    minimum traversal probability over its edges that are PSEs (distinct
+    paths differ in at least their terminal PSE).  Falls back to uniform
+    when nothing was profiled.
+    """
+    probs: List[float] = []
+    for path in cut.ctx.paths:
+        pse_edges = [e for e in path.edges if e in cut.pses]
+        estimates = [
+            snapshot[e].path_probability
+            for e in pse_edges
+            if e in snapshot and snapshot[e].path_probability > 0
+        ]
+        probs.append(min(estimates) if estimates else 0.0)
+    if not any(probs):
+        n = max(len(probs), 1)
+        return [1.0 / n] * n
+    total = sum(probs)
+    return [p / total for p in probs]
+
+
+def expected_plan_cost(
+    cut: ConvexCutResult,
+    plan: PartitioningPlan,
+    snapshot: Dict[Edge, PSESnapshot],
+    *,
+    cost_model: Optional[CostModel] = None,
+) -> float:
+    """Probability-weighted per-message cost of *plan*.
+
+    For each TargetPath, the plan fires exactly one split; the path
+    contributes P(path) × cost(that edge).  Edge costs come from the cost
+    model's runtime costing, *un*-weighted by the edge's own traversal
+    probability (the path weighting here replaces it).
+    """
+    model = cost_model or cut.cost_model
+    probs = _path_probabilities(cut, snapshot)
+    total = 0.0
+    for path, p_path in zip(cut.ctx.paths, probs):
+        if p_path == 0.0:
+            continue
+        edge = first_split_on_path(cut, plan, path)
+        if edge is None:
+            continue
+        snap = snapshot.get(edge)
+        if snap is None:
+            raise PartitionError(f"no snapshot for PSE {edge}")
+        # undo the per-edge probability weighting the model applies
+        raw = model.runtime_edge_cost(snap)
+        edge_p = max(snap.path_probability, 1e-12)
+        total += p_path * (raw / edge_p)
+    return total
+
+
+def enumerate_plans(
+    cut: ConvexCutResult, *, max_plans: int = 512
+) -> Tuple[PartitioningPlan, ...]:
+    """Every valid plan: one activated candidate (or none) per TargetPath.
+
+    'None' means that path splits at its forced terminal edge.  Candidate
+    sets come from ConvexCut's per-path MinCostEdgeSets.  Raises when the
+    combinatorial space exceeds *max_plans* — use min-cut then.
+    """
+    per_path: List[List[Optional[Edge]]] = []
+    count = 1
+    for path, edges in cut.path_pse_edges:
+        choices: List[Optional[Edge]] = [None]
+        choices.extend(e for e in edges if e not in cut.poisoned)
+        per_path.append(choices)
+        count *= len(choices)
+        if count > max_plans:
+            raise PartitionError(
+                f"plan space exceeds {max_plans}; use min-cut selection"
+            )
+    plans = []
+    seen = set()
+    for combo in itertools.product(*per_path):
+        active = frozenset(e for e in combo if e is not None)
+        if active in seen:
+            continue
+        seen.add(active)
+        plans.append(
+            PartitioningPlan(active=active, name=f"enum{len(plans)}")
+        )
+    return tuple(plans)
+
+
+def exhaustive_best_plan(
+    cut: ConvexCutResult,
+    snapshot: Dict[Edge, PSESnapshot],
+    *,
+    cost_model: Optional[CostModel] = None,
+    max_plans: int = 512,
+) -> Tuple[PartitioningPlan, float]:
+    """Brute-force argmin of :func:`expected_plan_cost` over the plan space."""
+    best: Optional[PartitioningPlan] = None
+    best_cost = float("inf")
+    for plan in enumerate_plans(cut, max_plans=max_plans):
+        cost = expected_plan_cost(
+            cut, plan, snapshot, cost_model=cost_model
+        )
+        if cost < best_cost:
+            best, best_cost = plan, cost
+    if best is None:
+        raise PartitionError("empty plan space")
+    return best, best_cost

@@ -1,0 +1,294 @@
+"""Runtime Profiling Unit (paper section 2.5).
+
+Profiling code inserted along each PSE measures what the cost model cannot
+know statically.  Crucially, the unit "collects feedback containing
+profiling information from **both the modulator and demodulator sides**":
+a PSE that the current plan does not split at is still *traversed* — by the
+modulator when it lies before the active split, by the demodulator when it
+lies after — so its hypothetical cost can be profiled without ever
+splitting there.  Per traversed PSE edge we record:
+
+* ``data_size`` — serialized size of the edge's INTER set (the data-size
+  model's cost), measured by the size-calculation tool on the live
+  environment;
+* ``work_before`` / ``work_after`` — abstract cycles of handler work on
+  either side of the edge (machine-independent);
+* traversal counts, giving each edge's path probability.
+
+Separately, each *side* profiles its effective seconds-per-cycle rate from
+actual service times, which is where host speed and perturbation load show
+up.  The execution-time model's per-unit times are then derived as
+
+    ``T_mod(e) = work_before(e) × sender_rate``
+    ``T_demod(e) = work_after(e) × receiver_rate``
+
+Profiling is conditional: each PSE has a dedicated profiling flag, and a
+sampling period can skip the expensive size measurements ("if profiling is
+expensive, such costs can be reduced by periodic sampling, at the expense
+of having less timely statistics").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.convexcut import ConvexCutResult
+from repro.ir.interpreter import Edge
+
+
+@dataclass
+class RunningStat:
+    """Exponentially weighted running statistic with an update count.
+
+    EWMA tracks drifting costs (the point of runtime reconfiguration) while
+    ``count`` distinguishes "never measured" from "measured zero".
+    """
+
+    alpha: float = 0.3
+    mean: float = 0.0
+    count: int = 0
+
+    def update(self, value: float) -> None:
+        if self.count == 0:
+            self.mean = value
+        else:
+            self.mean += self.alpha * (value - self.mean)
+        self.count += 1
+
+    def reset(self) -> None:
+        self.mean = 0.0
+        self.count = 0
+
+
+@dataclass
+class PSEStats:
+    """Raw profiled observations of one PSE."""
+
+    edge: Edge
+    static_lower_bound: float
+    data_size: RunningStat = field(default_factory=RunningStat)
+    work_before: RunningStat = field(default_factory=RunningStat)
+    work_after: RunningStat = field(default_factory=RunningStat)
+    #: messages whose execution traversed this edge (either side)
+    traversals: int = 0
+    #: messages that actually split here
+    splits: int = 0
+
+
+@dataclass(frozen=True)
+class PSESnapshot:
+    """Resolved per-PSE numbers handed to the cost model / reconfigurator."""
+
+    edge: Edge
+    static_lower_bound: float
+    #: mean INTER-set wire size; None when never measured
+    data_size: Optional[float]
+    data_size_count: int
+    #: mean handler cycles before/after this edge; None when never observed
+    work_before: Optional[float]
+    work_after: Optional[float]
+    #: derived per-message modulator/demodulator times; None when unknown
+    t_mod: Optional[float]
+    t_demod: Optional[float]
+    #: fraction of messages whose execution passes this edge
+    path_probability: float
+    splits: int
+
+
+class ProfilingUnit:
+    """Collects per-PSE measurements from modulator and demodulator sides."""
+
+    def __init__(
+        self,
+        cut: ConvexCutResult,
+        *,
+        ewma_alpha: float = 0.3,
+        sample_period: int = 1,
+    ) -> None:
+        if sample_period < 1:
+            raise ValueError("sample_period must be >= 1")
+        self.cut = cut
+        self.sample_period = sample_period
+        self.ewma_alpha = ewma_alpha
+        self.stats: Dict[Edge, PSEStats] = {}
+        self.profile_flags: Dict[Edge, bool] = {}
+        for edge, pse in cut.pses.items():
+            stats = PSEStats(
+                edge=edge,
+                static_lower_bound=(
+                    pse.static_cost.lower_bound
+                    if not pse.static_cost.infinite
+                    else 0.0
+                ),
+            )
+            for name in ("data_size", "work_before", "work_after"):
+                getattr(stats, name).alpha = ewma_alpha
+            self.stats[edge] = stats
+            self.profile_flags[edge] = cut.cost_model.needs_profiling(
+                pse.static_cost
+            )
+        #: effective seconds per abstract cycle on each side
+        self.sender_rate = RunningStat(alpha=ewma_alpha)
+        self.receiver_rate = RunningStat(alpha=ewma_alpha)
+        #: total handler cycles per message (modulator + demodulator),
+        #: paired FIFO across the split (see record_mod_total /
+        #: record_demod_total)
+        self.total_work = RunningStat(alpha=ewma_alpha)
+        self._pending_mod_totals: deque = deque(maxlen=1024)
+        self._pending_demod_totals: deque = deque(maxlen=1024)
+        self.messages_seen = 0
+        #: executions whose observations are complete on both sides — the
+        #: denominator for path probabilities.  Using messages_seen instead
+        #: would systematically underestimate demodulator-observed edges:
+        #: their traversal reports lag the sender by the in-flight window.
+        self.executions_completed = 0
+        self.measurements_taken = 0
+
+    # -- flag control --------------------------------------------------------
+
+    def enable_profiling(self, edge: Edge, on: bool = True) -> None:
+        if edge not in self.profile_flags:
+            raise KeyError(f"edge {edge} is not a PSE")
+        self.profile_flags[edge] = on
+
+    def enable_all(self, on: bool = True) -> None:
+        for edge in self.profile_flags:
+            self.profile_flags[edge] = on
+
+    def should_measure(self, edge: Edge) -> bool:
+        """Whether the expensive profiling code along *edge* runs now."""
+        if not self.profile_flags.get(edge, False):
+            return False
+        return self.messages_seen % self.sample_period == 0
+
+    # -- recording -------------------------------------------------------------
+
+    def record_message(self) -> None:
+        """Count one message entering the modulator."""
+        self.messages_seen += 1
+
+    def record_edge_observation(
+        self,
+        edge: Edge,
+        *,
+        data_size: Optional[float] = None,
+        work_before: Optional[float] = None,
+        work_after: Optional[float] = None,
+        is_split: bool = False,
+        count_traversal: bool = True,
+    ) -> None:
+        """Record one traversal of a PSE edge (either side).
+
+        ``count_traversal=False`` lets the demodulator attach its
+        ``work_after`` to the split edge without double-counting the
+        traversal the modulator already recorded.
+        """
+        stats = self.stats.get(edge)
+        if stats is None:
+            return
+        if count_traversal:
+            stats.traversals += 1
+        if is_split:
+            stats.splits += 1
+        if data_size is not None:
+            stats.data_size.update(data_size)
+            self.measurements_taken += 1
+        if work_before is not None:
+            stats.work_before.update(work_before)
+        if work_after is not None:
+            stats.work_after.update(work_after)
+
+    def record_sender_rate(self, seconds: float, cycles: float) -> None:
+        """One modulator run's service time over its cycle count."""
+        if cycles > 0:
+            self.sender_rate.update(seconds / cycles)
+
+    def record_receiver_rate(self, seconds: float, cycles: float) -> None:
+        """One demodulator run's service time over its cycle count."""
+        if cycles > 0:
+            self.receiver_rate.update(seconds / cycles)
+
+    def record_mod_total(self, cycles: float) -> None:
+        """Modulator cycles of a message whose continuation was shipped.
+
+        Paired head-to-head with :meth:`record_demod_total` — each side
+        reports its messages in order, so matching the oldest unpaired
+        report from each side yields the per-message total even when one
+        side's reports arrive late (batched feedback).  The totals let
+        :meth:`snapshot` reconstruct the missing side of any edge that
+        only one side traversed — the combination of "profiling
+        information from both the modulator and demodulator sides".
+        """
+        self._pending_mod_totals.append(cycles)
+        self._pair_totals()
+
+    def record_demod_total(self, cycles: float) -> None:
+        """Demodulator cycles of one message, in receive order."""
+        self.executions_completed += 1
+        self._pending_demod_totals.append(cycles)
+        self._pair_totals()
+
+    def _pair_totals(self) -> None:
+        while self._pending_mod_totals and self._pending_demod_totals:
+            self.total_work.update(
+                self._pending_mod_totals.popleft()
+                + self._pending_demod_totals.popleft()
+            )
+
+    def record_local_completion(self) -> None:
+        """An execution that never reached the demodulator (elided or
+        completed inside the modulator)."""
+        self.executions_completed += 1
+
+    # -- feedback -----------------------------------------------------------------
+
+    def snapshot(self) -> Dict[Edge, PSESnapshot]:
+        """Resolve observations into the feedback payload."""
+        out: Dict[Edge, PSESnapshot] = {}
+        messages = max(self.executions_completed, 1)
+        s_rate = self.sender_rate.mean if self.sender_rate.count else None
+        r_rate = self.receiver_rate.mean if self.receiver_rate.count else None
+        total = self.total_work.mean if self.total_work.count else None
+        for edge, stats in self.stats.items():
+            work_before = (
+                stats.work_before.mean if stats.work_before.count else None
+            )
+            work_after = (
+                stats.work_after.mean if stats.work_after.count else None
+            )
+            # Reconstruct the side the edge's traverser could not see from
+            # the message's total work (two-sided feedback combination).
+            if work_before is None and work_after is not None and total:
+                work_before = max(total - work_after, 0.0)
+            elif work_after is None and work_before is not None and total:
+                work_after = max(total - work_before, 0.0)
+            t_mod = None
+            if work_before is not None and s_rate is not None:
+                t_mod = work_before * s_rate
+            t_demod = None
+            if work_after is not None and r_rate is not None:
+                t_demod = work_after * r_rate
+            out[edge] = PSESnapshot(
+                edge=edge,
+                static_lower_bound=stats.static_lower_bound,
+                data_size=(
+                    stats.data_size.mean if stats.data_size.count else None
+                ),
+                data_size_count=stats.data_size.count,
+                work_before=work_before,
+                work_after=work_after,
+                t_mod=t_mod,
+                t_demod=t_demod,
+                path_probability=min(stats.traversals / messages, 1.0),
+                splits=stats.splits,
+            )
+        return out
+
+    def reset_counters(self) -> None:
+        self.messages_seen = 0
+        self.measurements_taken = 0
+        for stats in self.stats.values():
+            stats.traversals = 0
+            stats.splits = 0

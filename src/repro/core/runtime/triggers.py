@@ -1,0 +1,162 @@
+"""Feedback triggers (paper section 2.5).
+
+"An application can choose to send feedback only when a certain amount of
+time has elapsed (rate-triggered), or when the profiling data for one of
+the PSEs has changed significantly (diff-triggered)."
+
+Triggers decide when the profiling unit's snapshot travels to the
+Reconfiguration Unit; they are the knob trading adaptation agility against
+monitoring traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.core.runtime.profiling import ProfilingUnit
+from repro.ir.interpreter import Edge
+
+
+class FeedbackTrigger:
+    """Decides whether to send feedback after the current message."""
+
+    def should_fire(self, unit: ProfilingUnit) -> bool:
+        raise NotImplementedError
+
+    def fired(self, unit: ProfilingUnit) -> None:
+        """Notification that feedback was actually sent."""
+
+
+class RateTrigger(FeedbackTrigger):
+    """Fire every *period* handled messages."""
+
+    def __init__(self, period: int = 50) -> None:
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.period = period
+        self._last_fired_at = 0
+
+    def should_fire(self, unit: ProfilingUnit) -> bool:
+        return unit.messages_seen - self._last_fired_at >= self.period
+
+    def fired(self, unit: ProfilingUnit) -> None:
+        self._last_fired_at = unit.messages_seen
+
+
+class DiffTrigger(FeedbackTrigger):
+    """Fire when any PSE's profiled cost moved by more than *threshold*
+    (relative) since the last feedback."""
+
+    def __init__(self, threshold: float = 0.25, min_interval: int = 5) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+        self.min_interval = min_interval
+        self._reported: Dict[Edge, Dict[str, float]] = {}
+        self._reported_rates: Dict[str, float] = {}
+        self._last_fired_at = 0
+
+    def should_fire(self, unit: ProfilingUnit) -> bool:
+        if unit.messages_seen - self._last_fired_at < self.min_interval:
+            return False
+        for edge, stats in unit.stats.items():
+            last = self._reported.get(edge)
+            for name in ("data_size", "work_before", "work_after"):
+                stat = getattr(stats, name)
+                if stat.count == 0:
+                    continue
+                if last is None or name not in last:
+                    return True
+                prev = last[name]
+                scale = max(abs(prev), 1e-12)
+                if abs(stat.mean - prev) / scale > self.threshold:
+                    return True
+        # Host load changes show up in the side rates, not the work counts.
+        for name in ("sender_rate", "receiver_rate"):
+            stat = getattr(unit, name)
+            if stat.count == 0:
+                continue
+            prev = self._reported_rates.get(name)
+            if prev is None:
+                return True
+            scale = max(abs(prev), 1e-12)
+            if abs(stat.mean - prev) / scale > self.threshold:
+                return True
+        return False
+
+    def fired(self, unit: ProfilingUnit) -> None:
+        self._last_fired_at = unit.messages_seen
+        self._reported = {}
+        for edge, stats in unit.stats.items():
+            rec: Dict[str, float] = {}
+            for name in ("data_size", "work_before", "work_after"):
+                stat = getattr(stats, name)
+                if stat.count:
+                    rec[name] = stat.mean
+            self._reported[edge] = rec
+        self._reported_rates = {}
+        for name in ("sender_rate", "receiver_rate"):
+            stat = getattr(unit, name)
+            if stat.count:
+                self._reported_rates[name] = stat.mean
+
+
+class ValueDiffTrigger(FeedbackTrigger):
+    """Fire when a watched scalar moves by more than *threshold* (relative).
+
+    Generalizes the diff trigger to quantities living outside the
+    profiling unit — e.g. a bandwidth-aware cost model's current
+    seconds-per-byte estimate.  ``getter`` is called at each check.
+    """
+
+    def __init__(
+        self,
+        getter: Callable[[], float],
+        *,
+        threshold: float = 0.25,
+        min_interval: int = 1,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.getter = getter
+        self.threshold = threshold
+        self.min_interval = min_interval
+        self._reported: Optional[float] = None
+        self._last_fired_at = 0
+
+    def should_fire(self, unit: ProfilingUnit) -> bool:
+        if unit.messages_seen - self._last_fired_at < self.min_interval:
+            return False
+        value = self.getter()
+        if self._reported is None:
+            return True
+        scale = max(abs(self._reported), 1e-12)
+        return abs(value - self._reported) / scale > self.threshold
+
+    def fired(self, unit: ProfilingUnit) -> None:
+        self._last_fired_at = unit.messages_seen
+        self._reported = self.getter()
+
+
+class CompositeTrigger(FeedbackTrigger):
+    """Fire when any member trigger fires (e.g. rate OR diff)."""
+
+    def __init__(self, *members: FeedbackTrigger) -> None:
+        if not members:
+            raise ValueError("composite trigger needs members")
+        self.members = members
+
+    def should_fire(self, unit: ProfilingUnit) -> bool:
+        return any(m.should_fire(unit) for m in self.members)
+
+    def fired(self, unit: ProfilingUnit) -> None:
+        for m in self.members:
+            m.fired(unit)
+
+
+class NeverTrigger(FeedbackTrigger):
+    """Feedback disabled: the no-adaptation baseline."""
+
+    def should_fire(self, unit: ProfilingUnit) -> bool:
+        return False

@@ -1,0 +1,608 @@
+"""Lowering of Python handler functions to the instruction-level IR.
+
+This module plays the role of Soot's Java-bytecode front end in the paper:
+it turns a message handler written in a restricted Python subset into a flat
+three-address instruction list (:class:`~repro.ir.function.IRFunction`) on
+which the Unit Graph, DDG and liveness analyses run.
+
+Supported subset
+----------------
+* positional parameters only
+* statements: assignment (name / attribute / subscript targets), augmented
+  assignment, ``if``/``elif``/``else``, ``while``, ``for`` over ``range`` or
+  any indexable sequence, ``return``, bare calls, ``pass``, ``break``,
+  ``continue``
+* expressions: names, constants, arithmetic/bitwise/unary operators,
+  comparisons, short-circuit ``and``/``or``, conditional expressions,
+  ``isinstance``, calls to registered functions, construction of registered
+  classes, attribute and subscript reads, list/tuple/dict displays
+
+Anything else raises :class:`~repro.errors.LoweringError` with the offending
+source location.  The restriction mirrors the paper's own: the prototype
+treats calls as opaque instructions and does not expand nested UGs
+(paper section 7).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import LoweringError
+from repro.ir.function import IRFunction
+from repro.ir.instructions import (
+    Assign,
+    Goto,
+    Identity,
+    If,
+    Instr,
+    Invoke,
+    Nop,
+    Return,
+    SetAttr,
+    SetItem,
+)
+from repro.ir.registry import FunctionRegistry
+from repro.ir.values import (
+    BinOp,
+    BuildDict,
+    BuildList,
+    BuildTuple,
+    Call,
+    Compare,
+    Const,
+    GetAttr,
+    GetItem,
+    IsInstance,
+    New,
+    Operand,
+    OperandExpr,
+    UnaryOp,
+    Var,
+)
+
+_BINOPS = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mult: "*",
+    ast.Div: "/",
+    ast.FloorDiv: "//",
+    ast.Mod: "%",
+    ast.Pow: "**",
+    ast.LShift: "<<",
+    ast.RShift: ">>",
+    ast.BitAnd: "&",
+    ast.BitOr: "|",
+    ast.BitXor: "^",
+}
+
+_CMPOPS = {
+    ast.Eq: "==",
+    ast.NotEq: "!=",
+    ast.Lt: "<",
+    ast.LtE: "<=",
+    ast.Gt: ">",
+    ast.GtE: ">=",
+    ast.Is: "is",
+    ast.IsNot: "is not",
+    ast.In: "in",
+    ast.NotIn: "not in",
+}
+
+_UNARYOPS = {
+    ast.USub: "-",
+    ast.UAdd: "+",
+    ast.Not: "not",
+    ast.Invert: "~",
+}
+
+
+class _Lowerer:
+    """Single-use lowering context for one function definition."""
+
+    def __init__(
+        self,
+        fdef: ast.FunctionDef,
+        registry: FunctionRegistry,
+        receiver_vars: Sequence[str],
+        constants: Dict[str, object],
+        source: Optional[str],
+    ) -> None:
+        self.fdef = fdef
+        self.registry = registry
+        self.receiver_vars = frozenset(receiver_vars)
+        self.constants = dict(constants)
+        self.source = source
+        self.instrs: List[Instr] = []
+        self.labels: Dict[str, int] = {}
+        self._temp_n = 0
+        self._label_n = 0
+        # stack of (continue_label, break_label)
+        self._loops: List[Tuple[str, str]] = []
+        self._locals: set = set()
+
+    # -- small helpers -------------------------------------------------------
+
+    def _fail(self, node: ast.AST, message: str) -> "LoweringError":
+        line = getattr(node, "lineno", "?")
+        return LoweringError(
+            f"{self.fdef.name}: line {line}: {message}"
+        )
+
+    def _temp(self) -> Var:
+        self._temp_n += 1
+        return Var(f"$t{self._temp_n}")
+
+    def _label(self, hint: str = "L") -> str:
+        self._label_n += 1
+        return f"{hint}{self._label_n}"
+
+    def _emit(self, instr: Instr) -> None:
+        self.instrs.append(instr)
+
+    def _place(self, label: str) -> None:
+        """Anchor *label* at the current position with a Nop."""
+        self.labels[label] = len(self.instrs)
+        self._emit(Nop(comment=label))
+
+    # -- entry ---------------------------------------------------------------
+
+    def lower(self) -> IRFunction:
+        args = self.fdef.args
+        if args.vararg or args.kwarg or args.kwonlyargs or args.defaults:
+            raise self._fail(
+                self.fdef,
+                "handlers take positional parameters only (no *args/**kwargs/"
+                "defaults)",
+            )
+        params = tuple(Var(a.arg) for a in args.args)
+        for i, p in enumerate(params):
+            self._emit(Identity(target=p, source=f"@parameter{i}", param_index=i))
+            self._locals.add(p.name)
+
+        body = self.fdef.body
+        # Skip a leading docstring.
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            body = body[1:]
+        for stmt in body:
+            self._lower_stmt(stmt)
+        if not self.instrs or not isinstance(self.instrs[-1], Return):
+            self._emit(Return(None))
+
+        fn = IRFunction(
+            name=self.fdef.name,
+            params=params,
+            instrs=self.instrs,
+            labels=self.labels,
+            receiver_vars=self.receiver_vars,
+            source=self.source,
+        )
+        return fn.finalize()
+
+    # -- statements ------------------------------------------------------------
+
+    def _lower_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            self._lower_augassign(stmt)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            value = None
+            if stmt.value is not None:
+                value = self._lower_expr(stmt.value)
+            self._emit(Return(value))
+        elif isinstance(stmt, ast.Expr):
+            self._lower_expr_stmt(stmt)
+        elif isinstance(stmt, ast.Pass):
+            pass
+        elif isinstance(stmt, ast.Break):
+            if not self._loops:
+                raise self._fail(stmt, "break outside loop")
+            self._emit(Goto(self._loops[-1][1]))
+        elif isinstance(stmt, ast.Continue):
+            if not self._loops:
+                raise self._fail(stmt, "continue outside loop")
+            self._emit(Goto(self._loops[-1][0]))
+        else:
+            raise self._fail(
+                stmt,
+                f"statement {type(stmt).__name__} is outside the supported "
+                f"handler subset",
+            )
+
+    def _lower_assign(self, stmt: ast.Assign) -> None:
+        if len(stmt.targets) != 1:
+            raise self._fail(stmt, "chained assignment is not supported")
+        target = stmt.targets[0]
+        if isinstance(target, ast.Name):
+            var = Var(target.id)
+            expr = self._lower_expr_to_expr(stmt.value)
+            self._emit(Assign(var, expr))
+            self._locals.add(var.name)
+        elif isinstance(target, ast.Attribute):
+            obj = self._lower_expr(target.value)
+            value = self._lower_expr(stmt.value)
+            self._emit(SetAttr(obj, target.attr, value))
+        elif isinstance(target, ast.Subscript):
+            obj = self._lower_expr(target.value)
+            index = self._lower_expr(target.slice)
+            value = self._lower_expr(stmt.value)
+            self._emit(SetItem(obj, index, value))
+        else:
+            raise self._fail(stmt, "unsupported assignment target")
+
+    def _lower_augassign(self, stmt: ast.AugAssign) -> None:
+        op = _BINOPS.get(type(stmt.op))
+        if op is None:
+            raise self._fail(stmt, f"unsupported operator {type(stmt.op).__name__}")
+        if isinstance(stmt.target, ast.Name):
+            var = Var(stmt.target.id)
+            rhs = self._lower_expr(stmt.value)
+            self._emit(Assign(var, BinOp(op, var, rhs)))
+        elif isinstance(stmt.target, ast.Subscript):
+            obj = self._lower_expr(stmt.target.value)
+            index = self._lower_expr(stmt.target.slice)
+            cur = self._temp()
+            self._emit(Assign(cur, GetItem(obj, index)))
+            rhs = self._lower_expr(stmt.value)
+            res = self._temp()
+            self._emit(Assign(res, BinOp(op, cur, rhs)))
+            self._emit(SetItem(obj, index, res))
+        elif isinstance(stmt.target, ast.Attribute):
+            obj = self._lower_expr(stmt.target.value)
+            cur = self._temp()
+            self._emit(Assign(cur, GetAttr(obj, stmt.target.attr)))
+            rhs = self._lower_expr(stmt.value)
+            res = self._temp()
+            self._emit(Assign(res, BinOp(op, cur, rhs)))
+            self._emit(SetAttr(obj, stmt.target.attr, res))
+        else:
+            raise self._fail(stmt, "unsupported augmented-assignment target")
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        else_label = self._label("Lelse")
+        cond = self._lower_expr(stmt.test)
+        self._emit(If(cond, else_label, negate=True))
+        for s in stmt.body:
+            self._lower_stmt(s)
+        if stmt.orelse:
+            end_label = self._label("Lend")
+            self._emit(Goto(end_label))
+            self._place(else_label)
+            for s in stmt.orelse:
+                self._lower_stmt(s)
+            self._place(end_label)
+        else:
+            self._place(else_label)
+
+    def _lower_while(self, stmt: ast.While) -> None:
+        if stmt.orelse:
+            raise self._fail(stmt, "while/else is not supported")
+        head = self._label("Lhead")
+        end = self._label("Lend")
+        self._place(head)
+        cond = self._lower_expr(stmt.test)
+        self._emit(If(cond, end, negate=True))
+        self._loops.append((head, end))
+        for s in stmt.body:
+            self._lower_stmt(s)
+        self._loops.pop()
+        self._emit(Goto(head))
+        self._place(end)
+
+    def _lower_for(self, stmt: ast.For) -> None:
+        if stmt.orelse:
+            raise self._fail(stmt, "for/else is not supported")
+        if not isinstance(stmt.target, ast.Name):
+            raise self._fail(stmt, "for-loop target must be a simple name")
+        target = Var(stmt.target.id)
+
+        it = stmt.iter
+        if (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name)
+            and it.func.id == "range"
+        ):
+            self._lower_range_for(target, it, stmt.body)
+        else:
+            self._lower_seq_for(target, it, stmt.body)
+
+    def _lower_range_for(
+        self, target: Var, rng: ast.Call, body: List[ast.stmt]
+    ) -> None:
+        """Counter-loop lowering of ``for i in range(...)``."""
+        nargs = len(rng.args)
+        if nargs == 1:
+            start: Operand = Const(0)
+            stop = self._lower_expr(rng.args[0])
+            step: Operand = Const(1)
+        elif nargs == 2:
+            start = self._lower_expr(rng.args[0])
+            stop = self._lower_expr(rng.args[1])
+            step = Const(1)
+        elif nargs == 3:
+            start = self._lower_expr(rng.args[0])
+            stop = self._lower_expr(rng.args[1])
+            step = self._lower_expr(rng.args[2])
+        else:
+            raise self._fail(rng, "range() takes 1-3 arguments")
+
+        descending = isinstance(step, Const) and isinstance(step.value, int) and (
+            step.value < 0
+        )
+        cmp_op = ">" if descending else "<"
+
+        self._emit(Assign(target, OperandExpr(start)))
+        head = self._label("Lfor")
+        cont = self._label("Lcont")
+        end = self._label("Lend")
+        self._place(head)
+        cond = self._temp()
+        self._emit(Assign(cond, Compare(cmp_op, target, stop)))
+        self._emit(If(cond, end, negate=True))
+        self._loops.append((cont, end))
+        for s in body:
+            self._lower_stmt(s)
+        self._loops.pop()
+        self._place(cont)
+        self._emit(Assign(target, BinOp("+", target, step)))
+        self._emit(Goto(head))
+        self._place(end)
+
+    def _lower_seq_for(
+        self, target: Var, it: ast.expr, body: List[ast.stmt]
+    ) -> None:
+        """Index-based lowering of ``for x in seq`` over indexable sequences."""
+        seq = self._temp()
+        self._emit(Assign(seq, self._lower_expr_to_expr(it)))
+        n = self._temp()
+        self._emit(Assign(n, Call("len", (seq,))))
+        i = self._temp()
+        self._emit(Assign(i, OperandExpr(Const(0))))
+        head = self._label("Lfor")
+        cont = self._label("Lcont")
+        end = self._label("Lend")
+        self._place(head)
+        cond = self._temp()
+        self._emit(Assign(cond, Compare("<", i, n)))
+        self._emit(If(cond, end, negate=True))
+        self._emit(Assign(target, GetItem(seq, i)))
+        self._loops.append((cont, end))
+        for s in body:
+            self._lower_stmt(s)
+        self._loops.pop()
+        self._place(cont)
+        self._emit(Assign(i, BinOp("+", i, Const(1))))
+        self._emit(Goto(head))
+        self._place(end)
+
+    def _lower_expr_stmt(self, stmt: ast.Expr) -> None:
+        value = stmt.value
+        if isinstance(value, ast.Call):
+            call = self._lower_call(value)
+            if isinstance(call, Call):
+                self._emit(Invoke(call))
+            else:
+                # Constructor call used as a statement: keep as assignment to
+                # a dead temp so the side effects (if any) still happen.
+                self._emit(Assign(self._temp(), call))
+        elif isinstance(value, ast.Constant):
+            pass  # stray string/ellipsis — ignore
+        else:
+            raise self._fail(stmt, "expression statements must be calls")
+
+    # -- expressions ------------------------------------------------------------
+
+    def _lower_expr(self, node: ast.expr) -> Operand:
+        """Lower *node* to an operand, materializing a temp when compound."""
+        if isinstance(node, ast.Constant):
+            return Const(node.value)
+        # Fold negative numeric literals so e.g. range(n, 0, -1) sees a
+        # constant step and the builder can pick the loop comparison.
+        if (
+            isinstance(node, ast.UnaryOp)
+            and isinstance(node.op, ast.USub)
+            and isinstance(node.operand, ast.Constant)
+            and isinstance(node.operand.value, (int, float))
+        ):
+            return Const(-node.operand.value)
+        if isinstance(node, ast.Name):
+            if node.id in self.constants:
+                return Const(self.constants[node.id])
+            return Var(node.id)
+        expr = self._lower_expr_to_expr(node)
+        if isinstance(expr, OperandExpr):
+            return expr.operand
+        temp = self._temp()
+        self._emit(Assign(temp, expr))
+        return temp
+
+    def _lower_expr_to_expr(self, node: ast.expr):
+        """Lower *node* to an Expr suitable for the RHS of an assignment."""
+        if isinstance(node, (ast.Constant, ast.Name)):
+            return OperandExpr(self._lower_expr(node))
+        if isinstance(node, ast.BinOp):
+            op = _BINOPS.get(type(node.op))
+            if op is None:
+                raise self._fail(
+                    node, f"unsupported operator {type(node.op).__name__}"
+                )
+            left = self._lower_expr(node.left)
+            right = self._lower_expr(node.right)
+            return BinOp(op, left, right)
+        if isinstance(node, ast.UnaryOp):
+            op = _UNARYOPS.get(type(node.op))
+            if op is None:
+                raise self._fail(
+                    node, f"unsupported unary operator {type(node.op).__name__}"
+                )
+            return UnaryOp(op, self._lower_expr(node.operand))
+        if isinstance(node, ast.Compare):
+            if len(node.ops) != 1:
+                raise self._fail(node, "chained comparisons are not supported")
+            op = _CMPOPS.get(type(node.ops[0]))
+            if op is None:
+                raise self._fail(
+                    node, f"unsupported comparison {type(node.ops[0]).__name__}"
+                )
+            left = self._lower_expr(node.left)
+            right = self._lower_expr(node.comparators[0])
+            return Compare(op, left, right)
+        if isinstance(node, ast.BoolOp):
+            return OperandExpr(self._lower_boolop(node))
+        if isinstance(node, ast.IfExp):
+            return OperandExpr(self._lower_ifexp(node))
+        if isinstance(node, ast.Call):
+            return self._lower_call(node)
+        if isinstance(node, ast.Attribute):
+            obj = self._lower_expr(node.value)
+            return GetAttr(obj, node.attr)
+        if isinstance(node, ast.Subscript):
+            obj = self._lower_expr(node.value)
+            index = self._lower_expr(node.slice)
+            return GetItem(obj, index)
+        if isinstance(node, ast.List):
+            return BuildList(tuple(self._lower_expr(e) for e in node.elts))
+        if isinstance(node, ast.Tuple):
+            return BuildTuple(tuple(self._lower_expr(e) for e in node.elts))
+        if isinstance(node, ast.Dict):
+            if any(k is None for k in node.keys):
+                raise self._fail(node, "dict unpacking (**) is not supported")
+            return BuildDict(
+                tuple(
+                    (self._lower_expr(k), self._lower_expr(v))
+                    for k, v in zip(node.keys, node.values)
+                )
+            )
+        raise self._fail(
+            node,
+            f"expression {type(node).__name__} is outside the supported "
+            f"handler subset",
+        )
+
+    def _lower_boolop(self, node: ast.BoolOp) -> Operand:
+        """Short-circuit lowering of ``and`` / ``or`` preserving value semantics."""
+        result = self._temp()
+        done = self._label("Lbool")
+        is_and = isinstance(node.op, ast.And)
+        for i, value in enumerate(node.values):
+            operand = self._lower_expr(value)
+            self._emit(Assign(result, OperandExpr(operand)))
+            last = i == len(node.values) - 1
+            if not last:
+                # and: bail out (keeping falsy value) when result is false;
+                # or: bail out (keeping truthy value) when result is true.
+                self._emit(If(result, done, negate=is_and))
+        self._place(done)
+        return result
+
+    def _lower_ifexp(self, node: ast.IfExp) -> Operand:
+        result = self._temp()
+        else_label = self._label("Lelse")
+        end_label = self._label("Lend")
+        cond = self._lower_expr(node.test)
+        self._emit(If(cond, else_label, negate=True))
+        body = self._lower_expr(node.body)
+        self._emit(Assign(result, OperandExpr(body)))
+        self._emit(Goto(end_label))
+        self._place(else_label)
+        orelse = self._lower_expr(node.orelse)
+        self._emit(Assign(result, OperandExpr(orelse)))
+        self._place(end_label)
+        return result
+
+    def _lower_call(self, node: ast.Call):
+        if node.keywords:
+            raise self._fail(node, "keyword arguments are not supported")
+        if not isinstance(node.func, ast.Name):
+            raise self._fail(
+                node,
+                "only calls to registered functions/classes by simple name "
+                "are supported (no method calls)",
+            )
+        name = node.func.id
+        if name == "isinstance":
+            if len(node.args) != 2 or not isinstance(node.args[1], ast.Name):
+                raise self._fail(
+                    node, "isinstance requires (value, RegisteredClass)"
+                )
+            operand = self._lower_expr(node.args[0])
+            cls_name = node.args[1].id
+            if not self.registry.has_class(cls_name):
+                raise self._fail(node, f"class {cls_name!r} is not registered")
+            return IsInstance(operand, cls_name)
+        args = tuple(self._lower_expr(a) for a in node.args)
+        if self.registry.has_class(name):
+            return New(name, args)
+        if self.registry.has_function(name):
+            return Call(name, args)
+        raise self._fail(
+            node, f"call to unregistered function or class {name!r}"
+        )
+
+
+def lower_function(
+    fn_or_source: Union[Callable, str],
+    registry: FunctionRegistry,
+    *,
+    receiver_vars: Sequence[str] = (),
+    constants: Optional[Dict[str, object]] = None,
+    name: Optional[str] = None,
+) -> IRFunction:
+    """Lower a Python handler to IR.
+
+    Args:
+        fn_or_source: a Python function object, or its source text containing
+            exactly one ``def``.
+        registry: the function/class registry the handler is compiled against.
+        receiver_vars: names of receiver-resident variables; instructions
+            touching them become StopNodes under analysis.
+        constants: names resolved to compile-time constants inside the
+            handler body.
+        name: override the IR function name.
+
+    Returns:
+        The finalized :class:`~repro.ir.function.IRFunction`.
+    """
+    if callable(fn_or_source):
+        try:
+            source = textwrap.dedent(inspect.getsource(fn_or_source))
+        except (OSError, TypeError) as exc:
+            raise LoweringError(
+                f"cannot retrieve source of {fn_or_source!r} (defined "
+                f"interactively?); pass the source text instead"
+            ) from exc
+    else:
+        source = textwrap.dedent(fn_or_source)
+    tree = ast.parse(source)
+    fdefs = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+    if len(fdefs) != 1:
+        raise LoweringError(
+            f"expected exactly one function definition, found {len(fdefs)}"
+        )
+    fdef = fdefs[0]
+    # Drop decorators: they ran (or will run) in Python, not in IR.
+    fdef.decorator_list = []
+    if name is not None:
+        fdef.name = name
+    lowerer = _Lowerer(
+        fdef,
+        registry,
+        receiver_vars=receiver_vars,
+        constants=constants or {},
+        source=source,
+    )
+    return lowerer.lower()

@@ -1,0 +1,100 @@
+"""Container for a lowered handler: the :class:`IRFunction`.
+
+An :class:`IRFunction` is a flat list of instructions plus metadata: the
+parameter variables, the label table, and the set of variables the handler
+treats as *receiver-resident* (mutable state that must stay at the message
+receiver — these force StopNodes, paper section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import IRValidationError
+from repro.ir.instructions import Goto, Identity, If, Instr, Return
+from repro.ir.values import Var
+
+
+@dataclass
+class IRFunction:
+    """A lowered message-handling method.
+
+    Attributes:
+        name: function name (for display and plan identity).
+        params: parameter variables in positional order.
+        instrs: the instruction list; indices are UG node ids.
+        labels: label name → instruction index.
+        receiver_vars: names of variables that are receiver-resident state;
+            any instruction touching one is a StopNode.
+        source: optional original Python source, kept for diagnostics.
+    """
+
+    name: str
+    params: Tuple[Var, ...]
+    instrs: List[Instr]
+    labels: Dict[str, int] = field(default_factory=dict)
+    receiver_vars: FrozenSet[str] = frozenset()
+    source: Optional[str] = None
+
+    # -- construction helpers ----------------------------------------------
+
+    def finalize(self) -> "IRFunction":
+        """Resolve branch labels to instruction indices.  Idempotent."""
+        for instr in self.instrs:
+            if isinstance(instr, (If, Goto)):
+                if instr.label not in self.labels:
+                    raise IRValidationError(
+                        f"{self.name}: branch to undefined label {instr.label!r}"
+                    )
+                instr.target_index = self.labels[instr.label]
+        return self
+
+    # -- views ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __iter__(self) -> Iterator[Instr]:
+        return iter(self.instrs)
+
+    def instr(self, index: int) -> Instr:
+        return self.instrs[index]
+
+    @property
+    def start_index(self) -> int:
+        """Index of the StartNode: the first non-Identity instruction.
+
+        Identity instructions "before" the StartNode rename parameters and
+        are excluded from partitioning (paper section 3).
+        """
+        for i, instr in enumerate(self.instrs):
+            if not isinstance(instr, Identity):
+                return i
+        return len(self.instrs) - 1 if self.instrs else 0
+
+    def successors(self, index: int) -> Tuple[int, ...]:
+        return self.instrs[index].successors(index, len(self.instrs))
+
+    def return_indices(self) -> Tuple[int, ...]:
+        return tuple(
+            i for i, instr in enumerate(self.instrs) if isinstance(instr, Return)
+        )
+
+    def variables(self) -> FrozenSet[Var]:
+        """Every variable defined or used anywhere in the function."""
+        out: set = set()
+        for instr in self.instrs:
+            out |= instr.uses()
+            out |= instr.defs()
+        out |= set(self.params)
+        return frozenset(out)
+
+    def called_functions(self) -> FrozenSet[str]:
+        out: set = set()
+        for instr in self.instrs:
+            out.update(instr.called_functions())
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        return f"<IRFunction {self.name} ({len(self.instrs)} instrs)>"

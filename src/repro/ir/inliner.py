@@ -1,0 +1,277 @@
+"""Inline expansion of registered helper calls: whole-program UGs.
+
+Paper section 7: "Our current implementation treats each method invocation
+inside the message handling method as an opaque instruction, rather than
+expanding the UG of the message handling method with a link to another UG
+for PSEs inside the latter ...  Our future research will address more
+complex, whole program based partitioning plans."
+
+This pass implements that expansion for helpers registered as *inlinable*:
+their lowered bodies are spliced into the caller (variables and labels
+renamed, parameters bound by copies, returns rewritten to
+assign-and-jump), so every edge inside a helper becomes a potential split
+edge of the whole program.  Opaque registered functions behave exactly as
+before — inlining is strictly opt-in per helper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import LoweringError
+from repro.ir.function import IRFunction
+from repro.ir.instructions import (
+    Assign,
+    Goto,
+    Identity,
+    If,
+    Instr,
+    Invoke,
+    Nop,
+    Return,
+    SetAttr,
+    SetItem,
+)
+from repro.ir.registry import FunctionRegistry
+from repro.ir.values import (
+    BinOp,
+    BuildDict,
+    BuildList,
+    BuildTuple,
+    Call,
+    Cast,
+    Compare,
+    Const,
+    Expr,
+    GetAttr,
+    GetItem,
+    IsInstance,
+    New,
+    Operand,
+    OperandExpr,
+    UnaryOp,
+    Var,
+)
+
+
+def _rename_operand(operand: Operand, prefix: str) -> Operand:
+    if isinstance(operand, Var):
+        return Var(prefix + operand.name)
+    return operand
+
+
+def _rename_expr(expr: Expr, prefix: str) -> Expr:
+    r = lambda o: _rename_operand(o, prefix)
+    if isinstance(expr, OperandExpr):
+        return OperandExpr(r(expr.operand))
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, r(expr.left), r(expr.right))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, r(expr.operand))
+    if isinstance(expr, Compare):
+        return Compare(expr.op, r(expr.left), r(expr.right))
+    if isinstance(expr, Call):
+        return Call(expr.func, tuple(r(a) for a in expr.args))
+    if isinstance(expr, New):
+        return New(expr.cls, tuple(r(a) for a in expr.args))
+    if isinstance(expr, IsInstance):
+        return IsInstance(r(expr.operand), expr.cls)
+    if isinstance(expr, Cast):
+        return Cast(expr.cls, r(expr.operand))
+    if isinstance(expr, GetAttr):
+        return GetAttr(r(expr.obj), expr.attr)
+    if isinstance(expr, GetItem):
+        return GetItem(r(expr.obj), r(expr.index))
+    if isinstance(expr, BuildList):
+        return BuildList(tuple(r(i) for i in expr.items))
+    if isinstance(expr, BuildTuple):
+        return BuildTuple(tuple(r(i) for i in expr.items))
+    if isinstance(expr, BuildDict):
+        return BuildDict(
+            tuple((r(k), r(v)) for k, v in expr.items)
+        )
+    raise LoweringError(
+        f"inliner: unknown expression {type(expr).__name__}"
+    )
+
+
+class _Splicer:
+    """Accumulates the output instruction stream of one inlining pass."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.instrs: List[Instr] = []
+        self.labels: Dict[str, int] = {}
+
+    def place(self, label: str) -> None:
+        self.labels[label] = len(self.instrs)
+        self.instrs.append(Nop(comment=label))
+
+    def emit(self, instr: Instr) -> None:
+        self.instrs.append(instr)
+
+
+def _splice_body(
+    splicer: _Splicer,
+    helper: IRFunction,
+    args: Tuple[Operand, ...],
+    target: Optional[Var],
+    prefix: str,
+) -> None:
+    """Emit *helper*'s body with renaming; returns jump to an end label."""
+    if len(args) != len(helper.params):
+        raise LoweringError(
+            f"inliner: {helper.name} takes {len(helper.params)} arguments, "
+            f"call site passes {len(args)}"
+        )
+    # The prefix is globally unique per call site, so the end label is too.
+    end_label = f"{prefix}$end"
+    # Bind parameters by copy (the helper cannot rebind caller variables:
+    # everything inside is renamed).
+    for param, arg in zip(helper.params, args):
+        splicer.emit(
+            Assign(Var(prefix + param.name), OperandExpr(arg))
+        )
+    # Labels inside the helper get prefixed names; record their spliced
+    # positions as we emit.
+    label_map = {
+        label: f"{prefix}{label}" for label in helper.labels
+    }
+    index_to_labels: Dict[int, List[str]] = {}
+    for label, idx in helper.labels.items():
+        index_to_labels.setdefault(idx, []).append(label)
+
+    for i, instr in enumerate(helper.instrs):
+        for label in index_to_labels.get(i, ()):
+            splicer.labels[label_map[label]] = len(splicer.instrs)
+        if isinstance(instr, Identity):
+            continue  # parameters already bound above
+        if isinstance(instr, Return):
+            if target is not None:
+                value = (
+                    _rename_operand(instr.value, prefix)
+                    if instr.value is not None
+                    else Const(None)
+                )
+                splicer.emit(Assign(target, OperandExpr(value)))
+            splicer.emit(Goto(end_label))
+            continue
+        if isinstance(instr, Assign):
+            splicer.emit(
+                Assign(
+                    Var(prefix + instr.target.name),
+                    _rename_expr(instr.expr, prefix),
+                )
+            )
+        elif isinstance(instr, Invoke):
+            splicer.emit(Invoke(_rename_expr(instr.call, prefix)))
+        elif isinstance(instr, SetAttr):
+            splicer.emit(
+                SetAttr(
+                    _rename_operand(instr.obj, prefix),
+                    instr.attr,
+                    _rename_operand(instr.value, prefix),
+                )
+            )
+        elif isinstance(instr, SetItem):
+            splicer.emit(
+                SetItem(
+                    _rename_operand(instr.obj, prefix),
+                    _rename_operand(instr.index, prefix),
+                    _rename_operand(instr.value, prefix),
+                )
+            )
+        elif isinstance(instr, If):
+            splicer.emit(
+                If(
+                    _rename_operand(instr.cond, prefix),
+                    label_map[instr.label],
+                    negate=instr.negate,
+                )
+            )
+        elif isinstance(instr, Goto):
+            splicer.emit(Goto(label_map[instr.label]))
+        elif isinstance(instr, Nop):
+            splicer.emit(Nop(comment=prefix + instr.comment))
+        else:
+            raise LoweringError(
+                f"inliner: unknown instruction {type(instr).__name__}"
+            )
+    splicer.place(end_label)
+
+
+def inline_calls(
+    fn: IRFunction,
+    registry: FunctionRegistry,
+    *,
+    max_depth: int = 8,
+) -> IRFunction:
+    """Expand every call to an inlinable helper inside *fn*.
+
+    Repeats until no inlinable calls remain (helpers may call helpers),
+    bounded by *max_depth* rounds — exceeding it means (mutual) recursion,
+    which cannot be inlined and raises :class:`LoweringError`.
+    """
+    current = fn
+    # one shared site counter across rounds keeps every prefix (and hence
+    # every spliced label) globally unique
+    sites = itertools.count(1)
+    for _round in range(max_depth):
+        expanded, changed = _inline_once(current, registry, sites)
+        if not changed:
+            return expanded
+        current = expanded
+    raise LoweringError(
+        f"{fn.name}: inlining did not converge within {max_depth} rounds "
+        f"(recursive helper?)"
+    )
+
+
+def _inline_once(
+    fn: IRFunction, registry: FunctionRegistry, sites: Iterator[int]
+) -> Tuple[IRFunction, bool]:
+    splicer = _Splicer(fn.name)
+    changed = False
+
+    index_to_labels: Dict[int, List[str]] = {}
+    for label, idx in fn.labels.items():
+        index_to_labels.setdefault(idx, []).append(label)
+
+    for i, instr in enumerate(fn.instrs):
+        for label in index_to_labels.get(i, ()):
+            splicer.labels[label] = len(splicer.instrs)
+
+        call: Optional[Call] = None
+        target: Optional[Var] = None
+        if isinstance(instr, Assign) and isinstance(instr.expr, Call):
+            call, target = instr.expr, instr.target
+        elif isinstance(instr, Invoke):
+            call = instr.call
+
+        helper = None
+        if call is not None and registry.has_function(call.func):
+            helper = registry.function(call.func).inline_ir
+        if helper is not None:
+            changed = True
+            prefix = f"{call.func}${next(sites)}$"
+            _splice_body(splicer, helper, call.args, target, prefix)
+            continue
+
+        # Plain instruction: copy (branch targets re-resolve at finalize).
+        if isinstance(instr, (If, Goto)):
+            clone = dataclasses.replace(instr, target_index=-1)
+            splicer.emit(clone)
+        else:
+            splicer.emit(instr)
+
+    out = IRFunction(
+        name=fn.name,
+        params=fn.params,
+        instrs=splicer.instrs,
+        labels=splicer.labels,
+        receiver_vars=fn.receiver_vars,
+        source=fn.source,
+    )
+    return out.finalize(), changed

@@ -1,0 +1,255 @@
+"""Instruction set of the IR.
+
+Each instruction is one node of the Unit Graph (UG).  This mirrors the
+paper's use of Jimple, where "each node is an instruction instead of a basic
+block" (paper section 2.1).  Instructions expose:
+
+* :meth:`Instr.uses` — the variables read (USE set for liveness),
+* :meth:`Instr.defs` — the variables written (DEF set),
+* :meth:`Instr.successors` — intra-function control-flow targets given the
+  instruction's own index, used to build the UG.
+
+Branch targets are symbolic labels during construction and are resolved to
+instruction indices when an :class:`~repro.ir.function.IRFunction` is
+finalized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from repro.ir.values import Call, Expr, Operand, Var, operand_vars
+
+
+class Instr:
+    """Base class for IR instructions.
+
+    Instances are mutable only in their ``target_index`` fields (set once by
+    label resolution); all value fields are immutable IR values.
+    """
+
+    def uses(self) -> FrozenSet[Var]:
+        """Variables read by this instruction."""
+        raise NotImplementedError
+
+    def defs(self) -> FrozenSet[Var]:
+        """Variables written by this instruction."""
+        return frozenset()
+
+    def successors(self, index: int, n_instrs: int) -> Tuple[int, ...]:
+        """Indices of control-flow successors of this instruction at *index*."""
+        if index + 1 < n_instrs:
+            return (index + 1,)
+        return ()
+
+    @property
+    def is_terminator(self) -> bool:
+        """True when control never falls through to the next instruction."""
+        return False
+
+    def called_functions(self) -> Tuple[str, ...]:
+        """Names of registered functions invoked by this instruction."""
+        return ()
+
+
+@dataclass
+class Identity(Instr):
+    """Bind a parameter (or ``self``) to a local: ``r0 := @parameter0``.
+
+    These are the instructions "before" the StartNode in the paper's
+    terminology — they rename parameters and are excluded from partitioning.
+    """
+
+    target: Var
+    source: str  # e.g. "@parameter0" or "@this"
+    param_index: Optional[int] = None  # None for @this
+
+    def uses(self) -> FrozenSet[Var]:
+        return frozenset()
+
+    def defs(self) -> FrozenSet[Var]:
+        return frozenset((self.target,))
+
+    def __repr__(self) -> str:
+        return f"{self.target!r} := {self.source}"
+
+
+@dataclass
+class Assign(Instr):
+    """``target = expr`` where *expr* is any :class:`~repro.ir.values.Expr`."""
+
+    target: Var
+    expr: Expr
+
+    def uses(self) -> FrozenSet[Var]:
+        return self.expr.uses()
+
+    def defs(self) -> FrozenSet[Var]:
+        return frozenset((self.target,))
+
+    def called_functions(self) -> Tuple[str, ...]:
+        if isinstance(self.expr, Call):
+            return (self.expr.func,)
+        return ()
+
+    def __repr__(self) -> str:
+        return f"{self.target!r} = {self.expr!r}"
+
+
+@dataclass
+class Invoke(Instr):
+    """A call whose result is discarded: ``invoke f(a, b)``."""
+
+    call: Call
+
+    def uses(self) -> FrozenSet[Var]:
+        return self.call.uses()
+
+    def called_functions(self) -> Tuple[str, ...]:
+        return (self.call.func,)
+
+    def __repr__(self) -> str:
+        return repr(self.call)
+
+
+@dataclass
+class SetAttr(Instr):
+    """Field write: ``obj.attr = value``.
+
+    The object is both used and (conceptually) defined; because the write
+    mutates the heap rather than the register, ``obj`` appears in ``uses``
+    and in ``mutates`` but not in ``defs``.
+    """
+
+    obj: Operand
+    attr: str
+    value: Operand
+
+    def uses(self) -> FrozenSet[Var]:
+        return operand_vars(self.obj) | operand_vars(self.value)
+
+    def mutates(self) -> FrozenSet[Var]:
+        return operand_vars(self.obj)
+
+    def __repr__(self) -> str:
+        return f"{self.obj!r}.{self.attr} = {self.value!r}"
+
+
+@dataclass
+class SetItem(Instr):
+    """Indexed write: ``obj[index] = value``."""
+
+    obj: Operand
+    index: Operand
+    value: Operand
+
+    def uses(self) -> FrozenSet[Var]:
+        return (
+            operand_vars(self.obj)
+            | operand_vars(self.index)
+            | operand_vars(self.value)
+        )
+
+    def mutates(self) -> FrozenSet[Var]:
+        return operand_vars(self.obj)
+
+    def __repr__(self) -> str:
+        return f"{self.obj!r}[{self.index!r}] = {self.value!r}"
+
+
+@dataclass
+class If(Instr):
+    """Conditional branch: ``if cond goto label`` (falls through otherwise).
+
+    The condition is a bare operand; the builder materializes compound
+    conditions into temporaries first, so every UG node stays a single
+    Jimple-sized instruction.
+    """
+
+    cond: Operand
+    label: str
+    negate: bool = False
+    target_index: int = -1
+
+    def uses(self) -> FrozenSet[Var]:
+        return operand_vars(self.cond)
+
+    def successors(self, index: int, n_instrs: int) -> Tuple[int, ...]:
+        out = []
+        if index + 1 < n_instrs:
+            out.append(index + 1)
+        if self.target_index >= 0:
+            out.append(self.target_index)
+        return tuple(out)
+
+    def __repr__(self) -> str:
+        cond = f"not {self.cond!r}" if self.negate else repr(self.cond)
+        return f"if {cond} goto {self.label}"
+
+
+@dataclass
+class Goto(Instr):
+    """Unconditional branch: ``goto label``."""
+
+    label: str
+    target_index: int = -1
+
+    def uses(self) -> FrozenSet[Var]:
+        return frozenset()
+
+    def successors(self, index: int, n_instrs: int) -> Tuple[int, ...]:
+        if self.target_index >= 0:
+            return (self.target_index,)
+        return ()
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"goto {self.label}"
+
+
+@dataclass
+class Return(Instr):
+    """``return [value]`` — always a StopNode (paper section 3)."""
+
+    value: Optional[Operand] = None
+
+    def uses(self) -> FrozenSet[Var]:
+        if self.value is None:
+            return frozenset()
+        return operand_vars(self.value)
+
+    def successors(self, index: int, n_instrs: int) -> Tuple[int, ...]:
+        return ()
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        if self.value is None:
+            return "return"
+        return f"return {self.value!r}"
+
+
+@dataclass
+class Nop(Instr):
+    """A no-op; used as a label anchor by the builder."""
+
+    comment: str = ""
+
+    def uses(self) -> FrozenSet[Var]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return f"nop  # {self.comment}" if self.comment else "nop"
+
+
+def instruction_mutations(instr: Instr) -> FrozenSet[Var]:
+    """Variables whose referenced heap object is mutated by *instr*."""
+    if isinstance(instr, (SetAttr, SetItem)):
+        return instr.mutates()
+    return frozenset()

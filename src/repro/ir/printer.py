@@ -1,0 +1,97 @@
+"""Textual dump of IR functions, visually modeled on Jimple listings.
+
+The output format intentionally resembles the paper's Figure 4, so a lowered
+handler can be compared side-by-side with the paper's ``push()`` example:
+
+.. code-block:: text
+
+    public void push(event) {
+     1: event := @parameter0
+     2: $t1 = event instanceof ImageData
+     3: if not $t1 goto Lelse1
+     ...
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import IRFunction
+from repro.ir.instructions import Goto, If, Nop
+
+
+def format_function(fn: IRFunction, *, show_labels: bool = True) -> str:
+    """Render *fn* as an indexed instruction listing."""
+    index_to_labels = {}
+    for label, idx in fn.labels.items():
+        index_to_labels.setdefault(idx, []).append(label)
+
+    width = len(str(max(len(fn.instrs) - 1, 0)))
+    lines: List[str] = []
+    params = ", ".join(p.name for p in fn.params)
+    lines.append(f"def {fn.name}({params}) {{")
+    for i, instr in enumerate(fn.instrs):
+        prefix = ""
+        if show_labels and i in index_to_labels:
+            for label in index_to_labels[i]:
+                lines.append(f"{label}:")
+        lines.append(f"  {i:>{width}}: {instr!r}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_edge(fn: IRFunction, edge: tuple) -> str:
+    """Render a UG edge as ``Edge(i, j): <out instr> -> <in instr>``."""
+    i, j = edge
+    return f"Edge({i}, {j}): [{fn.instrs[i]!r}] -> [{fn.instrs[j]!r}]"
+
+
+def format_unit_graph(
+    fn: IRFunction,
+    *,
+    stop_nodes=frozenset(),
+    pse_edges=frozenset(),
+    active_edges=frozenset(),
+    start_node: int = None,
+) -> str:
+    """ASCII rendering of the Unit Graph with analysis annotations.
+
+    Mirrors the paper's Figures 5/6: the listing augmented per node with
+    ``[START]`` / ``[STOP]`` markers and, per fall-through edge, a gutter
+    mark — ``┆`` for a candidate PSE, ``━`` for the active split.
+    Non-adjacent control edges (branches) are printed as explicit
+    ``-> target`` annotations with the same markers.
+    """
+    if start_node is None:
+        start_node = fn.start_index
+    width = len(str(max(len(fn.instrs) - 1, 0)))
+    lines = []
+    params = ", ".join(p.name for p in fn.params)
+    lines.append(f"def {fn.name}({params})")
+    n = len(fn.instrs)
+    for i, instr in enumerate(fn.instrs):
+        marks = []
+        if i == start_node:
+            marks.append("START")
+        if i in stop_nodes:
+            marks.append("STOP")
+        suffix = f"   [{', '.join(marks)}]" if marks else ""
+        jumps = []
+        for s in instr.successors(i, n):
+            if s != i + 1:
+                edge = (i, s)
+                mark = (
+                    " ACTIVE" if edge in active_edges
+                    else " PSE" if edge in pse_edges
+                    else ""
+                )
+                jumps.append(f"-> {s}{mark}")
+        jump_txt = ("   " + ", ".join(jumps)) if jumps else ""
+        lines.append(f"  {i:>{width}}: {instr!r}{suffix}{jump_txt}")
+        fall = (i, i + 1)
+        if i + 1 < n and fall in (pse_edges | active_edges):
+            gutter = "━" if fall in active_edges else "┆"
+            label = "ACTIVE SPLIT" if fall in active_edges else "PSE"
+            lines.append(f"  {'':>{width}}  {gutter} {label}")
+    return "\n".join(lines)

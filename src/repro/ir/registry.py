@@ -1,0 +1,204 @@
+"""Registry of functions and classes callable from IR handlers.
+
+The paper's prototype treats method invocations inside a handler as opaque
+instructions, and marks instructions that invoke *native* methods as
+StopNodes (they must execute at the receiver).  We model that with a
+registry: handler code may only call functions registered here, and each
+registration records
+
+* the Python callable that implements the function,
+* whether the function is **receiver-only** ("native" in the paper — e.g. a
+  display routine backed by the client's frame buffer),
+* an optional **cycle-cost function** used by the metered interpreter when
+  handlers run on simulated hosts (see :mod:`repro.simnet`),
+* whether the function is **pure** (no observable side effects), which lets
+  analyses reason about mutation.
+
+Registered classes play the role of the application classes that Soot sees
+on the Java classpath (e.g. ``ImageData`` in the paper's Appendix A).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import UnknownFunctionError
+
+
+@dataclass
+class FunctionEntry:
+    """One registered callable."""
+
+    name: str
+    fn: Callable
+    receiver_only: bool = False
+    pure: bool = True
+    #: cycles(args) -> float: abstract CPU cycles consumed by one invocation,
+    #: used only under metered execution.  ``None`` means a default small cost.
+    cycle_cost: Optional[Callable[..., float]] = None
+    #: lowered body for inline expansion (see repro.ir.inliner); ``None``
+    #: keeps the call opaque, the paper's default treatment.
+    inline_ir: Optional[object] = None
+
+
+@dataclass
+class ClassEntry:
+    """One registered constructible class."""
+
+    name: str
+    cls: type
+    #: cycles(*ctor_args) for metered execution of the constructor.
+    cycle_cost: Optional[Callable[..., float]] = None
+
+
+class FunctionRegistry:
+    """Name → callable/class mapping shared by builder, analyses, interpreter.
+
+    A registry is deliberately explicit rather than ambient: the same handler
+    can be analyzed against different registries (e.g. marking ``display`` as
+    receiver-only for a thin client but not for a peer), which changes the
+    StopNode set and therefore the PSE set.
+    """
+
+    def __init__(self) -> None:
+        self._functions: Dict[str, FunctionEntry] = {}
+        self._classes: Dict[str, ClassEntry] = {}
+        self._install_builtins()
+
+    # -- registration -----------------------------------------------------
+
+    def register_function(
+        self,
+        name: str,
+        fn: Callable,
+        *,
+        receiver_only: bool = False,
+        pure: bool = True,
+        cycle_cost: Optional[Callable[..., float]] = None,
+    ) -> FunctionEntry:
+        """Register *fn* under *name*; returns the entry for inspection."""
+        entry = FunctionEntry(
+            name=name,
+            fn=fn,
+            receiver_only=receiver_only,
+            pure=pure,
+            cycle_cost=cycle_cost,
+        )
+        self._functions[name] = entry
+        return entry
+
+    def register_inline(
+        self,
+        name: str,
+        fn_or_source,
+        *,
+        constants=None,
+    ) -> FunctionEntry:
+        """Register a helper whose body is expanded into its callers.
+
+        The helper is lowered against this registry (so everything *it*
+        calls must be registered first); the entry stays callable for
+        opaque use via the interpreter.  Inlinable helpers are necessarily
+        pure sender-safe code: receiver-only natives belong inside them,
+        not as them.
+        """
+        from repro.ir.builder import lower_function
+        from repro.ir.validate import validate_function
+
+        ir = lower_function(
+            fn_or_source, self, constants=constants, name=name
+        )
+        validate_function(ir)
+
+        if callable(fn_or_source):
+            direct = fn_or_source
+        else:
+            def direct(*args):
+                from repro.ir.interpreter import Interpreter
+
+                return Interpreter(self).run(ir, list(args)).value
+
+        entry = FunctionEntry(
+            name=name, fn=direct, pure=True, inline_ir=ir
+        )
+        self._functions[name] = entry
+        return entry
+
+    def register_class(
+        self,
+        cls: type,
+        *,
+        name: Optional[str] = None,
+        cycle_cost: Optional[Callable[..., float]] = None,
+    ) -> ClassEntry:
+        """Register a class so handlers can ``Cls(...)`` / ``isinstance``."""
+        entry = ClassEntry(name=name or cls.__name__, cls=cls, cycle_cost=cycle_cost)
+        self._classes[entry.name] = entry
+        return entry
+
+    # -- lookup -----------------------------------------------------------
+
+    def function(self, name: str) -> FunctionEntry:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise UnknownFunctionError(
+                f"function {name!r} is not registered; handlers may only call "
+                f"registered functions"
+            ) from None
+
+    def has_function(self, name: str) -> bool:
+        return name in self._functions
+
+    def cls(self, name: str) -> ClassEntry:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise UnknownFunctionError(
+                f"class {name!r} is not registered"
+            ) from None
+
+    def has_class(self, name: str) -> bool:
+        return name in self._classes
+
+    def is_receiver_only(self, name: str) -> bool:
+        """True when calls to *name* pin their instruction to the receiver."""
+        entry = self._functions.get(name)
+        return entry is not None and entry.receiver_only
+
+    def function_names(self) -> Tuple[str, ...]:
+        return tuple(self._functions)
+
+    def class_names(self) -> Tuple[str, ...]:
+        return tuple(self._classes)
+
+    # -- builtins ----------------------------------------------------------
+
+    def _install_builtins(self) -> None:
+        """Install a small standard library available to every handler.
+
+        These mirror what a Jimple handler gets "for free" from the JDK:
+        ``len``, ``min``/``max``, ``abs``, ``range``, numeric conversions.
+        All are pure and sender-safe.
+        """
+        for name, fn in (
+            ("len", len),
+            ("min", min),
+            ("max", max),
+            ("abs", abs),
+            ("int", int),
+            ("float", float),
+            ("bool", bool),
+            ("str", str),
+            ("range", lambda *a: list(range(*a))),
+            ("sum", sum),
+            ("round", round),
+        ):
+            self.register_function(name, fn, pure=True)
+
+
+def default_registry() -> FunctionRegistry:
+    """A fresh registry with only the builtins installed."""
+    return FunctionRegistry()

@@ -1,0 +1,100 @@
+"""Structural validation of IR functions.
+
+Run after lowering (and after splitting, which rewrites programs) to catch
+malformed IR early: dangling branch targets, unreachable fall-through off the
+end of the function, uses of never-defined variables on some path, duplicate
+labels, and parameters without Identity bindings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.errors import IRValidationError
+from repro.ir.function import IRFunction
+from repro.ir.instructions import Goto, Identity, If, Instr, Return
+
+
+def validate_function(fn: IRFunction) -> None:
+    """Raise :class:`IRValidationError` when *fn* is structurally invalid."""
+    errors: List[str] = []
+    n = len(fn.instrs)
+    if n == 0:
+        raise IRValidationError(f"{fn.name}: empty instruction list")
+
+    # Branch targets resolved and in range.
+    for i, instr in enumerate(fn.instrs):
+        if isinstance(instr, (If, Goto)):
+            if instr.target_index < 0:
+                errors.append(f"instr {i}: unresolved label {instr.label!r}")
+            elif not (0 <= instr.target_index < n):
+                errors.append(
+                    f"instr {i}: branch target {instr.target_index} out of range"
+                )
+
+    # Branch-target errors make the graph unsafe to traverse; stop here.
+    if errors:
+        raise IRValidationError(
+            f"{fn.name}: invalid IR:\n  " + "\n  ".join(errors)
+        )
+
+    # Labels point into range and are unique per index list construction.
+    for label, idx in fn.labels.items():
+        if not (0 <= idx < n):
+            errors.append(f"label {label!r} -> {idx} out of range")
+
+    # No fall-through off the end: last reachable non-terminator must not be
+    # the final instruction unless it is a Return/Goto.
+    last = fn.instrs[-1]
+    if not last.is_terminator and not isinstance(last, Return):
+        errors.append("control may fall off the end of the function")
+
+    # Identity instructions must form a prefix and cover each param once.
+    seen_non_identity = False
+    identity_params: Set[str] = set()
+    for i, instr in enumerate(fn.instrs):
+        if isinstance(instr, Identity):
+            if seen_non_identity:
+                errors.append(f"instr {i}: Identity after non-Identity")
+            identity_params.add(instr.target.name)
+        else:
+            seen_non_identity = True
+    for p in fn.params:
+        if p.name not in identity_params:
+            errors.append(f"parameter {p.name!r} has no Identity binding")
+
+    # Reachability: every instruction reachable from 0 must have in-range
+    # successors (guaranteed above); also check for obviously undefined uses
+    # along a conservative forward pass.
+    reachable = _reachable_set(fn)
+    maybe_defined: Set[str] = {p.name for p in fn.params}
+    # Conservative: a variable is "maybe defined" if any reachable instruction
+    # defines it; flag uses of variables never defined anywhere.
+    for i in reachable:
+        for v in fn.instrs[i].defs():
+            maybe_defined.add(v.name)
+    for i in reachable:
+        for v in fn.instrs[i].uses():
+            if v.name not in maybe_defined:
+                errors.append(
+                    f"instr {i}: use of never-defined variable {v.name!r}"
+                )
+
+    if errors:
+        raise IRValidationError(
+            f"{fn.name}: invalid IR:\n  " + "\n  ".join(errors)
+        )
+
+
+def _reachable_set(fn: IRFunction) -> Set[int]:
+    seen: Set[int] = set()
+    stack = [0]
+    while stack:
+        i = stack.pop()
+        if i in seen:
+            continue
+        seen.add(i)
+        for s in fn.successors(i):
+            if s not in seen:
+                stack.append(s)
+    return seen

@@ -1,0 +1,281 @@
+"""Value and expression model for the instruction-level IR.
+
+The IR mirrors Soot's Jimple (the paper's substrate) in shape: it is a
+register-based three-address form in which every *instruction* is a node of
+the Unit Graph.  Values are either variables (registers) or constants;
+expressions combine at most a handful of values and appear only on the
+right-hand side of an assignment or as the condition of a branch.
+
+Everything here is immutable and hashable so that analyses can use values
+as dictionary keys and set members.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Var:
+    """A local variable (register) of an IR function.
+
+    Names are unique within a function.  Compiler-introduced temporaries are
+    prefixed with ``$`` exactly as Jimple prints them (``$t3``), which keeps
+    dumps visually comparable to the paper's Figure 4.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+    @property
+    def is_temp(self) -> bool:
+        return self.name.startswith("$")
+
+
+@dataclass(frozen=True)
+class Const:
+    """A literal constant (int, float, str, bool, bytes or None)."""
+
+    value: object
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+#: A value that may appear as an operand of an expression.
+Operand = Union[Var, Const]
+
+
+def operand_vars(operand: Operand) -> FrozenSet[Var]:
+    """Return the set of variables read by *operand*."""
+    if isinstance(operand, Var):
+        return frozenset((operand,))
+    return frozenset()
+
+
+class Expr:
+    """Base class for right-hand-side expressions.
+
+    Subclasses are frozen dataclasses; :meth:`uses` returns every variable
+    the expression reads, which feeds the USE sets of liveness analysis.
+    """
+
+    def uses(self) -> FrozenSet[Var]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """``left <op> right`` for arithmetic/bitwise operators.
+
+    ``op`` is one of ``+ - * / // % ** << >> & | ^``.
+    """
+
+    op: str
+    left: Operand
+    right: Operand
+
+    def uses(self) -> FrozenSet[Var]:
+        return operand_vars(self.left) | operand_vars(self.right)
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.op} {self.right!r}"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """``<op> operand`` where ``op`` is one of ``- + not ~``."""
+
+    op: str
+    operand: Operand
+
+    def uses(self) -> FrozenSet[Var]:
+        return operand_vars(self.operand)
+
+    def __repr__(self) -> str:
+        return f"{self.op} {self.operand!r}"
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    """``left <op> right`` for ``== != < <= > >= is is-not in not-in``."""
+
+    op: str
+    left: Operand
+    right: Operand
+
+    def uses(self) -> FrozenSet[Var]:
+        return operand_vars(self.left) | operand_vars(self.right)
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.op} {self.right!r}"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A call to a registered function: ``func(arg0, arg1, ...)``.
+
+    Calls are *opaque* to the analyses, exactly as the paper's prototype
+    treats method invocations inside handlers (paper section 7).  Whether a
+    call pins its instruction to the receiver (a "native" call in the
+    paper's terminology) is a property of the registered function, not of
+    the call site; see :class:`repro.ir.registry.FunctionRegistry`.
+    """
+
+    func: str
+    args: Tuple[Operand, ...]
+
+    def uses(self) -> FrozenSet[Var]:
+        out: FrozenSet[Var] = frozenset()
+        for arg in self.args:
+            out |= operand_vars(arg)
+        return out
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(a) for a in self.args)
+        return f"invoke {self.func}({args})"
+
+
+@dataclass(frozen=True)
+class New(Expr):
+    """Instantiate a registered class: ``new Cls(arg0, ...)``."""
+
+    cls: str
+    args: Tuple[Operand, ...]
+
+    def uses(self) -> FrozenSet[Var]:
+        out: FrozenSet[Var] = frozenset()
+        for arg in self.args:
+            out |= operand_vars(arg)
+        return out
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(a) for a in self.args)
+        return f"new {self.cls}({args})"
+
+
+@dataclass(frozen=True)
+class IsInstance(Expr):
+    """``operand instanceof cls`` (paper Figure 4, line 3)."""
+
+    operand: Operand
+    cls: str
+
+    def uses(self) -> FrozenSet[Var]:
+        return operand_vars(self.operand)
+
+    def __repr__(self) -> str:
+        return f"{self.operand!r} instanceof {self.cls}"
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    """``(cls) operand`` — a checked cast (paper Figure 4, line 5)."""
+
+    cls: str
+    operand: Operand
+
+    def uses(self) -> FrozenSet[Var]:
+        return operand_vars(self.operand)
+
+    def __repr__(self) -> str:
+        return f"({self.cls}) {self.operand!r}"
+
+
+@dataclass(frozen=True)
+class GetAttr(Expr):
+    """Field read: ``obj.attr``."""
+
+    obj: Operand
+    attr: str
+
+    def uses(self) -> FrozenSet[Var]:
+        return operand_vars(self.obj)
+
+    def __repr__(self) -> str:
+        return f"{self.obj!r}.{self.attr}"
+
+
+@dataclass(frozen=True)
+class GetItem(Expr):
+    """Indexed read: ``obj[index]``."""
+
+    obj: Operand
+    index: Operand
+
+    def uses(self) -> FrozenSet[Var]:
+        return operand_vars(self.obj) | operand_vars(self.index)
+
+    def __repr__(self) -> str:
+        return f"{self.obj!r}[{self.index!r}]"
+
+
+@dataclass(frozen=True)
+class BuildList(Expr):
+    """Construct a list from operands."""
+
+    items: Tuple[Operand, ...]
+
+    def uses(self) -> FrozenSet[Var]:
+        out: FrozenSet[Var] = frozenset()
+        for item in self.items:
+            out |= operand_vars(item)
+        return out
+
+    def __repr__(self) -> str:
+        return "[" + ", ".join(repr(i) for i in self.items) + "]"
+
+
+@dataclass(frozen=True)
+class BuildTuple(Expr):
+    """Construct a tuple from operands."""
+
+    items: Tuple[Operand, ...]
+
+    def uses(self) -> FrozenSet[Var]:
+        out: FrozenSet[Var] = frozenset()
+        for item in self.items:
+            out |= operand_vars(item)
+        return out
+
+    def __repr__(self) -> str:
+        return "(" + ", ".join(repr(i) for i in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class BuildDict(Expr):
+    """Construct a dict from key/value operand pairs."""
+
+    items: Tuple[Tuple[Operand, Operand], ...]
+
+    def uses(self) -> FrozenSet[Var]:
+        out: FrozenSet[Var] = frozenset()
+        for key, value in self.items:
+            out |= operand_vars(key) | operand_vars(value)
+        return out
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k!r}: {v!r}" for k, v in self.items)
+        return "{" + inner + "}"
+
+
+@dataclass(frozen=True)
+class OperandExpr(Expr):
+    """A bare operand used as an expression (simple copy: ``x = y``)."""
+
+    operand: Operand
+
+    def uses(self) -> FrozenSet[Var]:
+        return operand_vars(self.operand)
+
+    def __repr__(self) -> str:
+        return repr(self.operand)
+
+
+def expr_fields(expr: Expr) -> Tuple[object, ...]:
+    """Return the dataclass field values of *expr* (for generic rewriting)."""
+    return tuple(getattr(expr, f.name) for f in dataclasses.fields(expr))

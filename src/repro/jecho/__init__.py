@@ -1,0 +1,59 @@
+"""JECho-style distributed event system substrate.
+
+* :class:`EventChannel` / :class:`Subscription` — pub/sub with plain and
+  Method Partitioning subscriptions (the latter deploy modulators into
+  senders).
+* :class:`LocalTransport` / :class:`SimLinkTransport` — in-process and
+  simulated-network delivery.
+* :mod:`repro.jecho.events` — the four wire envelopes.
+* :func:`estimate_installation` — modulator footprint accounting
+  (paper section 5.3).
+"""
+
+from repro.jecho.broker import (
+    BrokerChannel,
+    BrokerStats,
+    BrokerSubscription,
+)
+from repro.jecho.channel import (
+    EventChannel,
+    EventSource,
+    PairState,
+    Subscription,
+    SubscriptionStats,
+)
+from repro.jecho.deployment import (
+    INSTRUMENTATION_BYTES_PER_PSE,
+    REDIRECT_CLASS_BYTES,
+    ModulatorInstallation,
+    estimate_installation,
+)
+from repro.jecho.events import (
+    ContinuationEnvelope,
+    EventEnvelope,
+    FeedbackEnvelope,
+    PlanEnvelope,
+)
+from repro.jecho.transport import LocalTransport, SimLinkTransport, Transport
+
+__all__ = [
+    "EventChannel",
+    "EventSource",
+    "PairState",
+    "Subscription",
+    "SubscriptionStats",
+    "BrokerChannel",
+    "BrokerSubscription",
+    "BrokerStats",
+    "Transport",
+    "LocalTransport",
+    "SimLinkTransport",
+    "EventEnvelope",
+    "ContinuationEnvelope",
+    "FeedbackEnvelope",
+    "PlanEnvelope",
+    "ModulatorInstallation",
+    "estimate_installation",
+    "REDIRECT_CLASS_BYTES",
+    "INSTRUMENTATION_BYTES_PER_PSE",
+]

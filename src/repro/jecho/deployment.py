@@ -1,0 +1,54 @@
+"""Modulator installation cost accounting (paper section 5.3).
+
+The paper excludes modulator-installation costs from its measurements but
+quantifies the footprint: "each additional PSE will require a new redirect
+argument class (around 500 to 800 bytes in our experiments), and there are
+increases [in] the sizes of the modulator and demodulator classes due to
+instrumentation codes (about 150 bytes per PSE)".
+
+:func:`estimate_installation` reproduces that accounting for a partitioned
+method, so the overhead ablation can report the same quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.partitioned import PartitionedMethod
+from repro.ir.printer import format_function
+
+#: per-PSE redirect-argument class footprint (paper: 500-800 bytes)
+REDIRECT_CLASS_BYTES = 650
+#: per-PSE instrumentation code in modulator+demodulator (paper: ~150 bytes)
+INSTRUMENTATION_BYTES_PER_PSE = 150
+
+
+@dataclass
+class ModulatorInstallation:
+    """Footprint of installing one modulator at a sender."""
+
+    #: bytes of the handler program itself (textual IR as the mobile code)
+    code_bytes: int
+    pse_count: int
+    redirect_class_bytes: int
+    instrumentation_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.code_bytes
+            + self.redirect_class_bytes
+            + self.instrumentation_bytes
+        )
+
+
+def estimate_installation(partitioned: PartitionedMethod) -> ModulatorInstallation:
+    """Estimate the one-time cost of shipping this modulator to a sender."""
+    code = format_function(partitioned.function).encode("utf-8")
+    n_pse = len(partitioned.pses)
+    return ModulatorInstallation(
+        code_bytes=len(code),
+        pse_count=n_pse,
+        redirect_class_bytes=n_pse * REDIRECT_CLASS_BYTES,
+        instrumentation_bytes=n_pse * INSTRUMENTATION_BYTES_PER_PSE,
+    )

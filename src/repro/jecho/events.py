@@ -1,0 +1,63 @@
+"""Message envelopes of the event system.
+
+Four message kinds travel between a sender and a receiver:
+
+* :class:`EventEnvelope` — an *unmodulated* application event (used by
+  subscriptions without Method Partitioning, i.e. the manual baselines);
+* :class:`ContinuationEnvelope` — a modulated event: the PSE id plus the
+  handed-over live variables (paper Figure 2);
+* :class:`FeedbackEnvelope` — profiling feedback from the demodulator side
+  to the Reconfiguration Unit;
+* :class:`PlanEnvelope` — a new partitioning plan pushed to the modulator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.continuation import ContinuationMessage
+from repro.core.plan import PartitioningPlan
+
+_seq = itertools.count()
+
+
+def next_sequence() -> int:
+    return next(_seq)
+
+
+@dataclass
+class EventEnvelope:
+    """A raw application event on the wire."""
+
+    payload: object
+    seq: int = field(default_factory=next_sequence)
+
+
+@dataclass
+class ContinuationEnvelope:
+    """A modulated event: continuation message plus bookkeeping."""
+
+    continuation: ContinuationMessage
+    subscription_id: int
+    seq: int = field(default_factory=next_sequence)
+
+
+@dataclass
+class FeedbackEnvelope:
+    """Profiling feedback (PSE stats snapshot), receiver → reconfigurator."""
+
+    subscription_id: int
+    #: edge -> (t_demod mean, t_demod count) — the demodulator-side share
+    demod_stats: Dict[Tuple[int, int], Tuple[float, int]]
+    seq: int = field(default_factory=next_sequence)
+
+
+@dataclass
+class PlanEnvelope:
+    """A plan update, reconfigurator → modulator."""
+
+    subscription_id: int
+    plan: PartitioningPlan
+    seq: int = field(default_factory=next_sequence)

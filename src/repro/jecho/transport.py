@@ -1,0 +1,63 @@
+"""Transports: how envelopes move from sender to receiver.
+
+* :class:`LocalTransport` — synchronous in-process delivery; the examples
+  and tests use it to exercise the full modulator/demodulator path without
+  a simulator.
+* :class:`SimLinkTransport` — delivery through a :class:`repro.simnet.Link`
+  with sizes paid on the simulated network; used by the experiment
+  harnesses.
+
+Both count messages and bytes so experiments can report traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simnet.link import Link
+from repro.simnet.simulator import Simulator
+
+#: A delivery target: any callable accepting the envelope.
+Destination = Callable[[object], None]
+
+
+class Transport:
+    """Base transport with traffic accounting."""
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.bytes_sent = 0.0
+
+    def send(self, destination: Destination, envelope: object, size: float) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self._deliver(destination, envelope, size)
+
+    def _deliver(
+        self, destination: Destination, envelope: object, size: float
+    ) -> None:
+        raise NotImplementedError
+
+
+class LocalTransport(Transport):
+    """Immediate, zero-latency delivery (same process)."""
+
+    def _deliver(
+        self, destination: Destination, envelope: object, size: float
+    ) -> None:
+        destination(envelope)
+
+
+class SimLinkTransport(Transport):
+    """Delivery over a simulated link; arrival is scheduled on the DES."""
+
+    def __init__(self, sim: Simulator, link: Link) -> None:
+        super().__init__()
+        self.sim = sim
+        self.link = link
+
+    def _deliver(
+        self, destination: Destination, envelope: object, size: float
+    ) -> None:
+        arrival = self.link.delivery_time(size)
+        self.sim.schedule(arrival - self.sim.now, destination, envelope)

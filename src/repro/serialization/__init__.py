@@ -1,0 +1,36 @@
+"""Custom serialization substrate: wire format, sizing, self-sizing.
+
+* :class:`Serializer` / :class:`SerializerRegistry` — encode/decode values
+  (continuation messages, events) in a compact tag-prefixed format with
+  back-references for shared objects.
+* :func:`measure_size` — exact serialized size without serializing (the
+  paper's "customized object serialization algorithm" for size profiling).
+* :class:`SelfSizedObject` / :func:`generate_self_sizing` /
+  :func:`is_self_sized` — the paper's compiler-generated size
+  self-description (Appendix B, Table 1).
+* :mod:`repro.serialization.format` — wire constants
+  (``STRING_HEADER_SIZE`` etc.).
+"""
+
+from repro.serialization.registry import SerializableClass, SerializerRegistry
+from repro.serialization.serializer import Serializer
+from repro.serialization.sizing import (
+    SelfSizedObject,
+    generate_self_sizing,
+    is_self_sized,
+    measure_size,
+    object_header_size,
+    self_size,
+)
+
+__all__ = [
+    "Serializer",
+    "SerializerRegistry",
+    "SerializableClass",
+    "measure_size",
+    "SelfSizedObject",
+    "is_self_sized",
+    "generate_self_sizing",
+    "object_header_size",
+    "self_size",
+]

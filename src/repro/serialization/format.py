@@ -1,0 +1,54 @@
+"""Wire-format constants for the continuation-message serializer.
+
+The format is a compact tag-prefixed binary encoding with back-references
+for shared objects.  Sizes here define the "cost" the data-size cost model
+optimizes: the paper defines a PSE's cost as "the total runtime size of the
+unique objects reachable from any of the variables in [the INTER] set, plus
+the total number of duplicated references to those unique objects"
+(section 4.1).
+"""
+
+from __future__ import annotations
+
+# Type tags (1 byte each).
+TAG_NONE = 0x00
+TAG_TRUE = 0x01
+TAG_FALSE = 0x02
+TAG_INT = 0x03
+TAG_FLOAT = 0x04
+TAG_STR = 0x05
+TAG_BYTES = 0x06
+TAG_BYTEARRAY = 0x07
+TAG_LIST = 0x08
+TAG_TUPLE = 0x09
+TAG_DICT = 0x0A
+TAG_SET = 0x0B
+TAG_REF = 0x0C
+TAG_OBJ = 0x0D
+TAG_INT_ARRAY = 0x0E
+TAG_FLOAT_ARRAY = 0x0F
+#: typed array.array('q') — the analogue of Java's int[]
+TAG_TYPED_INT_ARRAY = 0x10
+#: typed array.array('d') — the analogue of Java's double[]
+TAG_TYPED_FLOAT_ARRAY = 0x11
+
+#: bytes of a type tag
+TAG_SIZE = 1
+#: bytes of a length/count prefix
+LEN_SIZE = 4
+#: bytes of an encoded int payload
+INT_SIZE = 8
+#: bytes of an encoded float payload
+FLOAT_SIZE = 8
+#: bytes of a back-reference payload
+REF_SIZE = 4
+
+# Header sizes exposed to self-sizing methods, mirroring the paper's
+# Appendix B (``ObjectSize.STRING_HEADER_SIZE`` etc.).
+STRING_HEADER_SIZE = TAG_SIZE + LEN_SIZE
+OBJECT_HEADER_SIZE = TAG_SIZE + LEN_SIZE  # tag + field count; class name extra
+ARRAY_HEADER_SIZE = TAG_SIZE + LEN_SIZE
+INT_VALUE_SIZE = TAG_SIZE + INT_SIZE
+FLOAT_VALUE_SIZE = TAG_SIZE + FLOAT_SIZE
+BOOL_VALUE_SIZE = TAG_SIZE
+NONE_VALUE_SIZE = TAG_SIZE

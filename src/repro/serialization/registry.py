@@ -1,0 +1,76 @@
+"""Registration of application classes with the serializer.
+
+The paper's prototype serializes application objects (e.g. ``ImageData``)
+with either reflection (slow) or compiler-generated self-describing methods
+(fast).  Here, a class becomes serializable by registration; the entry
+records which attributes travel on the wire.  When ``fields`` is omitted,
+the instance ``__dict__`` is used — the reflective slow path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Type
+
+from repro.errors import SerializationError
+
+
+@dataclass
+class SerializableClass:
+    """One registered wire class."""
+
+    name: str
+    cls: type
+    #: attribute names serialized, in order; None = reflect over __dict__
+    fields: Optional[Tuple[str, ...]] = None
+
+
+class SerializerRegistry:
+    """Maps class ↔ wire name for the serializer and the sizer."""
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, SerializableClass] = {}
+        self._by_cls: Dict[type, SerializableClass] = {}
+
+    def register(
+        self,
+        cls: type,
+        *,
+        name: Optional[str] = None,
+        fields: Optional[Sequence[str]] = None,
+    ) -> SerializableClass:
+        entry = SerializableClass(
+            name=name or cls.__name__,
+            cls=cls,
+            fields=tuple(fields) if fields is not None else None,
+        )
+        self._by_name[entry.name] = entry
+        self._by_cls[cls] = entry
+        return entry
+
+    def by_name(self, name: str) -> SerializableClass:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SerializationError(
+                f"class {name!r} is not registered with the serializer"
+            ) from None
+
+    def by_class(self, cls: type) -> SerializableClass:
+        try:
+            return self._by_cls[cls]
+        except KeyError:
+            raise SerializationError(
+                f"{cls.__name__} is not registered with the serializer; "
+                f"register it or implement SelfSizedObject"
+            ) from None
+
+    def knows_class(self, cls: type) -> bool:
+        return cls in self._by_cls
+
+    def fields_of(self, obj: object) -> Tuple[str, ...]:
+        """The attribute names serialized for *obj*."""
+        entry = self.by_class(type(obj))
+        if entry.fields is not None:
+            return entry.fields
+        return tuple(sorted(vars(obj)))

@@ -1,0 +1,60 @@
+"""Discrete-event simulation substrate: hosts, links, perturbation.
+
+Replaces the paper's physical testbeds.  See :mod:`repro.simnet.cluster`
+for the presets matching each experiment's platform.
+"""
+
+from repro.simnet.cluster import (
+    ETHERNET_ALPHA,
+    ETHERNET_BETA,
+    IPAQ_SPEED,
+    PC_SPEED,
+    SUN_SPEED,
+    WIRELESS_ALPHA,
+    WIRELESS_BETA,
+    Testbed,
+    heterogeneous_pair,
+    intel_pair,
+    wireless_testbed,
+)
+from repro.simnet.host import Compute, Host
+from repro.simnet.link import Link, Transfer, VariableLink
+from repro.simnet.perturbation import NO_LOAD, PerturbationSpec, load_free
+from repro.simnet.simulator import (
+    Delay,
+    Immediate,
+    SimEvent,
+    Simulator,
+    Store,
+    StoreGet,
+)
+from repro.simnet.timeline import AvailabilityTimeline
+
+__all__ = [
+    "Simulator",
+    "SimEvent",
+    "Delay",
+    "Immediate",
+    "Store",
+    "StoreGet",
+    "Host",
+    "Compute",
+    "Link",
+    "Transfer",
+    "VariableLink",
+    "AvailabilityTimeline",
+    "PerturbationSpec",
+    "NO_LOAD",
+    "load_free",
+    "Testbed",
+    "wireless_testbed",
+    "heterogeneous_pair",
+    "intel_pair",
+    "PC_SPEED",
+    "SUN_SPEED",
+    "IPAQ_SPEED",
+    "WIRELESS_ALPHA",
+    "WIRELESS_BETA",
+    "ETHERNET_ALPHA",
+    "ETHERNET_BETA",
+]

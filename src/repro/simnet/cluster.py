@@ -1,0 +1,141 @@
+"""Testbed presets mirroring the paper's experimental platforms.
+
+* :func:`wireless_testbed` — the section 5.1 platform: a PII Linux laptop
+  server streaming to an iPAQ 3650 over 802.11b.
+* :func:`heterogeneous_pair` — section 5.2 / Table 3: a fast Intel server
+  and a slow Sun Ultra-30 connected by Fast Ethernet (via a gigabit
+  uplink; we model the end-to-end path as one link).
+* :func:`intel_pair` — Table 4 / Figures 7-8: two equal Intel servers on
+  Fast Ethernet.
+
+Speeds are abstract cycles/second; only the ratios matter.  1e6 means
+"one interpreter cycle ≈ 1 µs on a PC-class host", which puts the sample
+applications in the paper's millisecond regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.simnet.host import Host
+from repro.simnet.link import Link
+from repro.simnet.perturbation import PerturbationSpec
+from repro.simnet.simulator import Simulator
+from repro.simnet.timeline import AvailabilityTimeline
+
+#: PC-class host speed (cycles per simulated second).
+PC_SPEED = 1.0e6
+#: Sun Ultra-30 relative speed for this (integer/image) workload.
+SUN_SPEED = 0.4e6
+#: iPAQ 3650 handheld relative speed.
+IPAQ_SPEED = 0.15e6
+
+#: 802.11b effective bandwidth ≈ 500 KB/s → 2 µs/byte; ~5 ms setup.
+WIRELESS_ALPHA = 0.005
+WIRELESS_BETA = 2.0e-6
+#: Fast Ethernet ≈ 11 MB/s effective → ~0.09 µs/byte; ~0.2 ms setup.
+ETHERNET_ALPHA = 0.0002
+ETHERNET_BETA = 9.0e-8
+
+
+@dataclass
+class Testbed:
+    """One sender/receiver pair plus the forward and feedback links."""
+
+    sim: Simulator
+    sender: Host
+    receiver: Host
+    link: Link
+    #: reverse link used for profiling feedback and plan updates
+    feedback_link: Link
+
+
+def _timeline(
+    spec: Optional[PerturbationSpec], seed: int, horizon: float
+) -> Optional[AvailabilityTimeline]:
+    if spec is None:
+        return None
+    return spec.build_timeline(seed=seed, horizon=horizon)
+
+
+def wireless_testbed(
+    sim: Simulator,
+    *,
+    server_speed: float = PC_SPEED,
+    client_speed: float = IPAQ_SPEED,
+    alpha: float = WIRELESS_ALPHA,
+    beta: float = WIRELESS_BETA,
+) -> Testbed:
+    """Laptop image server → iPAQ client over 802.11b (section 5.1)."""
+    sender = Host(sim, "laptop-server", speed=server_speed)
+    receiver = Host(sim, "ipaq-client", speed=client_speed)
+    link = Link(sim, "802.11b", alpha=alpha, beta=beta)
+    feedback = Link(sim, "802.11b-up", alpha=alpha, beta=beta)
+    return Testbed(
+        sim=sim, sender=sender, receiver=receiver, link=link,
+        feedback_link=feedback,
+    )
+
+
+def heterogeneous_pair(
+    sim: Simulator,
+    *,
+    producer: str = "pc",
+    producer_load: Optional[PerturbationSpec] = None,
+    consumer_load: Optional[PerturbationSpec] = None,
+    seed: int = 0,
+    horizon: float = 1e4,
+) -> Testbed:
+    """PC↔Sun pair (Table 3).  ``producer`` is ``"pc"`` or ``"sun"``."""
+    if producer not in ("pc", "sun"):
+        raise ValueError("producer must be 'pc' or 'sun'")
+    speeds = {"pc": PC_SPEED, "sun": SUN_SPEED}
+    consumer = "sun" if producer == "pc" else "pc"
+    sender = Host(
+        sim,
+        f"{producer}-producer",
+        speed=speeds[producer],
+        availability=_timeline(producer_load, seed * 2 + 1, horizon),
+    )
+    receiver = Host(
+        sim,
+        f"{consumer}-consumer",
+        speed=speeds[consumer],
+        availability=_timeline(consumer_load, seed * 2 + 2, horizon),
+    )
+    link = Link(sim, "ethernet", alpha=ETHERNET_ALPHA, beta=ETHERNET_BETA)
+    feedback = Link(sim, "ethernet-up", alpha=ETHERNET_ALPHA, beta=ETHERNET_BETA)
+    return Testbed(
+        sim=sim, sender=sender, receiver=receiver, link=link,
+        feedback_link=feedback,
+    )
+
+
+def intel_pair(
+    sim: Simulator,
+    *,
+    producer_load: Optional[PerturbationSpec] = None,
+    consumer_load: Optional[PerturbationSpec] = None,
+    seed: int = 0,
+    horizon: float = 1e4,
+) -> Testbed:
+    """Two equal Intel servers on Fast Ethernet (Table 4, Figures 7-8)."""
+    sender = Host(
+        sim,
+        "intel-producer",
+        speed=PC_SPEED,
+        availability=_timeline(producer_load, seed * 2 + 1, horizon),
+    )
+    receiver = Host(
+        sim,
+        "intel-consumer",
+        speed=PC_SPEED,
+        availability=_timeline(consumer_load, seed * 2 + 2, horizon),
+    )
+    link = Link(sim, "ethernet", alpha=ETHERNET_ALPHA, beta=ETHERNET_BETA)
+    feedback = Link(sim, "ethernet-up", alpha=ETHERNET_ALPHA, beta=ETHERNET_BETA)
+    return Testbed(
+        sim=sim, sender=sender, receiver=receiver, link=link,
+        feedback_link=feedback,
+    )

@@ -1,0 +1,86 @@
+"""Simulated hosts: CPU speed, FIFO execution, perturbation load.
+
+A host executes cycle-denominated tasks one at a time (the paper's Sun
+Ultra-30s are uni-processor; we model every host as a single application
+CPU whose availability a perturbation timeline modulates).  ``speed`` is in
+abstract cycles per simulated second — only ratios between hosts matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.simnet.simulator import SimEvent, Simulator
+from repro.simnet.timeline import AvailabilityTimeline
+
+
+class Host:
+    """One simulated machine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        *,
+        speed: float = 1.0,
+        availability: Optional[AvailabilityTimeline] = None,
+    ) -> None:
+        if speed <= 0:
+            raise SimulationError(f"host speed must be positive, got {speed}")
+        self.sim = sim
+        self.name = name
+        self.speed = speed
+        self.availability = availability or AvailabilityTimeline.constant(1.0)
+        self._busy_until = 0.0
+        self.cycles_executed = 0.0
+        self.tasks_executed = 0
+
+    # -- scheduling model -------------------------------------------------------
+
+    def completion_time(self, cycles: float) -> float:
+        """Reserve the CPU for *cycles* and return the finish time."""
+        return self.execute(cycles)[1]
+
+    def execute(self, cycles: float) -> "tuple[float, float]":
+        """Reserve the CPU for *cycles*; return (start, finish) times.
+
+        Tasks are serviced FIFO: work starts at ``max(now, busy_until)`` and
+        finishes when the availability timeline has supplied
+        ``cycles / speed`` seconds of CPU.  ``finish − start`` is the task's
+        *service time*, which under perturbation load exceeds the unloaded
+        time — exactly the quantity the execution-time cost model profiles
+        as ``T_mod(1)`` / ``T_demod(1)``.
+        """
+        if cycles < 0:
+            raise SimulationError(f"negative cycle demand {cycles}")
+        start = max(self.sim.now, self._busy_until)
+        finish = self.availability.advance(start, cycles / self.speed)
+        self._busy_until = finish
+        self.cycles_executed += cycles
+        self.tasks_executed += 1
+        return start, finish
+
+    def compute(self, cycles: float) -> "Compute":
+        """Awaitable for process code: ``yield host.compute(cycles)``."""
+        return Compute(self, cycles)
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+    def __repr__(self) -> str:
+        return f"<Host {self.name} speed={self.speed:g}>"
+
+
+@dataclass
+class Compute(SimEvent):
+    """Process event: occupy *host* for *cycles*; resolves at completion."""
+
+    host: Host
+    cycles: float
+
+    def arm(self, sim: Simulator, resume: Callable[[object], None]) -> None:
+        finish = self.host.completion_time(self.cycles)
+        sim.schedule(finish - sim.now, resume, None)

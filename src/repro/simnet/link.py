@@ -1,0 +1,127 @@
+"""Simulated network links: the ``T_s(m) = α + β·S(m)`` model of eq. 1.
+
+``alpha`` is the per-message setup/latency time; ``beta`` the per-byte
+transfer time.  The link is FIFO with serialized bandwidth: a message
+occupies the pipe for ``β·S`` starting when the pipe frees, and arrives
+``α`` after its transmission completes.  Setup/latency overlaps with the
+next message's transmission, so communication overlaps computation as the
+paper assumes (eq. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.simnet.simulator import SimEvent, Simulator, Store
+
+
+class Link:
+    """A unidirectional FIFO link between two hosts."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        *,
+        alpha: float = 0.0,
+        beta: float = 0.0,
+    ) -> None:
+        if alpha < 0 or beta < 0:
+            raise SimulationError("link parameters must be non-negative")
+        self.sim = sim
+        self.name = name
+        self.alpha = alpha
+        self.beta = beta
+        self._busy_until = 0.0
+        self.messages_sent = 0
+        self.bytes_sent = 0.0
+
+    def delivery_time(self, size: float) -> float:
+        """Reserve the pipe for a *size*-byte message; return arrival time."""
+        if size < 0:
+            raise SimulationError(f"negative message size {size}")
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + self.beta * size
+        self.messages_sent += 1
+        self.bytes_sent += size
+        return self._busy_until + self.alpha
+
+    def send(self, size: float, mailbox: Store, payload: object) -> None:
+        """Fire-and-forget: deposit *payload* in *mailbox* at arrival time.
+
+        The sender does not block — communication overlaps computation.
+        """
+        arrival = self.delivery_time(size)
+        self.sim.schedule(arrival - self.sim.now, mailbox.put, payload)
+
+    def transfer(self, size: float) -> "Transfer":
+        """Awaitable variant: resolves at the arrival time (blocking send)."""
+        return Transfer(self, size)
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+    def __repr__(self) -> str:
+        return f"<Link {self.name} alpha={self.alpha:g} beta={self.beta:g}>"
+
+
+@dataclass
+class Transfer(SimEvent):
+    link: Link
+    size: float
+
+    def arm(self, sim: Simulator, resume: Callable[[object], None]) -> None:
+        arrival = self.link.delivery_time(self.size)
+        sim.schedule(arrival - sim.now, resume, None)
+
+
+class VariableLink(Link):
+    """A link whose effective bandwidth varies over time.
+
+    Models the paper's "dynamic changes in network capacity" (section 1):
+    a capacity timeline scales the base rate ``1/beta`` — e.g. a wireless
+    link at capacity 0.25 transmits at a quarter speed.  Transmission of a
+    message integrates the instantaneous rate, exactly as loaded hosts
+    integrate CPU availability.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        *,
+        alpha: float = 0.0,
+        beta: float = 0.0,
+        capacity: "AvailabilityTimeline" = None,
+    ) -> None:
+        super().__init__(sim, name, alpha=alpha, beta=beta)
+        from repro.simnet.timeline import AvailabilityTimeline
+
+        self.capacity = capacity or AvailabilityTimeline.constant(1.0)
+        if beta <= 0:
+            raise SimulationError(
+                "a VariableLink needs beta > 0 (a finite base bandwidth)"
+            )
+
+    def delivery_time(self, size: float) -> float:
+        if size < 0:
+            raise SimulationError(f"negative message size {size}")
+        start = max(self.sim.now, self._busy_until)
+        # size bytes at base rate 1/beta bytes/sec, scaled by capacity:
+        # needs `size * beta` capacity-seconds.
+        finish = self.capacity.advance(start, size * self.beta)
+        self._busy_until = finish
+        self.messages_sent += 1
+        self.bytes_sent += size
+        return finish + self.alpha
+
+    def current_beta(self, at: float = None) -> float:
+        """Effective seconds/byte at time *at* (defaults to now)."""
+        t = self.sim.now if at is None else at
+        capacity = self.capacity.availability_at(t)
+        if capacity <= 0:
+            return float("inf")
+        return self.beta / capacity

@@ -1,0 +1,103 @@
+"""Synthetic perturbation load (paper section 5.2).
+
+"Perturbation threads have active and idle periods, where each period
+consists of multiple atomic cycles.  To simulate the load changes occurring
+in various application environments, the number of atomic cycles in a
+period (PLen), and the probability of perturbation threads being active
+(AProb) are uniformly distributed, with adjustable ranges.  Active periods
+have a fixed load index (LIndex), which represents the ratio of busy cycles
+... over the total number of cycles in a period.  We pre-generate arrays of
+random numbers ... and use these same random numbers for all four
+implementations being evaluated."
+
+Here a perturbation spec deterministically expands (given a seed) into an
+:class:`AvailabilityTimeline`: consecutive periods of length drawn from the
+PLen range; each period is *active* with probability drawn from the AProb
+range; during an active period the application sees availability
+``1 − LIndex``.  Sharing the seed across compared implementations mirrors
+the paper's shared pre-generated arrays.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import SimulationError
+from repro.simnet.timeline import AvailabilityTimeline
+
+#: A scalar or a (low, high) uniform range.
+Range = Union[float, Tuple[float, float]]
+
+
+def _draw(rng: random.Random, value: Range) -> float:
+    if isinstance(value, tuple):
+        lo, hi = value
+        if hi < lo:
+            raise SimulationError(f"invalid range {value}")
+        return rng.uniform(lo, hi)
+    return float(value)
+
+
+@dataclass(frozen=True)
+class PerturbationSpec:
+    """Parameters of one host's perturbation threads.
+
+    ``plen``: expected atomic-period length in simulated seconds (scalar or
+    uniform range — the paper's expected PLen of 1000 ms corresponds to
+    ``plen=(0.0, 2.0)``).
+    ``aprob``: probability a period is active (scalar or uniform range).
+    ``lindex``: the load index of active periods.
+    ``residual``: the application's guaranteed CPU share during active
+    periods.  Spinning perturbation threads never fully starve another
+    runnable thread on a time-slicing scheduler, so even LIndex = 1.0
+    leaves a small share — without this floor, millisecond-scale tasks
+    would stall for entire active periods, which the paper's measurements
+    (e.g. the Consumer Version being unaffected by producer-side load)
+    show does not happen.
+    """
+
+    plen: Range = (0.0, 2.0)
+    aprob: Range = 0.5
+    lindex: float = 0.5
+    residual: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.lindex <= 1.0):
+            raise SimulationError(f"LIndex {self.lindex} outside [0, 1]")
+        if not (0.0 < self.residual <= 1.0):
+            raise SimulationError(
+                f"residual share {self.residual} outside (0, 1]"
+            )
+
+    def build_timeline(
+        self, *, seed: int, horizon: float
+    ) -> AvailabilityTimeline:
+        """Expand to a timeline covering [0, horizon]; deterministic in
+        *seed* (the pre-generated random arrays of the paper)."""
+        if self.lindex == 0.0:
+            return AvailabilityTimeline.constant(1.0)
+        rng = random.Random(seed)
+        active_avail = max(1.0 - self.lindex, self.residual)
+        times: List[float] = [0.0]
+        values: List[float] = []
+        t = 0.0
+        min_period = 1e-6
+        while t < horizon:
+            period = max(_draw(rng, self.plen), min_period)
+            active = rng.random() < _draw(rng, self.aprob)
+            values.append(active_avail if active else 1.0)
+            t += period
+            times.append(t)
+        values.append(1.0)  # beyond the horizon: unloaded
+        return AvailabilityTimeline(times=tuple(times), values=tuple(values))
+
+
+#: A load-free host.
+NO_LOAD = PerturbationSpec(plen=1.0, aprob=0.0, lindex=0.0)
+
+
+def load_free() -> PerturbationSpec:
+    """Spec for an unloaded host."""
+    return NO_LOAD

@@ -1,0 +1,157 @@
+"""Discrete-event simulation engine.
+
+A minimal but complete DES kernel: a time-ordered event heap plus
+generator-based processes.  Processes are Python generators that ``yield``
+*awaitable* events (delays, CPU work, link transfers, queue gets); the
+kernel resumes them with the event's result value when it fires.
+
+This replaces the paper's physical testbeds (iPAQ + 802.11b; Sun and Intel
+clusters): hosts and links are simulation objects built on this kernel in
+:mod:`repro.simnet.host` and :mod:`repro.simnet.link`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
+
+from collections import deque
+
+from repro.errors import SimulationError
+
+#: A process is a generator yielding SimEvent instances.
+Process = Generator["SimEvent", Any, None]
+
+
+class SimEvent:
+    """Base class for things a process can wait on."""
+
+    def arm(self, sim: "Simulator", resume: Callable[[object], None]) -> None:
+        """Install the event; call *resume(value)* when it completes."""
+        raise NotImplementedError
+
+
+@dataclass
+class Delay(SimEvent):
+    """Wait a fixed amount of simulated time."""
+
+    duration: float
+
+    def arm(self, sim: "Simulator", resume: Callable[[object], None]) -> None:
+        if self.duration < 0:
+            raise SimulationError(f"negative delay {self.duration}")
+        sim.schedule(self.duration, resume, None)
+
+
+@dataclass
+class Immediate(SimEvent):
+    """Resolve immediately with a value (useful for uniform process code)."""
+
+    value: object = None
+
+    def arm(self, sim: "Simulator", resume: Callable[[object], None]) -> None:
+        sim.schedule(0.0, resume, self.value)
+
+
+class Store:
+    """Unbounded FIFO queue connecting processes (message mailboxes)."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self._items: Deque[object] = deque()
+        self._waiters: Deque[Callable[[object], None]] = deque()
+
+    def put(self, item: object) -> None:
+        """Deposit an item; wakes one waiter in FIFO order."""
+        if self._waiters:
+            resume = self._waiters.popleft()
+            self._sim.schedule(0.0, resume, item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> "StoreGet":
+        """An awaitable that resolves with the next item."""
+        return StoreGet(self)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+@dataclass
+class StoreGet(SimEvent):
+    store: Store
+
+    def arm(self, sim: "Simulator", resume: Callable[[object], None]) -> None:
+        if self.store._items:
+            item = self.store._items.popleft()
+            sim.schedule(0.0, resume, item)
+        else:
+            self.store._waiters.append(resume)
+
+
+class Simulator:
+    """The event loop: a heap of (time, seq, callback, value)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, Callable, object]] = []
+        self._seq = 0
+        self._processes_alive = 0
+        self.events_processed = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(
+        self, delay: float, callback: Callable[[object], None], value: object
+    ) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past ({delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback, value))
+
+    def store(self) -> Store:
+        return Store(self)
+
+    # -- processes ------------------------------------------------------------
+
+    def spawn(self, process: Process) -> None:
+        """Start a generator process at the current time."""
+        self._processes_alive += 1
+        self.schedule(0.0, lambda _value: self._step_process(process, None), None)
+
+    def _step_process(self, process: Process, value: object) -> None:
+        try:
+            event = process.send(value)
+        except StopIteration:
+            self._processes_alive -= 1
+            return
+        if not isinstance(event, SimEvent):
+            raise SimulationError(
+                f"process yielded {type(event).__name__}; expected a SimEvent"
+            )
+        event.arm(self, lambda v: self._step_process(process, v))
+
+    # -- the loop -----------------------------------------------------------------
+
+    def run(
+        self, *, until: Optional[float] = None, max_events: int = 10_000_000
+    ) -> None:
+        """Process events until the heap drains (or *until* / cap reached)."""
+        while self._heap:
+            t, _seq, callback, value = self._heap[0]
+            if until is not None and t > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            self.now = t
+            self.events_processed += 1
+            if self.events_processed > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} simulation events (livelock?)"
+                )
+            callback(value)
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or None."""
+        return self._heap[0][0] if self._heap else None

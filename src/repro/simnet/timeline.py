@@ -1,0 +1,96 @@
+"""Piecewise-constant CPU-availability timelines.
+
+A timeline maps simulated time to the fraction of a host's CPU available to
+the application (1.0 = unloaded).  Perturbation processes (paper section
+5.2) produce these timelines; hosts integrate over them to turn cycle
+demands into completion times.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class AvailabilityTimeline:
+    """Breakpoints ``times[i]`` where availability becomes ``values[i]``.
+
+    ``times`` is strictly increasing and starts at 0.0.  Availability after
+    the final breakpoint is the final value.
+    """
+
+    times: Tuple[float, ...]
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.times or self.times[0] != 0.0:
+            raise SimulationError("timeline must start at t=0")
+        if len(self.times) != len(self.values):
+            raise SimulationError("times/values length mismatch")
+        for a, b in zip(self.times, self.times[1:]):
+            if b <= a:
+                raise SimulationError("timeline times must be increasing")
+        for v in self.values:
+            if not (0.0 <= v <= 1.0):
+                raise SimulationError(f"availability {v} outside [0, 1]")
+
+    @classmethod
+    def constant(cls, availability: float = 1.0) -> "AvailabilityTimeline":
+        return cls(times=(0.0,), values=(availability,))
+
+    def availability_at(self, t: float) -> float:
+        idx = bisect.bisect_right(self.times, t) - 1
+        if idx < 0:
+            idx = 0
+        return self.values[idx]
+
+    def advance(self, start: float, capacity_needed: float) -> float:
+        """Earliest time by which *capacity_needed* availability-seconds
+        accumulate after *start*.
+
+        A task needing ``cycles`` on a host of ``speed`` cycles/second calls
+        this with ``capacity_needed = cycles / speed``.
+        """
+        if capacity_needed <= 0:
+            return start
+        idx = bisect.bisect_right(self.times, start) - 1
+        if idx < 0:
+            idx = 0
+        t = start
+        remaining = capacity_needed
+        n = len(self.times)
+        while True:
+            avail = self.values[idx]
+            seg_end = self.times[idx + 1] if idx + 1 < n else float("inf")
+            if avail > 0:
+                span = seg_end - t
+                supply = span * avail
+                if supply >= remaining:
+                    return t + remaining / avail
+                remaining -= supply
+            elif seg_end == float("inf"):
+                raise SimulationError(
+                    "task can never complete: availability is 0 forever"
+                )
+            t = seg_end
+            idx += 1
+
+    def mean_availability(self, start: float, end: float) -> float:
+        """Average availability over [start, end] (for diagnostics)."""
+        if end <= start:
+            return self.availability_at(start)
+        total = 0.0
+        idx = max(bisect.bisect_right(self.times, start) - 1, 0)
+        t = start
+        n = len(self.times)
+        while t < end:
+            seg_end = self.times[idx + 1] if idx + 1 < n else float("inf")
+            upto = min(seg_end, end)
+            total += (upto - t) * self.values[idx]
+            t = upto
+            idx += 1
+        return total / (end - start)

@@ -1,0 +1,7 @@
+"""Command-line tools.
+
+* ``python -m repro.tools.inspect`` — static-analysis report for a handler
+  (listing, StopNodes, TargetPaths, PSEs, default plans).
+* ``python -m repro.tools.experiments`` — regenerate the paper's tables
+  and figures from the command line.
+"""

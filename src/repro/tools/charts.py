@@ -1,0 +1,71 @@
+"""Terminal charts for experiment curves.
+
+A tiny dependency-free renderer used by ``repro.tools.experiments`` to
+show Figures 7/8 as something a human can eyeball, mirroring the paper's
+plots: x = the swept parameter, y = average processing time, one mark per
+version.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: mark characters assigned to series in order
+MARKS = "ox+*#@%&"
+
+
+def render_chart(
+    curves: Dict[str, List[Tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "ms",
+) -> str:
+    """Render series of (x, y) points as an ASCII scatter with a legend."""
+    if not curves:
+        return "(no data)"
+    points = [
+        (x, y) for series in curves.values() for x, y in series
+    ]
+    if not points:
+        return "(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(x: float, y: float, mark: str) -> None:
+        col = round((x - x_lo) / x_span * (width - 1))
+        row = round((y - y_lo) / y_span * (height - 1))
+        row = height - 1 - row  # y grows upward
+        cell = grid[row][col]
+        grid[row][col] = mark if cell in (" ", mark) else "?"
+
+    legend = []
+    for i, (name, series) in enumerate(curves.items()):
+        mark = MARKS[i % len(MARKS)]
+        legend.append(f"{mark} = {name}")
+        for x, y in series:
+            plot(x, y, mark)
+
+    lines = []
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = f"{y_hi:>8.1f} |"
+        elif r == height - 1:
+            label = f"{y_lo:>8.1f} |"
+        else:
+            label = f"{'':>8} |"
+        lines.append(label + "".join(row))
+    lines.append(f"{'':>8} +" + "-" * width)
+    lines.append(
+        f"{'':>10}{x_lo:<10g}{x_label:^{max(width - 20, 0)}}{x_hi:>10g}"
+    )
+    lines.append("  " + "    ".join(legend))
+    lines.append(f"  ('?' marks overlapping series; y in {y_label})")
+    return "\n".join(lines)

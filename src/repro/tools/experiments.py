@@ -1,0 +1,106 @@
+"""Regenerate the paper's tables and figures from the command line.
+
+Usage::
+
+    python -m repro.tools.experiments table2
+    python -m repro.tools.experiments table4 --quick
+    python -m repro.tools.experiments all
+
+``--quick`` shrinks message counts and seed sets for a fast look; the
+benchmark suite (``pytest benchmarks/ --benchmark-only``) runs the
+full-size versions and asserts the paper's shapes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+EXPERIMENTS = ("table2", "table3", "table4", "figure7", "figure8")
+
+
+def run_table2(quick: bool) -> str:
+    from repro.apps.imagestream import (
+        Table2Config,
+        format_table2,
+        run_table2 as run,
+    )
+
+    config = Table2Config(n_frames=100 if quick else 300)
+    return format_table2(run(config))
+
+
+def run_table3(quick: bool) -> str:
+    from repro.apps.sensor import format_table3, run_table3 as run
+
+    return format_table3(run(n_messages=60 if quick else 200))
+
+
+def run_table4(quick: bool) -> str:
+    from repro.apps.sensor import format_table4, run_table4 as run
+
+    seeds = (1, 2) if quick else (1, 2, 3, 4, 5)
+    return format_table4(
+        run(n_messages=60 if quick else 150, seeds=seeds)
+    )
+
+
+def run_figure7(quick: bool) -> str:
+    from repro.apps.sensor import format_curves, run_figure7 as run
+    from repro.tools.charts import render_chart
+
+    seeds = (1,) if quick else (1, 2, 3)
+    curves = run(n_messages=60 if quick else 150, seeds=seeds)
+    return (
+        format_curves(curves, "Consumer AProb")
+        + "\n\n"
+        + render_chart(curves, x_label="Consumer AProb")
+    )
+
+
+def run_figure8(quick: bool) -> str:
+    from repro.apps.sensor import format_curves, run_figure8 as run
+    from repro.tools.charts import render_chart
+
+    seeds = (1,) if quick else (1, 2, 3)
+    curves = run(n_messages=150 if quick else 400, seeds=seeds)
+    return (
+        format_curves(curves, "Consumer PLen(s)")
+        + "\n\n"
+        + render_chart(curves, x_label="Consumer PLen (s)")
+    )
+
+
+_RUNNERS = {
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "figure7": run_figure7,
+    "figure8": run_figure8,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.experiments", description=__doc__
+    )
+    parser.add_argument(
+        "experiment", choices=EXPERIMENTS + ("all",)
+    )
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args(argv)
+
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        started = time.perf_counter()
+        text = _RUNNERS[name](args.quick)
+        elapsed = time.perf_counter() - started
+        print(f"=== {name} ({elapsed:.1f}s) ===")
+        print(text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

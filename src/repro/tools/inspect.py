@@ -1,0 +1,181 @@
+"""Static-analysis report for a message handler.
+
+Usage::
+
+    python -m repro.tools.inspect --app push
+    python -m repro.tools.inspect --app sensor --cost-model exectime
+    python -m repro.tools.inspect --file my_setup.py
+
+``--file`` loads a Python file that defines a ``get_setup()`` function
+returning ``(handler_source, registry, serializer_registry, cost_model)``;
+the presets under ``--app`` cover the paper's handlers.
+
+The report shows: the Jimple-style listing, StopNodes with reasons,
+TargetPaths, the ConvexCut PSE set, the annotated Unit Graph, the default
+plans, and the PSE ordering diagnostics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import runpy
+import sys
+from typing import Tuple
+
+from repro.core.api import MethodPartitioner
+from repro.core.costmodels import (
+    CostModel,
+    DataSizeCostModel,
+    ExecutionTimeCostModel,
+    PowerCostModel,
+)
+from repro.core.diagnostics import describe_plan, pse_ordering, render_partition
+from repro.core.plan import (
+    receiver_heavy_plan,
+    sender_heavy_plan,
+    static_optimal_plan,
+)
+from repro.ir.printer import format_function
+from repro.ir.registry import FunctionRegistry
+from repro.serialization import SerializerRegistry
+
+_COST_MODELS = {
+    "datasize": DataSizeCostModel,
+    "exectime": ExecutionTimeCostModel,
+    "power": PowerCostModel,
+}
+
+
+def _push_setup() -> Tuple[str, FunctionRegistry, SerializerRegistry]:
+    """The paper's running example (Appendix A)."""
+    from repro.ir.registry import default_registry
+
+    class ImageData:
+        def __init__(self, template=None, w=100, h=100):
+            self.width = w
+            self.buff = bytes(w * h)
+
+    registry = default_registry()
+    registry.register_class(ImageData)
+    registry.register_function(
+        "display_image", lambda img: None, receiver_only=True, pure=False
+    )
+    serializer_registry = SerializerRegistry()
+    serializer_registry.register(ImageData, fields=("width", "buff"))
+    source = (
+        "def push(event):\n"
+        "    if isinstance(event, ImageData):\n"
+        "        rd = ImageData(event, 100, 100)\n"
+        "        display_image(rd)\n"
+    )
+    return source, registry, serializer_registry
+
+
+def _image_setup():
+    from repro.apps.imagestream.app import (
+        IMAGE_HANDLER_SOURCE,
+        build_image_registries,
+    )
+
+    registry, serializer_registry, _sink = build_image_registries()
+    # resolve the display constants as the app does
+    source = IMAGE_HANDLER_SOURCE
+    return source, registry, serializer_registry, {"DISPLAY_W": 160, "DISPLAY_H": 160}
+
+
+def _sensor_setup():
+    from repro.apps.sensor.pipeline import (
+        build_sensor_registries,
+        make_sensor_handler_source,
+    )
+
+    registry, serializer_registry, _sink = build_sensor_registries()
+    return make_sensor_handler_source(), registry, serializer_registry, {}
+
+
+def build_report(args: argparse.Namespace) -> str:
+    constants = {}
+    if args.file:
+        namespace = runpy.run_path(args.file)
+        if "get_setup" not in namespace:
+            raise SystemExit(f"{args.file} does not define get_setup()")
+        source, registry, serializer_registry, model = namespace["get_setup"]()
+    else:
+        if args.app == "push":
+            source, registry, serializer_registry = _push_setup()
+        elif args.app == "image":
+            source, registry, serializer_registry, constants = _image_setup()
+        elif args.app == "sensor":
+            source, registry, serializer_registry, constants = _sensor_setup()
+        else:
+            raise SystemExit(f"unknown app {args.app!r}")
+        model = _COST_MODELS[args.cost_model]()
+
+    partitioner = MethodPartitioner(registry, serializer_registry)
+    partitioned = partitioner.partition(source, model, constants=constants)
+    cut = partitioned.cut
+
+    sections = []
+    sections.append("== Listing ==")
+    sections.append(format_function(partitioned.function))
+
+    sections.append("\n== StopNodes ==")
+    for node, reason in sorted(cut.ctx.stops.reasons.items()):
+        sections.append(f"  node {node}: {reason}")
+
+    sections.append("\n== TargetPaths ==")
+    for i, path in enumerate(cut.ctx.paths):
+        sections.append(f"  tp{i}: {' -> '.join(map(str, path.nodes))}")
+
+    sections.append(f"\n== ConvexCut ({model.name}) ==")
+    sections.append(cut.describe())
+    if cut.poisoned:
+        sections.append(f"  poisoned (convexity): {sorted(cut.poisoned)}")
+
+    sections.append("\n== Annotated Unit Graph ==")
+    sections.append(render_partition(cut, static_optimal_plan(cut)))
+
+    sections.append("\n== Default plans ==")
+    for plan in (
+        static_optimal_plan(cut),
+        sender_heavy_plan(cut),
+        receiver_heavy_plan(cut),
+    ):
+        sections.append(describe_plan(cut, plan))
+
+    ordering = pse_ordering(cut)
+    if ordering:
+        sections.append("\n== PSE ordering (earlier fires first) ==")
+        for a, b in ordering:
+            sections.append(
+                f"  {cut.pses[a].pse_id} Edge{a}  before  "
+                f"{cut.pses[b].pse_id} Edge{b}"
+            )
+    return "\n".join(sections)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.inspect", description=__doc__
+    )
+    parser.add_argument(
+        "--app",
+        choices=("push", "image", "sensor"),
+        default="push",
+        help="built-in handler preset",
+    )
+    parser.add_argument(
+        "--file", help="Python file defining get_setup()", default=None
+    )
+    parser.add_argument(
+        "--cost-model",
+        choices=tuple(_COST_MODELS),
+        default="datasize",
+    )
+    args = parser.parse_args(argv)
+    print(build_report(args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

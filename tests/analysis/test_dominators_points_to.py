@@ -1,0 +1,143 @@
+"""Unit tests for dominators and the points-to (alias) analysis."""
+
+import pytest
+
+from repro.analysis.dominators import compute_dominators
+from repro.analysis.points_to import compute_aliases
+from repro.analysis.unit_graph import UnitGraph
+from repro.ir.builder import lower_function
+from repro.ir.registry import default_registry
+from repro.ir.values import Var
+
+
+@pytest.fixture(scope="module")
+def registry():
+    registry = default_registry()
+
+    class Obj:
+        def __init__(self, *a):
+            pass
+
+    registry.register_class(Obj, name="Obj")
+    return registry
+
+
+# -- dominators --------------------------------------------------------------
+
+
+def test_entry_dominates_everything(registry):
+    fn = lower_function(
+        "def f(a):\n    if a:\n        b = 1\n    return a\n", registry
+    )
+    ug = UnitGraph.build(fn)
+    doms = compute_dominators(ug)
+    for n in range(len(ug)):
+        assert doms.dominates(0, n)
+
+
+def test_node_dominates_itself(registry):
+    fn = lower_function("def f(a):\n    return a\n", registry)
+    doms = compute_dominators(UnitGraph.build(fn))
+    for n in range(len(fn)):
+        assert doms.dominates(n, n)
+
+
+def test_branch_sides_do_not_dominate_join(registry):
+    fn = lower_function(
+        "def f(a):\n"
+        "    if a:\n"
+        "        b = 1\n"
+        "    else:\n"
+        "        b = 2\n"
+        "    return b\n",
+        registry,
+    )
+    ug = UnitGraph.build(fn)
+    doms = compute_dominators(ug)
+    join = fn.return_indices()[0]
+    sides = [
+        i
+        for i in range(len(fn))
+        if len(ug.preds.get(i, ())) == 1 and len(ug.succs[i]) == 1
+    ]
+    branch = next(i for i in range(len(fn)) if len(ug.succs[i]) == 2)
+    then_side = ug.succs[branch][0]
+    assert not doms.dominates(then_side, join)
+
+
+def test_immediate_dominator_chain(registry):
+    fn = lower_function(
+        "def f(a):\n    b = a + 1\n    return b\n", registry
+    )
+    doms = compute_dominators(UnitGraph.build(fn))
+    assert doms.immediate_dominator(0) == -1
+    assert doms.immediate_dominator(1) == 0
+    assert doms.immediate_dominator(2) == 1
+
+
+# -- points-to ----------------------------------------------------------------
+
+
+def test_copy_creates_alias(registry):
+    fn = lower_function(
+        "def f(a):\n    b = a\n    return b\n", registry
+    )
+    aliases = compute_aliases(fn)
+    assert aliases.may_alias(Var("a"), Var("b"))
+
+
+def test_allocation_breaks_alias(registry):
+    fn = lower_function(
+        "def f(a):\n    b = Obj(a)\n    return b\n", registry
+    )
+    aliases = compute_aliases(fn)
+    assert not aliases.may_alias(Var("a"), Var("b"))
+
+
+def test_arithmetic_is_not_copy(registry):
+    fn = lower_function(
+        "def f(a):\n    b = a + 0\n    return b\n", registry
+    )
+    aliases = compute_aliases(fn)
+    assert not aliases.may_alias(Var("a"), Var("b"))
+
+
+def test_transitive_aliasing(registry):
+    fn = lower_function(
+        "def f(a):\n    b = a\n    c = b\n    return c\n", registry
+    )
+    aliases = compute_aliases(fn)
+    assert aliases.may_alias(Var("a"), Var("c"))
+
+
+def test_canonicalize_collapses_aliases(registry):
+    fn = lower_function(
+        "def f(a):\n    b = a\n    return b\n", registry
+    )
+    aliases = compute_aliases(fn)
+    assert aliases.canonicalize({Var("a")}) == aliases.canonicalize(
+        {Var("b")}
+    )
+    assert aliases.canonicalize({Var("a"), Var("b")}) == aliases.canonicalize(
+        {Var("a")}
+    )
+
+
+def test_var_aliases_itself(registry):
+    fn = lower_function("def f(a):\n    return a\n", registry)
+    aliases = compute_aliases(fn)
+    assert aliases.may_alias(Var("a"), Var("a"))
+
+
+def test_classes_view(registry):
+    fn = lower_function(
+        "def f(a):\n    b = a\n    c = Obj()\n    return c\n", registry
+    )
+    aliases = compute_aliases(fn)
+    classes = aliases.classes()
+    ab = {m for members in classes.values() for m in members if m in ("a", "b")}
+    assert ab == {"a", "b"}
+    # a and b are in the same class
+    for members in classes.values():
+        if "a" in members:
+            assert "b" in members

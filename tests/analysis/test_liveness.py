@@ -1,0 +1,120 @@
+"""Unit and property tests for live-variable analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.liveness import compute_liveness
+from repro.analysis.unit_graph import UnitGraph
+from repro.ir.builder import lower_function
+from repro.ir.registry import default_registry
+from repro.ir.values import Var
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+def analyze(source, registry):
+    fn = lower_function(source, registry)
+    ug = UnitGraph.build(fn)
+    return fn, ug, compute_liveness(ug)
+
+
+def test_param_live_at_entry_when_used(registry):
+    fn, ug, live = analyze("def f(a):\n    return a + 1\n", registry)
+    assert Var("a") in live.live_in(ug.start_node)
+
+
+def test_dead_after_last_use(registry):
+    fn, ug, live = analyze(
+        "def f(a):\n    b = a + 1\n    c = b * 2\n    return c\n", registry
+    )
+    # after computing c, b is dead
+    ret = fn.return_indices()[0]
+    assert Var("b") not in live.live_in(ret)
+    assert Var("c") in live.live_in(ret)
+
+
+def test_inter_is_intersection(registry):
+    fn, ug, live = analyze(
+        "def f(a):\n    b = a + 1\n    return b\n", registry
+    )
+    inter = live.inter((1, 2))
+    assert inter == live.live_out(1) & live.live_in(2)
+    assert inter == frozenset({Var("b")})
+
+
+def test_branch_keeps_var_live_on_needed_path(registry):
+    fn, ug, live = analyze(
+        "def f(a, b):\n"
+        "    if a:\n"
+        "        return b\n"
+        "    return 0\n",
+        registry,
+    )
+    # b live at the branch (needed on one side)
+    branch = next(i for i in range(len(fn)) if len(ug.succs[i]) == 2)
+    assert Var("b") in live.live_in(branch)
+
+
+def test_loop_variable_live_around_backedge(registry):
+    fn, ug, live = analyze(
+        "def f(n):\n"
+        "    s = 0\n"
+        "    while n > 0:\n"
+        "        s = s + n\n"
+        "        n = n - 1\n"
+        "    return s\n",
+        registry,
+    )
+    (back,) = ug.back_edges()
+    assert Var("s") in live.inter(back)
+    assert Var("n") in live.inter(back)
+
+
+def test_unused_var_never_live(registry):
+    fn, ug, live = analyze(
+        "def f(a):\n    b = a + 1\n    return a\n", registry
+    )
+    for i in range(len(fn)):
+        assert Var("b") not in live.live_in(i) or i == 1
+
+
+def test_out_of_exit_empty(registry):
+    fn, ug, live = analyze("def f(a):\n    return a\n", registry)
+    for e in ug.exit_nodes():
+        assert live.live_out(e) == frozenset()
+
+
+# -- property tests -------------------------------------------------------
+
+_SOURCES = [
+    "def f(a):\n    return a\n",
+    "def f(a, b):\n    c = a + b\n    return c * a\n",
+    "def f(a):\n    if a > 0:\n        b = a\n    else:\n        b = -a\n    return b\n",
+    "def f(n):\n    s = 0\n    for i in range(n):\n        s += i\n    return s\n",
+    "def f(a, b):\n    while a:\n        a -= 1\n        b += a\n    return b\n",
+]
+
+
+@pytest.mark.parametrize("source", _SOURCES)
+def test_dataflow_equations_hold(source, registry):
+    """IN/OUT must satisfy the fixpoint equations exactly."""
+    fn, ug, live = analyze(source, registry)
+    for n in range(len(fn)):
+        instr = fn.instrs[n]
+        out = frozenset()
+        for s in ug.succs[n]:
+            out |= live.live_in(s)
+        assert live.live_out(n) == out
+        assert live.live_in(n) == instr.uses() | (out - instr.defs())
+
+
+@pytest.mark.parametrize("source", _SOURCES)
+def test_inter_subset_of_function_vars(source, registry):
+    fn, ug, live = analyze(source, registry)
+    all_vars = fn.variables()
+    for edge in ug.edges():
+        assert live.inter(edge) <= all_vars

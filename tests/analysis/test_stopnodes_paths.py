@@ -1,0 +1,183 @@
+"""Unit tests for StopNode marking and TargetPath enumeration."""
+
+import pytest
+
+from repro.analysis.paths import (
+    PathExplosionError,
+    enumerate_target_paths,
+    path_edge_index,
+)
+from repro.analysis.stopnodes import mark_stop_nodes
+from repro.analysis.unit_graph import UnitGraph
+from repro.ir.builder import lower_function
+from repro.ir.instructions import Return
+from repro.ir.registry import default_registry
+
+
+@pytest.fixture
+def registry():
+    registry = default_registry()
+    registry.register_function(
+        "native_show", lambda x: None, receiver_only=True, pure=False
+    )
+    registry.register_function("pure_fn", lambda x: x, pure=True)
+    return registry
+
+
+def analyze(source, registry, **kwargs):
+    fn = lower_function(source, registry, **kwargs)
+    ug = UnitGraph.build(fn)
+    stops = mark_stop_nodes(ug, registry)
+    return fn, ug, stops
+
+
+def test_returns_are_stop_nodes(registry):
+    fn, ug, stops = analyze("def f(a):\n    return a\n", registry)
+    for i, instr in enumerate(fn.instrs):
+        if isinstance(instr, Return):
+            assert stops.is_stop(i)
+            assert "return" in stops.reasons[i]
+
+
+def test_receiver_only_call_is_stop(registry):
+    fn, ug, stops = analyze(
+        "def f(a):\n    native_show(a)\n", registry
+    )
+    natives = [
+        i
+        for i, instr in enumerate(fn.instrs)
+        if "native_show" in instr.called_functions()
+    ]
+    assert natives and all(stops.is_stop(i) for i in natives)
+    assert "receiver-only" in stops.reasons[natives[0]]
+
+
+def test_pure_call_is_not_stop(registry):
+    fn, ug, stops = analyze(
+        "def f(a):\n    b = pure_fn(a)\n    return b\n", registry
+    )
+    pure_calls = [
+        i
+        for i, instr in enumerate(fn.instrs)
+        if "pure_fn" in instr.called_functions()
+    ]
+    assert pure_calls and not any(stops.is_stop(i) for i in pure_calls)
+
+
+def test_receiver_var_touch_is_stop(registry):
+    fn, ug, stops = analyze(
+        "def f(a):\n    state = a\n    return state\n",
+        registry,
+        receiver_vars=("state",),
+    )
+    touches = [
+        i
+        for i, instr in enumerate(fn.instrs)
+        if any(v.name == "state" for v in instr.uses() | instr.defs())
+    ]
+    assert touches and all(stops.is_stop(i) for i in touches)
+
+
+def test_target_paths_straightline(registry):
+    fn, ug, stops = analyze(
+        "def f(a):\n    b = a + 1\n    return b\n", registry
+    )
+    paths = enumerate_target_paths(ug, stops)
+    assert len(paths) == 1
+    assert paths[0].nodes[0] == ug.start_node
+    assert stops.is_stop(paths[0].end)
+
+
+def test_target_paths_branching(registry):
+    fn, ug, stops = analyze(
+        "def f(a):\n"
+        "    if a:\n"
+        "        native_show(a)\n"
+        "    b = a + 1\n"
+        "    return b\n",
+        registry,
+    )
+    paths = enumerate_target_paths(ug, stops)
+    # one path ends at the native call, one at the return
+    assert len(paths) == 2
+    ends = {p.end for p in paths}
+    assert any(stops.reasons[e].startswith("invokes") for e in ends)
+    assert any(stops.reasons[e].startswith("return") for e in ends)
+
+
+def test_no_intermediate_stops(registry):
+    fn, ug, stops = analyze(
+        "def f(a):\n"
+        "    if a:\n"
+        "        native_show(a)\n"
+        "    b = a + 1\n"
+        "    return b\n",
+        registry,
+    )
+    for p in enumerate_target_paths(ug, stops):
+        for node in p.nodes[:-1]:
+            assert not stops.is_stop(node)
+
+
+def test_loops_traversed_once(registry):
+    fn, ug, stops = analyze(
+        "def f(n):\n"
+        "    s = 0\n"
+        "    for i in range(n):\n"
+        "        s += i\n"
+        "    return s\n",
+        registry,
+    )
+    paths = enumerate_target_paths(ug, stops)
+    # finite despite the loop
+    assert 1 <= len(paths) <= 3
+    for p in paths:
+        assert len(set(p.nodes)) == len(p.nodes)  # simple paths
+
+
+def test_path_explosion_guard(registry):
+    # 12 sequential branches -> 2^12 paths
+    body = "".join(
+        f"    if a > {i}:\n        x{i} = {i}\n" for i in range(12)
+    )
+    source = f"def f(a):\n{body}    return a\n"
+    fn = lower_function(source, registry)
+    ug = UnitGraph.build(fn)
+    stops = mark_stop_nodes(ug, registry)
+    with pytest.raises(PathExplosionError):
+        enumerate_target_paths(ug, stops, max_paths=100)
+
+
+def test_start_node_stop_gives_trivial_path(registry):
+    fn, ug, stops = analyze(
+        "def f(a):\n    native_show(a)\n", registry
+    )
+    # the first real instruction is (part of a chain ending in) the native
+    paths = enumerate_target_paths(ug, stops)
+    assert paths
+    # if start itself is a stop, the single path has no edges
+    if stops.is_stop(ug.start_node):
+        assert len(paths) == 1 and paths[0].edges == ()
+
+
+def test_path_edge_index(registry):
+    fn, ug, stops = analyze(
+        "def f(a):\n"
+        "    if a:\n"
+        "        b = 1\n"
+        "    else:\n"
+        "        b = 2\n"
+        "    return b\n",
+        registry,
+    )
+    paths = enumerate_target_paths(ug, stops)
+    index = path_edge_index(paths)
+    for e, owners in index.items():
+        for i in owners:
+            assert e in paths[i].edges
+
+
+def test_path_iteration_and_len(registry):
+    fn, ug, stops = analyze("def f(a):\n    return a\n", registry)
+    (p,) = enumerate_target_paths(ug, stops)
+    assert len(p) == len(list(p))

@@ -1,0 +1,127 @@
+"""Unit tests for Unit Graph construction and queries."""
+
+import pytest
+
+from repro.analysis.unit_graph import UnitGraph
+from repro.ir.builder import lower_function
+from repro.ir.registry import default_registry
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+def build(source, registry):
+    return UnitGraph.build(lower_function(source, registry))
+
+
+def test_straightline_edges(registry):
+    ug = build("def f(a):\n    b = a + 1\n    return b\n", registry)
+    assert ug.edges() == ((0, 1), (1, 2))
+    assert ug.preds[1] == (0,)
+    assert ug.succs[0] == (1,)
+
+
+def test_branch_edges(registry):
+    ug = build(
+        "def f(a):\n    if a:\n        b = 1\n    else:\n        b = 2\n    return b\n",
+        registry,
+    )
+    branch_nodes = [i for i in range(len(ug)) if len(ug.succs[i]) == 2]
+    assert len(branch_nodes) == 1
+
+
+def test_exit_nodes_are_returns(registry):
+    ug = build(
+        "def f(a):\n    if a:\n        return 1\n    return 2\n", registry
+    )
+    exits = ug.exit_nodes()
+    assert len(exits) == 2
+    from repro.ir.instructions import Return
+
+    for e in exits:
+        assert isinstance(ug.function.instrs[e], Return)
+
+
+def test_start_node_after_identities(registry):
+    ug = build("def f(a, b):\n    return a\n", registry)
+    assert ug.start_node == 2
+
+
+def test_reachability(registry):
+    ug = build("def f(a):\n    if a:\n        return 1\n    return 2\n", registry)
+    assert ug.reaches(0, len(ug) - 1) or ug.reaches(0, ug.exit_nodes()[0])
+    last = max(ug.exit_nodes())
+    assert not ug.reaches(last, 0)
+
+
+def test_back_edges_empty_for_acyclic(registry):
+    ug = build("def f(a):\n    if a:\n        b = 1\n    return a\n", registry)
+    assert ug.back_edges() == frozenset()
+
+
+def test_back_edges_found_in_loop(registry):
+    ug = build(
+        "def f(n):\n    s = 0\n    while n > 0:\n        s += n\n        n -= 1\n    return s\n",
+        registry,
+    )
+    back = ug.back_edges()
+    assert len(back) == 1
+    (edge,) = back
+    # the back edge jumps backwards in instruction order
+    assert edge[1] < edge[0]
+
+
+def test_forward_succs_acyclic(registry):
+    ug = build(
+        "def f(n):\n    s = 0\n    while n > 0:\n        s += n\n        n -= 1\n    return s\n",
+        registry,
+    )
+    fwd = ug.forward_succs()
+    # no cycles: follow forward successors, indices must make progress
+    seen = set()
+    stack = [0]
+    steps = 0
+    while stack:
+        node = stack.pop()
+        steps += 1
+        assert steps < 10_000
+        for s in fwd[node]:
+            if (node, s) not in seen:
+                seen.add((node, s))
+                stack.append(s)
+
+
+def test_edges_on_paths_straightline(registry):
+    ug = build("def f(a):\n    b = a + 1\n    c = b + 1\n    return c\n", registry)
+    edges = ug.edges_on_paths(0, 3)
+    assert edges == frozenset({(0, 1), (1, 2), (2, 3)})
+
+
+def test_edges_on_paths_excludes_unrelated(registry):
+    ug = build(
+        "def f(a):\n    if a:\n        b = 1\n    else:\n        b = 2\n    return b\n",
+        registry,
+    )
+    # No path from an exit back to the entry.
+    last = max(range(len(ug)), key=lambda i: i)
+    assert ug.edges_on_paths(last, 0) == frozenset()
+
+
+def test_loop_edges_on_paths(registry):
+    ug = build(
+        "def f(n):\n    s = 0\n    while n > 0:\n        s += n\n        n -= 1\n    return s\n",
+        registry,
+    )
+    (back,) = ug.back_edges()
+    # path from loop body back to the loop head exists
+    body_edges = ug.edges_on_paths(back[0], back[1])
+    assert back in body_edges
+
+
+def test_has_edge(registry):
+    ug = build("def f(a):\n    return a\n", registry)
+    assert ug.has_edge((0, 1))
+    assert not ug.has_edge((1, 0))
+    assert not ug.has_edge((99, 100))

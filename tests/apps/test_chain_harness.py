@@ -1,0 +1,124 @@
+"""Validation: the analytic placement model against the chain simulation."""
+
+import pytest
+
+from repro.apps.chain_harness import (
+    ChainTestbed,
+    measure_stream,
+    run_chain_pipeline,
+)
+from repro.apps.imagestream import build_partitioned_push, make_frame
+from repro.apps.mp_version import MethodPartitioningVersion
+from repro.core.placement import (
+    Hop,
+    StreamPath,
+    best_placement,
+    predicted_bottleneck,
+)
+from repro.serialization import measure_size
+from repro.simnet import Simulator
+
+
+def make_version():
+    partitioned, _sink = build_partitioned_push()
+    from repro.core.plan import sender_heavy_plan
+
+    # Fix the plan to "transform at the modulator" (the forced terminal
+    # edge ships the display-sized frame): placement now matters, because
+    # the modulator carries the resample work and shrinks the traffic.
+    return (
+        MethodPartitioningVersion(
+            partitioned,
+            plan=sender_heavy_plan(partitioned.cut),
+            adaptive=False,
+            location="sender",
+        ),
+        partitioned,
+    )
+
+
+FOUR_HOPS = StreamPath(
+    [
+        Hop("sensor", cpu_speed=0.05e6, link_alpha=0.0005, link_beta=2e-7),
+        Hop("gateway", cpu_speed=0.5e6, link_alpha=0.0005, link_beta=4e-7),
+        Hop("broker", cpu_speed=2.0e6, link_alpha=0.005, link_beta=1e-6),
+        Hop("client", cpu_speed=0.15e6),
+    ]
+)
+
+_FRAME_W, _FRAME_H = 320, 240
+
+
+def run_placement(placement, n_frames=40):
+    version, partitioned = make_version()
+    frames = [make_frame(_FRAME_W, _FRAME_H)] * n_frames
+    sizes = [
+        float(measure_size(f, partitioned.serializer_registry))
+        for f in frames
+    ]
+    sim = Simulator()
+    testbed = ChainTestbed(sim, FOUR_HOPS)
+    return run_chain_pipeline(
+        testbed, version, frames, sizes, placement=placement
+    )
+
+
+def measurements():
+    def factory():
+        version, _ = make_version()
+        return version
+
+    frame = make_frame(_FRAME_W, _FRAME_H)
+    _, partitioned = make_version()
+    size = float(measure_size(frame, partitioned.serializer_registry))
+    return measure_stream(factory, frame, size)
+
+
+def test_all_placements_deliver_everything():
+    for placement in FOUR_HOPS.placements():
+        result = run_placement(placement, n_frames=10)
+        assert result.n_delivered == 10
+
+
+def test_analytic_ranking_matches_simulation():
+    """The analytic bottleneck model must rank placements in the same
+    order the simulation measures."""
+    m = measurements()
+    predicted = {
+        p: predicted_bottleneck(FOUR_HOPS, p, m)
+        for p in FOUR_HOPS.placements()
+    }
+    measured = {
+        p: run_placement(p).avg_processing_time
+        for p in FOUR_HOPS.placements()
+    }
+    predicted_order = sorted(predicted, key=predicted.get)
+    measured_order = sorted(measured, key=measured.get)
+    assert predicted_order == measured_order
+
+
+def test_best_placement_is_empirically_best():
+    m = measurements()
+    idx, _ = best_placement(FOUR_HOPS, m)
+    measured = {
+        p: run_placement(p).avg_processing_time
+        for p in FOUR_HOPS.placements()
+    }
+    assert measured[idx] == min(measured.values())
+
+
+def test_predicted_bottleneck_close_to_measured():
+    """Steady-state throughput ≈ 1 / slowest stage (within end effects)."""
+    m = measurements()
+    for placement in FOUR_HOPS.placements():
+        predicted = predicted_bottleneck(FOUR_HOPS, placement, m)
+        measured = run_placement(placement, n_frames=60).avg_processing_time
+        assert measured == pytest.approx(predicted, rel=0.3)
+
+
+def test_invalid_placement_rejected():
+    version, partitioned = make_version()
+    sim = Simulator()
+    testbed = ChainTestbed(sim, FOUR_HOPS)
+    with pytest.raises(ValueError, match="placement"):
+        run_chain_pipeline(testbed, version, [], [], placement=3)

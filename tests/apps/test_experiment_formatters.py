@@ -1,0 +1,63 @@
+"""Unit tests for the experiment result formatters."""
+
+import pytest
+
+from repro.apps.imagestream.experiment import format_table2
+from repro.apps.sensor.experiment import (
+    format_curves,
+    format_table3,
+    format_table4,
+)
+
+
+def test_format_table2():
+    table = {
+        "Image<Display": {"small": 1.0, "large": 2.0, "mixed": 3.0},
+        "Image>Display": {"small": 4.0, "large": 5.0, "mixed": 6.0},
+        "Method Partitioning": {"small": 7.0, "large": 8.0, "mixed": 9.0},
+    }
+    text = format_table2(table)
+    assert "Implementation" in text
+    assert "Method Partitioning" in text
+    assert "7.00" in text and "9.00" in text
+
+
+def test_format_table3():
+    table = {
+        name: {"PC->Sun": 1.5, "Sun->PC": 2.5}
+        for name in (
+            "Consumer Version",
+            "Producer Version",
+            "Divided Version",
+            "Method Partitioning",
+        )
+    }
+    text = format_table3(table)
+    assert "PC->Sun" in text and "2.50" in text
+
+
+def test_format_table4():
+    row = {
+        name: 10.0
+        for name in (
+            "Consumer Version",
+            "Producer Version",
+            "Divided Version",
+            "Method Partitioning",
+        )
+    }
+    table = {(0.0, 0.6): dict(row), (1.0, 0.0): dict(row)}
+    text = format_table4(table)
+    assert "0/0.6" in text
+    assert "1/0" in text
+
+
+def test_format_curves():
+    curves = {
+        "A": [(0.0, 1.0), (0.5, 2.0)],
+        "B": [(0.0, 3.0), (0.5, 4.0)],
+    }
+    text = format_curves(curves, "X")
+    lines = text.splitlines()
+    assert lines[0].startswith("X")
+    assert "1.00" in text and "4.00" in text

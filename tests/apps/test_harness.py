@@ -1,0 +1,119 @@
+"""Unit tests for the experiment pipeline harness."""
+
+import pytest
+
+from repro.apps.harness import (
+    PipelineResult,
+    ReceiverShare,
+    SenderShare,
+    Version,
+    run_pipeline,
+)
+from repro.simnet import Simulator, intel_pair
+
+
+class FixedVersion(Version):
+    """Constant sender/receiver work; optionally filters every Nth event."""
+
+    name = "fixed"
+
+    def __init__(self, sender_cycles, receiver_cycles, size=100.0, filter_every=0):
+        self.sender_cycles = sender_cycles
+        self.receiver_cycles = receiver_cycles
+        self.size = size
+        self.filter_every = filter_every
+        self.sender_times = []
+        self.receiver_times = []
+        self._count = 0
+
+    def sender_share(self, event):
+        self._count += 1
+        if self.filter_every and self._count % self.filter_every == 0:
+            return SenderShare(payload=None, size=0.0, cycles=self.sender_cycles)
+        return SenderShare(
+            payload=event, size=self.size, cycles=self.sender_cycles
+        )
+
+    def receiver_share(self, payload):
+        return ReceiverShare(cycles=self.receiver_cycles)
+
+    def on_sender_done(self, share, service_time, sim, testbed):
+        self.sender_times.append(service_time)
+
+    def on_receiver_done(self, share, service_time, sim, testbed):
+        self.receiver_times.append(service_time)
+
+
+def run(version, n=20, **kwargs):
+    sim = Simulator()
+    testbed = intel_pair(sim)
+    return run_pipeline(testbed, version, list(range(n)), **kwargs)
+
+
+def test_all_events_delivered():
+    result = run(FixedVersion(1000.0, 1000.0), n=10)
+    assert result.n_events == 10
+    assert result.n_delivered == 10
+    assert result.n_filtered == 0
+
+
+def test_filtered_events_never_cross_link():
+    version = FixedVersion(1000.0, 1000.0, filter_every=2)
+    result = run(version, n=10)
+    assert result.n_filtered == 5
+    assert result.n_delivered == 5
+
+
+def test_throughput_set_by_bottleneck():
+    # receiver twice as slow: it is the bottleneck stage
+    slow_rx = run(FixedVersion(1000.0, 100000.0), n=50)
+    fast_rx = run(FixedVersion(1000.0, 1000.0), n=50)
+    assert slow_rx.throughput < fast_rx.throughput
+    # bottleneck 100000 cycles at 1e6 cyc/s = 0.1 s per message
+    assert slow_rx.avg_processing_time == pytest.approx(0.1, rel=0.1)
+
+
+def test_avg_processing_time_reciprocal_of_throughput():
+    result = run(FixedVersion(5000.0, 5000.0), n=30)
+    assert result.avg_processing_time == pytest.approx(
+        1.0 / result.throughput
+    )
+
+
+def test_bytes_accounted():
+    result = run(FixedVersion(10.0, 10.0, size=123.0), n=4)
+    assert result.bytes_sent == pytest.approx(4 * 123.0)
+
+
+def test_service_time_hooks_called():
+    version = FixedVersion(1000.0, 2000.0)
+    run(version, n=5)
+    assert len(version.sender_times) == 5
+    assert len(version.receiver_times) == 5
+    assert all(t == pytest.approx(0.001) for t in version.sender_times)
+    assert all(t == pytest.approx(0.002) for t in version.receiver_times)
+
+
+def test_window_must_be_positive():
+    with pytest.raises(ValueError):
+        run(FixedVersion(1.0, 1.0), window=0)
+
+
+def test_window_bounds_inflight():
+    """With window=1 the producer lock-steps with the consumer, so a slow
+    consumer drags total time to ~n * (sender + receiver)."""
+    locked = run(FixedVersion(10000.0, 10000.0), n=20, window=1)
+    pipelined = run(FixedVersion(10000.0, 10000.0), n=20, window=8)
+    assert pipelined.duration < locked.duration
+
+
+def test_inter_arrival_throttles_source():
+    paced = run(FixedVersion(10.0, 10.0), n=10, inter_arrival=0.05)
+    assert paced.duration >= 9 * 0.05
+    assert paced.throughput == pytest.approx(1 / 0.05, rel=0.2)
+
+
+def test_latency_at_least_stage_sum():
+    result = run(FixedVersion(1000.0, 1000.0), n=10)
+    # per-message latency >= sender + link + receiver service
+    assert result.mean_latency >= 0.002

@@ -1,0 +1,112 @@
+"""Property tests: conservation and ordering invariants of the pipeline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.harness import ReceiverShare, SenderShare, Version, run_pipeline
+from repro.simnet import Simulator, intel_pair
+
+
+class SpecVersion(Version):
+    """Per-event sender/receiver cycles and filter decisions from a spec."""
+
+    name = "spec"
+
+    def __init__(self, spec):
+        # spec: list of (sender_cycles, receiver_cycles, filtered)
+        self.spec = list(spec)
+        self._i = 0
+
+    def sender_share(self, event):
+        s_cycles, _r, filtered = self.spec[self._i]
+        self._i += 1
+        if filtered:
+            return SenderShare(payload=None, size=0.0, cycles=s_cycles)
+        return SenderShare(
+            payload=self._i - 1, size=64.0, cycles=s_cycles
+        )
+
+    def receiver_share(self, payload):
+        _s, r_cycles, _f = self.spec[payload]
+        return ReceiverShare(cycles=r_cycles)
+
+
+specs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=5000.0),
+        st.floats(min_value=0.0, max_value=5000.0),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=specs, window=st.integers(min_value=1, max_value=8))
+def test_conservation(spec, window):
+    """delivered + filtered == published, regardless of costs/window."""
+    sim = Simulator()
+    testbed = intel_pair(sim)
+    result = run_pipeline(
+        testbed,
+        SpecVersion(spec),
+        list(range(len(spec))),
+        window=window,
+    )
+    assert result.n_delivered + result.n_filtered == len(spec)
+    assert result.n_delivered == sum(1 for s in spec if not s[2])
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=specs, window=st.integers(min_value=1, max_value=8))
+def test_causality_and_fifo(spec, window):
+    """Completions are FIFO and never precede generation."""
+    sim = Simulator()
+    testbed = intel_pair(sim)
+    result = run_pipeline(
+        testbed, SpecVersion(spec), list(range(len(spec))), window=window
+    )
+    last_done = -1.0
+    for generated, done in result.completions:
+        assert done >= generated
+        assert done >= last_done
+        last_done = done
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=specs)
+def test_duration_bounded_below_by_total_work(spec):
+    """The pipeline can't finish before the bottleneck side's total work."""
+    sim = Simulator()
+    testbed = intel_pair(sim)
+    result = run_pipeline(
+        testbed, SpecVersion(spec), list(range(len(spec)))
+    )
+    sender_work = sum(s for s, _r, _f in spec) / testbed.sender.speed
+    receiver_work = (
+        sum(r for _s, r, f in spec if not f) / testbed.receiver.speed
+    )
+    assert result.duration >= max(sender_work, receiver_work) - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    spec=specs,
+    w1=st.integers(min_value=1, max_value=3),
+    w2=st.integers(min_value=4, max_value=16),
+)
+def test_larger_window_never_slower(spec, w1, w2):
+    """More in-flight credit can only help total completion time."""
+    def run(window):
+        sim = Simulator()
+        testbed = intel_pair(sim)
+        return run_pipeline(
+            testbed,
+            SpecVersion(spec),
+            list(range(len(spec))),
+            window=window,
+        ).duration
+
+    assert run(w2) <= run(w1) + 1e-9

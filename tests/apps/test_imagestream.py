@@ -1,0 +1,159 @@
+"""Unit tests for the image-streaming application."""
+
+import pytest
+
+from repro.apps.imagestream import (
+    ClientTransformVersion,
+    DisplaySink,
+    ImageFrame,
+    ServerTransformVersion,
+    build_partitioned_push,
+    make_frame,
+    make_mp_image_version,
+    resample,
+    scenario_stream,
+)
+from repro.apps.harness import run_pipeline
+from repro.simnet import Simulator, wireless_testbed
+
+
+# -- frames ------------------------------------------------------------------
+
+
+def test_frame_dimensions_checked():
+    with pytest.raises(ValueError):
+        ImageFrame(0, 10)
+    with pytest.raises(ValueError):
+        ImageFrame(10, 10, b"short")
+
+
+def test_make_frame_deterministic():
+    assert make_frame(8, 8).pixels == make_frame(8, 8).pixels
+    assert make_frame(8, 8, seed=1).pixels != make_frame(8, 8).pixels
+
+
+def test_scenario_streams():
+    small = scenario_stream("small", 10)
+    assert all(f.width == 80 for f in small)
+    large = scenario_stream("large", 10)
+    assert all(f.width == 200 for f in large)
+    with pytest.raises(ValueError):
+        scenario_stream("weird", 5)
+
+
+def test_mixed_stream_alternates_in_runs():
+    frames = scenario_stream("mixed", 200, seed=3)
+    widths = [f.width for f in frames]
+    assert set(widths) == {80, 200}
+    runs = 1 + sum(1 for a, b in zip(widths, widths[1:]) if a != b)
+    # runs average 10.5 frames: expect roughly 200/10.5 runs
+    assert 5 <= runs <= 60
+
+
+def test_mixed_stream_deterministic_in_seed():
+    a = [f.width for f in scenario_stream("mixed", 50, seed=1)]
+    b = [f.width for f in scenario_stream("mixed", 50, seed=1)]
+    c = [f.width for f in scenario_stream("mixed", 50, seed=2)]
+    assert a == b
+    assert a != c
+
+
+# -- resample ------------------------------------------------------------------
+
+
+def test_resample_identity():
+    frame = make_frame(16, 16)
+    assert resample(frame, 16, 16) is frame
+
+
+def test_resample_dimensions():
+    frame = make_frame(20, 20)
+    out = resample(frame, 10, 5)
+    assert out.width == 10 and out.height == 5
+    assert len(out.pixels) == 50
+
+
+def test_resample_downscale_picks_source_pixels():
+    frame = make_frame(4, 4)
+    out = resample(frame, 2, 2)
+    # nearest neighbour: out(i,j) = src(i*2, j*2)
+    assert out.pixels[0] == frame.pixels[0]
+    assert out.pixels[1] == frame.pixels[2]
+    assert out.pixels[2] == frame.pixels[8]
+
+
+def test_resample_upscale_repeats_pixels():
+    frame = ImageFrame(2, 2, bytes([1, 2, 3, 4]))
+    out = resample(frame, 4, 4)
+    assert out.pixels[0] == 1 and out.pixels[1] == 1
+    assert out.pixels[2] == 2 and out.pixels[3] == 2
+
+
+# -- versions -------------------------------------------------------------------
+
+
+def run_version(version, frames):
+    sim = Simulator()
+    testbed = wireless_testbed(sim)
+    return run_pipeline(testbed, version, frames), testbed
+
+
+def test_client_version_ships_raw_bytes():
+    version = ClientTransformVersion()
+    result, testbed = run_version(version, scenario_stream("small", 5))
+    assert result.bytes_sent >= 5 * 80 * 80
+    assert result.bytes_sent < 5 * 160 * 160
+
+
+def test_server_version_ships_display_sized_bytes():
+    version = ServerTransformVersion()
+    result, _ = run_version(version, scenario_stream("small", 5))
+    assert result.bytes_sent >= 5 * 160 * 160
+
+
+def test_both_manual_versions_display_correctly():
+    for version in (ClientTransformVersion(), ServerTransformVersion()):
+        run_version(version, scenario_stream("large", 3))
+        assert len(version.display.frames) == 3
+        for frame in version.display.frames:
+            assert frame.width == 160 and frame.height == 160
+
+
+def test_manual_versions_filter_non_frames():
+    version = ClientTransformVersion()
+    result, _ = run_version(version, ["junk", make_frame(80, 80)])
+    assert result.n_filtered == 1
+    assert result.n_delivered == 1
+
+
+def test_mp_version_displays_at_receiver():
+    version = make_mp_image_version()
+    result, _ = run_version(version, scenario_stream("small", 5))
+    assert len(version.display.frames) == 5
+    assert all(f.width == 160 for f in version.display.frames)
+
+
+def test_mp_version_adapts_bytes_to_frame_size():
+    """For large frames MP must converge to shipping the display-sized
+    frame, so bytes/frame approach 160x160 instead of 200x200."""
+    version = make_mp_image_version()
+    result, _ = run_version(version, scenario_stream("large", 30))
+    per_frame = result.bytes_sent / result.n_delivered
+    assert per_frame < 200 * 200  # below raw size: it adapted
+
+
+def test_mp_nonadaptive_variant_keeps_initial_plan():
+    version = make_mp_image_version(adaptive=False)
+    result, _ = run_version(version, scenario_stream("large", 10))
+    assert version.plan_updates_applied == 0
+
+
+def test_partitioned_push_displays_resampled(display_log=None):
+    partitioned, sink = build_partitioned_push(display_size=32)
+    modulator = partitioned.make_modulator()
+    demodulator = partitioned.make_demodulator()
+    result = modulator.process(make_frame(64, 64))
+    assert result.message is not None
+    demodulator.process(result.message)
+    assert len(sink.frames) == 1
+    assert sink.frames[0].width == 32

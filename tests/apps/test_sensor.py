@@ -1,0 +1,175 @@
+"""Unit tests for the sensor application."""
+
+import pytest
+
+from repro.apps.harness import run_pipeline
+from repro.apps.sensor import (
+    ConsumerVersion,
+    DividedVersion,
+    N_STAGES,
+    ProducerVersion,
+    SensorReading,
+    build_partitioned_process,
+    extract,
+    finalize,
+    make_mp_sensor_version,
+    make_reading,
+    make_sensor_handler_source,
+    reading_stream,
+    stage,
+    stage_weight,
+    total_work_cycles,
+)
+from repro.simnet import Simulator, intel_pair
+
+
+# -- data / stages ------------------------------------------------------------
+
+
+def test_reading_requires_samples():
+    with pytest.raises(ValueError):
+        SensorReading([])
+
+
+def test_reading_stream_deterministic():
+    a = reading_stream(5)
+    b = reading_stream(5)
+    assert [r.samples for r in a] == [r.samples for r in b]
+
+
+def test_stage_preserves_length_and_transforms():
+    data = [1.0, 2.0, 3.0]
+    out = stage(data, 0)
+    assert len(out) == 3
+    assert out != data
+
+
+def test_stage_weights_increase():
+    weights = [stage_weight(k) for k in range(N_STAGES)]
+    assert weights == sorted(weights)
+    assert weights[0] == pytest.approx(1.0)
+    assert weights[-1] > weights[0]
+
+
+def test_total_work_sums_stage_costs():
+    total = total_work_cycles(100, n_stages=4)
+    expected = sum(100 * 10.0 * stage_weight(k, 4) for k in range(4))
+    assert total == pytest.approx(expected)
+
+
+def test_finalize_summary():
+    out = finalize([1.0, 5.0, 3.0])
+    assert out == [1.0, 5.0, 3.0][0:1] + [5.0] + [3.0]
+
+
+def test_handler_source_has_n_stage_calls():
+    source = make_sensor_handler_source(7)
+    assert source.count("stage(d,") == 7
+
+
+# -- partitioned handler ---------------------------------------------------------
+
+
+def test_partitioned_chain_has_pse_per_stage_boundary():
+    partitioned, _ = build_partitioned_process(n_stages=6)
+    # chain of 6 stages + extract + finalize + deliver: the main path is
+    # fully covered by PSEs under the execution-time model
+    main_path = max(partitioned.cut.ctx.paths, key=len)
+    on_path = [e for e in main_path.edges if e in partitioned.pses]
+    assert len(on_path) == len(main_path.edges)
+    assert len(on_path) >= 8
+
+
+def test_partitioned_matches_reference():
+    partitioned, sink = build_partitioned_process(n_stages=5)
+    reading = make_reading(0, n_samples=16)
+    partitioned.run_reference(reading)
+    expected = sink.results[-1]
+
+    from repro.core.plan import PartitioningPlan
+
+    for edge in list(partitioned.pses)[:6]:
+        if edge in partitioned.cut.poisoned:
+            continue
+        sink.clear()
+        plan = PartitioningPlan(active=frozenset({edge}))
+        modulator = partitioned.make_modulator(plan=plan)
+        demodulator = partitioned.make_demodulator()
+        result = modulator.process(reading)
+        if result.message is not None:
+            demodulator.process(result.message)
+        assert sink.results[-1] == pytest.approx(expected)
+
+
+# -- versions --------------------------------------------------------------------
+
+
+def run_version(version, n=10):
+    sim = Simulator()
+    testbed = intel_pair(sim)
+    return run_pipeline(testbed, version, reading_stream(n))
+
+
+def test_consumer_version_all_work_at_receiver():
+    version = ConsumerVersion()
+    sim = Simulator()
+    testbed = intel_pair(sim)
+    run_pipeline(testbed, version, reading_stream(5))
+    assert testbed.receiver.cycles_executed > testbed.sender.cycles_executed
+
+
+def test_producer_version_all_work_at_sender():
+    version = ProducerVersion()
+    sim = Simulator()
+    testbed = intel_pair(sim)
+    run_pipeline(testbed, version, reading_stream(5))
+    assert testbed.sender.cycles_executed > testbed.receiver.cycles_executed
+
+
+def test_divided_version_splits_work():
+    version = DividedVersion()
+    sim = Simulator()
+    testbed = intel_pair(sim)
+    run_pipeline(testbed, version, reading_stream(5))
+    assert testbed.sender.cycles_executed > 0
+    assert testbed.receiver.cycles_executed > 0
+
+
+def test_all_versions_produce_identical_results():
+    expected = None
+    for factory in (
+        ConsumerVersion,
+        ProducerVersion,
+        DividedVersion,
+    ):
+        version = factory()
+        run_version(version, n=5)
+        results = version.sink.results
+        assert len(results) == 5
+        if expected is None:
+            expected = results
+        else:
+            for got, want in zip(results, expected):
+                assert got == pytest.approx(want)
+    mp = make_mp_sensor_version()
+    run_version(mp, n=5)
+    assert len(mp.sink.results) == 5
+    for got, want in zip(mp.sink.results, expected):
+        assert got == pytest.approx(want)
+
+
+def test_producer_version_ships_less_data_than_consumer():
+    sim1 = Simulator()
+    tb1 = intel_pair(sim1)
+    run_pipeline(tb1, ConsumerVersion(), reading_stream(5))
+    sim2 = Simulator()
+    tb2 = intel_pair(sim2)
+    run_pipeline(tb2, ProducerVersion(), reading_stream(5))
+    assert tb2.link.bytes_sent < tb1.link.bytes_sent
+
+
+def test_mp_beats_divided_unloaded():
+    """The headline Table 4 (0/0) relationship: finer-grained balance."""
+    divided = run_version(DividedVersion(), n=30)
+    mp = run_version(make_mp_sensor_version(), n=30)
+    assert mp.avg_processing_time < divided.avg_processing_time

@@ -1,0 +1,71 @@
+"""Shared fixtures: the paper's running example and common registries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import MethodPartitioner
+from repro.core.costmodels import DataSizeCostModel
+from repro.ir.registry import FunctionRegistry, default_registry
+from repro.serialization import SerializerRegistry
+
+
+class ImageData:
+    """The paper's Appendix A class, as used in its running example."""
+
+    def __init__(self, template=None, w=100, h=100):
+        self.width = w
+        if template is None:
+            self.buff = bytes(w * h)
+        else:
+            buf = bytearray(w * h)
+            th = len(template.buff) // template.width
+            for i in range(min(h, th)):
+                for j in range(min(w, template.width)):
+                    buf[i * w + j] = template.buff[i * template.width + j]
+            self.buff = bytes(buf)
+
+
+#: the paper's push() handler (Appendix A) in the supported Python subset
+PUSH_SOURCE = """
+def push(event):
+    if isinstance(event, ImageData):
+        rd = ImageData(event, 100, 100)
+        display_image(rd)
+"""
+
+
+@pytest.fixture
+def display_log():
+    return []
+
+
+@pytest.fixture
+def push_registry(display_log):
+    registry = default_registry()
+    registry.register_class(ImageData)
+    registry.register_function(
+        "display_image",
+        display_log.append,
+        receiver_only=True,
+        pure=False,
+    )
+    return registry
+
+
+@pytest.fixture
+def push_serializer_registry():
+    registry = SerializerRegistry()
+    registry.register(ImageData, fields=("width", "buff"))
+    return registry
+
+
+@pytest.fixture
+def push_partitioned(push_registry, push_serializer_registry):
+    partitioner = MethodPartitioner(push_registry, push_serializer_registry)
+    return partitioner.partition(PUSH_SOURCE, DataSizeCostModel())
+
+
+@pytest.fixture
+def image_data_cls():
+    return ImageData

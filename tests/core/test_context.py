@@ -1,0 +1,76 @@
+"""Unit tests for AnalysisContext."""
+
+import pytest
+
+from repro.core.context import AnalysisContext
+from repro.ir.builder import lower_function
+from repro.ir.registry import default_registry
+from repro.ir.values import Var
+
+
+@pytest.fixture
+def registry():
+    registry = default_registry()
+    registry.register_function(
+        "show", lambda x: None, receiver_only=True, pure=False
+    )
+    return registry
+
+
+def build(source, registry, **kwargs):
+    fn = lower_function(source, registry)
+    return AnalysisContext.build(fn, registry, **kwargs)
+
+
+def test_build_populates_every_analysis(registry):
+    ctx = build("def f(a):\n    b = a + 1\n    show(b)\n", registry)
+    assert ctx.graph is not None
+    assert ctx.liveness is not None
+    assert ctx.reaching is not None
+    assert ctx.ddg is not None
+    assert ctx.stops.nodes
+    assert ctx.paths
+    assert ctx.aliases is not None
+
+
+def test_inter_delegates_to_liveness(registry):
+    ctx = build("def f(a):\n    b = a + 1\n    show(b)\n", registry)
+    for edge in ctx.graph.edges():
+        assert ctx.inter(edge) == ctx.liveness.inter(edge)
+
+
+def test_stop_entry_edges_point_into_stops(registry):
+    ctx = build(
+        "def f(a):\n"
+        "    if a:\n"
+        "        show(a)\n"
+        "    b = a + 1\n"
+        "    show(b)\n",
+        registry,
+    )
+    entries = ctx.stop_entry_edges()
+    assert entries
+    for out_node, in_node in entries:
+        assert ctx.stops.is_stop(in_node)
+        assert not ctx.stops.is_stop(out_node)
+
+
+def test_stop_entry_excludes_stop_to_stop(registry):
+    """An edge between two StopNodes is not a usable split point."""
+    ctx = build(
+        "def f(a):\n    show(a)\n    show(a)\n", registry
+    )
+    for out_node, in_node in ctx.stop_entry_edges():
+        assert not ctx.stops.is_stop(out_node)
+
+
+def test_max_paths_forwarded(registry):
+    from repro.analysis.paths import PathExplosionError
+
+    body = "".join(
+        f"    if a > {i}:\n        x{i} = {i}\n" for i in range(12)
+    )
+    source = f"def f(a):\n{body}    show(a)\n"
+    fn = lower_function(source, registry)
+    with pytest.raises(PathExplosionError):
+        AnalysisContext.build(fn, registry, max_paths=10)

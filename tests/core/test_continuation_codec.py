@@ -1,0 +1,109 @@
+"""Unit tests for continuation messages carrying application objects."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.continuation import ContinuationCodec, ContinuationMessage
+from repro.ir.interpreter import Continuation
+from repro.serialization import SerializerRegistry
+
+
+class Payload:
+    def __init__(self, tag, blob):
+        self.tag = tag
+        self.blob = blob
+
+
+@pytest.fixture
+def codec():
+    registry = SerializerRegistry()
+    registry.register(Payload, fields=("tag", "blob"))
+    return ContinuationCodec(registry)
+
+
+def roundtrip(codec, message):
+    return codec.decode(codec.encode(message))
+
+
+def test_roundtrip_with_app_object(codec):
+    message = ContinuationMessage(
+        function="handler",
+        pse_id="pse3",
+        edge=(4, 7),
+        variables={"obj": Payload("x", b"\x00" * 64), "n": 9},
+    )
+    back = roundtrip(codec, message)
+    assert back.function == "handler"
+    assert back.pse_id == "pse3"
+    assert back.edge == (4, 7)
+    assert back.variables["n"] == 9
+    assert isinstance(back.variables["obj"], Payload)
+    assert back.variables["obj"].blob == b"\x00" * 64
+
+
+def test_size_matches_encoding_exactly(codec):
+    message = ContinuationMessage(
+        function="f",
+        pse_id="pse0",
+        edge=(1, 2),
+        variables={"a": [1.0] * 50, "b": "text"},
+    )
+    assert codec.size(message) == len(codec.encode(message))
+
+
+def test_payload_size_excludes_envelope(codec):
+    small = ContinuationMessage(
+        function="averyveryverylongfunctionname",
+        pse_id="pse0",
+        edge=(1, 2),
+        variables={},
+    )
+    assert codec.payload_size(small) < codec.size(small)
+
+
+def test_from_and_to_continuation():
+    continuation = Continuation(
+        function="h", edge=(3, 4), variables={"x": 1}
+    )
+    message = ContinuationMessage.from_continuation(continuation, "pse9")
+    assert message.pse_id == "pse9"
+    back = message.to_continuation()
+    assert back.function == "h"
+    assert back.edge == (3, 4)
+    assert back.variables == {"x": 1}
+    # independent copies: mutating one does not leak
+    back.variables["x"] = 99
+    assert message.variables["x"] == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    variables=st.dictionaries(
+        st.text(
+            alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=1,
+            max_size=8,
+        ),
+        st.none()
+        | st.integers(min_value=-(2**40), max_value=2**40)
+        | st.floats(allow_nan=False)
+        | st.text(max_size=16)
+        | st.lists(st.integers(min_value=0, max_value=255), max_size=8),
+        max_size=5,
+    ),
+    out_node=st.integers(min_value=0, max_value=500),
+    in_node=st.integers(min_value=0, max_value=500),
+)
+def test_roundtrip_property(variables, out_node, in_node):
+    codec = ContinuationCodec(SerializerRegistry())
+    message = ContinuationMessage(
+        function="f",
+        pse_id="pse1",
+        edge=(out_node, in_node),
+        variables=variables,
+    )
+    back = roundtrip(codec, message)
+    assert back.edge == message.edge
+    assert back.variables == variables
+    assert codec.size(message) == len(codec.encode(message))

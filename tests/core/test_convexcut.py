@@ -1,0 +1,225 @@
+"""Unit tests for the ConvexCut algorithm (paper Figure 3), including the
+paper's running example."""
+
+import pytest
+
+from repro.core.api import MethodPartitioner
+from repro.core.context import AnalysisContext
+from repro.core.convexcut import convex_cut
+from repro.core.costmodels import DataSizeCostModel, ExecutionTimeCostModel
+from repro.ir.builder import lower_function
+from repro.ir.instructions import Invoke, Return
+from repro.ir.registry import default_registry
+from repro.ir.values import Var
+from tests.conftest import PUSH_SOURCE
+
+
+def build_cut(source, registry, model=None, **kwargs):
+    fn = lower_function(source, registry, **kwargs)
+    ctx = AnalysisContext.build(fn, registry)
+    return ctx, convex_cut(ctx, model or DataSizeCostModel())
+
+
+@pytest.fixture
+def registry():
+    registry = default_registry()
+    registry.register_function(
+        "show", lambda x: None, receiver_only=True, pure=False
+    )
+    registry.register_function("work", lambda x: x, pure=True)
+    return registry
+
+
+# -- the paper's running example ------------------------------------------
+
+
+def test_paper_example_pse_structure(push_partitioned):
+    """The push() example must yield the paper's three-way choice:
+    before the transform, after the transform, and the filtered path."""
+    cut = push_partitioned.cut
+    fn = push_partitioned.function
+    pses = cut.pses
+    assert len(pses) == 3
+
+    inters = {
+        tuple(sorted(v.name for v in pse.inter)) for pse in pses.values()
+    }
+    # ship the raw event / ship the transformed image / ship nothing
+    assert ("event",) in inters
+    assert ("rd",) in inters
+    assert () in inters
+
+
+def test_paper_example_terminal_edges(push_partitioned):
+    cut = push_partitioned.cut
+    terminals = cut.terminal_edges()
+    assert len(terminals) == 2  # into the native call, into the return
+    for edge in terminals:
+        assert cut.pses[edge].terminal
+
+
+def test_paper_example_noop_resume_on_filtered_path(push_partitioned):
+    cut = push_partitioned.cut
+    noop = [p for p in cut.pses.values() if p.noop_resume]
+    assert len(noop) == 1
+    assert noop[0].inter == frozenset()
+
+
+def test_paper_example_two_target_paths(push_partitioned):
+    assert len(push_partitioned.cut.ctx.paths) == 2
+
+
+# -- structural properties ---------------------------------------------------
+
+
+def test_pses_are_ug_edges(registry):
+    ctx, cut = build_cut(
+        "def f(a):\n    b = work(a)\n    show(b)\n", registry
+    )
+    for edge in cut.pses:
+        assert ctx.graph.has_edge(edge)
+
+
+def test_pse_ids_unique(registry):
+    ctx, cut = build_cut(
+        "def f(a):\n    b = work(a)\n    show(b)\n", registry
+    )
+    ids = [p.pse_id for p in cut.pses.values()]
+    assert len(ids) == len(set(ids))
+
+
+def test_pse_by_id(registry):
+    ctx, cut = build_cut("def f(a):\n    show(a)\n", registry)
+    for pse in cut.pses.values():
+        assert cut.pse_by_id(pse.pse_id) is pse
+    with pytest.raises(Exception):
+        cut.pse_by_id("pse999")
+
+
+def test_inter_sets_match_liveness(registry):
+    ctx, cut = build_cut(
+        "def f(a):\n    b = work(a)\n    show(b)\n", registry
+    )
+    for edge, pse in cut.pses.items():
+        assert pse.inter == ctx.inter(edge)
+
+
+# -- convexity ------------------------------------------------------------------
+
+
+def test_loop_edges_poisoned(registry):
+    """A loop-carried dependency must poison the in-loop edges so no cut
+    can place the def at the demodulator and a later use at the
+    modulator."""
+    ctx, cut = build_cut(
+        "def f(n):\n"
+        "    s = 0\n"
+        "    i = 0\n"
+        "    while i < n:\n"
+        "        s = s + i\n"
+        "        i = i + 1\n"
+        "    show(s)\n",
+        registry,
+    )
+    (back,) = ctx.graph.back_edges()
+    assert back in cut.poisoned
+    # no PSE inside the poisoned loop region
+    for edge in cut.pses:
+        assert edge not in cut.poisoned
+
+
+def test_straightline_nothing_poisoned(registry):
+    ctx, cut = build_cut(
+        "def f(a):\n    b = work(a)\n    c = work(b)\n    show(c)\n",
+        registry,
+    )
+    assert cut.poisoned == frozenset()
+
+
+def test_edges_before_and_after_loop_remain_candidates(registry):
+    ctx, cut = build_cut(
+        "def f(n):\n"
+        "    a = work(n)\n"
+        "    s = 0\n"
+        "    i = 0\n"
+        "    while i < n:\n"
+        "        s = s + a\n"
+        "        i = i + 1\n"
+        "    b = work(s)\n"
+        "    show(b)\n",
+        registry,
+    )
+    assert cut.pses  # splitting before or after the loop is possible
+
+
+# -- cost-based selection ---------------------------------------------------------
+
+
+def test_min_cost_edges_survive(registry):
+    """Under data-size, an edge carrying a known-small INTER beats one
+    carrying a known-large constant."""
+    ctx, cut = build_cut(
+        "def f(a):\n"
+        "    big = 1000000\n"
+        "    small = 1\n"
+        "    c = big + small\n"
+        "    d = c + a\n"
+        "    show(d)\n",
+        registry,
+    )
+    # every non-terminal PSE must not be determinably beaten on its path
+    for path, edges in cut.path_pse_edges:
+        costs = {
+            e: cut.cost_model.static_edge_cost(ctx, e, path)
+            for e in path.edges
+            if e not in cut.poisoned
+        }
+        for kept in edges:
+            for other, other_cost in costs.items():
+                if other == kept:
+                    continue
+                assert not other_cost.determinably_less(costs[kept])
+
+
+def test_exectime_keeps_whole_chain(registry):
+    """Under the execution-time model no static cost is determinable, so
+    every stage boundary survives (the paper's 21-PSE sensor handler)."""
+    source = (
+        "def f(a):\n"
+        "    d = work(a)\n"
+        "    d = work(d)\n"
+        "    d = work(d)\n"
+        "    d = work(d)\n"
+        "    show(d)\n"
+    )
+    ctx, cut = build_cut(source, registry, ExecutionTimeCostModel())
+    # one PSE per chain edge on the main path (plus terminal/filter edges)
+    main_path = max(ctx.paths, key=len)
+    on_path = [e for e in main_path.edges if e in cut.pses]
+    assert len(on_path) == len(main_path.edges)
+
+
+def test_datasize_dedups_identical_handover(registry):
+    """Copy chains create alias-identical INTER sets; only one
+    representative PSE survives (paper section 3's Edge(2,3)/Edge(5,6))."""
+    source = (
+        "def f(a):\n"
+        "    b = a\n"
+        "    c = b\n"
+        "    show(c)\n"
+    )
+    ctx, cut = build_cut(source, registry)
+    main_path = max(ctx.paths, key=len)
+    kept = next(
+        edges for path, edges in cut.path_pse_edges if path == main_path
+    )
+    # a, b, c all alias: the three copy edges cost the same, keep one
+    canon = {
+        ctx.aliases.canonicalize(ctx.inter(e)) for e in kept
+    }
+    assert len(kept) == len(canon)
+
+
+def test_describe_mentions_pses(push_partitioned):
+    text = push_partitioned.cut.describe()
+    assert "pse0" in text and "ConvexCut" in text

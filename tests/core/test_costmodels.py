@@ -1,0 +1,314 @@
+"""Unit tests for the cost models (paper section 4)."""
+
+import math
+
+import pytest
+
+from repro.core.context import AnalysisContext
+from repro.core.convexcut import convex_cut
+from repro.core.costmodels import (
+    CompositeCostModel,
+    DataSizeCostModel,
+    ExecutionTimeCostModel,
+    NetworkParameters,
+    PowerCostModel,
+    infer_static_sizes,
+    predicted_total_time,
+)
+from repro.core.runtime.profiling import PSESnapshot
+from repro.errors import CostModelError
+from repro.ir.builder import lower_function
+from repro.ir.registry import default_registry
+from repro.serialization import format as wf
+
+
+@pytest.fixture
+def registry():
+    registry = default_registry()
+    registry.register_function(
+        "show", lambda x: None, receiver_only=True, pure=False
+    )
+    return registry
+
+
+def context(source, registry):
+    fn = lower_function(source, registry)
+    return AnalysisContext.build(fn, registry)
+
+
+def snap(
+    edge=(0, 1),
+    *,
+    lower=1.0,
+    data_size=None,
+    data_count=0,
+    work_before=None,
+    work_after=None,
+    t_mod=None,
+    t_demod=None,
+    prob=1.0,
+):
+    return PSESnapshot(
+        edge=edge,
+        static_lower_bound=lower,
+        data_size=data_size,
+        data_size_count=data_count,
+        work_before=work_before,
+        work_after=work_after,
+        t_mod=t_mod,
+        t_demod=t_demod,
+        path_probability=prob,
+        splits=0,
+    )
+
+
+# -- static size inference ---------------------------------------------------
+
+
+def test_constants_have_exact_sizes(registry):
+    fn = lower_function(
+        "def f(a):\n    x = 5\n    y = 1.5\n    return a\n", registry
+    )
+    sizes = infer_static_sizes(fn)
+    assert sizes["x"] == wf.INT_VALUE_SIZE
+    assert sizes["y"] == wf.FLOAT_VALUE_SIZE
+
+
+def test_bools_are_one_byte(registry):
+    fn = lower_function(
+        "def f(a):\n    t = a > 1\n    return t\n", registry
+    )
+    sizes = infer_static_sizes(fn)
+    assert sizes["t"] == wf.BOOL_VALUE_SIZE
+
+
+def test_int_arithmetic_propagates(registry):
+    fn = lower_function(
+        "def f(a):\n    x = 2\n    y = x + 3\n    z = y * x\n    return z\n",
+        registry,
+    )
+    sizes = infer_static_sizes(fn)
+    assert sizes["y"] == wf.INT_VALUE_SIZE
+    assert sizes["z"] == wf.INT_VALUE_SIZE
+
+
+def test_params_unknown(registry):
+    fn = lower_function("def f(a):\n    return a\n", registry)
+    assert "a" not in infer_static_sizes(fn)
+
+
+def test_conflicting_defs_unknown(registry):
+    fn = lower_function(
+        "def f(a):\n"
+        "    if a:\n"
+        "        x = 1\n"
+        "    else:\n"
+        "        x = 'str'\n"
+        "    return x\n",
+        registry,
+    )
+    assert "x" not in infer_static_sizes(fn)
+
+
+def test_copy_chain_propagates(registry):
+    fn = lower_function(
+        "def f(a):\n    x = 7\n    y = x\n    return y\n", registry
+    )
+    sizes = infer_static_sizes(fn)
+    assert sizes["y"] == wf.INT_VALUE_SIZE
+
+
+# -- data-size model -----------------------------------------------------------
+
+
+def test_datasize_static_cost_deterministic_for_constants(registry):
+    ctx = context(
+        "def f(a):\n    x = 5\n    show(x)\n", registry
+    )
+    model = DataSizeCostModel()
+    # find the edge whose INTER is exactly {x}
+    from repro.ir.values import Var
+
+    edges = [e for e in ctx.graph.edges() if ctx.inter(e) == {Var("x")}]
+    assert edges
+    cost = model.static_edge_cost(ctx, edges[0])
+    assert cost.determinable
+    assert cost.deterministic == wf.INT_VALUE_SIZE
+
+
+def test_datasize_symbolic_for_params(registry):
+    ctx = context("def f(a):\n    show(a)\n", registry)
+    model = DataSizeCostModel()
+    from repro.ir.values import Var
+
+    edges = [e for e in ctx.graph.edges() if Var("a") in ctx.inter(e)]
+    cost = model.static_edge_cost(ctx, edges[0])
+    assert not cost.determinable
+    assert cost.symbolic
+
+
+def test_datasize_runtime_uses_profile():
+    model = DataSizeCostModel()
+    assert model.runtime_edge_cost(
+        snap(data_size=100.0, data_count=3, prob=0.5)
+    ) == pytest.approx(50.0)
+
+
+def test_datasize_runtime_falls_back_to_bound():
+    model = DataSizeCostModel()
+    assert model.runtime_edge_cost(snap(lower=9.0)) == pytest.approx(9.0)
+
+
+def test_datasize_needs_profiling_only_for_symbolic(registry):
+    model = DataSizeCostModel()
+    from repro.core.costmodels.base import EdgeCost
+
+    assert not model.needs_profiling(EdgeCost(deterministic=5.0))
+    assert model.needs_profiling(
+        EdgeCost(deterministic=5.0, symbolic=frozenset({"x"}))
+    )
+
+
+# -- execution-time model ---------------------------------------------------------
+
+
+def test_eq3_formula():
+    net = NetworkParameters(alpha=1.0, beta=0.001, units=100)
+    t = predicted_total_time(0.5, 0.3, net)
+    sigma = max(1.0, math.ceil(1.0 / (0.5 - 0.001)))
+    assert t == pytest.approx(100 * 0.5 + 1.0 + sigma * 0.001 + sigma * 0.3)
+
+
+def test_eq3_balanced_beats_imbalanced():
+    net = NetworkParameters(alpha=0.001, beta=0.0001, units=100)
+    balanced = predicted_total_time(0.5, 0.5, net)
+    skewed = predicted_total_time(0.9, 0.1, net)
+    assert balanced < skewed
+
+
+def test_eq3_communication_bound_fallback():
+    net = NetworkParameters(alpha=0.1, beta=10.0, units=10)
+    t = predicted_total_time(0.5, 0.5, net)  # beta > max: eq. 2 violated
+    assert t > 0
+
+
+def test_exectime_static_requires_path(registry):
+    ctx = context("def f(a):\n    show(a)\n", registry)
+    model = ExecutionTimeCostModel()
+    with pytest.raises(CostModelError, match="path"):
+        model.static_edge_cost(ctx, ctx.graph.edges()[0], None)
+
+
+def test_exectime_static_balance_heuristic(registry):
+    ctx = context(
+        "def f(a):\n"
+        "    b = a + 1\n"
+        "    c = b + 1\n"
+        "    d = c + 1\n"
+        "    show(d)\n",
+        registry,
+    )
+    model = ExecutionTimeCostModel()
+    path = max(ctx.paths, key=len)
+    costs = [
+        model.static_edge_cost(ctx, e, path).deterministic
+        for e in path.edges
+    ]
+    # |d_start - d_end|: extremes are the most imbalanced edges
+    assert max(costs) in (costs[0], costs[-1])
+    assert min(costs) < max(costs)
+    # cost profile is V-shaped: decreasing then increasing
+    mid = costs.index(min(costs))
+    assert all(costs[i] >= costs[i + 1] for i in range(mid))
+    assert all(costs[i] <= costs[i + 1] for i in range(mid, len(costs) - 1))
+
+
+def test_exectime_costs_incomparable(registry):
+    ctx = context(
+        "def f(a):\n    b = a + 1\n    c = b + 1\n    show(c)\n", registry
+    )
+    model = ExecutionTimeCostModel()
+    path = max(ctx.paths, key=len)
+    costs = [model.static_edge_cost(ctx, e, path) for e in path.edges]
+    for i, a in enumerate(costs):
+        for j, b in enumerate(costs):
+            if i != j:
+                assert not a.determinably_less(b)
+
+
+def test_exectime_always_needs_profiling():
+    model = ExecutionTimeCostModel()
+    from repro.core.costmodels.base import EdgeCost
+
+    assert model.needs_profiling(EdgeCost(deterministic=0.0))
+
+
+def test_exectime_runtime_prefers_balance():
+    model = ExecutionTimeCostModel(
+        NetworkParameters(alpha=0.001, beta=0.0001, units=100)
+    )
+    balanced = model.runtime_edge_cost(snap(t_mod=0.5, t_demod=0.5))
+    skewed = model.runtime_edge_cost(snap(t_mod=0.95, t_demod=0.05))
+    assert balanced < skewed
+
+
+def test_exectime_runtime_fallback():
+    model = ExecutionTimeCostModel()
+    assert model.runtime_edge_cost(snap(lower=3.0)) == pytest.approx(3.0)
+
+
+# -- composite and power ---------------------------------------------------------
+
+
+def test_composite_weights_runtime_costs():
+    a = DataSizeCostModel()
+    b = DataSizeCostModel()
+    combined = CompositeCostModel([(a, 1.0), (b, 2.0)])
+    s = snap(data_size=10.0, data_count=1, prob=1.0)
+    assert combined.runtime_edge_cost(s) == pytest.approx(30.0)
+
+
+def test_composite_static_unions_symbolic(registry):
+    ctx = context("def f(a):\n    show(a)\n", registry)
+    model = CompositeCostModel(
+        [(DataSizeCostModel(), 1.0), (PowerCostModel(), 1.0)]
+    )
+    edge = ctx.graph.edges()[1]
+    cost = model.static_edge_cost(ctx, edge)
+    assert cost.symbolic  # union includes the power model's cpu marker
+
+
+def test_composite_rejects_empty_and_negative():
+    with pytest.raises(CostModelError):
+        CompositeCostModel([])
+    with pytest.raises(CostModelError):
+        CompositeCostModel([(DataSizeCostModel(), -1.0)])
+
+
+def test_power_charges_radio_and_cpu():
+    model = PowerCostModel(
+        joules_per_byte=1e-6, joules_per_cycle=1e-9
+    )
+    s = snap(data_size=1000.0, data_count=1, work_after=1e6, prob=1.0)
+    cost = model.runtime_edge_cost(s)
+    assert cost == pytest.approx(1000 * 1e-6 + 1e6 * 1e-9)
+
+
+def test_power_sender_side():
+    model = PowerCostModel(constrained_side="sender")
+    s = snap(work_before=2e6, prob=1.0)
+    assert model.runtime_edge_cost(s) == pytest.approx(2e6 * 1e-9)
+
+
+def test_power_invalid_side_rejected():
+    with pytest.raises(ValueError):
+        PowerCostModel(constrained_side="middle")
+
+
+def test_power_prefers_offloading_from_constrained_receiver(registry):
+    """Under the power model, splitting late (less receiver CPU, fewer
+    received bytes when the late hand-over is smaller) costs less."""
+    model = PowerCostModel()
+    early = snap(data_size=40000.0, data_count=1, work_after=5e4, prob=1.0)
+    late = snap(data_size=25000.0, data_count=1, work_after=1e3, prob=1.0)
+    assert model.runtime_edge_cost(late) < model.runtime_edge_cost(early)

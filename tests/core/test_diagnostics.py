@@ -1,0 +1,211 @@
+"""Unit tests for ConvexCut diagnostics and the partition renderer."""
+
+import pytest
+
+from repro.analysis.postdominators import compute_postdominators
+from repro.analysis.unit_graph import UnitGraph
+from repro.core.diagnostics import describe_plan, pse_ordering, render_partition
+from repro.core.plan import PartitioningPlan, static_optimal_plan
+from repro.ir.builder import lower_function
+from repro.ir.registry import default_registry
+
+
+# -- post-dominators ----------------------------------------------------------
+
+
+def test_postdominators_straightline():
+    registry = default_registry()
+    fn = lower_function(
+        "def f(a):\n    b = a + 1\n    return b\n", registry
+    )
+    pdom = compute_postdominators(UnitGraph.build(fn))
+    last = len(fn) - 1
+    for i in range(len(fn)):
+        assert pdom.post_dominates(last, i)
+    assert not pdom.post_dominates(0, last)
+
+
+def test_postdominators_branch_join():
+    registry = default_registry()
+    fn = lower_function(
+        "def f(a):\n"
+        "    if a:\n"
+        "        b = 1\n"
+        "    else:\n"
+        "        b = 2\n"
+        "    return b\n",
+        registry,
+    )
+    ug = UnitGraph.build(fn)
+    pdom = compute_postdominators(ug)
+    ret = fn.return_indices()[0]
+    branch = next(i for i in range(len(fn)) if len(ug.succs[i]) == 2)
+    then_side = ug.succs[branch][0]
+    # the return post-dominates both sides; one side does not post-dominate
+    # the branch
+    assert pdom.post_dominates(ret, branch)
+    assert pdom.post_dominates(ret, then_side)
+    assert not pdom.post_dominates(then_side, branch)
+
+
+def test_postdominators_multi_exit():
+    registry = default_registry()
+    fn = lower_function(
+        "def f(a):\n    if a:\n        return 1\n    return 2\n", registry
+    )
+    ug = UnitGraph.build(fn)
+    pdom = compute_postdominators(ug)
+    r1, r2 = fn.return_indices()
+    # with two exits, neither return post-dominates the entry
+    assert not pdom.post_dominates(r1, 0)
+    assert not pdom.post_dominates(r2, 0)
+
+
+# -- PSE ordering ------------------------------------------------------------------
+
+
+def test_chain_pses_totally_ordered():
+    from repro.apps.sensor import build_partitioned_process
+
+    partitioned, _ = build_partitioned_process(n_stages=4)
+    ordering = pse_ordering(partitioned.cut)
+    # a straight chain: many ordered pairs, and ordering respects edge order
+    assert ordering
+    for earlier, later in ordering:
+        assert earlier[0] <= later[0]
+
+
+def test_branch_exclusive_pses_not_ordered():
+    """Terminal PSEs on mutually exclusive branches are never ordered."""
+    from repro.core.api import MethodPartitioner
+    from repro.core.costmodels import DataSizeCostModel
+    from repro.serialization import SerializerRegistry
+
+    registry = default_registry()
+    registry.register_function(
+        "show_a", lambda x: None, receiver_only=True, pure=False
+    )
+    registry.register_function(
+        "show_b", lambda x: None, receiver_only=True, pure=False
+    )
+    source = (
+        "def f(a):\n"
+        "    if a > 0:\n"
+        "        show_a(a)\n"
+        "    else:\n"
+        "        show_b(a)\n"
+    )
+    partitioned = MethodPartitioner(registry, SerializerRegistry()).partition(
+        source, DataSizeCostModel()
+    )
+    cut = partitioned.cut
+    fn = partitioned.function
+    # the two terminal edges into the exclusive native calls
+    exclusive = [
+        e
+        for e in cut.terminal_edges()
+        if any(
+            n in fn.instrs[e[1]].called_functions()
+            for n in ("show_a", "show_b")
+        )
+    ]
+    assert len(exclusive) == 2
+    ordering = pse_ordering(cut)
+    for a, b in ordering:
+        assert {a, b} != set(exclusive)
+
+
+def test_chain_pses_are_ordered_with_terminal(push_partitioned):
+    """In push(), the pre-transform PSE is ordered before the pre-display
+    terminal: on the image path both are crossed, the earlier fires."""
+    cut = push_partitioned.cut
+    ordering = set(pse_ordering(cut))
+    by_inter = {
+        tuple(sorted(v.name for v in p.inter)): e
+        for e, p in cut.pses.items()
+    }
+    raw_edge = by_inter[("event",)]
+    transformed_edge = by_inter[("rd",)]
+    assert (raw_edge, transformed_edge) in ordering
+
+
+# -- rendering --------------------------------------------------------------------
+
+
+def test_render_partition_marks_everything(push_partitioned):
+    plan = static_optimal_plan(push_partitioned.cut)
+    text = render_partition(push_partitioned.cut, plan)
+    assert "START" in text
+    assert "STOP" in text
+    assert "PSE" in text
+    assert "ACTIVE" in text
+
+
+def test_render_without_plan(push_partitioned):
+    text = render_partition(push_partitioned.cut)
+    assert "ACTIVE" not in text
+    assert "PSE" in text
+
+
+def test_describe_plan(push_partitioned):
+    cut = push_partitioned.cut
+    plan = static_optimal_plan(cut)
+    text = describe_plan(cut, plan)
+    assert "ships" in text
+    empty = PartitioningPlan(active=frozenset(), name="bare")
+    text2 = describe_plan(cut, empty)
+    assert "terminal" in text2
+
+
+# -- convexity gap -----------------------------------------------------------------
+
+
+def test_convexity_gap_zero_for_straightline():
+    """Without loops nothing is poisoned: both cuts see the same space."""
+    from repro.core.api import MethodPartitioner
+    from repro.core.costmodels import DataSizeCostModel
+    from repro.core.diagnostics import convexity_gap
+    from repro.serialization import SerializerRegistry
+
+    registry = default_registry()
+    registry.register_function(
+        "show", lambda x: None, receiver_only=True, pure=False
+    )
+    partitioned = MethodPartitioner(registry, SerializerRegistry()).partition(
+        "def f(a):\n    x = 5\n    show(x)\n", DataSizeCostModel()
+    )
+    convex, unconstrained = convexity_gap(partitioned.cut)
+    assert unconstrained <= convex
+
+
+def test_convexity_gap_positive_with_loop():
+    """A handler whose only cheap edges sit inside a convexity-poisoned
+    loop: the unconstrained cut finds them, the convex one cannot."""
+    from repro.core.api import MethodPartitioner
+    from repro.core.costmodels import DataSizeCostModel
+    from repro.core.diagnostics import convexity_gap
+    from repro.serialization import SerializerRegistry
+
+    registry = default_registry()
+    registry.register_function(
+        "show", lambda x: None, receiver_only=True, pure=False
+    )
+    # big payload flows around the loop; inside the loop only a counter is
+    # live on some edges
+    source = (
+        "def f(big):\n"
+        "    s = 0\n"
+        "    i = 0\n"
+        "    while i < 10:\n"
+        "        s = s + len(big)\n"
+        "        i = i + 1\n"
+        "    show(s)\n"
+        "    show(big)\n"
+    )
+    partitioned = MethodPartitioner(registry, SerializerRegistry()).partition(
+        source, DataSizeCostModel()
+    )
+    cut = partitioned.cut
+    assert cut.poisoned  # the loop really is poisoned
+    convex, unconstrained = convexity_gap(cut)
+    assert unconstrained <= convex

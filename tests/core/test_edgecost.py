@@ -1,0 +1,128 @@
+"""Unit and property tests for EdgeCost's comparison rules
+(paper section 4.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.costmodels.base import INFINITE_COST, EdgeCost
+
+
+def known(x):
+    return EdgeCost(deterministic=float(x))
+
+
+def sym(x, names):
+    return EdgeCost(deterministic=float(x), symbolic=frozenset(names))
+
+
+def test_known_costs_compare_numerically():
+    assert known(1).determinably_less(known(2))
+    assert not known(2).determinably_less(known(1))
+    assert not known(2).determinably_less(known(2))
+
+
+def test_known_beats_symbolic_when_below_lower_bound():
+    # symbolic cost's lower bound = deterministic + #symbolic
+    a = known(3)
+    b = sym(5, {"x"})  # lower bound 6
+    assert a.determinably_less(b)
+    c = known(10)
+    assert not c.determinably_less(b)
+
+
+def test_identical_symbolic_sets_compare_deterministic():
+    a = sym(2, {"x"})
+    b = sym(5, {"x"})
+    assert a.determinably_less(b)
+    assert not b.determinably_less(a)
+
+
+def test_different_symbolic_sets_incomparable():
+    a = sym(2, {"x"})
+    b = sym(100, {"y"})
+    assert not a.determinably_less(b)
+    assert not b.determinably_less(a)
+
+
+def test_infinite_never_less_always_greater():
+    assert not INFINITE_COST.determinably_less(known(1))
+    assert known(1).determinably_less(INFINITE_COST)
+    assert sym(1, {"x"}).determinably_less(INFINITE_COST)
+    assert not INFINITE_COST.determinably_less(INFINITE_COST)
+
+
+def test_identical_to():
+    assert sym(2, {"x"}).identical_to(sym(2, {"x"}))
+    assert not sym(2, {"x"}).identical_to(sym(2, {"y"}))
+    assert not sym(2, {"x"}).identical_to(sym(3, {"x"}))
+    assert known(1).identical_to(known(1))
+    assert INFINITE_COST.identical_to(INFINITE_COST)
+    assert not INFINITE_COST.identical_to(known(1))
+
+
+def test_determinable_property():
+    assert known(1).determinable
+    assert not sym(1, {"x"}).determinable
+    assert not INFINITE_COST.determinable
+
+
+def test_lower_bound():
+    assert known(5).lower_bound == 5
+    assert sym(5, {"a", "b"}).lower_bound == 7
+    assert INFINITE_COST.lower_bound == float("inf")
+
+
+# deterministic parts rounded to 3 decimals so the soundness check below
+# is not defeated by float rounding against large symbolic valuations
+_costs = st.builds(
+    EdgeCost,
+    deterministic=st.floats(min_value=0, max_value=1e6, allow_nan=False).map(
+        lambda x: round(x, 3)
+    ),
+    symbolic=st.frozensets(st.sampled_from("abcde"), max_size=3),
+)
+
+
+@given(_costs)
+def test_irreflexive(cost):
+    assert not cost.determinably_less(cost)
+
+
+@given(_costs, _costs)
+def test_asymmetric(a, b):
+    if a.determinably_less(b):
+        assert not b.determinably_less(a)
+
+
+@given(_costs, _costs, _costs)
+def test_transitive(a, b, c):
+    if a.determinably_less(b) and b.determinably_less(c):
+        assert a.determinably_less(c)
+
+
+@given(_costs, _costs)
+def test_comparison_is_sound_for_any_valuation(a, b):
+    """If a is determinably less than b, then for EVERY assignment of
+    non-negative sizes (>= 1 wire byte each) to symbolic variables, the
+    realized cost of a is strictly below b's."""
+    if not a.determinably_less(b):
+        return
+    # adversarial valuation: make a as big as possible, b as small as
+    # possible; symbolic vars shared between them get the same value.
+    for val_a, val_b in [(1.0, 1.0), (1e6, 1.0)]:
+        values = {}
+        for name in a.symbolic | b.symbolic:
+            if name in a.symbolic and name not in b.symbolic:
+                values[name] = val_a
+            elif name in b.symbolic and name not in a.symbolic:
+                values[name] = val_b
+            else:
+                values[name] = val_a  # shared: same value in both
+        realized_a = a.deterministic + sum(
+            values[n] for n in a.symbolic
+        )
+        realized_b = b.deterministic + sum(
+            values[n] for n in b.symbolic
+        )
+        assert realized_a < realized_b

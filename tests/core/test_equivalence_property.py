@@ -1,0 +1,171 @@
+"""Property-based equivalence: for ANY handler in the subset and ANY valid
+plan, modulator + demodulator must compute exactly what the original
+handler computes — the core correctness invariant of Remote Continuation.
+
+Handlers are generated structurally (straight-line arithmetic, branches,
+loops over the parameters) and executed both ways over a grid of inputs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import MethodPartitioner
+from repro.core.costmodels import DataSizeCostModel, ExecutionTimeCostModel
+from repro.core.plan import PartitioningPlan
+from repro.ir.registry import default_registry
+from repro.serialization import SerializerRegistry
+
+
+class _HandlerBuilder:
+    """Generates a random handler from a hypothesis-drawn spec.
+
+    Operands are drawn only from *definitely assigned* variables, so the
+    generated handler is itself well-defined on every path.
+    """
+
+    def __init__(self, draw):
+        self.draw = draw
+        self.lines = []
+        self.safe_vars = ["a", "b"]  # definitely assigned at this point
+        self.n = 0
+
+    def fresh(self):
+        self.n += 1
+        return f"v{self.n}"
+
+    def operand(self):
+        return self.draw(
+            st.sampled_from(self.safe_vars)
+            | st.integers(min_value=-5, max_value=5).map(str)
+        )
+
+    def statement(self, indent):
+        kind = self.draw(
+            st.sampled_from(["assign", "assign", "assign", "if", "loop"])
+        )
+        pad = "    " * indent
+        if kind == "assign" or indent >= 3:
+            op = self.draw(st.sampled_from(["+", "-", "*"]))
+            rhs = f"{self.operand()} {op} {self.operand()}"
+            target = self.fresh()
+            self.lines.append(f"{pad}{target} = {rhs}")
+            if indent == 1:
+                self.safe_vars.append(target)
+        elif kind == "if":
+            # assign the same target on both sides: definitely assigned
+            cmp_op = self.draw(st.sampled_from(["<", ">", "=="]))
+            cond = f"{self.operand()} {cmp_op} {self.operand()}"
+            then_rhs = self.operand()
+            else_rhs = self.operand()
+            target = self.fresh()
+            self.lines.append(f"{pad}if {cond}:")
+            self.lines.append(f"{pad}    {target} = {then_rhs}")
+            self.lines.append(f"{pad}else:")
+            self.lines.append(f"{pad}    {target} = {else_rhs}")
+            if indent == 1:
+                self.safe_vars.append(target)
+        else:  # loop: accumulator initialized before the loop
+            bound = self.draw(st.integers(min_value=0, max_value=4))
+            step = self.operand()
+            target = self.fresh()
+            acc = self.fresh()
+            self.lines.append(f"{pad}{acc} = 0")
+            self.lines.append(f"{pad}for {target} in range({bound}):")
+            self.lines.append(f"{pad}    {acc} = {acc} + {step}")
+            if indent == 1:
+                self.safe_vars.append(acc)
+
+    def build(self, n_statements):
+        self.lines.append("def handler(a, b):")
+        for _ in range(n_statements):
+            self.statement(1)
+        result_terms = " + ".join(self.safe_vars[:6])
+        self.lines.append(f"    out = {result_terms}")
+        self.lines.append("    sink(out)")
+        self.lines.append("    return out")
+        return "\n".join(self.lines) + "\n"
+
+
+@st.composite
+def handler_sources(draw):
+    builder = _HandlerBuilder(draw)
+    n = draw(st.integers(min_value=1, max_value=5))
+    return builder.build(n)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    source=handler_sources(),
+    a=st.integers(min_value=-10, max_value=10),
+    b=st.integers(min_value=-10, max_value=10),
+    model_is_datasize=st.booleans(),
+)
+def test_partitioned_equals_reference(source, a, b, model_is_datasize):
+    sunk = []
+    registry = default_registry()
+    registry.register_function(
+        "sink", sunk.append, receiver_only=True, pure=False
+    )
+    partitioner = MethodPartitioner(registry, SerializerRegistry())
+    model = DataSizeCostModel() if model_is_datasize else ExecutionTimeCostModel()
+    partitioned = partitioner.partition(source, model)
+
+    sunk.clear()
+    reference = partitioned.run_reference(a, b)
+    expected_sink = list(sunk)
+    expected_value = reference.value
+
+    plans = [PartitioningPlan(active=frozenset(), name="terminal-only")]
+    plans += [
+        PartitioningPlan(active=frozenset({edge}), name=str(edge))
+        for edge in partitioned.cut.pses
+        if edge not in partitioned.cut.poisoned
+    ]
+    for plan in plans:
+        sunk.clear()
+        modulator = partitioned.make_modulator(plan=plan)
+        demodulator = partitioned.make_demodulator()
+        result = modulator.process(a, b)
+        if result.completed:
+            value = result.value
+        elif result.message is None:
+            value = None
+        else:
+            value = demodulator.process(result.message).value
+        assert value == expected_value, (plan, source)
+        assert sunk == expected_sink, (plan, source)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    source=handler_sources(),
+    a=st.integers(min_value=-10, max_value=10),
+    b=st.integers(min_value=-10, max_value=10),
+)
+def test_multi_flag_plans_equal_reference(source, a, b):
+    """Plans may set several flags; the first PSE on the executed path
+    fires.  Any combination must preserve semantics."""
+    sunk = []
+    registry = default_registry()
+    registry.register_function(
+        "sink", sunk.append, receiver_only=True, pure=False
+    )
+    partitioner = MethodPartitioner(registry, SerializerRegistry())
+    partitioned = partitioner.partition(source, DataSizeCostModel())
+
+    sunk.clear()
+    partitioned.run_reference(a, b)
+    expected_sink = list(sunk)
+
+    valid = [
+        e for e in partitioned.cut.pses if e not in partitioned.cut.poisoned
+    ]
+    plan = PartitioningPlan(active=frozenset(valid), name="all-flags")
+    sunk.clear()
+    modulator = partitioned.make_modulator(plan=plan)
+    demodulator = partitioned.make_demodulator()
+    result = modulator.process(a, b)
+    if not result.completed and result.message is not None:
+        demodulator.process(result.message)
+    assert sunk == expected_sink

@@ -1,0 +1,155 @@
+"""Unit tests for distributed profiling feedback."""
+
+import pytest
+
+from repro.core.runtime.feedback import (
+    ObservationRecord,
+    RemoteProfilingProxy,
+    ingest,
+)
+from tests.conftest import ImageData
+
+
+def drive_through(recorder, partitioned, events):
+    """Run a stream with the modulator recording into *recorder* and the
+    demodulator into... the caller decides; returns the demod-side list."""
+    modulator = partitioned.make_modulator(profiling=recorder)
+    outcomes = []
+    for event in events:
+        outcomes.append(modulator.process(event))
+    return outcomes
+
+
+def test_proxy_gating_matches_unit(push_partitioned):
+    unit = push_partitioned.make_profiling_unit(sample_period=3)
+    proxy = RemoteProfilingProxy(push_partitioned.cut, sample_period=3)
+    assert proxy.profile_flags == unit.profile_flags
+    for _ in range(6):
+        unit.record_message()
+        proxy.record_message()
+        for edge in unit.profile_flags:
+            assert unit.should_measure(edge) == proxy.should_measure(edge)
+
+
+def test_replay_equivalence(push_partitioned):
+    """Recording via proxy + ingest must equal recording directly."""
+    events = [ImageData(None, 40, 40), ImageData(None, 200, 200), "junk"]
+
+    # direct: modulator and demodulator share the unit
+    direct = push_partitioned.make_profiling_unit()
+    modulator = push_partitioned.make_modulator(profiling=direct)
+    demodulator = push_partitioned.make_demodulator(profiling=direct)
+    for event in events:
+        result = modulator.process(event)
+        if result.message is not None:
+            demodulator.process(result.message)
+
+    # distributed: modulator -> proxy -> flush -> ingest
+    authoritative = push_partitioned.make_profiling_unit()
+    proxy = RemoteProfilingProxy(push_partitioned.cut)
+    modulator2 = push_partitioned.make_modulator(profiling=proxy)
+    demodulator2 = push_partitioned.make_demodulator(
+        profiling=authoritative
+    )
+    for event in events:
+        result = modulator2.process(event)
+        if result.message is not None:
+            demodulator2.process(result.message)
+    payload, size = proxy.flush()
+    assert size > 0
+    ingest(authoritative, payload)
+
+    snap_direct = direct.snapshot()
+    snap_dist = authoritative.snapshot()
+    assert set(snap_direct) == set(snap_dist)
+    for edge in snap_direct:
+        a, b = snap_direct[edge], snap_dist[edge]
+        assert a.data_size == b.data_size
+        assert a.work_before == b.work_before
+        assert a.work_after == b.work_after
+        assert a.path_probability == pytest.approx(b.path_probability)
+        assert a.splits == b.splits
+
+
+def test_total_pairing_survives_reordering(push_partitioned):
+    """Demod totals arriving before the matching mod totals still pair."""
+    unit = push_partitioned.make_profiling_unit()
+    unit.record_demod_total(30.0)
+    unit.record_demod_total(40.0)
+    assert unit.total_work.count == 0
+    unit.record_mod_total(10.0)
+    assert unit.total_work.count == 1
+    assert unit.total_work.mean == pytest.approx(40.0)  # 10 + 30
+    unit.record_mod_total(20.0)
+    assert unit.total_work.count == 2
+
+
+def test_flush_drains_and_accounts():
+    from repro.apps.imagestream import build_partitioned_push
+
+    partitioned, _ = build_partitioned_push()
+    proxy = RemoteProfilingProxy(partitioned.cut)
+    proxy.record_message()
+    proxy.record_mod_total(5.0)
+    assert proxy.pending == 2
+    payload, size = proxy.flush()
+    assert len(payload) == 2
+    assert proxy.pending == 0
+    assert proxy.flushes == 1
+    assert proxy.bytes_flushed == size
+    payload2, _ = proxy.flush()
+    assert payload2 == []
+
+
+def test_invalid_sample_period():
+    from repro.apps.imagestream import build_partitioned_push
+
+    partitioned, _ = build_partitioned_push()
+    with pytest.raises(ValueError):
+        RemoteProfilingProxy(partitioned.cut, sample_period=0)
+
+
+def test_distributed_version_adapts_with_lag():
+    """End to end over the simulated pipeline: explicit feedback still
+    adapts, pays measurable feedback bytes, and lags the instant-shared
+    variant at most mildly."""
+    from repro.apps.harness import run_pipeline
+    from repro.apps.imagestream import build_partitioned_push, scenario_stream
+    from repro.apps.mp_version import MethodPartitioningVersion
+    from repro.core.runtime.triggers import RateTrigger
+    from repro.simnet import Simulator, wireless_testbed
+
+    def run(feedback_period):
+        partitioned, _ = build_partitioned_push()
+        version = MethodPartitioningVersion(
+            partitioned,
+            trigger=RateTrigger(period=5),
+            location="receiver",
+            feedback_period=feedback_period,
+        )
+        frames = scenario_stream("large", 60, seed=3)
+        sim = Simulator()
+        testbed = wireless_testbed(sim)
+        result = run_pipeline(testbed, version, frames)
+        return version, result
+
+    instant_version, instant = run(None)
+    distributed_version, distributed = run(5)
+    assert distributed_version.feedback_messages > 0
+    assert distributed_version.feedback_bytes > 0
+    assert distributed_version.plan_updates_applied >= 1
+    # both adapt to shipping the transformed frame: bytes/frame comparable
+    per_instant = instant.bytes_sent / instant.n_delivered
+    per_distributed = distributed.bytes_sent / distributed.n_delivered
+    assert per_distributed <= per_instant * 1.3
+
+
+def test_feedback_period_requires_receiver_location():
+    from repro.apps.imagestream import build_partitioned_push
+    from repro.apps.mp_version import MethodPartitioningVersion
+
+    partitioned, _ = build_partitioned_push()
+    with pytest.raises(ValueError, match="receiver"):
+        MethodPartitioningVersion(
+            partitioned, location="sender", feedback_period=5
+        )

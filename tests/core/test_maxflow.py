@@ -1,0 +1,160 @@
+"""Unit and differential tests for the from-scratch max-flow/min-cut."""
+
+import pytest
+
+from repro.core.runtime.maxflow import INF, FlowNetwork
+
+networkx = pytest.importorskip("networkx")
+
+
+def test_single_edge():
+    net = FlowNetwork()
+    net.add_edge("s", "t", 5.0)
+    assert net.max_flow("s", "t") == pytest.approx(5.0)
+
+
+def test_series_takes_minimum():
+    net = FlowNetwork()
+    net.add_edge("s", "a", 5.0)
+    net.add_edge("a", "t", 3.0)
+    assert net.max_flow("s", "t") == pytest.approx(3.0)
+
+
+def test_parallel_adds():
+    net = FlowNetwork()
+    net.add_edge("s", "a", 2.0)
+    net.add_edge("a", "t", 9.0)
+    net.add_edge("s", "b", 3.0)
+    net.add_edge("b", "t", 9.0)
+    assert net.max_flow("s", "t") == pytest.approx(5.0)
+
+
+def test_classic_diamond():
+    net = FlowNetwork()
+    net.add_edge("s", "a", 10)
+    net.add_edge("s", "b", 10)
+    net.add_edge("a", "b", 1)
+    net.add_edge("a", "t", 8)
+    net.add_edge("b", "t", 10)
+    assert net.max_flow("s", "t") == pytest.approx(18.0)
+
+
+def test_disconnected_is_zero():
+    net = FlowNetwork()
+    net.add_edge("s", "a", 5.0)
+    net.add_edge("b", "t", 5.0)
+    assert net.max_flow("s", "t") == 0.0
+
+
+def test_missing_nodes_zero():
+    net = FlowNetwork()
+    net.add_edge("a", "b", 1.0)
+    assert net.max_flow("x", "y") == 0.0
+
+
+def test_same_node_rejected():
+    net = FlowNetwork()
+    net.add_edge("s", "t", 1.0)
+    with pytest.raises(ValueError):
+        net.max_flow("s", "s")
+
+
+def test_negative_capacity_rejected():
+    net = FlowNetwork()
+    with pytest.raises(ValueError):
+        net.add_edge("s", "t", -1.0)
+
+
+def test_infinite_edges_pass_flow():
+    net = FlowNetwork()
+    net.add_edge("s", "a", INF)
+    net.add_edge("a", "t", 4.0)
+    assert net.max_flow("s", "t") == pytest.approx(4.0)
+
+
+def test_min_cut_edges_and_value():
+    net = FlowNetwork()
+    net.add_edge("s", "a", INF)
+    net.add_edge("a", "b", 2.0)
+    net.add_edge("b", "t", INF)
+    value, cut, source_side = net.min_cut("s", "t")
+    assert value == pytest.approx(2.0)
+    assert cut == frozenset({("a", "b")})
+    assert "s" in source_side and "a" in source_side
+    assert "b" not in source_side
+
+
+def test_min_cut_picks_cheapest_layer():
+    # two candidate layers: cut should cross the cheaper
+    net = FlowNetwork()
+    net.add_edge("s", "a", 10.0)
+    net.add_edge("a", "t", 3.0)
+    value, cut, _ = net.min_cut("s", "t")
+    assert value == pytest.approx(3.0)
+    assert cut == frozenset({("a", "t")})
+
+
+def test_min_cut_never_cuts_infinite():
+    net = FlowNetwork()
+    net.add_edge("s", "a", INF)
+    net.add_edge("a", "b", 7.0)
+    net.add_edge("a", "c", 2.0)
+    net.add_edge("b", "t", INF)
+    net.add_edge("c", "t", INF)
+    value, cut, _ = net.min_cut("s", "t")
+    assert value == pytest.approx(9.0)
+    for u, v in cut:
+        assert (u, v) in {("a", "b"), ("a", "c")}
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_against_networkx_random_graphs(seed):
+    import random
+
+    rng = random.Random(seed)
+    n = rng.randint(4, 10)
+    edges = []
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < 0.4:
+                edges.append((u, v, rng.randint(1, 20)))
+    if not edges:
+        return
+
+    ours = FlowNetwork()
+    g = networkx.DiGraph()
+    for u, v, c in edges:
+        ours.add_edge(u, v, float(c))
+        if g.has_edge(u, v):
+            g[u][v]["capacity"] += c
+        else:
+            g.add_edge(u, v, capacity=c)
+    s, t = 0, n - 1
+    if s not in g or t not in g:
+        return
+    expected = networkx.maximum_flow_value(g, s, t)
+    assert ours.max_flow(s, t) == pytest.approx(float(expected))
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_min_cut_value_equals_flow(seed):
+    import random
+
+    rng = random.Random(100 + seed)
+    net = FlowNetwork()
+    n = rng.randint(4, 8)
+    caps = {}
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < 0.5:
+                c = float(rng.randint(1, 9))
+                net.add_edge(u, v, c)
+                caps[(u, v)] = caps.get((u, v), 0) + c
+    value, cut, source_side = net.min_cut(0, n - 1)
+    if value == 0.0:
+        return
+    # cut edges cross from source side to sink side and sum to the value
+    total = sum(caps[e] for e in cut)
+    assert total == pytest.approx(value)
+    for u, v in cut:
+        assert u in source_side and v not in source_side

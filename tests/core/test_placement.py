@@ -1,0 +1,167 @@
+"""Unit tests for stream-path modulator placement (paper §7 propagation)."""
+
+import pytest
+
+from repro.core.placement import (
+    Hop,
+    PlacementController,
+    StreamMeasurements,
+    StreamPath,
+    best_placement,
+    predicted_bottleneck,
+    stage_times,
+)
+from repro.errors import PartitionError
+
+
+def path3(
+    sender_speed=0.05e6, broker_speed=2e6, client_speed=0.15e6,
+    up_beta=2e-7, down_beta=2e-6,
+):
+    return StreamPath(
+        [
+            Hop("sensor", cpu_speed=sender_speed, link_beta=up_beta),
+            Hop("broker", cpu_speed=broker_speed, link_beta=down_beta),
+            Hop("client", cpu_speed=client_speed),
+        ]
+    )
+
+
+MEASURE = StreamMeasurements(
+    mod_cycles=3000.0,
+    demod_cycles=800.0,
+    raw_size=40_000.0,
+    continuation_size=26_000.0,
+)
+
+
+def test_path_needs_two_hops():
+    with pytest.raises(PartitionError):
+        StreamPath([Hop("only", cpu_speed=1.0)])
+
+
+def test_receiver_cannot_host_modulator():
+    path = path3()
+    assert list(path.placements()) == [0, 1]
+    with pytest.raises(PartitionError):
+        predicted_bottleneck(path, 2, MEASURE)
+
+
+def test_stage_structure():
+    path = path3()
+    stages = dict(stage_times(path, 1, MEASURE))
+    assert set(stages) == {
+        "cpu:sensor",
+        "link:sensor->broker",
+        "cpu:broker",
+        "link:broker->client",
+        "cpu:client",
+    }
+    # raw event on the uplink, continuation on the downlink
+    assert stages["link:sensor->broker"] == pytest.approx(
+        2e-7 * MEASURE.raw_size
+    )
+    assert stages["link:broker->client"] == pytest.approx(
+        2e-6 * MEASURE.continuation_size
+    )
+
+
+def test_weak_sender_pushes_placement_to_broker():
+    idx, _ = best_placement(path3(), MEASURE)
+    assert idx == 1  # broker
+    # modulator on the sensor would bottleneck on its CPU
+    at_sensor = predicted_bottleneck(path3(), 0, MEASURE)
+    at_broker = predicted_bottleneck(path3(), 1, MEASURE)
+    assert at_broker < at_sensor
+
+
+def test_strong_sender_pulls_placement_upstream():
+    path = path3(sender_speed=5e6, up_beta=2e-6)  # slow uplink now
+    idx, _ = best_placement(path, MEASURE)
+    assert idx == 0  # filter/transform before the slow uplink
+
+
+def test_bottleneck_is_max_stage():
+    path = path3()
+    for placement in path.placements():
+        stages = stage_times(path, placement, MEASURE)
+        assert predicted_bottleneck(path, placement, MEASURE) == max(
+            t for _, t in stages
+        )
+
+
+def test_controller_migrates_when_worthwhile():
+    controller = PlacementController(
+        path3(),
+        installation_bytes=3000.0,
+        initial_placement=0,
+        hysteresis=0.05,
+    )
+    new = controller.consider(MEASURE)
+    assert new == 1
+    assert controller.placement == 1
+    assert controller.migrations == [(0, 1)]
+    # second call: already optimal, no flapping
+    assert controller.consider(MEASURE) is None
+
+
+def test_controller_hysteresis_blocks_marginal_moves():
+    # equal-speed hops: improvements are tiny
+    path = StreamPath(
+        [
+            Hop("a", cpu_speed=1e6, link_beta=1e-7),
+            Hop("b", cpu_speed=1.01e6, link_beta=1e-7),
+            Hop("c", cpu_speed=1e6),
+        ]
+    )
+    controller = PlacementController(
+        path, installation_bytes=3000.0, hysteresis=0.5
+    )
+    assert controller.consider(MEASURE) is None
+    assert controller.placement == 0
+
+
+def test_controller_amortization_blocks_expensive_moves():
+    controller = PlacementController(
+        path3(),
+        installation_bytes=3000.0,
+        initial_placement=0,
+        hysteresis=0.0,
+        amortization_messages=1,  # must pay off within ONE message
+    )
+    # saving per message ≈ tens of ms; migration over the uplink is sub-ms,
+    # so even with 1-message amortization the good move still happens...
+    moved = controller.consider(MEASURE)
+    assert moved == 1
+
+    # ...but a path whose migration would cross a dreadful link stays put
+    slow = StreamPath(
+        [
+            Hop("a", cpu_speed=0.05e6, link_alpha=10.0, link_beta=1e-3),
+            Hop("b", cpu_speed=2e6, link_beta=2e-6),
+            Hop("c", cpu_speed=0.15e6),
+        ]
+    )
+    stuck = PlacementController(
+        slow,
+        installation_bytes=3000.0,
+        initial_placement=0,
+        hysteresis=0.0,
+        amortization_messages=1,
+    )
+    assert stuck.consider(MEASURE) is None
+
+
+def test_migration_cost_sums_link_times():
+    controller = PlacementController(
+        path3(), installation_bytes=1000.0, initial_placement=0
+    )
+    cost = controller.migration_cost_seconds(1)
+    assert cost == pytest.approx(2e-7 * 1000.0)
+
+
+def test_invalid_initial_placement():
+    with pytest.raises(PartitionError):
+        PlacementController(
+            path3(), installation_bytes=1.0, initial_placement=2
+        )

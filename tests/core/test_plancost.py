@@ -1,0 +1,131 @@
+"""Unit tests for path-sensitive plan costing and exhaustive selection."""
+
+import pytest
+
+from repro.core.plan import PartitioningPlan, sender_heavy_plan
+from repro.core.runtime.plancost import (
+    enumerate_plans,
+    exhaustive_best_plan,
+    expected_plan_cost,
+    first_split_on_path,
+)
+from repro.core.runtime.reconfig import ReconfigurationUnit
+from repro.errors import PartitionError
+from tests.conftest import ImageData
+
+
+@pytest.fixture
+def profiled(push_partitioned):
+    """Profiling after a stream of large frames."""
+    profiling = push_partitioned.make_profiling_unit()
+    modulator = push_partitioned.make_modulator(profiling=profiling)
+    demodulator = push_partitioned.make_demodulator(profiling=profiling)
+    for _ in range(6):
+        result = modulator.process(ImageData(None, 200, 200))
+        if result.message is not None:
+            demodulator.process(result.message)
+    return profiling
+
+
+def test_first_split_respects_plan_order(push_partitioned):
+    cut = push_partitioned.cut
+    image_path, optional = next(
+        (path, opts)
+        for path in cut.ctx.paths
+        if (
+            opts := [
+                e
+                for e in path.edges
+                if e in cut.pses and not cut.pses[e].terminal
+            ]
+        )
+    )
+    plan = PartitioningPlan(active=frozenset(optional))
+    edge = first_split_on_path(cut, plan, image_path)
+    assert edge == optional[0]
+
+
+def test_first_split_falls_back_to_terminal(push_partitioned):
+    cut = push_partitioned.cut
+    plan = sender_heavy_plan(cut)
+    for path in cut.ctx.paths:
+        edge = first_split_on_path(cut, plan, path)
+        assert edge in cut.terminal_edges()
+
+
+def test_enumerate_plans_unique_and_valid(push_partitioned):
+    cut = push_partitioned.cut
+    plans = enumerate_plans(cut)
+    actives = [p.active for p in plans]
+    assert len(set(actives)) == len(actives)
+    from repro.core.plan import validate_plan
+
+    for plan in plans:
+        validate_plan(cut, plan)
+
+
+def test_enumerate_plans_explosion_guard():
+    from repro.apps.sensor import build_partitioned_process
+
+    partitioned, _ = build_partitioned_process(n_stages=20)
+    with pytest.raises(PartitionError, match="plan space"):
+        enumerate_plans(partitioned.cut, max_plans=10)
+
+
+def test_expected_cost_orders_plans_for_large_frames(
+    push_partitioned, profiled
+):
+    """With large frames profiled, the ship-transformed plan must cost
+    less than the ship-raw plan under the data-size model."""
+    cut = push_partitioned.cut
+    snapshot = profiled.snapshot()
+    by_inter = {
+        tuple(sorted(v.name for v in p.inter)): e
+        for e, p in cut.pses.items()
+    }
+    raw_plan = PartitioningPlan(
+        active=frozenset({by_inter[("event",)]}), name="raw"
+    )
+    transformed_plan = PartitioningPlan(active=frozenset(), name="late")
+    raw_cost = expected_plan_cost(cut, raw_plan, snapshot)
+    late_cost = expected_plan_cost(cut, transformed_plan, snapshot)
+    assert late_cost < raw_cost
+
+
+def test_exhaustive_agrees_with_min_cut(push_partitioned, profiled):
+    """The scalable min-cut selector and the brute-force argmin must pick
+    plans splitting each executed path at the same edge."""
+    cut = push_partitioned.cut
+    snapshot = profiled.snapshot()
+    best, _ = exhaustive_best_plan(cut, snapshot)
+    mincut_plan, _ = ReconfigurationUnit(cut).select_plan(snapshot)
+    for path in cut.ctx.paths:
+        assert first_split_on_path(cut, best, path) == first_split_on_path(
+            cut, mincut_plan, path
+        )
+
+
+def test_exhaustive_agrees_with_min_cut_small_frames(push_partitioned):
+    profiling = push_partitioned.make_profiling_unit()
+    modulator = push_partitioned.make_modulator(profiling=profiling)
+    demodulator = push_partitioned.make_demodulator(profiling=profiling)
+    for _ in range(6):
+        result = modulator.process(ImageData(None, 40, 40))
+        if result.message is not None:
+            demodulator.process(result.message)
+    snapshot = profiling.snapshot()
+    cut = push_partitioned.cut
+    best, _ = exhaustive_best_plan(cut, snapshot)
+    mincut_plan, _ = ReconfigurationUnit(cut).select_plan(snapshot)
+    for path in cut.ctx.paths:
+        assert first_split_on_path(cut, best, path) == first_split_on_path(
+            cut, mincut_plan, path
+        )
+
+
+def test_unprofiled_snapshot_uses_uniform_paths(push_partitioned):
+    cut = push_partitioned.cut
+    snapshot = push_partitioned.make_profiling_unit().snapshot()
+    plan = sender_heavy_plan(cut)
+    cost = expected_plan_cost(cut, plan, snapshot)
+    assert cost >= 0.0

@@ -1,0 +1,204 @@
+"""Unit tests for the Runtime Profiling Unit."""
+
+import pytest
+
+from repro.core.runtime.profiling import ProfilingUnit, RunningStat
+
+
+@pytest.fixture
+def unit(push_partitioned):
+    return push_partitioned.make_profiling_unit()
+
+
+def some_edge(unit):
+    return next(iter(unit.stats))
+
+
+# -- RunningStat ------------------------------------------------------------
+
+
+def test_running_stat_first_value_is_mean():
+    stat = RunningStat(alpha=0.5)
+    stat.update(10.0)
+    assert stat.mean == 10.0
+    assert stat.count == 1
+
+
+def test_running_stat_ewma():
+    stat = RunningStat(alpha=0.5)
+    stat.update(10.0)
+    stat.update(20.0)
+    assert stat.mean == pytest.approx(15.0)
+    stat.update(15.0)
+    assert stat.mean == pytest.approx(15.0)
+
+
+def test_running_stat_tracks_drift():
+    stat = RunningStat(alpha=0.5)
+    for _ in range(3):
+        stat.update(0.0)
+    for _ in range(10):
+        stat.update(100.0)
+    assert stat.mean > 90.0
+
+
+def test_running_stat_reset():
+    stat = RunningStat()
+    stat.update(5.0)
+    stat.reset()
+    assert stat.count == 0 and stat.mean == 0.0
+
+
+# -- ProfilingUnit ------------------------------------------------------------
+
+
+def test_one_stats_entry_per_pse(push_partitioned, unit):
+    assert set(unit.stats) == set(push_partitioned.cut.pses)
+
+
+def test_profiling_flags_follow_cost_model(push_partitioned, unit):
+    for edge, pse in push_partitioned.cut.pses.items():
+        expected = push_partitioned.cut.cost_model.needs_profiling(
+            pse.static_cost
+        )
+        assert unit.profile_flags[edge] == expected
+
+
+def test_enable_disable_flags(unit):
+    edge = some_edge(unit)
+    unit.enable_profiling(edge, False)
+    unit.record_message()
+    assert not unit.should_measure(edge)
+    unit.enable_profiling(edge, True)
+    assert unit.should_measure(edge)
+
+
+def test_unknown_edge_flag_rejected(unit):
+    with pytest.raises(KeyError):
+        unit.enable_profiling((999, 1000), True)
+
+
+def test_sampling_period(push_partitioned):
+    unit = ProfilingUnit(push_partitioned.cut, sample_period=3)
+    unit.enable_all(True)
+    edge = some_edge(unit)
+    decisions = []
+    for _ in range(9):
+        unit.record_message()
+        decisions.append(unit.should_measure(edge))
+    assert decisions.count(True) == 3
+
+
+def test_invalid_sample_period(push_partitioned):
+    with pytest.raises(ValueError):
+        ProfilingUnit(push_partitioned.cut, sample_period=0)
+
+
+def test_edge_observation_accumulates(unit):
+    edge = some_edge(unit)
+    unit.record_message()
+    unit.record_edge_observation(
+        edge, data_size=50.0, work_before=10.0, is_split=True
+    )
+    stats = unit.stats[edge]
+    assert stats.traversals == 1
+    assert stats.splits == 1
+    assert stats.data_size.mean == 50.0
+    assert stats.work_before.mean == 10.0
+
+
+def test_observation_without_traversal_count(unit):
+    edge = some_edge(unit)
+    unit.record_edge_observation(
+        edge, work_after=5.0, count_traversal=False
+    )
+    assert unit.stats[edge].traversals == 0
+    assert unit.stats[edge].work_after.count == 1
+
+
+def test_unknown_edge_observation_ignored(unit):
+    unit.record_edge_observation((999, 1000), data_size=1.0)  # no raise
+
+
+def test_rates(unit):
+    unit.record_sender_rate(2.0, 1000.0)
+    assert unit.sender_rate.mean == pytest.approx(0.002)
+    unit.record_receiver_rate(1.0, 100.0)
+    assert unit.receiver_rate.mean == pytest.approx(0.01)
+    unit.record_sender_rate(1.0, 0.0)  # zero cycles: ignored
+    assert unit.sender_rate.count == 1
+
+
+def test_total_work_pairing_fifo(unit):
+    unit.record_mod_total(10.0)
+    unit.record_mod_total(20.0)
+    unit.record_demod_total(1.0)
+    unit.record_demod_total(2.0)
+    # EWMA over 11 then 22
+    assert unit.total_work.count == 2
+    assert 11.0 <= unit.total_work.mean <= 22.0
+
+
+def test_demod_total_without_pending_is_safe(unit):
+    unit.record_demod_total(5.0)  # no pending mod total
+    assert unit.total_work.count == 0
+    assert unit.executions_completed == 1
+
+
+def test_snapshot_derives_times_from_rates(unit):
+    edge = some_edge(unit)
+    unit.record_message()
+    unit.record_edge_observation(edge, work_before=100.0)
+    unit.record_edge_observation(
+        edge, work_after=300.0, count_traversal=False
+    )
+    unit.record_sender_rate(0.001 * 100, 100.0)  # 1 ms/cycle... scaled
+    unit.record_receiver_rate(0.002 * 300, 300.0)
+    unit.record_mod_total(100.0)
+    unit.record_demod_total(300.0)
+    snap = unit.snapshot()[edge]
+    assert snap.t_mod == pytest.approx(100.0 * 0.001)
+    assert snap.t_demod == pytest.approx(300.0 * 0.002)
+
+
+def test_snapshot_reconstructs_work_before_from_total(unit):
+    edge = some_edge(unit)
+    unit.record_message()
+    unit.record_edge_observation(edge, work_after=300.0)
+    unit.record_mod_total(100.0)
+    unit.record_demod_total(300.0)  # total 400
+    snap = unit.snapshot()[edge]
+    assert snap.work_after == pytest.approx(300.0)
+    assert snap.work_before == pytest.approx(100.0)
+
+
+def test_snapshot_path_probability_uses_completions(unit):
+    edge = some_edge(unit)
+    for _ in range(4):
+        unit.record_message()
+    # only 2 executions completed so far
+    unit.record_mod_total(1.0)
+    unit.record_demod_total(1.0)
+    unit.record_local_completion()
+    unit.record_edge_observation(edge)
+    unit.record_edge_observation(edge)
+    snap = unit.snapshot()[edge]
+    assert snap.path_probability == pytest.approx(1.0)
+
+
+def test_path_probability_clamped(unit):
+    edge = some_edge(unit)
+    unit.record_local_completion()
+    for _ in range(5):
+        unit.record_edge_observation(edge)
+    assert unit.snapshot()[edge].path_probability == 1.0
+
+
+def test_reset_counters(unit):
+    edge = some_edge(unit)
+    unit.record_message()
+    unit.record_edge_observation(edge, is_split=True)
+    unit.reset_counters()
+    assert unit.messages_seen == 0
+    assert unit.stats[edge].traversals == 0
+    assert unit.stats[edge].splits == 0

@@ -1,0 +1,198 @@
+"""Unit tests for the response-time cost model, ValueDiffTrigger, and the
+variable-bandwidth link."""
+
+import pytest
+
+from repro.core.costmodels import ResponseTimeCostModel
+from repro.core.runtime.profiling import PSESnapshot
+from repro.core.runtime.triggers import ValueDiffTrigger
+from repro.simnet import AvailabilityTimeline, Simulator, VariableLink
+from repro.errors import SimulationError
+
+
+def snap(**kwargs):
+    defaults = dict(
+        edge=(0, 1),
+        static_lower_bound=1.0,
+        data_size=None,
+        data_size_count=0,
+        work_before=None,
+        work_after=None,
+        t_mod=None,
+        t_demod=None,
+        path_probability=1.0,
+        splits=1,
+    )
+    defaults.update(kwargs)
+    return PSESnapshot(**defaults)
+
+
+# -- ResponseTimeCostModel ----------------------------------------------------
+
+
+def test_cost_combines_cpu_and_wire():
+    model = ResponseTimeCostModel(initial_beta=1e-6)
+    cost = model.runtime_edge_cost(
+        snap(data_size=10_000.0, t_mod=0.01, t_demod=0.005)
+    )
+    assert cost == pytest.approx(0.01 + 1e-6 * 10_000 + 0.005)
+
+
+def test_beta_estimate_tracks_observations():
+    model = ResponseTimeCostModel(initial_beta=1e-7, estimate_alpha=1.0)
+    model.observe_transfer(10_000.0, 0.02)
+    assert model.beta_estimate == pytest.approx(2e-6)
+
+
+def test_alpha_compensation():
+    model = ResponseTimeCostModel(
+        initial_beta=1e-7, link_alpha=0.01, estimate_alpha=1.0
+    )
+    model.observe_transfer(1_000.0, 0.011)  # 10 ms setup + 1 ms wire
+    assert model.beta_estimate == pytest.approx(1e-6)
+
+
+def test_bad_observations_ignored():
+    model = ResponseTimeCostModel(initial_beta=1e-6)
+    before = model.beta_estimate
+    model.observe_transfer(0.0, 1.0)
+    model.observe_transfer(100.0, -1.0)
+    assert model.beta_estimate == before
+
+
+def test_never_executed_edge_is_free():
+    model = ResponseTimeCostModel()
+    assert model.runtime_edge_cost(
+        snap(path_probability=0.0, splits=0)
+    ) == 0.0
+
+
+def test_unprofiled_but_traversed_uses_bound():
+    model = ResponseTimeCostModel()
+    assert model.runtime_edge_cost(snap()) == pytest.approx(1.0)
+
+
+def test_bandwidth_flip():
+    """The optimal edge flips with beta: the point of the model."""
+    model = ResponseTimeCostModel(initial_beta=2e-7, estimate_alpha=1.0)
+    ship_raw = snap(data_size=32_768.0, t_mod=1e-4, t_demod=0.002)
+    ship_small = snap(data_size=4_096.0, t_mod=0.040, t_demod=1e-5)
+    fast = lambda: (
+        model.runtime_edge_cost(ship_raw),
+        model.runtime_edge_cost(ship_small),
+    )
+    raw_cost, small_cost = fast()
+    assert raw_cost < small_cost  # fast link: ship raw
+    model.observe_transfer(32_768.0, 32_768.0 * 2e-6)  # collapsed link
+    raw_cost, small_cost = fast()
+    assert small_cost < raw_cost  # slow link: compress first
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        ResponseTimeCostModel(initial_beta=0.0)
+    with pytest.raises(ValueError):
+        ResponseTimeCostModel(link_alpha=-1.0)
+    with pytest.raises(ValueError):
+        ResponseTimeCostModel(estimate_alpha=0.0)
+
+
+def test_static_costs_keep_every_candidate(push_registry):
+    from repro.core.api import MethodPartitioner
+    from repro.serialization import SerializerRegistry
+    from tests.conftest import PUSH_SOURCE
+
+    partitioner = MethodPartitioner(push_registry, SerializerRegistry())
+    partitioned = partitioner.partition(
+        PUSH_SOURCE, ResponseTimeCostModel()
+    )
+    main_path = max(partitioned.cut.ctx.paths, key=len)
+    on_path = [e for e in main_path.edges if e in partitioned.pses]
+    assert len(on_path) == len(main_path.edges)
+
+
+# -- ValueDiffTrigger -----------------------------------------------------------
+
+
+def test_value_trigger_fires_on_first_check(push_partitioned):
+    unit = push_partitioned.make_profiling_unit()
+    unit.record_message()
+    trigger = ValueDiffTrigger(lambda: 1.0, threshold=0.5, min_interval=1)
+    assert trigger.should_fire(unit)
+    trigger.fired(unit)
+    assert not trigger.should_fire(unit)
+
+
+def test_value_trigger_fires_on_change(push_partitioned):
+    unit = push_partitioned.make_profiling_unit()
+    box = {"v": 1.0}
+    trigger = ValueDiffTrigger(
+        lambda: box["v"], threshold=0.5, min_interval=1
+    )
+    unit.record_message()
+    trigger.fired(unit)
+    box["v"] = 1.2  # +20% < threshold
+    unit.record_message()
+    assert not trigger.should_fire(unit)
+    box["v"] = 2.0  # +100% > threshold
+    assert trigger.should_fire(unit)
+
+
+def test_value_trigger_min_interval(push_partitioned):
+    unit = push_partitioned.make_profiling_unit()
+    trigger = ValueDiffTrigger(lambda: 1.0, threshold=0.1, min_interval=5)
+    unit.record_message()
+    assert not trigger.should_fire(unit)
+
+
+def test_value_trigger_validation():
+    with pytest.raises(ValueError):
+        ValueDiffTrigger(lambda: 0.0, threshold=0.0)
+
+
+# -- VariableLink -----------------------------------------------------------------
+
+
+def test_variable_link_full_capacity_matches_link():
+    sim = Simulator()
+    link = VariableLink(sim, "v", alpha=0.5, beta=0.01)
+    assert link.delivery_time(100.0) == pytest.approx(0.5 + 1.0)
+
+
+def test_variable_link_reduced_capacity_slows():
+    sim = Simulator()
+    half = AvailabilityTimeline.constant(0.5)
+    link = VariableLink(sim, "v", alpha=0.0, beta=0.01, capacity=half)
+    assert link.delivery_time(100.0) == pytest.approx(2.0)
+
+
+def test_variable_link_transmission_spans_capacity_step():
+    sim = Simulator()
+    # full speed for 0.5 s, then quarter speed
+    capacity = AvailabilityTimeline((0.0, 0.5), (1.0, 0.25))
+    link = VariableLink(sim, "v", alpha=0.0, beta=0.01, capacity=capacity)
+    # 100 bytes need 1.0 capacity-seconds: 0.5 supplied in the first
+    # phase, the rest at 1/4 speed -> 0.5 + 0.5/0.25 = 2.5
+    assert link.delivery_time(100.0) == pytest.approx(2.5)
+
+
+def test_variable_link_fifo_occupancy():
+    sim = Simulator()
+    link = VariableLink(sim, "v", alpha=0.1, beta=0.01)
+    first = link.delivery_time(100.0)
+    second = link.delivery_time(100.0)
+    assert second == pytest.approx(first + 1.0)
+
+
+def test_variable_link_current_beta():
+    sim = Simulator()
+    capacity = AvailabilityTimeline((0.0, 1.0), (1.0, 0.1))
+    link = VariableLink(sim, "v", beta=1e-6, capacity=capacity)
+    assert link.current_beta(0.5) == pytest.approx(1e-6)
+    assert link.current_beta(2.0) == pytest.approx(1e-5)
+
+
+def test_variable_link_requires_finite_bandwidth():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        VariableLink(sim, "v", beta=0.0)

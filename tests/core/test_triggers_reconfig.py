@@ -1,0 +1,188 @@
+"""Unit tests for feedback triggers and the Reconfiguration Unit."""
+
+import pytest
+
+from repro.core.plan import PartitioningPlan
+from repro.core.runtime.reconfig import ReconfigurationUnit
+from repro.core.runtime.triggers import (
+    CompositeTrigger,
+    DiffTrigger,
+    NeverTrigger,
+    RateTrigger,
+)
+from tests.conftest import ImageData
+
+
+@pytest.fixture
+def profiling(push_partitioned):
+    return push_partitioned.make_profiling_unit()
+
+
+def drive(push_partitioned, profiling, n, size=40):
+    modulator = push_partitioned.make_modulator(profiling=profiling)
+    demodulator = push_partitioned.make_demodulator(profiling=profiling)
+    for _ in range(n):
+        result = modulator.process(ImageData(None, size, size))
+        if result.message is not None:
+            demodulator.process(result.message)
+    return modulator
+
+
+# -- triggers ------------------------------------------------------------------
+
+
+def test_rate_trigger_period(push_partitioned, profiling):
+    trigger = RateTrigger(period=5)
+    fired = 0
+    modulator = push_partitioned.make_modulator(profiling=profiling)
+    for _ in range(20):
+        modulator.process(ImageData(None, 10, 10))
+        if trigger.should_fire(profiling):
+            trigger.fired(profiling)
+            fired += 1
+    assert fired == 4
+
+
+def test_rate_trigger_validates_period():
+    with pytest.raises(ValueError):
+        RateTrigger(period=0)
+
+
+def test_never_trigger(push_partitioned, profiling):
+    trigger = NeverTrigger()
+    drive(push_partitioned, profiling, 10)
+    assert not trigger.should_fire(profiling)
+
+
+def test_diff_trigger_fires_on_first_data(push_partitioned, profiling):
+    trigger = DiffTrigger(threshold=0.5, min_interval=1)
+    drive(push_partitioned, profiling, 2)
+    assert trigger.should_fire(profiling)
+
+
+def test_diff_trigger_quiet_when_stable(push_partitioned, profiling):
+    trigger = DiffTrigger(threshold=0.5, min_interval=1)
+    drive(push_partitioned, profiling, 3)
+    trigger.fired(profiling)
+    drive(push_partitioned, profiling, 3)  # same sizes
+    assert not trigger.should_fire(profiling)
+
+
+def test_diff_trigger_fires_on_size_change(push_partitioned, profiling):
+    trigger = DiffTrigger(threshold=0.3, min_interval=1)
+    drive(push_partitioned, profiling, 3, size=20)
+    trigger.fired(profiling)
+    drive(push_partitioned, profiling, 3, size=200)
+    assert trigger.should_fire(profiling)
+
+
+def test_diff_trigger_min_interval(push_partitioned, profiling):
+    trigger = DiffTrigger(threshold=0.01, min_interval=50)
+    drive(push_partitioned, profiling, 3)
+    assert not trigger.should_fire(profiling)
+
+
+def test_diff_trigger_validates_threshold():
+    with pytest.raises(ValueError):
+        DiffTrigger(threshold=0.0)
+
+
+def test_composite_trigger_any(push_partitioned, profiling):
+    composite = CompositeTrigger(NeverTrigger(), RateTrigger(period=1))
+    drive(push_partitioned, profiling, 1)
+    assert composite.should_fire(profiling)
+    composite.fired(profiling)
+
+
+def test_composite_trigger_needs_members():
+    with pytest.raises(ValueError):
+        CompositeTrigger()
+
+
+# -- reconfiguration unit ------------------------------------------------------------
+
+
+def test_select_plan_cuts_only_pses(push_partitioned, profiling):
+    drive(push_partitioned, profiling, 5)
+    unit = ReconfigurationUnit(push_partitioned.cut)
+    plan, value = unit.select_plan(profiling.snapshot())
+    assert plan.active <= push_partitioned.cut.pse_edges
+    assert value < float("inf")
+
+
+def test_select_plan_prefers_profiled_cheap_edge(push_partitioned, profiling):
+    """Large frames: the post-transform edge (fixed 100x100) must win over
+    shipping the raw 200x200 event."""
+    drive(push_partitioned, profiling, 5, size=200)
+    unit = ReconfigurationUnit(push_partitioned.cut)
+    plan, _ = unit.select_plan(profiling.snapshot())
+    chosen = {
+        tuple(sorted(v.name for v in push_partitioned.cut.pses[e].inter))
+        for e in plan.active
+    }
+    assert ("rd",) in chosen  # ship the transformed image
+
+
+def test_select_plan_prefers_raw_for_small_frames(
+    push_partitioned, profiling
+):
+    drive(push_partitioned, profiling, 5, size=20)
+    unit = ReconfigurationUnit(push_partitioned.cut)
+    plan, _ = unit.select_plan(profiling.snapshot())
+    chosen = {
+        tuple(sorted(v.name for v in push_partitioned.cut.pses[e].inter))
+        for e in plan.active
+    }
+    assert ("event",) in chosen  # ship the raw event
+
+
+def test_consider_respects_trigger(push_partitioned, profiling):
+    unit = ReconfigurationUnit(
+        push_partitioned.cut, trigger=RateTrigger(period=3)
+    )
+    modulator = push_partitioned.make_modulator(profiling=profiling)
+    demodulator = push_partitioned.make_demodulator(profiling=profiling)
+    plans = []
+    for _ in range(7):
+        result = modulator.process(ImageData(None, 30, 30))
+        if result.message is not None:
+            demodulator.process(result.message)
+        plan = unit.consider(profiling)
+        if plan is not None:
+            plans.append(plan)
+    assert len(plans) == 2
+    assert unit.reconfiguration_count == 2
+    assert unit.history[0].at_message <= unit.history[1].at_message
+
+
+def test_consider_quiet_with_never_trigger(push_partitioned, profiling):
+    unit = ReconfigurationUnit(
+        push_partitioned.cut, trigger=NeverTrigger()
+    )
+    drive(push_partitioned, profiling, 5)
+    assert unit.consider(profiling) is None
+    assert unit.reconfiguration_count == 0
+
+
+def test_invalid_location_rejected(push_partitioned):
+    with pytest.raises(ValueError):
+        ReconfigurationUnit(push_partitioned.cut, location="moon")
+
+
+def test_selected_plan_is_applicable(push_partitioned, profiling):
+    drive(push_partitioned, profiling, 4)
+    unit = ReconfigurationUnit(push_partitioned.cut)
+    plan, _ = unit.select_plan(profiling.snapshot())
+    modulator = push_partitioned.make_modulator(profiling=profiling)
+    modulator.apply_plan(plan)  # must validate
+    result = modulator.process(ImageData(None, 30, 30))
+    assert result.message is not None or result.elided
+
+
+def test_select_plan_with_empty_stats(push_partitioned):
+    """Before any profiling, selection still returns a valid plan from
+    static lower bounds."""
+    unit = ReconfigurationUnit(push_partitioned.cut)
+    fresh = push_partitioned.make_profiling_unit()
+    plan, _ = unit.select_plan(fresh.snapshot())
+    assert plan.active <= push_partitioned.cut.pse_edges

@@ -1,0 +1,111 @@
+"""Integration: full adaptation scenarios over the event channel and the
+simulated pipeline."""
+
+import pytest
+
+from repro.apps.harness import run_pipeline
+from repro.apps.imagestream import make_mp_image_version, scenario_stream
+from repro.apps.sensor import make_mp_sensor_version, reading_stream
+from repro.core.runtime.triggers import CompositeTrigger, DiffTrigger, RateTrigger
+from repro.jecho import EventChannel
+from repro.simnet import (
+    PerturbationSpec,
+    Simulator,
+    intel_pair,
+    wireless_testbed,
+)
+from tests.conftest import ImageData
+
+
+def test_channel_adaptation_scenario_switch(
+    push_partitioned, push_serializer_registry
+):
+    """Feed large frames until the plan settles on sender-side transform,
+    then switch to small frames and watch it move back."""
+    channel = EventChannel(serializer_registry=push_serializer_registry)
+    sub = channel.subscribe_partitioned(
+        push_partitioned,
+        trigger=CompositeTrigger(
+            DiffTrigger(threshold=0.2, min_interval=1), RateTrigger(period=10)
+        ),
+    )
+
+    def active_inter():
+        return {
+            tuple(sorted(v.name for v in push_partitioned.cut.pses[e].inter))
+            for e in sub.modulator.plan_runtime.active_edges()
+        }
+
+    for _ in range(8):
+        channel.publish(ImageData(None, 200, 200))
+    assert ("rd",) in active_inter()
+
+    for _ in range(8):
+        channel.publish(ImageData(None, 60, 60))
+    assert ("event",) in active_inter()
+
+    assert sub.stats.plan_updates >= 2
+    assert sub.stats.results_delivered == 16
+
+
+def test_image_pipeline_traffic_tracks_adaptation():
+    """In the mixed scenario, adapted MP traffic per frame must sit between
+    the always-raw and always-transformed extremes."""
+    frames = scenario_stream("mixed", 120, seed=11)
+    version = make_mp_image_version()
+    sim = Simulator()
+    testbed = wireless_testbed(sim)
+    result = run_pipeline(testbed, version, frames)
+    per_frame = result.bytes_sent / result.n_delivered
+    raw_avg = sum(f.pixel_count for f in frames) / len(frames)
+    transformed = 160 * 160
+    assert per_frame < max(raw_avg, transformed)
+    assert version.plan_updates_applied >= 2
+
+
+def test_sensor_pipeline_shifts_work_under_consumer_load():
+    """Under consumer load, MP moves stage work to the producer: the
+    producer executes more cycles than the consumer."""
+    load = PerturbationSpec(plen=(0.0, 2.0), aprob=0.8, lindex=0.8)
+    sim = Simulator()
+    testbed = intel_pair(sim, consumer_load=load, seed=3)
+    version = make_mp_sensor_version()
+    run_pipeline(testbed, version, reading_stream(80))
+    assert testbed.sender.cycles_executed > testbed.receiver.cycles_executed
+
+
+def test_sensor_pipeline_balances_when_unloaded():
+    sim = Simulator()
+    testbed = intel_pair(sim)
+    version = make_mp_sensor_version()
+    run_pipeline(testbed, version, reading_stream(80))
+    total = (
+        testbed.sender.cycles_executed + testbed.receiver.cycles_executed
+    )
+    share = testbed.sender.cycles_executed / total
+    assert 0.35 < share < 0.65
+
+
+def test_adaptation_count_is_modest():
+    """Low-cost adaptation: plan updates are rare relative to messages."""
+    version = make_mp_sensor_version()
+    sim = Simulator()
+    testbed = intel_pair(sim)
+    result = run_pipeline(testbed, version, reading_stream(100))
+    assert version.plan_updates_applied <= 20
+    assert result.n_delivered == 100
+
+
+def test_profiling_sampling_reduces_overhead_not_results():
+    frames = scenario_stream("small", 40)
+    dense = make_mp_image_version(sample_period=1)
+    sparse = make_mp_image_version(sample_period=8)
+    for version in (dense, sparse):
+        sim = Simulator()
+        testbed = wireless_testbed(sim)
+        result = run_pipeline(testbed, version, list(frames))
+        assert result.n_delivered == 40
+    assert (
+        sparse.profiling.measurements_taken
+        < dense.profiling.measurements_taken
+    )

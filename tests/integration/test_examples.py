@@ -1,0 +1,65 @@
+"""Every example must run clean and print what its docstring promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+_EXPECTATIONS = {
+    "quickstart.py": (
+        "instanceof ImageData",
+        "Potential Split Edges",
+        "junk event filtered at sender: True",
+        "Runtime re-selection",
+    ),
+    "wireless_image_streaming.py": (
+        "Method Partitioning",
+        "plan updates",
+        "frames displayed: 200",
+    ),
+    "sensor_load_balancing.py": (
+        "Unloaded, equal hosts",
+        "Consumer perturbed",
+        "Heterogeneous",
+        "Method Partitioning vs best manual",
+    ),
+    "custom_cost_model.py": (
+        "data-size",
+        "execution-time",
+        "power",
+        "composite",
+    ),
+    "broker_offload.py": (
+        "modulator at sender",
+        "modulator at broker",
+        "BrokerChannel",
+    ),
+    "multi_sender_fanin.py": (
+        "thumbnail-cam",
+        "panorama-cam",
+        "junk-feed",
+    ),
+}
+
+
+def test_every_example_has_expectations():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(_EXPECTATIONS), (
+        "examples changed: update _EXPECTATIONS"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(_EXPECTATIONS))
+def test_example_runs(name):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    for needle in _EXPECTATIONS[name]:
+        assert needle in proc.stdout, (name, needle, proc.stdout[-2000:])

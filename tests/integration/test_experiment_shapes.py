@@ -1,0 +1,155 @@
+"""Integration: quick (small-n) runs of every experiment asserting the
+paper's qualitative results — the full-size regenerations live in
+benchmarks/."""
+
+import pytest
+
+from repro.apps.imagestream import Table2Config, run_table2
+from repro.apps.sensor import (
+    run_figure7,
+    run_figure8,
+    run_table3,
+    run_table4,
+)
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_table2(Table2Config(n_frames=80))
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return run_table3(n_messages=60)
+
+
+@pytest.fixture(scope="module")
+def table4():
+    return run_table4(n_messages=60, seeds=(1, 2))
+
+
+class TestTable2Shape:
+    def test_mp_matches_small_optimum(self, table2):
+        mp = table2["Method Partitioning"]["small"]
+        best = table2["Image<Display"]["small"]
+        assert mp >= 0.9 * best
+
+    def test_mp_matches_large_optimum(self, table2):
+        mp = table2["Method Partitioning"]["large"]
+        best = table2["Image>Display"]["large"]
+        assert mp >= 0.9 * best
+
+    def test_mp_wins_mixed(self, table2):
+        mp = table2["Method Partitioning"]["mixed"]
+        manuals = (
+            table2["Image<Display"]["mixed"],
+            table2["Image>Display"]["mixed"],
+        )
+        assert mp > max(manuals)
+
+    def test_client_version_degrades_on_large(self, table2):
+        row = table2["Image<Display"]
+        assert row["large"] < row["small"] / 2
+
+    def test_server_version_flat(self, table2):
+        row = table2["Image>Display"]
+        assert row["large"] == pytest.approx(row["small"], rel=0.1)
+
+
+class TestTable3Shape:
+    def test_mp_best_both_directions(self, table3):
+        for direction in ("PC->Sun", "Sun->PC"):
+            mp = table3["Method Partitioning"][direction]
+            for name in ("Consumer Version", "Producer Version",
+                         "Divided Version"):
+                assert mp < table3[name][direction]
+
+    def test_consumer_version_suffers_on_slow_consumer(self, table3):
+        """Paper: Consumer Version 222% slower than MP for PC→Sun."""
+        ratio = (
+            table3["Consumer Version"]["PC->Sun"]
+            / table3["Method Partitioning"]["PC->Sun"]
+        )
+        assert ratio > 2.0
+
+    def test_producer_version_suffers_on_slow_producer(self, table3):
+        """Paper: Producer Version 86% slower than MP for Sun→PC."""
+        ratio = (
+            table3["Producer Version"]["Sun->PC"]
+            / table3["Method Partitioning"]["Sun->PC"]
+        )
+        assert ratio > 1.5
+
+    def test_direction_symmetry_of_manual_versions(self, table3):
+        assert table3["Consumer Version"]["PC->Sun"] > table3[
+            "Consumer Version"
+        ]["Sun->PC"]
+        assert table3["Producer Version"]["Sun->PC"] > table3[
+            "Producer Version"
+        ]["PC->Sun"]
+
+
+class TestTable4Shape:
+    def test_mp_lowest_everywhere(self, table4):
+        for loads, row in table4.items():
+            mp = row["Method Partitioning"]
+            for name in ("Consumer Version", "Producer Version",
+                         "Divided Version"):
+                assert mp <= row[name] * 1.05, (loads, name)
+
+    def test_mp_beats_divided_unloaded(self, table4):
+        """Paper: 58.52 vs 48.445 even with no load (loop distribution)."""
+        row = table4[(0.0, 0.0)]
+        assert row["Method Partitioning"] < row["Divided Version"]
+
+    def test_producer_version_immune_to_consumer_load(self, table4):
+        base = table4[(0.0, 0.0)]["Producer Version"]
+        loaded = table4[(0.0, 1.0)]["Producer Version"]
+        assert loaded == pytest.approx(base, rel=0.1)
+
+    def test_consumer_version_immune_to_producer_load(self, table4):
+        base = table4[(0.0, 0.0)]["Consumer Version"]
+        loaded = table4[(1.0, 0.0)]["Consumer Version"]
+        assert loaded == pytest.approx(base, rel=0.1)
+
+    def test_consumer_version_degrades_with_consumer_load(self, table4):
+        base = table4[(0.0, 0.0)]["Consumer Version"]
+        mid = table4[(0.0, 0.6)]["Consumer Version"]
+        high = table4[(0.0, 1.0)]["Consumer Version"]
+        assert base < mid < high
+
+    def test_mp_stays_flat_under_consumer_load(self, table4):
+        """MP sheds work to the producer as the consumer loads up."""
+        base = table4[(0.0, 0.0)]["Method Partitioning"]
+        high = table4[(0.0, 1.0)]["Method Partitioning"]
+        consumer_high = table4[(0.0, 1.0)]["Consumer Version"]
+        assert high < consumer_high
+        assert high < 2.2 * base
+
+
+class TestFigureShapes:
+    def test_figure7_producer_flat_consumer_rising(self):
+        curves = run_figure7(n_messages=50, seeds=(1,), lindex=0.8)
+        producer = [y for _, y in curves["Producer Version"]]
+        consumer = [y for _, y in curves["Consumer Version"]]
+        mp = [y for _, y in curves["Method Partitioning"]]
+        # producer curve flat within 15%
+        assert max(producer) <= min(producer) * 1.15
+        # consumer curve rises substantially
+        assert consumer[-1] > consumer[0] * 1.5
+        # MP stays below the consumer and divided versions at high load
+        divided = [y for _, y in curves["Divided Version"]]
+        assert mp[-1] < consumer[-1]
+        assert mp[-1] < divided[-1]
+
+    def test_figure8_mp_stable_across_plen(self):
+        # Runs must span many perturbation periods for the time-average to
+        # stabilize; at the largest expected PLen (4 s) that needs a few
+        # hundred ~50 ms messages.
+        curves = run_figure8(
+            n_messages=400,
+            seeds=(1, 2),
+            versions=("Method Partitioning",),
+        )
+        mp = [y for _, y in curves["Method Partitioning"]]
+        assert max(mp) <= min(mp) * 1.6  # "relatively stable"

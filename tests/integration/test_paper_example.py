@@ -1,0 +1,100 @@
+"""Integration: walk the paper's running example (sections 3, Figures 4-6)
+through the whole pipeline and check every documented property."""
+
+import pytest
+
+from repro.core.plan import PartitioningPlan
+from repro.ir.printer import format_function
+from tests.conftest import ImageData
+
+
+def test_lowered_push_resembles_figure4(push_partitioned):
+    """The Jimple dump of push() (Figure 4) has: a parameter identity, an
+    instanceof test, a conditional branch, a constructor call, a native
+    invoke, and a return."""
+    text = format_function(push_partitioned.function)
+    assert "@parameter0" in text
+    assert "instanceof ImageData" in text
+    assert "new ImageData" in text
+    assert "invoke display_image" in text
+    assert "return" in text
+
+
+def test_stop_nodes_match_figure6(push_partitioned):
+    """Figure 6: the native invoke and the return are StopNodes."""
+    stops = push_partitioned.cut.ctx.stops
+    fn = push_partitioned.function
+    reasons = sorted(stops.reasons.values())
+    assert any("receiver-only" in r for r in reasons)
+    assert any("return" in r for r in reasons)
+    assert len(stops.nodes) == 2
+
+
+def test_two_target_paths_as_in_section3(push_partitioned):
+    """tp1 = the filtered path (ends at return), tp2 = the image path
+    (ends at the native display call)."""
+    paths = push_partitioned.cut.ctx.paths
+    assert len(paths) == 2
+    stops = push_partitioned.cut.ctx.stops
+    endings = sorted(stops.reasons[p.end] for p in paths)
+    assert "return instruction" in endings[1] or "return" in endings[0]
+
+
+def test_pse_set_structure_matches_paper(push_partitioned):
+    """The paper derives PSESet = {Edge(4,10), Edge(2,3), Edge(8,9)}: the
+    filtered-path terminal, the pre-transform edge (raw event), and the
+    pre-display edge (transformed image)."""
+    pses = push_partitioned.cut.pses
+    inters = sorted(
+        tuple(sorted(v.name for v in p.inter)) for p in pses.values()
+    )
+    assert inters == [(), ("event",), ("rd",)]
+
+
+def test_small_image_best_plan_ships_raw(push_partitioned):
+    """Section 3: 'to minimize traffic, the program must perform
+    transformations at the sender's side for large images, and at the
+    receiver's side for smaller images.'  Check both directions by
+    measuring actual wire bytes under each plan."""
+    codec = push_partitioned.codec
+    cut = push_partitioned.cut
+
+    def bytes_for(event, inter_names):
+        edge = next(
+            e
+            for e, p in cut.pses.items()
+            if tuple(sorted(v.name for v in p.inter)) == inter_names
+        )
+        modulator = push_partitioned.make_modulator(
+            plan=PartitioningPlan(active=frozenset({edge}))
+        )
+        result = modulator.process(event)
+        assert result.message is not None
+        return codec.size(result.message)
+
+    small = ImageData(None, 50, 50)
+    assert bytes_for(small, ("event",)) < bytes_for(small, ("rd",))
+
+    large = ImageData(None, 200, 200)
+    assert bytes_for(large, ("rd",)) < bytes_for(large, ("event",))
+
+
+def test_filtering_happens_at_sender(push_partitioned, display_log):
+    """Section 3: 'events that are not of type ImageData will be filtered
+    out' — i.e. never shipped."""
+    modulator = push_partitioned.make_modulator()
+    result = modulator.process(12345)
+    assert result.elided and result.message is None
+    assert display_log == []
+
+
+def test_adaptation_is_flag_flipping(push_partitioned):
+    """Section 2.6: 'adaptations simply involve changes to a few flag
+    values' — applying a plan touches no code, only the runtime flags."""
+    modulator = push_partitioned.make_modulator()
+    before = modulator.switch_count
+    cut = push_partitioned.cut
+    optional = [e for e, p in cut.pses.items() if not p.terminal]
+    modulator.apply_plan(PartitioningPlan(active=frozenset(optional[:1])))
+    assert modulator.switch_count == before + 1
+    assert modulator.plan_runtime.active_edges() == frozenset(optional[:1])

@@ -1,0 +1,88 @@
+"""Handlers with receiver-resident state (paper section 3's "variables
+that are mutable outside the event handler")."""
+
+import pytest
+
+from repro.core.api import MethodPartitioner
+from repro.core.costmodels import DataSizeCostModel
+from repro.ir.registry import default_registry
+from repro.serialization import SerializerRegistry
+
+
+@pytest.fixture
+def stateful():
+    """A handler that folds events into receiver-side state via a
+    receiver-pinned accessor pair."""
+    state = {"total": 0, "count": 0}
+    registry = default_registry()
+    registry.register_function(
+        "fold_into_state",
+        lambda v: state.update(
+            total=state["total"] + v, count=state["count"] + 1
+        ),
+        receiver_only=True,
+        pure=False,
+    )
+    source = (
+        "def accumulate(event):\n"
+        "    v = event * 2 + 1\n"
+        "    fold_into_state(v)\n"
+    )
+    partitioner = MethodPartitioner(registry, SerializerRegistry())
+    partitioned = partitioner.partition(source, DataSizeCostModel())
+    return partitioned, state
+
+
+def test_state_updates_only_via_demodulator(stateful):
+    partitioned, state = stateful
+    modulator = partitioned.make_modulator()
+    demodulator = partitioned.make_demodulator()
+    for i in range(5):
+        result = modulator.process(i)
+        assert not result.completed  # state access pins the tail
+        demodulator.process(result.message)
+    assert state["count"] == 5
+    assert state["total"] == sum(i * 2 + 1 for i in range(5))
+
+
+def test_pre_state_compute_can_move_to_sender(stateful):
+    partitioned, state = stateful
+    # the arithmetic before the fold is sender-eligible: there is a PSE
+    # after it carrying only the computed value
+    carried = {
+        tuple(sorted(v.name for v in pse.inter))
+        for pse in partitioned.pses.values()
+    }
+    assert ("v",) in carried
+
+
+def test_receiver_vars_pin_explicitly():
+    """Declared receiver_vars force StopNodes even without natives."""
+    registry = default_registry()
+    partitioner = MethodPartitioner(registry, SerializerRegistry())
+    partitioned = partitioner.partition(
+        "def f(event):\n"
+        "    x = event + 1\n"
+        "    cache = x\n"
+        "    return cache\n",
+        DataSizeCostModel(),
+        receiver_vars=("cache",),
+    )
+    stops = partitioned.cut.ctx.stops
+    fn = partitioned.function
+    pinned = [
+        i
+        for i, instr in enumerate(fn.instrs)
+        if any(v.name == "cache" for v in instr.uses() | instr.defs())
+    ]
+    assert pinned and all(stops.is_stop(i) for i in pinned)
+    # and execution still works end to end
+    modulator = partitioned.make_modulator()
+    demodulator = partitioned.make_demodulator()
+    result = modulator.process(41)
+    value = (
+        result.value
+        if result.completed
+        else demodulator.process(result.message).value
+    )
+    assert value == 42

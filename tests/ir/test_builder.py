@@ -1,0 +1,220 @@
+"""Unit tests for AST → IR lowering: structure and rejection of
+unsupported constructs."""
+
+import pytest
+
+from repro.errors import LoweringError
+from repro.ir.builder import lower_function
+from repro.ir.function import IRFunction
+from repro.ir.instructions import (
+    Assign,
+    Goto,
+    Identity,
+    If,
+    Invoke,
+    Return,
+    SetAttr,
+    SetItem,
+)
+from repro.ir.registry import default_registry
+from repro.ir.validate import validate_function
+from repro.ir.values import IsInstance, New
+
+
+@pytest.fixture
+def registry():
+    registry = default_registry()
+    registry.register_function("sink", lambda *a: None, pure=False)
+
+    class Thing:
+        def __init__(self, *a):
+            self.args = a
+
+    registry.register_class(Thing, name="Thing")
+    return registry
+
+
+def lower(source, registry, **kwargs):
+    fn = lower_function(source, registry, **kwargs)
+    validate_function(fn)
+    return fn
+
+
+def test_params_become_identities(registry):
+    fn = lower("def f(a, b):\n    return a\n", registry)
+    assert isinstance(fn.instrs[0], Identity)
+    assert isinstance(fn.instrs[1], Identity)
+    assert fn.instrs[0].source == "@parameter0"
+    assert fn.instrs[1].source == "@parameter1"
+    assert [p.name for p in fn.params] == ["a", "b"]
+
+
+def test_start_index_skips_identities(registry):
+    fn = lower("def f(a, b):\n    return a\n", registry)
+    assert fn.start_index == 2
+
+
+def test_missing_return_appended(registry):
+    fn = lower("def f(a):\n    x = a\n", registry)
+    assert isinstance(fn.instrs[-1], Return)
+    assert fn.instrs[-1].value is None
+
+
+def test_docstring_skipped(registry):
+    fn = lower('def f(a):\n    "doc"\n    return a\n', registry)
+    kinds = [type(i).__name__ for i in fn.instrs]
+    assert kinds == ["Identity", "Return"]
+
+
+def test_if_lowering_produces_branch(registry):
+    fn = lower("def f(a):\n    if a:\n        sink(a)\n", registry)
+    branches = [i for i in fn.instrs if isinstance(i, If)]
+    assert len(branches) == 1
+    assert branches[0].negate
+
+
+def test_if_else_has_goto_over_else(registry):
+    source = "def f(a):\n    if a:\n        x = 1\n    else:\n        x = 2\n    return x\n"
+    fn = lower(source, registry)
+    assert any(isinstance(i, Goto) for i in fn.instrs)
+
+
+def test_isinstance_lowered(registry):
+    fn = lower(
+        "def f(a):\n    x = isinstance(a, Thing)\n    return x\n", registry
+    )
+    assigns = [i for i in fn.instrs if isinstance(i, Assign)]
+    assert any(isinstance(a.expr, IsInstance) for a in assigns)
+
+
+def test_class_call_becomes_new(registry):
+    fn = lower("def f(a):\n    t = Thing(a, 1)\n    return t\n", registry)
+    assigns = [i for i in fn.instrs if isinstance(i, Assign)]
+    assert any(isinstance(a.expr, New) for a in assigns)
+
+
+def test_bare_call_becomes_invoke(registry):
+    fn = lower("def f(a):\n    sink(a)\n", registry)
+    assert any(isinstance(i, Invoke) for i in fn.instrs)
+
+
+def test_attribute_store(registry):
+    fn = lower("def f(o, v):\n    o.field = v\n", registry)
+    assert any(isinstance(i, SetAttr) for i in fn.instrs)
+
+
+def test_subscript_store(registry):
+    fn = lower("def f(o, v):\n    o[0] = v\n", registry)
+    assert any(isinstance(i, SetItem) for i in fn.instrs)
+
+
+def test_constants_resolved(registry):
+    fn = lower(
+        "def f(a):\n    return a + LIMIT\n",
+        registry,
+        constants={"LIMIT": 42},
+    )
+    # LIMIT must not appear as a variable anywhere.
+    assert all(v.name != "LIMIT" for v in fn.variables())
+
+
+def test_receiver_vars_recorded(registry):
+    fn = lower(
+        "def f(a):\n    return a\n", registry, receiver_vars=("state",)
+    )
+    assert fn.receiver_vars == frozenset({"state"})
+
+
+def test_name_override(registry):
+    fn = lower("def f(a):\n    return a\n", registry, name="renamed")
+    assert fn.name == "renamed"
+
+
+def test_temps_are_dollar_prefixed(registry):
+    fn = lower("def f(a, b):\n    return a + b * 2\n", registry)
+    temps = [v for v in fn.variables() if v.is_temp]
+    assert temps and all(v.name.startswith("$t") for v in temps)
+
+
+# -- rejected constructs --------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "def f(a, b=1):\n    return a\n",  # default args
+        "def f(*a):\n    return 0\n",  # varargs
+        "def f(**k):\n    return 0\n",  # kwargs
+        "def f(a):\n    try:\n        pass\n    except Exception:\n        pass\n",
+        "def f(a):\n    with a:\n        pass\n",
+        "def f(a):\n    x = [i for i in a]\n    return x\n",
+        "def f(a):\n    x = lambda: 1\n    return a\n",
+        "def f(a):\n    x, y = a\n    return x\n",
+        "def f(a):\n    x = y = a\n    return x\n",
+        "def f(a):\n    return unknown_fn(a)\n",
+        "def f(a):\n    return a.method()\n",
+        "def f(a):\n    while a:\n        pass\n    else:\n        pass\n",
+        "def f(a):\n    if 0 < a < 10:\n        pass\n",  # chained compare
+        "def f(a):\n    return f(a, key=1)\n",  # kw call
+        "def f(a):\n    yield a\n",
+        "def f(a):\n    import os\n    return a\n",
+        "def f(a):\n    global g\n    return a\n",
+    ],
+)
+def test_unsupported_constructs_rejected(source, registry):
+    with pytest.raises(LoweringError):
+        lower_function(source, registry)
+
+
+def test_break_outside_loop_rejected(registry):
+    with pytest.raises(LoweringError):
+        lower_function("def f(a):\n    break\n", registry)
+
+
+def test_continue_outside_loop_rejected(registry):
+    with pytest.raises(LoweringError):
+        lower_function("def f(a):\n    continue\n", registry)
+
+
+def test_unregistered_class_in_isinstance_rejected(registry):
+    with pytest.raises(LoweringError):
+        lower_function(
+            "def f(a):\n    return isinstance(a, Missing)\n", registry
+        )
+
+
+def test_multiple_defs_rejected(registry):
+    with pytest.raises(LoweringError):
+        lower_function(
+            "def f(a):\n    return a\n\ndef g(a):\n    return a\n", registry
+        )
+
+
+def test_error_message_includes_line(registry):
+    with pytest.raises(LoweringError, match="line 2"):
+        lower_function("def f(a):\n    x = y = a\n", registry)
+
+
+def test_lowering_real_function_object(registry):
+    # Defined in a real file, so inspect.getsource works.
+    fn = lower_function(_sample_handler, registry)
+    validate_function(fn)
+    assert fn.name == "_sample_handler"
+
+
+def _sample_handler(a):
+    if a > 0:
+        return a
+    return 0
+
+
+def test_interactive_function_gives_clear_error(registry):
+    namespace = {}
+    exec("def dyn(a):\n    return a\n", namespace)
+    with pytest.raises(LoweringError, match="source"):
+        lower_function(namespace["dyn"], registry)
+
+
+def test_dict_unpacking_rejected(registry):
+    with pytest.raises(LoweringError, match="unpacking"):
+        lower_function("def f(a):\n    d = {**a}\n    return d\n", registry)

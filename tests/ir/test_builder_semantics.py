@@ -1,0 +1,199 @@
+"""Differential tests: lowered IR must compute exactly what Python does.
+
+Each case defines a handler in the supported subset, runs it both as plain
+Python and through lowering + interpretation, and compares results over a
+grid of inputs.
+"""
+
+import pytest
+
+from repro.ir.builder import lower_function
+from repro.ir.interpreter import Interpreter
+from repro.ir.registry import default_registry
+from repro.ir.validate import validate_function
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+@pytest.fixture(scope="module")
+def interp(registry):
+    return Interpreter(registry)
+
+
+def check(source, registry, interp, inputs):
+    namespace = {}
+    exec(source, namespace)
+    py_fn = next(v for k, v in namespace.items() if callable(v))
+    fn = lower_function(source, registry)
+    validate_function(fn)
+    for args in inputs:
+        expected = py_fn(*args)
+        outcome = interp.run(fn, list(args))
+        assert outcome.returned
+        assert outcome.value == expected, (args, outcome.value, expected)
+
+
+CASES = {
+    "arithmetic": (
+        "def f(a, b):\n    return (a + b) * (a - b) // 2 + a % (b + 7)\n",
+        [(3, 4), (10, 2), (-5, 6), (0, 1)],
+    ),
+    "division_float": (
+        "def f(a, b):\n    return a / b\n",
+        [(1, 2), (7, 4), (-9, 3)],
+    ),
+    "bitwise": (
+        "def f(a, b):\n    return (a << 2) ^ (b >> 1) | (a & b)\n",
+        [(3, 4), (15, 9), (0, 0)],
+    ),
+    "unary": (
+        "def f(a):\n    return -a + ~a\n",
+        [(5,), (-3,), (0,)],
+    ),
+    "comparisons": (
+        "def f(a, b):\n    return (a < b, a <= b, a == b, a != b, a > b, a >= b)\n",
+        [(1, 2), (2, 2), (3, 2)],
+    ),
+    "if_else": (
+        "def f(a):\n    if a > 10:\n        return 1\n    elif a > 5:\n        return 2\n    else:\n        return 3\n",
+        [(11,), (7,), (2,)],
+    ),
+    "nested_if": (
+        "def f(a, b):\n    if a:\n        if b:\n            return 1\n        return 2\n    return 3\n",
+        [(1, 1), (1, 0), (0, 0), (0, 1)],
+    ),
+    "bool_and_value_semantics": (
+        "def f(a, b):\n    return a and b\n",
+        [(0, 5), (3, 7), ("", "x"), ([1], [])],
+    ),
+    "bool_or_value_semantics": (
+        "def f(a, b):\n    return a or b\n",
+        [(0, 5), (3, 7), ("", "x"), ([], [2])],
+    ),
+    "bool_chain": (
+        "def f(a, b, c):\n    return a and b and c\n",
+        [(1, 2, 3), (1, 0, 3), (0, 2, 3)],
+    ),
+    "conditional_expr": (
+        "def f(a, b):\n    return a if a > b else b\n",
+        [(3, 4), (5, 2), (1, 1)],
+    ),
+    "while_loop": (
+        "def f(n):\n    s = 0\n    while n > 0:\n        s = s + n\n        n = n - 1\n    return s\n",
+        [(0,), (1,), (10,)],
+    ),
+    "while_break_continue": (
+        "def f(n):\n    s = 0\n    i = 0\n    while i < n:\n        i += 1\n        if i % 2 == 0:\n            continue\n        if s > 20:\n            break\n        s += i\n    return s\n",
+        [(0,), (5,), (20,)],
+    ),
+    "range_for": (
+        "def f(n):\n    s = 0\n    for i in range(n):\n        s += i * i\n    return s\n",
+        [(0,), (1,), (7,)],
+    ),
+    "range_for_start_stop_step": (
+        "def f(a, b):\n    s = 0\n    for i in range(a, b, 2):\n        s += i\n    return s\n",
+        [(0, 10), (3, 4), (5, 5)],
+    ),
+    "range_for_negative_step": (
+        "def f(n):\n    s = 0\n    for i in range(n, 0, -1):\n        s += i\n    return s\n",
+        [(5,), (0,), (1,)],
+    ),
+    "nested_loops": (
+        "def f(n):\n    s = 0\n    for i in range(n):\n        for j in range(i):\n            s += i * j\n    return s\n",
+        [(0,), (3,), (5,)],
+    ),
+    "sequence_for": (
+        "def f(xs):\n    s = 0\n    for x in xs:\n        s += x\n    return s\n",
+        [([],), ([1, 2, 3],), ((4, 5),)],
+    ),
+    "augmented_assignment": (
+        "def f(a):\n    a += 2\n    a *= 3\n    a -= 1\n    return a\n",
+        [(0,), (5,)],
+    ),
+    "subscript_read_write": (
+        "def f(xs):\n    xs[0] = xs[1] + 1\n    xs[1] += 10\n    return xs\n",
+        [([1, 2],), ([5, 5, 5],)],
+    ),
+    "list_and_tuple_display": (
+        "def f(a, b):\n    return [a, b, a + b]\n",
+        [(1, 2), (0, 0)],
+    ),
+    "builtin_calls": (
+        "def f(xs):\n    return (len(xs), min(xs), max(xs), sum(xs), abs(-3))\n",
+        [([3, 1, 2],), ([5],)],
+    ),
+    "string_ops": (
+        "def f(s, t):\n    return s + t\n",
+        [("a", "b"), ("", "x")],
+    ),
+    "in_operator": (
+        "def f(x, xs):\n    return x in xs\n",
+        [(1, [1, 2]), (3, [1, 2])],
+    ),
+    "is_none": (
+        "def f(x):\n    return x is None\n",
+        [(None,), (0,), (1,)],
+    ),
+    "pow": (
+        "def f(a, b):\n    return a ** b\n",
+        [(2, 8), (3, 0)],
+    ),
+    "early_return_in_loop": (
+        "def f(xs, target):\n    for i in range(len(xs)):\n        if xs[i] == target:\n            return i\n    return -1\n",
+        [([1, 2, 3], 2), ([1, 2, 3], 9), ([], 1)],
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_lowered_semantics_match_python(name, registry, interp):
+    source, inputs = CASES[name]
+    check(source, registry, interp, inputs)
+
+
+def test_attribute_access(registry, interp):
+    class Box:
+        pass
+
+    registry_local = default_registry()
+    registry_local.register_class(Box)
+    source = (
+        "def f(b, v):\n"
+        "    b.value = v\n"
+        "    b.value += 1\n"
+        "    return b.value\n"
+    )
+    fn = lower_function(source, registry_local)
+    validate_function(fn)
+    box = Box()
+    outcome = Interpreter(registry_local).run(fn, [box, 41])
+    assert outcome.value == 42
+    assert box.value == 42
+
+
+def test_dict_display(registry, interp):
+    check(
+        "def f(a, b):\n"
+        "    d = {'x': a, b: a + b}\n"
+        "    d['y'] = a * 2\n"
+        "    return (d['x'], d[b], d['y'])\n",
+        registry,
+        interp,
+        [(1, 2), (0, 5)],
+    )
+
+
+def test_dict_membership(registry, interp):
+    check(
+        "def f(k):\n"
+        "    d = {1: 'one', 2: 'two'}\n"
+        "    if k in d:\n"
+        "        return d[k]\n"
+        "    return 'missing'\n",
+        registry,
+        interp,
+        [(1,), (2,), (9,)],
+    )

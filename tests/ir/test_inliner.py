@@ -1,0 +1,190 @@
+"""Unit tests for inline expansion (whole-program UGs, paper §7)."""
+
+import pytest
+
+from repro.errors import LoweringError
+from repro.ir import (
+    Interpreter,
+    default_registry,
+    format_function,
+    inline_calls,
+    lower_function,
+    validate_function,
+)
+
+
+@pytest.fixture
+def registry():
+    registry = default_registry()
+    registry.register_inline(
+        "clamp",
+        "def clamp(x, lo, hi):\n"
+        "    if x < lo:\n"
+        "        return lo\n"
+        "    if x > hi:\n"
+        "        return hi\n"
+        "    return x\n",
+    )
+    registry.register_inline(
+        "scale",
+        "def scale(x):\n"
+        "    y = x * 3\n"
+        "    return clamp(y, 0, 100)\n",
+    )
+    return registry
+
+
+def py_clamp(x, lo, hi):
+    return lo if x < lo else hi if x > hi else x
+
+
+def py_scale(x):
+    return py_clamp(x * 3, 0, 100)
+
+
+def expand(source, registry):
+    fn = lower_function(source, registry)
+    inlined = inline_calls(fn, registry)
+    validate_function(inlined)
+    return fn, inlined
+
+
+def test_single_level_inline_semantics(registry):
+    fn, inlined = expand(
+        "def h(a):\n    return clamp(a, -5, 5)\n", registry
+    )
+    interp = Interpreter(registry)
+    for a in (-9, -5, 0, 5, 9):
+        assert interp.run(inlined, [a]).value == py_clamp(a, -5, 5)
+    assert len(inlined.instrs) > len(fn.instrs)
+
+
+def test_nested_inline_semantics(registry):
+    fn, inlined = expand("def h(a):\n    return scale(a)\n", registry)
+    interp = Interpreter(registry)
+    for a in (-4, 0, 10, 50):
+        assert interp.run(inlined, [a]).value == py_scale(a)
+    # no inlinable calls remain
+    assert "clamp" not in format_function(inlined).replace(
+        "clamp$", ""
+    ) or all(
+        "invoke clamp(" not in line
+        for line in format_function(inlined).splitlines()
+    )
+
+
+def test_repeated_sites_stay_independent(registry):
+    fn, inlined = expand(
+        "def h(a, b):\n"
+        "    x = clamp(a, 0, 10)\n"
+        "    y = clamp(b, 0, 10)\n"
+        "    return x * 100 + y\n",
+        registry,
+    )
+    interp = Interpreter(registry)
+    for a, b in ((-1, 5), (12, 12), (3, -3)):
+        expected = py_clamp(a, 0, 10) * 100 + py_clamp(b, 0, 10)
+        assert interp.run(inlined, [a, b]).value == expected
+
+
+def test_inline_inside_branch_and_loop(registry):
+    source = (
+        "def h(n):\n"
+        "    total = 0\n"
+        "    for i in range(n):\n"
+        "        if i % 2 == 0:\n"
+        "            total = total + clamp(i, 1, 3)\n"
+        "    return total\n"
+    )
+    fn, inlined = expand(source, registry)
+    interp = Interpreter(registry)
+    for n in (0, 1, 6, 9):
+        expected = sum(
+            py_clamp(i, 1, 3) for i in range(n) if i % 2 == 0
+        )
+        assert interp.run(inlined, [n]).value == expected
+
+
+def test_invoke_without_target(registry):
+    sunk = []
+    registry.register_function("sink", sunk.append, pure=False)
+    registry.register_inline(
+        "emit_twice",
+        "def emit_twice(x):\n    sink(x)\n    sink(x + 1)\n",
+    )
+    fn, inlined = expand("def h(a):\n    emit_twice(a)\n", registry)
+    Interpreter(registry).run(inlined, [5])
+    assert sunk == [5, 6]
+
+
+def test_opaque_functions_untouched(registry):
+    registry.register_function("opaque", lambda x: x * 7)
+    fn, inlined = expand(
+        "def h(a):\n    return opaque(a) + clamp(a, 0, 1)\n", registry
+    )
+    listing = format_function(inlined)
+    assert "invoke opaque(" in listing
+    assert Interpreter(registry).run(inlined, [3]).value == 21 + 1
+
+
+def test_arity_mismatch_rejected(registry):
+    fn = lower_function("def h(a):\n    return len(a)\n", registry)
+    # force a bad call site by hand
+    from repro.ir.values import Call, Var
+    from repro.ir.instructions import Assign
+
+    bad = lower_function(
+        "def h(a):\n    x = clamp(a, 0)\n    return x\n", registry
+    )
+    with pytest.raises(LoweringError, match="arguments"):
+        inline_calls(bad, registry)
+
+
+def test_recursion_rejected():
+    registry = default_registry()
+    registry.register_function("rec", lambda x: x)
+    helper = lower_function("def rec(x):\n    return rec(x)\n", registry)
+    registry.register_function("rec", lambda x: x).inline_ir = helper
+    fn = lower_function("def h(a):\n    return rec(a)\n", registry)
+    with pytest.raises(LoweringError, match="converge"):
+        inline_calls(fn, registry)
+
+
+def test_register_inline_stays_callable(registry):
+    entry = registry.function("clamp")
+    assert entry.inline_ir is not None
+    assert entry.fn(7, 0, 5) == 5  # opaque interpretation path
+
+
+def test_no_inlinable_calls_is_identity(registry):
+    fn = lower_function("def h(a):\n    return a + 1\n", registry)
+    inlined = inline_calls(fn, registry)
+    assert len(inlined.instrs) == len(fn.instrs)
+
+
+def test_partition_with_inlined_helper_exposes_inner_pses(registry):
+    """The point of whole-program expansion: split points INSIDE helpers."""
+    from repro.core.api import MethodPartitioner
+    from repro.core.costmodels import ExecutionTimeCostModel
+    from repro.serialization import SerializerRegistry
+
+    registry.register_function(
+        "deliver", lambda x: None, receiver_only=True, pure=False
+    )
+    source = "def h(a):\n    v = scale(a)\n    deliver(v)\n"
+    partitioner = MethodPartitioner(registry, SerializerRegistry())
+    opaque = partitioner.partition(
+        source, ExecutionTimeCostModel(), inline_helpers=False
+    )
+    expanded = partitioner.partition(
+        source, ExecutionTimeCostModel(), inline_helpers=True
+    )
+    assert len(expanded.pses) > len(opaque.pses)
+
+    # and both execute identically end to end
+    for pm in (opaque, expanded):
+        modulator = pm.make_modulator()
+        demodulator = pm.make_demodulator()
+        result = modulator.process(30)
+        if result.message is not None:
+            demodulator.process(result.message)

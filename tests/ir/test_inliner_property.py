@@ -1,0 +1,137 @@
+"""Property-based equivalence for inline expansion.
+
+For generated helpers and callers, the inlined program must compute
+exactly what the opaque-call program computes — including side-effect
+order — and stay partitionable with identical end-to-end results.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import (
+    Interpreter,
+    default_registry,
+    inline_calls,
+    lower_function,
+    validate_function,
+)
+
+
+@st.composite
+def helper_sources(draw):
+    """A helper over (x, y) from a tiny expression grammar with a branch."""
+    op1 = draw(st.sampled_from(["+", "-", "*"]))
+    op2 = draw(st.sampled_from(["+", "-", "*"]))
+    const1 = draw(st.integers(min_value=-4, max_value=4))
+    const2 = draw(st.integers(min_value=-4, max_value=4))
+    cmp_op = draw(st.sampled_from(["<", ">", "=="]))
+    with_loop = draw(st.booleans())
+    lines = [
+        "def helper(x, y):",
+        f"    a = x {op1} {const1}",
+        f"    if a {cmp_op} y:",
+        f"        a = a {op2} y",
+    ]
+    if with_loop:
+        bound = draw(st.integers(min_value=0, max_value=3))
+        lines += [
+            f"    for i in range({bound}):",
+            "        a = a + i",
+        ]
+    lines.append(f"    return a {op2} {const2}")
+    return "\n".join(lines) + "\n"
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    helper=helper_sources(),
+    a=st.integers(min_value=-8, max_value=8),
+    b=st.integers(min_value=-8, max_value=8),
+    nested=st.booleans(),
+)
+def test_inlined_equals_opaque(helper, a, b, nested):
+    sunk_opaque, sunk_inline = [], []
+
+    def build(sink):
+        registry = default_registry()
+        registry.register_function("sink", sink.append, pure=False)
+        registry.register_inline("helper", helper)
+        if nested:
+            registry.register_inline(
+                "outer",
+                "def outer(p, q):\n"
+                "    r = helper(p, q)\n"
+                "    return helper(r, p)\n",
+            )
+            caller = (
+                "def main(a, b):\n"
+                "    v = outer(a, b)\n"
+                "    sink(v)\n"
+                "    return v + helper(b, a)\n"
+            )
+        else:
+            caller = (
+                "def main(a, b):\n"
+                "    v = helper(a, b)\n"
+                "    sink(v)\n"
+                "    return v + helper(b, a)\n"
+            )
+        return registry, lower_function(caller, registry)
+
+    registry1, opaque_fn = build(sunk_opaque)
+    registry2, base_fn = build(sunk_inline)
+    inlined_fn = inline_calls(base_fn, registry2)
+    validate_function(inlined_fn)
+
+    opaque_result = Interpreter(registry1).run(opaque_fn, [a, b])
+    inline_result = Interpreter(registry2).run(inlined_fn, [a, b])
+    assert inline_result.value == opaque_result.value
+    assert sunk_inline == sunk_opaque
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    helper=helper_sources(),
+    a=st.integers(min_value=-8, max_value=8),
+    b=st.integers(min_value=-8, max_value=8),
+)
+def test_partitioned_inlined_handler_equivalence(helper, a, b):
+    """Every single-PSE plan over the inlined handler preserves results."""
+    from repro.core.api import MethodPartitioner
+    from repro.core.costmodels import DataSizeCostModel
+    from repro.core.plan import PartitioningPlan
+    from repro.serialization import SerializerRegistry
+
+    sunk = []
+    registry = default_registry()
+    registry.register_function(
+        "sink", sunk.append, receiver_only=True, pure=False
+    )
+    registry.register_inline("helper", helper)
+    caller = (
+        "def main(a, b):\n"
+        "    v = helper(a, b)\n"
+        "    sink(v)\n"
+    )
+    partitioner = MethodPartitioner(registry, SerializerRegistry())
+    partitioned = partitioner.partition(
+        caller, DataSizeCostModel(), inline_helpers=True
+    )
+
+    sunk.clear()
+    partitioned.run_reference(a, b)
+    expected = list(sunk)
+
+    for edge in partitioned.pses:
+        if edge in partitioned.cut.poisoned:
+            continue
+        sunk.clear()
+        modulator = partitioned.make_modulator(
+            plan=PartitioningPlan(active=frozenset({edge}))
+        )
+        demodulator = partitioned.make_demodulator()
+        result = modulator.process(a, b)
+        if not result.completed and result.message is not None:
+            demodulator.process(result.message)
+        assert sunk == expected, (edge, helper)

@@ -1,0 +1,96 @@
+"""Unit tests for IR instructions: USE/DEF sets and control flow."""
+
+from repro.ir.instructions import (
+    Assign,
+    Goto,
+    Identity,
+    If,
+    Invoke,
+    Nop,
+    Return,
+    SetAttr,
+    SetItem,
+    instruction_mutations,
+)
+from repro.ir.values import BinOp, Call, Const, OperandExpr, Var
+
+
+def test_identity_defines_target():
+    instr = Identity(Var("event"), "@parameter0", 0)
+    assert instr.defs() == frozenset({Var("event")})
+    assert instr.uses() == frozenset()
+
+
+def test_assign_defs_and_uses():
+    instr = Assign(Var("x"), BinOp("+", Var("a"), Var("b")))
+    assert instr.defs() == frozenset({Var("x")})
+    assert instr.uses() == frozenset({Var("a"), Var("b")})
+
+
+def test_assign_reports_called_functions():
+    instr = Assign(Var("x"), Call("f", ()))
+    assert instr.called_functions() == ("f",)
+    plain = Assign(Var("x"), OperandExpr(Const(1)))
+    assert plain.called_functions() == ()
+
+
+def test_invoke_uses_and_calls():
+    instr = Invoke(Call("g", (Var("a"),)))
+    assert instr.uses() == frozenset({Var("a")})
+    assert instr.called_functions() == ("g",)
+    assert instr.defs() == frozenset()
+
+
+def test_setattr_uses_object_and_value():
+    instr = SetAttr(Var("o"), "field", Var("v"))
+    assert instr.uses() == frozenset({Var("o"), Var("v")})
+    assert instr.defs() == frozenset()
+    assert instruction_mutations(instr) == frozenset({Var("o")})
+
+
+def test_setitem_uses_all_three():
+    instr = SetItem(Var("o"), Var("i"), Var("v"))
+    assert instr.uses() == frozenset({Var("o"), Var("i"), Var("v")})
+    assert instruction_mutations(instr) == frozenset({Var("o")})
+
+
+def test_mutations_empty_for_assign():
+    assert instruction_mutations(Assign(Var("x"), OperandExpr(Const(1)))) == (
+        frozenset()
+    )
+
+
+def test_straightline_successors():
+    instr = Assign(Var("x"), OperandExpr(Const(1)))
+    assert instr.successors(0, 3) == (1,)
+    assert instr.successors(2, 3) == ()
+
+
+def test_if_successors_fallthrough_and_target():
+    instr = If(Var("c"), "L", target_index=5)
+    assert set(instr.successors(1, 10)) == {2, 5}
+    assert not instr.is_terminator
+
+
+def test_goto_successors_only_target():
+    instr = Goto("L", target_index=7)
+    assert instr.successors(1, 10) == (7,)
+    assert instr.is_terminator
+
+
+def test_return_no_successors():
+    instr = Return(Var("x"))
+    assert instr.successors(3, 10) == ()
+    assert instr.is_terminator
+    assert instr.uses() == frozenset({Var("x")})
+
+
+def test_return_none_uses_nothing():
+    assert Return(None).uses() == frozenset()
+
+
+def test_nop_is_transparent():
+    instr = Nop("label")
+    assert instr.uses() == frozenset()
+    assert instr.defs() == frozenset()
+    assert instr.successors(0, 2) == (1,)

@@ -1,0 +1,83 @@
+"""Unit tests for the IR printers."""
+
+import pytest
+
+from repro.ir.builder import lower_function
+from repro.ir.printer import format_edge, format_function, format_unit_graph
+from repro.ir.registry import default_registry
+
+
+@pytest.fixture(scope="module")
+def fn():
+    registry = default_registry()
+    registry.register_function(
+        "show", lambda x: None, receiver_only=True, pure=False
+    )
+    return lower_function(
+        "def f(a):\n"
+        "    if a > 0:\n"
+        "        b = a + 1\n"
+        "        show(b)\n"
+        "    return a\n",
+        registry,
+    )
+
+
+def test_format_function_structure(fn):
+    text = format_function(fn)
+    lines = text.splitlines()
+    assert lines[0] == "def f(a) {"
+    assert lines[-1] == "}"
+    # every instruction is present with its index
+    for i in range(len(fn.instrs)):
+        assert any(line.strip().startswith(f"{i}:") for line in lines)
+
+
+def test_format_function_shows_labels(fn):
+    text = format_function(fn)
+    for label in fn.labels:
+        assert f"{label}:" in text
+
+
+def test_format_function_without_labels(fn):
+    text = format_function(fn, show_labels=False)
+    for label in fn.labels:
+        assert f"\n{label}:" not in text
+
+
+def test_format_edge(fn):
+    text = format_edge(fn, (0, 1))
+    assert text.startswith("Edge(0, 1)")
+    assert "->" in text
+
+
+def test_format_unit_graph_markers(fn):
+    text = format_unit_graph(
+        fn,
+        stop_nodes=frozenset({len(fn) - 1}),
+        pse_edges=frozenset({(1, 2)}),
+        active_edges=frozenset({(2, 3)}),
+    )
+    assert "[START]" in text
+    assert "[STOP]" in text
+    assert "PSE" in text
+    assert "ACTIVE SPLIT" in text
+
+
+def test_format_unit_graph_branch_targets(fn):
+    text = format_unit_graph(fn)
+    assert "->" in text  # the branch's non-falling edge is annotated
+
+
+def test_format_unit_graph_branch_edge_marks(fn):
+    # find a branch (non-fall-through) edge and mark it as a PSE
+    branch_edges = [
+        (i, s)
+        for i in range(len(fn.instrs))
+        for s in fn.instrs[i].successors(i, len(fn.instrs))
+        if s != i + 1
+    ]
+    assert branch_edges
+    text = format_unit_graph(fn, pse_edges=frozenset(branch_edges[:1]))
+    i, s = branch_edges[0]
+    assert f"-> {s} PSE" in text

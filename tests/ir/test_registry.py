@@ -1,0 +1,84 @@
+"""Unit tests for the function/class registry."""
+
+import pytest
+
+from repro.errors import UnknownFunctionError
+from repro.ir.registry import FunctionRegistry, default_registry
+
+
+def test_builtins_preinstalled():
+    registry = default_registry()
+    for name in ("len", "min", "max", "abs", "range", "sum"):
+        assert registry.has_function(name)
+        assert registry.function(name).pure
+
+
+def test_register_and_lookup_function():
+    registry = FunctionRegistry()
+    entry = registry.register_function("f", lambda: 1)
+    assert registry.has_function("f")
+    assert registry.function("f") is entry
+    assert not entry.receiver_only
+
+
+def test_receiver_only_flag():
+    registry = FunctionRegistry()
+    registry.register_function("display", lambda x: None, receiver_only=True)
+    assert registry.is_receiver_only("display")
+    assert not registry.is_receiver_only("len")
+    assert not registry.is_receiver_only("missing")
+
+
+def test_unknown_function_raises():
+    registry = FunctionRegistry()
+    with pytest.raises(UnknownFunctionError, match="not registered"):
+        registry.function("nope")
+
+
+def test_register_class_default_name():
+    registry = FunctionRegistry()
+
+    class Foo:
+        pass
+
+    registry.register_class(Foo)
+    assert registry.has_class("Foo")
+    assert registry.cls("Foo").cls is Foo
+
+
+def test_register_class_custom_name():
+    registry = FunctionRegistry()
+
+    class Foo:
+        pass
+
+    registry.register_class(Foo, name="Bar")
+    assert registry.has_class("Bar")
+    assert not registry.has_class("Foo")
+
+
+def test_unknown_class_raises():
+    registry = FunctionRegistry()
+    with pytest.raises(UnknownFunctionError):
+        registry.cls("Ghost")
+
+
+def test_cycle_cost_recorded():
+    registry = FunctionRegistry()
+    cost = lambda x: 42.0
+    entry = registry.register_function("f", lambda x: x, cycle_cost=cost)
+    assert entry.cycle_cost is cost
+
+
+def test_function_names_listing():
+    registry = FunctionRegistry()
+    registry.register_function("custom", lambda: 0)
+    assert "custom" in registry.function_names()
+    assert "len" in registry.function_names()
+
+
+def test_reregistration_overrides():
+    registry = FunctionRegistry()
+    registry.register_function("f", lambda: 1)
+    registry.register_function("f", lambda: 2)
+    assert registry.function("f").fn() == 2

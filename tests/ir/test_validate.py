@@ -1,0 +1,109 @@
+"""Unit tests for IR structural validation."""
+
+import pytest
+
+from repro.errors import IRValidationError
+from repro.ir.builder import lower_function
+from repro.ir.function import IRFunction
+from repro.ir.instructions import Assign, Goto, Identity, If, Nop, Return
+from repro.ir.registry import default_registry
+from repro.ir.validate import validate_function
+from repro.ir.values import OperandExpr, Const, Var
+
+
+def test_valid_function_passes():
+    registry = default_registry()
+    fn = lower_function("def f(a):\n    return a + 1\n", registry)
+    validate_function(fn)  # no raise
+
+
+def test_empty_function_rejected():
+    fn = IRFunction(name="e", params=(), instrs=[], labels={})
+    with pytest.raises(IRValidationError, match="empty"):
+        validate_function(fn)
+
+
+def test_unresolved_label_rejected():
+    fn = IRFunction(
+        name="f",
+        params=(),
+        instrs=[Goto("nowhere"), Return(None)],
+        labels={},
+    )
+    with pytest.raises(IRValidationError):
+        fn.finalize()
+
+
+def test_unresolved_target_index_rejected():
+    fn = IRFunction(
+        name="f",
+        params=(),
+        instrs=[Goto("L", target_index=-1), Return(None)],
+        labels={"L": 1},
+    )
+    # finalize not called: target_index stays -1
+    with pytest.raises(IRValidationError, match="unresolved"):
+        validate_function(fn)
+
+
+def test_fallthrough_off_end_rejected():
+    fn = IRFunction(
+        name="f",
+        params=(),
+        instrs=[Nop()],
+        labels={},
+    )
+    with pytest.raises(IRValidationError, match="fall off"):
+        validate_function(fn)
+
+
+def test_identity_after_body_rejected():
+    fn = IRFunction(
+        name="f",
+        params=(Var("a"),),
+        instrs=[
+            Identity(Var("a"), "@parameter0", 0),
+            Nop(),
+            Identity(Var("b"), "@parameter1", 1),
+            Return(None),
+        ],
+        labels={},
+    )
+    with pytest.raises(IRValidationError, match="Identity after"):
+        validate_function(fn)
+
+
+def test_param_without_identity_rejected():
+    fn = IRFunction(
+        name="f",
+        params=(Var("a"),),
+        instrs=[Return(None)],
+        labels={},
+    )
+    with pytest.raises(IRValidationError, match="no Identity"):
+        validate_function(fn)
+
+
+def test_never_defined_use_rejected():
+    fn = IRFunction(
+        name="f",
+        params=(),
+        instrs=[
+            Assign(Var("x"), OperandExpr(Var("ghost"))),
+            Return(Var("x")),
+        ],
+        labels={},
+    )
+    with pytest.raises(IRValidationError, match="never-defined"):
+        validate_function(fn)
+
+
+def test_branch_target_out_of_range_rejected():
+    fn = IRFunction(
+        name="f",
+        params=(),
+        instrs=[If(Const(True), "L", target_index=99), Return(None)],
+        labels={"L": 99},
+    )
+    with pytest.raises(IRValidationError):
+        validate_function(fn)

@@ -1,0 +1,120 @@
+"""Unit tests for IR values and expressions."""
+
+import pytest
+
+from repro.ir.values import (
+    BinOp,
+    BuildList,
+    BuildTuple,
+    Call,
+    Cast,
+    Compare,
+    Const,
+    GetAttr,
+    GetItem,
+    IsInstance,
+    OperandExpr,
+    UnaryOp,
+    Var,
+    operand_vars,
+)
+
+
+def test_var_identity_and_hash():
+    assert Var("x") == Var("x")
+    assert Var("x") != Var("y")
+    assert hash(Var("x")) == hash(Var("x"))
+    assert {Var("x"), Var("x")} == {Var("x")}
+
+
+def test_var_temp_flag():
+    assert Var("$t1").is_temp
+    assert not Var("rd").is_temp
+
+
+def test_const_equality():
+    assert Const(1) == Const(1)
+    assert Const(1) != Const(2)
+    assert Const("a") != Const(1)
+
+
+def test_operand_vars():
+    assert operand_vars(Var("x")) == frozenset({Var("x")})
+    assert operand_vars(Const(3)) == frozenset()
+
+
+def test_binop_uses_both_sides():
+    expr = BinOp("+", Var("a"), Var("b"))
+    assert expr.uses() == frozenset({Var("a"), Var("b")})
+
+
+def test_binop_uses_with_const():
+    expr = BinOp("*", Var("a"), Const(2))
+    assert expr.uses() == frozenset({Var("a")})
+
+
+def test_unaryop_uses():
+    assert UnaryOp("-", Var("x")).uses() == frozenset({Var("x")})
+    assert UnaryOp("not", Const(True)).uses() == frozenset()
+
+
+def test_compare_uses():
+    expr = Compare("<", Var("i"), Var("n"))
+    assert expr.uses() == frozenset({Var("i"), Var("n")})
+
+
+def test_call_uses_all_args():
+    expr = Call("f", (Var("a"), Const(1), Var("b")))
+    assert expr.uses() == frozenset({Var("a"), Var("b")})
+
+
+def test_call_empty_args():
+    assert Call("f", ()).uses() == frozenset()
+
+
+def test_isinstance_uses():
+    assert IsInstance(Var("e"), "Cls").uses() == frozenset({Var("e")})
+
+
+def test_cast_uses():
+    assert Cast("Cls", Var("e")).uses() == frozenset({Var("e")})
+
+
+def test_getattr_uses():
+    assert GetAttr(Var("o"), "f").uses() == frozenset({Var("o")})
+
+
+def test_getitem_uses():
+    expr = GetItem(Var("o"), Var("i"))
+    assert expr.uses() == frozenset({Var("o"), Var("i")})
+
+
+def test_buildlist_uses():
+    expr = BuildList((Var("a"), Const(2), Var("b")))
+    assert expr.uses() == frozenset({Var("a"), Var("b")})
+
+
+def test_buildtuple_uses():
+    expr = BuildTuple((Var("a"),))
+    assert expr.uses() == frozenset({Var("a")})
+
+
+def test_operand_expr_uses():
+    assert OperandExpr(Var("x")).uses() == frozenset({Var("x")})
+    assert OperandExpr(Const(0)).uses() == frozenset()
+
+
+def test_exprs_are_hashable():
+    exprs = {
+        BinOp("+", Var("a"), Var("b")),
+        Compare("<", Var("a"), Const(1)),
+        Call("f", (Var("a"),)),
+        IsInstance(Var("a"), "C"),
+    }
+    assert len(exprs) == 4
+
+
+def test_repr_is_readable():
+    assert "instanceof" in repr(IsInstance(Var("e"), "ImageData"))
+    assert "invoke" in repr(Call("f", (Var("x"),)))
+    assert repr(BinOp("+", Var("a"), Const(1))) == "a + 1"

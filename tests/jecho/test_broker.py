@@ -1,0 +1,95 @@
+"""Unit tests for third-party (broker) modulator placement."""
+
+import pytest
+
+from repro.core.runtime.triggers import RateTrigger
+from repro.errors import ChannelError
+from repro.jecho import BrokerChannel
+from tests.conftest import ImageData
+
+
+@pytest.fixture
+def channel(push_serializer_registry):
+    return BrokerChannel(serializer_registry=push_serializer_registry)
+
+
+def test_event_flows_sender_broker_receiver(
+    channel, push_partitioned, display_log
+):
+    sub = channel.subscribe_partitioned(push_partitioned)
+    channel.publish(ImageData(None, 40, 40))
+    assert sub.stats.events_relayed == 1
+    assert sub.stats.continuations_sent == 1
+    assert sub.stats.results_delivered == 1
+    assert len(display_log) == 1
+
+
+def test_sender_runs_no_handler_code(channel, push_partitioned):
+    """The whole point of broker placement: the raw event crosses the
+    uplink for every publish — the sender never filters or transforms."""
+    sub = channel.subscribe_partitioned(push_partitioned)
+    channel.publish("junk")
+    # the junk event WAS relayed (uplink paid) and filtered at the broker
+    assert sub.stats.events_relayed == 1
+    assert sub.stats.events_filtered_at_broker == 1
+    assert sub.stats.continuations_sent == 0
+    assert channel.uplink.messages_sent == 1
+    assert channel.downlink.messages_sent == 0
+
+
+def test_broker_reconfigures_locally(channel, push_partitioned):
+    sub = channel.subscribe_partitioned(
+        push_partitioned, trigger=RateTrigger(period=2)
+    )
+    for _ in range(6):
+        channel.publish(ImageData(None, 200, 200))
+    assert sub.stats.plan_updates >= 1
+    # large frames: settled on shipping the transformed image downlink
+    active = sub.modulator.plan_runtime.active_edges()
+    names = {
+        tuple(sorted(v.name for v in push_partitioned.cut.pses[e].inter))
+        for e in active
+    }
+    assert ("rd",) in names
+    assert sub.reconfig.location == "third-party"
+
+
+def test_downlink_bytes_reflect_plan(channel, push_partitioned):
+    sub = channel.subscribe_partitioned(
+        push_partitioned, trigger=RateTrigger(period=1)
+    )
+    for _ in range(4):
+        channel.publish(ImageData(None, 200, 200))
+    before = channel.downlink.bytes_sent
+    channel.publish(ImageData(None, 200, 200))
+    shipped = channel.downlink.bytes_sent - before
+    # adapted: the 100x100 transform (10 KB), not the 40 KB raw frame
+    assert shipped < 200 * 200
+
+
+def test_results_callback(channel, push_partitioned):
+    results = []
+    channel.subscribe_partitioned(
+        push_partitioned, on_result=results.append
+    )
+    channel.publish(ImageData(None, 30, 30))
+    assert results == [None]  # push() returns nothing
+
+
+def test_unsubscribe(channel, push_partitioned, display_log):
+    sub = channel.subscribe_partitioned(push_partitioned)
+    channel.unsubscribe(sub)
+    channel.publish(ImageData(None, 30, 30))
+    assert display_log == []
+    with pytest.raises(ChannelError):
+        channel.unsubscribe(sub)
+
+
+def test_multiple_receivers_through_one_broker(
+    channel, push_partitioned, display_log
+):
+    channel.subscribe_partitioned(push_partitioned)
+    channel.subscribe_partitioned(push_partitioned)
+    channel.publish(ImageData(None, 30, 30))
+    assert len(display_log) == 2
+    assert channel.uplink.messages_sent == 2

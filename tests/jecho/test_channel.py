@@ -1,0 +1,134 @@
+"""Unit tests for the JECho-style event channel."""
+
+import pytest
+
+from repro.core.runtime.triggers import NeverTrigger, RateTrigger
+from repro.errors import ChannelError
+from repro.jecho import EventChannel, LocalTransport
+from tests.conftest import ImageData
+
+
+def test_plain_subscription_ships_full_event(push_serializer_registry):
+    results = []
+    channel = EventChannel(serializer_registry=push_serializer_registry)
+    channel.subscribe_plain(
+        lambda event: event.width, on_result=results.append
+    )
+    channel.publish(ImageData(None, 30, 30))
+    assert results == [30]
+    assert channel.transport.messages_sent == 1
+    assert channel.transport.bytes_sent > 30 * 30
+
+
+def test_partitioned_subscription_roundtrip(
+    push_partitioned, push_serializer_registry, display_log
+):
+    channel = EventChannel(serializer_registry=push_serializer_registry)
+    sub = channel.subscribe_partitioned(push_partitioned)
+    channel.publish(ImageData(None, 50, 50))
+    assert len(display_log) == 1
+    assert sub.stats.continuations_sent == 1
+    assert sub.stats.results_delivered == 1
+
+
+def test_partitioned_filters_non_matching_events(
+    push_partitioned, push_serializer_registry, display_log
+):
+    channel = EventChannel(serializer_registry=push_serializer_registry)
+    sub = channel.subscribe_partitioned(push_partitioned)
+    channel.publish("junk")
+    assert display_log == []
+    assert sub.stats.events_filtered == 1
+    assert channel.transport.messages_sent == 0
+
+
+def test_multiple_subscriptions_each_get_event(
+    push_partitioned, push_serializer_registry, display_log
+):
+    channel = EventChannel(serializer_registry=push_serializer_registry)
+    sub1 = channel.subscribe_partitioned(push_partitioned)
+    sub2 = channel.subscribe_partitioned(push_partitioned)
+    channel.publish(ImageData(None, 20, 20))
+    assert len(display_log) == 2
+    assert sub1.stats.results_delivered == 1
+    assert sub2.stats.results_delivered == 1
+
+
+def test_adaptation_loop_updates_plan(
+    push_partitioned, push_serializer_registry
+):
+    channel = EventChannel(serializer_registry=push_serializer_registry)
+    sub = channel.subscribe_partitioned(
+        push_partitioned, trigger=RateTrigger(period=2)
+    )
+    for _ in range(6):
+        channel.publish(ImageData(None, 200, 200))
+    assert sub.stats.plan_updates >= 1
+    # large images: the plan should ship the transformed frame
+    active = sub.modulator.plan_runtime.active_edges()
+    chosen = {
+        tuple(sorted(v.name for v in push_partitioned.cut.pses[e].inter))
+        for e in active
+    }
+    assert ("rd",) in chosen
+
+
+def test_no_trigger_means_no_reconfig(
+    push_partitioned, push_serializer_registry
+):
+    channel = EventChannel(serializer_registry=push_serializer_registry)
+    sub = channel.subscribe_partitioned(push_partitioned)
+    for _ in range(5):
+        channel.publish(ImageData(None, 50, 50))
+    assert sub.stats.plan_updates == 0
+
+
+def test_unsubscribe(push_partitioned, push_serializer_registry, display_log):
+    channel = EventChannel(serializer_registry=push_serializer_registry)
+    sub = channel.subscribe_partitioned(push_partitioned)
+    channel.unsubscribe(sub)
+    channel.publish(ImageData(None, 20, 20))
+    assert display_log == []
+    with pytest.raises(ChannelError):
+        channel.unsubscribe(sub)
+
+
+def test_subscription_needs_exactly_one_kind(
+    push_partitioned, push_serializer_registry
+):
+    from repro.jecho.channel import Subscription
+
+    channel = EventChannel(serializer_registry=push_serializer_registry)
+    with pytest.raises(ChannelError):
+        Subscription(channel)
+    with pytest.raises(ChannelError):
+        Subscription(
+            channel,
+            partitioned=push_partitioned,
+            plain_handler=lambda e: e,
+        )
+
+
+def test_traffic_accounting(push_partitioned, push_serializer_registry):
+    channel = EventChannel(serializer_registry=push_serializer_registry)
+    channel.subscribe_partitioned(push_partitioned)
+    before = channel.transport.bytes_sent
+    channel.publish(ImageData(None, 100, 100))
+    sent = channel.transport.bytes_sent - before
+    assert sent >= 100 * 100  # at least the pixel payload
+
+
+def test_sample_period_reduces_measurements(
+    push_partitioned, push_serializer_registry
+):
+    channel = EventChannel(serializer_registry=push_serializer_registry)
+    every = channel.subscribe_partitioned(push_partitioned, sample_period=1)
+    sampled = channel.subscribe_partitioned(
+        push_partitioned, sample_period=4
+    )
+    for _ in range(8):
+        channel.publish(ImageData(None, 40, 40))
+    assert (
+        sampled.profiling.measurements_taken
+        < every.profiling.measurements_taken
+    )

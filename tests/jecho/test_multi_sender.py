@@ -1,0 +1,120 @@
+"""Unit tests for multi-sender channels (paper Figure 1 topology)."""
+
+import pytest
+
+from repro.core.runtime.triggers import RateTrigger
+from repro.errors import ChannelError
+from repro.jecho import EventChannel
+from tests.conftest import ImageData
+
+
+@pytest.fixture
+def channel(push_serializer_registry):
+    return EventChannel(serializer_registry=push_serializer_registry)
+
+
+def test_each_source_gets_its_own_modulator(channel, push_partitioned):
+    sub = channel.subscribe_partitioned(push_partitioned)
+    s1 = channel.add_source("sensor-1")
+    s2 = channel.add_source("sensor-2")
+    pairs = {p.source.name: p for p in sub.pairs}
+    assert set(pairs) == {"default", "sensor-1", "sensor-2"}
+    mods = {id(p.modulator) for p in sub.pairs}
+    assert len(mods) == 3
+
+
+def test_sources_added_before_subscription_also_deploy(
+    channel, push_partitioned
+):
+    early = channel.add_source("early")
+    sub = channel.subscribe_partitioned(push_partitioned)
+    assert sub.pair_for(early).modulator is not None
+
+
+def test_events_route_per_source(channel, push_partitioned, display_log):
+    sub = channel.subscribe_partitioned(push_partitioned)
+    s1 = channel.add_source("s1")
+    s2 = channel.add_source("s2")
+    s1.publish(ImageData(None, 30, 30))
+    s1.publish(ImageData(None, 30, 30))
+    s2.publish(ImageData(None, 30, 30))
+    assert len(display_log) == 3
+    assert sub.pair_for(s1).profiling.messages_seen == 2
+    assert sub.pair_for(s2).profiling.messages_seen == 1
+    assert sub.pair_for(channel.default_source).profiling.messages_seen == 0
+
+
+def test_pairs_adapt_independently(channel, push_partitioned):
+    """A sender of large frames and a sender of small frames settle on
+    different splits of the SAME handler."""
+    sub = channel.subscribe_partitioned(
+        push_partitioned,
+        trigger_factory=lambda: RateTrigger(period=3),
+    )
+    big = channel.add_source("big-sender")
+    small = channel.add_source("small-sender")
+    for _ in range(8):
+        big.publish(ImageData(None, 200, 200))
+        small.publish(ImageData(None, 40, 40))
+
+    def split_names(source):
+        pair = sub.pair_for(source)
+        return {
+            tuple(
+                sorted(v.name for v in push_partitioned.cut.pses[e].inter)
+            )
+            for e in pair.modulator.plan_runtime.active_edges()
+        }
+
+    assert ("rd",) in split_names(big)       # transform at the sender
+    assert ("event",) in split_names(small)  # ship raw
+    assert sub.stats.plan_updates >= 2
+
+
+def test_single_trigger_instance_rejected_for_second_source(
+    channel, push_partitioned
+):
+    channel.subscribe_partitioned(
+        push_partitioned, trigger=RateTrigger(period=5)
+    )
+    with pytest.raises(ChannelError, match="trigger_factory"):
+        channel.add_source("another")
+
+
+def test_trigger_and_factory_mutually_exclusive(channel, push_partitioned):
+    with pytest.raises(ChannelError, match="either"):
+        channel.subscribe_partitioned(
+            push_partitioned,
+            trigger=RateTrigger(),
+            trigger_factory=RateTrigger,
+        )
+
+
+def test_unknown_source_rejected(channel, push_partitioned):
+    other_channel = EventChannel()
+    foreign = other_channel.default_source
+    sub = channel.subscribe_partitioned(push_partitioned)
+    with pytest.raises(ChannelError, match="no modulator"):
+        sub.pair_for(foreign)
+
+
+def test_multiple_sinks_times_multiple_sources(
+    channel, push_partitioned, display_log
+):
+    sub1 = channel.subscribe_partitioned(push_partitioned)
+    sub2 = channel.subscribe_partitioned(push_partitioned)
+    s1 = channel.add_source("s1")
+    s2 = channel.add_source("s2")
+    s1.publish(ImageData(None, 20, 20))
+    s2.publish(ImageData(None, 20, 20))
+    # 2 events x 2 sinks = 4 deliveries
+    assert len(display_log) == 4
+    assert sub1.stats.results_delivered == 2
+    assert sub2.stats.results_delivered == 2
+
+
+def test_default_source_back_compat(channel, push_partitioned, display_log):
+    sub = channel.subscribe_partitioned(push_partitioned)
+    channel.publish(ImageData(None, 25, 25))
+    assert sub.modulator is sub.pair_for(channel.default_source).modulator
+    assert len(display_log) == 1

@@ -1,0 +1,71 @@
+"""Unit tests for transports and modulator-deployment accounting."""
+
+import pytest
+
+from repro.jecho import (
+    INSTRUMENTATION_BYTES_PER_PSE,
+    REDIRECT_CLASS_BYTES,
+    LocalTransport,
+    SimLinkTransport,
+    estimate_installation,
+)
+from repro.simnet import Link, Simulator
+
+
+def test_local_transport_is_synchronous():
+    transport = LocalTransport()
+    received = []
+    transport.send(received.append, "hello", 5.0)
+    assert received == ["hello"]
+    assert transport.messages_sent == 1
+    assert transport.bytes_sent == 5.0
+
+
+def test_sim_transport_delivers_at_link_time():
+    sim = Simulator()
+    link = Link(sim, "l", alpha=1.0, beta=0.1)
+    transport = SimLinkTransport(sim, link)
+    received = []
+    transport.send(lambda m: received.append((sim.now, m)), "msg", 10.0)
+    assert received == []  # not yet delivered
+    sim.run()
+    assert len(received) == 1
+    at, msg = received[0]
+    assert msg == "msg"
+    assert at == pytest.approx(1.0 + 0.1 * 10.0)
+
+
+def test_sim_transport_fifo_ordering():
+    sim = Simulator()
+    link = Link(sim, "l", alpha=0.5, beta=0.01)
+    transport = SimLinkTransport(sim, link)
+    received = []
+    transport.send(received.append, "first", 100.0)
+    transport.send(received.append, "second", 1.0)
+    sim.run()
+    assert received == ["first", "second"]
+
+
+def test_installation_estimate(push_partitioned):
+    inst = estimate_installation(push_partitioned)
+    n = len(push_partitioned.pses)
+    assert inst.pse_count == n
+    assert inst.redirect_class_bytes == n * REDIRECT_CLASS_BYTES
+    assert inst.instrumentation_bytes == n * INSTRUMENTATION_BYTES_PER_PSE
+    assert inst.code_bytes > 0
+    assert inst.total_bytes == (
+        inst.code_bytes
+        + inst.redirect_class_bytes
+        + inst.instrumentation_bytes
+    )
+
+
+def test_installation_grows_with_pse_count(push_partitioned):
+    """More PSEs -> bigger installation footprint (paper section 5.3)."""
+    from repro.apps.sensor import build_partitioned_process
+
+    sensor_pm, _ = build_partitioned_process(n_stages=10)
+    small = estimate_installation(push_partitioned)
+    large = estimate_installation(sensor_pm)
+    assert large.pse_count > small.pse_count
+    assert large.total_bytes > small.total_bytes

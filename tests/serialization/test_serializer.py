@@ -1,0 +1,280 @@
+"""Unit and property tests for the wire serializer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SerializationError
+from repro.serialization import (
+    Serializer,
+    SerializerRegistry,
+    measure_size,
+)
+
+
+@pytest.fixture
+def registry():
+    return SerializerRegistry()
+
+
+@pytest.fixture
+def serializer(registry):
+    return Serializer(registry)
+
+
+SCALARS = [
+    None,
+    True,
+    False,
+    0,
+    1,
+    -1,
+    2**62,
+    -(2**62),
+    0.0,
+    3.14159,
+    -1e300,
+    "",
+    "hello",
+    "ünïcodé ✓",
+    b"",
+    b"\x00\xff" * 10,
+]
+
+
+@pytest.mark.parametrize("value", SCALARS, ids=repr)
+def test_scalar_roundtrip(value, serializer):
+    assert serializer.deserialize(serializer.serialize(value)) == value
+
+
+def test_int_out_of_range_rejected(serializer):
+    with pytest.raises(SerializationError, match="64-bit"):
+        serializer.serialize(2**80)
+
+
+CONTAINERS = [
+    [],
+    [1, 2, 3],
+    [1.5, 2.5],
+    ["mixed", 1, None, True],
+    (1, "two", 3.0),
+    {"k": "v", "n": [1, 2]},
+    {1: "a", (2, 3): "b"},
+    {1, 2, 3},
+    frozenset({4, 5}),
+    [[1, [2, [3]]]],
+    bytearray(b"mutable"),
+]
+
+
+@pytest.mark.parametrize("value", CONTAINERS, ids=repr)
+def test_container_roundtrip(value, serializer):
+    result = serializer.deserialize(serializer.serialize(value))
+    if isinstance(value, frozenset):
+        assert result == set(value)
+    else:
+        assert result == value
+
+
+def test_bytearray_stays_bytearray(serializer):
+    result = serializer.deserialize(serializer.serialize(bytearray(b"x")))
+    assert isinstance(result, bytearray)
+
+
+def test_shared_references_preserved(serializer):
+    shared = [1, 2]
+    outer = [shared, shared, shared]
+    result = serializer.deserialize(serializer.serialize(outer))
+    assert result[0] is result[1] is result[2]
+    assert result[0] == shared
+
+
+def test_shared_reference_cheaper_than_copy(serializer):
+    shared = list(range(100))
+    with_sharing = serializer.serialize([shared, shared])
+    without = serializer.serialize([list(range(100)), list(range(100))])
+    assert len(with_sharing) < len(without)
+
+
+def test_list_cycle_roundtrip(serializer):
+    cyc = [1]
+    cyc.append(cyc)
+    result = serializer.deserialize(serializer.serialize(cyc))
+    assert result[0] == 1
+    assert result[1] is result
+
+
+def test_dict_cycle_roundtrip(serializer):
+    d = {}
+    d["self"] = d
+    result = serializer.deserialize(serializer.serialize(d))
+    assert result["self"] is result
+
+
+def test_registered_object_roundtrip(registry, serializer):
+    class Point:
+        def __init__(self, x, y):
+            self.x = x
+            self.y = y
+
+    registry.register(Point, fields=("x", "y"))
+    result = serializer.deserialize(serializer.serialize(Point(3, 4)))
+    assert isinstance(result, Point)
+    assert (result.x, result.y) == (3, 4)
+
+
+def test_reflective_fields_from_dict(registry, serializer):
+    class Blob:
+        pass
+
+    registry.register(Blob)  # no field spec: reflect
+    blob = Blob()
+    blob.a = 1
+    blob.z = "end"
+    result = serializer.deserialize(serializer.serialize(blob))
+    assert result.a == 1 and result.z == "end"
+
+
+def test_nested_objects(registry, serializer):
+    class Inner:
+        def __init__(self):
+            self.v = 7
+
+    class Outer:
+        def __init__(self):
+            self.inner = Inner()
+
+    registry.register(Inner, fields=("v",))
+    registry.register(Outer, fields=("inner",))
+    result = serializer.deserialize(serializer.serialize(Outer()))
+    assert result.inner.v == 7
+
+
+def test_unregistered_class_rejected(serializer):
+    class Ghost:
+        pass
+
+    with pytest.raises(SerializationError, match="not registered"):
+        serializer.serialize(Ghost())
+
+
+def test_missing_field_rejected(registry, serializer):
+    class Thing:
+        pass
+
+    registry.register(Thing, fields=("gone",))
+    with pytest.raises(SerializationError, match="missing"):
+        serializer.serialize(Thing())
+
+
+def test_trailing_bytes_rejected(serializer):
+    data = serializer.serialize(1) + b"\x00"
+    with pytest.raises(SerializationError, match="trailing"):
+        serializer.deserialize(data)
+
+
+def test_truncated_data_rejected(serializer):
+    data = serializer.serialize("hello")
+    with pytest.raises((SerializationError, Exception)):
+        serializer.deserialize(data[:3])
+
+
+def test_unknown_tag_rejected(serializer):
+    with pytest.raises(SerializationError, match="tag"):
+        serializer.deserialize(b"\xfe")
+
+
+# -- hypothesis properties -------------------------------------------------
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**63), max_value=2**63 - 1)
+    | st.floats(allow_nan=False)
+    | st.text(max_size=30)
+    | st.binary(max_size=30),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4)
+    | st.tuples(children, children),
+    max_leaves=25,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(json_like)
+def test_roundtrip_identity_property(value):
+    serializer = Serializer(SerializerRegistry())
+    assert serializer.deserialize(serializer.serialize(value)) == value
+
+
+@settings(max_examples=150, deadline=None)
+@given(json_like)
+def test_measure_size_matches_serialized_length(value):
+    registry = SerializerRegistry()
+    serializer = Serializer(registry)
+    assert measure_size(value, registry) == len(serializer.serialize(value))
+
+
+# -- typed arrays (the Java int[]/double[] analogue) -----------------------
+
+
+def test_typed_int_array_roundtrip(serializer):
+    import array
+
+    value = array.array("q", range(50))
+    back = serializer.deserialize(serializer.serialize(value))
+    assert isinstance(back, array.array)
+    assert back.typecode == "q"
+    assert list(back) == list(range(50))
+
+
+def test_typed_float_array_roundtrip(serializer):
+    import array
+
+    value = array.array("d", [0.5, -1.25, 3.0])
+    back = serializer.deserialize(serializer.serialize(value))
+    assert back.typecode == "d"
+    assert list(back) == [0.5, -1.25, 3.0]
+
+
+def test_narrow_int_codes_widen(serializer):
+    import array
+
+    value = array.array("i", [1, -2, 3])
+    back = serializer.deserialize(serializer.serialize(value))
+    assert back.typecode == "q"
+    assert list(back) == [1, -2, 3]
+
+
+def test_float32_widen(serializer):
+    import array
+
+    value = array.array("f", [1.5, 2.5])
+    back = serializer.deserialize(serializer.serialize(value))
+    assert back.typecode == "d"
+    assert list(back) == [1.5, 2.5]
+
+
+def test_unsupported_typecode_rejected(serializer):
+    import array
+
+    with pytest.raises(SerializationError, match="typecode"):
+        serializer.serialize(array.array("u", "ab"))
+
+
+def test_typed_array_size_is_length_based(serializer):
+    import array
+
+    from repro.serialization import format as wf
+
+    value = array.array("q", range(1000))
+    assert measure_size(value) == wf.TAG_SIZE + wf.LEN_SIZE + 1000 * 8
+    assert measure_size(value) == len(serializer.serialize(value))
+
+
+def test_typed_array_shared_reference(serializer):
+    import array
+
+    shared = array.array("q", [1, 2])
+    back = serializer.deserialize(serializer.serialize([shared, shared]))
+    assert back[0] is back[1]

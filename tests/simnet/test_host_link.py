@@ -1,0 +1,177 @@
+"""Unit tests for simulated hosts and links."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet import (
+    AvailabilityTimeline,
+    Delay,
+    Host,
+    Link,
+    PerturbationSpec,
+    Simulator,
+    heterogeneous_pair,
+    intel_pair,
+    wireless_testbed,
+)
+
+
+def test_host_speed_scales_time():
+    sim = Simulator()
+    fast = Host(sim, "fast", speed=100.0)
+    slow = Host(sim, "slow", speed=10.0)
+    assert fast.completion_time(100.0) == pytest.approx(1.0)
+    sim2 = Simulator()
+    slow2 = Host(sim2, "slow", speed=10.0)
+    assert slow2.completion_time(100.0) == pytest.approx(10.0)
+
+
+def test_host_fifo_queueing():
+    sim = Simulator()
+    host = Host(sim, "h", speed=10.0)
+    first = host.completion_time(10.0)  # 1s
+    second = host.completion_time(10.0)  # queued behind
+    assert first == pytest.approx(1.0)
+    assert second == pytest.approx(2.0)
+
+
+def test_host_execute_returns_service_window():
+    sim = Simulator()
+    host = Host(sim, "h", speed=10.0)
+    host.completion_time(10.0)
+    start, finish = host.execute(20.0)
+    assert start == pytest.approx(1.0)  # waits for the first task
+    assert finish == pytest.approx(3.0)
+    assert finish - start == pytest.approx(2.0)  # pure service time
+
+
+def test_host_load_slows_service():
+    sim = Simulator()
+    tl = AvailabilityTimeline(times=(0.0,), values=(0.5,))
+    host = Host(sim, "h", speed=10.0, availability=tl)
+    assert host.completion_time(10.0) == pytest.approx(2.0)
+
+
+def test_host_counters():
+    sim = Simulator()
+    host = Host(sim, "h", speed=1.0)
+    host.completion_time(3.0)
+    host.completion_time(4.0)
+    assert host.cycles_executed == 7.0
+    assert host.tasks_executed == 2
+
+
+def test_host_invalid_speed():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Host(sim, "h", speed=0.0)
+
+
+def test_host_negative_cycles():
+    sim = Simulator()
+    host = Host(sim, "h")
+    with pytest.raises(SimulationError):
+        host.completion_time(-1.0)
+
+
+def test_host_compute_event_in_process():
+    sim = Simulator()
+    host = Host(sim, "h", speed=10.0)
+    times = []
+
+    def process():
+        yield host.compute(20.0)
+        times.append(sim.now)
+
+    sim.spawn(process())
+    sim.run()
+    assert times == [pytest.approx(2.0)]
+
+
+# -- links --------------------------------------------------------------------
+
+
+def test_link_alpha_beta_model():
+    sim = Simulator()
+    link = Link(sim, "l", alpha=0.5, beta=0.01)
+    # T_s(m) = alpha + beta * S(m)
+    assert link.delivery_time(100.0) == pytest.approx(0.5 + 1.0)
+
+
+def test_link_bandwidth_serialized_latency_overlapped():
+    sim = Simulator()
+    link = Link(sim, "l", alpha=0.5, beta=0.01)
+    first = link.delivery_time(100.0)  # pipe busy until 1.0, arrives 1.5
+    second = link.delivery_time(100.0)  # starts at 1.0, arrives 2.5
+    assert first == pytest.approx(1.5)
+    assert second == pytest.approx(2.5)
+
+
+def test_link_send_schedules_delivery():
+    sim = Simulator()
+    link = Link(sim, "l", alpha=1.0, beta=0.0)
+    box = sim.store()
+    got = []
+
+    def consumer():
+        item = yield box.get()
+        got.append((sim.now, item))
+
+    sim.spawn(consumer())
+    link.send(10.0, box, "payload")
+    sim.run()
+    assert got == [(pytest.approx(1.0), "payload")]
+
+
+def test_link_counters():
+    sim = Simulator()
+    link = Link(sim, "l", alpha=0.0, beta=1e-6)
+    link.delivery_time(100.0)
+    link.delivery_time(50.0)
+    assert link.messages_sent == 2
+    assert link.bytes_sent == 150.0
+
+
+def test_link_invalid_params():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Link(sim, "l", alpha=-1.0)
+    link = Link(sim, "l")
+    with pytest.raises(SimulationError):
+        link.delivery_time(-5.0)
+
+
+# -- testbed presets ---------------------------------------------------------------
+
+
+def test_wireless_testbed_shape():
+    sim = Simulator()
+    tb = wireless_testbed(sim)
+    assert tb.sender.speed > tb.receiver.speed  # laptop vs iPAQ
+    assert tb.link.beta > 1e-7  # slow wireless
+
+
+def test_heterogeneous_pair_directions():
+    sim = Simulator()
+    pc_first = heterogeneous_pair(sim, producer="pc")
+    assert pc_first.sender.speed > pc_first.receiver.speed
+    sim2 = Simulator()
+    sun_first = heterogeneous_pair(sim2, producer="sun")
+    assert sun_first.sender.speed < sun_first.receiver.speed
+    with pytest.raises(ValueError):
+        heterogeneous_pair(Simulator(), producer="vax")
+
+
+def test_intel_pair_symmetric_speeds():
+    sim = Simulator()
+    tb = intel_pair(sim)
+    assert tb.sender.speed == tb.receiver.speed
+
+
+def test_intel_pair_loads_are_independent_seeded():
+    spec = PerturbationSpec(plen=(0.0, 2.0), aprob=0.5, lindex=0.6)
+    sim = Simulator()
+    tb = intel_pair(sim, producer_load=spec, consumer_load=spec, seed=1)
+    # both perturbed but with different draws
+    assert tb.sender.availability.values != tb.receiver.availability.values \
+        or tb.sender.availability.times != tb.receiver.availability.times

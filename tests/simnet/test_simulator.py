@@ -1,0 +1,164 @@
+"""Unit tests for the DES kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet import Delay, Immediate, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, lambda v: fired.append(("b", sim.now)), None)
+    sim.schedule(1.0, lambda v: fired.append(("a", sim.now)), None)
+    sim.schedule(3.0, lambda v: fired.append(("c", sim.now)), None)
+    sim.run()
+    assert [f[0] for f in fired] == ["a", "b", "c"]
+    assert [f[1] for f in fired] == [1.0, 2.0, 3.0]
+
+
+def test_ties_fire_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(1.0, lambda v, i=i: fired.append(i), None)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda v: None, None)
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda v: fired.append(1), None)
+    sim.run(until=2.0)
+    assert fired == []
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == [1]
+
+
+def test_event_cap_guards_livelock():
+    sim = Simulator()
+
+    def reschedule(v):
+        sim.schedule(0.0, reschedule, None)
+
+    sim.schedule(0.0, reschedule, None)
+    with pytest.raises(SimulationError, match="events"):
+        sim.run(max_events=1000)
+
+
+def test_process_delays_advance_time():
+    sim = Simulator()
+    times = []
+
+    def process():
+        times.append(sim.now)
+        yield Delay(1.5)
+        times.append(sim.now)
+        yield Delay(0.5)
+        times.append(sim.now)
+
+    sim.spawn(process())
+    sim.run()
+    assert times == [0.0, 1.5, 2.0]
+
+
+def test_process_immediate_value():
+    sim = Simulator()
+    got = []
+
+    def process():
+        value = yield Immediate("x")
+        got.append(value)
+
+    sim.spawn(process())
+    sim.run()
+    assert got == ["x"]
+
+
+def test_process_yielding_non_event_fails():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.spawn(bad())
+    with pytest.raises(SimulationError, match="SimEvent"):
+        sim.run()
+
+
+def test_store_fifo():
+    sim = Simulator()
+    store = sim.store()
+    got = []
+
+    def consumer():
+        while True:
+            item = yield store.get()
+            got.append(item)
+
+    def producer():
+        store.put(1)
+        yield Delay(1.0)
+        store.put(2)
+        store.put(3)
+
+    sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    assert got == [1, 2, 3]
+
+
+def test_store_blocks_until_put():
+    sim = Simulator()
+    store = sim.store()
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    def producer():
+        yield Delay(5.0)
+        store.put("late")
+
+    sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    assert got == [(5.0, "late")]
+
+
+def test_multiple_waiters_fifo():
+    sim = Simulator()
+    store = sim.store()
+    got = []
+
+    def waiter(name):
+        item = yield store.get()
+        got.append((name, item))
+
+    sim.spawn(waiter("first"))
+    sim.spawn(waiter("second"))
+
+    def producer():
+        yield Delay(1.0)
+        store.put("a")
+        store.put("b")
+
+    sim.spawn(producer())
+    sim.run()
+    assert got == [("first", "a"), ("second", "b")]
+
+
+def test_peek():
+    sim = Simulator()
+    assert sim.peek() is None
+    sim.schedule(3.0, lambda v: None, None)
+    assert sim.peek() == 3.0

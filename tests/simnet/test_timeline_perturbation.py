@@ -1,0 +1,140 @@
+"""Unit and property tests for availability timelines and perturbation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.simnet import AvailabilityTimeline, PerturbationSpec, load_free
+
+
+# -- timeline basics -----------------------------------------------------------
+
+
+def test_constant_timeline():
+    tl = AvailabilityTimeline.constant(1.0)
+    assert tl.availability_at(0.0) == 1.0
+    assert tl.availability_at(1e9) == 1.0
+    assert tl.advance(5.0, 2.0) == pytest.approx(7.0)
+
+
+def test_piecewise_availability():
+    tl = AvailabilityTimeline(times=(0.0, 10.0), values=(1.0, 0.5))
+    assert tl.availability_at(5.0) == 1.0
+    assert tl.availability_at(10.0) == 0.5
+    assert tl.availability_at(15.0) == 0.5
+
+
+def test_advance_across_segments():
+    tl = AvailabilityTimeline(times=(0.0, 2.0), values=(1.0, 0.5))
+    # needs 3 capacity-seconds from t=0: 2 at full speed + 2 at half
+    assert tl.advance(0.0, 3.0) == pytest.approx(4.0)
+
+
+def test_advance_through_zero_availability():
+    tl = AvailabilityTimeline(times=(0.0, 1.0, 2.0), values=(1.0, 0.0, 1.0))
+    # 0.5 before the dead zone, the rest after it
+    assert tl.advance(0.0, 1.5) == pytest.approx(2.5)
+
+
+def test_advance_zero_capacity():
+    tl = AvailabilityTimeline.constant(0.5)
+    assert tl.advance(3.0, 0.0) == 3.0
+
+
+def test_forever_zero_rejected():
+    tl = AvailabilityTimeline(times=(0.0,), values=(0.0,))
+    with pytest.raises(SimulationError, match="never complete"):
+        tl.advance(0.0, 1.0)
+
+
+def test_validation():
+    with pytest.raises(SimulationError):
+        AvailabilityTimeline(times=(1.0,), values=(1.0,))  # not at 0
+    with pytest.raises(SimulationError):
+        AvailabilityTimeline(times=(0.0, 0.0), values=(1.0, 1.0))
+    with pytest.raises(SimulationError):
+        AvailabilityTimeline(times=(0.0,), values=(2.0,))  # out of range
+
+
+def test_mean_availability():
+    tl = AvailabilityTimeline(times=(0.0, 1.0), values=(1.0, 0.5))
+    assert tl.mean_availability(0.0, 2.0) == pytest.approx(0.75)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    breaks=st.lists(
+        st.floats(min_value=0.1, max_value=5.0), min_size=0, max_size=5
+    ),
+    values=st.lists(
+        st.floats(min_value=0.1, max_value=1.0), min_size=1, max_size=6
+    ),
+    start=st.floats(min_value=0.0, max_value=10.0),
+    capacity=st.floats(min_value=0.0, max_value=20.0),
+)
+def test_advance_supplies_exact_capacity(breaks, values, start, capacity):
+    """advance(start, c) returns the earliest t where the integral of
+    availability over [start, t] equals c."""
+    times = [0.0]
+    for b in breaks:
+        times.append(times[-1] + b)
+    values = (values * (len(times)))[: len(times)]
+    tl = AvailabilityTimeline(times=tuple(times), values=tuple(values))
+    finish = tl.advance(start, capacity)
+    assert finish >= start
+    supplied = tl.mean_availability(start, finish) * (finish - start) if finish > start else 0.0
+    assert supplied == pytest.approx(capacity, abs=1e-6)
+
+
+# -- perturbation ---------------------------------------------------------------
+
+
+def test_zero_lindex_is_unloaded():
+    tl = load_free().build_timeline(seed=1, horizon=10)
+    assert tl.availability_at(5.0) == 1.0
+
+
+def test_deterministic_in_seed():
+    spec = PerturbationSpec(plen=(0.0, 2.0), aprob=0.5, lindex=0.8)
+    a = spec.build_timeline(seed=7, horizon=50)
+    b = spec.build_timeline(seed=7, horizon=50)
+    assert a.times == b.times and a.values == b.values
+    c = spec.build_timeline(seed=8, horizon=50)
+    assert a.times != c.times or a.values != c.values
+
+
+def test_active_availability_is_one_minus_lindex():
+    spec = PerturbationSpec(plen=1.0, aprob=1.0, lindex=0.6)
+    tl = spec.build_timeline(seed=1, horizon=10)
+    assert tl.availability_at(5.0) == pytest.approx(0.4)
+
+
+def test_residual_floor_at_full_lindex():
+    spec = PerturbationSpec(plen=1.0, aprob=1.0, lindex=1.0, residual=0.05)
+    tl = spec.build_timeline(seed=1, horizon=10)
+    assert tl.availability_at(5.0) == pytest.approx(0.05)
+
+
+def test_aprob_zero_never_active():
+    spec = PerturbationSpec(plen=0.5, aprob=0.0, lindex=0.9)
+    tl = spec.build_timeline(seed=3, horizon=20)
+    assert all(v == 1.0 for v in tl.values)
+
+
+def test_aprob_controls_active_fraction():
+    spec_hi = PerturbationSpec(plen=0.1, aprob=0.9, lindex=0.5)
+    spec_lo = PerturbationSpec(plen=0.1, aprob=0.1, lindex=0.5)
+    hi = spec_hi.build_timeline(seed=5, horizon=100)
+    lo = spec_lo.build_timeline(seed=5, horizon=100)
+    assert hi.mean_availability(0, 100) < lo.mean_availability(0, 100)
+
+
+def test_invalid_lindex_rejected():
+    with pytest.raises(SimulationError):
+        PerturbationSpec(lindex=1.5)
+
+
+def test_invalid_residual_rejected():
+    with pytest.raises(SimulationError):
+        PerturbationSpec(residual=0.0)

@@ -1,0 +1,66 @@
+"""Unit tests for the terminal chart renderer."""
+
+import pytest
+
+from repro.tools.charts import render_chart
+
+
+def test_empty_input():
+    assert render_chart({}) == "(no data)"
+    assert render_chart({"a": []}) == "(no data)"
+
+
+def test_single_point():
+    out = render_chart({"only": [(1.0, 5.0)]})
+    assert "o = only" in out
+    assert "o" in out.splitlines()[0] or any(
+        "o" in line for line in out.splitlines()
+    )
+
+
+def test_axis_labels_and_extents():
+    out = render_chart(
+        {"s": [(0.0, 10.0), (2.0, 30.0)]},
+        x_label="AProb",
+        y_label="ms",
+    )
+    assert "AProb" in out
+    assert "30.0" in out
+    assert "10.0" in out
+    assert "0" in out and "2" in out
+
+
+def test_multiple_series_get_distinct_marks():
+    out = render_chart(
+        {
+            "first": [(0.0, 1.0), (1.0, 2.0)],
+            "second": [(0.0, 2.0), (1.0, 1.0)],
+        }
+    )
+    assert "o = first" in out
+    assert "x = second" in out
+
+
+def test_overlap_marked():
+    out = render_chart(
+        {"a": [(0.0, 1.0)], "b": [(0.0, 1.0)]},
+        width=10,
+        height=5,
+    )
+    assert "?" in out
+
+
+def test_flat_series_does_not_divide_by_zero():
+    out = render_chart({"flat": [(0.0, 7.0), (1.0, 7.0), (2.0, 7.0)]})
+    assert "7.0" in out
+
+
+def test_dimensions_respected():
+    out = render_chart(
+        {"s": [(0.0, 0.0), (1.0, 1.0)]}, width=20, height=6
+    )
+    grid_lines = [l for l in out.splitlines() if "|" in l]
+    assert len(grid_lines) == 6
+    for line in grid_lines:
+        body = line.split("|", 1)[1]
+        assert len(body) == 20

@@ -1,0 +1,88 @@
+"""Unit tests for the CLI tools."""
+
+import pytest
+
+from repro.tools import experiments as experiments_cli
+from repro.tools import inspect as inspect_cli
+
+
+def run_inspect(capsys, *argv):
+    rc = inspect_cli.main(list(argv))
+    assert rc == 0
+    return capsys.readouterr().out
+
+
+def test_inspect_push_report(capsys):
+    out = run_inspect(capsys, "--app", "push")
+    assert "== Listing ==" in out
+    assert "instanceof ImageData" in out
+    assert "== StopNodes ==" in out
+    assert "== ConvexCut (data-size) ==" in out
+    assert "ACTIVE SPLIT" in out
+    assert "== Default plans ==" in out
+
+
+def test_inspect_image_app(capsys):
+    out = run_inspect(capsys, "--app", "image")
+    assert "resample" in out
+    assert "pse" in out
+
+
+def test_inspect_sensor_app_exectime(capsys):
+    out = run_inspect(capsys, "--app", "sensor", "--cost-model", "exectime")
+    assert "ConvexCut (execution-time)" in out
+    assert "stage" in out
+    assert "PSE ordering" in out
+
+
+def test_inspect_power_model(capsys):
+    out = run_inspect(capsys, "--app", "push", "--cost-model", "power")
+    assert "ConvexCut (power)" in out
+
+
+def test_inspect_custom_file(tmp_path, capsys):
+    setup = tmp_path / "setup.py"
+    setup.write_text(
+        "def get_setup():\n"
+        "    from repro.ir.registry import default_registry\n"
+        "    from repro.serialization import SerializerRegistry\n"
+        "    from repro.core.costmodels import DataSizeCostModel\n"
+        "    registry = default_registry()\n"
+        "    registry.register_function('out', print, receiver_only=True,"
+        " pure=False)\n"
+        "    src = 'def h(a):\\n    b = a + 1\\n    out(b)\\n'\n"
+        "    return src, registry, SerializerRegistry(),"
+        " DataSizeCostModel()\n"
+    )
+    out = run_inspect(capsys, "--file", str(setup))
+    assert "def h(a)" in out
+
+
+def test_inspect_bad_file(tmp_path):
+    empty = tmp_path / "nothing.py"
+    empty.write_text("x = 1\n")
+    with pytest.raises(SystemExit, match="get_setup"):
+        inspect_cli.main(["--file", str(empty)])
+
+
+def test_experiments_table3_quick(capsys):
+    rc = experiments_cli.main(["table3", "--quick"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "=== table3" in out
+    assert "Method Partitioning" in out
+
+
+def test_experiments_rejects_unknown():
+    with pytest.raises(SystemExit):
+        experiments_cli.main(["table99"])
+
+
+def test_experiments_figure7_quick_renders_chart(capsys):
+    rc = experiments_cli.main(["figure7", "--quick"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "=== figure7" in out
+    assert "Consumer AProb" in out
+    assert "Method Partitioning" in out
+    assert "overlapping series" in out  # the chart legend footer
