@@ -32,3 +32,19 @@ def record_result(results_dir):
         print(f"\n=== {name} ===\n{text}")
 
     return _write
+
+
+@pytest.fixture
+def obs():
+    """Observability for the adaptive runs, enabled with ``REPRO_OBS=1``.
+
+    Returns ``None`` by default so benchmark outputs stay byte-identical
+    to the uninstrumented baseline; when enabled, the decision trace and
+    metrics of the Method Partitioning runs are collected and rendered
+    into ``benchmarks/results/``.
+    """
+    if os.environ.get("REPRO_OBS") != "1":
+        return None
+    from repro.obs import Observability
+
+    return Observability()

@@ -19,13 +19,22 @@ from repro.apps.sensor import FIGURE7_APROBS, format_curves, run_figure7
 _KWARGS = dict(n_messages=150, seeds=(1, 2, 3), lindex=0.8)
 
 
-def test_figure7(benchmark, record_result):
+def test_figure7(benchmark, record_result, obs):
     curves = benchmark.pedantic(
-        run_figure7, kwargs=_KWARGS, rounds=1, iterations=1
+        run_figure7, kwargs=dict(_KWARGS, obs=obs), rounds=1, iterations=1
     )
     record_result(
         "figure7", format_curves(curves, "Consumer AProb")
     )
+
+    if obs is not None:  # REPRO_OBS=1: the adaptation loop left a trace
+        assert obs.trace.count("TriggerFired") >= 1
+        assert obs.trace.count("SplitSwitched") >= 1
+        switch = obs.trace.of_kind("SplitSwitched")[0]
+        assert switch.old_pse_ids != switch.new_pse_ids
+        from repro.tools.obsreport import render
+
+        record_result("figure7_obs", render(obs))
 
     producer = [y for _, y in curves["Producer Version"]]
     consumer = [y for _, y in curves["Consumer Version"]]

@@ -21,6 +21,7 @@ from repro.apps.harness import ReceiverShare, SenderShare, Version
 from repro.core.partitioned import PartitionedMethod
 from repro.core.plan import PartitioningPlan
 from repro.core.runtime.triggers import FeedbackTrigger, RateTrigger
+from repro.obs.trace import ContinuationShipped
 from repro.simnet.cluster import Testbed
 from repro.simnet.simulator import Simulator
 
@@ -44,6 +45,7 @@ class MethodPartitioningVersion(Version):
         adaptive: bool = True,
         location: str = "receiver",
         feedback_period: Optional[int] = None,
+        obs=None,
     ) -> None:
         """``location`` places the Reconfiguration Unit (paper section 2.5):
         ``"sender"`` re-selects plans right after each modulator run and
@@ -69,8 +71,11 @@ class MethodPartitioningVersion(Version):
         self.partitioned = partitioned
         self.location = location
         self.feedback_period = feedback_period
+        self.obs = obs
+        if obs is not None:
+            partitioned.interpreter.attach_observability(obs)
         self.profiling = partitioned.make_profiling_unit(
-            sample_period=sample_period, ewma_alpha=ewma_alpha
+            sample_period=sample_period, ewma_alpha=ewma_alpha, obs=obs
         )
         self.sender_proxy = None
         modulator_profiling = self.profiling
@@ -78,13 +83,16 @@ class MethodPartitioningVersion(Version):
             from repro.core.runtime.feedback import RemoteProfilingProxy
 
             self.sender_proxy = RemoteProfilingProxy(
-                partitioned.cut, sample_period=sample_period
+                partitioned.cut, sample_period=sample_period, obs=obs
             )
             modulator_profiling = self.sender_proxy
         # Rates come from simulated service times (see on_*_done), so the
         # modulator/demodulator must not record their own cycle-based rates.
         self.modulator = partitioned.make_modulator(
-            plan=plan, profiling=modulator_profiling, record_rates=False
+            plan=plan,
+            profiling=modulator_profiling,
+            record_rates=False,
+            obs=obs,
         )
         self.demodulator = partitioned.make_demodulator(
             profiling=self.profiling, record_rates=False
@@ -94,6 +102,7 @@ class MethodPartitioningVersion(Version):
             partitioned.make_reconfiguration_unit(
                 trigger=trigger or RateTrigger(period=10),
                 location=location,
+                obs=obs,
             )
             if adaptive
             else None
@@ -101,6 +110,10 @@ class MethodPartitioningVersion(Version):
         self.plan_updates_applied = 0
         self.feedback_bytes = 0.0
         self.feedback_messages = 0
+
+    def prepare(self, sim: Simulator, testbed: Testbed) -> None:
+        if self.obs is not None:
+            sim.attach_observability(self.obs)
 
     # -- Version interface -----------------------------------------------------
 
@@ -115,6 +128,12 @@ class MethodPartitioningVersion(Version):
                 payload=None, size=0.0, cycles=result.cycles, info=None
             )
         size = float(self.partitioned.codec.size(result.message))
+        if self.obs is not None:
+            self.obs.trace.record(
+                ContinuationShipped(
+                    pse_id=str(result.message.pse_id), bytes=size
+                )
+            )
         return SenderShare(
             payload=result.message,
             size=size,

@@ -41,7 +41,7 @@ PAPER_PLEN = (0.0, 2.0)
 PAPER_APROB = 0.5
 
 
-def _make_version(name: str) -> Version:
+def _make_version(name: str, obs=None) -> Version:
     if name == "Consumer Version":
         return ConsumerVersion()
     if name == "Producer Version":
@@ -49,7 +49,7 @@ def _make_version(name: str) -> Version:
     if name == "Divided Version":
         return DividedVersion()
     if name == "Method Partitioning":
-        return make_mp_sensor_version()
+        return make_mp_sensor_version(obs=obs)
     raise ValueError(f"unknown version {name!r}")
 
 
@@ -57,10 +57,13 @@ def _run_one(
     make_testbed: Callable[[Simulator], Testbed],
     version_name: str,
     n_messages: int,
+    obs=None,
 ) -> PipelineResult:
     sim = Simulator()
     testbed = make_testbed(sim)
-    version = _make_version(version_name)
+    # Observability attaches to the adaptive version only: the manual
+    # versions have no decision loop to trace.
+    version = _make_version(version_name, obs=obs)
     events = reading_stream(n_messages)
     return run_pipeline(testbed, version, events)
 
@@ -72,7 +75,9 @@ def _avg_ms(results: Sequence[PipelineResult]) -> float:
 # -- Table 3 -----------------------------------------------------------------
 
 
-def run_table3(*, n_messages: int = 150) -> Dict[str, Dict[str, float]]:
+def run_table3(
+    *, n_messages: int = 150, obs=None
+) -> Dict[str, Dict[str, float]]:
     """version → direction → avg processing time (ms)."""
     table: Dict[str, Dict[str, float]] = {}
     for name in VERSION_NAMES:
@@ -82,6 +87,7 @@ def run_table3(*, n_messages: int = 150) -> Dict[str, Dict[str, float]]:
                 lambda sim, p=producer: heterogeneous_pair(sim, producer=p),
                 name,
                 n_messages,
+                obs=obs,
             )
             row[direction] = 1000.0 * result.avg_processing_time
         table[name] = row
@@ -123,6 +129,7 @@ def run_table4(
     seeds: Sequence[int] = (1, 2, 3, 4, 5),
     aprob: float = PAPER_APROB,
     plen=PAPER_PLEN,
+    obs=None,
 ) -> Dict[Tuple[float, float], Dict[str, float]]:
     """(producer LIndex, consumer LIndex) → version → avg ms.
 
@@ -145,6 +152,7 @@ def run_table4(
                         ),
                         name,
                         n_messages,
+                        obs=obs,
                     )
                 )
             row[name] = _avg_ms(results)
@@ -177,6 +185,7 @@ def run_figure7(
     n_messages: int = 150,
     seeds: Sequence[int] = (1, 2, 3),
     lindex: float = 0.8,
+    obs=None,
 ) -> Dict[str, List[Tuple[float, float]]]:
     """version → [(consumer AProb, avg ms)] with producer load-free."""
     curves: Dict[str, List[Tuple[float, float]]] = {
@@ -200,6 +209,7 @@ def run_figure7(
                         ),
                         name,
                         n_messages,
+                        obs=obs,
                     )
                 )
             curves[name].append((aprob, _avg_ms(results)))
@@ -213,6 +223,7 @@ def run_figure8(
     lindex: float = 0.8,
     aprob: float = PAPER_APROB,
     versions: Sequence[str] = VERSION_NAMES,
+    obs=None,
 ) -> Dict[str, List[Tuple[float, float]]]:
     """version → [(expected consumer PLen seconds, avg ms)]."""
     curves: Dict[str, List[Tuple[float, float]]] = {
@@ -233,6 +244,7 @@ def run_figure8(
                         ),
                         name,
                         n_messages,
+                        obs=obs,
                     )
                 )
             curves[name].append((plen_expected, _avg_ms(results)))

@@ -167,6 +167,7 @@ def make_mp_sensor_version(
     network: Optional[NetworkParameters] = None,
     sample_period: int = 1,
     adaptive: bool = True,
+    obs=None,
 ) -> MethodPartitioningVersion:
     """The Method Partitioning implementation for Tables 3-4 / Figs 7-8.
 
@@ -186,6 +187,7 @@ def make_mp_sensor_version(
         ewma_alpha=0.4,
         adaptive=adaptive,
         location="receiver",
+        obs=obs,
     )
     version.sink = sink
     return version

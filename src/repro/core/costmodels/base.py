@@ -114,12 +114,49 @@ class CostModel:
         """Whether runtime profiling is required to know this edge's cost."""
         return not cost.determinable
 
+    @staticmethod
+    def _edge_never_executes(snap) -> bool:
+        """True when profiling positively established the edge's path never
+        executes — as opposed to a fresh unit that has observed nothing.
+
+        ``observed_executions == 0`` means there is no data at all: a
+        ``path_probability`` of 0.0 then says nothing about the edge, and
+        treating it as "never executes" would price an unknown split at
+        zero (the zero-observation bug).
+        """
+        return (
+            snap.path_probability == 0.0
+            and snap.splits == 0
+            and getattr(snap, "observed_executions", 0) > 0
+        )
+
     def runtime_edge_cost(self, stats: "PSEStats") -> float:
         """Scalar cost of splitting at a PSE given its profiled statistics.
 
-        Used by the Reconfiguration Unit as the min-cut edge weight.
+        Weighted by the edge's path probability — used by the
+        Reconfiguration Unit as the min-cut edge weight.
         """
         raise NotImplementedError
+
+    def runtime_edge_cost_raw(self, snap) -> float:
+        """Unweighted cost of one split at this PSE (no probability factor).
+
+        Used by path-sensitive plan costing, which applies its own path
+        weighting.  The default derivation divides the weighted cost back
+        out; when the edge was never observed (``path_probability`` 0 with
+        no completed executions) it falls back to the static lower bound
+        instead of reporting a spurious zero or inflating an unweighted
+        fallback by 1/ε.
+        """
+        if self._edge_never_executes(snap):
+            return 0.0
+        cost = self.runtime_edge_cost(snap)
+        prob = snap.path_probability
+        if prob > 0.0:
+            return cost / prob
+        # Unmeasured: runtime_edge_cost already returned an unweighted
+        # fallback (typically the static lower bound) — don't rescale it.
+        return max(cost, snap.static_lower_bound)
 
     def describe(self) -> str:
         return self.name

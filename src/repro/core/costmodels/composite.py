@@ -57,3 +57,12 @@ class CompositeCostModel(CostModel):
             weight * model.runtime_edge_cost(stats)
             for model, weight in self.members
         )
+
+    def runtime_edge_cost_raw(self, snap) -> float:
+        # Combine member raw costs directly: members may mix measured and
+        # fallback values, which the base class's divide-back-out
+        # derivation cannot unpick.
+        return sum(
+            weight * model.runtime_edge_cost_raw(snap)
+            for model, weight in self.members
+        )

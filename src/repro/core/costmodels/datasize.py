@@ -61,7 +61,7 @@ class DataSizeCostModel(CostModel):
         the PSE's path probability makes rarely-executed expensive edges
         cheap in expectation, which is what the min-cut should optimize.
         """
-        if snap.path_probability == 0.0 and snap.splits == 0:
+        if self._edge_never_executes(snap):
             # The edge's path never executes: splitting there is free.
             return 0.0
         if snap.data_size is None:

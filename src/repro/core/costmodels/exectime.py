@@ -115,7 +115,7 @@ class ExecutionTimeCostModel(CostModel):
         perturbation load.  Falls back to the static lower bound when
         either side has not been profiled yet.
         """
-        if snap.path_probability == 0.0 and snap.splits == 0:
+        if self._edge_never_executes(snap):
             # The edge's path never executes: splitting there is free.
             return 0.0
         if snap.t_mod is None or snap.t_demod is None:

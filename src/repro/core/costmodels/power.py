@@ -59,13 +59,22 @@ class PowerCostModel(CostModel):
         return True
 
     def runtime_edge_cost(self, snap) -> float:
-        radio = 0.0
-        if snap.data_size is not None:
-            radio = snap.data_size * self.joules_per_byte
+        if self._edge_never_executes(snap):
+            # The edge's path never executes: splitting there is free.
+            return 0.0
         work = (
             snap.work_after
             if self.constrained_side == "receiver"
             else snap.work_before
+        )
+        if snap.data_size is None and work is None:
+            # Nothing measured yet: fall back to the static bound rather
+            # than pricing the unknown split at zero joules.
+            return snap.static_lower_bound
+        radio = (
+            snap.data_size * self.joules_per_byte
+            if snap.data_size is not None
+            else 0.0
         )
         cpu = work * self.joules_per_cycle if work is not None else 0.0
         return (radio + cpu) * max(snap.path_probability, 0.0)

@@ -77,7 +77,7 @@ class ResponseTimeCostModel(CostModel):
         return True
 
     def runtime_edge_cost(self, snap) -> float:
-        if snap.path_probability == 0.0 and snap.splits == 0:
+        if self._edge_never_executes(snap):
             # The edge's path never executes: splitting there is free.
             return 0.0
         if snap.data_size is None or snap.t_mod is None or (

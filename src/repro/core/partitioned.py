@@ -31,6 +31,7 @@ from repro.errors import PartitionError
 from repro.ir.function import IRFunction
 from repro.ir.interpreter import CycleMeter, Edge, Interpreter, Outcome
 from repro.ir.registry import FunctionRegistry
+from repro.obs.trace import SplitSwitched
 from repro.serialization import SerializerRegistry, measure_size
 
 
@@ -84,6 +85,7 @@ class Modulator:
         profiling: Optional[ProfilingUnit] = None,
         wall_clock: bool = False,
         record_rates: bool = True,
+        obs=None,
     ) -> None:
         self.partitioned = partitioned
         self.plan_runtime = PlanRuntime(partitioned.cut)
@@ -93,10 +95,34 @@ class Modulator:
         self.record_rates = record_rates
         self._interp = partitioned.interpreter
         self._codec = partitioned.codec
+        self.obs = obs
+        if obs is not None:
+            self._c_switches = obs.metrics.counter("modulator.plan_switches")
+        else:
+            self._c_switches = None
+
+    def _pse_ids(self, edges) -> Tuple[str, ...]:
+        pses = self.partitioned.cut.pses
+        return tuple(
+            sorted(
+                str(pses[e].pse_id) if e in pses else str(e) for e in edges
+            )
+        )
 
     def apply_plan(self, plan: PartitioningPlan) -> None:
         """Adaptation actuation: flip the flag values (paper section 2.6)."""
+        old_active = self.plan_runtime.active_edges()
         self.plan_runtime.apply_plan(plan)
+        if self.obs is not None and plan.active != old_active:
+            self._c_switches.inc()
+            self.obs.trace.record(
+                SplitSwitched(
+                    old_pse_ids=self._pse_ids(old_active),
+                    new_pse_ids=self._pse_ids(plan.active),
+                    old_edges=tuple(sorted(old_active)),
+                    new_edges=tuple(sorted(plan.active)),
+                )
+            )
 
     @property
     def switch_count(self) -> int:
@@ -291,10 +317,17 @@ class PartitionedMethod:
         return self.cut.pses
 
     def make_profiling_unit(
-        self, *, ewma_alpha: float = 0.3, sample_period: int = 1
+        self,
+        *,
+        ewma_alpha: float = 0.3,
+        sample_period: int = 1,
+        obs=None,
     ) -> ProfilingUnit:
         return ProfilingUnit(
-            self.cut, ewma_alpha=ewma_alpha, sample_period=sample_period
+            self.cut,
+            ewma_alpha=ewma_alpha,
+            sample_period=sample_period,
+            obs=obs,
         )
 
     def make_modulator(
@@ -304,6 +337,7 @@ class PartitionedMethod:
         profiling: Optional[ProfilingUnit] = None,
         wall_clock: bool = False,
         record_rates: bool = True,
+        obs=None,
     ) -> Modulator:
         return Modulator(
             self,
@@ -311,6 +345,7 @@ class PartitionedMethod:
             profiling=profiling,
             wall_clock=wall_clock,
             record_rates=record_rates,
+            obs=obs,
         )
 
     def make_demodulator(
@@ -332,9 +367,10 @@ class PartitionedMethod:
         *,
         trigger: Optional[FeedbackTrigger] = None,
         location: str = "receiver",
+        obs=None,
     ) -> ReconfigurationUnit:
         return ReconfigurationUnit(
-            self.cut, trigger=trigger, location=location
+            self.cut, trigger=trigger, location=location, obs=obs
         )
 
     def run_reference(self, *args: object) -> Outcome:

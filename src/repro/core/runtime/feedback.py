@@ -29,6 +29,7 @@ from typing import List, Optional, Tuple
 from repro.core.convexcut import ConvexCutResult
 from repro.core.runtime.profiling import ProfilingUnit
 from repro.ir.interpreter import Edge
+from repro.obs.trace import FeedbackIngested, FeedbackSent
 
 #: estimated wire bytes per observation record (kind tag + edge + floats)
 _RECORD_BYTES = 28.0
@@ -65,6 +66,7 @@ class RemoteProfilingProxy:
         cut: ConvexCutResult,
         *,
         sample_period: int = 1,
+        obs=None,
     ) -> None:
         if sample_period < 1:
             raise ValueError("sample_period must be >= 1")
@@ -79,6 +81,15 @@ class RemoteProfilingProxy:
         self._buffer: List[ObservationRecord] = []
         self.flushes = 0
         self.bytes_flushed = 0.0
+        self.obs = obs
+        if obs is not None:
+            self._c_flushes = obs.metrics.counter("feedback.flushes")
+            self._c_bytes = obs.metrics.counter("feedback.bytes")
+            self._c_records = obs.metrics.counter("feedback.records")
+        else:
+            self._c_flushes = None
+            self._c_bytes = None
+            self._c_records = None
 
     # -- the recording interface the modulator/demodulator call ---------------
 
@@ -153,11 +164,22 @@ class RemoteProfilingProxy:
         size = _ENVELOPE_BYTES + _RECORD_BYTES * len(payload)
         self.flushes += 1
         self.bytes_flushed += size
+        if self.obs is not None:
+            self._c_flushes.inc()
+            self._c_bytes.inc(size)
+            self._c_records.inc(len(payload))
+            self.obs.trace.record(
+                FeedbackSent(records=len(payload), bytes=size)
+            )
         return payload, size
 
 
 def ingest(unit: ProfilingUnit, payload: List[ObservationRecord]) -> None:
     """Replay a feedback payload into the authoritative unit."""
+    obs = getattr(unit, "obs", None)
+    if obs is not None:
+        obs.metrics.counter("feedback.ingested_records").inc(len(payload))
+        obs.trace.record(FeedbackIngested(records=len(payload)))
     for rec in payload:
         if rec.kind == "message":
             unit.record_message()

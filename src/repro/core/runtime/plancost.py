@@ -101,10 +101,10 @@ def expected_plan_cost(
         snap = snapshot.get(edge)
         if snap is None:
             raise PartitionError(f"no snapshot for PSE {edge}")
-        # undo the per-edge probability weighting the model applies
-        raw = model.runtime_edge_cost(snap)
-        edge_p = max(snap.path_probability, 1e-12)
-        total += p_path * (raw / edge_p)
+        # The model's raw costing is unweighted and falls back to the
+        # static lower bound for never-measured edges (e.g. sampled out),
+        # so a count of zero is neither priced at 0 nor inflated by 1/ε.
+        total += p_path * model.runtime_edge_cost_raw(snap)
     return total
 
 

@@ -95,6 +95,10 @@ class PSESnapshot:
     #: fraction of messages whose execution passes this edge
     path_probability: float
     splits: int
+    #: completed executions backing ``path_probability`` — 0 means the
+    #: unit has observed nothing yet, so a probability of 0.0 is "no
+    #: data", not "this path never executes"
+    observed_executions: int = 0
 
 
 class ProfilingUnit:
@@ -106,9 +110,12 @@ class ProfilingUnit:
         *,
         ewma_alpha: float = 0.3,
         sample_period: int = 1,
+        obs=None,
     ) -> None:
         if sample_period < 1:
             raise ValueError("sample_period must be >= 1")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
         self.cut = cut
         self.sample_period = sample_period
         self.ewma_alpha = ewma_alpha
@@ -145,6 +152,13 @@ class ProfilingUnit:
         #: their traversal reports lag the sender by the in-flight window.
         self.executions_completed = 0
         self.measurements_taken = 0
+        self.obs = obs
+        if obs is not None:
+            self._c_observations = obs.metrics.counter("profiling.observations")
+            self._c_measurements = obs.metrics.counter("profiling.measurements")
+        else:
+            self._c_observations = None
+            self._c_measurements = None
 
     # -- flag control --------------------------------------------------------
 
@@ -188,6 +202,8 @@ class ProfilingUnit:
         stats = self.stats.get(edge)
         if stats is None:
             return
+        if self._c_observations is not None:
+            self._c_observations.inc()
         if count_traversal:
             stats.traversals += 1
         if is_split:
@@ -195,6 +211,8 @@ class ProfilingUnit:
         if data_size is not None:
             stats.data_size.update(data_size)
             self.measurements_taken += 1
+            if self._c_measurements is not None:
+                self._c_measurements.inc()
         if work_before is not None:
             stats.work_before.update(work_before)
         if work_after is not None:
@@ -283,6 +301,7 @@ class ProfilingUnit:
                 t_demod=t_demod,
                 path_probability=min(stats.traversals / messages, 1.0),
                 splits=stats.splits,
+                observed_executions=self.executions_completed,
             )
         return out
 

@@ -33,6 +33,7 @@ from repro.core.runtime.maxflow import INF, FlowNetwork
 from repro.core.runtime.profiling import ProfilingUnit, PSEStats
 from repro.core.runtime.triggers import FeedbackTrigger, RateTrigger
 from repro.ir.interpreter import Edge
+from repro.obs.trace import PlanRecomputed, TriggerFired
 
 #: Minimum capacity assigned to a PSE so the min cut stays well defined
 #: even when a profiled cost is zero.
@@ -59,6 +60,7 @@ class ReconfigurationUnit:
         *,
         trigger: Optional[FeedbackTrigger] = None,
         location: str = "receiver",
+        obs=None,
     ) -> None:
         if location not in ("sender", "receiver", "third-party"):
             raise ValueError(
@@ -69,6 +71,13 @@ class ReconfigurationUnit:
         self.trigger = trigger or RateTrigger()
         self.location = location
         self.history: list = []
+        self.obs = obs
+        if obs is not None:
+            self._c_fires = obs.metrics.counter("reconfig.trigger_fires")
+            self._c_recomputes = obs.metrics.counter("reconfig.recomputes")
+        else:
+            self._c_fires = None
+            self._c_recomputes = None
 
     # -- plan selection ---------------------------------------------------------
 
@@ -119,8 +128,26 @@ class ReconfigurationUnit:
         """
         if not self.trigger.should_fire(profiling):
             return None
+        if self.obs is not None:
+            self._c_fires.inc()
+            self.obs.trace.record(
+                TriggerFired(
+                    at_message=profiling.messages_seen,
+                    trigger=type(self.trigger).__name__,
+                    reason=getattr(self.trigger, "last_reason", None),
+                )
+            )
         self.trigger.fired(profiling)
         plan, value = self.select_plan(profiling.snapshot())
+        if self.obs is not None:
+            self._c_recomputes.inc()
+            self.obs.trace.record(
+                PlanRecomputed(
+                    at_message=profiling.messages_seen,
+                    cut_value=value,
+                    pse_ids=self._pse_ids(plan.active),
+                )
+            )
         self.history.append(
             ReconfigurationRecord(
                 at_message=profiling.messages_seen,
@@ -129,6 +156,14 @@ class ReconfigurationUnit:
             )
         )
         return plan
+
+    def _pse_ids(self, edges) -> Tuple[str, ...]:
+        return tuple(
+            sorted(
+                str(self.cut.pses[e].pse_id) if e in self.cut.pses else str(e)
+                for e in edges
+            )
+        )
 
     @property
     def reconfiguration_count(self) -> int:

@@ -7,19 +7,34 @@ the PSEs has changed significantly (diff-triggered)."
 Triggers decide when the profiling unit's snapshot travels to the
 Reconfiguration Unit; they are the knob trading adaptation agility against
 monitoring traffic.
+
+Every trigger records *why* it last fired in ``last_reason`` (a small
+JSON-serializable dict) so the Reconfiguration Unit can emit a
+``TriggerFired`` trace event carrying the comparison that tripped.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Mapping, Optional, Tuple, Union
 
 from repro.core.runtime.profiling import ProfilingUnit
 from repro.ir.interpreter import Edge
 
+#: a compared quantity: (edge, stat name) for PSE stats, (None, rate name)
+#: for the side rates
+_Subject = Tuple[Optional[Edge], str]
+
+#: the PSEStats fields a diff trigger watches
+_STAT_NAMES = ("data_size", "work_before", "work_after")
+#: the ProfilingUnit side rates a diff trigger watches
+_RATE_NAMES = ("sender_rate", "receiver_rate")
+
 
 class FeedbackTrigger:
     """Decides whether to send feedback after the current message."""
+
+    #: why the last ``should_fire`` returned True (diagnostic, optional)
+    last_reason: Optional[Mapping[str, object]] = None
 
     def should_fire(self, unit: ProfilingUnit) -> bool:
         raise NotImplementedError
@@ -36,9 +51,22 @@ class RateTrigger(FeedbackTrigger):
             raise ValueError("period must be >= 1")
         self.period = period
         self._last_fired_at = 0
+        self.last_reason = None
 
     def should_fire(self, unit: ProfilingUnit) -> bool:
-        return unit.messages_seen - self._last_fired_at >= self.period
+        # A rewound message counter (ProfilingUnit.reset_counters) must not
+        # silence the trigger until the count catches back up.
+        if unit.messages_seen < self._last_fired_at:
+            self._last_fired_at = unit.messages_seen
+        since = unit.messages_seen - self._last_fired_at
+        if since >= self.period:
+            self.last_reason = {
+                "trigger": "rate",
+                "messages_since_fire": since,
+                "period": self.period,
+            }
+            return True
+        return False
 
     def fired(self, unit: ProfilingUnit) -> None:
         self._last_fired_at = unit.messages_seen
@@ -46,60 +74,100 @@ class RateTrigger(FeedbackTrigger):
 
 class DiffTrigger(FeedbackTrigger):
     """Fire when any PSE's profiled cost moved by more than *threshold*
-    (relative) since the last feedback."""
+    (relative) since the last feedback.
+
+    ``should_fire`` and ``fired`` operate on the exact same value set —
+    :meth:`_observed_values`, covering every per-PSE stat **and** the
+    ``sender_rate`` / ``receiver_rate`` side rates.  The shared collection
+    is what keeps the baseline honest: a value the comparison sees is
+    always snapshotted on fire (so one drifted rate cannot re-fire
+    forever), and a value that is snapshotted was always compared (so a
+    drift cannot be silently absorbed by baselines it never raced
+    against).
+    """
 
     def __init__(self, threshold: float = 0.25, min_interval: int = 5) -> None:
         if threshold <= 0:
             raise ValueError("threshold must be positive")
+        if min_interval < 0:
+            raise ValueError("min_interval must be >= 0")
         self.threshold = threshold
         self.min_interval = min_interval
-        self._reported: Dict[Edge, Dict[str, float]] = {}
-        self._reported_rates: Dict[str, float] = {}
+        #: None until the first fire; then exactly the values last reported
+        self._baseline: Optional[Dict[_Subject, float]] = None
         self._last_fired_at = 0
+        self.last_reason = None
+
+    @staticmethod
+    def _observed_values(unit: ProfilingUnit) -> Dict[_Subject, float]:
+        """Every quantity the trigger compares, keyed by subject.
+
+        Only observed values (``count > 0``) participate: "never measured"
+        is not a measurement of zero.
+        """
+        values: Dict[_Subject, float] = {}
+        for edge, stats in unit.stats.items():
+            for name in _STAT_NAMES:
+                stat = getattr(stats, name)
+                if stat.count:
+                    values[(edge, name)] = stat.mean
+        for name in _RATE_NAMES:
+            stat = getattr(unit, name)
+            if stat.count:
+                values[(None, name)] = stat.mean
+        return values
+
+    @staticmethod
+    def _subject_label(subject: _Subject) -> str:
+        edge, name = subject
+        return name if edge is None else f"{edge}:{name}"
 
     def should_fire(self, unit: ProfilingUnit) -> bool:
+        # A rewound message counter (ProfilingUnit.reset_counters) must not
+        # leave the trigger dead until messages_seen catches back up.
+        if unit.messages_seen < self._last_fired_at:
+            self._last_fired_at = unit.messages_seen
         if unit.messages_seen - self._last_fired_at < self.min_interval:
             return False
-        for edge, stats in unit.stats.items():
-            last = self._reported.get(edge)
-            for name in ("data_size", "work_before", "work_after"):
-                stat = getattr(stats, name)
-                if stat.count == 0:
-                    continue
-                if last is None or name not in last:
-                    return True
-                prev = last[name]
-                scale = max(abs(prev), 1e-12)
-                if abs(stat.mean - prev) / scale > self.threshold:
-                    return True
-        # Host load changes show up in the side rates, not the work counts.
-        for name in ("sender_rate", "receiver_rate"):
-            stat = getattr(unit, name)
-            if stat.count == 0:
-                continue
-            prev = self._reported_rates.get(name)
+        current = self._observed_values(unit)
+        if self._baseline is None:
+            if current:
+                self.last_reason = {
+                    "trigger": "diff",
+                    "cause": "first-data",
+                    "observed": len(current),
+                }
+                return True
+            return False
+        for subject, value in current.items():
+            prev = self._baseline.get(subject)
             if prev is None:
+                # A quantity got its first observation since the last
+                # report: the Reconfiguration Unit has never seen it.
+                self.last_reason = {
+                    "trigger": "diff",
+                    "cause": "new-observation",
+                    "subject": self._subject_label(subject),
+                    "value": value,
+                }
                 return True
             scale = max(abs(prev), 1e-12)
-            if abs(stat.mean - prev) / scale > self.threshold:
+            if abs(value - prev) / scale > self.threshold:
+                self.last_reason = {
+                    "trigger": "diff",
+                    "cause": "drift",
+                    "subject": self._subject_label(subject),
+                    "value": value,
+                    "baseline": prev,
+                    "threshold": self.threshold,
+                }
                 return True
         return False
 
     def fired(self, unit: ProfilingUnit) -> None:
         self._last_fired_at = unit.messages_seen
-        self._reported = {}
-        for edge, stats in unit.stats.items():
-            rec: Dict[str, float] = {}
-            for name in ("data_size", "work_before", "work_after"):
-                stat = getattr(stats, name)
-                if stat.count:
-                    rec[name] = stat.mean
-            self._reported[edge] = rec
-        self._reported_rates = {}
-        for name in ("sender_rate", "receiver_rate"):
-            stat = getattr(unit, name)
-            if stat.count:
-                self._reported_rates[name] = stat.mean
+        # Snapshot exactly the set of values should_fire compares.
+        self._baseline = self._observed_values(unit)
 
 
 class ValueDiffTrigger(FeedbackTrigger):
@@ -119,20 +187,39 @@ class ValueDiffTrigger(FeedbackTrigger):
     ) -> None:
         if threshold <= 0:
             raise ValueError("threshold must be positive")
+        if min_interval < 0:
+            raise ValueError("min_interval must be >= 0")
         self.getter = getter
         self.threshold = threshold
         self.min_interval = min_interval
         self._reported: Optional[float] = None
         self._last_fired_at = 0
+        self.last_reason = None
 
     def should_fire(self, unit: ProfilingUnit) -> bool:
+        if unit.messages_seen < self._last_fired_at:
+            self._last_fired_at = unit.messages_seen
         if unit.messages_seen - self._last_fired_at < self.min_interval:
             return False
         value = self.getter()
         if self._reported is None:
+            self.last_reason = {
+                "trigger": "value-diff",
+                "cause": "first-data",
+                "value": value,
+            }
             return True
         scale = max(abs(self._reported), 1e-12)
-        return abs(value - self._reported) / scale > self.threshold
+        if abs(value - self._reported) / scale > self.threshold:
+            self.last_reason = {
+                "trigger": "value-diff",
+                "cause": "drift",
+                "value": value,
+                "baseline": self._reported,
+                "threshold": self.threshold,
+            }
+            return True
+        return False
 
     def fired(self, unit: ProfilingUnit) -> None:
         self._last_fired_at = unit.messages_seen
@@ -146,9 +233,14 @@ class CompositeTrigger(FeedbackTrigger):
         if not members:
             raise ValueError("composite trigger needs members")
         self.members = members
+        self.last_reason = None
 
     def should_fire(self, unit: ProfilingUnit) -> bool:
-        return any(m.should_fire(unit) for m in self.members)
+        for member in self.members:
+            if member.should_fire(unit):
+                self.last_reason = member.last_reason
+                return True
+        return False
 
     def fired(self, unit: ProfilingUnit) -> None:
         for m in self.members:

@@ -181,9 +181,30 @@ class Interpreter:
         registry: FunctionRegistry,
         *,
         max_steps: int = 50_000_000,
+        obs=None,
     ) -> None:
         self.registry = registry
         self.max_steps = max_steps
+        self.obs = None
+        self._c_instructions = None
+        self._c_executions = None
+        self._c_captured = None
+        self._c_restored = None
+        if obs is not None:
+            self.attach_observability(obs)
+
+    def attach_observability(self, obs) -> None:
+        """Attach a metrics registry; counter objects are cached so the
+        execution loop never does a name lookup."""
+        self.obs = obs
+        self._c_instructions = obs.metrics.counter("interp.instructions")
+        self._c_executions = obs.metrics.counter("interp.executions")
+        self._c_captured = obs.metrics.counter(
+            "interp.continuations_captured"
+        )
+        self._c_restored = obs.metrics.counter(
+            "interp.continuations_restored"
+        )
 
     # -- public API -----------------------------------------------------------
 
@@ -239,6 +260,8 @@ class Interpreter:
                 f"{fn.name}: continuation edge {continuation.edge} out of range"
             )
         env = dict(continuation.variables)
+        if self._c_restored is not None:
+            self._c_restored.inc()
         return self._execute(
             fn,
             env,
@@ -264,6 +287,8 @@ class Interpreter:
         n = len(instrs)
         pc = start_pc
         steps = 0
+        if self._c_executions is not None:
+            self._c_executions.inc()
         while True:
             steps += 1
             if steps > self.max_steps:
@@ -276,6 +301,8 @@ class Interpreter:
                 meter.charge_instr()
             next_pc = self._step(fn, instr, pc, env, meter)
             if next_pc is None:  # Return executed
+                if self._c_instructions is not None:
+                    self._c_instructions.inc(steps)
                 return Outcome(kind="return", value=env.get("$return"))
             if next_pc >= n:
                 raise InterpreterError(
@@ -292,6 +319,9 @@ class Interpreter:
                 continuation = Continuation(
                     function=fn.name, edge=edge, variables=captured
                 )
+                if self._c_captured is not None:
+                    self._c_captured.inc()
+                    self._c_instructions.inc(steps)
                 return Outcome(kind="split", continuation=continuation)
             pc = next_pc
 

@@ -31,6 +31,7 @@ from repro.core.runtime.triggers import FeedbackTrigger
 from repro.errors import ChannelError
 from repro.jecho.events import ContinuationEnvelope, EventEnvelope
 from repro.jecho.transport import LocalTransport, Transport
+from repro.obs.trace import ContinuationShipped
 from repro.serialization import SerializerRegistry, measure_size
 
 _sub_ids = itertools.count(1000)
@@ -64,12 +65,15 @@ class BrokerSubscription:
         self.partitioned = partitioned
         self.on_result = on_result
         self.stats = BrokerStats()
+        obs = channel.obs
+        if obs is not None:
+            partitioned.interpreter.attach_observability(obs)
         self.profiling = partitioned.make_profiling_unit(
-            sample_period=sample_period
+            sample_period=sample_period, obs=obs
         )
         # The modulator is DEPLOYED AT THE BROKER, not the sender.
         self.modulator = partitioned.make_modulator(
-            plan=plan, profiling=self.profiling
+            plan=plan, profiling=self.profiling, obs=obs
         )
         self.demodulator = partitioned.make_demodulator(
             profiling=self.profiling
@@ -77,7 +81,7 @@ class BrokerSubscription:
         # Reconfiguration Unit co-located with the broker's modulator.
         self.reconfig = (
             partitioned.make_reconfiguration_unit(
-                trigger=trigger, location="third-party"
+                trigger=trigger, location="third-party", obs=obs
             )
             if trigger is not None
             else None
@@ -102,6 +106,14 @@ class BrokerSubscription:
         )
         size = self.partitioned.codec.size(result.message)
         self.stats.continuations_sent += 1
+        obs = self.channel.obs
+        if obs is not None:
+            obs.metrics.counter("broker.continuations_sent").inc()
+            obs.trace.record(
+                ContinuationShipped(
+                    pse_id=str(result.message.pse_id), bytes=float(size)
+                )
+            )
         self.channel.downlink.send(self._receiver_receive, out, size)
         self._maybe_reconfigure()
 
@@ -136,11 +148,16 @@ class BrokerChannel:
         uplink: Optional[Transport] = None,
         downlink: Optional[Transport] = None,
         serializer_registry: Optional[SerializerRegistry] = None,
+        obs=None,
     ) -> None:
         self.name = name
         self.uplink = uplink or LocalTransport()
         self.downlink = downlink or LocalTransport()
         self.serializer_registry = serializer_registry or SerializerRegistry()
+        self.obs = obs
+        if obs is not None:
+            self.uplink.attach_observability(obs, name="transport.uplink")
+            self.downlink.attach_observability(obs, name="transport.downlink")
         self.subscriptions: List[BrokerSubscription] = []
 
     def subscribe_partitioned(

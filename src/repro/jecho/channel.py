@@ -42,6 +42,7 @@ from repro.jecho.events import (
     PlanEnvelope,
 )
 from repro.jecho.transport import LocalTransport, Transport
+from repro.obs.trace import ContinuationShipped
 from repro.serialization import SerializerRegistry, measure_size
 
 _sub_ids = itertools.count(1)
@@ -97,11 +98,14 @@ class PairState:
         self.subscription = subscription
         self.source = source
         partitioned = subscription.partitioned
+        obs = subscription.channel.obs
+        if obs is not None:
+            partitioned.interpreter.attach_observability(obs)
         self.profiling: ProfilingUnit = partitioned.make_profiling_unit(
-            sample_period=subscription.sample_period
+            sample_period=subscription.sample_period, obs=obs
         )
         self.modulator: Modulator = partitioned.make_modulator(
-            plan=subscription.initial_plan, profiling=self.profiling
+            plan=subscription.initial_plan, profiling=self.profiling, obs=obs
         )
         # One demodulator per pair so concurrent continuations from
         # different senders never share profiling state mid-flight.
@@ -111,7 +115,9 @@ class PairState:
         self.reconfig: Optional[ReconfigurationUnit] = None
         if subscription.trigger_factory is not None:
             self.reconfig = partitioned.make_reconfiguration_unit(
-                trigger=subscription.trigger_factory(), location="receiver"
+                trigger=subscription.trigger_factory(),
+                location="receiver",
+                obs=obs,
             )
         self.plan_updates = 0
 
@@ -217,6 +223,14 @@ class Subscription:
         )
         size = self.partitioned.codec.size(result.message)
         self.stats.continuations_sent += 1
+        obs = self.channel.obs
+        if obs is not None:
+            obs.metrics.counter("channel.continuations_sent").inc()
+            obs.trace.record(
+                ContinuationShipped(
+                    pse_id=str(result.message.pse_id), bytes=float(size)
+                )
+            )
         self.channel.transport.send(
             lambda env, p=pair: self._receive_continuation(env, p),
             envelope,
@@ -275,11 +289,18 @@ class EventChannel:
         transport: Optional[Transport] = None,
         feedback_transport: Optional[Transport] = None,
         serializer_registry: Optional[SerializerRegistry] = None,
+        obs=None,
     ) -> None:
         self.name = name
         self.transport = transport or LocalTransport()
         self.feedback_transport = feedback_transport or LocalTransport()
         self.serializer_registry = serializer_registry or SerializerRegistry()
+        self.obs = obs
+        if obs is not None:
+            self.transport.attach_observability(obs, name="transport.data")
+            self.feedback_transport.attach_observability(
+                obs, name="transport.feedback"
+            )
         self.subscriptions: List[Subscription] = []
         self.sources: List[EventSource] = []
         self.default_source = self.add_source("default")

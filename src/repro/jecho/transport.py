@@ -27,10 +27,29 @@ class Transport:
     def __init__(self) -> None:
         self.messages_sent = 0
         self.bytes_sent = 0.0
+        self.obs = None
+        self._c_messages = None
+        self._c_bytes = None
+        self._h_sizes = None
+
+    def attach_observability(self, obs, *, name: str = "transport") -> None:
+        """Register this transport's counters under ``<name>.*``.
+
+        Counter objects are cached so :meth:`send` pays no registry lookup;
+        the size histogram exposes per-message wire overhead.
+        """
+        self.obs = obs
+        self._c_messages = obs.metrics.counter(f"{name}.messages")
+        self._c_bytes = obs.metrics.counter(f"{name}.bytes")
+        self._h_sizes = obs.metrics.histogram(f"{name}.message_bytes")
 
     def send(self, destination: Destination, envelope: object, size: float) -> None:
         self.messages_sent += 1
         self.bytes_sent += size
+        if self._c_messages is not None:
+            self._c_messages.inc()
+            self._c_bytes.inc(size)
+            self._h_sizes.observe(size)
         self._deliver(destination, envelope, size)
 
     def _deliver(

@@ -1,0 +1,86 @@
+"""Observability for the Method Partitioning runtime (``repro.obs``).
+
+The paper's premise is *runtime* adaptation, which is impossible to tune
+blind: profiling feeds triggers, triggers feed the Reconfiguration Unit,
+the unit flips split flags — and none of it used to leave a record.  This
+package provides the measurement substrate:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
+  fixed-bucket histograms with no external dependencies;
+* :class:`~repro.obs.trace.TraceLog` — a bounded log of typed decision
+  events (:class:`TriggerFired`, :class:`PlanRecomputed`,
+  :class:`SplitSwitched`, :class:`FeedbackSent`,
+  :class:`FeedbackIngested`, :class:`ContinuationShipped`);
+* :class:`Observability` — the pair of them, threaded through the
+  interpreter, the runtime units, the event channels and the simulator
+  as an optional ``obs`` argument.
+
+Everything is opt-in: with no :class:`Observability` attached (the
+default) the instrumented hot paths pay a single ``is None`` check and
+produce byte-identical results to uninstrumented code.  Render a
+collected registry + trace with :mod:`repro.tools.obsreport`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    ContinuationShipped,
+    FeedbackIngested,
+    FeedbackSent,
+    PlanRecomputed,
+    SplitSwitched,
+    TraceEvent,
+    TraceLog,
+    TriggerFired,
+)
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "TraceLog",
+    "TraceEvent",
+    "TriggerFired",
+    "PlanRecomputed",
+    "SplitSwitched",
+    "FeedbackSent",
+    "FeedbackIngested",
+    "ContinuationShipped",
+]
+
+
+class Observability:
+    """One metrics registry plus one decision trace.
+
+    A single instance is shared by every component of one experiment run
+    (interpreter, profiling/feedback/trigger/reconfiguration units,
+    transports, simulator), so the report covers the whole adaptation
+    loop in one place.
+    """
+
+    def __init__(self, *, trace_maxlen: int = 10_000) -> None:
+        self.metrics = MetricsRegistry()
+        self.trace = TraceLog(maxlen=trace_maxlen)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable dump consumed by ``repro.tools.obsreport``."""
+        return {
+            "metrics": self.metrics.to_dict(),
+            "trace": {
+                "counts": self.trace.counts(),
+                "dropped": self.trace.dropped,
+                "events": self.trace.to_dicts(),
+            },
+        }

@@ -1,0 +1,190 @@
+"""Lightweight metrics primitives for the runtime units.
+
+No external dependencies, no background threads, no locks: every runtime
+unit in this reproduction is single-threaded per (sender, subscription)
+pair, so plain attribute updates are sufficient.  The design goal is the
+paper's own constraint on profiling ("if profiling is expensive, such
+costs can be reduced"): when no registry is attached (the default),
+instrumented code paths cost one ``is None`` check; when attached, a
+counter increment is one float add.
+
+Three instrument kinds:
+
+* :class:`Counter` — monotonically increasing total (messages, bytes,
+  instructions executed);
+* :class:`Gauge` — last-written value (current plan size, pending buffer
+  depth);
+* :class:`Histogram` — fixed-bucket distribution (message sizes, virtual
+  times).  Buckets are upper bounds; values above the last bound land in
+  the overflow bucket.  Fixed buckets keep ``observe`` O(#buckets) with
+  zero allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: default geometric bucket ladder — wide enough for bytes and seconds
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1,
+    1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counter increments must be non-negative")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """A fixed-bucket distribution with sum and count.
+
+    ``bounds`` are inclusive upper bounds in increasing order; a value
+    above the last bound is counted in the overflow bucket
+    (``counts[-1]``, bound ``inf``).
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count")
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        ordered = tuple(float(b) for b in bounds)
+        if any(b >= c for b, c in zip(ordered, ordered[1:])):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.name = name
+        self.bounds = ordered
+        self.counts = [0] * (len(ordered) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.3g}>"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    Names are dotted paths (``"transport.bytes"``); the registry keeps
+    one instrument per name and kind.  Asking for an existing name with a
+    different kind is an error — it almost always means two subsystems
+    chose colliding names.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_free(self, name: str, want: Dict) -> None:
+        for kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if table is not want and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            self._check_free(name, self._counters)
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            self._check_free(name, self._gauges)
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            self._check_free(name, self._histograms)
+            histogram = self._histograms[name] = Histogram(name, bounds)
+        return histogram
+
+    # -- export ---------------------------------------------------------------
+
+    def counters(self) -> List[Counter]:
+        return [self._counters[k] for k in sorted(self._counters)]
+
+    def gauges(self) -> List[Gauge]:
+        return [self._gauges[k] for k in sorted(self._gauges)]
+
+    def histograms(self) -> List[Histogram]:
+        return [self._histograms[k] for k in sorted(self._histograms)]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of every instrument."""
+        return {
+            "counters": {c.name: c.value for c in self.counters()},
+            "gauges": {g.name: g.value for g in self.gauges()},
+            "histograms": {
+                h.name: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "total": h.total,
+                    "count": h.count,
+                }
+                for h in self.histograms()
+            },
+        }

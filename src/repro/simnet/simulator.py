@@ -99,6 +99,15 @@ class Simulator:
         self._seq = 0
         self._processes_alive = 0
         self.events_processed = 0
+        self.obs = None
+        self._c_events = None
+        self._h_times = None
+
+    def attach_observability(self, obs) -> None:
+        """Count processed events and histogram their virtual times."""
+        self.obs = obs
+        self._c_events = obs.metrics.counter("sim.events")
+        self._h_times = obs.metrics.histogram("sim.virtual_time")
 
     # -- scheduling ---------------------------------------------------------
 
@@ -146,6 +155,9 @@ class Simulator:
             heapq.heappop(self._heap)
             self.now = t
             self.events_processed += 1
+            if self._c_events is not None:
+                self._c_events.inc()
+                self._h_times.observe(t)
             if self.events_processed > max_events:
                 raise SimulationError(
                     f"exceeded {max_events} simulation events (livelock?)"

@@ -5,22 +5,34 @@ Usage::
     python -m repro.tools.experiments table2
     python -m repro.tools.experiments table4 --quick
     python -m repro.tools.experiments all
+    python -m repro.tools.experiments figure7 --quick --obs-report fig7.json
 
 ``--quick`` shrinks message counts and seed sets for a fast look; the
 benchmark suite (``pytest benchmarks/ --benchmark-only``) runs the
 full-size versions and asserts the paper's shapes.
+
+``--obs-report FILE`` attaches an :class:`repro.obs.Observability` to the
+adaptive (Method Partitioning) runs, prints the instrumentation report
+after the experiment output, and writes the raw dump as JSON to FILE
+(render it again later with ``python -m repro.tools.obsreport FILE``).
+
+A failing experiment does not abort the rest of an ``all`` run: its name
+and error go to stderr, the remaining experiments still run, and the exit
+status is nonzero.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+import traceback
 
 EXPERIMENTS = ("table2", "table3", "table4", "figure7", "figure8")
 
 
-def run_table2(quick: bool) -> str:
+def run_table2(quick: bool, obs=None) -> str:
     from repro.apps.imagestream import (
         Table2Config,
         format_table2,
@@ -31,27 +43,27 @@ def run_table2(quick: bool) -> str:
     return format_table2(run(config))
 
 
-def run_table3(quick: bool) -> str:
+def run_table3(quick: bool, obs=None) -> str:
     from repro.apps.sensor import format_table3, run_table3 as run
 
-    return format_table3(run(n_messages=60 if quick else 200))
+    return format_table3(run(n_messages=60 if quick else 200, obs=obs))
 
 
-def run_table4(quick: bool) -> str:
+def run_table4(quick: bool, obs=None) -> str:
     from repro.apps.sensor import format_table4, run_table4 as run
 
     seeds = (1, 2) if quick else (1, 2, 3, 4, 5)
     return format_table4(
-        run(n_messages=60 if quick else 150, seeds=seeds)
+        run(n_messages=60 if quick else 150, seeds=seeds, obs=obs)
     )
 
 
-def run_figure7(quick: bool) -> str:
+def run_figure7(quick: bool, obs=None) -> str:
     from repro.apps.sensor import format_curves, run_figure7 as run
     from repro.tools.charts import render_chart
 
     seeds = (1,) if quick else (1, 2, 3)
-    curves = run(n_messages=60 if quick else 150, seeds=seeds)
+    curves = run(n_messages=60 if quick else 150, seeds=seeds, obs=obs)
     return (
         format_curves(curves, "Consumer AProb")
         + "\n\n"
@@ -59,12 +71,12 @@ def run_figure7(quick: bool) -> str:
     )
 
 
-def run_figure8(quick: bool) -> str:
+def run_figure8(quick: bool, obs=None) -> str:
     from repro.apps.sensor import format_curves, run_figure8 as run
     from repro.tools.charts import render_chart
 
     seeds = (1,) if quick else (1, 2, 3)
-    curves = run(n_messages=150 if quick else 400, seeds=seeds)
+    curves = run(n_messages=150 if quick else 400, seeds=seeds, obs=obs)
     return (
         format_curves(curves, "Consumer PLen(s)")
         + "\n\n"
@@ -89,16 +101,62 @@ def main(argv=None) -> int:
         "experiment", choices=EXPERIMENTS + ("all",)
     )
     parser.add_argument("--quick", action="store_true")
+    parser.add_argument(
+        "--obs-report",
+        metavar="FILE",
+        default=None,
+        help="collect observability from adaptive runs; print the report "
+        "and write the JSON dump to FILE",
+    )
     args = parser.parse_args(argv)
 
+    obs = None
+    if args.obs_report is not None:
+        from repro.obs import Observability
+
+        obs = Observability()
+
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    failures = []
     for name in names:
         started = time.perf_counter()
-        text = _RUNNERS[name](args.quick)
+        try:
+            text = _RUNNERS[name](args.quick, obs=obs)
+        except Exception as exc:
+            failures.append(name)
+            print(
+                f"experiment {name!r} failed: {type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
+            traceback.print_exc(file=sys.stderr)
+            continue
         elapsed = time.perf_counter() - started
         print(f"=== {name} ({elapsed:.1f}s) ===")
         print(text)
         print()
+
+    if obs is not None:
+        from repro.tools.obsreport import render
+
+        print("=== observability ===")
+        print(render(obs))
+        try:
+            with open(args.obs_report, "w", encoding="utf-8") as handle:
+                json.dump(obs.to_dict(), handle, indent=2)
+        except OSError as exc:
+            print(
+                f"cannot write obs report {args.obs_report}: {exc}",
+                file=sys.stderr,
+            )
+            failures.append("obs-report")
+        else:
+            print(f"\n(dump written to {args.obs_report})")
+
+    if failures:
+        print(
+            "failed experiments: " + ", ".join(failures), file=sys.stderr
+        )
+        return 1
     return 0
 
 

@@ -1,0 +1,140 @@
+"""Render an observability dump (registry + decision trace) as text.
+
+Usage::
+
+    python -m repro.tools.obsreport run.obs.json
+    python -m repro.tools.obsreport run.obs.json --events 50
+    python -m repro.tools.experiments figure7 --quick --obs-report fig7.json
+    python -m repro.tools.obsreport fig7.json
+
+The input is the JSON produced by
+:meth:`repro.obs.Observability.to_dict` (``json.dump`` it wherever is
+convenient); :func:`render` also accepts a live
+:class:`~repro.obs.Observability` for in-process reporting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Mapping, Optional
+
+_DEFAULT_EVENT_LIMIT = 20
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _render_histogram(name: str, data: Mapping) -> List[str]:
+    count = data.get("count", 0)
+    total = data.get("total", 0.0)
+    mean = total / count if count else 0.0
+    lines = [
+        f"  {name}: count={count} total={_format_value(total)} "
+        f"mean={_format_value(mean)}"
+    ]
+    bounds = list(data.get("bounds", ()))
+    counts = list(data.get("counts", ()))
+    labels = [f"<={_format_value(b)}" for b in bounds] + ["+Inf"]
+    for label, n in zip(labels, counts):
+        if n:
+            lines.append(f"    {label:>12}: {n}")
+    return lines
+
+
+def _render_event(event: Mapping) -> str:
+    kind = event.get("kind", "?")
+    fields = ", ".join(
+        f"{key}={_format_value(value)}"
+        for key, value in event.items()
+        if key != "kind" and value is not None
+    )
+    return f"  {kind}({fields})"
+
+
+def render_report(
+    data: Mapping, *, event_limit: Optional[int] = _DEFAULT_EVENT_LIMIT
+) -> str:
+    """Text report from an ``Observability.to_dict()`` mapping."""
+    lines: List[str] = []
+    metrics = data.get("metrics", {})
+
+    counters = metrics.get("counters", {})
+    lines.append(f"== counters ({len(counters)}) ==")
+    for name in sorted(counters):
+        lines.append(f"  {name}: {_format_value(counters[name])}")
+
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append(f"== gauges ({len(gauges)}) ==")
+        for name in sorted(gauges):
+            lines.append(f"  {name}: {_format_value(gauges[name])}")
+
+    histograms = metrics.get("histograms", {})
+    lines.append("")
+    lines.append(f"== histograms ({len(histograms)}) ==")
+    for name in sorted(histograms):
+        lines.extend(_render_histogram(name, histograms[name]))
+
+    trace = data.get("trace", {})
+    counts = trace.get("counts", {})
+    dropped = trace.get("dropped", 0)
+    lines.append("")
+    lines.append("== trace ==")
+    for kind in sorted(counts):
+        lines.append(f"  {kind}: {counts[kind]}")
+    if dropped:
+        lines.append(f"  (dropped {dropped} old events)")
+
+    events = trace.get("events", [])
+    if event_limit is None:
+        shown = events
+    elif event_limit <= 0:
+        shown = []
+    else:
+        shown = events[-event_limit:]
+    lines.append("")
+    lines.append(f"== events (last {len(shown)} of {len(events)} kept) ==")
+    for event in shown:
+        lines.append(_render_event(event))
+    return "\n".join(lines)
+
+
+def render(obs, *, event_limit: Optional[int] = _DEFAULT_EVENT_LIMIT) -> str:
+    """Text report straight from a live Observability instance."""
+    return render_report(obs.to_dict(), event_limit=event_limit)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.obsreport", description=__doc__
+    )
+    parser.add_argument(
+        "dump", help="JSON file produced by Observability.to_dict()"
+    )
+    parser.add_argument(
+        "--events",
+        type=int,
+        default=_DEFAULT_EVENT_LIMIT,
+        help="how many trailing trace events to print (0 for none)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        with open(args.dump, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"obsreport: cannot read {args.dump}: {exc}", file=sys.stderr)
+        return 1
+    print(render_report(data, event_limit=args.events))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

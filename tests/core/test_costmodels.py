@@ -47,6 +47,8 @@ def snap(
     t_mod=None,
     t_demod=None,
     prob=1.0,
+    splits=0,
+    observed=0,
 ):
     return PSESnapshot(
         edge=edge,
@@ -58,7 +60,8 @@ def snap(
         t_mod=t_mod,
         t_demod=t_demod,
         path_probability=prob,
-        splits=0,
+        splits=splits,
+        observed_executions=observed,
     )
 
 
@@ -303,6 +306,31 @@ def test_power_sender_side():
 def test_power_invalid_side_rejected():
     with pytest.raises(ValueError):
         PowerCostModel(constrained_side="middle")
+
+
+def test_power_unmeasured_falls_back_to_static_bound():
+    """Nothing profiled yet: the power model must price the split at its
+    static lower bound, not at zero joules."""
+    model = PowerCostModel()
+    s = snap(lower=3.5, prob=1.0)
+    assert model.runtime_edge_cost(s) == pytest.approx(3.5)
+
+
+def test_power_never_executed_edge_is_free():
+    """Profiling positively established the path never executes (some
+    executions observed, none traversed it): splitting there costs 0."""
+    model = PowerCostModel()
+    s = snap(lower=3.5, prob=0.0, observed=50)
+    assert model.runtime_edge_cost(s) == 0.0
+    assert model.runtime_edge_cost_raw(s) == 0.0
+
+
+def test_power_fresh_unit_is_not_never_executes():
+    """observed_executions == 0 means "no data", not "never executes" —
+    the raw cost must use the static bound, not report 0 or blow up."""
+    model = PowerCostModel()
+    s = snap(lower=3.5, prob=0.0, observed=0)
+    assert model.runtime_edge_cost_raw(s) == pytest.approx(3.5)
 
 
 def test_power_prefers_offloading_from_constrained_receiver(registry):

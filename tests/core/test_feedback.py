@@ -71,6 +71,75 @@ def test_replay_equivalence(push_partitioned):
         assert a.splits == b.splits
 
 
+def _assert_snapshots_identical(a_unit, b_unit):
+    snap_a = a_unit.snapshot()
+    snap_b = b_unit.snapshot()
+    assert set(snap_a) == set(snap_b)
+    for edge in snap_a:
+        a, b = snap_a[edge], snap_b[edge]
+        assert a.data_size == b.data_size
+        assert a.data_size_count == b.data_size_count
+        assert a.work_before == b.work_before
+        assert a.work_after == b.work_after
+        assert a.path_probability == pytest.approx(b.path_probability)
+        assert a.splits == b.splits
+        assert a.observed_executions == b.observed_executions
+
+
+def test_replay_equivalence_interleaved_flushes_with_sampling(
+    push_partitioned,
+):
+    """Flushing mid-stream (several small feedback messages interleaved
+    with recording) with sample_period > 1 must still replay to exactly
+    the statistics of direct recording: distribution only adds staleness,
+    never distortion."""
+    events = [
+        ImageData(None, 40, 40),
+        ImageData(None, 200, 200),
+        "junk",
+        ImageData(None, 80, 80),
+        ImageData(None, 30, 30),
+        "junk",
+        ImageData(None, 120, 120),
+    ]
+
+    direct = push_partitioned.make_profiling_unit(sample_period=2)
+    modulator = push_partitioned.make_modulator(profiling=direct)
+    demodulator = push_partitioned.make_demodulator(profiling=direct)
+    for event in events:
+        result = modulator.process(event)
+        if result.message is not None:
+            demodulator.process(result.message)
+
+    # Same call sequence, but every recording call goes through the proxy
+    # (mod and demod sides alike) and is replayed over several flushes.
+    authoritative = push_partitioned.make_profiling_unit(sample_period=2)
+    proxy = RemoteProfilingProxy(push_partitioned.cut, sample_period=2)
+    modulator2 = push_partitioned.make_modulator(profiling=proxy)
+    demodulator2 = push_partitioned.make_demodulator(profiling=proxy)
+    flushes = 0
+    for i, event in enumerate(events):
+        result = modulator2.process(event)
+        if result.message is not None:
+            demodulator2.process(result.message)
+        if i % 2 == 1:  # flush mid-stream, not only at the end
+            payload, size = proxy.flush()
+            assert size > 0
+            ingest(authoritative, payload)
+            flushes += 1
+    payload, _ = proxy.flush()
+    ingest(authoritative, payload)
+    assert flushes >= 3
+
+    _assert_snapshots_identical(direct, authoritative)
+    assert direct.messages_seen == authoritative.messages_seen
+    assert direct.measurements_taken == authoritative.measurements_taken
+    assert direct.total_work.count == authoritative.total_work.count
+    assert direct.total_work.mean == pytest.approx(
+        authoritative.total_work.mean
+    )
+
+
 def test_total_pairing_survives_reordering(push_partitioned):
     """Demod totals arriving before the matching mod totals still pair."""
     unit = push_partitioned.make_profiling_unit()

@@ -129,3 +129,46 @@ def test_unprofiled_snapshot_uses_uniform_paths(push_partitioned):
     plan = sender_heavy_plan(cut)
     cost = expected_plan_cost(cut, plan, snapshot)
     assert cost >= 0.0
+
+
+def test_fresh_unit_costs_fall_back_to_static_bounds(push_partitioned):
+    """Zero observations: every plan must cost from the static lower
+    bounds — neither free (all-zero ties) nor inflated by a 1/epsilon
+    division against a 0.0 path probability."""
+    cut = push_partitioned.cut
+    snapshot = push_partitioned.make_profiling_unit().snapshot()
+    for snap in snapshot.values():
+        assert snap.observed_executions == 0
+        assert snap.path_probability == 0.0
+    costs = [
+        expected_plan_cost(cut, plan, snapshot)
+        for plan in enumerate_plans(cut)
+    ]
+    assert all(0.0 < c < 1e6 for c in costs)
+
+
+def test_sampled_out_edge_uses_static_bound(push_partitioned):
+    """sample_period > 1: an edge traversed but never size-measured must
+    be priced at (at least) its static lower bound, not zero, and must
+    not be inflated by the probability division."""
+    profiling = push_partitioned.make_profiling_unit(sample_period=5)
+    modulator = push_partitioned.make_modulator(profiling=profiling)
+    demodulator = push_partitioned.make_demodulator(profiling=profiling)
+    for _ in range(3):
+        result = modulator.process(ImageData(None, 50, 50))
+        if result.message is not None:
+            demodulator.process(result.message)
+    snapshot = profiling.snapshot()
+    unmeasured = [
+        snap
+        for snap in snapshot.values()
+        if snap.data_size is None
+        and snap.path_probability > 0.0
+        and snap.static_lower_bound > 0.0
+    ]
+    assert unmeasured  # sampling skipped the size tool on live edges
+    model = push_partitioned.cut.cost_model
+    for snap in unmeasured:
+        raw = model.runtime_edge_cost_raw(snap)
+        assert raw >= snap.static_lower_bound
+        assert raw < 1e6

@@ -61,10 +61,20 @@ def test_bad_observations_ignored():
 
 
 def test_never_executed_edge_is_free():
+    # "Never executes" requires positive evidence: completed executions
+    # with zero traversals.  A fresh unit (observed_executions == 0) must
+    # NOT get the free-split shortcut.
     model = ResponseTimeCostModel()
     assert model.runtime_edge_cost(
-        snap(path_probability=0.0, splits=0)
+        snap(path_probability=0.0, splits=0, observed_executions=50)
     ) == 0.0
+
+
+def test_fresh_unit_zero_probability_uses_bound():
+    model = ResponseTimeCostModel()
+    assert model.runtime_edge_cost(
+        snap(path_probability=0.0, splits=0, observed_executions=0)
+    ) == pytest.approx(1.0)
 
 
 def test_unprofiled_but_traversed_uses_bound():

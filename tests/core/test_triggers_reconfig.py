@@ -99,6 +99,97 @@ def test_composite_trigger_needs_members():
         CompositeTrigger()
 
 
+def drive_unrated(push_partitioned, profiling, n, size=40):
+    """Drive messages without the automatic cycle-based rate recording,
+    so tests control sender/receiver rates explicitly."""
+    modulator = push_partitioned.make_modulator(
+        profiling=profiling, record_rates=False
+    )
+    demodulator = push_partitioned.make_demodulator(
+        profiling=profiling, record_rates=False
+    )
+    for _ in range(n):
+        result = modulator.process(ImageData(None, size, size))
+        if result.message is not None:
+            demodulator.process(result.message)
+
+
+def test_diff_trigger_drifted_rate_fires_once(push_partitioned, profiling):
+    """A drifted side rate fires exactly once: fired() must snapshot the
+    rate it compared, so the same drift cannot re-fire forever."""
+    trigger = DiffTrigger(threshold=0.25, min_interval=0)
+    drive_unrated(push_partitioned, profiling, 3)
+    profiling.record_sender_rate(1.0, 1.0)
+    assert trigger.should_fire(profiling)  # first data
+    trigger.fired(profiling)
+    assert not trigger.should_fire(profiling)
+    profiling.record_sender_rate(100.0, 1.0)  # rate drifts hard
+    assert trigger.should_fire(profiling)
+    assert trigger.last_reason["subject"] == "sender_rate"
+    trigger.fired(profiling)
+    assert not trigger.should_fire(profiling)  # drift was snapshotted
+
+
+def test_diff_trigger_new_rate_observation_fires(push_partitioned, profiling):
+    """A rate first observed after the last report is news the
+    Reconfiguration Unit has never seen — it must not be silently
+    absorbed into the baseline."""
+    trigger = DiffTrigger(threshold=0.5, min_interval=0)
+    drive_unrated(push_partitioned, profiling, 3)
+    assert trigger.should_fire(profiling)
+    trigger.fired(profiling)
+    assert not trigger.should_fire(profiling)
+    profiling.record_receiver_rate(2.0, 1.0)
+    assert trigger.should_fire(profiling)
+    assert trigger.last_reason["cause"] == "new-observation"
+    assert trigger.last_reason["subject"] == "receiver_rate"
+
+
+def test_diff_trigger_baseline_is_exactly_the_compared_set(
+    push_partitioned, profiling
+):
+    """fired() snapshots precisely what should_fire compares — every
+    observed PSE stat plus both side rates."""
+    trigger = DiffTrigger(threshold=0.25, min_interval=1)
+    drive(push_partitioned, profiling, 4)
+    profiling.record_sender_rate(0.5, 1.0)
+    profiling.record_receiver_rate(0.25, 1.0)
+    trigger.fired(profiling)
+    assert trigger._baseline == DiffTrigger._observed_values(profiling)
+    assert (None, "sender_rate") in trigger._baseline
+    assert (None, "receiver_rate") in trigger._baseline
+
+
+def test_diff_trigger_survives_counter_rewind(push_partitioned, profiling):
+    """reset_counters() rewinds messages_seen; the trigger must re-anchor
+    its interval instead of staying dead until the count catches up."""
+    trigger = DiffTrigger(threshold=0.25, min_interval=2)
+    drive_unrated(push_partitioned, profiling, 5)
+    profiling.record_sender_rate(1.0, 1.0)
+    assert trigger.should_fire(profiling)
+    trigger.fired(profiling)  # last fire recorded at message 5
+    profiling.reset_counters()  # counter rewinds to 0
+    drive_unrated(push_partitioned, profiling, 3)
+    profiling.record_sender_rate(100.0, 1.0)
+    trigger.should_fire(profiling)  # re-anchors the interval baseline
+    drive_unrated(push_partitioned, profiling, 2)
+    assert trigger.should_fire(profiling)
+    assert trigger.last_reason["cause"] == "drift"
+    assert trigger.last_reason["subject"] == "sender_rate"
+
+
+def test_rate_trigger_survives_counter_rewind(push_partitioned, profiling):
+    trigger = RateTrigger(period=3)
+    drive(push_partitioned, profiling, 3)
+    assert trigger.should_fire(profiling)
+    trigger.fired(profiling)  # last fire recorded at message 3
+    profiling.reset_counters()
+    drive(push_partitioned, profiling, 2)
+    trigger.should_fire(profiling)  # re-anchors below the rewound count
+    drive(push_partitioned, profiling, 3)
+    assert trigger.should_fire(profiling)
+
+
 # -- reconfiguration unit ------------------------------------------------------------
 
 

@@ -1,0 +1,75 @@
+"""Constructor validation: bad knob values fail fast with uniform messages.
+
+Every runtime-unit constructor rejects out-of-range configuration at
+construction time (not at first use), with one message style per knob, so
+a misconfigured experiment dies before producing hours of garbage.
+"""
+
+import pytest
+
+from repro.core.runtime.triggers import (
+    DiffTrigger,
+    RateTrigger,
+    ValueDiffTrigger,
+)
+
+
+@pytest.mark.parametrize("alpha", [0.0, -0.2, 1.5, 2.0])
+def test_ewma_alpha_rejected(push_partitioned, alpha):
+    with pytest.raises(ValueError, match=r"ewma_alpha must be in \(0, 1\]"):
+        push_partitioned.make_profiling_unit(ewma_alpha=alpha)
+
+
+@pytest.mark.parametrize("alpha", [1e-6, 0.3, 1.0])
+def test_ewma_alpha_boundary_accepted(push_partitioned, alpha):
+    unit = push_partitioned.make_profiling_unit(ewma_alpha=alpha)
+    assert unit.ewma_alpha == alpha
+
+
+@pytest.mark.parametrize("period", [0, -1, -100])
+def test_rate_trigger_period_rejected(period):
+    with pytest.raises(ValueError, match="period must be >= 1"):
+        RateTrigger(period=period)
+
+
+def test_rate_trigger_period_boundary_accepted():
+    assert RateTrigger(period=1).period == 1
+
+
+@pytest.mark.parametrize("interval", [-1, -10])
+def test_diff_trigger_min_interval_rejected(interval):
+    with pytest.raises(ValueError, match="min_interval must be >= 0"):
+        DiffTrigger(min_interval=interval)
+
+
+@pytest.mark.parametrize("interval", [-1, -10])
+def test_value_diff_trigger_min_interval_rejected(interval):
+    with pytest.raises(ValueError, match="min_interval must be >= 0"):
+        ValueDiffTrigger(lambda: 0.0, min_interval=interval)
+
+
+def test_zero_min_interval_accepted():
+    assert DiffTrigger(min_interval=0).min_interval == 0
+    assert ValueDiffTrigger(lambda: 0.0, min_interval=0).min_interval == 0
+
+
+@pytest.mark.parametrize("threshold", [0.0, -0.5])
+def test_diff_thresholds_rejected(threshold):
+    with pytest.raises(ValueError, match="threshold must be positive"):
+        DiffTrigger(threshold=threshold)
+    with pytest.raises(ValueError, match="threshold must be positive"):
+        ValueDiffTrigger(lambda: 0.0, threshold=threshold)
+
+
+@pytest.mark.parametrize("period", [0, -3])
+def test_sample_period_rejected(push_partitioned, period):
+    with pytest.raises(ValueError, match="sample_period must be >= 1"):
+        push_partitioned.make_profiling_unit(sample_period=period)
+
+
+@pytest.mark.parametrize("period", [0, -3])
+def test_proxy_sample_period_rejected(push_partitioned, period):
+    from repro.core.runtime.feedback import RemoteProfilingProxy
+
+    with pytest.raises(ValueError, match="sample_period must be >= 1"):
+        RemoteProfilingProxy(push_partitioned.cut, sample_period=period)

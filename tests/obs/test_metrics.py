@@ -1,0 +1,81 @@
+"""Unit tests for the metrics primitives."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_increments():
+    c = Counter("x")
+    assert c.value == 0.0
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+
+
+def test_counter_rejects_negative():
+    c = Counter("x")
+    with pytest.raises(ValueError, match="non-negative"):
+        c.inc(-1.0)
+
+
+def test_gauge_keeps_last_value():
+    g = Gauge("depth")
+    g.set(3)
+    g.set(1.5)
+    assert g.value == 1.5
+
+
+def test_histogram_buckets_inclusive_upper_bounds():
+    h = Histogram("sizes", bounds=(1.0, 10.0, 100.0))
+    for value in (0.5, 1.0, 5.0, 10.0, 99.0, 1000.0):
+        h.observe(value)
+    assert h.counts == [2, 2, 1, 1]  # 1000.0 overflows
+    assert h.count == 6
+    assert h.total == pytest.approx(1115.5)
+    assert h.mean == pytest.approx(1115.5 / 6)
+
+
+def test_histogram_validates_bounds():
+    with pytest.raises(ValueError, match="at least one"):
+        Histogram("h", bounds=())
+    with pytest.raises(ValueError, match="strictly increasing"):
+        Histogram("h", bounds=(1.0, 1.0))
+
+
+def test_registry_get_or_create_returns_same_instrument():
+    reg = MetricsRegistry()
+    assert reg.counter("a.b") is reg.counter("a.b")
+    assert reg.gauge("g") is reg.gauge("g")
+    assert reg.histogram("h") is reg.histogram("h")
+
+
+def test_registry_rejects_cross_kind_collisions():
+    reg = MetricsRegistry()
+    reg.counter("name")
+    with pytest.raises(ValueError, match="already registered as a counter"):
+        reg.gauge("name")
+    with pytest.raises(ValueError, match="already registered as a counter"):
+        reg.histogram("name")
+
+
+def test_registry_exports_sorted_and_serializable():
+    import json
+
+    reg = MetricsRegistry()
+    reg.counter("z.last").inc(2)
+    reg.counter("a.first").inc()
+    reg.gauge("mid").set(7)
+    reg.histogram("sizes", bounds=DEFAULT_BUCKETS).observe(42.0)
+    assert [c.name for c in reg.counters()] == ["a.first", "z.last"]
+    data = reg.to_dict()
+    assert data["counters"] == {"a.first": 1.0, "z.last": 2.0}
+    assert data["gauges"] == {"mid": 7.0}
+    assert data["histograms"]["sizes"]["count"] == 1
+    json.dumps(data)  # round-trippable

@@ -1,0 +1,65 @@
+"""Unit tests for the obsreport renderer and CLI."""
+
+import json
+
+from repro.obs import Observability
+from repro.obs.trace import ContinuationShipped, TriggerFired
+from repro.tools import obsreport
+
+
+def _sample_obs():
+    obs = Observability()
+    obs.metrics.counter("interp.executions").inc(12)
+    obs.metrics.counter("transport.data.bytes").inc(4096)
+    obs.metrics.gauge("pending").set(3)
+    obs.metrics.histogram("transport.data.message_bytes").observe(512.0)
+    obs.trace.record(
+        TriggerFired(at_message=5, trigger="DiffTrigger", reason=None)
+    )
+    obs.trace.record(ContinuationShipped(pse_id="pse1", bytes=512.0))
+    return obs
+
+
+def test_render_covers_all_sections():
+    out = obsreport.render(_sample_obs())
+    assert "== counters (2) ==" in out
+    assert "interp.executions: 12" in out
+    assert "== gauges (1) ==" in out
+    assert "== histograms (1) ==" in out
+    assert "count=1 total=512 mean=512" in out
+    assert "== trace ==" in out
+    assert "TriggerFired: 1" in out
+    assert "ContinuationShipped(pse_id=pse1, bytes=512)" in out
+
+
+def test_render_event_limit():
+    obs = _sample_obs()
+    limited = obsreport.render(obs, event_limit=1)
+    assert "last 1 of 2 kept" in limited
+    assert "TriggerFired(" not in limited.split("== events")[1]
+    none_shown = obsreport.render(obs, event_limit=0)
+    assert "last 0 of 2 kept" in none_shown
+
+
+def test_cli_round_trip(tmp_path, capsys):
+    dump = tmp_path / "run.obs.json"
+    dump.write_text(json.dumps(_sample_obs().to_dict()))
+    rc = obsreport.main([str(dump), "--events", "10"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "interp.executions: 12" in out
+    assert "TriggerFired" in out
+
+
+def test_cli_unreadable_file(tmp_path, capsys):
+    rc = obsreport.main([str(tmp_path / "missing.json")])
+    assert rc == 1
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_cli_invalid_json(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    rc = obsreport.main([str(bad)])
+    assert rc == 1
+    assert "cannot read" in capsys.readouterr().err

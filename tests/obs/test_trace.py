@@ -1,0 +1,82 @@
+"""Unit tests for the decision-trace ring buffer and event types."""
+
+import json
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.trace import (
+    ContinuationShipped,
+    FeedbackIngested,
+    FeedbackSent,
+    PlanRecomputed,
+    SplitSwitched,
+    TraceLog,
+    TriggerFired,
+)
+
+
+def test_events_carry_kind_and_serialize():
+    event = TriggerFired(
+        at_message=7, trigger="DiffTrigger", reason={"cause": "drift"}
+    )
+    assert event.kind == "TriggerFired"
+    data = event.to_dict()
+    assert data["kind"] == "TriggerFired"
+    assert data["at_message"] == 7
+    json.dumps(data)
+
+    switch = SplitSwitched(
+        old_pse_ids=("pse0",),
+        new_pse_ids=("pse1",),
+        old_edges=((0, 1),),
+        new_edges=((2, 3),),
+    )
+    assert switch.to_dict()["new_pse_ids"] == ("pse1",)
+
+
+def test_trace_log_records_in_order():
+    log = TraceLog()
+    log.record(FeedbackSent(records=3, bytes=116.0))
+    log.record(FeedbackIngested(records=3))
+    log.record(ContinuationShipped(pse_id="pse0", bytes=64.0))
+    assert len(log) == 3
+    assert [e.kind for e in log] == [
+        "FeedbackSent",
+        "FeedbackIngested",
+        "ContinuationShipped",
+    ]
+    assert log.of_kind("FeedbackSent") == [
+        FeedbackSent(records=3, bytes=116.0)
+    ]
+
+
+def test_trace_log_ring_buffer_drops_and_keeps_lifetime_counts():
+    log = TraceLog(maxlen=3)
+    for i in range(5):
+        log.record(PlanRecomputed(at_message=i, cut_value=1.0, pse_ids=()))
+    assert len(log) == 3
+    assert log.dropped == 2
+    # count() is lifetime, including dropped events
+    assert log.count("PlanRecomputed") == 5
+    assert log.counts() == {"PlanRecomputed": 5}
+    assert [e.at_message for e in log] == [2, 3, 4]
+
+
+def test_trace_log_validates_maxlen():
+    with pytest.raises(ValueError, match="maxlen must be >= 1"):
+        TraceLog(maxlen=0)
+
+
+def test_observability_to_dict_is_json_serializable():
+    obs = Observability(trace_maxlen=2)
+    obs.metrics.counter("interp.executions").inc(4)
+    obs.trace.record(TriggerFired(at_message=1, trigger="RateTrigger"))
+    obs.trace.record(TriggerFired(at_message=2, trigger="RateTrigger"))
+    obs.trace.record(TriggerFired(at_message=3, trigger="RateTrigger"))
+    data = obs.to_dict()
+    json.dumps(data)
+    assert data["metrics"]["counters"]["interp.executions"] == 4.0
+    assert data["trace"]["counts"]["TriggerFired"] == 3
+    assert data["trace"]["dropped"] == 1
+    assert len(data["trace"]["events"]) == 2

@@ -78,6 +78,51 @@ def test_experiments_rejects_unknown():
         experiments_cli.main(["table99"])
 
 
+def test_experiments_failure_exits_nonzero(capsys, monkeypatch):
+    def boom(quick, obs=None):
+        raise RuntimeError("synthetic failure")
+
+    monkeypatch.setitem(experiments_cli._RUNNERS, "table3", boom)
+    rc = experiments_cli.main(["table3", "--quick"])
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "experiment 'table3' failed" in err
+    assert "synthetic failure" in err
+    assert "failed experiments: table3" in err
+
+
+def test_experiments_all_continues_past_failure(capsys, monkeypatch):
+    ran = []
+
+    def boom(quick, obs=None):
+        raise RuntimeError("boom")
+
+    def make_ok(name):
+        def ok(quick, obs=None):
+            ran.append(name)
+            return f"{name} ok"
+
+        return ok
+
+    monkeypatch.setattr(
+        experiments_cli,
+        "_RUNNERS",
+        {
+            "table2": boom,
+            **{
+                name: make_ok(name)
+                for name in ("table3", "table4", "figure7", "figure8")
+            },
+        },
+    )
+    rc = experiments_cli.main(["all", "--quick"])
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert ran == ["table3", "table4", "figure7", "figure8"]
+    assert "experiment 'table2' failed" in captured.err
+    assert "=== table3" in captured.out  # the rest still ran and printed
+
+
 def test_experiments_figure7_quick_renders_chart(capsys):
     rc = experiments_cli.main(["figure7", "--quick"])
     assert rc == 0
