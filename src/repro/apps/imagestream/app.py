@@ -105,10 +105,13 @@ def build_partitioned_push(
     *,
     display_size: int = DISPLAY_SIZE,
     display: Optional[DisplaySink] = None,
+    backend: str = "compiled",
 ) -> Tuple[PartitionedMethod, DisplaySink]:
     """Partition the image handler under the data-size cost model."""
     registry, serializer_registry, sink = build_image_registries(display)
-    partitioner = MethodPartitioner(registry, serializer_registry)
+    partitioner = MethodPartitioner(
+        registry, serializer_registry, backend=backend
+    )
     partitioned = partitioner.partition(
         IMAGE_HANDLER_SOURCE,
         DataSizeCostModel(),

@@ -108,6 +108,7 @@ def make_mp_image_version(
     display: Optional[DisplaySink] = None,
     sample_period: int = 1,
     adaptive: bool = True,
+    backend: str = "compiled",
 ) -> MethodPartitioningVersion:
     """The Method Partitioning implementation for Table 2.
 
@@ -115,7 +116,7 @@ def make_mp_image_version(
     with a coarse rate trigger as a safety net.
     """
     partitioned, sink = build_partitioned_push(
-        display_size=display_size, display=display
+        display_size=display_size, display=display, backend=backend
     )
     trigger = CompositeTrigger(
         DiffTrigger(threshold=0.2, min_interval=1), RateTrigger(period=50)

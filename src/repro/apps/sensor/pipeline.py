@@ -127,10 +127,13 @@ def build_partitioned_process(
     n_stages: int = N_STAGES,
     sink: Optional[DeliverySink] = None,
     network: Optional[NetworkParameters] = None,
+    backend: str = "compiled",
 ) -> Tuple[PartitionedMethod, DeliverySink]:
     """Partition the sensor handler under the execution-time cost model."""
     registry, serializer_registry, sink = build_sensor_registries(sink)
-    partitioner = MethodPartitioner(registry, serializer_registry)
+    partitioner = MethodPartitioner(
+        registry, serializer_registry, backend=backend
+    )
     # n (units) is the stream length: eq. 3's dominant term is n·max, and
     # the α + σβ + σ·min end effects amortize over the whole stream — "the
     # dominant factor in equation (3) is n·max(T_mod(1), T_demod(1))".

@@ -168,6 +168,7 @@ def make_mp_sensor_version(
     sample_period: int = 1,
     adaptive: bool = True,
     obs=None,
+    backend: str = "compiled",
 ) -> MethodPartitioningVersion:
     """The Method Partitioning implementation for Tables 3-4 / Figs 7-8.
 
@@ -175,7 +176,7 @@ def make_mp_sensor_version(
     them drives re-balancing; a rate trigger is the safety net.
     """
     partitioned, sink = build_partitioned_process(
-        n_stages=n_stages, sink=sink, network=network
+        n_stages=n_stages, sink=sink, network=network, backend=backend
     )
     trigger = CompositeTrigger(
         DiffTrigger(threshold=0.2, min_interval=2), RateTrigger(period=25)

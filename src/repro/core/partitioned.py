@@ -95,6 +95,14 @@ class Modulator:
         self.record_rates = record_rates
         self._interp = partitioned.interpreter
         self._codec = partitioned.codec
+        # Hot-path precomputation: the PSE edge set (so the interpreter only
+        # consults the observer on PSE edges) and per-PSE INTER name tuples
+        # (so measuring a hand-over payload never iterates Var objects).
+        pses = partitioned.cut.pses
+        self._pse_edges = frozenset(pses)
+        self._inter_names = {
+            e: tuple(v.name for v in p.inter) for e, p in pses.items()
+        }
         self.obs = obs
         if obs is not None:
             self._c_switches = obs.metrics.counter("modulator.plan_switches")
@@ -130,9 +138,10 @@ class Modulator:
 
     def _measure_inter(self, edge: Edge, env: Dict[str, object]) -> float:
         """Size-calculation tool: wire size of INTER(e) from the live env."""
-        pse = self.partitioned.cut.pses[edge]
         payload = {
-            v.name: env[v.name] for v in pse.inter if v.name in env
+            name: env[name]
+            for name in self._inter_names[edge]
+            if name in env
         }
         return float(
             measure_size(
@@ -151,14 +160,13 @@ class Modulator:
         observations: list = []
         observer = None
         if profiling is not None:
-            pses = self.partitioned.cut.pses
-
+            # The interpreter filters to PSE edges via observe_edges, so the
+            # observer body never sees (or re-checks) a non-PSE edge.
             def observer(edge: Edge, env: Dict[str, object]) -> None:
-                if edge in pses:
-                    size: Optional[float] = None
-                    if profiling.should_measure(edge):
-                        size = self._measure_inter(edge, env)
-                    observations.append((edge, meter.cycles, size))
+                size: Optional[float] = None
+                if profiling.should_measure(edge):
+                    size = self._measure_inter(edge, env)
+                observations.append((edge, meter.cycles, size))
 
         started = time.perf_counter() if self.wall_clock else 0.0
         outcome = self._interp.run(
@@ -166,6 +174,7 @@ class Modulator:
             args,
             split_hook=self.plan_runtime,
             edge_observer=observer,
+            observe_edges=self._pse_edges,
             meter=meter,
         )
         elapsed = (
@@ -237,6 +246,26 @@ class Demodulator:
         self.wall_clock = wall_clock
         self.record_rates = record_rates
         self._interp = partitioned.interpreter
+        pses = partitioned.cut.pses
+        self._pse_edges = frozenset(pses)
+        self._inter_names = {
+            e: tuple(v.name for v in p.inter) for e, p in pses.items()
+        }
+
+    def _measure_inter(self, edge: Edge, env: Dict[str, object]) -> float:
+        """Wire size of INTER(e) from the live env (receiver side)."""
+        payload = {
+            name: env[name]
+            for name in self._inter_names[edge]
+            if name in env
+        }
+        return float(
+            measure_size(
+                payload,
+                self.partitioned.serializer_registry,
+                use_self_sizing=True,
+            )
+        )
 
     def process(self, message: ContinuationMessage) -> DemodulatorResult:
         """Restore the live variables, jump to the PSE, continue processing."""
@@ -245,31 +274,19 @@ class Demodulator:
         observations: list = []
         observer = None
         if profiling is not None:
-            pses = self.partitioned.cut.pses
 
             def observer(edge: Edge, env: Dict[str, object]) -> None:
-                if edge in pses:
-                    size: Optional[float] = None
-                    if profiling.should_measure(edge):
-                        payload = {
-                            v.name: env[v.name]
-                            for v in pses[edge].inter
-                            if v.name in env
-                        }
-                        size = float(
-                            measure_size(
-                                payload,
-                                self.partitioned.serializer_registry,
-                                use_self_sizing=True,
-                            )
-                        )
-                    observations.append((edge, meter.cycles, size))
+                size: Optional[float] = None
+                if profiling.should_measure(edge):
+                    size = self._measure_inter(edge, env)
+                observations.append((edge, meter.cycles, size))
 
         started = time.perf_counter() if self.wall_clock else 0.0
         outcome = self._interp.resume(
             self.partitioned.function,
             message.to_continuation(),
             edge_observer=observer,
+            observe_edges=self._pse_edges,
             meter=meter,
         )
         elapsed = (

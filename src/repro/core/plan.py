@@ -114,6 +114,15 @@ class PlanRuntime(SplitHook):
         self._inter: Dict[Edge, FrozenSet[Var]] = {
             e: p.inter for e, p in cut.pses.items()
         }
+        # Compiled-backend fast path: the current split set as one frozenset
+        # (O(1) membership in the hot loop) and per-edge capture specs as
+        # name tuples.  Tuple order follows each INTER frozenset's own
+        # iteration order so both backends build identical capture dicts.
+        self._split_set: FrozenSet[Edge] = self._forced
+        self._capture_specs: Dict[Edge, Tuple[str, ...]] = {
+            e: tuple(v.name for v in inter)
+            for e, inter in self._inter.items()
+        }
         self.switch_count = 0
         self.current_plan: Optional[PartitioningPlan] = None
 
@@ -130,12 +139,19 @@ class PlanRuntime(SplitHook):
         # poisoned stop entries) still needs a hand-over set.
         return self._cut.ctx.inter(edge)
 
+    def split_edge_set(self) -> FrozenSet[Edge]:
+        return self._split_set
+
+    def capture_specs(self) -> Dict[Edge, Tuple[str, ...]]:
+        return self._capture_specs
+
     # -- plan application -------------------------------------------------------
 
     def apply_plan(self, plan: PartitioningPlan) -> None:
         validate_plan(self._cut, plan)
         for edge in self._flags:
             self._flags[edge] = edge in plan.active
+        self._split_set = plan.active | self._forced
         self.current_plan = plan
         self.switch_count += 1
 

@@ -11,11 +11,14 @@ Public surface:
 * :class:`Interpreter`, :class:`CycleMeter`, :class:`Continuation`,
   :class:`Outcome`, :class:`SplitHook` — execution with split/profiling
   hooks.
+* :func:`compile_function` / :class:`CompiledFunction` — the
+  closure-compilation backend behind ``Interpreter(backend="compiled")``.
 * :func:`format_function` — Jimple-style listing for diagnostics.
 * :func:`validate_function` — structural checks.
 """
 
 from repro.ir.builder import lower_function
+from repro.ir.compiler import CompiledFunction, compile_function
 from repro.ir.function import IRFunction
 from repro.ir.inliner import inline_calls
 from repro.ir.instructions import (
@@ -75,6 +78,8 @@ __all__ = [
     "ClassEntry",
     "default_registry",
     "Interpreter",
+    "CompiledFunction",
+    "compile_function",
     "CycleMeter",
     "Continuation",
     "Outcome",

@@ -1,0 +1,834 @@
+"""Closure-compilation backend for the IR interpreter.
+
+The tree-walking interpreter (:mod:`repro.ir.interpreter`) re-discovers the
+shape of every instruction on every execution: long ``isinstance`` chains,
+operand re-resolution, operator-table lookups, registry lookups for calls.
+Under heavy message traffic that dispatch cost is paid per instruction of
+every message, even though the program never changes between messages.
+
+This module lowers an :class:`~repro.ir.function.IRFunction` **once** into a
+:class:`CompiledFunction`: a flat list of per-instruction closures with all
+static decisions taken at compile time —
+
+* constants are baked into the closures, variable reads bound to their
+  names,
+* ``_BIN_FUNCS``/``_CMP_FUNCS``/``_UNARY_FUNCS`` entries are fetched at
+  compile time,
+* registry entries for ``Call``/``New``/``IsInstance``/``Cast`` are
+  pre-looked-up (falling back to a lazy runtime lookup when a name is not
+  yet registered, to preserve the tree-walker's lazy error behavior),
+* branch targets are pre-resolved integers.
+
+The execute loop makes split checks O(1): the split hook's active-PSE set is
+a precomputed ``frozenset`` and live-capture specs are per-edge name tuples
+(no per-message :class:`~repro.ir.values.Var` iteration).  A per-pc
+"interesting" mask — cached per (split set, observe set) pair — lets the
+steady-state path skip edge-tuple construction entirely for the vast
+majority of instructions, since only a handful of edges are PSEs.
+
+Semantics are byte-identical to the tree-walking backend: same
+:class:`~repro.ir.interpreter.Outcome`/continuation contents (including
+capture-dict ordering), same cycle-meter charges, same
+:class:`~repro.errors.InterpreterError` messages.  The differential suite
+in ``tests/integration/test_backend_equivalence.py`` enforces this.
+
+Compilation results are cached on the function object itself and
+invalidated by IR identity (the instruction list) and by registry version,
+so re-registration of a function or class forces a recompile.
+"""
+
+from __future__ import annotations
+
+import operator as _op
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import InterpreterError
+from repro.ir.function import IRFunction
+from repro.ir.instructions import (
+    Assign,
+    Goto,
+    Identity,
+    If,
+    Instr,
+    Invoke,
+    Nop,
+    Return,
+    SetAttr,
+    SetItem,
+)
+from repro.ir.interpreter import (
+    _BIN_FUNCS,
+    _CMP_FUNCS,
+    _UNARY_FUNCS,
+    Continuation,
+    Edge,
+    Outcome,
+)
+from repro.ir.registry import FunctionRegistry
+from repro.ir.values import (
+    BinOp,
+    BuildDict,
+    BuildList,
+    BuildTuple,
+    Call,
+    Cast,
+    Compare,
+    Const,
+    Expr,
+    GetAttr,
+    GetItem,
+    IsInstance,
+    New,
+    Operand,
+    OperandExpr,
+    UnaryOp,
+    Var,
+)
+
+#: a per-instruction closure: ``step(env, meter) -> next_pc`` (None = Return)
+StepFn = Callable[[dict, object], Optional[int]]
+
+_EMPTY_EDGES: FrozenSet[Edge] = frozenset()
+
+
+# -- operand / expression compilation ------------------------------------------
+
+
+def _compile_operand(fname: str, operand: Operand) -> Callable[[dict], object]:
+    """Pre-resolve one operand: consts baked in, env lookups bound by name."""
+    if isinstance(operand, Const):
+        value = operand.value
+        return lambda env: value
+    name = operand.name
+    message = f"{fname}: variable {name!r} used before assignment"
+
+    def read(env):
+        try:
+            return env[name]
+        except KeyError:
+            raise InterpreterError(message) from None
+
+    return read
+
+
+def _compile_expr(
+    fname: str, expr: Expr, registry: FunctionRegistry
+) -> Callable[[dict, object], object]:
+    """Compile a right-hand-side expression to ``eval(env, meter) -> value``."""
+    if isinstance(expr, OperandExpr):
+        read = _compile_operand(fname, expr.operand)
+        return lambda env, meter: read(env)
+
+    if isinstance(expr, BinOp):
+        fn = _BIN_FUNCS[expr.op]
+        left = _compile_operand(fname, expr.left)
+        right = _compile_operand(fname, expr.right)
+        prefix = f"{fname}: {expr!r} failed: "
+
+        def ev_bin(env, meter):
+            a = left(env)
+            b = right(env)
+            try:
+                return fn(a, b)
+            except (TypeError, ZeroDivisionError) as exc:
+                raise InterpreterError(prefix + str(exc)) from exc
+
+        return ev_bin
+
+    if isinstance(expr, Compare):
+        fn = _CMP_FUNCS[expr.op]
+        left = _compile_operand(fname, expr.left)
+        right = _compile_operand(fname, expr.right)
+        prefix = f"{fname}: {expr!r} failed: "
+
+        def ev_cmp(env, meter):
+            a = left(env)
+            b = right(env)
+            try:
+                return fn(a, b)
+            except TypeError as exc:
+                raise InterpreterError(prefix + str(exc)) from exc
+
+        return ev_cmp
+
+    if isinstance(expr, UnaryOp):
+        fn = _UNARY_FUNCS.get(expr.op)
+        if fn is None:
+            message = f"{fname}: unknown unary op {expr.op!r}"
+
+            def ev_unknown(env, meter):
+                raise InterpreterError(message)
+
+            return ev_unknown
+        read = _compile_operand(fname, expr.operand)
+        prefix = f"{fname}: {expr!r} failed: "
+
+        def ev_unary(env, meter):
+            value = read(env)
+            try:
+                return fn(value)
+            except TypeError as exc:
+                raise InterpreterError(prefix + str(exc)) from exc
+
+        return ev_unary
+
+    if isinstance(expr, Call):
+        return _compile_call(fname, expr, registry)
+
+    if isinstance(expr, New):
+        return _compile_new(fname, expr, registry)
+
+    if isinstance(expr, IsInstance):
+        read = _compile_operand(fname, expr.operand)
+        if registry.has_class(expr.cls):
+            cls = registry.cls(expr.cls).cls
+            return lambda env, meter: isinstance(read(env), cls)
+        cname = expr.cls
+        return lambda env, meter: isinstance(read(env), registry.cls(cname).cls)
+
+    if isinstance(expr, Cast):
+        read = _compile_operand(fname, expr.operand)
+        cname = expr.cls
+        cls = registry.cls(cname).cls if registry.has_class(cname) else None
+
+        def ev_cast(env, meter):
+            value = read(env)
+            target = cls if cls is not None else registry.cls(cname).cls
+            if not isinstance(value, target):
+                raise InterpreterError(
+                    f"{fname}: cast of {type(value).__name__} to "
+                    f"{cname} failed"
+                )
+            return value
+
+        return ev_cast
+
+    if isinstance(expr, GetAttr):
+        read = _compile_operand(fname, expr.obj)
+        attr = expr.attr
+
+        def ev_getattr(env, meter):
+            obj = read(env)
+            try:
+                return getattr(obj, attr)
+            except AttributeError as exc:
+                raise InterpreterError(
+                    f"{fname}: {type(obj).__name__} has no attribute "
+                    f"{attr!r}"
+                ) from exc
+
+        return ev_getattr
+
+    if isinstance(expr, GetItem):
+        read_obj = _compile_operand(fname, expr.obj)
+        read_idx = _compile_operand(fname, expr.index)
+
+        def ev_getitem(env, meter):
+            obj = read_obj(env)
+            index = read_idx(env)
+            try:
+                return obj[index]
+            except (TypeError, KeyError, IndexError) as exc:
+                raise InterpreterError(
+                    f"{fname}: indexing failed: {exc}"
+                ) from exc
+
+        return ev_getitem
+
+    if isinstance(expr, BuildList):
+        reads = tuple(_compile_operand(fname, item) for item in expr.items)
+        return lambda env, meter: [read(env) for read in reads]
+
+    if isinstance(expr, BuildTuple):
+        reads = tuple(_compile_operand(fname, item) for item in expr.items)
+        return lambda env, meter: tuple(read(env) for read in reads)
+
+    if isinstance(expr, BuildDict):
+        reads = tuple(
+            (_compile_operand(fname, k), _compile_operand(fname, v))
+            for k, v in expr.items
+        )
+        return lambda env, meter: {rk(env): rv(env) for rk, rv in reads}
+
+    message = f"{fname}: unknown expression {type(expr).__name__}"
+
+    def ev_unknown_expr(env, meter):
+        raise InterpreterError(message)
+
+    return ev_unknown_expr
+
+
+def _compile_call(
+    fname: str, expr: Call, registry: FunctionRegistry
+) -> Callable[[dict, object], object]:
+    func = expr.func
+    reads = tuple(_compile_operand(fname, a) for a in expr.args)
+    prefix = f"{fname}: call {func}(...) raised "
+
+    if registry.has_function(func):
+        entry = registry.function(func)
+        target = entry.fn
+        cost = entry.cycle_cost
+
+        def ev_call(env, meter):
+            args = [read(env) for read in reads]
+            if meter is not None:
+                if cost is not None:
+                    meter.charge(cost(*args))
+                else:
+                    meter.charge(meter.default_call_cycles)
+            try:
+                return target(*args)
+            except InterpreterError:
+                raise
+            except Exception as exc:
+                raise InterpreterError(
+                    prefix + f"{type(exc).__name__}: {exc}"
+                ) from exc
+
+        return ev_call
+
+    # Not registered at compile time: resolve lazily so errors surface only
+    # when the instruction actually executes (as the tree-walker does).
+    def ev_call_lazy(env, meter):
+        entry = registry.function(func)
+        args = [read(env) for read in reads]
+        if meter is not None:
+            if entry.cycle_cost is not None:
+                meter.charge(entry.cycle_cost(*args))
+            else:
+                meter.charge(meter.default_call_cycles)
+        try:
+            return entry.fn(*args)
+        except InterpreterError:
+            raise
+        except Exception as exc:
+            raise InterpreterError(
+                prefix + f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+    return ev_call_lazy
+
+
+def _compile_new(
+    fname: str, expr: New, registry: FunctionRegistry
+) -> Callable[[dict, object], object]:
+    cname = expr.cls
+    reads = tuple(_compile_operand(fname, a) for a in expr.args)
+    prefix = f"{fname}: new {cname}(...) raised "
+
+    if registry.has_class(cname):
+        entry = registry.cls(cname)
+        target = entry.cls
+        cost = entry.cycle_cost
+
+        def ev_new(env, meter):
+            args = [read(env) for read in reads]
+            if meter is not None:
+                if cost is not None:
+                    meter.charge(cost(*args))
+                else:
+                    meter.charge(meter.default_call_cycles)
+            try:
+                return target(*args)
+            except Exception as exc:
+                raise InterpreterError(
+                    prefix + f"{type(exc).__name__}: {exc}"
+                ) from exc
+
+        return ev_new
+
+    def ev_new_lazy(env, meter):
+        entry = registry.cls(cname)
+        args = [read(env) for read in reads]
+        if meter is not None:
+            if entry.cycle_cost is not None:
+                meter.charge(entry.cycle_cost(*args))
+            else:
+                meter.charge(meter.default_call_cycles)
+        try:
+            return entry.cls(*args)
+        except Exception as exc:
+            raise InterpreterError(
+                prefix + f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+    return ev_new_lazy
+
+
+# -- instruction compilation ---------------------------------------------------
+
+
+def _fused_assign(
+    fname: str, expr: Expr, target: str, nxt: int
+) -> Optional[StepFn]:
+    """Single-frame closures for the hottest Assign shapes.
+
+    An Assign of an operand copy, ``BinOp``, or ``Compare`` accounts for
+    most instructions of arithmetic-bound handlers; the generic path costs
+    two to four nested closure calls per instruction for them.  These fused
+    variants inline the operand reads and the operator application into one
+    frame while raising the exact tree-walker error messages in the exact
+    tree-walker order (left operand first, operator failure last).  Returns
+    None for shapes without a fused form.
+    """
+    if isinstance(expr, OperandExpr):
+        operand = expr.operand
+        if isinstance(operand, Const):
+            value = operand.value
+
+            def step_const(env, meter):
+                env[target] = value
+                return nxt
+
+            return step_const
+        name = operand.name
+        message = f"{fname}: variable {name!r} used before assignment"
+
+        def step_copy(env, meter):
+            try:
+                env[target] = env[name]
+            except KeyError:
+                raise InterpreterError(message) from None
+            return nxt
+
+        return step_copy
+
+    if isinstance(expr, (BinOp, Compare)):
+        if isinstance(expr, BinOp):
+            fn = _BIN_FUNCS[expr.op]
+            catch: tuple = (TypeError, ZeroDivisionError)
+        else:
+            fn = _CMP_FUNCS[expr.op]
+            catch = (TypeError,)
+        prefix = f"{fname}: {expr!r} failed: "
+        left, right = expr.left, expr.right
+        lconst = isinstance(left, Const)
+        rconst = isinstance(right, Const)
+        lval = left.value if lconst else None
+        rval = right.value if rconst else None
+        lname = None if lconst else left.name
+        rname = None if rconst else right.name
+        lmsg = f"{fname}: variable {lname!r} used before assignment"
+        rmsg = f"{fname}: variable {rname!r} used before assignment"
+
+        if lconst and rconst:
+
+            def step_cc(env, meter):
+                try:
+                    env[target] = fn(lval, rval)
+                except catch as exc:
+                    raise InterpreterError(prefix + str(exc)) from exc
+                return nxt
+
+            return step_cc
+
+        if lconst:
+
+            def step_cv(env, meter):
+                try:
+                    b = env[rname]
+                except KeyError:
+                    raise InterpreterError(rmsg) from None
+                try:
+                    env[target] = fn(lval, b)
+                except catch as exc:
+                    raise InterpreterError(prefix + str(exc)) from exc
+                return nxt
+
+            return step_cv
+
+        if rconst:
+
+            def step_vc(env, meter):
+                try:
+                    a = env[lname]
+                except KeyError:
+                    raise InterpreterError(lmsg) from None
+                try:
+                    env[target] = fn(a, rval)
+                except catch as exc:
+                    raise InterpreterError(prefix + str(exc)) from exc
+                return nxt
+
+            return step_vc
+
+        def step_vv(env, meter):
+            try:
+                a = env[lname]
+            except KeyError:
+                raise InterpreterError(lmsg) from None
+            try:
+                b = env[rname]
+            except KeyError:
+                raise InterpreterError(rmsg) from None
+            try:
+                env[target] = fn(a, b)
+            except catch as exc:
+                raise InterpreterError(prefix + str(exc)) from exc
+            return nxt
+
+        return step_vv
+
+    return None
+
+
+def _compile_instr(
+    fname: str,
+    instr: Instr,
+    pc: int,
+    registry: FunctionRegistry,
+) -> StepFn:
+    """Lower one instruction to a ``step(env, meter) -> next_pc`` closure."""
+    nxt = pc + 1
+
+    if isinstance(instr, Assign):
+        target = instr.target.name
+        fused = _fused_assign(fname, instr.expr, target, nxt)
+        if fused is not None:
+            return fused
+        ev = _compile_expr(fname, instr.expr, registry)
+
+        def step_assign(env, meter):
+            env[target] = ev(env, meter)
+            return nxt
+
+        return step_assign
+
+    if isinstance(instr, If):
+        taken = instr.target_index
+        cond = instr.cond
+        if isinstance(cond, Const):
+            read = _compile_operand(fname, cond)
+            if instr.negate:
+                return lambda env, meter: nxt if read(env) else taken
+            return lambda env, meter: taken if read(env) else nxt
+        cname = cond.name
+        cmsg = f"{fname}: variable {cname!r} used before assignment"
+        if instr.negate:
+
+            def step_ifnot(env, meter):
+                try:
+                    c = env[cname]
+                except KeyError:
+                    raise InterpreterError(cmsg) from None
+                return nxt if c else taken
+
+            return step_ifnot
+
+        def step_if(env, meter):
+            try:
+                c = env[cname]
+            except KeyError:
+                raise InterpreterError(cmsg) from None
+            return taken if c else nxt
+
+        return step_if
+
+    if isinstance(instr, Goto):
+        taken = instr.target_index
+        return lambda env, meter: taken
+
+    if isinstance(instr, Return):
+        if instr.value is None:
+
+            def step_return_none(env, meter):
+                env["$return"] = None
+                return None
+
+            return step_return_none
+        if isinstance(instr.value, Const):
+            value = instr.value.value
+
+            def step_return_const(env, meter):
+                env["$return"] = value
+                return None
+
+            return step_return_const
+        rname = instr.value.name
+        rmsg = f"{fname}: variable {rname!r} used before assignment"
+
+        def step_return(env, meter):
+            try:
+                env["$return"] = env[rname]
+            except KeyError:
+                raise InterpreterError(rmsg) from None
+            return None
+
+        return step_return
+
+    if isinstance(instr, Identity):
+        name = instr.target.name
+        message = f"{fname}: parameter {name!r} unbound"
+
+        def step_identity(env, meter):
+            if name not in env:
+                raise InterpreterError(message)
+            return nxt
+
+        return step_identity
+
+    if isinstance(instr, Invoke):
+        ev = _compile_expr(fname, instr.call, registry)
+
+        def step_invoke(env, meter):
+            ev(env, meter)
+            return nxt
+
+        return step_invoke
+
+    if isinstance(instr, SetAttr):
+        read_obj = _compile_operand(fname, instr.obj)
+        read_val = _compile_operand(fname, instr.value)
+        attr = instr.attr
+
+        def step_setattr(env, meter):
+            obj = read_obj(env)
+            value = read_val(env)
+            try:
+                setattr(obj, attr, value)
+            except AttributeError as exc:
+                raise InterpreterError(
+                    f"{fname}: cannot set {attr!r} on {type(obj).__name__}"
+                ) from exc
+            return nxt
+
+        return step_setattr
+
+    if isinstance(instr, SetItem):
+        read_obj = _compile_operand(fname, instr.obj)
+        read_idx = _compile_operand(fname, instr.index)
+        read_val = _compile_operand(fname, instr.value)
+
+        def step_setitem(env, meter):
+            obj = read_obj(env)
+            index = read_idx(env)
+            value = read_val(env)
+            try:
+                obj[index] = value
+            except (TypeError, KeyError, IndexError) as exc:
+                raise InterpreterError(
+                    f"{fname}: item assignment failed on "
+                    f"{type(obj).__name__}: {exc}"
+                ) from exc
+            return nxt
+
+        return step_setitem
+
+    if isinstance(instr, Nop):
+        return lambda env, meter: nxt
+
+    message = f"{fname}: unknown instruction {type(instr).__name__}"
+
+    def step_unknown(env, meter):
+        raise InterpreterError(message)
+
+    return step_unknown
+
+
+def _static_successors(instr: Instr, pc: int, n: int) -> Tuple[int, ...]:
+    """Control-flow successors as the compiled closures will return them."""
+    if isinstance(instr, Return):
+        return ()
+    if isinstance(instr, Goto):
+        return (instr.target_index,)
+    if isinstance(instr, If):
+        return (pc + 1, instr.target_index)
+    return (pc + 1,)
+
+
+# -- the compiled program ------------------------------------------------------
+
+
+class CompiledFunction:
+    """An :class:`IRFunction` lowered to per-instruction closures."""
+
+    __slots__ = (
+        "name",
+        "steps",
+        "n",
+        "successors",
+        "key",
+        "_mask_cache",
+        "_full_mask",
+    )
+
+    def __init__(
+        self, fn: IRFunction, registry: FunctionRegistry, key: tuple
+    ) -> None:
+        self.name = fn.name
+        self.n = len(fn.instrs)
+        self.steps: List[StepFn] = [
+            _compile_instr(fn.name, instr, pc, registry)
+            for pc, instr in enumerate(fn.instrs)
+        ]
+        self.successors: Tuple[Tuple[int, ...], ...] = tuple(
+            _static_successors(instr, pc, self.n)
+            for pc, instr in enumerate(fn.instrs)
+        )
+        self.key = key
+        self._mask_cache: Dict[tuple, bytearray] = {}
+        self._full_mask = bytearray([1]) * self.n
+
+    def _mask_for(
+        self,
+        split_set: FrozenSet[Edge],
+        observe_set: Optional[FrozenSet[Edge]],
+    ) -> bytearray:
+        """Per-pc flag: does any out-edge of pc need an edge check?
+
+        Cached per (split set, observe set) pair; plans change rarely
+        relative to message traffic, so the steady state is one dict hit.
+        """
+        key = (split_set, observe_set)
+        mask = self._mask_cache.get(key)
+        if mask is None:
+            watch = split_set if observe_set is None else split_set | observe_set
+            mask = bytearray(self.n)
+            for pc, succs in enumerate(self.successors):
+                for s in succs:
+                    if (pc, s) in watch:
+                        mask[pc] = 1
+                        break
+            if len(self._mask_cache) > 128:
+                self._mask_cache.clear()
+            self._mask_cache[key] = mask
+        return mask
+
+    def execute(
+        self,
+        env: Dict[str, object],
+        start_pc: int,
+        *,
+        split_hook=None,
+        edge_observer=None,
+        observe_edges: Optional[FrozenSet[Edge]] = None,
+        meter=None,
+        max_steps: int,
+    ) -> Tuple[Outcome, int]:
+        """Run the compiled program; returns (outcome, executed steps).
+
+        Mirrors ``Interpreter._execute`` exactly, minus per-instruction
+        dispatch: split membership and live-capture use the hook's
+        precomputed sets when available (``split_edge_set`` /
+        ``capture_specs``), falling back to the per-edge ``should_split``
+        protocol for custom hooks.
+        """
+        steps = self.steps
+        n = self.n
+        fname = self.name
+
+        split_set: Optional[FrozenSet[Edge]] = None
+        capture_specs: Optional[Dict[Edge, Tuple[str, ...]]] = None
+        generic_hook = None
+        if split_hook is not None:
+            split_set = split_hook.split_edge_set()
+            if split_set is None:
+                generic_hook = split_hook
+            else:
+                capture_specs = split_hook.capture_specs()
+
+        observe_all = edge_observer is not None and observe_edges is None
+        if generic_hook is not None or observe_all:
+            mask = self._full_mask
+        else:
+            mask = self._mask_for(
+                split_set if split_set is not None else _EMPTY_EDGES,
+                observe_edges if edge_observer is not None else None,
+            )
+
+        charge = meter.charge_instr if meter is not None else None
+        count = 0
+        pc = start_pc
+        while True:
+            count += 1
+            if count > max_steps:
+                raise InterpreterError(
+                    f"{fname}: exceeded {max_steps} steps "
+                    f"(infinite loop?)"
+                )
+            if charge is not None:
+                charge()
+            next_pc = steps[pc](env, meter)
+            if next_pc is None:  # Return executed
+                return Outcome(kind="return", value=env.get("$return")), count
+            if next_pc >= n:
+                raise InterpreterError(
+                    f"{fname}: fell off the end at instruction {pc}"
+                )
+            if mask[pc]:
+                edge: Edge = (pc, next_pc)
+                if edge_observer is not None and (
+                    observe_edges is None or edge in observe_edges
+                ):
+                    edge_observer(edge, env)
+                if generic_hook is not None:
+                    if generic_hook.should_split(edge):
+                        live = generic_hook.live_vars(edge)
+                        captured = {
+                            v.name: env[v.name]
+                            for v in live
+                            if v.name in env
+                        }
+                        return (
+                            Outcome(
+                                kind="split",
+                                continuation=Continuation(
+                                    function=fname,
+                                    edge=edge,
+                                    variables=captured,
+                                ),
+                            ),
+                            count,
+                        )
+                elif split_set is not None and edge in split_set:
+                    names = (
+                        capture_specs.get(edge)
+                        if capture_specs is not None
+                        else None
+                    )
+                    if names is None:
+                        live = split_hook.live_vars(edge)
+                        captured = {
+                            v.name: env[v.name]
+                            for v in live
+                            if v.name in env
+                        }
+                    else:
+                        captured = {
+                            name: env[name] for name in names if name in env
+                        }
+                    return (
+                        Outcome(
+                            kind="split",
+                            continuation=Continuation(
+                                function=fname, edge=edge, variables=captured
+                            ),
+                        ),
+                        count,
+                    )
+            pc = next_pc
+
+
+def compile_function(
+    fn: IRFunction, registry: FunctionRegistry
+) -> CompiledFunction:
+    """Lower *fn* once; cached on the function, invalidated by IR identity.
+
+    The cache key ties the artifact to this exact instruction list (object
+    identity — rewrites like inlining produce a new function) and to the
+    registry's mutation version, so registering or replacing a function or
+    class after compilation forces a recompile with fresh entry bindings.
+    """
+    key = (
+        id(registry),
+        registry.version,
+        id(fn.instrs),
+        len(fn.instrs),
+    )
+    cached = getattr(fn, "_compiled_cache", None)
+    if cached is not None and cached.key == key:
+        return cached
+    compiled = CompiledFunction(fn, registry, key)
+    fn._compiled_cache = compiled
+    return compiled

@@ -94,6 +94,13 @@ _CMP_FUNCS: Dict[str, Callable] = {
     "not in": lambda a, b: a not in b,
 }
 
+_UNARY_FUNCS: Dict[str, Callable] = {
+    "-": _op.neg,
+    "+": _op.pos,
+    "not": _op.not_,
+    "~": _op.invert,
+}
+
 
 @dataclass
 class CycleMeter:
@@ -163,6 +170,13 @@ class SplitHook:
     """Decides whether a traversed edge is an active split point.
 
     The default implementation never splits; plans provide real hooks.
+
+    Hooks that know their full split set up front should additionally
+    implement :meth:`split_edge_set` and :meth:`capture_specs`: the compiled
+    backend then reduces the per-edge split check to one frozenset
+    membership test and captures live variables from precomputed name
+    tuples, never touching the per-edge ``should_split``/``live_vars``
+    protocol on the hot path.
     """
 
     def should_split(self, edge: Edge) -> bool:
@@ -172,9 +186,35 @@ class SplitHook:
         """The variables to capture when splitting at *edge*."""
         return frozenset()
 
+    def split_edge_set(self) -> Optional[FrozenSet[Edge]]:
+        """Every edge that would currently split, or None if unknown.
+
+        ``None`` (the default) makes the compiled backend fall back to
+        calling :meth:`should_split` per traversed edge.
+        """
+        return None
+
+    def capture_specs(self) -> Optional[Dict[Edge, Tuple[str, ...]]]:
+        """Per-edge live-capture variable names, or None if unknown.
+
+        Name order must match iteration order of :meth:`live_vars`'s
+        frozenset so both backends build identical capture dicts.
+        """
+        return None
+
 
 class Interpreter:
-    """Executes IR functions against a function registry."""
+    """Executes IR functions against a function registry.
+
+    Two execution backends share this front end:
+
+    * ``"compiled"`` (default) — each function is lowered once into
+      per-instruction closures (:mod:`repro.ir.compiler`) and the loop runs
+      those; split checks are O(1) set membership when the hook provides
+      its edge set.
+    * ``"tree"`` — the original tree-walking evaluator; kept as the
+      reference semantics for the differential equivalence suite.
+    """
 
     def __init__(
         self,
@@ -182,9 +222,17 @@ class Interpreter:
         *,
         max_steps: int = 50_000_000,
         obs=None,
+        backend: str = "compiled",
     ) -> None:
+        if backend not in ("compiled", "tree"):
+            raise ValueError(
+                f"unknown interpreter backend {backend!r}; "
+                f"expected 'compiled' or 'tree'"
+            )
         self.registry = registry
         self.max_steps = max_steps
+        self.backend = backend
+        self._compile = None  # lazy import of repro.ir.compiler
         self.obs = None
         self._c_instructions = None
         self._c_executions = None
@@ -215,9 +263,14 @@ class Interpreter:
         *,
         split_hook: Optional[SplitHook] = None,
         edge_observer: Optional[Callable[[Edge, Dict[str, object]], None]] = None,
+        observe_edges: Optional[FrozenSet[Edge]] = None,
         meter: Optional[CycleMeter] = None,
     ) -> Outcome:
-        """Run *fn* from the top with *args* bound to its parameters."""
+        """Run *fn* from the top with *args* bound to its parameters.
+
+        ``observe_edges`` restricts the edge observer to the given edges
+        (typically the handler's PSE set); ``None`` observes every edge.
+        """
         if len(args) != len(fn.params):
             raise InterpreterError(
                 f"{fn.name}: expected {len(fn.params)} arguments, "
@@ -232,6 +285,7 @@ class Interpreter:
             start_pc=0,
             split_hook=split_hook,
             edge_observer=edge_observer,
+            observe_edges=observe_edges,
             meter=meter,
         )
 
@@ -242,6 +296,7 @@ class Interpreter:
         *,
         split_hook: Optional[SplitHook] = None,
         edge_observer: Optional[Callable[[Edge, Dict[str, object]], None]] = None,
+        observe_edges: Optional[FrozenSet[Edge]] = None,
         meter: Optional[CycleMeter] = None,
     ) -> Outcome:
         """Resume *fn* at a continuation's PSE with its variables restored.
@@ -268,6 +323,7 @@ class Interpreter:
             start_pc=in_node,
             split_hook=split_hook,
             edge_observer=edge_observer,
+            observe_edges=observe_edges,
             meter=meter,
         )
 
@@ -281,14 +337,37 @@ class Interpreter:
         start_pc: int,
         split_hook: Optional[SplitHook],
         edge_observer: Optional[Callable[[Edge, Dict[str, object]], None]],
+        observe_edges: Optional[FrozenSet[Edge]] = None,
         meter: Optional[CycleMeter],
     ) -> Outcome:
+        if self._c_executions is not None:
+            self._c_executions.inc()
+        if self.backend == "compiled":
+            compile_function = self._compile
+            if compile_function is None:
+                from repro.ir.compiler import compile_function
+
+                self._compile = compile_function
+            outcome, steps = compile_function(fn, self.registry).execute(
+                env,
+                start_pc,
+                split_hook=split_hook,
+                edge_observer=edge_observer,
+                observe_edges=observe_edges,
+                meter=meter,
+                max_steps=self.max_steps,
+            )
+            if outcome.split:
+                if self._c_captured is not None:
+                    self._c_captured.inc()
+                    self._c_instructions.inc(steps)
+            elif self._c_instructions is not None:
+                self._c_instructions.inc(steps)
+            return outcome
         instrs = fn.instrs
         n = len(instrs)
         pc = start_pc
         steps = 0
-        if self._c_executions is not None:
-            self._c_executions.inc()
         while True:
             steps += 1
             if steps > self.max_steps:
@@ -309,7 +388,9 @@ class Interpreter:
                     f"{fn.name}: fell off the end at instruction {pc}"
                 )
             edge: Edge = (pc, next_pc)
-            if edge_observer is not None:
+            if edge_observer is not None and (
+                observe_edges is None or edge in observe_edges
+            ):
                 edge_observer(edge, env)
             if split_hook is not None and split_hook.should_split(edge):
                 live = split_hook.live_vars(edge)
@@ -431,15 +512,17 @@ class Interpreter:
                 ) from exc
         if isinstance(expr, UnaryOp):
             value = self._operand(fn, expr.operand, env)
-            if expr.op == "-":
-                return -value
-            if expr.op == "+":
-                return +value
-            if expr.op == "not":
-                return not value
-            if expr.op == "~":
-                return ~value
-            raise InterpreterError(f"{fn.name}: unknown unary op {expr.op!r}")
+            unary = _UNARY_FUNCS.get(expr.op)
+            if unary is None:
+                raise InterpreterError(
+                    f"{fn.name}: unknown unary op {expr.op!r}"
+                )
+            try:
+                return unary(value)
+            except TypeError as exc:
+                raise InterpreterError(
+                    f"{fn.name}: {expr!r} failed: {exc}"
+                ) from exc
         if isinstance(expr, Call):
             entry = self.registry.function(expr.func)
             args = [self._operand(fn, a, env) for a in expr.args]

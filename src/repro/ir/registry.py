@@ -65,7 +65,15 @@ class FunctionRegistry:
     def __init__(self) -> None:
         self._functions: Dict[str, FunctionEntry] = {}
         self._classes: Dict[str, ClassEntry] = {}
+        #: mutation counter; compiled-code and analysis caches key on it so
+        #: any (re)registration invalidates artifacts that prefetched entries.
+        self._version = 0
         self._install_builtins()
+
+    @property
+    def version(self) -> int:
+        """Monotonic registration counter (cache-invalidation token)."""
+        return self._version
 
     # -- registration -----------------------------------------------------
 
@@ -87,6 +95,7 @@ class FunctionRegistry:
             cycle_cost=cycle_cost,
         )
         self._functions[name] = entry
+        self._version += 1
         return entry
 
     def register_inline(
@@ -124,6 +133,7 @@ class FunctionRegistry:
             name=name, fn=direct, pure=True, inline_ir=ir
         )
         self._functions[name] = entry
+        self._version += 1
         return entry
 
     def register_class(
@@ -136,6 +146,7 @@ class FunctionRegistry:
         """Register a class so handlers can ``Cls(...)`` / ``isinstance``."""
         entry = ClassEntry(name=name or cls.__name__, cls=cls, cycle_cost=cycle_cost)
         self._classes[entry.name] = entry
+        self._version += 1
         return entry
 
     # -- lookup -----------------------------------------------------------

@@ -1,0 +1,124 @@
+"""Unit tests for the MethodPartitioner analysis-artifact cache."""
+
+import pytest
+
+from repro.core.api import MethodPartitioner
+from repro.core.costmodels import DataSizeCostModel
+from repro.ir.builder import lower_function
+from repro.serialization import SerializerRegistry
+from tests.conftest import PUSH_SOURCE, ImageData
+
+
+def _make_partitioner(display_log, **kwargs):
+    from repro.ir.registry import default_registry
+
+    registry = default_registry()
+    registry.register_class(ImageData)
+    registry.register_function(
+        "display_image", display_log.append, receiver_only=True, pure=False
+    )
+    serializer_registry = SerializerRegistry()
+    serializer_registry.register(ImageData, fields=("width", "buff"))
+    return MethodPartitioner(registry, serializer_registry, **kwargs)
+
+
+@pytest.fixture
+def partitioner():
+    return _make_partitioner([])
+
+
+def test_repeat_partition_hits_cache(partitioner):
+    model = DataSizeCostModel()
+    first = partitioner.partition(PUSH_SOURCE, model)
+    second = partitioner.partition(PUSH_SOURCE, model)
+    assert partitioner.analysis_cache_info() == {
+        "hits": 1,
+        "misses": 1,
+        "entries": 1,
+    }
+    # the expensive artifacts are shared, the runtime wrapper is fresh
+    assert second.function is first.function
+    assert second.cut is first.cut
+    assert second is not first
+
+
+def test_cached_partition_still_works(partitioner):
+    model = DataSizeCostModel()
+    partitioner.partition(PUSH_SOURCE, model)
+    pm = partitioner.partition(PUSH_SOURCE, model)
+    modulator = pm.make_modulator()
+    result = modulator.process(ImageData(None, 50, 50))
+    assert result.message is not None
+    demodulator = pm.make_demodulator()
+    demodulator.process(result.message)
+
+
+def test_different_cost_model_misses(partitioner):
+    partitioner.partition(PUSH_SOURCE, DataSizeCostModel())
+    partitioner.partition(PUSH_SOURCE, DataSizeCostModel())
+    assert partitioner.analysis_cache_hits == 0
+    assert partitioner.analysis_cache_misses == 2
+
+
+def test_different_options_miss(partitioner):
+    model = DataSizeCostModel()
+    partitioner.partition(PUSH_SOURCE, model)
+    partitioner.partition(PUSH_SOURCE, model, max_paths=7)
+    assert partitioner.analysis_cache_hits == 0
+    assert partitioner.analysis_cache_info()["entries"] == 2
+
+
+def test_registry_mutation_invalidates(partitioner):
+    model = DataSizeCostModel()
+    partitioner.partition(PUSH_SOURCE, model)
+    partitioner.registry.register_function("extra", lambda: None)
+    partitioner.partition(PUSH_SOURCE, model)
+    assert partitioner.analysis_cache_hits == 0
+    assert partitioner.analysis_cache_misses == 2
+
+
+def test_cache_can_be_disabled():
+    partitioner = _make_partitioner([], analysis_cache=False)
+    model = DataSizeCostModel()
+    first = partitioner.partition(PUSH_SOURCE, model)
+    second = partitioner.partition(PUSH_SOURCE, model)
+    assert first.cut is not second.cut
+    assert partitioner.analysis_cache_info() == {
+        "hits": 0,
+        "misses": 0,
+        "entries": 0,
+    }
+
+
+def test_clear_cache(partitioner):
+    model = DataSizeCostModel()
+    partitioner.partition(PUSH_SOURCE, model)
+    partitioner.clear_analysis_cache()
+    partitioner.partition(PUSH_SOURCE, model)
+    assert partitioner.analysis_cache_hits == 0
+    assert partitioner.analysis_cache_info()["entries"] == 1
+
+
+def test_unhashable_constants_bypass_cache(partitioner):
+    model = DataSizeCostModel()
+    constants = {"TABLE": [1, 2, 3]}  # a list cannot enter the key
+    source = "def f(event):\n    display_image(TABLE)\n"
+    partitioner.partition(source, model, constants=constants)
+    partitioner.partition(source, model, constants=constants)
+    assert partitioner.analysis_cache_info() == {
+        "hits": 0,
+        "misses": 0,
+        "entries": 0,
+    }
+
+
+def test_ir_function_handler_keyed_by_identity(partitioner):
+    model = DataSizeCostModel()
+    fn = lower_function(PUSH_SOURCE, partitioner.registry)
+    partitioner.partition(fn, model)
+    partitioner.partition(fn, model)
+    assert partitioner.analysis_cache_hits == 1
+    # an equal-but-distinct lowering is not mistaken for the cached one
+    twin = lower_function(PUSH_SOURCE, partitioner.registry)
+    partitioner.partition(twin, model)
+    assert partitioner.analysis_cache_hits == 1

@@ -1,0 +1,150 @@
+"""Unit tests for the closure-compilation backend.
+
+Differential coverage at the application level lives in
+``tests/integration/test_backend_equivalence.py``; here we pin the
+compile-cache behaviour, invalidation, and error-message parity of the
+compiled closures against the tree walker.
+"""
+
+import pytest
+
+from repro.errors import InterpreterError
+from repro.ir.builder import lower_function
+from repro.ir.compiler import compile_function
+from repro.ir.interpreter import CycleMeter, Interpreter
+from repro.ir.registry import default_registry
+
+
+@pytest.fixture
+def registry():
+    registry = default_registry()
+    registry.register_function(
+        "costly", lambda x: x * 2, cycle_cost=lambda x: 100.0
+    )
+    return registry
+
+
+SIMPLE = "def f(a):\n    b = a + 1\n    c = b * 2\n    return c\n"
+
+
+def _both_errors(registry, source, args):
+    """Run *source* under both backends; return the two error messages."""
+    fn = lower_function(source, registry)
+    messages = []
+    for backend in ("tree", "compiled"):
+        interp = Interpreter(registry, backend=backend)
+        with pytest.raises(InterpreterError) as exc_info:
+            interp.run(fn, args)
+        messages.append(str(exc_info.value))
+    return messages
+
+
+# -- caching -----------------------------------------------------------------
+
+
+def test_compile_is_cached_per_function(registry):
+    fn = lower_function(SIMPLE, registry)
+    first = compile_function(fn, registry)
+    second = compile_function(fn, registry)
+    assert first is second
+
+
+def test_registry_change_invalidates_cache(registry):
+    fn = lower_function(SIMPLE, registry)
+    first = compile_function(fn, registry)
+    registry.register_function("late", lambda: None)
+    second = compile_function(fn, registry)
+    assert first is not second
+
+
+def test_distinct_registries_do_not_share_code(registry):
+    fn = lower_function(SIMPLE, registry)
+    first = compile_function(fn, registry)
+    other = default_registry()
+    other.register_function(
+        "costly", lambda x: x * 2, cycle_cost=lambda x: 100.0
+    )
+    assert compile_function(fn, other) is not first
+    # ...and flipping back re-uses nothing stale
+    assert compile_function(fn, registry) is not first
+
+
+def test_interpreter_rejects_unknown_backend(registry):
+    with pytest.raises(ValueError, match="unknown interpreter backend"):
+        Interpreter(registry, backend="jit")
+
+
+# -- execution parity on the unit level --------------------------------------
+
+
+def test_compiled_result_and_meter_match_tree(registry):
+    fn = lower_function("def f(a):\n    return costly(a) + 1\n", registry)
+    outcomes = {}
+    for backend in ("tree", "compiled"):
+        meter = CycleMeter()
+        outcome = Interpreter(registry, backend=backend).run(
+            fn, [3], meter=meter
+        )
+        outcomes[backend] = (
+            outcome.value,
+            meter.cycles,
+            meter.instructions,
+        )
+    assert outcomes["tree"] == outcomes["compiled"]
+
+
+def test_unregistered_call_on_dead_branch_still_runs(registry):
+    # The tree walker resolves call targets lazily at each execution; the
+    # compiled backend must preserve that when the execution registry lacks
+    # a name the lowering registry had: compile fine, run dead branches
+    # fine, raise only when the call is actually reached.
+    source = (
+        "def f(a):\n"
+        "    if a:\n"
+        "        return ghost(a)\n"
+        "    return 0\n"
+    )
+    registry.register_function("ghost", lambda x: x)
+    fn = lower_function(source, registry)
+    bare = default_registry()
+    for backend in ("tree", "compiled"):
+        interp = Interpreter(bare, backend=backend)
+        assert interp.run(fn, [0]).value == 0
+        with pytest.raises(InterpreterError, match="ghost"):
+            interp.run(fn, [1])
+
+
+# -- error-message parity ----------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "source,args",
+    [
+        # variable used before assignment
+        ("def f(a):\n    if a:\n        x = 1\n    return x\n", [0]),
+        # BinOp type failure
+        ("def f(a):\n    return a + 'no'\n", [1]),
+        # division by zero
+        ("def f(a):\n    return 1 // a\n", [0]),
+        # Compare type failure
+        ("def f(a):\n    return a < 'no'\n", [1]),
+        # UnaryOp type failure
+        ("def f(a):\n    return -a\n", ["no"]),
+        # call raising inside a native
+        ("def f(a):\n    return costly(a, a)\n", [1]),
+    ],
+)
+def test_error_messages_match_tree_walker(registry, source, args):
+    tree_msg, compiled_msg = _both_errors(registry, source, args)
+    assert tree_msg == compiled_msg
+
+
+def test_max_steps_message_matches(registry):
+    fn = lower_function("def f(a):\n    while True:\n        a += 1\n", registry)
+    messages = []
+    for backend in ("tree", "compiled"):
+        interp = Interpreter(registry, max_steps=100, backend=backend)
+        with pytest.raises(InterpreterError) as exc_info:
+            interp.run(fn, [0])
+        messages.append(str(exc_info.value))
+    assert messages[0] == messages[1]

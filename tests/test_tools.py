@@ -79,7 +79,7 @@ def test_experiments_rejects_unknown():
 
 
 def test_experiments_failure_exits_nonzero(capsys, monkeypatch):
-    def boom(quick, obs=None):
+    def boom(quick, obs=None, backend="compiled"):
         raise RuntimeError("synthetic failure")
 
     monkeypatch.setitem(experiments_cli._RUNNERS, "table3", boom)
@@ -94,11 +94,11 @@ def test_experiments_failure_exits_nonzero(capsys, monkeypatch):
 def test_experiments_all_continues_past_failure(capsys, monkeypatch):
     ran = []
 
-    def boom(quick, obs=None):
+    def boom(quick, obs=None, backend="compiled"):
         raise RuntimeError("boom")
 
     def make_ok(name):
-        def ok(quick, obs=None):
+        def ok(quick, obs=None, backend="compiled"):
             ran.append(name)
             return f"{name} ok"
 
