@@ -80,11 +80,21 @@ class Version:
     ) -> None:
         """Hook after the receiver host finished (feedback lives here)."""
 
-    def on_transfer(self, size: float, seconds: float) -> None:
+    def on_transfer(
+        self,
+        size: float,
+        seconds: float,
+        payload: object = None,
+        sent_at: float = None,
+    ) -> None:
         """Hook with each message's observed network time (send → arrive).
 
         Lets bandwidth-aware cost models (e.g. the response-time model)
         track the link's current capacity from ordinary traffic.
+        ``payload`` is the delivered wire object, so tracing versions can
+        attribute the transfer to the message's trace; ``sent_at`` is the
+        exact departure timestamp (``seconds`` alone cannot reconstruct it
+        without floating-point drift).
         """
 
 
@@ -204,7 +214,9 @@ def run_pipeline(
         while True:
             item = yield mailbox.get()
             generated_at, payload, size, sent_at = item
-            version.on_transfer(size, sim.now - sent_at)
+            version.on_transfer(
+                size, sim.now - sent_at, payload=payload, sent_at=sent_at
+            )
             share = version.receiver_share(payload)
             if share.cycles > 0:
                 start, finish = testbed.receiver.execute(share.cycles)

@@ -95,7 +95,7 @@ class MethodPartitioningVersion(Version):
             obs=obs,
         )
         self.demodulator = partitioned.make_demodulator(
-            profiling=self.profiling, record_rates=False
+            profiling=self.profiling, record_rates=False, obs=obs
         )
         self.adaptive = adaptive
         self.reconfig = (
@@ -110,15 +110,40 @@ class MethodPartitioningVersion(Version):
         self.plan_updates_applied = 0
         self.feedback_bytes = 0.0
         self.feedback_messages = 0
+        # Simulation context captured in prepare(); span bookkeeping for
+        # retiming modulate/demodulate spans to host-execution windows.
+        # The producer/consumer generators are strictly sequential per
+        # side, so at most one span per side is pending at any time.
+        self._sender_host: Optional[str] = None
+        self._receiver_host: Optional[str] = None
+        self._link_name: Optional[str] = None
+        self._feedback_link_name: Optional[str] = None
+        self._pending_mod_span = None
+        self._pending_demod_span = None
+        self._pending_ship_end: Optional[float] = None
+
+    def _tracer(self):
+        obs = self.obs
+        return obs.tracing if obs is not None else None
 
     def prepare(self, sim: Simulator, testbed: Testbed) -> None:
+        self._sender_host = testbed.sender.name
+        self._receiver_host = testbed.receiver.name
+        self._link_name = testbed.link.name
+        self._feedback_link_name = testbed.feedback_link.name
         if self.obs is not None:
+            # Aligns an attached tracer's clock to simulated time.
             sim.attach_observability(self.obs)
+            testbed.sender.attach_observability(self.obs)
+            testbed.receiver.attach_observability(self.obs)
+            testbed.link.attach_observability(self.obs)
+            testbed.feedback_link.attach_observability(self.obs)
 
     # -- Version interface -----------------------------------------------------
 
     def sender_share(self, event: object) -> SenderShare:
         result = self.modulator.process(event)
+        self._pending_mod_span = result.span
         if result.completed:
             return SenderShare(
                 payload=None, size=0.0, cycles=result.cycles, info=None
@@ -134,6 +159,9 @@ class MethodPartitioningVersion(Version):
                     pse_id=str(result.message.pse_id), bytes=size
                 )
             )
+            tracer = self.obs.tracing
+            if tracer is not None:
+                tracer.observe_pse(str(result.message.pse_id), size=size)
         return SenderShare(
             payload=result.message,
             size=size,
@@ -143,6 +171,7 @@ class MethodPartitioningVersion(Version):
 
     def receiver_share(self, payload: object) -> ReceiverShare:
         outcome = self.demodulator.process(payload)
+        self._pending_demod_span = outcome.span
         return ReceiverShare(cycles=outcome.cycles, info=outcome.edge)
 
     def on_sender_done(
@@ -155,6 +184,16 @@ class MethodPartitioningVersion(Version):
         recorder = self.sender_proxy or self.profiling
         if share.cycles > 0:
             recorder.record_sender_rate(service_time, share.cycles)
+        span = self._pending_mod_span
+        if span is not None:
+            self._pending_mod_span = None
+            # Snap the modulate span to the host's actual service window.
+            self._tracer().retime(
+                span,
+                sim.now - service_time,
+                sim.now,
+                host=self._sender_host,
+            )
         if self.sender_proxy is not None:
             self._maybe_flush_feedback(sim, testbed)
         if self.location == "sender":
@@ -177,11 +216,46 @@ class MethodPartitioningVersion(Version):
         # Sender-side observations travel WITH the data (forward link),
         # sharing its bandwidth — monitoring traffic is not free.
         arrival = testbed.link.delivery_time(size)
-        sim.schedule(
-            arrival - sim.now,
-            lambda _v, p=payload: ingest(self.profiling, p),
-            None,
-        )
+        tracer = self._tracer()
+        ingest_ctx = None
+        if tracer is not None:
+            trace_id = tracer.start_trace(force=True)
+            flush_span = tracer.record(
+                "feedback.flush",
+                trace_id=trace_id,
+                start=sim.now,
+                end=sim.now,
+                host=self._sender_host,
+                attrs={"records": len(payload), "bytes": size},
+            )
+            ship_span = tracer.record(
+                "feedback.ship",
+                trace_id=trace_id,
+                parent_id=flush_span.span_id,
+                start=sim.now,
+                end=arrival,
+                host=self._link_name,
+                attrs={"bytes": size},
+            )
+            ingest_ctx = (trace_id, ship_span.span_id)
+
+        def _ingest(_v, p=payload, ctx=ingest_ctx, at=arrival):
+            if ctx is not None:
+                # Clamp to the ship span's end: rescheduling through the
+                # event heap can round the fire time fractionally early.
+                t = max(sim.now, at)
+                tracer.record(
+                    "feedback.ingest",
+                    trace_id=ctx[0],
+                    parent_id=ctx[1],
+                    start=t,
+                    end=t,
+                    host=self._receiver_host,
+                    attrs={"records": len(p)},
+                )
+            ingest(self.profiling, p)
+
+        sim.schedule(arrival - sim.now, _ingest, None)
 
     def on_receiver_done(
         self,
@@ -192,14 +266,61 @@ class MethodPartitioningVersion(Version):
     ) -> None:
         if share.cycles > 0:
             self.profiling.record_receiver_rate(service_time, share.cycles)
+        span = self._pending_demod_span
+        if span is not None:
+            self._pending_demod_span = None
+            tracer = self._tracer()
+            # The demodulator cannot start before the message arrived;
+            # clamping absorbs the rounding in ``now - service_time``.
+            start = sim.now - service_time
+            if self._pending_ship_end is not None:
+                start = max(start, self._pending_ship_end)
+                self._pending_ship_end = None
+            tracer.retime(
+                span,
+                start,
+                sim.now,
+                host=self._receiver_host,
+            )
+            pse_id = span.attrs.get("pse") if span.attrs else None
+            if pse_id is not None:
+                tracer.observe_pse(pse_id, latency=service_time)
         if self.location == "receiver":
             self._maybe_reconfigure(sim, testbed)
 
-    def on_transfer(self, size: float, seconds: float) -> None:
+    def on_transfer(
+        self,
+        size: float,
+        seconds: float,
+        payload: object = None,
+        sent_at: float = None,
+    ) -> None:
         model = self.partitioned.cut.cost_model
         observe = getattr(model, "observe_transfer", None)
         if observe is not None:
             observe(size, seconds)
+        tracer = self._tracer()
+        if tracer is not None and payload is not None:
+            ctx = getattr(payload, "trace", None)
+            if ctx is not None:
+                # The tracer's clock is the simulator's now (prepare()),
+                # so the transfer window closes at pickup.  ``sent_at`` is
+                # the exact departure time; deriving it as now - seconds
+                # reintroduces rounding below the modulate span's end.
+                now = tracer.clock()
+                start = sent_at if sent_at is not None else now - seconds
+                span = tracer.record(
+                    "ship",
+                    trace_id=ctx[0],
+                    parent_id=ctx[1],
+                    start=start,
+                    end=now,
+                    host=self._link_name,
+                    attrs={"bytes": size},
+                )
+                # Re-parent the demodulate span under the ship span.
+                payload.trace = (ctx[0], span.span_id)
+                self._pending_ship_end = now
 
     def _maybe_reconfigure(self, sim: Simulator, testbed: Testbed) -> None:
         if self.reconfig is None:
@@ -219,9 +340,34 @@ class MethodPartitioningVersion(Version):
             # The new plan travels to the sender over the feedback link.
             arrival = testbed.feedback_link.delivery_time(_PLAN_UPDATE_BYTES)
             self.feedback_bytes += _PLAN_UPDATE_BYTES
-            sim.schedule(
-                arrival - sim.now,
-                lambda _v, p=plan: self.modulator.apply_plan(p),
-                None,
-            )
+            tracer = self._tracer()
+            apply_ctx = None
+            if tracer is not None and self.reconfig.last_trace_ctx is not None:
+                ctx = self.reconfig.last_trace_ctx
+                ship_span = tracer.record(
+                    "plan.ship",
+                    trace_id=ctx[0],
+                    parent_id=ctx[1],
+                    start=sim.now,
+                    end=arrival,
+                    host=self._feedback_link_name,
+                    attrs={"bytes": _PLAN_UPDATE_BYTES},
+                )
+                apply_ctx = (ctx[0], ship_span.span_id)
+
+            def _apply(_v, p=plan, ctx=apply_ctx, at=arrival):
+                if ctx is not None:
+                    t = max(sim.now, at)
+                    tracer.record(
+                        "plan.apply",
+                        trace_id=ctx[0],
+                        parent_id=ctx[1],
+                        start=t,
+                        end=t,
+                        host=self._sender_host,
+                        attrs={"plan": p.name},
+                    )
+                self.modulator.apply_plan(p)
+
+            sim.schedule(arrival - sim.now, _apply, None)
         self.plan_updates_applied += 1

@@ -8,6 +8,18 @@ restores the variables, jumps to the PSE, and continues processing.
 :class:`ContinuationMessage` is the wire object;
 :class:`ContinuationCodec` binds it to the custom serializer so its size
 can both be measured (profiling) and paid (simulated network).
+
+Wire format: a message without trace context encodes as the original
+bare 5-tuple ``(function, pse_id, out, in, variables)`` — byte-identical
+to pre-tracing builds, so turning tracing off costs nothing on the wire.
+With trace context the payload grows a versioned header::
+
+    ("mp-cont", version, function, pse_id, out, in, variables,
+     trace_id, parent_span_id)
+
+Decoders accept both shapes; a headered payload with an unknown version
+raises :class:`~repro.errors.SerializationError` (the peers disagree
+about the protocol, which must not be silently mis-parsed).
 """
 
 from __future__ import annotations
@@ -15,9 +27,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.errors import ContinuationError
+from repro.errors import ContinuationError, SerializationError
 from repro.ir.interpreter import Continuation, Edge
 from repro.serialization import Serializer, SerializerRegistry, measure_size
+
+#: header magic marking a versioned continuation payload
+WIRE_MAGIC = "mp-cont"
+#: current wire version (v1 was the headerless bare 5-tuple)
+WIRE_VERSION = 2
 
 
 @dataclass
@@ -26,13 +43,15 @@ class ContinuationMessage:
 
     ``pse_id`` is the paper's "special ID for the PSE"; ``edge`` is its
     resolved (out, in) instruction pair; ``variables`` is the restored
-    environment for the demodulator.
+    environment for the demodulator; ``trace`` is the optional causal
+    trace context ``(trace_id, parent_span_id)`` carried across hosts.
     """
 
     function: str
     pse_id: str
     edge: Edge
     variables: Dict[str, object]
+    trace: Optional[Tuple[int, int]] = None
 
     @classmethod
     def from_continuation(
@@ -43,6 +62,7 @@ class ContinuationMessage:
             pse_id=pse_id,
             edge=continuation.edge,
             variables=dict(continuation.variables),
+            trace=continuation.trace,
         )
 
     def to_continuation(self) -> Continuation:
@@ -50,6 +70,7 @@ class ContinuationMessage:
             function=self.function,
             edge=self.edge,
             variables=dict(self.variables),
+            trace=self.trace,
         )
 
 
@@ -60,19 +81,64 @@ class ContinuationCodec:
         self.registry = registry or SerializerRegistry()
         self._serializer = Serializer(self.registry)
 
-    def encode(self, message: ContinuationMessage) -> bytes:
-        payload = (
+    @staticmethod
+    def _payload(message: ContinuationMessage) -> tuple:
+        if message.trace is None:
+            return (
+                message.function,
+                message.pse_id,
+                message.edge[0],
+                message.edge[1],
+                message.variables,
+            )
+        return (
+            WIRE_MAGIC,
+            WIRE_VERSION,
             message.function,
             message.pse_id,
             message.edge[0],
             message.edge[1],
             message.variables,
+            message.trace[0],
+            message.trace[1],
         )
-        return self._serializer.serialize(payload)
+
+    def encode(self, message: ContinuationMessage) -> bytes:
+        return self._serializer.serialize(self._payload(message))
 
     def decode(self, data: bytes) -> ContinuationMessage:
         payload = self._serializer.deserialize(data)
-        if not (isinstance(payload, tuple) and len(payload) == 5):
+        if not isinstance(payload, tuple):
+            raise ContinuationError("malformed continuation message")
+        if payload and payload[0] == WIRE_MAGIC:
+            if len(payload) < 2 or payload[1] != WIRE_VERSION:
+                version = payload[1] if len(payload) >= 2 else "<missing>"
+                raise SerializationError(
+                    f"continuation wire version {version!r} not supported "
+                    f"(this build speaks version {WIRE_VERSION})"
+                )
+            if len(payload) != 9:
+                raise ContinuationError("malformed continuation message")
+            (
+                _magic,
+                _version,
+                function,
+                pse_id,
+                out_node,
+                in_node,
+                variables,
+                trace_id,
+                parent_span,
+            ) = payload
+            return ContinuationMessage(
+                function=function,
+                pse_id=pse_id,
+                edge=(out_node, in_node),
+                variables=variables,
+                trace=(trace_id, parent_span),
+            )
+        # headerless legacy payload (wire version 1)
+        if len(payload) != 5:
             raise ContinuationError("malformed continuation message")
         function, pse_id, out_node, in_node, variables = payload
         return ContinuationMessage(
@@ -84,14 +150,9 @@ class ContinuationCodec:
 
     def size(self, message: ContinuationMessage) -> int:
         """Wire size without serializing (the profiling fast path)."""
-        payload = (
-            message.function,
-            message.pse_id,
-            message.edge[0],
-            message.edge[1],
-            message.variables,
+        return measure_size(
+            self._payload(message), self.registry, use_self_sizing=True
         )
-        return measure_size(payload, self.registry, use_self_sizing=True)
 
     def payload_size(self, message: ContinuationMessage) -> int:
         """Wire size of the variables alone (the cost-model quantity)."""

@@ -51,6 +51,8 @@ class ModulatorResult:
     cycles: float = 0.0
     #: True when the continuation was a no-op and was dropped (filtering)
     elided: bool = False
+    #: the "modulate" span, when tracing sampled this message
+    span: Optional[object] = None
 
 
 @dataclass
@@ -60,6 +62,8 @@ class DemodulatorResult:
     value: object
     edge: Edge
     cycles: float = 0.0
+    #: the "demodulate" span, when the message carried a trace context
+    span: Optional[object] = None
 
 
 class Modulator:
@@ -117,6 +121,10 @@ class Modulator:
             )
         )
 
+    def _pse_id_str(self, edge: Edge) -> str:
+        pse = self.partitioned.cut.pses.get(edge)
+        return str(pse.pse_id) if pse is not None else f"forced{edge}"
+
     def apply_plan(self, plan: PartitioningPlan) -> None:
         """Adaptation actuation: flip the flag values (paper section 2.6)."""
         old_active = self.plan_runtime.active_edges()
@@ -151,11 +159,40 @@ class Modulator:
             )
         )
 
-    def process(self, *args: object) -> ModulatorResult:
-        """Run the handler on *args* until it splits (or completes)."""
+    def process(
+        self,
+        *args: object,
+        trace_ctx: Optional[Tuple[int, int]] = None,
+    ) -> ModulatorResult:
+        """Run the handler on *args* until it splits (or completes).
+
+        ``trace_ctx`` continues an existing trace (relay hops: a broker
+        re-modulating a received event); without it the tracer decides —
+        by sampling — whether this message starts a new trace.
+        """
         profiling = self.profiling
         if profiling is not None:
             profiling.record_message()
+        obs = self.obs
+        tracer = obs.tracing if obs is not None else None
+        span = None
+        run_ctx: Optional[Tuple[int, int]] = None
+        traced_edges: Optional[list] = None
+        if tracer is not None:
+            trace_id = (
+                trace_ctx[0]
+                if trace_ctx is not None
+                else tracer.start_trace()
+            )
+            if trace_id is not None:
+                span = tracer.begin(
+                    "modulate",
+                    trace_id=trace_id,
+                    parent_id=(
+                        trace_ctx[1] if trace_ctx is not None else None
+                    ),
+                )
+                run_ctx = (trace_id, span.span_id)
         meter = CycleMeter()
         observations: list = []
         observer = None
@@ -168,6 +205,14 @@ class Modulator:
                     size = self._measure_inter(edge, env)
                 observations.append((edge, meter.cycles, size))
 
+        elif span is not None:
+            # Tracing without profiling still wants the traversed PSE
+            # edges for the span attributes.
+            traced_edges = []
+
+            def observer(edge: Edge, env: Dict[str, object]) -> None:
+                traced_edges.append(edge)
+
         started = time.perf_counter() if self.wall_clock else 0.0
         outcome = self._interp.run(
             self.partitioned.function,
@@ -176,6 +221,7 @@ class Modulator:
             edge_observer=observer,
             observe_edges=self._pse_edges,
             meter=meter,
+            trace_ctx=run_ctx,
         )
         elapsed = (
             time.perf_counter() - started if self.wall_clock else meter.cycles
@@ -198,8 +244,15 @@ class Modulator:
         if outcome.returned:
             if profiling is not None:
                 profiling.record_local_completion()
+            if span is not None:
+                self._finish_span(
+                    span, observations, traced_edges, meter, "completed"
+                )
             return ModulatorResult(
-                completed=True, value=outcome.value, cycles=meter.cycles
+                completed=True,
+                value=outcome.value,
+                cycles=meter.cycles,
+                span=span,
             )
 
         continuation = outcome.continuation
@@ -216,13 +269,51 @@ class Modulator:
                 # Pair this message's modulator cycles with the
                 # demodulator's (FIFO) so total per-message work is known.
                 profiling.record_mod_total(meter.cycles)
+        if span is not None:
+            self._finish_span(
+                span,
+                observations,
+                traced_edges,
+                meter,
+                "elided" if elided else "split",
+                pse_id=str(pse_id),
+                edge=split_edge,
+            )
         return ModulatorResult(
             completed=False,
             message=None if elided else message,
             edge=split_edge,
             cycles=meter.cycles,
             elided=elided,
+            span=span,
         )
+
+    def _finish_span(
+        self,
+        span,
+        observations,
+        traced_edges,
+        meter: CycleMeter,
+        outcome: str,
+        *,
+        pse_id: Optional[str] = None,
+        edge: Optional[Edge] = None,
+    ) -> None:
+        edges = (
+            [o[0] for o in observations]
+            if traced_edges is None
+            else traced_edges
+        )
+        attrs: Dict[str, object] = {
+            "pses": [self._pse_id_str(e) for e in edges],
+            "cycles": meter.cycles,
+            "outcome": outcome,
+        }
+        if pse_id is not None:
+            attrs["pse"] = pse_id
+            attrs["edge"] = list(edge)
+        span.attrs = attrs
+        self.obs.tracing.end(span)
 
 
 class Demodulator:
@@ -240,6 +331,7 @@ class Demodulator:
         profiling: Optional[ProfilingUnit] = None,
         wall_clock: bool = False,
         record_rates: bool = True,
+        obs=None,
     ) -> None:
         self.partitioned = partitioned
         self.profiling = profiling
@@ -251,6 +343,7 @@ class Demodulator:
         self._inter_names = {
             e: tuple(v.name for v in p.inter) for e, p in pses.items()
         }
+        self.obs = obs
 
     def _measure_inter(self, edge: Edge, env: Dict[str, object]) -> float:
         """Wire size of INTER(e) from the live env (receiver side)."""
@@ -270,6 +363,16 @@ class Demodulator:
     def process(self, message: ContinuationMessage) -> DemodulatorResult:
         """Restore the live variables, jump to the PSE, continue processing."""
         profiling = self.profiling
+        obs = self.obs
+        tracer = obs.tracing if obs is not None else None
+        span = None
+        traced_edges: Optional[list] = None
+        if tracer is not None and message.trace is not None:
+            span = tracer.begin(
+                "demodulate",
+                trace_id=message.trace[0],
+                parent_id=message.trace[1],
+            )
         meter = CycleMeter()
         observations: list = []
         observer = None
@@ -280,6 +383,12 @@ class Demodulator:
                 if profiling.should_measure(edge):
                     size = self._measure_inter(edge, env)
                 observations.append((edge, meter.cycles, size))
+
+        elif span is not None:
+            traced_edges = []
+
+            def observer(edge: Edge, env: Dict[str, object]) -> None:
+                traced_edges.append(edge)
 
         started = time.perf_counter() if self.wall_clock else 0.0
         outcome = self._interp.resume(
@@ -313,8 +422,28 @@ class Demodulator:
             profiling.record_demod_total(total)
             if self.record_rates:
                 profiling.record_receiver_rate(elapsed, total)
+        if span is not None:
+            pses = self.partitioned.cut.pses
+            edges = (
+                [o[0] for o in observations]
+                if traced_edges is None
+                else traced_edges
+            )
+            span.attrs = {
+                "pse": str(message.pse_id),
+                "edge": list(message.edge),
+                "pses": [
+                    str(pses[e].pse_id) if e in pses else str(e)
+                    for e in edges
+                ],
+                "cycles": meter.cycles,
+            }
+            tracer.end(span)
         return DemodulatorResult(
-            value=outcome.value, edge=message.edge, cycles=meter.cycles
+            value=outcome.value,
+            edge=message.edge,
+            cycles=meter.cycles,
+            span=span,
         )
 
 
@@ -371,12 +500,14 @@ class PartitionedMethod:
         profiling: Optional[ProfilingUnit] = None,
         wall_clock: bool = False,
         record_rates: bool = True,
+        obs=None,
     ) -> Demodulator:
         return Demodulator(
             self,
             profiling=profiling,
             wall_clock=wall_clock,
             record_rates=record_rates,
+            obs=obs,
         )
 
     def make_reconfiguration_unit(

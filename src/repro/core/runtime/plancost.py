@@ -33,6 +33,49 @@ from repro.errors import PartitionError
 from repro.ir.interpreter import Edge
 
 
+def explain_edge_costs(
+    cut: ConvexCutResult,
+    stats: Dict[Edge, PSESnapshot],
+    active: Iterable[Edge] = frozenset(),
+) -> List[Dict[str, object]]:
+    """Per-candidate-PSE cost table behind one plan decision.
+
+    One row per non-poisoned PSE, sorted cheapest-first, mirroring
+    exactly how :meth:`ReconfigurationUnit.select_plan` priced the edge:
+    the cost model's runtime costing when a profile snapshot exists,
+    else the static lower bound.  ``chosen`` marks edges the new plan
+    activated; ``profile`` carries the snapshot that moved the price so
+    ``tracereport --explain`` can show which observations did it.
+    """
+    chosen = frozenset(active)
+    rows: List[Dict[str, object]] = []
+    for edge in sorted(cut.pses):
+        if edge in cut.poisoned:
+            continue
+        pse = cut.pses[edge]
+        snap = stats.get(edge)
+        if snap is not None:
+            cost = cut.cost_model.runtime_edge_cost(snap)
+            source = "profiled"
+            profile: Optional[Dict[str, object]] = snap.to_dict()
+        else:
+            cost = pse.static_cost.lower_bound
+            source = "static"
+            profile = None
+        rows.append(
+            {
+                "pse_id": str(pse.pse_id),
+                "edge": list(edge),
+                "cost": cost,
+                "chosen": edge in chosen,
+                "source": source,
+                "profile": profile,
+            }
+        )
+    rows.sort(key=lambda row: (row["cost"], row["pse_id"]))
+    return rows
+
+
 def first_split_on_path(
     cut: ConvexCutResult, plan: PartitioningPlan, path: TargetPath
 ) -> Optional[Edge]:

@@ -100,6 +100,22 @@ class PSESnapshot:
     #: data", not "this path never executes"
     observed_executions: int = 0
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form for plan-decision breakdowns."""
+        return {
+            "edge": list(self.edge),
+            "static_lower_bound": self.static_lower_bound,
+            "data_size": self.data_size,
+            "data_size_count": self.data_size_count,
+            "work_before": self.work_before,
+            "work_after": self.work_after,
+            "t_mod": self.t_mod,
+            "t_demod": self.t_demod,
+            "path_probability": self.path_probability,
+            "splits": self.splits,
+            "observed_executions": self.observed_executions,
+        }
+
 
 class ProfilingUnit:
     """Collects per-PSE measurements from modulator and demodulator sides."""

@@ -30,6 +30,7 @@ from repro.core.convexcut import ConvexCutResult
 from repro.core.costmodels.base import CostModel
 from repro.core.plan import PartitioningPlan
 from repro.core.runtime.maxflow import INF, FlowNetwork
+from repro.core.runtime.plancost import explain_edge_costs
 from repro.core.runtime.profiling import ProfilingUnit, PSEStats
 from repro.core.runtime.triggers import FeedbackTrigger, RateTrigger
 from repro.ir.interpreter import Edge
@@ -71,6 +72,9 @@ class ReconfigurationUnit:
         self.trigger = trigger or RateTrigger()
         self.location = location
         self.history: list = []
+        #: trace context ``(trace_id, span_id)`` of the last recompute's
+        #: "plan.recompute" span — the parent for plan-update shipping
+        self.last_trace_ctx: Optional[Tuple[int, int]] = None
         self.obs = obs
         if obs is not None:
             self._c_fires = obs.metrics.counter("reconfig.trigger_fires")
@@ -128,24 +132,61 @@ class ReconfigurationUnit:
         """
         if not self.trigger.should_fire(profiling):
             return None
-        if self.obs is not None:
+        obs = self.obs
+        tracer = obs.tracing if obs is not None else None
+        trigger_span = None
+        if obs is not None:
             self._c_fires.inc()
-            self.obs.trace.record(
+            obs.trace.record(
                 TriggerFired(
                     at_message=profiling.messages_seen,
                     trigger=type(self.trigger).__name__,
                     reason=getattr(self.trigger, "last_reason", None),
                 )
             )
+        if tracer is not None:
+            # Control-plane traces bypass sampling: a reconfiguration is
+            # rare and always worth explaining.
+            trace_id = tracer.start_trace(force=True)
+            trigger_span = tracer.begin(
+                "trigger",
+                trace_id=trace_id,
+                attrs={
+                    "trigger": type(self.trigger).__name__,
+                    "at_message": profiling.messages_seen,
+                    "reason": getattr(self.trigger, "last_reason", None),
+                },
+            )
         self.trigger.fired(profiling)
-        plan, value = self.select_plan(profiling.snapshot())
-        if self.obs is not None:
+        snapshot = profiling.snapshot()
+        if tracer is not None:
+            recompute_span = tracer.begin(
+                "plan.recompute",
+                trace_id=trigger_span.trace_id,
+                parent_id=trigger_span.span_id,
+            )
+        plan, value = self.select_plan(snapshot)
+        if tracer is not None:
+            recompute_span.attrs = {
+                "cut_value": value,
+                "pses": list(self._pse_ids(plan.active)),
+            }
+            tracer.end(recompute_span)
+            tracer.end(trigger_span)
+            self.last_trace_ctx = (
+                recompute_span.trace_id,
+                recompute_span.span_id,
+            )
+        if obs is not None:
             self._c_recomputes.inc()
-            self.obs.trace.record(
+            obs.trace.record(
                 PlanRecomputed(
                     at_message=profiling.messages_seen,
                     cut_value=value,
                     pse_ids=self._pse_ids(plan.active),
+                    breakdown=tuple(
+                        explain_edge_costs(self.cut, snapshot, plan.active)
+                    ),
                 )
             )
         self.history.append(

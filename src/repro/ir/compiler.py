@@ -705,6 +705,7 @@ class CompiledFunction:
         observe_edges: Optional[FrozenSet[Edge]] = None,
         meter=None,
         max_steps: int,
+        trace_ctx: Optional[Tuple[int, int]] = None,
     ) -> Tuple[Outcome, int]:
         """Run the compiled program; returns (outcome, executed steps).
 
@@ -777,6 +778,7 @@ class CompiledFunction:
                                     function=fname,
                                     edge=edge,
                                     variables=captured,
+                                    trace=trace_ctx,
                                 ),
                             ),
                             count,
@@ -802,7 +804,10 @@ class CompiledFunction:
                         Outcome(
                             kind="split",
                             continuation=Continuation(
-                                function=fname, edge=edge, variables=captured
+                                function=fname,
+                                edge=edge,
+                                variables=captured,
+                                trace=trace_ctx,
                             ),
                         ),
                         count,

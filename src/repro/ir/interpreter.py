@@ -136,12 +136,15 @@ class Continuation:
     ``edge`` identifies the PSE where processing stopped; ``variables`` maps
     live-variable names to their values (the INTER set of the edge);
     ``function`` names the handler so the demodulator can locate the right
-    program to resume.
+    program to resume.  ``trace`` optionally carries the causal trace
+    context ``(trace_id, parent_span_id)`` across the wire so the
+    receiver's demodulate span joins the sender's trace.
     """
 
     function: str
     edge: Edge
     variables: Dict[str, object]
+    trace: Optional[Tuple[int, int]] = None
 
     @property
     def pse_id(self) -> Edge:
@@ -265,11 +268,13 @@ class Interpreter:
         edge_observer: Optional[Callable[[Edge, Dict[str, object]], None]] = None,
         observe_edges: Optional[FrozenSet[Edge]] = None,
         meter: Optional[CycleMeter] = None,
+        trace_ctx: Optional[Tuple[int, int]] = None,
     ) -> Outcome:
         """Run *fn* from the top with *args* bound to its parameters.
 
         ``observe_edges`` restricts the edge observer to the given edges
         (typically the handler's PSE set); ``None`` observes every edge.
+        ``trace_ctx`` is stamped into any captured continuation.
         """
         if len(args) != len(fn.params):
             raise InterpreterError(
@@ -287,6 +292,7 @@ class Interpreter:
             edge_observer=edge_observer,
             observe_edges=observe_edges,
             meter=meter,
+            trace_ctx=trace_ctx,
         )
 
     def resume(
@@ -298,6 +304,7 @@ class Interpreter:
         edge_observer: Optional[Callable[[Edge, Dict[str, object]], None]] = None,
         observe_edges: Optional[FrozenSet[Edge]] = None,
         meter: Optional[CycleMeter] = None,
+        trace_ctx: Optional[Tuple[int, int]] = None,
     ) -> Outcome:
         """Resume *fn* at a continuation's PSE with its variables restored.
 
@@ -325,6 +332,7 @@ class Interpreter:
             edge_observer=edge_observer,
             observe_edges=observe_edges,
             meter=meter,
+            trace_ctx=trace_ctx,
         )
 
     # -- core loop ---------------------------------------------------------------
@@ -339,6 +347,7 @@ class Interpreter:
         edge_observer: Optional[Callable[[Edge, Dict[str, object]], None]],
         observe_edges: Optional[FrozenSet[Edge]] = None,
         meter: Optional[CycleMeter],
+        trace_ctx: Optional[Tuple[int, int]] = None,
     ) -> Outcome:
         if self._c_executions is not None:
             self._c_executions.inc()
@@ -356,6 +365,7 @@ class Interpreter:
                 observe_edges=observe_edges,
                 meter=meter,
                 max_steps=self.max_steps,
+                trace_ctx=trace_ctx,
             )
             if outcome.split:
                 if self._c_captured is not None:
@@ -398,7 +408,10 @@ class Interpreter:
                     v.name: env[v.name] for v in live if v.name in env
                 }
                 continuation = Continuation(
-                    function=fn.name, edge=edge, variables=captured
+                    function=fn.name,
+                    edge=edge,
+                    variables=captured,
+                    trace=trace_ctx,
                 )
                 if self._c_captured is not None:
                     self._c_captured.inc()

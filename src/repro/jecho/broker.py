@@ -76,7 +76,7 @@ class BrokerSubscription:
             plan=plan, profiling=self.profiling, obs=obs
         )
         self.demodulator = partitioned.make_demodulator(
-            profiling=self.profiling
+            profiling=self.profiling, obs=obs
         )
         # Reconfiguration Unit co-located with the broker's modulator.
         self.reconfig = (
@@ -92,7 +92,11 @@ class BrokerSubscription:
     def _broker_receive(self, envelope: EventEnvelope) -> None:
         """The broker runs the modulator on the relayed raw event."""
         self.stats.events_relayed += 1
-        result = self.modulator.process(envelope.payload)
+        # Continue the uplink's trace through the relay hop: the broker's
+        # modulate span parents under the uplink ship span.
+        result = self.modulator.process(
+            envelope.payload, trace_ctx=envelope.trace
+        )
         if result.completed:
             self._deliver(result.value)
             self._maybe_reconfigure()
@@ -191,9 +195,15 @@ class BrokerChannel:
     def publish(self, event: object) -> None:
         """The sender relays the raw event to the broker — no handler code
         runs on the sender at all."""
+        tracer = self.obs.tracing if self.obs is not None else None
         for sub in list(self.subscriptions):
             sub.stats.events_published += 1
             size = measure_size(
                 event, self.serializer_registry, use_self_sizing=True
             )
-            self.uplink.send(sub._broker_receive, EventEnvelope(event), size)
+            envelope = EventEnvelope(event)
+            if tracer is not None:
+                trace_id = tracer.start_trace()
+                if trace_id is not None:
+                    envelope.trace = (trace_id, None)
+            self.uplink.send(sub._broker_receive, envelope, size)

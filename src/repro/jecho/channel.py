@@ -110,7 +110,7 @@ class PairState:
         # One demodulator per pair so concurrent continuations from
         # different senders never share profiling state mid-flight.
         self.demodulator: Demodulator = partitioned.make_demodulator(
-            profiling=self.profiling
+            profiling=self.profiling, obs=obs
         )
         self.reconfig: Optional[ReconfigurationUnit] = None
         if subscription.trigger_factory is not None:
@@ -204,9 +204,14 @@ class Subscription:
             size = measure_size(
                 event, self.channel.serializer_registry, use_self_sizing=True
             )
-            self.channel.transport.send(
-                self._receive_event, EventEnvelope(payload=event), size
-            )
+            envelope = EventEnvelope(payload=event)
+            obs = self.channel.obs
+            tracer = obs.tracing if obs is not None else None
+            if tracer is not None:
+                trace_id = tracer.start_trace()
+                if trace_id is not None:
+                    envelope.trace = (trace_id, None)
+            self.channel.transport.send(self._receive_event, envelope, size)
             return
 
         pair = self.pair_for(source)
@@ -240,7 +245,18 @@ class Subscription:
     # -- receiver side --------------------------------------------------------------
 
     def _receive_event(self, envelope: EventEnvelope) -> None:
-        value = self.plain_handler(envelope.payload)
+        obs = self.channel.obs
+        tracer = obs.tracing if obs is not None else None
+        if tracer is not None and envelope.trace is not None:
+            span = tracer.begin(
+                "handle",
+                trace_id=envelope.trace[0],
+                parent_id=envelope.trace[1],
+            )
+            value = self.plain_handler(envelope.payload)
+            tracer.end(span)
+        else:
+            value = self.plain_handler(envelope.payload)
         self._deliver_result(value)
 
     def _receive_continuation(
@@ -263,6 +279,10 @@ class Subscription:
         if plan is None:
             return
         envelope = PlanEnvelope(subscription_id=self.id, plan=plan)
+        obs = self.channel.obs
+        if obs is not None and obs.tracing is not None:
+            # Chain the update under the recompute's control-plane span.
+            envelope.trace = pair.reconfig.last_trace_ctx
         # Plan updates are tiny: a few flags.
         size = 16.0 + 8.0 * len(plan.active)
         self.channel.feedback_transport.send(
@@ -274,7 +294,19 @@ class Subscription:
     def _apply_plan_update(
         self, envelope: PlanEnvelope, pair: PairState
     ) -> None:
-        pair.modulator.apply_plan(envelope.plan)
+        obs = self.channel.obs
+        tracer = obs.tracing if obs is not None else None
+        if tracer is not None and envelope.trace is not None:
+            span = tracer.begin(
+                "plan.apply",
+                trace_id=envelope.trace[0],
+                parent_id=envelope.trace[1],
+                attrs={"plan": envelope.plan.name},
+            )
+            pair.modulator.apply_plan(envelope.plan)
+            tracer.end(span)
+        else:
+            pair.modulator.apply_plan(envelope.plan)
         pair.plan_updates += 1
         self.stats.plan_updates += 1
 

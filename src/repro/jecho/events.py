@@ -33,6 +33,8 @@ class EventEnvelope:
 
     payload: object
     seq: int = field(default_factory=next_sequence)
+    #: causal trace context ``(trace_id, parent_span_id)``, when traced
+    trace: Optional[Tuple[int, int]] = None
 
 
 @dataclass
@@ -52,6 +54,7 @@ class FeedbackEnvelope:
     #: edge -> (t_demod mean, t_demod count) — the demodulator-side share
     demod_stats: Dict[Tuple[int, int], Tuple[float, int]]
     seq: int = field(default_factory=next_sequence)
+    trace: Optional[Tuple[int, int]] = None
 
 
 @dataclass
@@ -61,3 +64,27 @@ class PlanEnvelope:
     subscription_id: int
     plan: PartitioningPlan
     seq: int = field(default_factory=next_sequence)
+    trace: Optional[Tuple[int, int]] = None
+
+
+def envelope_trace(envelope: object) -> Optional[Tuple[int, int]]:
+    """The trace context an envelope carries, wherever it lives.
+
+    Continuation envelopes carry it *inside the continuation wire
+    format* (it survives serialization); the other kinds carry it as
+    delivery metadata on the envelope itself.
+    """
+    if isinstance(envelope, ContinuationEnvelope):
+        return envelope.continuation.trace
+    return getattr(envelope, "trace", None)
+
+
+def set_envelope_trace(
+    envelope: object, ctx: Optional[Tuple[int, int]]
+) -> None:
+    """Restamp an envelope's trace context (e.g. to parent under a ship
+    span recorded mid-flight)."""
+    if isinstance(envelope, ContinuationEnvelope):
+        envelope.continuation.trace = ctx
+    elif hasattr(envelope, "trace"):
+        envelope.trace = ctx

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.jecho.events import envelope_trace, set_envelope_trace
 from repro.simnet.link import Link
 from repro.simnet.simulator import Simulator
 
@@ -31,6 +32,8 @@ class Transport:
         self._c_messages = None
         self._c_bytes = None
         self._h_sizes = None
+        #: host lane for ship spans in the trace timeline
+        self._trace_host: Optional[str] = None
 
     def attach_observability(self, obs, *, name: str = "transport") -> None:
         """Register this transport's counters under ``<name>.*``.
@@ -42,6 +45,8 @@ class Transport:
         self._c_messages = obs.metrics.counter(f"{name}.messages")
         self._c_bytes = obs.metrics.counter(f"{name}.bytes")
         self._h_sizes = obs.metrics.histogram(f"{name}.message_bytes")
+        if self._trace_host is None:
+            self._trace_host = name
 
     def send(self, destination: Destination, envelope: object, size: float) -> None:
         self.messages_sent += 1
@@ -50,7 +55,29 @@ class Transport:
             self._c_messages.inc()
             self._c_bytes.inc(size)
             self._h_sizes.observe(size)
+        tracer = self.obs.tracing if self.obs is not None else None
+        if tracer is not None:
+            ctx = envelope_trace(envelope)
+            if ctx is not None:
+                span = tracer.begin(
+                    "ship",
+                    trace_id=ctx[0],
+                    parent_id=ctx[1],
+                    host=self._trace_host or "wire",
+                    attrs={"bytes": size},
+                )
+                # Re-parent the receiver side under the ship span so the
+                # trace reads modulate → ship → demodulate.
+                set_envelope_trace(envelope, (ctx[0], span.span_id))
+                self._deliver(destination, envelope, size)
+                tracer.end(span, end=self._wire_end())
+                return
         self._deliver(destination, envelope, size)
+
+    def _wire_end(self) -> Optional[float]:
+        """When delivery is scheduled for later, the arrival instant;
+        None means "close at clock() now" (synchronous delivery)."""
+        return None
 
     def _deliver(
         self, destination: Destination, envelope: object, size: float
@@ -59,7 +86,12 @@ class Transport:
 
 
 class LocalTransport(Transport):
-    """Immediate, zero-latency delivery (same process)."""
+    """Immediate, zero-latency delivery (same process).
+
+    With tracing on, the ship span *encloses* the handler's spans (the
+    destination runs synchronously inside it) — correct nesting for a
+    zero-latency hop.
+    """
 
     def _deliver(
         self, destination: Destination, envelope: object, size: float
@@ -74,9 +106,15 @@ class SimLinkTransport(Transport):
         super().__init__()
         self.sim = sim
         self.link = link
+        self._trace_host = link.name
+        self._last_arrival: Optional[float] = None
+
+    def _wire_end(self) -> Optional[float]:
+        return self._last_arrival
 
     def _deliver(
         self, destination: Destination, envelope: object, size: float
     ) -> None:
         arrival = self.link.delivery_time(size)
+        self._last_arrival = arrival
         self.sim.schedule(arrival - self.sim.now, destination, envelope)

@@ -23,7 +23,7 @@ collected registry + trace with :mod:`repro.tools.obsreport`.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -31,7 +31,9 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    bucket_quantile,
 )
+from repro.obs.tracing import Span, Tracer
 from repro.obs.trace import (
     ContinuationShipped,
     FeedbackIngested,
@@ -50,6 +52,9 @@ __all__ = [
     "Gauge",
     "Histogram",
     "DEFAULT_BUCKETS",
+    "bucket_quantile",
+    "Span",
+    "Tracer",
     "TraceLog",
     "TraceEvent",
     "TriggerFired",
@@ -70,13 +75,37 @@ class Observability:
     loop in one place.
     """
 
-    def __init__(self, *, trace_maxlen: int = 10_000) -> None:
+    def __init__(
+        self,
+        *,
+        trace_maxlen: int = 10_000,
+        tracing: Optional[Tracer] = None,
+    ) -> None:
         self.metrics = MetricsRegistry()
         self.trace = TraceLog(maxlen=trace_maxlen)
+        self.tracing = tracing
+
+    def enable_tracing(
+        self,
+        *,
+        sampling_rate: float = 1.0,
+        maxlen: int = 50_000,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> Tracer:
+        """Attach (or return the existing) span :class:`Tracer`.
+
+        Spans are only recorded once this is called; until then every
+        instrumented path sees ``obs.tracing is None`` and skips.
+        """
+        if self.tracing is None:
+            self.tracing = Tracer(
+                sampling_rate=sampling_rate, maxlen=maxlen, clock=clock
+            )
+        return self.tracing
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable dump consumed by ``repro.tools.obsreport``."""
-        return {
+        data: Dict[str, object] = {
             "metrics": self.metrics.to_dict(),
             "trace": {
                 "counts": self.trace.counts(),
@@ -84,3 +113,6 @@ class Observability:
                 "events": self.trace.to_dicts(),
             },
         }
+        if self.tracing is not None:
+            data["tracing"] = self.tracing.to_dict()
+        return data

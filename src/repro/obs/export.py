@@ -1,0 +1,141 @@
+"""Exporters for collected traces.
+
+Turns a :meth:`Tracer.to_dict` dump into artifacts an operator can use:
+
+* :func:`chrome_trace` — Chrome-trace / Perfetto ``trace_events`` JSON
+  (load in ``chrome://tracing`` or https://ui.perfetto.dev).  One
+  "process" per simnet host, one "thread" per trace id, so a message's
+  modulate → ship → demodulate chain reads left-to-right across host
+  swim-lanes on the simulated-time axis.
+* :func:`render_trace_summary` — plain-text roll-up: ring occupancy and
+  drops, the tracer's own measured overhead, and per-PSE p50/p95/p99
+  latency/size estimates interpolated from the histogram buckets.
+
+Both operate on plain dicts (not live :class:`Tracer` objects) so they
+work equally on in-process dumps and JSON files read back from disk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.obs.metrics import bucket_quantile
+
+__all__ = ["chrome_trace", "render_trace_summary", "pse_quantiles"]
+
+#: pid reserved for spans with no host attribution (e.g. local transports)
+_UNATTRIBUTED = "(unattributed)"
+
+
+def chrome_trace(tracing: Mapping[str, object]) -> Dict[str, object]:
+    """Convert a tracer dump to the Chrome ``trace_events`` format.
+
+    Every span becomes an ``"X"`` (complete) event with microsecond
+    timestamps; hosts map to stable, sorted pids announced through
+    ``process_name`` metadata events.  ``tid`` is the trace id, so each
+    message's causal chain occupies one row within its host lane.
+    """
+    spans = tracing.get("spans", [])
+    hosts = sorted(
+        {str(s.get("host") or _UNATTRIBUTED) for s in spans}
+    )
+    pids = {host: i + 1 for i, host in enumerate(hosts)}
+    events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": host},
+        }
+        for host, pid in pids.items()
+    ]
+    for span in spans:
+        start = float(span["start"])
+        end = span.get("end")
+        duration = (float(end) - start) if end is not None else 0.0
+        args: Dict[str, object] = {
+            "span": span["span"],
+            "parent": span.get("parent"),
+        }
+        attrs = span.get("attrs") or {}
+        if attrs:
+            args.update(attrs)
+        events.append(
+            {
+                "name": str(span["name"]),
+                "cat": "mp",
+                "ph": "X",
+                "ts": start * 1e6,
+                "dur": duration * 1e6,
+                "pid": pids[str(span.get("host") or _UNATTRIBUTED)],
+                "tid": span["trace"],
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "recorded": tracing.get("recorded", len(spans)),
+            "dropped": tracing.get("dropped", 0),
+            "sampling_rate": tracing.get("sampling_rate", 1.0),
+            "overhead_seconds": tracing.get("overhead_seconds", 0.0),
+        },
+    }
+
+
+def pse_quantiles(
+    hist: Optional[Mapping[str, object]],
+) -> Optional[Dict[str, float]]:
+    """p50/p95/p99 of one serialized histogram, or None when absent/empty."""
+    if not hist or not hist.get("count"):
+        return None
+    bounds = hist["bounds"]
+    counts = hist["counts"]
+    return {
+        "p50": bucket_quantile(bounds, counts, 0.50),
+        "p95": bucket_quantile(bounds, counts, 0.95),
+        "p99": bucket_quantile(bounds, counts, 0.99),
+    }
+
+
+def render_trace_summary(tracing: Mapping[str, object]) -> str:
+    """Human-readable summary of a tracer dump."""
+    spans = tracing.get("spans", [])
+    lines = [
+        "spans: {kept} kept, {dropped} dropped "
+        "(ring maxlen={maxlen}, recorded={recorded})".format(
+            kept=len(spans),
+            dropped=tracing.get("dropped", 0),
+            maxlen=tracing.get("maxlen", "?"),
+            recorded=tracing.get("recorded", len(spans)),
+        ),
+        "sampling rate: {rate}".format(
+            rate=tracing.get("sampling_rate", 1.0)
+        ),
+        "tracer overhead: {ovh:.6f}s".format(
+            ovh=float(tracing.get("overhead_seconds", 0.0))
+        ),
+    ]
+    by_name: Dict[str, int] = {}
+    for span in spans:
+        name = str(span["name"])
+        by_name[name] = by_name.get(name, 0) + 1
+    if by_name:
+        lines.append("span kinds:")
+        for name in sorted(by_name):
+            lines.append(f"  {name:<16} {by_name[name]}")
+    pse = tracing.get("pse") or {}
+    if pse:
+        lines.append("per-PSE quantiles:")
+        for pid in sorted(pse):
+            for label, key in (("latency", "latency"), ("bytes", "bytes")):
+                quantiles = pse_quantiles(pse[pid].get(key))
+                if quantiles is None:
+                    continue
+                lines.append(
+                    "  {pid} {label}: p50={p50:.3g} p95={p95:.3g} "
+                    "p99={p99:.3g}".format(pid=pid, label=label, **quantiles)
+                )
+    return "\n".join(lines)

@@ -30,6 +30,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "bucket_quantile",
 ]
 
 #: default geometric bucket ladder — wide enough for bytes and seconds
@@ -110,8 +111,43 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (see :func:`bucket_quantile`)."""
+        return bucket_quantile(self.bounds, self.counts, q)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Histogram {self.name} n={self.count} mean={self.mean:.3g}>"
+
+
+def bucket_quantile(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """Estimate the *q*-quantile of a fixed-bucket histogram.
+
+    Linear interpolation within the bucket holding the target rank: the
+    first bucket spans ``[0, bounds[0]]``, bucket *i* spans
+    ``(bounds[i-1], bounds[i]]``.  The overflow bucket has no upper
+    bound, so any rank landing there reports the last finite bound — a
+    deliberate underestimate rather than a fabricated tail.  Returns 0.0
+    for an empty histogram.
+    """
+    if not (0.0 <= q <= 1.0):
+        raise ValueError("quantile must be in [0, 1]")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    target = q * total
+    cumulative = 0
+    for i, c in enumerate(counts):
+        cumulative += c
+        if cumulative >= target and c > 0:
+            if i >= len(bounds):  # overflow bucket: unbounded above
+                return float(bounds[-1])
+            lo = 0.0 if i == 0 else float(bounds[i - 1])
+            hi = float(bounds[i])
+            fraction = (target - (cumulative - c)) / c
+            return lo + fraction * (hi - lo)
+    return float(bounds[-1])
 
 
 class MetricsRegistry:

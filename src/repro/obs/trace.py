@@ -60,11 +60,19 @@ class TriggerFired(TraceEvent):
 
 @dataclass(frozen=True)
 class PlanRecomputed(TraceEvent):
-    """The Reconfiguration Unit re-solved min-cut."""
+    """The Reconfiguration Unit re-solved min-cut.
+
+    ``breakdown``, when present, is the per-candidate-PSE cost table
+    behind the decision (see
+    :func:`repro.core.runtime.plancost.explain_edge_costs`): each row
+    names a candidate edge, its runtime cost, whether the new plan chose
+    it, and the profile observations that priced it.
+    """
 
     at_message: int
     cut_value: float
     pse_ids: Tuple[str, ...]
+    breakdown: Optional[Tuple[Mapping[str, object], ...]] = None
 
 
 @dataclass(frozen=True)

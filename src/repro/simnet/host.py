@@ -36,6 +36,18 @@ class Host:
         self._busy_until = 0.0
         self.cycles_executed = 0.0
         self.tasks_executed = 0
+        self._c_cycles = None
+        self._c_tasks = None
+        self._h_service = None
+
+    def attach_observability(self, obs) -> None:
+        """Register per-host counters (``host.<name>.*``) and a service-time
+        histogram; instrument objects are cached for the execute fast path."""
+        self._c_cycles = obs.metrics.counter(f"host.{self.name}.cycles")
+        self._c_tasks = obs.metrics.counter(f"host.{self.name}.tasks")
+        self._h_service = obs.metrics.histogram(
+            f"host.{self.name}.service_time"
+        )
 
     # -- scheduling model -------------------------------------------------------
 
@@ -60,6 +72,10 @@ class Host:
         self._busy_until = finish
         self.cycles_executed += cycles
         self.tasks_executed += 1
+        if self._c_cycles is not None:
+            self._c_cycles.inc(cycles)
+            self._c_tasks.inc()
+            self._h_service.observe(finish - start)
         return start, finish
 
     def compute(self, cycles: float) -> "Compute":

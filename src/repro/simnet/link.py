@@ -37,6 +37,22 @@ class Link:
         self._busy_until = 0.0
         self.messages_sent = 0
         self.bytes_sent = 0.0
+        self._c_messages = None
+        self._c_bytes = None
+        self._h_wire = None
+
+    def attach_observability(self, obs) -> None:
+        """Register per-link counters (``link.<name>.*``) and a wire-time
+        histogram (queueing + transmission + latency per message)."""
+        self._c_messages = obs.metrics.counter(f"link.{self.name}.messages")
+        self._c_bytes = obs.metrics.counter(f"link.{self.name}.bytes")
+        self._h_wire = obs.metrics.histogram(f"link.{self.name}.wire_time")
+
+    def _record_delivery(self, size: float, arrival: float) -> None:
+        if self._c_messages is not None:
+            self._c_messages.inc()
+            self._c_bytes.inc(size)
+            self._h_wire.observe(arrival - self.sim.now)
 
     def delivery_time(self, size: float) -> float:
         """Reserve the pipe for a *size*-byte message; return arrival time."""
@@ -46,7 +62,9 @@ class Link:
         self._busy_until = start + self.beta * size
         self.messages_sent += 1
         self.bytes_sent += size
-        return self._busy_until + self.alpha
+        arrival = self._busy_until + self.alpha
+        self._record_delivery(size, arrival)
+        return arrival
 
     def send(self, size: float, mailbox: Store, payload: object) -> None:
         """Fire-and-forget: deposit *payload* in *mailbox* at arrival time.
@@ -116,7 +134,9 @@ class VariableLink(Link):
         self._busy_until = finish
         self.messages_sent += 1
         self.bytes_sent += size
-        return finish + self.alpha
+        arrival = finish + self.alpha
+        self._record_delivery(size, arrival)
+        return arrival
 
     def current_beta(self, at: float = None) -> float:
         """Effective seconds/byte at time *at* (defaults to now)."""

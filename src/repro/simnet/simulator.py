@@ -104,10 +104,18 @@ class Simulator:
         self._h_times = None
 
     def attach_observability(self, obs) -> None:
-        """Count processed events and histogram their virtual times."""
+        """Count processed events and histogram their virtual times.
+
+        When a span tracer is attached, its clock is rebound to this
+        simulator's virtual ``now`` so spans align with simulated time
+        rather than wall time.
+        """
         self.obs = obs
         self._c_events = obs.metrics.counter("sim.events")
         self._h_times = obs.metrics.histogram("sim.virtual_time")
+        tracing = getattr(obs, "tracing", None)
+        if tracing is not None:
+            tracing.clock = lambda: self.now
 
     # -- scheduling ---------------------------------------------------------
 

@@ -21,6 +21,12 @@ adaptive (Method Partitioning) runs, prints the instrumentation report
 after the experiment output, and writes the raw dump as JSON to FILE
 (render it again later with ``python -m repro.tools.obsreport FILE``).
 
+``--trace-export FILE`` additionally enables span tracing (sampling rate
+1.0) on the attached observability, prints the trace summary, and writes
+a Chrome-trace (``chrome://tracing`` / Perfetto) ``trace_events`` JSON
+file.  Inspect the span trees with ``python -m repro.tools.tracereport``
+against the ``--obs-report`` dump.
+
 A failing experiment does not abort the rest of an ``all`` run: its name
 and error go to stderr, the remaining experiments still run, and the exit
 status is nonzero.
@@ -131,13 +137,22 @@ def main(argv=None) -> int:
         help="collect observability from adaptive runs; print the report "
         "and write the JSON dump to FILE",
     )
+    parser.add_argument(
+        "--trace-export",
+        metavar="FILE",
+        default=None,
+        help="enable span tracing on the adaptive runs and write a "
+        "Chrome-trace (trace_events) JSON file to FILE",
+    )
     args = parser.parse_args(argv)
 
     obs = None
-    if args.obs_report is not None:
+    if args.obs_report is not None or args.trace_export is not None:
         from repro.obs import Observability
 
         obs = Observability()
+        if args.trace_export is not None:
+            obs.enable_tracing(sampling_rate=1.0)
 
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     failures = []
@@ -163,17 +178,36 @@ def main(argv=None) -> int:
 
         print("=== observability ===")
         print(render(obs))
+        if args.obs_report is not None:
+            try:
+                with open(args.obs_report, "w", encoding="utf-8") as handle:
+                    json.dump(obs.to_dict(), handle, indent=2)
+            except OSError as exc:
+                print(
+                    f"cannot write obs report {args.obs_report}: {exc}",
+                    file=sys.stderr,
+                )
+                failures.append("obs-report")
+            else:
+                print(f"\n(dump written to {args.obs_report})")
+
+    if args.trace_export is not None and obs is not None:
+        from repro.obs.export import chrome_trace, render_trace_summary
+
+        tracing = obs.tracing.to_dict()
+        print("=== tracing ===")
+        print(render_trace_summary(tracing))
         try:
-            with open(args.obs_report, "w", encoding="utf-8") as handle:
-                json.dump(obs.to_dict(), handle, indent=2)
+            with open(args.trace_export, "w", encoding="utf-8") as handle:
+                json.dump(chrome_trace(tracing), handle, indent=2)
         except OSError as exc:
             print(
-                f"cannot write obs report {args.obs_report}: {exc}",
+                f"cannot write trace export {args.trace_export}: {exc}",
                 file=sys.stderr,
             )
-            failures.append("obs-report")
+            failures.append("trace-export")
         else:
-            print(f"\n(dump written to {args.obs_report})")
+            print(f"\n(chrome trace written to {args.trace_export})")
 
     if failures:
         print(

@@ -41,6 +41,16 @@ def _render_histogram(name: str, data: Mapping) -> List[str]:
     ]
     bounds = list(data.get("bounds", ()))
     counts = list(data.get("counts", ()))
+    if count and bounds:
+        from repro.obs.metrics import bucket_quantile
+
+        lines.append(
+            "    p50={p50} p95={p95} p99={p99}".format(
+                p50=_format_value(bucket_quantile(bounds, counts, 0.50)),
+                p95=_format_value(bucket_quantile(bounds, counts, 0.95)),
+                p99=_format_value(bucket_quantile(bounds, counts, 0.99)),
+            )
+        )
     labels = [f"<={_format_value(b)}" for b in bounds] + ["+Inf"]
     for label, n in zip(labels, counts):
         if n:
@@ -86,12 +96,12 @@ def render_report(
     trace = data.get("trace", {})
     counts = trace.get("counts", {})
     dropped = trace.get("dropped", 0)
+    kept = len(trace.get("events", []))
     lines.append("")
     lines.append("== trace ==")
     for kind in sorted(counts):
         lines.append(f"  {kind}: {counts[kind]}")
-    if dropped:
-        lines.append(f"  (dropped {dropped} old events)")
+    lines.append(f"  ring: {kept} kept, {dropped} dropped")
 
     events = trace.get("events", [])
     if event_limit is None:
@@ -104,6 +114,15 @@ def render_report(
     lines.append(f"== events (last {len(shown)} of {len(events)} kept) ==")
     for event in shown:
         lines.append(_render_event(event))
+
+    tracing = data.get("tracing")
+    if tracing:
+        from repro.obs.export import render_trace_summary
+
+        lines.append("")
+        lines.append("== tracing ==")
+        for line in render_trace_summary(tracing).splitlines():
+            lines.append(f"  {line}")
     return "\n".join(lines)
 
 

@@ -1,0 +1,273 @@
+"""Render span traces from an observability dump as text.
+
+Usage::
+
+    python -m repro.tools.experiments figure7 --quick \\
+        --obs-report fig7.json --trace-export fig7.trace.json
+    python -m repro.tools.tracereport fig7.json
+    python -m repro.tools.tracereport fig7.json --traces 5
+    python -m repro.tools.tracereport fig7.json --chrome out.trace.json
+    python -m repro.tools.tracereport fig7.json --explain
+
+The input is the JSON produced by
+:meth:`repro.obs.Observability.to_dict` with tracing enabled (the file
+``--obs-report`` writes); a bare :meth:`repro.obs.tracing.Tracer.to_dict`
+dump also works for the span views.  The default view prints the trace
+summary followed by each trace rendered as an indented span tree —
+``modulate → ship → demodulate`` chains read top-to-bottom, control-plane
+traces (``trigger → plan.recompute → plan.ship → plan.apply``) likewise.
+
+``--chrome FILE`` re-exports the spans as Chrome-trace / Perfetto
+``trace_events`` JSON.  ``--explain`` joins the decision trace's
+``PlanRecomputed`` events with their per-candidate-PSE cost breakdown:
+for every recomputation it shows which trigger fired (and why), the
+chosen split, and the full cost table with the profile observations that
+priced each candidate edge.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Mapping, Optional
+
+_DEFAULT_TRACE_LIMIT = 10
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, (list, tuple)):
+        return "(" + ",".join(_fmt(v) for v in value) + ")"
+    return str(value)
+
+
+def _fmt_attrs(attrs: Optional[Mapping[str, object]]) -> str:
+    if not attrs:
+        return ""
+    return " " + " ".join(f"{k}={_fmt(v)}" for k, v in sorted(attrs.items()))
+
+
+def _render_span_line(span: Mapping, depth: int) -> str:
+    start = float(span["start"])
+    end = span.get("end")
+    window = (
+        f"{start:.6f}–{float(end):.6f} ({(float(end) - start) * 1e3:.3f}ms)"
+        if end is not None
+        else f"{start:.6f}– (open)"
+    )
+    host = span.get("host")
+    where = f" [{host}]" if host else ""
+    return "{indent}{name}{where} {window}{attrs}".format(
+        indent="  " * depth,
+        name=span["name"],
+        where=where,
+        window=window,
+        attrs=_fmt_attrs(span.get("attrs")),
+    )
+
+
+def render_trace_trees(
+    tracing: Mapping[str, object], *, limit: Optional[int] = None
+) -> str:
+    """Indented span trees, one per trace id, ordered by first span start.
+
+    Spans are nested under their parents; a span whose parent fell out of
+    the ring (or was never recorded) becomes a root of its trace's tree,
+    so partially-dropped traces still render.
+    """
+    spans = list(tracing.get("spans", []))
+    by_trace: Dict[object, List[Mapping]] = {}
+    for span in spans:
+        by_trace.setdefault(span["trace"], []).append(span)
+
+    lines: List[str] = []
+    ordered = sorted(
+        by_trace.items(), key=lambda kv: min(float(s["start"]) for s in kv[1])
+    )
+    shown = ordered if limit is None else ordered[:limit]
+    for trace_id, members in shown:
+        members.sort(key=lambda s: (float(s["start"]), s["span"]))
+        ids = {s["span"] for s in members}
+        children: Dict[object, List[Mapping]] = {}
+        roots: List[Mapping] = []
+        for span in members:
+            parent = span.get("parent")
+            if parent is not None and parent in ids:
+                children.setdefault(parent, []).append(span)
+            else:
+                roots.append(span)
+        lines.append(f"trace {trace_id} ({len(members)} spans)")
+
+        def _walk(span: Mapping, depth: int) -> None:
+            lines.append(_render_span_line(span, depth))
+            for child in children.get(span["span"], ()):
+                _walk(child, depth + 1)
+
+        for root in roots:
+            _walk(root, 1)
+    if limit is not None and len(ordered) > limit:
+        lines.append(f"... ({len(ordered) - limit} more traces not shown)")
+    return "\n".join(lines)
+
+
+def _render_breakdown_row(row: Mapping) -> List[str]:
+    mark = "<- chosen" if row.get("chosen") else ""
+    lines = [
+        "    {pse} edge={edge} cost={cost} [{source}] {mark}".format(
+            pse=row.get("pse_id", "?"),
+            edge=_fmt(tuple(row.get("edge", ()))),
+            cost=_fmt(row.get("cost", float("nan"))),
+            source=row.get("source", "?"),
+            mark=mark,
+        ).rstrip()
+    ]
+    profile = row.get("profile")
+    if profile:
+        keys = (
+            "data_size",
+            "t_mod",
+            "t_demod",
+            "work_before",
+            "work_after",
+            "path_probability",
+            "observed_executions",
+        )
+        parts = [
+            f"{key}={_fmt(profile[key])}"
+            for key in keys
+            if profile.get(key) is not None
+        ]
+        if parts:
+            lines.append("      profile: " + " ".join(parts))
+    return lines
+
+
+def render_explain(data: Mapping[str, object]) -> str:
+    """Join ``PlanRecomputed`` events with their cost breakdowns.
+
+    Walks the decision trace in order, pairing each recomputation with
+    the nearest preceding ``TriggerFired`` event, and prints the
+    per-candidate cost table that drove the min-cut choice.
+    """
+    events = data.get("trace", {}).get("events", [])
+    lines: List[str] = []
+    last_trigger: Optional[Mapping] = None
+    n = 0
+    for event in events:
+        kind = event.get("kind")
+        if kind == "TriggerFired":
+            last_trigger = event
+            continue
+        if kind != "PlanRecomputed":
+            continue
+        n += 1
+        lines.append(
+            "plan recomputation @ message {at} (cut value {value})".format(
+                at=event.get("at_message", "?"),
+                value=_fmt(event.get("cut_value", float("nan"))),
+            )
+        )
+        if last_trigger is not None:
+            reason = last_trigger.get("reason")
+            lines.append(
+                "  trigger: {name}{reason}".format(
+                    name=last_trigger.get("trigger", "?"),
+                    reason=f" reason={_fmt_attrs(reason).strip()}"
+                    if reason
+                    else "",
+                )
+            )
+        chosen = event.get("pse_ids") or ()
+        lines.append(
+            "  chosen PSEs: " + (", ".join(chosen) if chosen else "(none)")
+        )
+        breakdown = event.get("breakdown")
+        if breakdown:
+            lines.append("  candidate costs:")
+            for row in breakdown:
+                lines.extend(_render_breakdown_row(row))
+        else:
+            lines.append("  (no cost breakdown recorded)")
+        lines.append("")
+    if not n:
+        return "no PlanRecomputed events in the decision trace"
+    return "\n".join(lines).rstrip()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.tracereport", description=__doc__
+    )
+    parser.add_argument(
+        "dump",
+        help="JSON file from Observability.to_dict() with tracing enabled",
+    )
+    parser.add_argument(
+        "--traces",
+        type=int,
+        default=_DEFAULT_TRACE_LIMIT,
+        help="how many trace trees to print (0 for none)",
+    )
+    parser.add_argument(
+        "--chrome",
+        metavar="FILE",
+        default=None,
+        help="also write the spans as Chrome-trace (trace_events) JSON",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the PlanRecomputed cost breakdowns instead of trees",
+    )
+    args = parser.parse_args(argv)
+    try:
+        with open(args.dump, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"tracereport: cannot read {args.dump}: {exc}", file=sys.stderr)
+        return 1
+
+    # Accept both a full Observability dump and a bare tracer dump.
+    tracing = data.get("tracing") if "tracing" in data else data
+    if not isinstance(tracing, dict) or "spans" not in tracing:
+        print(
+            f"tracereport: {args.dump} has no tracing section "
+            "(was tracing enabled?)",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.explain:
+        print(render_explain(data))
+    else:
+        from repro.obs.export import render_trace_summary
+
+        print(render_trace_summary(tracing))
+        if args.traces != 0:
+            trees = render_trace_trees(
+                tracing, limit=None if args.traces < 0 else args.traces
+            )
+            if trees:
+                print()
+                print(trees)
+
+    if args.chrome is not None:
+        from repro.obs.export import chrome_trace
+
+        try:
+            with open(args.chrome, "w", encoding="utf-8") as handle:
+                json.dump(chrome_trace(tracing), handle, indent=2)
+        except OSError as exc:
+            print(
+                f"tracereport: cannot write {args.chrome}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"(chrome trace written to {args.chrome})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,9 +4,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.continuation import ContinuationCodec, ContinuationMessage
+from repro.core.continuation import (
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    ContinuationCodec,
+    ContinuationMessage,
+)
+from repro.errors import ContinuationError, SerializationError
 from repro.ir.interpreter import Continuation
-from repro.serialization import SerializerRegistry
+from repro.serialization import Serializer, SerializerRegistry
 
 
 class Payload:
@@ -75,6 +81,72 @@ def test_from_and_to_continuation():
     # independent copies: mutating one does not leak
     back.variables["x"] = 99
     assert message.variables["x"] == 1
+
+
+# -- wire versioning (trace context) -----------------------------------------
+
+
+def test_traced_message_roundtrips_trace_context(codec):
+    message = ContinuationMessage(
+        function="h",
+        pse_id="pse2",
+        edge=(5, 6),
+        variables={"n": 1},
+        trace=(17, 42),
+    )
+    back = roundtrip(codec, message)
+    assert back.trace == (17, 42)
+    assert back.variables == {"n": 1}
+    assert codec.size(message) == len(codec.encode(message))
+
+
+def test_untraced_message_encodes_legacy_bytes(codec):
+    """Without trace context the wire bytes are the headerless 5-tuple —
+    identical to what pre-versioning builds emitted."""
+    message = ContinuationMessage(
+        function="h", pse_id="pse2", edge=(5, 6), variables={"n": 1}
+    )
+    serializer = Serializer(codec.registry)
+    legacy = serializer.serialize(("h", "pse2", 5, 6, {"n": 1}))
+    assert codec.encode(message) == legacy
+
+
+def test_headerless_legacy_payload_decodes(codec):
+    """Backward compatibility: payloads from peers that never stamp trace
+    context (wire version 1) still decode, with ``trace`` left None."""
+    serializer = Serializer(codec.registry)
+    data = serializer.serialize(("h", "pse9", 3, 4, {"x": 7}))
+    back = codec.decode(data)
+    assert back.function == "h"
+    assert back.pse_id == "pse9"
+    assert back.edge == (3, 4)
+    assert back.variables == {"x": 7}
+    assert back.trace is None
+
+
+def test_unknown_wire_version_raises_serialization_error(codec):
+    serializer = Serializer(codec.registry)
+    data = serializer.serialize(
+        (WIRE_MAGIC, WIRE_VERSION + 1, "h", "pse1", 1, 2, {}, 0, 0)
+    )
+    with pytest.raises(SerializationError, match="wire version"):
+        codec.decode(data)
+
+
+def test_malformed_headered_payload_raises(codec):
+    serializer = Serializer(codec.registry)
+    data = serializer.serialize((WIRE_MAGIC, WIRE_VERSION, "h", "pse1"))
+    with pytest.raises(ContinuationError):
+        codec.decode(data)
+
+
+def test_trace_survives_continuation_conversion():
+    continuation = Continuation(
+        function="h", edge=(3, 4), variables={"x": 1}, trace=(5, 9)
+    )
+    message = ContinuationMessage.from_continuation(continuation, "pse9")
+    assert message.trace == (5, 9)
+    assert message.to_continuation().trace == (5, 9)
 
 
 @settings(max_examples=60, deadline=None)

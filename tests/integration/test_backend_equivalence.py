@@ -11,7 +11,9 @@ continuation is exercised at every split point.  Compared per message:
   ordering),
 * every :class:`DemodulatorResult` field after resuming,
 * the receiver-pinned sink logs,
-* the interpreter's observability counters.
+* the interpreter's observability counters,
+* the full span sequence of an attached tracer (names, ids, parentage,
+  attributes) — timestamps excluded, since only those may differ.
 """
 
 from __future__ import annotations
@@ -60,15 +62,35 @@ def _all_plans(cut):
     return plans
 
 
+def _span_signature(obs):
+    """The tracer's span sequence minus timestamps (wall-clock here)."""
+    return [
+        (
+            span["trace"],
+            span["span"],
+            span["parent"],
+            span["name"],
+            span["host"],
+            tuple(sorted((span.get("attrs") or {}).items())),
+        )
+        for span in obs.tracing.to_dict()["spans"]
+    ]
+
+
 def _trace(partitioned, events):
     """Full observable behaviour of one backend build over all plans."""
     obs = Observability()
+    obs.enable_tracing(sampling_rate=1.0)
     partitioned.interpreter.attach_observability(obs)
     log = []
     for plan in _all_plans(partitioned.cut):
         profiling = partitioned.make_profiling_unit(sample_period=1)
-        modulator = partitioned.make_modulator(plan=plan, profiling=profiling)
-        demodulator = partitioned.make_demodulator(profiling=profiling)
+        modulator = partitioned.make_modulator(
+            plan=plan, profiling=profiling, obs=obs
+        )
+        demodulator = partitioned.make_demodulator(
+            profiling=profiling, obs=obs
+        )
         for event in events:
             mres = modulator.process(event)
             entry = {
@@ -87,7 +109,7 @@ def _trace(partitioned, events):
                 entry["demod"] = (dres.value, dres.edge, dres.cycles)
             log.append(entry)
     counters = obs.metrics.to_dict()["counters"]
-    return log, counters
+    return log, counters, _span_signature(obs)
 
 
 def _assert_equivalent(build, events, snapshot_sink):
@@ -98,12 +120,15 @@ def _assert_equivalent(build, events, snapshot_sink):
         assert partitioned.interpreter.backend == backend
         traces[backend] = _trace(partitioned, events)
         sinks[backend] = snapshot_sink(sink)
-    tree_log, tree_counters = traces["tree"]
-    comp_log, comp_counters = traces["compiled"]
+    tree_log, tree_counters, tree_spans = traces["tree"]
+    comp_log, comp_counters, comp_spans = traces["compiled"]
     assert len(tree_log) == len(comp_log)
     for tree_entry, comp_entry in zip(tree_log, comp_log):
         assert tree_entry == comp_entry
     assert tree_counters == comp_counters
+    # identical span sequences: names, trace/span ids, parentage, attrs
+    assert tree_spans == comp_spans
+    assert any(span[3] == "modulate" for span in tree_spans)
     assert sinks["tree"] == sinks["compiled"]
 
 

@@ -1,0 +1,110 @@
+"""Unit tests for trace exporters and bucket quantiles."""
+
+import json
+
+import pytest
+
+from repro.obs.export import chrome_trace, pse_quantiles, render_trace_summary
+from repro.obs.metrics import bucket_quantile
+from repro.obs.tracing import Tracer
+
+
+def make_dump():
+    ticks = iter(range(100))
+    tracer = Tracer(clock=lambda: float(next(ticks)))
+    trace = tracer.start_trace()
+    mod = tracer.begin("modulate", trace_id=trace, host="sender")
+    ship = tracer.record(
+        "ship",
+        trace_id=trace,
+        parent_id=mod.span_id,
+        start=2.0,
+        end=3.0,
+        host="link",
+        attrs={"bytes": 128.0},
+    )
+    tracer.end(mod)
+    tracer.record(
+        "demodulate",
+        trace_id=trace,
+        parent_id=ship.span_id,
+        start=3.0,
+        end=4.0,
+        host="receiver",
+    )
+    tracer.observe_pse("pse1", latency=0.03, size=128.0)
+    return tracer.to_dict()
+
+
+# -- bucket_quantile ---------------------------------------------------------
+
+
+def test_bucket_quantile_interpolates_within_bucket():
+    # 10 samples uniformly in (0, 10]: one bucket holding everything
+    assert bucket_quantile([10.0], [10], 0.5) == pytest.approx(5.0)
+    assert bucket_quantile([10.0], [10], 1.0) == pytest.approx(10.0)
+
+
+def test_bucket_quantile_walks_buckets():
+    bounds = [1.0, 2.0, 4.0]
+    counts = [2, 2, 0, 0]
+    assert bucket_quantile(bounds, counts, 0.25) == pytest.approx(0.5)
+    assert bucket_quantile(bounds, counts, 0.75) == pytest.approx(1.5)
+
+
+def test_bucket_quantile_overflow_returns_last_bound():
+    assert bucket_quantile([1.0, 2.0], [0, 0, 5], 0.99) == 2.0
+
+
+def test_bucket_quantile_edge_cases():
+    assert bucket_quantile([1.0], [0, 0], 0.5) == 0.0
+    with pytest.raises(ValueError):
+        bucket_quantile([1.0], [1], 1.5)
+
+
+# -- chrome_trace ------------------------------------------------------------
+
+
+def test_chrome_trace_structure():
+    out = chrome_trace(make_dump())
+    assert json.loads(json.dumps(out)) == out  # JSON-serializable
+    events = out["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    xs = [e for e in events if e["ph"] == "X"]
+    assert {m["args"]["name"] for m in meta} == {"sender", "link", "receiver"}
+    assert len(xs) == 3
+    ship = next(e for e in xs if e["name"] == "ship")
+    assert ship["ts"] == pytest.approx(2.0 * 1e6)
+    assert ship["dur"] == pytest.approx(1.0 * 1e6)
+    assert ship["args"]["bytes"] == 128.0
+    # host → stable pid mapping shared by metadata and span events
+    link_pid = next(m["pid"] for m in meta if m["args"]["name"] == "link")
+    assert ship["pid"] == link_pid
+    assert out["otherData"]["recorded"] == 3
+
+
+def test_chrome_trace_unattributed_host_lane():
+    ticks = iter(range(10))
+    tracer = Tracer(clock=lambda: float(next(ticks)))
+    tracer.record("handle", trace_id=0, start=0.0, end=1.0)
+    out = chrome_trace(tracer.to_dict())
+    meta = [e for e in out["traceEvents"] if e["ph"] == "M"]
+    assert meta[0]["args"]["name"] == "(unattributed)"
+
+
+# -- summaries ---------------------------------------------------------------
+
+
+def test_pse_quantiles_none_on_empty():
+    assert pse_quantiles(None) is None
+    assert pse_quantiles({"count": 0, "bounds": [1.0], "counts": [0, 0]}) is None
+
+
+def test_render_trace_summary_contents():
+    text = render_trace_summary(make_dump())
+    assert "spans: 3 kept, 0 dropped" in text
+    assert "sampling rate: 1.0" in text
+    assert "tracer overhead:" in text
+    assert "modulate" in text and "ship" in text and "demodulate" in text
+    assert "pse1 latency: p50=" in text
+    assert "pse1 bytes: p50=" in text

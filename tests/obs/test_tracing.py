@@ -1,0 +1,146 @@
+"""Unit tests for the span tracer."""
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.tracing import Span, Tracer
+
+
+def make_tracer(**kwargs):
+    # A fake monotone clock keeps the tests deterministic.
+    ticks = iter(range(10_000))
+    kwargs.setdefault("clock", lambda: float(next(ticks)))
+    return Tracer(**kwargs)
+
+
+def test_ids_are_deterministic_counters():
+    tracer = make_tracer()
+    assert tracer.start_trace() == 0
+    assert tracer.start_trace() == 1
+    a = tracer.begin("x", trace_id=0)
+    b = tracer.begin("y", trace_id=1)
+    assert (a.span_id, b.span_id) == (0, 1)
+
+
+def test_begin_end_records_window_and_parentage():
+    tracer = make_tracer()
+    trace = tracer.start_trace()
+    parent = tracer.begin("modulate", trace_id=trace)
+    child = tracer.begin(
+        "ship", trace_id=trace, parent_id=parent.span_id, host="link"
+    )
+    tracer.end(child)
+    tracer.end(parent)
+    spans = tracer.spans
+    assert [s.name for s in spans] == ["ship", "modulate"]
+    assert spans[0].parent_id == parent.span_id
+    assert spans[0].host == "link"
+    assert spans[0].start <= spans[0].end
+
+
+def test_record_one_shot_and_retime():
+    tracer = make_tracer()
+    span = tracer.record("ship", trace_id=0, start=5.0, end=7.0, host="eth")
+    assert tracer.spans == [span]
+    assert (span.start, span.end, span.host) == (5.0, 7.0, "eth")
+    tracer.retime(span, 10.0, 12.5, host="wifi")
+    # retime mutates the ringed span in place
+    assert (tracer.spans[0].start, tracer.spans[0].end) == (10.0, 12.5)
+    assert tracer.spans[0].host == "wifi"
+
+
+def test_sampling_credit_accumulator_is_exact():
+    tracer = make_tracer(sampling_rate=0.25)
+    admitted = [tracer.start_trace() for _ in range(100)]
+    kept = [t for t in admitted if t is not None]
+    assert len(kept) == 25
+    # every 4th call is admitted, deterministically
+    assert [i for i, t in enumerate(admitted) if t is not None][:3] == [
+        3,
+        7,
+        11,
+    ]
+
+
+def test_forced_traces_bypass_sampling_without_skewing_it():
+    tracer = make_tracer(sampling_rate=0.5)
+    seq = []
+    for i in range(8):
+        if i % 2 == 0:
+            assert tracer.start_trace(force=True) is not None
+        seq.append(tracer.start_trace())
+    # forced admissions neither spend nor earn sampling credit
+    assert sum(t is not None for t in seq) == 4
+
+
+def test_ring_drops_oldest_and_counts():
+    tracer = make_tracer(maxlen=3)
+    for i in range(5):
+        tracer.record(f"s{i}", trace_id=0, start=float(i), end=float(i))
+    assert [s.name for s in tracer.spans] == ["s2", "s3", "s4"]
+    assert tracer.dropped == 2
+    assert tracer.recorded == 5
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        Tracer(maxlen=0)
+    with pytest.raises(ValueError):
+        Tracer(sampling_rate=0.0)
+    with pytest.raises(ValueError):
+        Tracer(sampling_rate=1.5)
+
+
+def test_observe_pse_feeds_histograms():
+    tracer = make_tracer()
+    tracer.observe_pse("pse3", latency=0.05, size=2048.0)
+    tracer.observe_pse("pse3", latency=0.07)
+    dump = tracer.to_dict()
+    assert dump["pse"]["pse3"]["latency"]["count"] == 2
+    assert dump["pse"]["pse3"]["bytes"]["count"] == 1
+
+
+def test_to_dict_shape():
+    tracer = make_tracer(sampling_rate=0.5, maxlen=10)
+    trace = tracer.start_trace(force=True)
+    tracer.end(tracer.begin("modulate", trace_id=trace))
+    dump = tracer.to_dict()
+    assert dump["sampling_rate"] == 0.5
+    assert dump["maxlen"] == 10
+    assert dump["recorded"] == 1
+    assert dump["dropped"] == 0
+    assert dump["overhead_seconds"] >= 0.0
+    (span,) = dump["spans"]
+    assert span["name"] == "modulate"
+    assert span["trace"] == trace
+    assert span["parent"] is None
+
+
+def test_span_duration_and_dict():
+    span = Span(
+        trace_id=1, span_id=2, parent_id=None, name="x", start=1.0, end=3.5
+    )
+    assert span.duration == 2.5
+    assert span.to_dict()["span"] == 2
+    open_span = Span(
+        trace_id=1, span_id=3, parent_id=2, name="y", start=1.0
+    )
+    assert open_span.duration == 0.0
+
+
+def test_observability_enable_tracing_is_idempotent():
+    obs = Observability()
+    assert obs.tracing is None
+    tracer = obs.enable_tracing(sampling_rate=0.5)
+    assert obs.tracing is tracer
+    # second call returns the existing tracer untouched
+    again = obs.enable_tracing(sampling_rate=1.0)
+    assert again is tracer
+    assert tracer.sampling_rate == 0.5
+
+
+def test_observability_dump_includes_tracing_only_when_enabled():
+    obs = Observability()
+    assert "tracing" not in obs.to_dict()
+    obs.enable_tracing()
+    assert "tracing" in obs.to_dict()

@@ -1,9 +1,12 @@
 """Unit tests for the CLI tools."""
 
+import json
+
 import pytest
 
 from repro.tools import experiments as experiments_cli
 from repro.tools import inspect as inspect_cli
+from repro.tools import tracereport as tracereport_cli
 
 
 def run_inspect(capsys, *argv):
@@ -131,3 +134,98 @@ def test_experiments_figure7_quick_renders_chart(capsys):
     assert "Consumer AProb" in out
     assert "Method Partitioning" in out
     assert "overlapping series" in out  # the chart legend footer
+
+
+# -- --trace-export and tracereport ------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def traced_dumps(tmp_path_factory):
+    """One quick traced run shared by the CLI tests below."""
+    root = tmp_path_factory.mktemp("traces")
+    obs_path = root / "run.obs.json"
+    chrome_path = root / "run.trace.json"
+    rc = experiments_cli.main(
+        [
+            "table3",
+            "--quick",
+            "--obs-report",
+            str(obs_path),
+            "--trace-export",
+            str(chrome_path),
+        ]
+    )
+    assert rc == 0
+    return obs_path, chrome_path
+
+
+def test_trace_export_writes_valid_chrome_trace(traced_dumps, capsys):
+    obs_path, chrome_path = traced_dumps
+    data = json.loads(chrome_path.read_text())
+    events = data["traceEvents"]
+    assert isinstance(events, list) and events
+    assert any(e["ph"] == "X" and e["name"] == "modulate" for e in events)
+    dump = json.loads(obs_path.read_text())
+    assert dump["tracing"]["spans"]
+
+
+def test_trace_export_unwritable_path_fails(capsys):
+    rc = experiments_cli.main(
+        [
+            "table3",
+            "--quick",
+            "--trace-export",
+            "/nonexistent-dir/trace.json",
+        ]
+    )
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert "cannot write trace export" in captured.err
+    assert "failed experiments: trace-export" in captured.err
+    # the tracing summary still printed before the write failed
+    assert "=== tracing ===" in captured.out
+
+
+def test_tracereport_renders_summary_and_trees(traced_dumps, capsys):
+    obs_path, _ = traced_dumps
+    rc = tracereport_cli.main([str(obs_path), "--traces", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "spans:" in out
+    assert "span kinds:" in out
+    assert "trace " in out
+    assert "modulate" in out
+
+
+def test_tracereport_explain(traced_dumps, capsys):
+    obs_path, _ = traced_dumps
+    rc = tracereport_cli.main([str(obs_path), "--explain"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "plan recomputation @ message" in out
+    assert "trigger:" in out
+    assert "candidate costs:" in out
+    assert "<- chosen" in out
+
+
+def test_tracereport_chrome_reexport(traced_dumps, tmp_path, capsys):
+    obs_path, _ = traced_dumps
+    out_path = tmp_path / "re.trace.json"
+    rc = tracereport_cli.main([str(obs_path), "--chrome", str(out_path)])
+    assert rc == 0
+    data = json.loads(out_path.read_text())
+    assert data["traceEvents"]
+
+
+def test_tracereport_unreadable_file(capsys):
+    rc = tracereport_cli.main(["/no/such/file.json"])
+    assert rc == 1
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_tracereport_rejects_dump_without_tracing(tmp_path, capsys):
+    path = tmp_path / "plain.json"
+    path.write_text(json.dumps({"metrics": {}, "trace": {}}))
+    rc = tracereport_cli.main([str(path)])
+    assert rc == 1
+    assert "no tracing section" in capsys.readouterr().err
