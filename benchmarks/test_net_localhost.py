@@ -1,0 +1,98 @@
+"""Localhost TCP throughput/latency benchmark for the net subsystem.
+
+Runs the real two-process live experiment (sender and receiver as
+separate interpreters over a loopback socket) and reports sustained
+messages/sec plus one-way p50/p95 latency per active PSE — the plan
+moves mid-run, so the report shows latency under each split the
+adaptation loop visited.  Emits a machine-readable summary to
+``benchmarks/results/BENCH_net_localhost.json`` for CI artifact upload.
+
+Marked ``bench``: not part of the tier-1 suite (``testpaths`` covers
+``tests/`` only); run explicitly with ``pytest benchmarks/ -m bench``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.tools.liveexp import run_live_experiment
+
+pytestmark = pytest.mark.bench
+
+N_MESSAGES = 400
+SAMPLES = 64
+#: no pacing: stream as fast as the socket takes it
+INTERVAL = 0.0
+
+
+def test_localhost_throughput_and_latency(
+    results_dir, record_result, tmp_path
+):
+    summary, checks = run_live_experiment(
+        messages=N_MESSAGES,
+        samples=SAMPLES,
+        drop_after=0,  # clean run: measure the steady state, not recovery
+        rate_scale=4.0,
+        trigger_period=10,
+        feedback_period=8,
+        interval=INTERVAL,
+        timeout=180.0,
+        outdir=tmp_path,
+    )
+    failed = [(name, detail) for name, passed, detail in checks if not passed]
+    assert not failed, f"live-run checks failed: {failed}"
+
+    receiver = summary["receiver"]
+    msgs_per_sec = float(receiver["msgs_per_second"])
+    latency = receiver["latency_by_pse"]
+    assert msgs_per_sec > 0
+    assert latency, "no per-PSE latency samples"
+
+    payload = {
+        "benchmark": "net_localhost",
+        "n_messages": N_MESSAGES,
+        "samples_per_reading": SAMPLES,
+        "rate_scale": summary["rate_scale"],
+        "msgs_per_sec": round(msgs_per_sec, 1),
+        "plan_ships": receiver["plan_ships"],
+        "initial_plan_edges": summary["sender"]["initial_plan_edges"],
+        "final_plan_edges": summary["sender"]["final_plan_edges"],
+        "latency_by_pse": {
+            pse: {
+                "count": stats["count"],
+                "p50_ms": round(stats["p50"] * 1e3, 3),
+                "p95_ms": round(stats["p95"] * 1e3, 3),
+            }
+            for pse, stats in latency.items()
+        },
+        "transport": {
+            "frames_sent": summary["sender"]["transport"]["frames_sent"],
+            "frame_bytes_sent": summary["sender"]["transport"][
+                "frame_bytes_sent"
+            ],
+            "heartbeats_echoed": summary["sender"]["transport"][
+                "heartbeats_echoed"
+            ],
+        },
+    }
+    (results_dir / "BENCH_net_localhost.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    lines = [
+        f"throughput:  {msgs_per_sec:10.1f} msg/s "
+        f"({N_MESSAGES} messages over loopback TCP)",
+        f"plan:        {payload['initial_plan_edges']} -> "
+        f"{payload['final_plan_edges']} "
+        f"({payload['plan_ships']} ship(s) mid-run)",
+        "one-way latency per active PSE:",
+    ]
+    for pse in sorted(payload["latency_by_pse"]):
+        stats = payload["latency_by_pse"][pse]
+        lines.append(
+            f"  {pse:<10} n={stats['count']:<4} "
+            f"p50={stats['p50_ms']:8.3f}ms p95={stats['p95_ms']:8.3f}ms"
+        )
+    record_result("net_localhost", "\n".join(lines))

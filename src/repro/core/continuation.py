@@ -74,6 +74,82 @@ class ContinuationMessage:
         )
 
 
+def wire_payload(message: ContinuationMessage) -> tuple:
+    """The serializable wire tuple for *message* (v1 bare / v2 headered).
+
+    Shared by :class:`ContinuationCodec` (simulated links) and the
+    network framing codec (:mod:`repro.net.framing`), so continuations
+    are byte-compatible no matter which transport carries them.
+    """
+    if message.trace is None:
+        return (
+            message.function,
+            message.pse_id,
+            message.edge[0],
+            message.edge[1],
+            message.variables,
+        )
+    return (
+        WIRE_MAGIC,
+        WIRE_VERSION,
+        message.function,
+        message.pse_id,
+        message.edge[0],
+        message.edge[1],
+        message.variables,
+        message.trace[0],
+        message.trace[1],
+    )
+
+
+def message_from_wire(payload: object) -> ContinuationMessage:
+    """Rebuild a :class:`ContinuationMessage` from a decoded wire tuple.
+
+    Accepts the bare 5-tuple (wire version 1) and the headered v2 shape;
+    a headered payload with an unknown version raises
+    :class:`~repro.errors.SerializationError`.
+    """
+    if not isinstance(payload, tuple):
+        raise ContinuationError("malformed continuation message")
+    if payload and payload[0] == WIRE_MAGIC:
+        if len(payload) < 2 or payload[1] != WIRE_VERSION:
+            version = payload[1] if len(payload) >= 2 else "<missing>"
+            raise SerializationError(
+                f"continuation wire version {version!r} not supported "
+                f"(this build speaks version {WIRE_VERSION})"
+            )
+        if len(payload) != 9:
+            raise ContinuationError("malformed continuation message")
+        (
+            _magic,
+            _version,
+            function,
+            pse_id,
+            out_node,
+            in_node,
+            variables,
+            trace_id,
+            parent_span,
+        ) = payload
+        return ContinuationMessage(
+            function=function,
+            pse_id=pse_id,
+            edge=(out_node, in_node),
+            variables=variables,
+            trace=(trace_id, parent_span),
+        )
+    # headerless legacy payload (wire version 1)
+    if len(payload) != 5:
+        raise ContinuationError("malformed continuation message")
+    function, pse_id, out_node, in_node, variables = payload
+    return ContinuationMessage(
+        function=function,
+        pse_id=pse_id,
+        edge=(out_node, in_node),
+        variables=variables,
+    )
+
+
 class ContinuationCodec:
     """Wire encoding of continuation messages via the custom serializer."""
 
@@ -83,70 +159,13 @@ class ContinuationCodec:
 
     @staticmethod
     def _payload(message: ContinuationMessage) -> tuple:
-        if message.trace is None:
-            return (
-                message.function,
-                message.pse_id,
-                message.edge[0],
-                message.edge[1],
-                message.variables,
-            )
-        return (
-            WIRE_MAGIC,
-            WIRE_VERSION,
-            message.function,
-            message.pse_id,
-            message.edge[0],
-            message.edge[1],
-            message.variables,
-            message.trace[0],
-            message.trace[1],
-        )
+        return wire_payload(message)
 
     def encode(self, message: ContinuationMessage) -> bytes:
         return self._serializer.serialize(self._payload(message))
 
     def decode(self, data: bytes) -> ContinuationMessage:
-        payload = self._serializer.deserialize(data)
-        if not isinstance(payload, tuple):
-            raise ContinuationError("malformed continuation message")
-        if payload and payload[0] == WIRE_MAGIC:
-            if len(payload) < 2 or payload[1] != WIRE_VERSION:
-                version = payload[1] if len(payload) >= 2 else "<missing>"
-                raise SerializationError(
-                    f"continuation wire version {version!r} not supported "
-                    f"(this build speaks version {WIRE_VERSION})"
-                )
-            if len(payload) != 9:
-                raise ContinuationError("malformed continuation message")
-            (
-                _magic,
-                _version,
-                function,
-                pse_id,
-                out_node,
-                in_node,
-                variables,
-                trace_id,
-                parent_span,
-            ) = payload
-            return ContinuationMessage(
-                function=function,
-                pse_id=pse_id,
-                edge=(out_node, in_node),
-                variables=variables,
-                trace=(trace_id, parent_span),
-            )
-        # headerless legacy payload (wire version 1)
-        if len(payload) != 5:
-            raise ContinuationError("malformed continuation message")
-        function, pse_id, out_node, in_node, variables = payload
-        return ContinuationMessage(
-            function=function,
-            pse_id=pse_id,
-            edge=(out_node, in_node),
-            variables=variables,
-        )
+        return message_from_wire(self._serializer.deserialize(data))
 
     def size(self, message: ContinuationMessage) -> int:
         """Wire size without serializing (the profiling fast path)."""

@@ -64,5 +64,29 @@ class ChannelError(ReproError):
     """Base class for event-channel (JECho substrate) failures."""
 
 
+class TransportError(ChannelError):
+    """Base class for transport-layer failures (any Transport kind)."""
+
+
+class ConnectionLostError(TransportError):
+    """The peer went away: closed transport, dropped or refused
+    connection.  Reconnecting transports raise this only when retry is
+    impossible (the transport was closed) or exhausted."""
+
+
+class SendTimeoutError(TransportError):
+    """A send did not complete within the transport's send timeout."""
+
+
+class FramingError(TransportError):
+    """A byte stream violates the network frame layout (bad magic,
+    unknown version or frame kind, oversized frame, corrupt length)."""
+
+
+class ProtocolError(TransportError):
+    """Peers disagree about the wire protocol (handshake version
+    mismatch, unexpected frame for the negotiated role)."""
+
+
 class CostModelError(ReproError):
     """A cost model was asked for a cost it cannot produce."""

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.errors import ConnectionLostError, TransportError
 from repro.jecho.events import envelope_trace, set_envelope_trace
 from repro.simnet.link import Link
 from repro.simnet.simulator import Simulator
@@ -23,32 +24,64 @@ Destination = Callable[[object], None]
 
 
 class Transport:
-    """Base transport with traffic accounting."""
+    """Base transport with traffic accounting.
+
+    Transport-layer failures raise the typed hierarchy from
+    :mod:`repro.errors`: :class:`~repro.errors.TransportError` for
+    invalid use, :class:`~repro.errors.ConnectionLostError` for sends on
+    a closed transport, :class:`~repro.errors.SendTimeoutError` for
+    timed-out sends (networked transports).  Exceptions raised *by the
+    destination handler* are application errors and propagate unchanged.
+    """
 
     def __init__(self) -> None:
         self.messages_sent = 0
         self.bytes_sent = 0.0
+        self.closed = False
         self.obs = None
         self._c_messages = None
         self._c_bytes = None
         self._h_sizes = None
         #: host lane for ship spans in the trace timeline
         self._trace_host: Optional[str] = None
+        #: name of the last attach, so re-attachment can tell whether
+        #: ``_trace_host`` was attach-derived or subclass-pinned
+        self._obs_name: Optional[str] = None
 
     def attach_observability(self, obs, *, name: str = "transport") -> None:
         """Register this transport's counters under ``<name>.*``.
 
         Counter objects are cached so :meth:`send` pays no registry lookup;
-        the size histogram exposes per-message wire overhead.
+        the size histogram exposes per-message wire overhead.  Repeated
+        attachment (harness re-runs, a transport moved to a fresh
+        :class:`~repro.obs.Observability`) *replaces* the cached handles —
+        instruments are get-or-create in the registry, so attaching twice
+        to the same registry reuses the same counters rather than
+        double-registering, and attaching under a new name stops feeding
+        the old one.
         """
         self.obs = obs
         self._c_messages = obs.metrics.counter(f"{name}.messages")
         self._c_bytes = obs.metrics.counter(f"{name}.bytes")
         self._h_sizes = obs.metrics.histogram(f"{name}.message_bytes")
-        if self._trace_host is None:
+        if self._trace_host is None or self._trace_host == self._obs_name:
+            # attach-derived lane (not pinned by a subclass): follow the
+            # new name instead of keeping a stale label forever
             self._trace_host = name
+        self._obs_name = name
+
+    def close(self) -> None:
+        """Release the transport; subsequent sends raise
+        :class:`~repro.errors.ConnectionLostError`."""
+        self.closed = True
 
     def send(self, destination: Destination, envelope: object, size: float) -> None:
+        if self.closed:
+            raise ConnectionLostError(
+                f"send on closed transport {type(self).__name__}"
+            )
+        if size < 0:
+            raise TransportError(f"negative message size {size!r}")
         self.messages_sent += 1
         self.bytes_sent += size
         if self._c_messages is not None:

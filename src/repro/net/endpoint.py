@@ -1,0 +1,430 @@
+"""Sender/receiver endpoints: the adaptation loop across two processes.
+
+These wire a :class:`~repro.core.partitioned.PartitionedMethod` to the
+TCP layer so the paper's whole feedback loop runs between *real OS
+processes*:
+
+* :class:`NetSenderEndpoint` — owns the modulator and a
+  :class:`~repro.core.runtime.feedback.RemoteProfilingProxy`; every
+  published event is modulated, the continuation ships as a CONT frame,
+  and buffered sender-side observations flush as FEEDBACK frames every
+  ``feedback_period`` messages (monitoring traffic pays real bytes, as
+  in the paper).  Inbound PLAN frames flip the modulator's split flags
+  — adaptation actuation over the wire.
+* :class:`NetReceiverEndpoint` — owns the demodulator, the
+  authoritative Profiling Unit and the (receiver-located)
+  Reconfiguration Unit behind a :class:`~repro.net.tcp.FrameServer`.
+  Every demodulated message and every ingested feedback batch gives the
+  trigger a chance to fire; a recomputed plan that differs from the one
+  the sender is running ships back as a PLAN frame on the same
+  connection.
+
+Both sides build the *same* partitioned method deterministically (same
+handler source → same PSE ids and edges), which is what makes shipping
+plans as bare edge sets sound — the paper's assumption that modulator
+and demodulator share the program text.
+
+Endpoint state is keyed by subscription, **not** by connection: a
+dropped and re-established connection (see ``drop_after``) resumes with
+the profiling history, current plan and sequence bookkeeping intact —
+no plan state is lost across reconnects.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.partitioned import PartitionedMethod
+from repro.errors import TransportError
+from repro.core.plan import PartitioningPlan
+from repro.core.runtime.feedback import RemoteProfilingProxy, ingest
+from repro.core.runtime.triggers import FeedbackTrigger, RateTrigger
+from repro.jecho.events import (
+    ContinuationEnvelope,
+    EventEnvelope,
+    FeedbackEnvelope,
+    PlanEnvelope,
+)
+from repro.net.framing import Bye, NetEnvelopeCodec
+from repro.net.tcp import FrameServer, ServerConnection, TcpPeer, TcpTransport
+from repro.obs.trace import ContinuationShipped
+
+__all__ = ["NetSenderEndpoint", "NetReceiverEndpoint"]
+
+#: wire size charged for a plan update (a handful of edge flags)
+_PLAN_UPDATE_BYTES = 64.0
+
+
+class NetSenderEndpoint:
+    """Modulator side of a live subscription.
+
+    ``publish`` runs on the caller's thread; inbound PLAN frames arrive
+    on the transport's loop thread — one lock serializes the two around
+    the modulator (``apply_plan`` flips the flags the interpreter
+    consults mid-run).
+    """
+
+    def __init__(
+        self,
+        partitioned: PartitionedMethod,
+        transport: TcpTransport,
+        peer: TcpPeer,
+        *,
+        subscription_id: int = 1,
+        plan: Optional[PartitioningPlan] = None,
+        sample_period: int = 1,
+        feedback_period: int = 8,
+        rate_override: Optional[float] = None,
+        obs=None,
+    ) -> None:
+        """``rate_override`` records a *calibrated* seconds-per-cycle
+        instead of the raw per-message wall clock.  Raw measurements are
+        fixed-overhead dominated when the modulator's share of work is
+        tiny (an early split leaves it a handful of cycles), which
+        inflates the apparent sender rate by orders of magnitude; a rate
+        calibrated against the full handler (see
+        :func:`repro.net.live._calibrate`) measures the host, not the
+        per-message overhead."""
+        if feedback_period < 1:
+            raise ValueError("feedback_period must be >= 1")
+        self.partitioned = partitioned
+        self.transport = transport
+        self.peer = peer
+        self.subscription_id = subscription_id
+        self.feedback_period = feedback_period
+        self.rate_override = rate_override
+        self.obs = obs
+        self.proxy = RemoteProfilingProxy(
+            partitioned.cut, sample_period=sample_period, obs=obs
+        )
+        # Rates are measured here (real wall clock per process call), so
+        # the modulator's own cycle-based rate recording stays off.
+        self.modulator = partitioned.make_modulator(
+            plan=plan,
+            profiling=self.proxy,
+            record_rates=False,
+            obs=obs,
+        )
+        self.lock = threading.Lock()
+        self.published = 0
+        self.shipped = 0
+        self.completed_locally = 0
+        self.feedback_flushes = 0
+        self.plan_updates_applied = 0
+        self.plans_seen: List[str] = []
+        transport.inbound_handler = self._on_inbound
+
+    def _tracer(self):
+        return self.obs.tracing if self.obs is not None else None
+
+    def publish(self, event: object) -> None:
+        """Modulate one event and ship the continuation (if any)."""
+        with self.lock:
+            started = time.perf_counter()
+            result = self.modulator.process(event)
+            elapsed = time.perf_counter() - started
+            if result.cycles > 0:
+                seconds = (
+                    result.cycles * self.rate_override
+                    if self.rate_override is not None
+                    else elapsed
+                )
+                self.proxy.record_sender_rate(seconds, result.cycles)
+            self.published += 1
+            message = result.message
+            if message is not None:
+                size = float(self.partitioned.codec.size(message))
+                envelope = ContinuationEnvelope(
+                    continuation=message,
+                    subscription_id=self.subscription_id,
+                )
+                if self.obs is not None:
+                    self.obs.trace.record(
+                        ContinuationShipped(
+                            pse_id=str(message.pse_id), bytes=size
+                        )
+                    )
+                    tracer = self.obs.tracing
+                    if tracer is not None:
+                        tracer.observe_pse(str(message.pse_id), size=size)
+                self.transport.send(self.peer, envelope, size)
+                self.shipped += 1
+            else:
+                self.completed_locally += 1
+            if (
+                self.published % self.feedback_period == 0
+                and self.proxy.pending > 0
+            ):
+                self._flush_feedback()
+
+    def _flush_feedback(self) -> None:
+        """Ship buffered observations as a FEEDBACK frame (lock held)."""
+        payload, size = self.proxy.flush()
+        envelope = FeedbackEnvelope(
+            subscription_id=self.subscription_id,
+            demod_stats=payload,
+        )
+        tracer = self._tracer()
+        if tracer is not None:
+            trace_id = tracer.start_trace(force=True)
+            flush_span = tracer.record(
+                "feedback.flush",
+                trace_id=trace_id,
+                start=tracer.clock(),
+                end=tracer.clock(),
+                attrs={"records": len(payload), "bytes": size},
+            )
+            envelope.trace = (trace_id, flush_span.span_id)
+        self.transport.send(self.peer, envelope, size)
+        self.feedback_flushes += 1
+
+    def finish(self) -> None:
+        """Flush the tail of the profiling buffer and say goodbye."""
+        with self.lock:
+            if self.proxy.pending > 0:
+                self._flush_feedback()
+            self.transport.send(self.peer, Bye(sent=self.shipped), 8.0)
+
+    # -- control plane (runs on the transport's loop thread) -------------------
+
+    def _on_inbound(self, envelope: object, peer: TcpPeer) -> None:
+        if not isinstance(envelope, PlanEnvelope):
+            return
+        tracer = self._tracer()
+        with self.lock:
+            self.modulator.apply_plan(envelope.plan)
+            self.plan_updates_applied += 1
+            self.plans_seen.append(
+                ",".join(
+                    str(e) for e in sorted(envelope.plan.active)
+                )
+            )
+        if tracer is not None and envelope.trace is not None:
+            now = tracer.clock()
+            tracer.record(
+                "plan.apply",
+                trace_id=envelope.trace[0],
+                parent_id=envelope.trace[1],
+                start=now,
+                end=now,
+                attrs={"plan": envelope.plan.name},
+            )
+
+    @property
+    def current_plan_edges(self) -> Tuple[Tuple[int, int], ...]:
+        with self.lock:
+            plan = self.modulator.plan_runtime.current_plan
+            return tuple(sorted(plan.active)) if plan is not None else ()
+
+
+class NetReceiverEndpoint:
+    """Demodulator + Profiling Unit + Reconfiguration Unit behind a socket.
+
+    All handler work runs on the server's event-loop thread, so the
+    demodulator and the profiling unit need no locking.  ``rate_scale``
+    multiplies the measured receiver seconds-per-cycle before recording
+    — the live harness uses it to emulate a loaded receiver host
+    (paper's perturbation experiments) and force the min-cut away from
+    the initial plan, proving a plan ships over the wire.
+
+    ``drop_after`` injects a fault: the connection is hard-dropped
+    (TCP reset) right after the Nth continuation frame is processed,
+    exactly once.  The sender's reconnect machinery — and the fact that
+    endpoint state survives connections — is what the live experiment
+    asserts on.
+    """
+
+    def __init__(
+        self,
+        partitioned: PartitionedMethod,
+        *,
+        plan: Optional[PartitioningPlan] = None,
+        trigger: Optional[FeedbackTrigger] = None,
+        sample_period: int = 1,
+        rate_scale: float = 1.0,
+        rate_override: Optional[float] = None,
+        drop_after: Optional[int] = None,
+        codec: Optional[NetEnvelopeCodec] = None,
+        name: str = "receiver",
+        obs=None,
+    ) -> None:
+        if rate_scale <= 0:
+            raise ValueError("rate_scale must be positive")
+        self.partitioned = partitioned
+        self.rate_scale = rate_scale
+        self.rate_override = rate_override
+        self.drop_after = drop_after
+        self.obs = obs
+        self.profiling = partitioned.make_profiling_unit(
+            sample_period=sample_period, obs=obs
+        )
+        self.demodulator = partitioned.make_demodulator(
+            profiling=self.profiling, record_rates=False, obs=obs
+        )
+        self.reconfig = partitioned.make_reconfiguration_unit(
+            trigger=trigger or RateTrigger(period=10),
+            location="receiver",
+            obs=obs,
+        )
+        self.server = FrameServer(
+            codec or NetEnvelopeCodec(), name=name, obs=obs
+        )
+        self.server.handler = self._handle
+        #: the plan currently believed to run on the sender
+        self.sender_plan: Optional[PartitioningPlan] = plan
+        self.demodulated = 0
+        self.raw_events = 0
+        self.feedback_batches = 0
+        self.plan_ships = 0
+        self.drops_injected = 0
+        self.duplicates_skipped = 0
+        self.sender_reported_sent: Optional[int] = None
+        self.done = threading.Event()
+        #: wall-clock window of demodulation activity (for msgs/s)
+        self.first_demod_at: Optional[float] = None
+        self.last_demod_at: Optional[float] = None
+        #: one-way latency samples per PSE id (same-host wall clocks)
+        self.latencies: Dict[str, List[float]] = {}
+        self._seen_seqs: Set[int] = set()
+
+    def _tracer(self):
+        return self.obs.tracing if self.obs is not None else None
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> Tuple[str, int]:
+        return await self.server.start(host, port)
+
+    async def stop(self) -> None:
+        await self.server.stop()
+
+    # -- frame routing (event-loop thread) -------------------------------------
+
+    async def _handle(
+        self, envelope: object, sent_at: float, conn: ServerConnection
+    ) -> None:
+        if isinstance(envelope, ContinuationEnvelope):
+            await self._handle_continuation(envelope, sent_at, conn)
+        elif isinstance(envelope, FeedbackEnvelope):
+            self._handle_feedback(envelope)
+            await self._maybe_reconfigure(conn)
+        elif isinstance(envelope, EventEnvelope):
+            self.raw_events += 1
+        elif isinstance(envelope, Bye):
+            self.sender_reported_sent = envelope.sent
+            self.done.set()
+
+    async def _handle_continuation(
+        self,
+        envelope: ContinuationEnvelope,
+        sent_at: float,
+        conn: ServerConnection,
+    ) -> None:
+        if envelope.seq in self._seen_seqs:
+            # The frame at the head of the sender's queue when a
+            # connection dies is retransmitted (at-least-once); dedupe
+            # keeps delivery effectively-once.
+            self.duplicates_skipped += 1
+            return
+        self._seen_seqs.add(envelope.seq)
+        started = time.perf_counter()
+        outcome = self.demodulator.process(envelope.continuation)
+        elapsed = time.perf_counter() - started
+        if outcome.cycles > 0:
+            seconds = (
+                outcome.cycles * self.rate_override
+                if self.rate_override is not None
+                else elapsed
+            )
+            self.profiling.record_receiver_rate(
+                seconds * self.rate_scale, outcome.cycles
+            )
+        self.demodulated += 1
+        now = time.time()
+        if self.first_demod_at is None:
+            self.first_demod_at = now
+        self.last_demod_at = now
+        pse_id = str(envelope.continuation.pse_id)
+        if sent_at > 0:
+            latency = time.time() - sent_at
+            if latency >= 0:
+                self.latencies.setdefault(pse_id, []).append(latency)
+                tracer = self._tracer()
+                if tracer is not None:
+                    tracer.observe_pse(pse_id, latency=latency)
+        if (
+            self.drop_after is not None
+            and self.drops_injected == 0
+            and self.demodulated >= self.drop_after
+        ):
+            # Fault injection: processed, *then* reset — the experiment
+            # loses the connection, not the message.
+            self.drops_injected += 1
+            conn.abort()
+            return
+        await self._maybe_reconfigure(conn)
+
+    def _handle_feedback(self, envelope: FeedbackEnvelope) -> None:
+        stats = envelope.demod_stats
+        if isinstance(stats, (list, tuple)):
+            ingest(self.profiling, list(stats))
+            self.feedback_batches += 1
+
+    async def _maybe_reconfigure(self, conn: ServerConnection) -> None:
+        plan = self.reconfig.consider(self.profiling)
+        if plan is None:
+            return
+        if (
+            self.sender_plan is not None
+            and plan.active == self.sender_plan.active
+        ):
+            return  # the sender already runs this plan; nothing to ship
+        previous = self.sender_plan
+        self.sender_plan = plan
+        envelope = PlanEnvelope(subscription_id=1, plan=plan)
+        tracer = self._tracer()
+        if tracer is not None and self.reconfig.last_trace_ctx is not None:
+            ctx = self.reconfig.last_trace_ctx
+            now = tracer.clock()
+            ship_span = tracer.record(
+                "plan.ship",
+                trace_id=ctx[0],
+                parent_id=ctx[1],
+                start=now,
+                end=now,
+                attrs={"bytes": _PLAN_UPDATE_BYTES, "plan": plan.name},
+            )
+            envelope.trace = (ctx[0], ship_span.span_id)
+        if conn.closed:
+            # The triggering connection just dropped (fault injection):
+            # ship on the next live one, if any.
+            live = [c for c in self.server.connections if not c.closed]
+            if not live:
+                # No connection to ship on: forget the optimistic update
+                # so the next trigger fire re-ships after reconnect.
+                self.sender_plan = previous
+                return
+            conn = live[-1]
+        try:
+            await conn.send(envelope)
+        except TransportError:
+            self.sender_plan = previous
+            return
+        self.plan_ships += 1
+
+    # -- results ----------------------------------------------------------------
+
+    def latency_quantiles(self) -> Dict[str, Dict[str, float]]:
+        """p50/p95 one-way latency per PSE, from the raw samples."""
+        out: Dict[str, Dict[str, float]] = {}
+        for pse_id, samples in sorted(self.latencies.items()):
+            ordered = sorted(samples)
+            n = len(ordered)
+            out[pse_id] = {
+                "count": n,
+                "p50": ordered[int(0.50 * (n - 1))],
+                "p95": ordered[int(0.95 * (n - 1))],
+            }
+        return out

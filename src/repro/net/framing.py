@@ -1,0 +1,429 @@
+"""Length-prefixed framing over the repro serialization wire format.
+
+A TCP stream has no message boundaries, so every message travels as a
+*frame*::
+
+    offset  size  field
+    0       2     magic  b"MP"
+    2       1     protocol version (PROTOCOL_VERSION)
+    3       1     frame kind (KIND_*)
+    4       4     payload length, big-endian unsigned
+    8       n     payload bytes
+
+The payload of every application frame is one value encoded with
+:class:`repro.serialization.Serializer` — the exact wire format whose
+sizes the cost models optimize, so what the profiler *measures* is what
+the socket *carries*.  Continuation frames embed the continuation wire
+tuple produced by :func:`repro.core.continuation.wire_payload`
+unchanged, preserving the v1 (bare 5-tuple) / v2 (headered, traced)
+versioning and its negotiation semantics.
+
+:class:`FrameDecoder` is an incremental parser: feed it whatever chunk
+``data_received`` produced — half a header, three frames and a half,
+one byte — and it returns the completed frames.  Violations raise
+:class:`~repro.errors.FramingError` (bad magic, unknown version or
+kind, oversized frame): a framing error is unrecoverable for the
+connection, since the stream position is lost.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from repro.core.continuation import (
+    ContinuationMessage,
+    message_from_wire,
+    wire_payload,
+)
+from repro.core.plan import PartitioningPlan
+from repro.core.runtime.feedback import ObservationRecord
+from repro.errors import FramingError, ProtocolError
+from repro.jecho.events import (
+    ContinuationEnvelope,
+    EventEnvelope,
+    FeedbackEnvelope,
+    PlanEnvelope,
+)
+from repro.serialization import Serializer, SerializerRegistry
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAGIC",
+    "HEADER_SIZE",
+    "DEFAULT_MAX_FRAME",
+    "KIND_HELLO",
+    "KIND_EVENT",
+    "KIND_CONT",
+    "KIND_FEEDBACK",
+    "KIND_PLAN",
+    "KIND_HEARTBEAT",
+    "KIND_BYE",
+    "KIND_NAMES",
+    "encode_frame",
+    "FrameDecoder",
+    "NetEnvelopeCodec",
+    "Hello",
+    "Heartbeat",
+    "Bye",
+]
+
+#: two magic bytes opening every frame
+MAGIC = b"MP"
+#: version of the frame layout + envelope encodings below
+PROTOCOL_VERSION = 1
+#: frame header bytes (magic + version + kind + length)
+HEADER_SIZE = 8
+#: default ceiling on payload size — a corrupt length prefix must not
+#: make the decoder buffer gigabytes
+DEFAULT_MAX_FRAME = 16 * 1024 * 1024
+
+# Frame kinds (1 byte). Control plane of the transport itself:
+KIND_HELLO = 0x01
+KIND_HEARTBEAT = 0x02
+KIND_BYE = 0x03
+# JECho envelope kinds:
+KIND_EVENT = 0x10
+KIND_CONT = 0x11
+KIND_FEEDBACK = 0x12
+KIND_PLAN = 0x13
+
+KIND_NAMES = {
+    KIND_HELLO: "hello",
+    KIND_HEARTBEAT: "heartbeat",
+    KIND_BYE: "bye",
+    KIND_EVENT: "event",
+    KIND_CONT: "continuation",
+    KIND_FEEDBACK: "feedback",
+    KIND_PLAN: "plan",
+}
+
+_HEADER = struct.Struct(">2sBBI")
+
+
+def encode_frame(kind: int, payload: bytes) -> bytes:
+    """One wire frame for *payload* under *kind*."""
+    if kind not in KIND_NAMES:
+        raise FramingError(f"unknown frame kind 0x{kind:02x}")
+    return _HEADER.pack(MAGIC, PROTOCOL_VERSION, kind, len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser for a byte stream.
+
+    ``feed`` accepts arbitrary chunk boundaries and returns every frame
+    completed so far as ``(kind, payload)`` pairs.  After a
+    :class:`~repro.errors.FramingError` the decoder is poisoned: the
+    stream offset is unknowable, so every further feed re-raises.
+    """
+
+    def __init__(self, *, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        if max_frame < 1:
+            raise ValueError("max_frame must be >= 1")
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+        self._error: Optional[FramingError] = None
+        self.frames_decoded = 0
+        self.bytes_consumed = 0
+
+    def feed(self, data: bytes) -> List[Tuple[int, bytes]]:
+        if self._error is not None:
+            raise self._error
+        self._buffer += data
+        frames: List[Tuple[int, bytes]] = []
+        try:
+            while len(self._buffer) >= HEADER_SIZE:
+                magic, version, kind, length = _HEADER.unpack_from(
+                    self._buffer
+                )
+                if magic != MAGIC:
+                    raise FramingError(
+                        f"bad frame magic {bytes(magic)!r}"
+                    )
+                if version != PROTOCOL_VERSION:
+                    raise FramingError(
+                        f"unsupported frame protocol version {version} "
+                        f"(this build speaks {PROTOCOL_VERSION})"
+                    )
+                if kind not in KIND_NAMES:
+                    raise FramingError(f"unknown frame kind 0x{kind:02x}")
+                if length > self.max_frame:
+                    raise FramingError(
+                        f"frame of {length} bytes exceeds the "
+                        f"{self.max_frame}-byte limit"
+                    )
+                if len(self._buffer) < HEADER_SIZE + length:
+                    break
+                payload = bytes(
+                    self._buffer[HEADER_SIZE : HEADER_SIZE + length]
+                )
+                del self._buffer[: HEADER_SIZE + length]
+                self.frames_decoded += 1
+                self.bytes_consumed += HEADER_SIZE + length
+                frames.append((kind, payload))
+        except FramingError as exc:
+            self._error = exc
+            raise
+        return frames
+
+    @property
+    def buffered(self) -> int:
+        """Bytes awaiting a complete frame."""
+        return len(self._buffer)
+
+
+class Hello:
+    """Handshake: first frame on every connection, either direction."""
+
+    __slots__ = ("protocol", "cont_version", "role", "name")
+
+    def __init__(
+        self,
+        *,
+        protocol: int = PROTOCOL_VERSION,
+        cont_version: int = 2,
+        role: str = "peer",
+        name: str = "",
+    ) -> None:
+        self.protocol = protocol
+        self.cont_version = cont_version
+        self.role = role
+        self.name = name
+
+
+class Heartbeat:
+    """Liveness probe; ``sent_at`` is the sender's wall clock."""
+
+    __slots__ = ("sent_at",)
+
+    def __init__(self, sent_at: float = 0.0) -> None:
+        self.sent_at = sent_at
+
+
+class Bye:
+    """Orderly end-of-stream: the sender is done after *sent* messages."""
+
+    __slots__ = ("sent",)
+
+    def __init__(self, sent: int = 0) -> None:
+        self.sent = sent
+
+
+def _record_tuple(rec: ObservationRecord) -> tuple:
+    return (
+        rec.kind,
+        None if rec.edge is None else (rec.edge[0], rec.edge[1]),
+        rec.data_size,
+        rec.work_before,
+        rec.work_after,
+        rec.is_split,
+        rec.count_traversal,
+        rec.seconds,
+        rec.cycles,
+    )
+
+
+def _record_from_tuple(item: object) -> ObservationRecord:
+    if not isinstance(item, tuple) or len(item) != 9:
+        raise ProtocolError("malformed feedback record on the wire")
+    (
+        kind,
+        edge,
+        data_size,
+        work_before,
+        work_after,
+        is_split,
+        count_traversal,
+        seconds,
+        cycles,
+    ) = item
+    return ObservationRecord(
+        kind=kind,
+        edge=None if edge is None else (edge[0], edge[1]),
+        data_size=data_size,
+        work_before=work_before,
+        work_after=work_after,
+        is_split=bool(is_split),
+        count_traversal=bool(count_traversal),
+        seconds=seconds,
+        cycles=cycles,
+    )
+
+
+class NetEnvelopeCodec:
+    """Map JECho envelopes (and control frames) to/from frame payloads.
+
+    Bound to the application's :class:`SerializerRegistry` so event
+    payloads and continuation variables of registered classes cross the
+    wire exactly as the simulator costs them.  ``sent_at`` departure
+    timestamps ride along on data frames so the receiving process can
+    report real one-way latency (same-machine clocks in the harness).
+    """
+
+    def __init__(
+        self, registry: Optional[SerializerRegistry] = None
+    ) -> None:
+        self.registry = registry or SerializerRegistry()
+        self._serializer = Serializer(self.registry)
+
+    # -- encoding --------------------------------------------------------------
+
+    def encode(self, envelope: object, *, sent_at: float = 0.0) -> Tuple[int, bytes]:
+        """``(kind, payload)`` for any envelope/control object."""
+        ser = self._serializer.serialize
+        if isinstance(envelope, ContinuationEnvelope):
+            return KIND_CONT, ser(
+                (
+                    envelope.subscription_id,
+                    envelope.seq,
+                    sent_at,
+                    wire_payload(envelope.continuation),
+                )
+            )
+        if isinstance(envelope, EventEnvelope):
+            return KIND_EVENT, ser(
+                (
+                    envelope.seq,
+                    sent_at,
+                    envelope.trace,
+                    envelope.payload,
+                )
+            )
+        if isinstance(envelope, FeedbackEnvelope):
+            # Two feedback shapes exist in the codebase: the envelope's
+            # original edge->stats dict, and RemoteProfilingProxy's
+            # replayable ObservationRecord list.  Both cross the wire.
+            stats = envelope.demod_stats
+            is_records = isinstance(stats, (list, tuple))
+            if is_records:
+                records = tuple(_record_tuple(r) for r in stats)
+            else:
+                records = tuple(
+                    ((e[0], e[1]), (s[0], s[1]))
+                    for e, s in sorted(stats.items())
+                )
+            return KIND_FEEDBACK, ser(
+                (
+                    envelope.subscription_id,
+                    envelope.seq,
+                    envelope.trace,
+                    is_records,
+                    records,
+                )
+            )
+        if isinstance(envelope, PlanEnvelope):
+            plan = envelope.plan
+            return KIND_PLAN, ser(
+                (
+                    envelope.subscription_id,
+                    envelope.seq,
+                    envelope.trace,
+                    plan.name,
+                    tuple(sorted((e[0], e[1]) for e in plan.active)),
+                )
+            )
+        if isinstance(envelope, Hello):
+            return KIND_HELLO, ser(
+                (
+                    envelope.protocol,
+                    envelope.cont_version,
+                    envelope.role,
+                    envelope.name,
+                )
+            )
+        if isinstance(envelope, Heartbeat):
+            return KIND_HEARTBEAT, ser((envelope.sent_at,))
+        if isinstance(envelope, Bye):
+            return KIND_BYE, ser((envelope.sent,))
+        raise ProtocolError(
+            f"cannot encode {type(envelope).__name__} as a net frame"
+        )
+
+    def encode_frame(self, envelope: object, *, sent_at: float = 0.0) -> bytes:
+        kind, payload = self.encode(envelope, sent_at=sent_at)
+        return encode_frame(kind, payload)
+
+    # -- decoding --------------------------------------------------------------
+
+    def decode(self, kind: int, payload: bytes) -> Tuple[object, float]:
+        """``(envelope, sent_at)``; control frames report ``sent_at=0``."""
+        value = self._serializer.deserialize(payload)
+        try:
+            if kind == KIND_CONT:
+                sub_id, seq, sent_at, inner = value
+                message: ContinuationMessage = message_from_wire(inner)
+                env = ContinuationEnvelope(
+                    continuation=message,
+                    subscription_id=sub_id,
+                    seq=seq,
+                )
+                return env, sent_at
+            if kind == KIND_EVENT:
+                seq, sent_at, trace, app_payload = value
+                env = EventEnvelope(payload=app_payload, seq=seq)
+                env.trace = None if trace is None else (trace[0], trace[1])
+                return env, sent_at
+            if kind == KIND_FEEDBACK:
+                sub_id, seq, trace, is_records, records = value
+                if is_records:
+                    stats = [_record_from_tuple(r) for r in records]
+                else:
+                    stats = {
+                        (e[0], e[1]): (s[0], s[1]) for e, s in records
+                    }
+                env = FeedbackEnvelope(
+                    subscription_id=sub_id, demod_stats=stats, seq=seq
+                )
+                env.trace = None if trace is None else (trace[0], trace[1])
+                return env, 0.0
+            if kind == KIND_PLAN:
+                sub_id, seq, trace, name, edges = value
+                plan = PartitioningPlan(
+                    active=frozenset((e[0], e[1]) for e in edges),
+                    name=name,
+                )
+                env = PlanEnvelope(
+                    subscription_id=sub_id, plan=plan, seq=seq
+                )
+                env.trace = None if trace is None else (trace[0], trace[1])
+                return env, 0.0
+            if kind == KIND_HELLO:
+                protocol, cont_version, role, name = value
+                return (
+                    Hello(
+                        protocol=protocol,
+                        cont_version=cont_version,
+                        role=role,
+                        name=name,
+                    ),
+                    0.0,
+                )
+            if kind == KIND_HEARTBEAT:
+                (sent_at,) = value
+                return Heartbeat(sent_at=sent_at), 0.0
+            if kind == KIND_BYE:
+                (sent,) = value
+                return Bye(sent=sent), 0.0
+        except ProtocolError:
+            raise
+        except (TypeError, ValueError, IndexError) as exc:
+            raise ProtocolError(
+                f"malformed {KIND_NAMES.get(kind, hex(kind))} frame: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        raise FramingError(f"unknown frame kind 0x{kind:02x}")
+
+    def check_hello(self, hello: Hello) -> None:
+        """Version negotiation: reject peers speaking another protocol."""
+        from repro.core.continuation import WIRE_VERSION
+
+        if hello.protocol != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"peer {hello.name!r} speaks frame protocol "
+                f"{hello.protocol}, this build speaks {PROTOCOL_VERSION}"
+            )
+        if hello.cont_version != WIRE_VERSION:
+            raise ProtocolError(
+                f"peer {hello.name!r} speaks continuation wire version "
+                f"{hello.cont_version}, this build speaks {WIRE_VERSION}"
+            )

@@ -1,0 +1,303 @@
+"""Per-process halves of the live network experiment.
+
+Run the receiver first; it binds an ephemeral port and announces it::
+
+    python -m repro.net.live receiver --messages 120 --out recv.json
+
+    LISTENING 54321
+
+then the sender connects and streams the figure-7 sensor workload::
+
+    python -m repro.net.live sender --port 54321 --messages 120 \
+        --out send.json
+
+Both processes build the *same* partitioned sensor handler (same source
+→ same PSEs), start from the same receiver-heavy plan, and run the
+paper's adaptation loop over the socket: the receiver's ``rate_scale``
+emulates a loaded consumer host (figure 7's perturbation axis), the
+min-cut moves the split toward the sender, and the new plan ships back
+as a PLAN frame mid-stream.  ``--drop-after N`` injects a TCP reset
+after the Nth delivered continuation, exercising reconnect-with-backoff
+while the endpoint state (plan, profiling history) survives.
+
+Each process writes one JSON result file: counters, per-PSE latency
+quantiles, the plan timeline, transport statistics and a full
+observability dump (whose tracer spans — allocated from disjoint
+``id_base`` ranges, stamped with a shared wall clock — merge into one
+causal tree; see :mod:`repro.tools.liveexp`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from typing import Dict, Optional
+
+from repro.apps.sensor.data import make_reading
+from repro.apps.sensor.pipeline import build_partitioned_process
+from repro.core.plan import receiver_heavy_plan
+from repro.core.runtime.triggers import RateTrigger
+from repro.net.endpoint import NetReceiverEndpoint, NetSenderEndpoint
+from repro.net.framing import NetEnvelopeCodec
+from repro.net.tcp import TcpTransport
+from repro.obs import Observability
+
+__all__ = ["run_sender", "run_receiver", "main"]
+
+#: disjoint tracer id ranges so merged dumps never collide
+SENDER_ID_BASE = 1 << 40
+RECEIVER_ID_BASE = 2 << 40
+
+
+def _calibrate(partitioned, sink, n_samples: int, repeats: int = 5) -> float:
+    """Measure this host's seconds-per-cycle against the full handler.
+
+    Per-message overhead (envelope handling, profiling observers,
+    trace bookkeeping) amortizes over the handler's whole work here,
+    so the rate characterizes the host rather than the split choice —
+    a raw per-message measurement on the side holding a sliver of the
+    work would be overhead-dominated and inflate that host's apparent
+    slowness by orders of magnitude.
+    """
+    from repro.ir.interpreter import CycleMeter
+
+    # Warm up interpreter/compiled-closure caches before timing.
+    partitioned.run_reference(make_reading(0, n_samples))
+    cycles = 0.0
+    started = time.perf_counter()
+    for i in range(repeats):
+        meter = CycleMeter()
+        partitioned.interpreter.run(
+            partitioned.function,
+            (make_reading(i, n_samples),),
+            meter=meter,
+        )
+        cycles += meter.cycles
+    elapsed = time.perf_counter() - started
+    sink.clear()  # calibration deliveries are not experiment results
+    return elapsed / cycles if cycles > 0 else 1e-7
+
+
+def _observability(host: str, id_base: int) -> Observability:
+    obs = Observability()
+    # Wall clock: both processes run on one machine, so timestamps are
+    # directly comparable in the merged trace.
+    obs.enable_tracing(clock=time.time, host=host, id_base=id_base)
+    return obs
+
+
+def run_receiver(args: argparse.Namespace) -> Dict[str, object]:
+    obs = _observability("receiver", RECEIVER_ID_BASE)
+    partitioned, sink = build_partitioned_process(
+        n_stages=args.n_stages, backend=args.backend
+    )
+    plan = receiver_heavy_plan(partitioned.cut)
+    rate = _calibrate(partitioned, sink, args.samples)
+    endpoint = NetReceiverEndpoint(
+        partitioned,
+        plan=plan,
+        trigger=RateTrigger(period=args.trigger_period),
+        rate_scale=args.rate_scale,
+        rate_override=rate,
+        drop_after=args.drop_after if args.drop_after > 0 else None,
+        codec=NetEnvelopeCodec(partitioned.serializer_registry),
+        obs=obs,
+    )
+
+    async def amain() -> None:
+        _, port = await endpoint.start(args.host, args.port)
+        print(f"LISTENING {port}", flush=True)
+        started = time.time()
+        last_progress = started
+        last_count = -1
+        while not endpoint.done.is_set():
+            now = time.time()
+            if endpoint.demodulated != last_count:
+                last_count = endpoint.demodulated
+                last_progress = now
+            if now - last_progress > args.idle_timeout:
+                print("IDLE TIMEOUT", file=sys.stderr, flush=True)
+                break
+            if now - started > args.timeout:
+                print("DEADLINE EXCEEDED", file=sys.stderr, flush=True)
+                break
+            await asyncio.sleep(0.05)
+        # Let a plan frame triggered by the last messages flush out.
+        await asyncio.sleep(0.1)
+        await endpoint.stop()
+
+    asyncio.run(amain())
+
+    window = (
+        endpoint.last_demod_at - endpoint.first_demod_at
+        if endpoint.first_demod_at is not None
+        and endpoint.last_demod_at is not None
+        else 0.0
+    )
+    return {
+        "role": "receiver",
+        "demodulated": endpoint.demodulated,
+        "delivered": len(sink.results),
+        "duplicates_skipped": endpoint.duplicates_skipped,
+        "feedback_batches": endpoint.feedback_batches,
+        "plan_ships": endpoint.plan_ships,
+        "drops_injected": endpoint.drops_injected,
+        "sender_reported_sent": endpoint.sender_reported_sent,
+        "initial_plan_edges": sorted(list(e) for e in plan.active),
+        "final_plan_edges": (
+            sorted(list(e) for e in endpoint.sender_plan.active)
+            if endpoint.sender_plan is not None
+            else []
+        ),
+        "reconfigurations": [
+            {
+                "at_message": record.at_message,
+                "cut_value": record.cut_value,
+                "edges": sorted(list(e) for e in record.plan.active),
+            }
+            for record in endpoint.reconfig.history
+        ],
+        "window_seconds": window,
+        "msgs_per_second": (
+            (endpoint.demodulated - 1) / window if window > 0 else 0.0
+        ),
+        "latency_by_pse": endpoint.latency_quantiles(),
+        "server": {
+            "accepted": endpoint.server.accepted,
+            "frames_received": endpoint.server.frames_received,
+            "frames_sent": endpoint.server.frames_sent,
+            "heartbeats_seen": endpoint.server.heartbeats_seen,
+            "protocol_rejects": endpoint.server.protocol_rejects,
+        },
+        "obs": obs.to_dict(),
+    }
+
+
+def run_sender(args: argparse.Namespace) -> Dict[str, object]:
+    obs = _observability("sender", SENDER_ID_BASE)
+    partitioned, _sink = build_partitioned_process(
+        n_stages=args.n_stages, backend=args.backend
+    )
+    plan = receiver_heavy_plan(partitioned.cut)
+    rate = _calibrate(partitioned, _sink, args.samples)
+    codec = NetEnvelopeCodec(partitioned.serializer_registry)
+    transport = TcpTransport(
+        codec,
+        name="sender",
+        heartbeat_interval=args.heartbeat,
+        connect_timeout=args.timeout,
+        send_timeout=5.0,
+    )
+    transport.attach_observability(obs, name="transport.tcp")
+    transport.start()
+    peer = transport.peer(args.host, args.port)
+    endpoint = NetSenderEndpoint(
+        partitioned,
+        transport,
+        peer,
+        plan=plan,
+        feedback_period=args.feedback_period,
+        rate_override=rate,
+        obs=obs,
+    )
+    started = time.time()
+    for i in range(args.messages):
+        endpoint.publish(make_reading(i, args.samples))
+        if args.interval > 0:
+            time.sleep(args.interval)
+    endpoint.finish()
+    drained = transport.drain(args.timeout)
+    # Leave a window for a PLAN frame racing the tail of the stream.
+    time.sleep(0.3)
+    elapsed = time.time() - started
+    result = {
+        "role": "sender",
+        "published": endpoint.published,
+        "shipped": endpoint.shipped,
+        "completed_locally": endpoint.completed_locally,
+        "feedback_flushes": endpoint.feedback_flushes,
+        "plan_updates_applied": endpoint.plan_updates_applied,
+        "initial_plan_edges": sorted(list(e) for e in plan.active),
+        "final_plan_edges": [
+            list(e) for e in endpoint.current_plan_edges
+        ],
+        "elapsed_seconds": elapsed,
+        "drained": drained,
+        "transport": {
+            "messages_sent": transport.messages_sent,
+            "bytes_sent": transport.bytes_sent,
+            "connections": peer.connections,
+            "reconnects": peer.reconnects,
+            "dropped_frames": peer.dropped_frames,
+            "frames_sent": peer.frames_sent,
+            "frame_bytes_sent": peer.frame_bytes_sent,
+            "heartbeats_sent": peer.heartbeats_sent,
+            "heartbeats_echoed": peer.heartbeats_seen,
+            "send_timeouts": peer.send_timeouts,
+            "last_rtt": peer.last_rtt,
+        },
+        "obs": obs.to_dict(),
+    }
+    transport.close()
+    return result
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--messages", type=int, default=120)
+    parser.add_argument("--samples", type=int, default=64,
+                        help="samples per sensor reading")
+    parser.add_argument("--n-stages", type=int, default=20)
+    parser.add_argument("--backend", default="compiled",
+                        choices=("interpreted", "compiled"))
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="overall per-process deadline (seconds)")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON result here (default stdout)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net.live",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="role", required=True)
+
+    recv = sub.add_parser("receiver", help="listen and demodulate")
+    _add_common(recv)
+    recv.add_argument("--port", type=int, default=0,
+                      help="0 binds an ephemeral port (announced on stdout)")
+    recv.add_argument("--rate-scale", type=float, default=4.0,
+                      help="receiver slowdown factor (emulated load)")
+    recv.add_argument("--trigger-period", type=int, default=10)
+    recv.add_argument("--drop-after", type=int, default=0,
+                      help="inject a TCP reset after the Nth delivery")
+    recv.add_argument("--idle-timeout", type=float, default=10.0)
+
+    send = sub.add_parser("sender", help="connect and modulate")
+    _add_common(send)
+    send.add_argument("--port", type=int, required=True)
+    send.add_argument("--feedback-period", type=int, default=8)
+    send.add_argument("--interval", type=float, default=0.005,
+                      help="pause between published messages (seconds)")
+    send.add_argument("--heartbeat", type=float, default=0.5)
+
+    args = parser.parse_args(argv)
+    result = (
+        run_receiver(args) if args.role == "receiver" else run_sender(args)
+    )
+    text = json.dumps(result, indent=2, default=str)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,714 @@
+"""Asyncio TCP transport and frame server.
+
+:class:`TcpTransport` implements the synchronous
+:class:`~repro.jecho.transport.Transport` interface over real sockets:
+``send(destination, envelope, size)`` encodes the envelope as one frame
+and enqueues it on the destination peer's bounded outbound queue; an
+asyncio machinery (either a background thread owning its own event
+loop — the default, so ordinary synchronous code can use it — or an
+externally provided running loop) drains the queues onto sockets.
+
+Reliability model, chosen to match what the adaptation loop needs:
+
+* **Per-peer connection pooling** — one pooled connection per
+  ``(host, port)``, created lazily by :meth:`TcpTransport.peer` and
+  reused by every send to that peer.
+* **Reconnect with exponential backoff + jitter** — a lost or refused
+  connection is retried at ``base * 2^attempt`` seconds, capped, with
+  deterministic per-peer jitter so herds of senders do not thunder.
+  Queued frames survive the outage; the frame being written when the
+  connection died is retransmitted first (at-least-once for the head
+  frame, at-most-once for everything behind it).
+* **Bounded queues with drop-oldest backpressure** — when the outbound
+  queue is full the *oldest* frame is dropped (freshest data wins, the
+  right call for sensor streams) and counted in ``obs.metrics`` under
+  ``<name>.dropped_frames``.
+* **Connect/send timeouts** — a peer that accepts but never reads must
+  not wedge the writer; a timed-out send raises
+  :class:`~repro.errors.SendTimeoutError` internally and is treated as
+  a lost connection.
+* **Heartbeats** — each pooled connection emits a heartbeat frame every
+  ``heartbeat_interval`` seconds; the server echoes it back with the
+  original timestamp, giving both sides liveness (``last_heard``) and
+  the client an RTT sample.
+
+:class:`FrameServer` is the listening side: it accepts connections,
+runs the handshake (rejecting protocol-version mismatches), decodes
+frames incrementally, and hands every application envelope to a router
+callback.  It exposes per-connection ``send`` for the reverse control
+plane (plan-ship) and ``abort`` for fault injection in tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    ConnectionLostError,
+    FramingError,
+    ProtocolError,
+    SendTimeoutError,
+    TransportError,
+)
+from repro.jecho.transport import Destination, Transport
+from repro.net.framing import (
+    DEFAULT_MAX_FRAME,
+    FrameDecoder,
+    Bye,
+    Heartbeat,
+    Hello,
+    NetEnvelopeCodec,
+)
+
+__all__ = ["TcpPeer", "TcpTransport", "FrameServer", "ServerConnection"]
+
+_READ_CHUNK = 65536
+
+
+class TcpPeer:
+    """One pooled connection to a remote endpoint.
+
+    All mutable state is owned by the transport's event loop; the only
+    cross-thread entry point is :meth:`_enqueue_threadsafe`.
+    """
+
+    def __init__(
+        self,
+        transport: "TcpTransport",
+        host: str,
+        port: int,
+        *,
+        name: Optional[str] = None,
+    ) -> None:
+        self.transport = transport
+        self.host = host
+        self.port = port
+        self.name = name or f"{host}:{port}"
+        self.connections = 0
+        self.reconnects = 0
+        self.dropped_frames = 0
+        self.frames_sent = 0
+        self.frame_bytes_sent = 0
+        self.heartbeats_sent = 0
+        self.heartbeats_seen = 0
+        self.send_timeouts = 0
+        self.last_heard: Optional[float] = None
+        self.last_rtt: Optional[float] = None
+        self.connected = False
+        self._outbound: Deque[bytes] = deque()
+        self._wake = asyncio.Event()
+        self._conn_lost = asyncio.Event()
+        self._drained = asyncio.Event()
+        self._drained.set()
+        self._closed = False
+        self._task: Optional[asyncio.Task] = None
+        # Deterministic per-peer jitter stream: reproducible backoff
+        # schedules in tests, decorrelated schedules across peers.
+        self._jitter_rng = random.Random(
+            (hash((host, port)) ^ transport.jitter_seed) & 0xFFFFFFFF
+        )
+
+    def is_alive(self, timeout: float) -> bool:
+        """True when the peer answered within the last *timeout* seconds."""
+        return (
+            self.last_heard is not None
+            and (time.monotonic() - self.last_heard) < timeout
+        )
+
+    @property
+    def queued(self) -> int:
+        return len(self._outbound)
+
+    # -- loop-side internals ---------------------------------------------------
+
+    def _enqueue(self, frame: bytes) -> None:
+        if self._closed:
+            return
+        if len(self._outbound) >= self.transport.queue_limit:
+            self._outbound.popleft()
+            self.dropped_frames += 1
+            if self.transport._c_dropped is not None:
+                self.transport._c_dropped.inc()
+        self._outbound.append(frame)
+        self._drained.clear()
+        self._wake.set()
+
+    def _backoff_delay(self, attempt: int) -> float:
+        base = self.transport.backoff_base * (2 ** min(attempt, 16))
+        delay = min(base, self.transport.backoff_cap)
+        jitter = 1.0 + self.transport.backoff_jitter * self._jitter_rng.random()
+        return delay * jitter
+
+    async def _run(self) -> None:
+        """Connect/reconnect loop: lives for the peer's whole lifetime."""
+        attempt = 0
+        while not self._closed:
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(self.host, self.port),
+                    self.transport.connect_timeout,
+                )
+            except (OSError, asyncio.TimeoutError):
+                if self.transport._c_connect_failures is not None:
+                    self.transport._c_connect_failures.inc()
+                attempt += 1
+                await asyncio.sleep(self._backoff_delay(attempt))
+                continue
+            self.connections += 1
+            if self.connections > 1:
+                self.reconnects += 1
+                if self.transport._c_reconnects is not None:
+                    self.transport._c_reconnects.inc()
+            self.connected = True
+            self._conn_lost.clear()
+            reader_task = asyncio.ensure_future(self._read_loop(reader))
+            heartbeat_task = (
+                asyncio.ensure_future(self._heartbeat_loop())
+                if self.transport.heartbeat_interval
+                else None
+            )
+            try:
+                # Handshake first: a peer speaking another protocol
+                # version must be rejected before any data frame.
+                self._outbound.appendleft(
+                    self.transport.codec.encode_frame(
+                        Hello(
+                            role="sender", name=self.transport.name
+                        )
+                    )
+                )
+                await self._write_loop(writer)
+                attempt = 0
+            except (
+                ConnectionLostError,
+                SendTimeoutError,
+                OSError,
+                asyncio.TimeoutError,
+            ):
+                attempt += 1
+            finally:
+                self.connected = False
+                for task in (reader_task, heartbeat_task):
+                    if task is not None:
+                        task.cancel()
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (OSError, asyncio.CancelledError):
+                    pass
+            if self._closed:
+                break
+            await asyncio.sleep(self._backoff_delay(max(attempt, 1)))
+
+    async def _write_loop(self, writer: asyncio.StreamWriter) -> None:
+        while not self._closed:
+            while self._outbound:
+                if self._conn_lost.is_set():
+                    raise ConnectionLostError(
+                        f"peer {self.name} closed the connection"
+                    )
+                frame = self._outbound[0]
+                try:
+                    writer.write(frame)
+                    await asyncio.wait_for(
+                        writer.drain(), self.transport.send_timeout
+                    )
+                except asyncio.TimeoutError:
+                    self.send_timeouts += 1
+                    if self.transport._c_send_timeouts is not None:
+                        self.transport._c_send_timeouts.inc()
+                    raise SendTimeoutError(
+                        f"send to {self.name} exceeded "
+                        f"{self.transport.send_timeout}s"
+                    ) from None
+                except (ConnectionError, OSError) as exc:
+                    raise ConnectionLostError(
+                        f"connection to {self.name} lost: {exc}"
+                    ) from exc
+                # Popped only after a successful drain, so a frame that
+                # was mid-write when the link died is retransmitted.
+                self._outbound.popleft()
+                self.frames_sent += 1
+                self.frame_bytes_sent += len(frame)
+                if self.transport._c_frame_bytes is not None:
+                    self.transport._c_frame_bytes.inc(len(frame))
+            if not self._outbound:
+                self._drained.set()
+            self._wake.clear()
+            if self._conn_lost.is_set():
+                raise ConnectionLostError(
+                    f"peer {self.name} closed the connection"
+                )
+            wake = asyncio.ensure_future(self._wake.wait())
+            lost = asyncio.ensure_future(self._conn_lost.wait())
+            done, pending = await asyncio.wait(
+                (wake, lost), return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in pending:
+                task.cancel()
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        decoder = FrameDecoder(max_frame=self.transport.max_frame)
+        try:
+            while True:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                try:
+                    frames = decoder.feed(data)
+                except FramingError:
+                    if self.transport._c_framing_errors is not None:
+                        self.transport._c_framing_errors.inc()
+                    break
+                for kind, payload in frames:
+                    self.last_heard = time.monotonic()
+                    try:
+                        envelope, _ = self.transport.codec.decode(
+                            kind, payload
+                        )
+                    except (ProtocolError, Exception) as exc:  # noqa: BLE001
+                        if self.transport._c_decode_errors is not None:
+                            self.transport._c_decode_errors.inc()
+                        if not isinstance(exc, ProtocolError):
+                            raise
+                        continue
+                    if isinstance(envelope, Heartbeat):
+                        self.heartbeats_seen += 1
+                        rtt = time.time() - envelope.sent_at
+                        self.last_rtt = rtt
+                        if self.transport._h_rtt is not None and rtt >= 0:
+                            self.transport._h_rtt.observe(rtt)
+                        continue
+                    if isinstance(envelope, (Hello, Bye)):
+                        continue
+                    handler = self.transport.inbound_handler
+                    if handler is not None:
+                        handler(envelope, self)
+        finally:
+            self._conn_lost.set()
+
+    async def _heartbeat_loop(self) -> None:
+        interval = self.transport.heartbeat_interval
+        while not self._closed:
+            await asyncio.sleep(interval)
+            self._enqueue(
+                self.transport.codec.encode_frame(
+                    Heartbeat(sent_at=time.time())
+                )
+            )
+            self.heartbeats_sent += 1
+            if self.transport._c_heartbeats is not None:
+                self.transport._c_heartbeats.inc()
+
+    async def _wait_drained(self) -> None:
+        await self._drained.wait()
+
+    def _close(self) -> None:
+        self._closed = True
+        self._conn_lost.set()
+        self._wake.set()
+        if self._task is not None:
+            self._task.cancel()
+
+
+class TcpTransport(Transport):
+    """A :class:`Transport` whose destinations are TCP peers.
+
+    ``send(destination, envelope, size)`` accepts a :class:`TcpPeer`
+    (from :meth:`peer`) or a ``(host, port)`` tuple.  Inherited traffic
+    accounting and ship-span tracing apply unchanged; the bytes then
+    cross a real socket instead of a simulated link.
+    """
+
+    def __init__(
+        self,
+        codec: Optional[NetEnvelopeCodec] = None,
+        *,
+        name: str = "tcp",
+        connect_timeout: float = 5.0,
+        send_timeout: float = 5.0,
+        queue_limit: int = 1024,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        backoff_jitter: float = 0.2,
+        heartbeat_interval: Optional[float] = None,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        jitter_seed: int = 0,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+    ) -> None:
+        super().__init__()
+        if queue_limit < 1:
+            raise TransportError("queue_limit must be >= 1")
+        if connect_timeout <= 0 or send_timeout <= 0:
+            raise TransportError("timeouts must be positive")
+        if backoff_base <= 0 or backoff_cap < backoff_base:
+            raise TransportError(
+                "backoff_base must be positive and <= backoff_cap"
+            )
+        if not (0.0 <= backoff_jitter <= 1.0):
+            raise TransportError("backoff_jitter must be in [0, 1]")
+        self.codec = codec or NetEnvelopeCodec()
+        self.name = name
+        self.connect_timeout = connect_timeout
+        self.send_timeout = send_timeout
+        self.queue_limit = queue_limit
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.backoff_jitter = backoff_jitter
+        self.heartbeat_interval = heartbeat_interval
+        self.max_frame = max_frame
+        self.jitter_seed = jitter_seed
+        self.inbound_handler: Optional[Callable[[object, TcpPeer], None]] = None
+        self._trace_host = name
+        self._peers: Dict[Tuple[str, int], TcpPeer] = {}
+        self._loop = loop
+        self._own_loop = loop is None
+        self._thread: Optional[threading.Thread] = None
+        self._c_dropped = None
+        self._c_reconnects = None
+        self._c_connect_failures = None
+        self._c_send_timeouts = None
+        self._c_heartbeats = None
+        self._c_frame_bytes = None
+        self._c_framing_errors = None
+        self._c_decode_errors = None
+        self._h_rtt = None
+
+    # -- observability ---------------------------------------------------------
+
+    def attach_observability(self, obs, *, name: str = "transport.tcp") -> None:
+        super().attach_observability(obs, name=name)
+        metrics = obs.metrics
+        self._c_dropped = metrics.counter(f"{name}.dropped_frames")
+        self._c_reconnects = metrics.counter(f"{name}.reconnects")
+        self._c_connect_failures = metrics.counter(
+            f"{name}.connect_failures"
+        )
+        self._c_send_timeouts = metrics.counter(f"{name}.send_timeouts")
+        self._c_heartbeats = metrics.counter(f"{name}.heartbeats_sent")
+        self._c_frame_bytes = metrics.counter(f"{name}.frame_bytes")
+        self._c_framing_errors = metrics.counter(
+            f"{name}.framing_errors"
+        )
+        self._c_decode_errors = metrics.counter(f"{name}.decode_errors")
+        self._h_rtt = metrics.histogram(f"{name}.heartbeat_rtt")
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "TcpTransport":
+        """Spin up the background event-loop thread (no-op when an
+        external loop was provided or the thread already runs)."""
+        if self._loop is not None:
+            return self
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name=f"tcp-transport-{self.name}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def _require_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            raise TransportError(
+                "TcpTransport not started: call start() (threaded) or "
+                "pass loop= (embedded)"
+            )
+        return self._loop
+
+    def peer(
+        self, host: str, port: int, *, name: Optional[str] = None
+    ) -> TcpPeer:
+        """The pooled peer for ``(host, port)``, connecting it if new."""
+        if self.closed:
+            raise ConnectionLostError("transport is closed")
+        loop = self._require_loop()
+        key = (host, int(port))
+        existing = self._peers.get(key)
+        if existing is not None:
+            return existing
+        peer = TcpPeer(self, host, int(port), name=name)
+        self._peers[key] = peer
+
+        def _spawn() -> None:
+            peer._task = loop.create_task(peer._run())
+
+        loop.call_soon_threadsafe(_spawn)
+        return peer
+
+    @property
+    def peers(self) -> List[TcpPeer]:
+        return list(self._peers.values())
+
+    # -- Transport interface ---------------------------------------------------
+
+    def _resolve(self, destination: Destination) -> TcpPeer:
+        if isinstance(destination, TcpPeer):
+            return destination
+        if (
+            isinstance(destination, tuple)
+            and len(destination) == 2
+            and isinstance(destination[0], str)
+        ):
+            return self.peer(destination[0], destination[1])
+        raise TransportError(
+            f"TcpTransport destinations are TcpPeer or (host, port), "
+            f"got {type(destination).__name__}"
+        )
+
+    def _deliver(
+        self, destination: Destination, envelope: object, size: float
+    ) -> None:
+        peer = self._resolve(destination)
+        # Encoding happens on the caller's thread (after the base class
+        # restamped the trace context) so the loop thread only does IO.
+        frame = self.codec.encode_frame(envelope, sent_at=time.time())
+        self._require_loop().call_soon_threadsafe(peer._enqueue, frame)
+
+    # -- draining / shutdown ---------------------------------------------------
+
+    async def adrain(self, timeout: float = 10.0) -> bool:
+        """Await every peer queue empty; False on timeout."""
+        try:
+            await asyncio.wait_for(
+                asyncio.gather(
+                    *(p._wait_drained() for p in self._peers.values())
+                ),
+                timeout,
+            )
+        except asyncio.TimeoutError:
+            return False
+        return True
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Block until every queue is flushed (threaded mode only)."""
+        loop = self._require_loop()
+        future = asyncio.run_coroutine_threadsafe(
+            self.adrain(timeout), loop
+        )
+        try:
+            return future.result(timeout + 1.0)
+        except Exception:  # noqa: BLE001 - timeout or loop shutdown
+            return False
+
+    async def aclose(self) -> None:
+        for peer in self._peers.values():
+            peer._close()
+        await asyncio.sleep(0)
+        self.closed = True
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop every peer, the loop thread (if owned), and the transport."""
+        if self.closed:
+            return
+        loop = self._loop
+        if loop is not None and self._thread is not None:
+            future = asyncio.run_coroutine_threadsafe(self.aclose(), loop)
+            try:
+                future.result(timeout)
+            except Exception:  # noqa: BLE001 - shutdown is best-effort
+                pass
+            loop.call_soon_threadsafe(loop.stop)
+            self._thread.join(timeout)
+        super().close()
+
+
+class ServerConnection:
+    """One accepted connection inside a :class:`FrameServer`."""
+
+    def __init__(
+        self,
+        server: "FrameServer",
+        writer: asyncio.StreamWriter,
+        peername: str,
+    ) -> None:
+        self.server = server
+        self.writer = writer
+        self.peername = peername
+        self.hello: Optional[Hello] = None
+        self.frames_received = 0
+        self.last_heard: Optional[float] = None
+        self.closed = False
+
+    async def send(self, envelope: object) -> None:
+        """Ship an envelope back to this connection's client."""
+        if self.closed:
+            raise ConnectionLostError(
+                f"connection from {self.peername} is closed"
+            )
+        frame = self.server.codec.encode_frame(
+            envelope, sent_at=time.time()
+        )
+        try:
+            self.writer.write(frame)
+            await asyncio.wait_for(
+                self.writer.drain(), self.server.send_timeout
+            )
+        except asyncio.TimeoutError:
+            raise SendTimeoutError(
+                f"send to {self.peername} exceeded "
+                f"{self.server.send_timeout}s"
+            ) from None
+        except (ConnectionError, OSError) as exc:
+            raise ConnectionLostError(
+                f"connection from {self.peername} lost: {exc}"
+            ) from exc
+        self.server.frames_sent += 1
+
+    def abort(self) -> None:
+        """Hard-drop the connection (fault injection).
+
+        Safe to call from any thread: asyncio transports are not
+        thread-safe, so the abort is marshalled onto the server's loop.
+        """
+        self.closed = True
+        transport = self.writer.transport
+        if transport is None:
+            return
+        loop = self.server._loop
+        if loop is not None:
+            loop.call_soon_threadsafe(transport.abort)
+        else:
+            transport.abort()
+
+
+class FrameServer:
+    """Listening side: accept, handshake, decode, route.
+
+    ``handler(envelope, sent_at, connection)`` is called for every
+    application envelope (data, continuation, feedback, plan, bye);
+    hello and heartbeat frames are handled by the server itself
+    (version check, echo).  The handler may be a plain function or a
+    coroutine function.
+    """
+
+    def __init__(
+        self,
+        codec: Optional[NetEnvelopeCodec] = None,
+        *,
+        name: str = "server",
+        send_timeout: float = 5.0,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        obs=None,
+    ) -> None:
+        self.codec = codec or NetEnvelopeCodec()
+        self.name = name
+        self.send_timeout = send_timeout
+        self.max_frame = max_frame
+        self.handler: Optional[Callable] = None
+        self.connections: List[ServerConnection] = []
+        self.accepted = 0
+        self.frames_received = 0
+        self.frames_sent = 0
+        self.heartbeats_seen = 0
+        self.protocol_rejects = 0
+        self.framing_errors = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.obs = obs
+        if obs is not None:
+            metrics = obs.metrics
+            self._c_accepted = metrics.counter(f"{name}.accepted")
+            self._c_frames = metrics.counter(f"{name}.frames_received")
+            self._c_heartbeats = metrics.counter(
+                f"{name}.heartbeats_seen"
+            )
+            self._c_rejects = metrics.counter(
+                f"{name}.protocol_rejects"
+            )
+        else:
+            self._c_accepted = None
+            self._c_frames = None
+            self._c_heartbeats = None
+            self._c_rejects = None
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> Tuple[str, int]:
+        """Bind and listen; returns the actual ``(host, port)``."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_client, host, port
+        )
+        sock = self._server.sockets[0]
+        bound = sock.getsockname()
+        return bound[0], bound[1]
+
+    async def stop(self) -> None:
+        for conn in list(self.connections):
+            try:
+                conn.abort()
+            except Exception:  # noqa: BLE001 - already gone
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        peername = str(writer.get_extra_info("peername"))
+        conn = ServerConnection(self, writer, peername)
+        self.connections.append(conn)
+        self.accepted += 1
+        if self._c_accepted is not None:
+            self._c_accepted.inc()
+        decoder = FrameDecoder(max_frame=self.max_frame)
+        try:
+            while True:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                try:
+                    frames = decoder.feed(data)
+                except FramingError:
+                    self.framing_errors += 1
+                    break
+                for kind, payload in frames:
+                    conn.frames_received += 1
+                    conn.last_heard = time.monotonic()
+                    self.frames_received += 1
+                    if self._c_frames is not None:
+                        self._c_frames.inc()
+                    envelope, sent_at = self.codec.decode(kind, payload)
+                    if isinstance(envelope, Hello):
+                        try:
+                            self.codec.check_hello(envelope)
+                        except ProtocolError:
+                            self.protocol_rejects += 1
+                            if self._c_rejects is not None:
+                                self._c_rejects.inc()
+                            return  # finally-block closes the socket
+                        conn.hello = envelope
+                        continue
+                    if isinstance(envelope, Heartbeat):
+                        self.heartbeats_seen += 1
+                        if self._c_heartbeats is not None:
+                            self._c_heartbeats.inc()
+                        try:
+                            await conn.send(envelope)  # echo, same stamp
+                        except (SendTimeoutError, ConnectionLostError):
+                            return
+                        continue
+                    if self.handler is not None:
+                        result = self.handler(envelope, sent_at, conn)
+                        if asyncio.iscoroutine(result):
+                            await result
+        finally:
+            conn.closed = True
+            if conn in self.connections:
+                self.connections.remove(conn)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass

@@ -91,15 +91,24 @@ class Observability:
         sampling_rate: float = 1.0,
         maxlen: int = 50_000,
         clock: Optional[Callable[[], float]] = None,
+        host: Optional[str] = None,
+        id_base: int = 0,
     ) -> Tracer:
         """Attach (or return the existing) span :class:`Tracer`.
 
         Spans are only recorded once this is called; until then every
         instrumented path sees ``obs.tracing is None`` and skips.
+        ``host`` labels spans with no explicit host (one lane per OS
+        process in live runs); ``id_base`` keeps ids disjoint across
+        cooperating processes (see :class:`Tracer`).
         """
         if self.tracing is None:
             self.tracing = Tracer(
-                sampling_rate=sampling_rate, maxlen=maxlen, clock=clock
+                sampling_rate=sampling_rate,
+                maxlen=maxlen,
+                clock=clock,
+                host=host,
+                id_base=id_base,
             )
         return self.tracing
 

@@ -17,11 +17,16 @@ work equally on in-process dumps and JSON files read back from disk.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.obs.metrics import bucket_quantile
 
-__all__ = ["chrome_trace", "render_trace_summary", "pse_quantiles"]
+__all__ = [
+    "chrome_trace",
+    "merge_tracer_dumps",
+    "render_trace_summary",
+    "pse_quantiles",
+]
 
 #: pid reserved for spans with no host attribution (e.g. local transports)
 _UNATTRIBUTED = "(unattributed)"
@@ -82,6 +87,89 @@ def chrome_trace(tracing: Mapping[str, object]) -> Dict[str, object]:
             "sampling_rate": tracing.get("sampling_rate", 1.0),
             "overhead_seconds": tracing.get("overhead_seconds", 0.0),
         },
+    }
+
+
+def merge_tracer_dumps(
+    dumps: Sequence[Mapping[str, object]],
+    *,
+    rebase: bool = True,
+) -> Dict[str, object]:
+    """Join tracer dumps from cooperating processes into one dump.
+
+    The live network harness collects one :meth:`Tracer.to_dict` per OS
+    process; their spans share trace ids (the context travels on the
+    wire) but were recorded into separate rings.  This concatenates the
+    spans so :func:`chrome_trace` / the trace-report tools see one
+    causal tree.  Requires the processes to have used disjoint tracer
+    ``id_base`` values — colliding span ids would stitch unrelated
+    subtrees together.
+
+    ``rebase`` shifts all timestamps so the earliest span starts at 0
+    (wall-clock epochs make Chrome's timeline unreadable otherwise).
+    Counter fields (recorded/dropped/overhead) are summed; per-PSE
+    histograms merge by bucket-wise addition when bounds agree (the
+    default buckets) and keep the first dump's otherwise.
+    """
+    spans: List[Dict[str, object]] = []
+    seen_ids = set()
+    recorded = dropped = 0
+    overhead = 0.0
+    pse: Dict[str, Dict[str, object]] = {}
+    for dump in dumps:
+        for span in dump.get("spans", []):  # type: ignore[union-attr]
+            sid = span.get("span")
+            if sid in seen_ids:
+                raise ValueError(
+                    f"span id {sid} appears in more than one dump; "
+                    "give each process a disjoint tracer id_base"
+                )
+            seen_ids.add(sid)
+            spans.append(dict(span))
+        recorded += int(dump.get("recorded", 0))
+        dropped += int(dump.get("dropped", 0))
+        overhead += float(dump.get("overhead_seconds", 0.0))
+        for pid, hists in (dump.get("pse") or {}).items():
+            slot = pse.setdefault(pid, {"latency": None, "bytes": None})
+            for key in ("latency", "bytes"):
+                incoming = hists.get(key)
+                if not incoming:
+                    continue
+                current = slot[key]
+                if current is None:
+                    slot[key] = {
+                        "bounds": list(incoming["bounds"]),
+                        "counts": list(incoming["counts"]),
+                        "total": incoming["total"],
+                        "count": incoming["count"],
+                    }
+                elif list(current["bounds"]) == list(incoming["bounds"]):
+                    current["counts"] = [
+                        a + b
+                        for a, b in zip(
+                            current["counts"], incoming["counts"]
+                        )
+                    ]
+                    current["total"] += incoming["total"]
+                    current["count"] += incoming["count"]
+    if rebase and spans:
+        t0 = min(float(s["start"]) for s in spans)
+        for span in spans:
+            span["start"] = float(span["start"]) - t0
+            if span.get("end") is not None:
+                span["end"] = float(span["end"]) - t0
+    spans.sort(key=lambda s: (float(s["start"]), s["span"]))
+    return {
+        "sampling_rate": min(
+            (float(d.get("sampling_rate", 1.0)) for d in dumps),
+            default=1.0,
+        ),
+        "maxlen": sum(int(d.get("maxlen", 0)) for d in dumps),
+        "recorded": recorded,
+        "dropped": dropped,
+        "overhead_seconds": overhead,
+        "spans": spans,
+        "pse": pse,
     }
 
 

@@ -123,11 +123,23 @@ class Tracer:
         sampling_rate: float = 1.0,
         clock: Optional[Callable[[], float]] = None,
         host: Optional[str] = None,
+        id_base: int = 0,
     ) -> None:
+        """``id_base`` offsets this tracer's trace AND span id counters.
+
+        Cooperating processes (the live network harness) give each
+        process a disjoint base (e.g. ``k << 40``) so ids allocated
+        independently never collide when their dumps are merged into one
+        causal tree — while trace contexts carried on the wire keep
+        joining, because the receiving side reuses the sender's ids
+        verbatim instead of allocating.
+        """
         if maxlen < 1:
             raise ValueError("maxlen must be >= 1")
         if not (0.0 < sampling_rate <= 1.0):
             raise ValueError("sampling_rate must be in (0, 1]")
+        if id_base < 0:
+            raise ValueError("id_base must be >= 0")
         self.sampling_rate = float(sampling_rate)
         self.clock: Callable[[], float] = clock or time.perf_counter
         self.host = host
@@ -137,8 +149,8 @@ class Tracer:
         self.recorded = 0
         self.overhead_seconds = 0.0
         self._credit = 0.0
-        self._next_trace = 0
-        self._next_span = 0
+        self._next_trace = id_base
+        self._next_span = id_base
         self._pse_latency: Dict[str, Histogram] = {}
         self._pse_bytes: Dict[str, Histogram] = {}
 

@@ -1,0 +1,363 @@
+"""Two-process live network experiment orchestrator.
+
+Launches the receiver and the sender halves of :mod:`repro.net.live` as
+separate OS processes on localhost, runs the figure-7-style sensor
+workload over real TCP, and collects:
+
+* per-process JSON results (traffic counters, plan timeline, per-PSE
+  latency quantiles);
+* one **merged Chrome trace** — the per-process tracer dumps use
+  disjoint span-id bases and a shared wall clock, so the sender's
+  ``modulate``/``ship`` spans and the receiver's ``demodulate`` spans
+  join into single causal trees across process boundaries;
+* a pass/fail check report asserting the run exercised what it claims:
+  nonzero cross-process traffic, at least one mid-stream plan shipped
+  over the wire (and applied by the sender), and — when a drop is
+  injected — a reconnect with deliveries resuming afterwards.
+
+Usage::
+
+    python -m repro.tools.liveexp --quick --outdir live-results
+    python -m repro.tools.liveexp --messages 300 --drop-after 40
+
+Exit status is nonzero when any check fails, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.export import chrome_trace, merge_tracer_dumps
+
+__all__ = ["run_live_experiment", "main"]
+
+_SRC_ROOT = str(Path(__file__).resolve().parents[2])
+
+
+def _child_env() -> Dict[str, str]:
+    env = dict(os.environ)
+    parts = [_SRC_ROOT]
+    if env.get("PYTHONPATH"):
+        parts.append(env["PYTHONPATH"])
+    env["PYTHONPATH"] = os.pathsep.join(parts)
+    return env
+
+
+def _wait_for_port(proc: subprocess.Popen, timeout: float) -> int:
+    """Read the receiver's stdout until it announces LISTENING <port>."""
+    deadline = time.time() + timeout
+    assert proc.stdout is not None
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"receiver exited early with status {proc.returncode}"
+            )
+        line = proc.stdout.readline()
+        if not line:
+            time.sleep(0.02)
+            continue
+        text = line.strip()
+        if text.startswith("LISTENING "):
+            return int(text.split()[1])
+    raise RuntimeError("receiver never announced its port")
+
+
+def _check(
+    checks: List[Tuple[str, bool, str]],
+    name: str,
+    passed: bool,
+    detail: str,
+) -> None:
+    checks.append((name, passed, detail))
+
+
+def _verify(
+    sender: Dict[str, object],
+    receiver: Dict[str, object],
+    merged: Dict[str, object],
+    *,
+    drop_after: int,
+) -> List[Tuple[str, bool, str]]:
+    checks: List[Tuple[str, bool, str]] = []
+    shipped = int(sender["shipped"])
+    demodulated = int(receiver["demodulated"])
+    _check(
+        checks,
+        "cross-process traffic",
+        shipped > 0 and demodulated > 0,
+        f"sender shipped {shipped}, receiver demodulated {demodulated}",
+    )
+    _check(
+        checks,
+        "deliveries complete",
+        int(receiver["delivered"]) == demodulated,
+        f"delivered {receiver['delivered']} of {demodulated} demodulated",
+    )
+    plan_ships = int(receiver["plan_ships"])
+    plan_applied = int(sender["plan_updates_applied"])
+    _check(
+        checks,
+        "plan shipped over TCP",
+        plan_ships >= 1 and plan_applied >= 1,
+        f"receiver shipped {plan_ships} plan(s), "
+        f"sender applied {plan_applied}",
+    )
+    _check(
+        checks,
+        "plan actually moved",
+        sender["final_plan_edges"] != sender["initial_plan_edges"],
+        f"{sender['initial_plan_edges']} -> {sender['final_plan_edges']}",
+    )
+    _check(
+        checks,
+        "sender/receiver agree on final plan",
+        sender["final_plan_edges"] == receiver["final_plan_edges"],
+        f"sender {sender['final_plan_edges']}, "
+        f"receiver {receiver['final_plan_edges']}",
+    )
+    if drop_after > 0:
+        transport = sender["transport"]
+        _check(
+            checks,
+            "drop injected",
+            int(receiver["drops_injected"]) >= 1,
+            f"{receiver['drops_injected']} drop(s)",
+        )
+        _check(
+            checks,
+            "sender reconnected",
+            int(transport["reconnects"]) >= 1,
+            f"{transport['reconnects']} reconnect(s), "
+            f"{transport['connections']} connection(s)",
+        )
+        _check(
+            checks,
+            "deliveries resumed after drop",
+            demodulated > drop_after,
+            f"{demodulated} demodulated > drop point {drop_after}",
+        )
+    # Merged-trace smoke checks: both hosts present, and at least one
+    # trace id with spans recorded by both processes (a causal chain
+    # that crossed the socket).
+    spans = merged.get("spans", [])
+    hosts = {s.get("host") for s in spans}
+    _check(
+        checks,
+        "merged trace has both hosts",
+        "sender" in hosts and "receiver" in hosts,
+        f"hosts: {sorted(h for h in hosts if h)}",
+    )
+    by_trace: Dict[object, set] = {}
+    for span in spans:
+        by_trace.setdefault(span["trace"], set()).add(span.get("host"))
+    crossing = [
+        t
+        for t, h in by_trace.items()
+        if "sender" in h and "receiver" in h
+    ]
+    _check(
+        checks,
+        "cross-process causal trees",
+        len(crossing) >= 1,
+        f"{len(crossing)} trace(s) span both processes",
+    )
+    names = {str(s["name"]) for s in spans}
+    wanted = {"modulate", "ship", "demodulate"}
+    _check(
+        checks,
+        "span kinds present",
+        wanted <= names,
+        f"have {sorted(names & (wanted | {'plan.ship', 'plan.apply'}))}",
+    )
+    return checks
+
+
+def run_live_experiment(
+    *,
+    messages: int = 300,
+    samples: int = 64,
+    drop_after: int = 40,
+    rate_scale: float = 4.0,
+    trigger_period: int = 10,
+    feedback_period: int = 8,
+    interval: float = 0.005,
+    timeout: float = 120.0,
+    outdir: Path = Path("live-results"),
+) -> Tuple[Dict[str, object], List[Tuple[str, bool, str]]]:
+    """Run the two processes; returns (summary, checks)."""
+    outdir.mkdir(parents=True, exist_ok=True)
+    recv_out = outdir / "receiver.json"
+    send_out = outdir / "sender.json"
+    env = _child_env()
+
+    common = [
+        "--messages", str(messages),
+        "--samples", str(samples),
+        "--timeout", str(timeout),
+    ]
+    receiver_cmd = [
+        sys.executable, "-m", "repro.net.live", "receiver",
+        *common,
+        "--rate-scale", str(rate_scale),
+        "--trigger-period", str(trigger_period),
+        "--drop-after", str(drop_after),
+        "--out", str(recv_out),
+    ]
+    receiver = subprocess.Popen(
+        receiver_cmd,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        port = _wait_for_port(receiver, timeout=min(30.0, timeout))
+        sender_cmd = [
+            sys.executable, "-m", "repro.net.live", "sender",
+            *common,
+            "--port", str(port),
+            "--feedback-period", str(feedback_period),
+            "--interval", str(interval),
+            "--out", str(send_out),
+        ]
+        sender_status = subprocess.run(
+            sender_cmd, env=env, timeout=timeout
+        ).returncode
+        receiver_status = receiver.wait(timeout=timeout)
+    finally:
+        if receiver.poll() is None:
+            receiver.kill()
+            receiver.wait()
+    if sender_status != 0:
+        raise RuntimeError(f"sender exited with status {sender_status}")
+    if receiver_status != 0:
+        raise RuntimeError(
+            f"receiver exited with status {receiver_status}"
+        )
+
+    with open(send_out) as handle:
+        sender_result = json.load(handle)
+    with open(recv_out) as handle:
+        receiver_result = json.load(handle)
+
+    dumps = [
+        result["obs"]["tracing"]
+        for result in (sender_result, receiver_result)
+        if "tracing" in result.get("obs", {})
+    ]
+    merged = merge_tracer_dumps(dumps)
+    merged_path = outdir / "merged_trace.json"
+    with open(merged_path, "w") as handle:
+        json.dump(merged, handle)
+    chrome_path = outdir / "merged_chrome_trace.json"
+    with open(chrome_path, "w") as handle:
+        json.dump(chrome_trace(merged), handle)
+
+    checks = _verify(
+        sender_result, receiver_result, merged, drop_after=drop_after
+    )
+    summary = {
+        "messages": messages,
+        "drop_after": drop_after,
+        "rate_scale": rate_scale,
+        "sender": {
+            k: sender_result[k]
+            for k in (
+                "published",
+                "shipped",
+                "plan_updates_applied",
+                "initial_plan_edges",
+                "final_plan_edges",
+                "transport",
+            )
+        },
+        "receiver": {
+            k: receiver_result[k]
+            for k in (
+                "demodulated",
+                "delivered",
+                "plan_ships",
+                "drops_injected",
+                "duplicates_skipped",
+                "msgs_per_second",
+                "latency_by_pse",
+                "final_plan_edges",
+            )
+        },
+        "checks": [
+            {"name": n, "passed": p, "detail": d} for n, p, d in checks
+        ],
+    }
+    with open(outdir / "summary.json", "w") as handle:
+        json.dump(summary, handle, indent=2)
+    return summary, checks
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.liveexp",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--messages", type=int, default=300)
+    parser.add_argument("--samples", type=int, default=64)
+    parser.add_argument("--drop-after", type=int, default=40,
+                        help="0 disables the injected connection drop")
+    parser.add_argument("--rate-scale", type=float, default=4.0)
+    parser.add_argument("--trigger-period", type=int, default=10)
+    parser.add_argument("--feedback-period", type=int, default=8)
+    parser.add_argument("--interval", type=float, default=0.005)
+    parser.add_argument("--timeout", type=float, default=120.0)
+    parser.add_argument("--outdir", type=Path,
+                        default=Path("live-results"))
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload for CI smoke runs")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.messages = min(args.messages, 120)
+        args.drop_after = min(args.drop_after, 25) if args.drop_after else 0
+
+    summary, checks = run_live_experiment(
+        messages=args.messages,
+        samples=args.samples,
+        drop_after=args.drop_after,
+        rate_scale=args.rate_scale,
+        trigger_period=args.trigger_period,
+        feedback_period=args.feedback_period,
+        interval=args.interval,
+        timeout=args.timeout,
+        outdir=args.outdir,
+    )
+    sender = summary["sender"]
+    receiver = summary["receiver"]
+    print(
+        f"sender: published {sender['published']}, "
+        f"shipped {sender['shipped']}, "
+        f"plans applied {sender['plan_updates_applied']}"
+    )
+    print(
+        f"receiver: demodulated {receiver['demodulated']}, "
+        f"delivered {receiver['delivered']}, "
+        f"{receiver['msgs_per_second']:.1f} msg/s, "
+        f"plan ships {receiver['plan_ships']}, "
+        f"drops {receiver['drops_injected']}"
+    )
+    failed = 0
+    for name, passed, detail in checks:
+        mark = "ok  " if passed else "FAIL"
+        print(f"  [{mark}] {name}: {detail}")
+        failed += 0 if passed else 1
+    print(f"artifacts in {args.outdir}/")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Typed transport errors and observability re-attachment semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ChannelError,
+    ConnectionLostError,
+    ReproError,
+    SendTimeoutError,
+    TransportError,
+)
+from repro.jecho.transport import LocalTransport, SimLinkTransport
+from repro.obs import Observability
+from repro.simnet.link import Link
+from repro.simnet.simulator import Simulator
+
+
+def _sim_transport():
+    sim = Simulator()
+    link = Link(sim, "uplink", alpha=0.001, beta=0.0)
+    return sim, SimLinkTransport(sim, link)
+
+
+def test_error_hierarchy():
+    # one except clause catches any transport failure, or any library one
+    assert issubclass(TransportError, ChannelError)
+    assert issubclass(ChannelError, ReproError)
+    assert issubclass(ConnectionLostError, TransportError)
+    assert issubclass(SendTimeoutError, TransportError)
+
+
+@pytest.mark.parametrize(
+    "make", [lambda: LocalTransport(), lambda: _sim_transport()[1]]
+)
+def test_send_on_closed_transport_raises_connection_lost(make):
+    transport = make()
+    transport.close()
+    with pytest.raises(ConnectionLostError):
+        transport.send(lambda e: None, object(), 8.0)
+    assert transport.messages_sent == 0
+
+
+@pytest.mark.parametrize(
+    "make", [lambda: LocalTransport(), lambda: _sim_transport()[1]]
+)
+def test_negative_size_raises_transport_error(make):
+    transport = make()
+    with pytest.raises(TransportError):
+        transport.send(lambda e: None, object(), -1.0)
+    assert transport.bytes_sent == 0.0
+
+
+def test_destination_exceptions_propagate_unchanged():
+    transport = LocalTransport()
+
+    def failing(envelope):
+        raise KeyError("application bug")
+
+    with pytest.raises(KeyError):
+        transport.send(failing, object(), 4.0)
+
+
+def test_reattach_replaces_counter_handles():
+    """Regression: re-attachment must swap the cached handles, not keep
+    feeding instruments of the previously attached registry/name."""
+    transport = LocalTransport()
+    first = Observability()
+    transport.attach_observability(first, name="transport")
+    transport.send(lambda e: None, object(), 10.0)
+
+    second = Observability()
+    transport.attach_observability(second, name="transport")
+    transport.send(lambda e: None, object(), 20.0)
+
+    def value(obs, name):
+        return next(
+            c.value for c in obs.metrics.counters() if c.name == name
+        )
+
+    assert value(first, "transport.bytes") == 10.0
+    assert value(second, "transport.bytes") == 20.0
+
+
+def test_reattach_same_registry_reuses_instruments():
+    transport = LocalTransport()
+    obs = Observability()
+    transport.attach_observability(obs, name="transport")
+    transport.send(lambda e: None, object(), 5.0)
+    transport.attach_observability(obs, name="transport")
+    transport.send(lambda e: None, object(), 5.0)
+    counters = [
+        c for c in obs.metrics.counters() if c.name == "transport.messages"
+    ]
+    assert len(counters) == 1  # get-or-create, no double registration
+    assert counters[0].value == 2.0
+
+
+def test_reattach_under_new_name_moves_trace_host():
+    transport = LocalTransport()
+    obs = Observability()
+    transport.attach_observability(obs, name="alpha")
+    assert transport._trace_host == "alpha"
+    transport.attach_observability(obs, name="beta")
+    # attach-derived lane follows the rename instead of going stale
+    assert transport._trace_host == "beta"
+
+
+def test_reattach_keeps_subclass_pinned_trace_host():
+    _sim, transport = _sim_transport()
+    assert transport._trace_host == "uplink"
+    transport.attach_observability(Observability(), name="transport")
+    # the link name was pinned by the subclass; attach must not clobber it
+    assert transport._trace_host == "uplink"
+
+
+def test_sim_transport_counts_and_schedules():
+    sim, transport = _sim_transport()
+    seen = []
+    transport.send(seen.append, "envelope", 100.0)
+    assert seen == []  # not delivered until the DES runs
+    sim.run()
+    assert seen == ["envelope"]
+    assert transport.messages_sent == 1
+    assert transport.bytes_sent == 100.0

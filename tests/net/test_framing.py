@@ -1,0 +1,325 @@
+"""Framing codec: round-trips, incremental decoding, fuzzed boundaries."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.continuation import ContinuationMessage, WIRE_VERSION
+from repro.core.plan import PartitioningPlan
+from repro.core.runtime.feedback import ObservationRecord
+from repro.errors import FramingError, ProtocolError, SerializationError
+from repro.jecho.events import (
+    ContinuationEnvelope,
+    EventEnvelope,
+    FeedbackEnvelope,
+    PlanEnvelope,
+)
+from repro.net.framing import (
+    DEFAULT_MAX_FRAME,
+    HEADER_SIZE,
+    KIND_BYE,
+    KIND_CONT,
+    KIND_EVENT,
+    KIND_FEEDBACK,
+    KIND_HEARTBEAT,
+    KIND_HELLO,
+    KIND_PLAN,
+    MAGIC,
+    PROTOCOL_VERSION,
+    Bye,
+    FrameDecoder,
+    Heartbeat,
+    Hello,
+    NetEnvelopeCodec,
+    encode_frame,
+)
+
+
+def _roundtrip(codec, envelope, *, sent_at=0.0):
+    kind, payload = codec.encode(envelope, sent_at=sent_at)
+    frames = FrameDecoder().feed(encode_frame(kind, payload))
+    assert len(frames) == 1
+    assert frames[0][0] == kind
+    return codec.decode(*frames[0])
+
+
+# -- envelope round-trips -------------------------------------------------------
+
+
+def test_event_envelope_roundtrip_with_trace_and_timestamp():
+    codec = NetEnvelopeCodec()
+    env = EventEnvelope(payload={"k": [1, 2.5, "s"]}, seq=9)
+    env.trace = (7, 13)
+    out, sent_at = _roundtrip(codec, env, sent_at=42.25)
+    assert isinstance(out, EventEnvelope)
+    assert out.payload == {"k": [1, 2.5, "s"]}
+    assert out.seq == 9
+    assert out.trace == (7, 13)
+    assert sent_at == 42.25
+
+
+def test_continuation_v2_traced_roundtrip():
+    codec = NetEnvelopeCodec()
+    message = ContinuationMessage(
+        function="f",
+        pse_id="pse3",
+        edge=(4, 5),
+        variables={"x": [1.0, 2.0], "n": 3},
+        trace=(100, 200),
+    )
+    env = ContinuationEnvelope(
+        continuation=message, subscription_id=2, seq=17
+    )
+    out, sent_at = _roundtrip(codec, env, sent_at=5.5)
+    decoded = out.continuation
+    assert decoded.function == "f"
+    assert decoded.pse_id == "pse3"
+    assert decoded.edge == (4, 5)
+    assert decoded.variables == {"x": [1.0, 2.0], "n": 3}
+    assert decoded.trace == (100, 200)
+    assert out.subscription_id == 2
+    assert out.seq == 17
+    assert sent_at == 5.5
+
+
+def test_continuation_v1_untraced_roundtrip():
+    codec = NetEnvelopeCodec()
+    message = ContinuationMessage(
+        function="g", pse_id="p", edge=(1, 2), variables={}
+    )
+    env = ContinuationEnvelope(
+        continuation=message, subscription_id=1, seq=0
+    )
+    out, _ = _roundtrip(codec, env)
+    assert out.continuation.trace is None
+    assert out.continuation.edge == (1, 2)
+
+
+def test_continuation_unknown_wire_version_rejected():
+    # Bit-level negotiation: a headered payload from the future must
+    # fail loudly, through the net codec as well.
+    codec = NetEnvelopeCodec()
+    bad = codec._serializer.serialize(
+        (1, 0, 1.0, ("mp-cont", WIRE_VERSION + 1, "f", "p", 1, 2, {}, 0, 0))
+    )
+    with pytest.raises(SerializationError):
+        codec.decode(KIND_CONT, bad)
+
+
+def test_feedback_records_roundtrip():
+    codec = NetEnvelopeCodec()
+    records = [
+        ObservationRecord(kind="message"),
+        ObservationRecord(
+            kind="edge",
+            edge=(3, 4),
+            data_size=88.0,
+            work_before=10.0,
+            is_split=True,
+        ),
+        ObservationRecord(kind="sender_rate", seconds=0.25, cycles=100.0),
+    ]
+    env = FeedbackEnvelope(
+        subscription_id=5, demod_stats=records, seq=2
+    )
+    out, _ = _roundtrip(codec, env)
+    assert out.demod_stats == records
+    assert out.subscription_id == 5
+
+
+def test_feedback_stats_dict_roundtrip():
+    codec = NetEnvelopeCodec()
+    env = FeedbackEnvelope(
+        subscription_id=1,
+        demod_stats={(1, 2): (0.5, 3), (7, 8): (1.25, 10)},
+        seq=4,
+    )
+    out, _ = _roundtrip(codec, env)
+    assert out.demod_stats == {(1, 2): (0.5, 3), (7, 8): (1.25, 10)}
+
+
+def test_plan_envelope_roundtrip():
+    codec = NetEnvelopeCodec()
+    plan = PartitioningPlan(
+        active=frozenset({(2, 3), (9, 10)}), name="min-cut"
+    )
+    env = PlanEnvelope(subscription_id=1, plan=plan, seq=6)
+    env.trace = (1, 2)
+    out, _ = _roundtrip(codec, env)
+    assert out.plan.active == plan.active
+    assert out.plan.name == "min-cut"
+    assert out.trace == (1, 2)
+
+
+def test_control_frames_roundtrip():
+    codec = NetEnvelopeCodec()
+    hello, _ = _roundtrip(
+        codec, Hello(role="sender", name="host-a")
+    )
+    assert (hello.protocol, hello.cont_version) == (
+        PROTOCOL_VERSION,
+        WIRE_VERSION,
+    )
+    assert (hello.role, hello.name) == ("sender", "host-a")
+    beat, _ = _roundtrip(codec, Heartbeat(sent_at=123.5))
+    assert beat.sent_at == 123.5
+    bye, _ = _roundtrip(codec, Bye(sent=42))
+    assert bye.sent == 42
+
+
+def test_unencodable_object_raises_protocol_error():
+    with pytest.raises(ProtocolError):
+        NetEnvelopeCodec().encode(object())
+
+
+def test_malformed_payload_raises_protocol_error():
+    codec = NetEnvelopeCodec()
+    short = codec._serializer.serialize((1,))  # CONT needs 4 fields
+    with pytest.raises(ProtocolError):
+        codec.decode(KIND_CONT, short)
+
+
+# -- version negotiation --------------------------------------------------------
+
+
+def test_check_hello_accepts_matching_versions():
+    NetEnvelopeCodec().check_hello(Hello())
+
+
+def test_check_hello_rejects_frame_protocol_mismatch():
+    with pytest.raises(ProtocolError):
+        NetEnvelopeCodec().check_hello(
+            Hello(protocol=PROTOCOL_VERSION + 1)
+        )
+
+
+def test_check_hello_rejects_continuation_version_mismatch():
+    with pytest.raises(ProtocolError):
+        NetEnvelopeCodec().check_hello(
+            Hello(cont_version=WIRE_VERSION + 1)
+        )
+
+
+# -- incremental decoding -------------------------------------------------------
+
+
+def _sample_frames():
+    codec = NetEnvelopeCodec()
+    envelopes = [
+        Hello(role="sender", name="fuzz"),
+        EventEnvelope(payload=[1, 2, 3], seq=0),
+        ContinuationEnvelope(
+            continuation=ContinuationMessage(
+                function="f",
+                pse_id="p1",
+                edge=(1, 2),
+                variables={"v": list(range(20))},
+                trace=(9, 9),
+            ),
+            subscription_id=1,
+            seq=1,
+        ),
+        FeedbackEnvelope(
+            subscription_id=1,
+            demod_stats=[ObservationRecord(kind="message")],
+            seq=2,
+        ),
+        PlanEnvelope(
+            subscription_id=1,
+            plan=PartitioningPlan(active=frozenset({(5, 6)})),
+            seq=3,
+        ),
+        Heartbeat(sent_at=1.0),
+        Bye(sent=3),
+    ]
+    frames = [codec.encode(e, sent_at=2.0) for e in envelopes]
+    stream = b"".join(encode_frame(k, p) for k, p in frames)
+    return codec, frames, stream
+
+
+def test_byte_at_a_time_feed():
+    codec, frames, stream = _sample_frames()
+    decoder = FrameDecoder()
+    collected = []
+    for i in range(len(stream)):
+        collected.extend(decoder.feed(stream[i : i + 1]))
+    assert [k for k, _ in collected] == [k for k, _ in frames]
+    assert [p for _, p in collected] == [p for _, p in frames]
+    assert decoder.buffered == 0
+    assert decoder.frames_decoded == len(frames)
+    assert decoder.bytes_consumed == len(stream)
+
+
+def test_fuzzed_chunk_boundaries_preserve_frames():
+    codec, frames, stream = _sample_frames()
+    rng = random.Random(20030604)
+    for _ in range(50):
+        decoder = FrameDecoder()
+        collected = []
+        position = 0
+        while position < len(stream):
+            step = rng.randint(1, 64)
+            collected.extend(
+                decoder.feed(stream[position : position + step])
+            )
+            position += step
+        assert [k for k, _ in collected] == [k for k, _ in frames]
+        assert [p for _, p in collected] == [p for _, p in frames]
+        # every decoded payload still parses to a valid envelope
+        for kind, payload in collected:
+            codec.decode(kind, payload)
+
+
+def test_interleaved_garbage_poisons_decoder():
+    decoder = FrameDecoder()
+    with pytest.raises(FramingError):
+        decoder.feed(b"XX" + bytes(10))
+    # poisoned: the stream offset is lost, every further feed re-raises
+    with pytest.raises(FramingError):
+        decoder.feed(b"")
+
+
+def test_unknown_version_and_kind_rejected():
+    with pytest.raises(FramingError):
+        FrameDecoder().feed(
+            MAGIC + bytes([PROTOCOL_VERSION + 1, KIND_HELLO]) + bytes(4)
+        )
+    with pytest.raises(FramingError):
+        FrameDecoder().feed(
+            MAGIC + bytes([PROTOCOL_VERSION, 0x7F]) + bytes(4)
+        )
+
+
+def test_oversized_frame_rejected_before_buffering():
+    decoder = FrameDecoder(max_frame=100)
+    header = MAGIC + bytes([PROTOCOL_VERSION, KIND_EVENT])
+    header += (101).to_bytes(4, "big")
+    with pytest.raises(FramingError):
+        decoder.feed(header)
+    # default limit admits large frames up to the ceiling
+    assert DEFAULT_MAX_FRAME == 16 * 1024 * 1024
+
+
+def test_encode_frame_rejects_unknown_kind():
+    with pytest.raises(FramingError):
+        encode_frame(0x7F, b"")
+
+
+def test_partial_header_is_not_an_error():
+    decoder = FrameDecoder()
+    assert decoder.feed(MAGIC) == []
+    assert decoder.buffered == len(MAGIC)
+    rest = bytes([PROTOCOL_VERSION, KIND_HEARTBEAT]) + (0).to_bytes(4, "big")
+    frames = decoder.feed(rest)
+    assert frames == [(KIND_HEARTBEAT, b"")]
+
+
+def test_header_size_matches_layout():
+    frame = encode_frame(KIND_BYE, b"xyz")
+    assert len(frame) == HEADER_SIZE + 3
+    assert frame[:2] == MAGIC
+    assert frame[2] == PROTOCOL_VERSION
+    assert frame[3] == KIND_BYE
+    assert int.from_bytes(frame[4:8], "big") == 3

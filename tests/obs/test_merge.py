@@ -1,0 +1,116 @@
+"""Merging per-process tracer dumps into one causal tree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.export import chrome_trace, merge_tracer_dumps
+from repro.obs.tracing import Tracer
+
+
+def _dump(host, id_base, t0):
+    """A tracer dump with one two-span trace starting at wall time t0."""
+    ticks = iter([t0, t0 + 0.1, t0 + 0.1, t0 + 0.2])
+    tracer = Tracer(clock=lambda: next(ticks), host=host, id_base=id_base)
+    trace = tracer.start_trace()
+    root = tracer.begin("root", trace_id=trace)
+    tracer.end(root)
+    child = tracer.begin("child", trace_id=trace, parent_id=root.span_id)
+    tracer.end(child)
+    return tracer.to_dict()
+
+
+def test_id_base_keeps_ids_disjoint():
+    sender = _dump("sender", 1 << 40, 1000.0)
+    receiver = _dump("receiver", 2 << 40, 1000.05)
+    sender_ids = {s["span"] for s in sender["spans"]}
+    receiver_ids = {s["span"] for s in receiver["spans"]}
+    assert sender_ids.isdisjoint(receiver_ids)
+    assert min(sender_ids) >= 1 << 40
+    assert min(receiver_ids) >= 2 << 40
+
+
+def test_tracer_rejects_negative_id_base():
+    with pytest.raises(ValueError):
+        Tracer(id_base=-1)
+
+
+def test_merge_concatenates_rebases_and_sorts():
+    merged = merge_tracer_dumps(
+        [_dump("sender", 1 << 40, 1000.0), _dump("receiver", 2 << 40, 1000.05)]
+    )
+    spans = merged["spans"]
+    assert len(spans) == 4
+    # rebased: earliest span starts at 0, offsets preserved
+    starts = [s["start"] for s in spans]
+    assert starts[0] == 0.0
+    assert starts == sorted(starts)
+    assert spans[1]["start"] == pytest.approx(0.05)
+    assert {s["host"] for s in spans} == {"sender", "receiver"}
+    assert merged["recorded"] == 4
+    assert merged["dropped"] == 0
+
+
+def test_merge_without_rebase_keeps_wall_clock():
+    merged = merge_tracer_dumps(
+        [_dump("sender", 1 << 40, 1000.0)], rebase=False
+    )
+    assert merged["spans"][0]["start"] == 1000.0
+
+
+def test_merge_rejects_colliding_span_ids():
+    same_base = [_dump("sender", 0, 1000.0), _dump("receiver", 0, 1000.0)]
+    with pytest.raises(ValueError, match="disjoint"):
+        merge_tracer_dumps(same_base)
+
+
+def test_cross_process_trace_joins_in_chrome_export():
+    """A trace context carried over the wire: the receiver records spans
+    under the *sender's* trace id, and the merged Chrome export puts
+    both processes' spans on the same tid row."""
+    sender_dump = _dump("sender", 1 << 40, 1000.0)
+    shipped_trace = sender_dump["spans"][0]["trace"]
+    shipped_parent = sender_dump["spans"][0]["span"]
+
+    ticks = iter([1000.2, 1000.3])
+    receiver = Tracer(
+        clock=lambda: next(ticks), host="receiver", id_base=2 << 40
+    )
+    demod = receiver.begin(
+        "demodulate", trace_id=shipped_trace, parent_id=shipped_parent
+    )
+    receiver.end(demod)
+
+    merged = merge_tracer_dumps([sender_dump, receiver.to_dict()])
+    by_trace = {}
+    for span in merged["spans"]:
+        by_trace.setdefault(span["trace"], set()).add(span["host"])
+    assert by_trace[shipped_trace] == {"sender", "receiver"}
+
+    chrome = chrome_trace(merged)
+    rows = {
+        event["tid"]
+        for event in chrome["traceEvents"]
+        if event.get("ph") == "X" and event["tid"] == shipped_trace
+    }
+    assert rows == {shipped_trace}
+    pids = {
+        event["pid"]
+        for event in chrome["traceEvents"]
+        if event.get("ph") == "X" and event["tid"] == shipped_trace
+    }
+    assert len(pids) == 2  # two process lanes, one causal row
+
+
+def test_merge_sums_pse_histograms():
+    def dump_with_pse(id_base):
+        tracer = Tracer(host="h", id_base=id_base)
+        tracer.observe_pse("pse1", latency=0.01, size=100.0)
+        return tracer.to_dict()
+
+    merged = merge_tracer_dumps(
+        [dump_with_pse(0), dump_with_pse(1 << 40)]
+    )
+    hist = merged["pse"]["pse1"]["latency"]
+    assert hist["count"] == 2
+    assert hist["total"] == pytest.approx(0.02)
