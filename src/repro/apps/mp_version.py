@@ -20,7 +20,12 @@ from typing import Optional
 from repro.apps.harness import ReceiverShare, SenderShare, Version
 from repro.core.partitioned import PartitionedMethod
 from repro.core.plan import PartitioningPlan
-from repro.core.runtime.triggers import FeedbackTrigger, RateTrigger
+from repro.core.runtime.triggers import (
+    CompositeTrigger,
+    DriftTrigger,
+    FeedbackTrigger,
+    RateTrigger,
+)
 from repro.obs.trace import ContinuationShipped
 from repro.simnet.cluster import Testbed
 from repro.simnet.simulator import Simulator
@@ -98,11 +103,26 @@ class MethodPartitioningVersion(Version):
             profiling=self.profiling, record_rates=False, obs=obs
         )
         self.adaptive = adaptive
+        # Adaptation-quality layer (regret + drift): built only when the
+        # attached Observability opted in via obs.quality_config.
+        self.quality = partitioned.make_quality(obs)
+        effective_trigger = trigger or RateTrigger(period=10)
+        if (
+            self.quality is not None
+            and obs.quality_config.feed_trigger
+            and adaptive
+        ):
+            # Detected model drift forces a recompute alongside whatever
+            # the configured trigger would do.
+            effective_trigger = CompositeTrigger(
+                effective_trigger, DriftTrigger(self.quality.drift)
+            )
         self.reconfig = (
             partitioned.make_reconfiguration_unit(
-                trigger=trigger or RateTrigger(period=10),
+                trigger=effective_trigger,
                 location=location,
                 obs=obs,
+                quality=self.quality,
             )
             if adaptive
             else None
@@ -153,6 +173,14 @@ class MethodPartitioningVersion(Version):
                 payload=None, size=0.0, cycles=result.cycles, info=None
             )
         size = float(self.partitioned.codec.size(result.message))
+        if self.quality is not None:
+            # Hindsight pricing of the split this message actually took,
+            # plus the wire-bytes drift channel (predicted INTER size vs.
+            # the continuation's real serialized size).
+            self.quality.observe_message(result.edge, self.profiling)
+            self.quality.observe_ship_bytes(
+                result.edge, size, self.profiling.messages_seen
+            )
         if self.obs is not None:
             self.obs.trace.record(
                 ContinuationShipped(
@@ -184,6 +212,14 @@ class MethodPartitioningVersion(Version):
         recorder = self.sender_proxy or self.profiling
         if share.cycles > 0:
             recorder.record_sender_rate(service_time, share.cycles)
+        if (
+            self.quality is not None
+            and share.info is not None
+            and share.cycles > 0
+        ):
+            self.quality.observe_mod_time(
+                share.info, service_time, self.profiling.messages_seen
+            )
         span = self._pending_mod_span
         if span is not None:
             self._pending_mod_span = None
@@ -266,6 +302,14 @@ class MethodPartitioningVersion(Version):
     ) -> None:
         if share.cycles > 0:
             self.profiling.record_receiver_rate(service_time, share.cycles)
+        if (
+            self.quality is not None
+            and share.info is not None
+            and share.cycles > 0
+        ):
+            self.quality.observe_demod_time(
+                share.info, service_time, self.profiling.messages_seen
+            )
         span = self._pending_demod_span
         if span is not None:
             self._pending_demod_span = None

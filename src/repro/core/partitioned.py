@@ -516,10 +516,32 @@ class PartitionedMethod:
         trigger: Optional[FeedbackTrigger] = None,
         location: str = "receiver",
         obs=None,
+        quality=None,
     ) -> ReconfigurationUnit:
         return ReconfigurationUnit(
-            self.cut, trigger=trigger, location=location, obs=obs
+            self.cut,
+            trigger=trigger,
+            location=location,
+            obs=obs,
+            quality=quality,
         )
+
+    def make_quality(self, obs):
+        """Build the adaptation-quality layer when *obs* opted in.
+
+        Returns an :class:`~repro.obs.quality.AdaptationQuality` bound
+        to this handler's cut when ``obs.quality_config`` is set, else
+        None — so harnesses can write ``quality=partitioned.make_quality(obs)``
+        and stay zero-cost by default.
+        """
+        config = getattr(obs, "quality_config", None) if obs else None
+        if config is None:
+            return None
+        from repro.obs.quality import AdaptationQuality
+
+        quality = AdaptationQuality(self.cut, config, obs)
+        obs.quality = quality
+        return quality
 
     def run_reference(self, *args: object) -> Outcome:
         """Execute the whole handler locally, without any partitioning.

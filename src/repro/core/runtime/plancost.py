@@ -33,6 +33,85 @@ from repro.errors import PartitionError
 from repro.ir.interpreter import Edge
 
 
+def candidate_edge_costs(
+    cut: ConvexCutResult,
+    stats: Dict[Edge, PSESnapshot],
+) -> Dict[Edge, Tuple[float, str]]:
+    """Price every non-poisoned candidate PSE as plan selection does.
+
+    Returns ``{edge: (cost, source)}`` where ``source`` is ``"profiled"``
+    when a snapshot priced the edge via the cost model's runtime costing
+    and ``"static"`` when it fell back to the static lower bound — the
+    exact pricing rule :meth:`ReconfigurationUnit.select_plan` applies to
+    min-cut capacities.  Shared by :func:`explain_edge_costs` and the
+    counterfactual regret accounting in :mod:`repro.obs.quality`, so
+    hindsight judgments use the same prices the decision did.
+    """
+    costs: Dict[Edge, Tuple[float, str]] = {}
+    for edge, pse in cut.pses.items():
+        if edge in cut.poisoned:
+            continue
+        snap = stats.get(edge)
+        if snap is not None:
+            costs[edge] = (cut.cost_model.runtime_edge_cost(snap), "profiled")
+        else:
+            costs[edge] = (pse.static_cost.lower_bound, "static")
+    return costs
+
+
+def counterfactual_edge_costs(
+    cut: ConvexCutResult,
+    stats: Dict[Edge, PSESnapshot],
+    edge: Edge,
+) -> Dict[Edge, Tuple[float, str]]:
+    """Price every split that could have replaced a split at *edge*.
+
+    The counterfactual for one message is path-local: only candidates on
+    the path the message traversed could have carried its split, and the
+    message definitely traversed them, so prices are the cost model's
+    *raw* (probability-unweighted) per-execution costs — the same pricing
+    :func:`expected_plan_cost` applies per path.  Since only the split
+    edge is known, candidates are the intersection of the candidate sets
+    of every TargetPath containing it: each is on the message's path no
+    matter which of those paths it took.  On a single-chain handler that
+    intersection is the whole candidate set and the min-cut argmin, so
+    the regret of the active plan's split collapses to ~0 (see
+    :class:`repro.obs.quality.RegretAccounting`).
+
+    Returns ``{candidate: (cost, source)}`` with ``source`` ``"profiled"``
+    or ``"static"`` as in :func:`candidate_edge_costs`; empty when *edge*
+    is poisoned or unknown.
+    """
+    allowed: Optional[frozenset] = None
+    for _path, edges in cut.path_pse_edges:
+        if edge in edges:
+            candidates = frozenset(
+                e for e in edges if e not in cut.poisoned
+            )
+            allowed = (
+                candidates if allowed is None else allowed & candidates
+            )
+    if allowed is None:
+        allowed = (
+            frozenset((edge,))
+            if edge in cut.pses and edge not in cut.poisoned
+            else frozenset()
+        )
+    model = cut.cost_model
+    costs: Dict[Edge, Tuple[float, str]] = {}
+    for candidate in allowed:
+        snap = stats.get(candidate)
+        if snap is not None:
+            costs[candidate] = (
+                model.runtime_edge_cost_raw(snap), "profiled"
+            )
+        else:
+            costs[candidate] = (
+                cut.pses[candidate].static_cost.lower_bound, "static"
+            )
+    return costs
+
+
 def explain_edge_costs(
     cut: ConvexCutResult,
     stats: Dict[Edge, PSESnapshot],
@@ -48,28 +127,19 @@ def explain_edge_costs(
     ``tracereport --explain`` can show which observations did it.
     """
     chosen = frozenset(active)
+    priced = candidate_edge_costs(cut, stats)
     rows: List[Dict[str, object]] = []
-    for edge in sorted(cut.pses):
-        if edge in cut.poisoned:
-            continue
-        pse = cut.pses[edge]
-        snap = stats.get(edge)
-        if snap is not None:
-            cost = cut.cost_model.runtime_edge_cost(snap)
-            source = "profiled"
-            profile: Optional[Dict[str, object]] = snap.to_dict()
-        else:
-            cost = pse.static_cost.lower_bound
-            source = "static"
-            profile = None
+    for edge in sorted(priced):
+        cost, source = priced[edge]
+        snap = stats.get(edge) if source == "profiled" else None
         rows.append(
             {
-                "pse_id": str(pse.pse_id),
+                "pse_id": str(cut.pses[edge].pse_id),
                 "edge": list(edge),
                 "cost": cost,
                 "chosen": edge in chosen,
                 "source": source,
-                "profile": profile,
+                "profile": snap.to_dict() if snap is not None else None,
             }
         )
     rows.sort(key=lambda row: (row["cost"], row["pse_id"]))

@@ -62,6 +62,7 @@ class ReconfigurationUnit:
         trigger: Optional[FeedbackTrigger] = None,
         location: str = "receiver",
         obs=None,
+        quality=None,
     ) -> None:
         if location not in ("sender", "receiver", "third-party"):
             raise ValueError(
@@ -71,6 +72,9 @@ class ReconfigurationUnit:
         self.cost_model: CostModel = cut.cost_model
         self.trigger = trigger or RateTrigger()
         self.location = location
+        #: optional AdaptationQuality — told about each recompute so the
+        #: drift detector can re-baseline the model's predictions
+        self.quality = quality
         self.history: list = []
         #: trace context ``(trace_id, span_id)`` of the last recompute's
         #: "plan.recompute" span — the parent for plan-update shipping
@@ -188,6 +192,10 @@ class ReconfigurationUnit:
                         explain_edge_costs(self.cut, snapshot, plan.active)
                     ),
                 )
+            )
+        if self.quality is not None:
+            self.quality.on_plan_recomputed(
+                profiling.messages_seen, plan, snapshot
             )
         self.history.append(
             ReconfigurationRecord(

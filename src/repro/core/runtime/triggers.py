@@ -247,6 +247,36 @@ class CompositeTrigger(FeedbackTrigger):
             m.fired(unit)
 
 
+class DriftTrigger(FeedbackTrigger):
+    """Fire when the cost-model drift detector has an unserviced detection.
+
+    Closes the quality loop through observed *error* rather than raw
+    rates: a :class:`~repro.obs.quality.DriftDetector` (duck-typed — any
+    object with a boolean ``pending`` attribute works) flags predictions
+    that stopped tracking reality, and this trigger turns the flag into
+    a recompute.  ``fired`` clears the flag, so one excursion buys one
+    recompute; usually composed with a rate or diff trigger via
+    :class:`CompositeTrigger`.
+    """
+
+    def __init__(self, detector) -> None:
+        self.detector = detector
+        self.last_reason = None
+
+    def should_fire(self, unit: ProfilingUnit) -> bool:
+        if not getattr(self.detector, "pending", False):
+            return False
+        self.last_reason = {
+            "trigger": "drift",
+            "cause": "model-drift",
+            "events": len(getattr(self.detector, "events", ()) or ()),
+        }
+        return True
+
+    def fired(self, unit: ProfilingUnit) -> None:
+        self.detector.pending = False
+
+
 class NeverTrigger(FeedbackTrigger):
     """Feedback disabled: the no-adaptation baseline."""
 

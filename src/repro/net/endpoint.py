@@ -114,10 +114,32 @@ class NetSenderEndpoint:
         self.feedback_flushes = 0
         self.plan_updates_applied = 0
         self.plans_seen: List[str] = []
+        self.exposer = None
         transport.inbound_handler = self._on_inbound
 
     def _tracer(self):
         return self.obs.tracing if self.obs is not None else None
+
+    def expose_metrics(self, host: str = "127.0.0.1", port: int = 0):
+        """Serve this process's observability over HTTP (OpenMetrics).
+
+        Returns the running :class:`~repro.obs.exposition.MetricsExposer`
+        (``.port`` reports the bound port when 0 was requested); closed
+        by :meth:`close_exposer` or process exit.
+        """
+        if self.obs is None:
+            raise ValueError("expose_metrics requires an attached obs")
+        from repro.obs.exposition import start_http_exposer
+
+        self.exposer = start_http_exposer(
+            self.obs.to_dict, host=host, port=port
+        )
+        return self.exposer
+
+    def close_exposer(self) -> None:
+        if self.exposer is not None:
+            self.exposer.close()
+            self.exposer = None
 
     def publish(self, event: object) -> None:
         """Modulate one event and ship the continuation (if any)."""
@@ -263,11 +285,26 @@ class NetReceiverEndpoint:
         self.demodulator = partitioned.make_demodulator(
             profiling=self.profiling, record_rates=False, obs=obs
         )
+        # Adaptation-quality layer (regret + drift): only when the
+        # attached Observability opted in via obs.quality_config.
+        self.quality = partitioned.make_quality(obs)
+        effective_trigger = trigger or RateTrigger(period=10)
+        if self.quality is not None and obs.quality_config.feed_trigger:
+            from repro.core.runtime.triggers import (
+                CompositeTrigger,
+                DriftTrigger,
+            )
+
+            effective_trigger = CompositeTrigger(
+                effective_trigger, DriftTrigger(self.quality.drift)
+            )
         self.reconfig = partitioned.make_reconfiguration_unit(
-            trigger=trigger or RateTrigger(period=10),
+            trigger=effective_trigger,
             location="receiver",
             obs=obs,
+            quality=self.quality,
         )
+        self.exposer = None
         self.server = FrameServer(
             codec or NetEnvelopeCodec(), name=name, obs=obs
         )
@@ -299,6 +336,25 @@ class NetReceiverEndpoint:
 
     async def stop(self) -> None:
         await self.server.stop()
+        if self.exposer is not None:
+            self.exposer.close()
+            self.exposer = None
+
+    def expose_metrics(self, host: str = "127.0.0.1", port: int = 0):
+        """Serve this process's observability over HTTP (OpenMetrics).
+
+        The endpoint stays up until :meth:`stop`; scrape ``/metrics``
+        for the OpenMetrics text, ``/metrics.json`` for the full dump
+        (what :mod:`repro.tools.monitor` polls).
+        """
+        if self.obs is None:
+            raise ValueError("expose_metrics requires an attached obs")
+        from repro.obs.exposition import start_http_exposer
+
+        self.exposer = start_http_exposer(
+            self.obs.to_dict, host=host, port=port
+        )
+        return self.exposer
 
     # -- frame routing (event-loop thread) -------------------------------------
 
@@ -340,6 +396,21 @@ class NetReceiverEndpoint:
             )
             self.profiling.record_receiver_rate(
                 seconds * self.rate_scale, outcome.cycles
+            )
+            if self.quality is not None and outcome.edge is not None:
+                # Observed demod seconds in the same (scaled) units the
+                # profiling unit derives t_demod predictions from.
+                self.quality.observe_demod_time(
+                    outcome.edge,
+                    seconds * self.rate_scale,
+                    self.profiling.messages_seen,
+                )
+        if self.quality is not None and outcome.edge is not None:
+            self.quality.observe_message(outcome.edge, self.profiling)
+            self.quality.observe_ship_bytes(
+                outcome.edge,
+                float(self.partitioned.codec.size(envelope.continuation)),
+                self.profiling.messages_seen,
             )
         self.demodulated += 1
         now = time.time()

@@ -91,6 +91,9 @@ def _observability(host: str, id_base: int) -> Observability:
 
 def run_receiver(args: argparse.Namespace) -> Dict[str, object]:
     obs = _observability("receiver", RECEIVER_ID_BASE)
+    if args.quality:
+        # Small window so regret windows close within a short stream.
+        obs.enable_quality(regret_window=16)
     partitioned, sink = build_partitioned_process(
         n_stages=args.n_stages, backend=args.backend
     )
@@ -110,6 +113,9 @@ def run_receiver(args: argparse.Namespace) -> Dict[str, object]:
     async def amain() -> None:
         _, port = await endpoint.start(args.host, args.port)
         print(f"LISTENING {port}", flush=True)
+        if args.expose is not None:
+            exposer = endpoint.expose_metrics(args.host, args.expose)
+            print(f"EXPOSING {exposer.port}", flush=True)
         started = time.time()
         last_progress = started
         last_count = -1
@@ -172,6 +178,11 @@ def run_receiver(args: argparse.Namespace) -> Dict[str, object]:
             "heartbeats_seen": endpoint.server.heartbeats_seen,
             "protocol_rejects": endpoint.server.protocol_rejects,
         },
+        "quality": (
+            endpoint.quality.report()
+            if endpoint.quality is not None
+            else None
+        ),
         "obs": obs.to_dict(),
     }
 
@@ -203,6 +214,9 @@ def run_sender(args: argparse.Namespace) -> Dict[str, object]:
         rate_override=rate,
         obs=obs,
     )
+    if args.expose is not None:
+        exposer = endpoint.expose_metrics(args.host, args.expose)
+        print(f"EXPOSING {exposer.port}", flush=True)
     started = time.time()
     for i in range(args.messages):
         endpoint.publish(make_reading(i, args.samples))
@@ -241,6 +255,7 @@ def run_sender(args: argparse.Namespace) -> Dict[str, object]:
         },
         "obs": obs.to_dict(),
     }
+    endpoint.close_exposer()
     transport.close()
     return result
 
@@ -257,6 +272,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="overall per-process deadline (seconds)")
     parser.add_argument("--out", default=None,
                         help="write the JSON result here (default stdout)")
+    parser.add_argument("--expose", type=int, default=None, metavar="PORT",
+                        help="serve /metrics on this port (0 = ephemeral; "
+                        "announced as 'EXPOSING <port>')")
 
 
 def main(argv=None) -> int:
@@ -277,6 +295,9 @@ def main(argv=None) -> int:
     recv.add_argument("--drop-after", type=int, default=0,
                       help="inject a TCP reset after the Nth delivery")
     recv.add_argument("--idle-timeout", type=float, default=10.0)
+    recv.add_argument("--quality", action="store_true",
+                      help="enable regret/drift accounting on the "
+                      "authoritative (receiver-side) adaptation loop")
 
     send = sub.add_parser("sender", help="connect and modulate")
     _add_common(send)

@@ -33,12 +33,15 @@ from repro.obs.metrics import (
     MetricsRegistry,
     bucket_quantile,
 )
+from repro.obs.quality import QualityConfig
 from repro.obs.tracing import Span, Tracer
 from repro.obs.trace import (
     ContinuationShipped,
+    DriftDetected,
     FeedbackIngested,
     FeedbackSent,
     PlanRecomputed,
+    RegretWindow,
     SplitSwitched,
     TraceEvent,
     TraceLog,
@@ -63,6 +66,9 @@ __all__ = [
     "FeedbackSent",
     "FeedbackIngested",
     "ContinuationShipped",
+    "RegretWindow",
+    "DriftDetected",
+    "QualityConfig",
 ]
 
 
@@ -84,6 +90,13 @@ class Observability:
         self.metrics = MetricsRegistry()
         self.trace = TraceLog(maxlen=trace_maxlen)
         self.tracing = tracing
+        #: when set, quality-aware harnesses build an
+        #: :class:`~repro.obs.quality.AdaptationQuality` (regret + drift)
+        #: for their handler and park it on :attr:`quality`; None (the
+        #: default) keeps both accounted paths at a single ``is None``
+        #: check, like every other instrument here.
+        self.quality_config: Optional[QualityConfig] = None
+        self.quality = None
 
     def enable_tracing(
         self,
@@ -112,6 +125,19 @@ class Observability:
             )
         return self.tracing
 
+    def enable_quality(
+        self, config: Optional[QualityConfig] = None, **kwargs
+    ) -> QualityConfig:
+        """Opt in to adaptation-quality accounting (regret + drift).
+
+        Sets :attr:`quality_config`; keyword arguments build a
+        :class:`~repro.obs.quality.QualityConfig` when no explicit one
+        is given.  Harnesses constructed *after* this call attach an
+        :class:`~repro.obs.quality.AdaptationQuality` to their handler.
+        """
+        self.quality_config = config or QualityConfig(**kwargs)
+        return self.quality_config
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable dump consumed by ``repro.tools.obsreport``."""
         data: Dict[str, object] = {
@@ -124,4 +150,6 @@ class Observability:
         }
         if self.tracing is not None:
             data["tracing"] = self.tracing.to_dict()
+        if self.quality is not None:
+            data["quality"] = self.quality.report()
         return data

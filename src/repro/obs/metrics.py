@@ -31,6 +31,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
     "bucket_quantile",
+    "snapshot_delta",
 ]
 
 #: default geometric bucket ladder — wide enough for bytes and seconds
@@ -133,6 +134,8 @@ def bucket_quantile(
     """
     if not (0.0 <= q <= 1.0):
         raise ValueError("quantile must be in [0, 1]")
+    if not bounds:
+        raise ValueError("bucket_quantile needs at least one bound")
     total = sum(counts)
     if total == 0:
         return 0.0
@@ -148,6 +151,50 @@ def bucket_quantile(
             fraction = (target - (cumulative - c)) / c
             return lo + fraction * (hi - lo)
     return float(bounds[-1])
+
+
+def snapshot_delta(
+    prev: Dict[str, object], curr: Dict[str, object]
+) -> Dict[str, object]:
+    """Counter/histogram deltas between two ``to_dict()`` snapshots.
+
+    Returns ``{"counters": {name: delta}, "histograms": {name: {...}}}``
+    where a histogram delta carries ``count``, ``total`` and per-bucket
+    ``counts`` differences (plus the current ``bounds`` so quantiles of
+    the *interval* can be computed with :func:`bucket_quantile`).
+    Instruments absent from ``prev`` use an implicit zero baseline; a
+    value that went *backwards* (the source process restarted and its
+    counters reset) is treated the way Prometheus ``rate()`` treats a
+    reset: the delta is the current value.  Gauges are not differenced —
+    they are last-written values, not accumulations.
+    """
+    prev_counters = prev.get("counters", {}) if prev else {}
+    curr_counters = curr.get("counters", {}) if curr else {}
+    counters: Dict[str, float] = {}
+    for name, value in curr_counters.items():
+        before = float(prev_counters.get(name, 0.0))
+        value = float(value)
+        counters[name] = value - before if value >= before else value
+
+    prev_hists = prev.get("histograms", {}) if prev else {}
+    curr_hists = curr.get("histograms", {}) if curr else {}
+    histograms: Dict[str, Dict[str, object]] = {}
+    for name, h in curr_hists.items():
+        p = prev_hists.get(name)
+        reset = p is None or int(p["count"]) > int(h["count"]) or list(
+            p["bounds"]
+        ) != list(h["bounds"])
+        if reset:
+            p = {"count": 0, "total": 0.0, "counts": [0] * len(h["counts"])}
+        histograms[name] = {
+            "bounds": list(h["bounds"]),
+            "count": int(h["count"]) - int(p["count"]),
+            "total": float(h["total"]) - float(p["total"]),
+            "counts": [
+                int(c) - int(b) for c, b in zip(h["counts"], p["counts"])
+            ],
+        }
+    return {"counters": counters, "histograms": histograms}
 
 
 class MetricsRegistry:
@@ -208,6 +255,14 @@ class MetricsRegistry:
 
     def histograms(self) -> List[Histogram]:
         return [self._histograms[k] for k in sorted(self._histograms)]
+
+    def snapshot_delta(self, prev: Dict[str, object]) -> Dict[str, object]:
+        """Deltas of this registry's live state against a prior snapshot.
+
+        ``prev`` is an earlier ``to_dict()`` result (possibly from a
+        JSON round-trip); see :func:`snapshot_delta` for the contract.
+        """
+        return snapshot_delta(prev, self.to_dict())
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable snapshot of every instrument."""

@@ -26,6 +26,8 @@ __all__ = [
     "FeedbackSent",
     "FeedbackIngested",
     "ContinuationShipped",
+    "RegretWindow",
+    "DriftDetected",
     "TraceLog",
 ]
 
@@ -110,6 +112,49 @@ class ContinuationShipped(TraceEvent):
 
     pse_id: str
     bytes: float
+
+
+@dataclass(frozen=True)
+class RegretWindow(TraceEvent):
+    """A counterfactual-regret window closed.
+
+    Each sampled message prices every candidate PSE under the active
+    cost model; regret is the actual split's cost minus the cheapest
+    candidate's.  ``per_pse`` maps the pse_ids the window actually
+    split at to their mean regret; ``transition`` is the message index
+    of the most recent ``PlanRecomputed`` before the window closed (or
+    ``None`` if the plan never changed), so windows can be lined up
+    against reconfiguration decisions.
+    """
+
+    index: int
+    start_message: int
+    end_message: int
+    count: int
+    total_regret: float
+    mean_regret: float
+    rel_mean_regret: float
+    per_pse: Mapping[str, float]
+    transition: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class DriftDetected(TraceEvent):
+    """A cost-model prediction stopped tracking observed reality.
+
+    ``channel`` is one of ``bytes`` (predicted INTER(e) size vs. the
+    shipped continuation's wire size), ``t_mod`` or ``t_demod``
+    (predicted per-side times vs. observed service times).  ``residual``
+    is the EWMA of the relative error at detection time.
+    """
+
+    at_message: int
+    pse_id: str
+    channel: str
+    predicted: float
+    observed: float
+    residual: float
+    threshold: float
 
 
 class TraceLog:

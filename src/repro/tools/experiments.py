@@ -144,15 +144,55 @@ def main(argv=None) -> int:
         help="enable span tracing on the adaptive runs and write a "
         "Chrome-trace (trace_events) JSON file to FILE",
     )
+    parser.add_argument(
+        "--quality-report",
+        metavar="FILE",
+        default=None,
+        help="enable adaptation-quality accounting (counterfactual "
+        "regret + cost-model drift) on the adaptive runs, print the "
+        "regret table and write the quality report JSON to FILE",
+    )
+    parser.add_argument(
+        "--expose",
+        metavar="PORT",
+        type=int,
+        default=None,
+        help="serve the collected observability on this port "
+        "(OpenMetrics at /metrics; 0 binds an ephemeral port)",
+    )
+    parser.add_argument(
+        "--expose-linger",
+        metavar="SECONDS",
+        type=float,
+        default=0.0,
+        help="keep the exposition endpoint up this long after the "
+        "experiments finish (for interactive scraping)",
+    )
     args = parser.parse_args(argv)
 
     obs = None
-    if args.obs_report is not None or args.trace_export is not None:
+    if (
+        args.obs_report is not None
+        or args.trace_export is not None
+        or args.quality_report is not None
+        or args.expose is not None
+    ):
         from repro.obs import Observability
 
         obs = Observability()
         if args.trace_export is not None:
             obs.enable_tracing(sampling_rate=1.0)
+        if args.quality_report is not None:
+            # A window shorter than the quick-mode runs (60 messages) so
+            # at least one window closes entirely after a recompute.
+            obs.enable_quality(regret_window=16)
+
+    exposer = None
+    if args.expose is not None:
+        from repro.obs.exposition import start_http_exposer
+
+        exposer = start_http_exposer(obs.to_dict, port=args.expose)
+        print(f"EXPOSING {exposer.port}", flush=True)
 
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     failures = []
@@ -208,6 +248,34 @@ def main(argv=None) -> int:
             failures.append("trace-export")
         else:
             print(f"\n(chrome trace written to {args.trace_export})")
+
+    if args.quality_report is not None and obs is not None:
+        from repro.tools.obsreport import build_quality_report, render_quality
+
+        report = build_quality_report(obs)
+        print("=== adaptation quality ===")
+        print(render_quality(report))
+        try:
+            with open(args.quality_report, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2)
+        except OSError as exc:
+            print(
+                f"cannot write quality report {args.quality_report}: {exc}",
+                file=sys.stderr,
+            )
+            failures.append("quality-report")
+        else:
+            print(f"\n(quality report written to {args.quality_report})")
+
+    if exposer is not None:
+        if args.expose_linger > 0:
+            print(
+                f"exposition lingering {args.expose_linger:.0f}s at "
+                f"{exposer.url}",
+                flush=True,
+            )
+            time.sleep(args.expose_linger)
+        exposer.close()
 
     if failures:
         print(

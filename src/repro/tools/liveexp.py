@@ -50,10 +50,14 @@ def _child_env() -> Dict[str, str]:
     return env
 
 
-def _wait_for_port(proc: subprocess.Popen, timeout: float) -> int:
-    """Read the receiver's stdout until it announces LISTENING <port>."""
+def _wait_for_ports(
+    proc: subprocess.Popen, timeout: float, *, want_expose: bool
+) -> Tuple[int, Optional[int]]:
+    """Read the receiver's stdout for LISTENING (and EXPOSING) lines."""
     deadline = time.time() + timeout
     assert proc.stdout is not None
+    port: Optional[int] = None
+    expose: Optional[int] = None
     while time.time() < deadline:
         if proc.poll() is not None:
             raise RuntimeError(
@@ -65,8 +69,63 @@ def _wait_for_port(proc: subprocess.Popen, timeout: float) -> int:
             continue
         text = line.strip()
         if text.startswith("LISTENING "):
-            return int(text.split()[1])
+            port = int(text.split()[1])
+        elif text.startswith("EXPOSING "):
+            expose = int(text.split()[1])
+        if port is not None and (expose is not None or not want_expose):
+            return port, expose
     raise RuntimeError("receiver never announced its port")
+
+
+def _scrape_exposition(
+    port: int, sender: subprocess.Popen, timeout: float
+) -> Dict[str, object]:
+    """Poll the receiver's /metrics while the stream runs.
+
+    Keeps the last text that parsed as valid OpenMetrics; stops early
+    once both a per-PSE regret sample and a drift-residual sample have
+    shown up (they appear after the first mid-stream recompute).
+    """
+    import urllib.request
+
+    from repro.obs.exposition import parse_openmetrics
+
+    url = f"http://127.0.0.1:{port}/metrics"
+    state: Dict[str, object] = {
+        "text": None,
+        "valid": False,
+        "regret": False,
+        "drift": False,
+        "error": None,
+    }
+    deadline = time.time() + timeout
+    sender_gone_attempts = 0
+    while time.time() < deadline and sender_gone_attempts <= 2:
+        if sender.poll() is not None:
+            # The receiver lingers briefly after the sender exits; take
+            # a couple of last-chance scrapes, then stop.
+            sender_gone_attempts += 1
+        try:
+            with urllib.request.urlopen(url, timeout=2.0) as response:
+                text = response.read().decode()
+            families = parse_openmetrics(text)
+        except Exception as exc:  # noqa: BLE001 - report the last failure
+            state["error"] = repr(exc)
+            time.sleep(0.2)
+            continue
+        state["text"] = text
+        state["valid"] = True
+        regret = families.get("quality_regret", {})
+        state["regret"] = state["regret"] or any(
+            "pse" in sample["labels"]
+            for sample in regret.get("samples", [])
+        )
+        drift = families.get("quality_drift_residual", {})
+        state["drift"] = state["drift"] or bool(drift.get("samples"))
+        if state["regret"] and state["drift"]:
+            break
+        time.sleep(0.2)
+    return state
 
 
 def _check(
@@ -189,9 +248,16 @@ def run_live_experiment(
     feedback_period: int = 8,
     interval: float = 0.005,
     timeout: float = 120.0,
+    expose: bool = True,
     outdir: Path = Path("live-results"),
 ) -> Tuple[Dict[str, object], List[Tuple[str, bool, str]]]:
-    """Run the two processes; returns (summary, checks)."""
+    """Run the two processes; returns (summary, checks).
+
+    ``expose=True`` (the default) turns on the receiver's adaptation-
+    quality accounting and its live ``/metrics`` endpoint, scrapes it
+    mid-stream and validates the OpenMetrics text — proving the
+    telemetry a long-lived deployment would be monitored through.
+    """
     outdir.mkdir(parents=True, exist_ok=True)
     recv_out = outdir / "receiver.json"
     send_out = outdir / "sender.json"
@@ -210,6 +276,8 @@ def run_live_experiment(
         "--drop-after", str(drop_after),
         "--out", str(recv_out),
     ]
+    if expose:
+        receiver_cmd += ["--quality", "--expose", "0"]
     receiver = subprocess.Popen(
         receiver_cmd,
         stdout=subprocess.PIPE,
@@ -217,8 +285,11 @@ def run_live_experiment(
         text=True,
         env=env,
     )
+    exposition: Optional[Dict[str, object]] = None
     try:
-        port = _wait_for_port(receiver, timeout=min(30.0, timeout))
+        port, expose_port = _wait_for_ports(
+            receiver, timeout=min(30.0, timeout), want_expose=expose
+        )
         sender_cmd = [
             sys.executable, "-m", "repro.net.live", "sender",
             *common,
@@ -227,9 +298,17 @@ def run_live_experiment(
             "--interval", str(interval),
             "--out", str(send_out),
         ]
-        sender_status = subprocess.run(
-            sender_cmd, env=env, timeout=timeout
-        ).returncode
+        sender = subprocess.Popen(sender_cmd, env=env)
+        try:
+            if expose_port is not None:
+                exposition = _scrape_exposition(
+                    expose_port, sender, timeout=timeout
+                )
+            sender_status = sender.wait(timeout=timeout)
+        finally:
+            if sender.poll() is None:
+                sender.kill()
+                sender.wait()
         receiver_status = receiver.wait(timeout=timeout)
     finally:
         if receiver.poll() is None:
@@ -263,6 +342,59 @@ def run_live_experiment(
     checks = _verify(
         sender_result, receiver_result, merged, drop_after=drop_after
     )
+    if exposition is not None:
+        if exposition["text"]:
+            with open(outdir / "metrics.txt", "w") as handle:
+                handle.write(str(exposition["text"]))
+        _check(
+            checks,
+            "exposition scraped & valid",
+            bool(exposition["valid"]),
+            "live /metrics parsed as OpenMetrics"
+            if exposition["valid"]
+            else f"scrape failed: {exposition['error']}",
+        )
+        # Fall back to rendering the receiver's final dump when the
+        # mid-stream scrapes raced the series' first appearance.
+        regret_seen = bool(exposition["regret"])
+        drift_seen = bool(exposition["drift"])
+        regret_how = drift_how = "live scrape"
+        if not (regret_seen and drift_seen):
+            from repro.obs.exposition import (
+                parse_openmetrics,
+                render_openmetrics,
+            )
+
+            families = parse_openmetrics(
+                render_openmetrics(receiver_result["obs"]["metrics"])
+            )
+            if not regret_seen and any(
+                "pse" in s["labels"]
+                for s in families.get("quality_regret", {}).get(
+                    "samples", []
+                )
+            ):
+                regret_seen, regret_how = True, "final dump"
+            if not drift_seen and families.get(
+                "quality_drift_residual", {}
+            ).get("samples"):
+                drift_seen, drift_how = True, "final dump"
+        _check(
+            checks,
+            "regret series exposed",
+            regret_seen,
+            f"per-PSE quality_regret present ({regret_how})"
+            if regret_seen
+            else "no per-PSE quality_regret sample",
+        )
+        _check(
+            checks,
+            "drift residual exposed",
+            drift_seen,
+            f"quality_drift_residual present ({drift_how})"
+            if drift_seen
+            else "no quality_drift_residual sample",
+        )
     summary = {
         "messages": messages,
         "drop_after": drop_after,
@@ -291,6 +423,7 @@ def run_live_experiment(
                 "final_plan_edges",
             )
         },
+        "quality": receiver_result.get("quality"),
         "checks": [
             {"name": n, "passed": p, "detail": d} for n, p, d in checks
         ],
@@ -317,6 +450,9 @@ def main(argv=None) -> int:
     parser.add_argument("--timeout", type=float, default=120.0)
     parser.add_argument("--outdir", type=Path,
                         default=Path("live-results"))
+    parser.add_argument("--no-expose", action="store_true",
+                        help="skip the live /metrics endpoint and the "
+                        "quality accounting it exposes")
     parser.add_argument("--quick", action="store_true",
                         help="small workload for CI smoke runs")
     args = parser.parse_args(argv)
@@ -334,6 +470,7 @@ def main(argv=None) -> int:
         feedback_period=args.feedback_period,
         interval=args.interval,
         timeout=args.timeout,
+        expose=not args.no_expose,
         outdir=args.outdir,
     )
     sender = summary["sender"]

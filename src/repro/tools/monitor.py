@@ -1,0 +1,253 @@
+"""Live TTY dashboard over one or more exposition endpoints.
+
+Polls each source's ``/metrics.json`` (the full observability dump the
+HTTP exposer serves next to ``/metrics``) and renders a refreshing
+terminal view of the adaptation loop's health:
+
+* active PSEs and recent plan transitions (quality report);
+* message/byte rates — counter deltas between polls via
+  :func:`repro.obs.metrics.snapshot_delta`;
+* per-PSE p50/p95 latency and shipped bytes (tracer histograms);
+* counterfactual regret of the running plan (last closed window, per
+  PSE) and cost-model drift residuals.
+
+Sources are URLs (scraped live) or paths to dump files (rendered
+offline — rates need two polls, so file sources show totals only on the
+first frame).  Usage::
+
+    python -m repro.tools.monitor http://127.0.0.1:9464 --interval 2
+    python -m repro.tools.monitor sender-dump.json receiver-dump.json --once
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.obs.export import pse_quantiles
+from repro.obs.metrics import snapshot_delta
+
+__all__ = ["fetch_dump", "render_frame", "main"]
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def fetch_dump(source: str, timeout: float = 2.0) -> Dict[str, object]:
+    """Load one observability dump from a URL or a JSON file path."""
+    if source.startswith("http://") or source.startswith("https://"):
+        import urllib.request
+
+        url = source.rstrip("/")
+        if not url.endswith("/metrics.json"):
+            url += "/metrics.json"
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return json.loads(response.read().decode())
+    with open(source) as handle:
+        data = json.load(handle)
+    # Accept both a bare obs dump and a result file embedding one.
+    if "metrics" not in data and "obs" in data:
+        return data["obs"]
+    return data
+
+
+def _fmt_rate(value: float) -> str:
+    if value >= 1000:
+        return f"{value:,.0f}"
+    if value >= 1:
+        return f"{value:.1f}"
+    return f"{value:.3f}"
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def _section_rates(
+    lines: List[str],
+    prev_metrics: Optional[Dict[str, object]],
+    metrics: Dict[str, object],
+    seconds: float,
+    top: int = 10,
+) -> None:
+    counters = metrics.get("counters", {})
+    if prev_metrics is None or seconds <= 0:
+        busiest = sorted(
+            counters.items(), key=lambda kv: -float(kv[1])
+        )[:top]
+        if busiest:
+            lines.append("  counters (totals; rates need a second poll):")
+            for name, value in busiest:
+                lines.append(f"    {name:<40} {_fmt_rate(float(value))}")
+        return
+    delta = snapshot_delta(prev_metrics, metrics)
+    moving = sorted(
+        (
+            (name, d / seconds)
+            for name, d in delta["counters"].items()
+            if d > 0
+        ),
+        key=lambda kv: -kv[1],
+    )[:top]
+    if moving:
+        lines.append(f"  rates over the last {seconds:.1f}s (/s):")
+        for name, rate in moving:
+            lines.append(f"    {name:<40} {_fmt_rate(rate)}")
+    else:
+        lines.append("  no counter movement since the last poll")
+
+
+def _section_pse(lines: List[str], dump: Dict[str, object]) -> None:
+    pse = (dump.get("tracing") or {}).get("pse") or {}
+    rows = []
+    for pid in sorted(pse):
+        latency = pse_quantiles(pse[pid].get("latency"))
+        size = pse_quantiles(pse[pid].get("bytes"))
+        if latency is None and size is None:
+            continue
+        rows.append((pid, latency, size))
+    if not rows:
+        return
+    lines.append("  per-PSE (latency p50/p95, bytes p50):")
+    for pid, latency, size in rows:
+        p50 = _fmt_seconds(latency["p50"] if latency else None)
+        p95 = _fmt_seconds(latency["p95"] if latency else None)
+        bytes_p50 = f"{size['p50']:.0f}B" if size else "-"
+        lines.append(f"    {pid:<10} {p50:>10} {p95:>10} {bytes_p50:>10}")
+
+
+def _section_quality(lines: List[str], dump: Dict[str, object]) -> None:
+    quality = dump.get("quality")
+    if not quality:
+        return
+    active = quality.get("active_pses") or []
+    transitions = quality.get("transitions") or []
+    lines.append(
+        f"  active PSEs: {', '.join(active) if active else '(initial plan)'}"
+        f"   transitions: {len(transitions)}"
+    )
+    regret = quality.get("regret") or {}
+    windows = regret.get("windows") or []
+    if windows:
+        last = windows[-1]
+        per_pse = ", ".join(
+            f"{pid}={value:.3g}"
+            for pid, value in (last.get("per_pse") or {}).items()
+        )
+        lines.append(
+            f"  regret window #{last['index']}: mean {last['mean_regret']:.4g}"
+            f" (rel {last['rel_mean_regret']:.2%}) over {last['count']} msgs"
+            + (f"  [{per_pse}]" if per_pse else "")
+        )
+    else:
+        lines.append(
+            f"  regret: {regret.get('sampled', 0)} sampled, "
+            f"no closed window yet"
+        )
+    drift = quality.get("drift") or {}
+    residuals = drift.get("residuals") or []
+    flagged = [r for r in residuals if r.get("flagged")]
+    if residuals:
+        shown = sorted(
+            residuals, key=lambda r: -abs(float(r.get("residual", 0.0)))
+        )[:6]
+        parts = ", ".join(
+            f"{r['pse_id']}/{r['channel']}={float(r['residual']):+.2f}"
+            for r in shown
+        )
+        lines.append(
+            f"  drift residuals ({len(flagged)} flagged): {parts}"
+        )
+    events = drift.get("events") or []
+    if events:
+        last = events[-1]
+        lines.append(
+            f"  last drift: {last['pse_id']}/{last['channel']} residual "
+            f"{float(last['residual']):+.2f} at msg {last['at_message']}"
+        )
+
+
+def render_frame(
+    sources: List[str],
+    dumps: List[Optional[Dict[str, object]]],
+    prev: List[Optional[Dict[str, object]]],
+    seconds: float,
+) -> str:
+    """One dashboard frame; pure text so tests can assert on it."""
+    lines: List[str] = []
+    for source, dump, before in zip(sources, dumps, prev):
+        lines.append(f"== {source}")
+        if dump is None:
+            lines.append("  (unreachable)")
+            lines.append("")
+            continue
+        metrics = dump.get("metrics") or {}
+        prev_metrics = (before or {}).get("metrics") if before else None
+        _section_quality(lines, dump)
+        _section_rates(lines, prev_metrics, metrics, seconds)
+        _section_pse(lines, dump)
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.monitor",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "sources", nargs="+",
+        help="exposition URLs (http://host:port) and/or dump files",
+    )
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between polls")
+    parser.add_argument("--iterations", type=int, default=0,
+                        help="stop after N frames (0 = until Ctrl-C)")
+    parser.add_argument("--once", action="store_true",
+                        help="print a single frame and exit")
+    parser.add_argument("--no-clear", action="store_true",
+                        help="append frames instead of redrawing the screen")
+    args = parser.parse_args(argv)
+    if args.once:
+        args.iterations = 1
+
+    prev: List[Optional[Dict[str, object]]] = [None] * len(args.sources)
+    last_poll: Optional[float] = None
+    frames = 0
+    try:
+        while True:
+            dumps: List[Optional[Dict[str, object]]] = []
+            for source in args.sources:
+                try:
+                    dumps.append(fetch_dump(source))
+                except Exception:
+                    dumps.append(None)
+            now = time.time()
+            seconds = (now - last_poll) if last_poll is not None else 0.0
+            frame = render_frame(args.sources, dumps, prev, seconds)
+            if not args.once and not args.no_clear and sys.stdout.isatty():
+                sys.stdout.write(_CLEAR)
+            stamp = time.strftime("%H:%M:%S")
+            print(f"-- repro monitor @ {stamp} --")
+            print(frame, flush=True)
+            prev = dumps
+            last_poll = now
+            frames += 1
+            if args.iterations and frames >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -123,7 +123,177 @@ def render_report(
         lines.append("== tracing ==")
         for line in render_trace_summary(tracing).splitlines():
             lines.append(f"  {line}")
+
+    quality = data.get("quality")
+    if quality:
+        lines.append("")
+        lines.append("== adaptation quality ==")
+        for line in render_quality(quality).splitlines():
+            lines.append(f"  {line}")
     return "\n".join(lines)
+
+
+def render_quality(quality: Mapping) -> str:
+    """Regret table + drift summary from a quality report mapping.
+
+    Accepts either one handler's ``AdaptationQuality.report()`` or the
+    cross-run report of :func:`build_quality_report` (same key names).
+    """
+    lines: List[str] = []
+    active = quality.get("active_pses") or []
+    if active:
+        lines.append(f"active PSEs: {', '.join(str(p) for p in active)}")
+    transitions = quality.get("transitions") or []
+    if transitions:
+        lines.append(f"plan transitions: {len(transitions)}")
+    regret = quality.get("regret") or {}
+    windows = regret.get("windows") or quality.get("regret_windows") or []
+    sampled = regret.get("sampled")
+    if sampled is not None:
+        lines.append(
+            f"regret: {sampled} sampled of {regret.get('messages', 0)} "
+            f"messages ({regret.get('unpriced', 0)} unpriced)"
+        )
+    if windows:
+        lines.append(
+            f"{'window':>7} {'msgs':>11} {'mean':>12} {'rel':>8} "
+            f"{'after-plan@':>11}  per-PSE"
+        )
+        for window in windows[-10:]:
+            span = f"{window['start_message']}-{window['end_message']}"
+            per_pse = ", ".join(
+                f"{pid}={_format_value(value)}"
+                for pid, value in (window.get("per_pse") or {}).items()
+            )
+            transition = window.get("transition")
+            lines.append(
+                f"{window['index']:>7} {span:>11} "
+                f"{_format_value(window['mean_regret']):>12} "
+                f"{window['rel_mean_regret']:>8.2%} "
+                f"{str(transition) if transition is not None else '-':>11}"
+                f"  {per_pse}"
+            )
+    else:
+        lines.append("no closed regret window")
+    drift = quality.get("drift") or {}
+    residuals = drift.get("residuals") or quality.get("drift_residuals") or []
+    events = drift.get("events") or quality.get("drift_events") or []
+    if residuals:
+        lines.append(f"drift residuals ({len(residuals)}):")
+        for row in residuals:
+            flag = "  FLAGGED" if row.get("flagged") else ""
+            lines.append(
+                f"  {row['pse_id']:<8} {row['channel']:<8} "
+                f"{row['residual']:+.3f} (n={row['count']}){flag}"
+            )
+    lines.append(f"drift events: {len(events)}")
+    for event in events[-5:]:
+        lines.append(
+            f"  {event['pse_id']}/{event['channel']} residual "
+            f"{event['residual']:+.3f} at msg {event['at_message']} "
+            f"(predicted {_format_value(event['predicted'])}, "
+            f"observed {_format_value(event['observed'])})"
+        )
+    return "\n".join(lines)
+
+
+def build_quality_report(obs) -> dict:
+    """Cross-run quality report from a live Observability.
+
+    An experiment sweep (e.g. figure 7) builds one adaptive harness per
+    configuration, each with its own
+    :class:`~repro.obs.quality.AdaptationQuality`; the shared trace log
+    is the record that spans all of them.  This collects every
+    ``RegretWindow`` / ``DriftDetected`` / ``PlanRecomputed`` event plus
+    the ``quality.*`` instruments, and the last handler's own report.
+    """
+    events = obs.trace.to_dicts()
+    metrics = obs.metrics.to_dict()
+    quality_counters = {
+        name: value
+        for name, value in metrics["counters"].items()
+        if name.startswith("quality.")
+    }
+    quality_gauges = {
+        name: value
+        for name, value in metrics["gauges"].items()
+        if name.startswith("quality.")
+    }
+    return {
+        "schema": "mp.quality.v1",
+        "config": (
+            obs.quality.report()["config"]
+            if obs.quality is not None
+            else None
+        ),
+        "counters": quality_counters,
+        "gauges": quality_gauges,
+        "transitions": [
+            {"at_message": e["at_message"], "pse_ids": list(e["pse_ids"])}
+            for e in events
+            if e.get("kind") == "PlanRecomputed"
+        ],
+        "regret_windows": [
+            e for e in events if e.get("kind") == "RegretWindow"
+        ],
+        "drift_events": [
+            e for e in events if e.get("kind") == "DriftDetected"
+        ],
+        "last_handler": (
+            obs.quality.report() if obs.quality is not None else None
+        ),
+    }
+
+
+def report_json(data: Mapping) -> dict:
+    """Stable machine-readable summary of an observability dump.
+
+    The schema (``mp.obsreport.v1``) is what the monitor tests and
+    scripts consume: raw counters/gauges, histogram summaries with
+    interpolated quantiles, trace counts, tracing totals and the quality
+    report — everything derivable without re-parsing the full dump.
+    """
+    from repro.obs.metrics import bucket_quantile
+
+    metrics = data.get("metrics", {})
+    histograms = {}
+    for name, h in sorted(metrics.get("histograms", {}).items()):
+        count = int(h.get("count", 0))
+        total = float(h.get("total", 0.0))
+        bounds = list(h.get("bounds", ()))
+        counts = list(h.get("counts", ()))
+        histograms[name] = {
+            "count": count,
+            "total": total,
+            "mean": total / count if count else 0.0,
+            "p50": bucket_quantile(bounds, counts, 0.50) if bounds else 0.0,
+            "p95": bucket_quantile(bounds, counts, 0.95) if bounds else 0.0,
+            "p99": bucket_quantile(bounds, counts, 0.99) if bounds else 0.0,
+        }
+    trace = data.get("trace", {})
+    tracing = data.get("tracing") or None
+    return {
+        "schema": "mp.obsreport.v1",
+        "counters": dict(sorted(metrics.get("counters", {}).items())),
+        "gauges": dict(sorted(metrics.get("gauges", {}).items())),
+        "histograms": histograms,
+        "trace": {
+            "counts": dict(sorted(trace.get("counts", {}).items())),
+            "dropped": trace.get("dropped", 0),
+            "events_kept": len(trace.get("events", [])),
+        },
+        "tracing": (
+            {
+                "recorded": tracing.get("recorded", 0),
+                "dropped": tracing.get("dropped", 0),
+                "spans": len(tracing.get("spans", [])),
+                "overhead_seconds": tracing.get("overhead_seconds", 0.0),
+            }
+            if tracing
+            else None
+        ),
+        "quality": data.get("quality") or None,
+    }
 
 
 def render(obs, *, event_limit: Optional[int] = _DEFAULT_EVENT_LIMIT) -> str:
@@ -144,6 +314,12 @@ def main(argv=None) -> int:
         default=_DEFAULT_EVENT_LIMIT,
         help="how many trailing trace events to print (0 for none)",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable mp.obsreport.v1 summary instead "
+        "of the text report",
+    )
     args = parser.parse_args(argv)
     try:
         with open(args.dump, "r", encoding="utf-8") as handle:
@@ -151,7 +327,11 @@ def main(argv=None) -> int:
     except (OSError, ValueError) as exc:
         print(f"obsreport: cannot read {args.dump}: {exc}", file=sys.stderr)
         return 1
-    print(render_report(data, event_limit=args.events))
+    if args.json:
+        json.dump(report_json(data), sys.stdout, indent=2)
+        print()
+    else:
+        print(render_report(data, event_limit=args.events))
     return 0
 
 

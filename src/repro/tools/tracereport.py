@@ -196,6 +196,79 @@ def render_explain(data: Mapping[str, object]) -> str:
     return "\n".join(lines).rstrip()
 
 
+def report_json(data: Mapping[str, object]) -> dict:
+    """Stable machine-readable trace summary (``mp.tracereport.v1``).
+
+    Per-trace span counts and durations plus the joined recomputation
+    decisions (trigger, chosen PSEs, candidate cost table) — the pieces
+    scripts grep out of the text views, without the formatting.
+    """
+    tracing = data.get("tracing") if "tracing" in data else data
+    spans = list(tracing.get("spans", [])) if isinstance(tracing, dict) else []
+    by_trace: Dict[object, List[Mapping]] = {}
+    for span in spans:
+        by_trace.setdefault(span["trace"], []).append(span)
+    traces = []
+    for trace_id, members in sorted(
+        by_trace.items(), key=lambda kv: min(float(s["start"]) for s in kv[1])
+    ):
+        starts = [float(s["start"]) for s in members]
+        ends = [float(s["end"]) for s in members if s.get("end") is not None]
+        names = sorted({s["name"] for s in members})
+        traces.append(
+            {
+                "trace": trace_id,
+                "spans": len(members),
+                "open_spans": len(members) - len(ends),
+                "names": names,
+                "start": min(starts),
+                "duration_seconds": (
+                    max(ends) - min(starts) if ends else None
+                ),
+                "hosts": sorted(
+                    {s["host"] for s in members if s.get("host")}
+                ),
+            }
+        )
+    events = data.get("trace", {}).get("events", [])
+    decisions = []
+    last_trigger: Optional[Mapping] = None
+    for event in events:
+        kind = event.get("kind")
+        if kind == "TriggerFired":
+            last_trigger = event
+        elif kind == "PlanRecomputed":
+            decisions.append(
+                {
+                    "at_message": event.get("at_message"),
+                    "cut_value": event.get("cut_value"),
+                    "pse_ids": list(event.get("pse_ids") or ()),
+                    "trigger": (
+                        {
+                            "name": last_trigger.get("trigger"),
+                            "reason": last_trigger.get("reason"),
+                        }
+                        if last_trigger is not None
+                        else None
+                    ),
+                    "breakdown": list(event.get("breakdown") or ()),
+                }
+            )
+    summary = {}
+    if isinstance(tracing, dict):
+        summary = {
+            "recorded": tracing.get("recorded", 0),
+            "dropped": tracing.get("dropped", 0),
+            "overhead_seconds": tracing.get("overhead_seconds", 0.0),
+        }
+    return {
+        "schema": "mp.tracereport.v1",
+        "summary": summary,
+        "traces": traces,
+        "decisions": decisions,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.tools.tracereport", description=__doc__
@@ -221,6 +294,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="print the PlanRecomputed cost breakdowns instead of trees",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable mp.tracereport.v1 summary "
+        "instead of the text views",
+    )
     args = parser.parse_args(argv)
     try:
         with open(args.dump, "r", encoding="utf-8") as handle:
@@ -239,7 +318,10 @@ def main(argv=None) -> int:
         )
         return 1
 
-    if args.explain:
+    if args.json:
+        json.dump(report_json(data), sys.stdout, indent=2)
+        print()
+    elif args.explain:
         print(render_explain(data))
     else:
         from repro.obs.export import render_trace_summary

@@ -279,3 +279,46 @@ def test_server_counts_framing_errors(harness):
         sock.settimeout(5.0)
         assert sock.recv(1) == b""
     assert _wait_until(lambda: harness.server.framing_errors == 1)
+
+
+def test_heartbeat_rtt_histogram_survives_reattach_and_exposes(
+    transport, harness
+):
+    """Re-attaching observability must not wipe accumulated RTT samples
+    (the registry is get-or-create), and the histogram must come out of
+    the OpenMetrics exposition as a well-formed family."""
+    from repro.obs.exposition import parse_openmetrics, render_openmetrics
+
+    obs = Observability()
+    instance = transport(heartbeat_interval=0.05)
+    instance.attach_observability(obs, name="transport.tcp")
+    instance.peer(harness.host, harness.port)
+    peer = instance.peers[0]
+    assert _wait_until(lambda: peer.heartbeats_seen >= 2)
+
+    hist = obs.metrics.histogram("transport.tcp.heartbeat_rtt")
+    seen = hist.count
+    assert seen >= 2
+
+    # Endpoint restart paths re-attach to the same Observability.
+    instance.attach_observability(obs, name="transport.tcp")
+    assert obs.metrics.histogram("transport.tcp.heartbeat_rtt") is hist
+    assert hist.count >= seen  # samples survived, none lost
+    assert _wait_until(lambda: hist.count > seen)  # and new ones land
+
+    families = parse_openmetrics(render_openmetrics(obs.to_dict()))
+    rtt = families["transport_tcp_heartbeat_rtt"]
+    assert rtt["type"] == "histogram"
+    count_sample = next(
+        s
+        for s in rtt["samples"]
+        if s["name"] == "transport_tcp_heartbeat_rtt_count"
+    )
+    assert count_sample["value"] == hist.count
+    inf_bucket = next(
+        s
+        for s in rtt["samples"]
+        if s["name"] == "transport_tcp_heartbeat_rtt_bucket"
+        and s["labels"]["le"] == "+Inf"
+    )
+    assert inf_bucket["value"] == count_sample["value"]

@@ -1,0 +1,166 @@
+"""OpenMetrics rendering, strict parsing, and the HTTP exposer."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.exposition import (
+    parse_openmetrics,
+    render_openmetrics,
+    start_http_exposer,
+)
+
+
+def _sample_registry():
+    obs = Observability()
+    m = obs.metrics
+    m.counter("interp.executions").inc(12)
+    m.counter("transport.tcp.frame_bytes").inc(4096)
+    m.gauge("pending").set(3)
+    m.gauge('quality.regret{pse="s3"}').set(0.25)
+    m.gauge('quality.drift.residual{pse="s3",channel="bytes"}').set(-0.1)
+    h = m.histogram("latency", bounds=(0.1, 1.0))
+    for v in (0.05, 0.5, 5.0):
+        h.observe(v)
+    return obs
+
+
+# -- rendering -----------------------------------------------------------------
+
+
+def test_render_groups_families_and_terminates():
+    text = render_openmetrics(_sample_registry().metrics.to_dict())
+    assert text.endswith("# EOF\n")
+    assert "# TYPE interp_executions counter" in text
+    assert "interp_executions_total 12" in text
+    assert "# TYPE pending gauge" in text
+    assert "pending 3" in text
+    # Labeled gauges collapse into one family with per-label samples.
+    assert "# TYPE quality_regret gauge" in text
+    assert 'quality_regret{pse="s3"} 0.25' in text
+    assert (
+        'quality_drift_residual{pse="s3",channel="bytes"} -0.1' in text
+    )
+    # Histograms: cumulative buckets, +Inf, sum and count.
+    assert 'latency_bucket{le="0.1"} 1' in text
+    assert 'latency_bucket{le="1"} 2' in text
+    assert 'latency_bucket{le="+Inf"} 3' in text
+    assert "latency_count 3" in text
+
+
+def test_render_accepts_full_obs_dump():
+    obs = _sample_registry()
+    text = render_openmetrics(obs.to_dict())
+    assert "interp_executions_total 12" in text
+
+
+def test_render_rejects_family_kind_conflict():
+    metrics = {
+        "counters": {"x": 1.0},
+        "gauges": {"x": 2.0},
+        "histograms": {},
+    }
+    with pytest.raises(ValueError, match="both"):
+        render_openmetrics(metrics)
+
+
+# -- parse round-trip ----------------------------------------------------------
+
+
+def test_round_trip_preserves_values_and_labels():
+    obs = _sample_registry()
+    families = parse_openmetrics(
+        render_openmetrics(obs.metrics.to_dict())
+    )
+    assert families["interp_executions"]["type"] == "counter"
+    assert families["interp_executions"]["samples"][0]["value"] == 12.0
+    regret = families["quality_regret"]["samples"]
+    assert regret == [
+        {"name": "quality_regret", "labels": {"pse": "s3"}, "value": 0.25}
+    ]
+    buckets = [
+        s
+        for s in families["latency"]["samples"]
+        if s["name"] == "latency_bucket"
+    ]
+    assert [s["labels"]["le"] for s in buckets] == ["0.1", "1", "+Inf"]
+    assert [s["value"] for s in buckets] == [1.0, 2.0, 3.0]
+
+
+@pytest.mark.parametrize(
+    "text, match",
+    [
+        ("up 1\n", "no # TYPE"),
+        ("# TYPE up gauge\nup 1\n", "missing # EOF"),
+        ("# TYPE up counter\nup 1\n# EOF\n", "_total"),
+        ("# TYPE up gauge\nup_sum 1\n# EOF\n", "suffix"),
+        ("# TYPE up gauge\nup 1\n# EOF\nleft over\n", "after # EOF"),
+        ("# TYPE up gauge\nup one\n# EOF\n", "non-numeric"),
+        ("# TYPE h histogram\nh_bucket 1\n# EOF\n", "le label"),
+        ("# TYPE up gauge\n# TYPE up gauge\n# EOF\n", "duplicate"),
+        ("# TYPE up widget\n# EOF\n", "unknown kind"),
+    ],
+)
+def test_parser_rejects_malformed_text(text, match):
+    with pytest.raises(ValueError, match=match):
+        parse_openmetrics(text)
+
+
+def test_parser_accepts_help_and_blank_lines():
+    text = (
+        "# HELP up whether we are up\n"
+        "# TYPE up gauge\n"
+        "\n"
+        "up 1\n"
+        "# EOF\n"
+    )
+    families = parse_openmetrics(text)
+    assert families["up"]["samples"][0]["value"] == 1.0
+
+
+# -- HTTP exposer --------------------------------------------------------------
+
+
+def test_http_exposer_serves_text_and_json():
+    obs = _sample_registry()
+    exposer = start_http_exposer(obs.to_dict, port=0)
+    try:
+        with urllib.request.urlopen(exposer.url, timeout=5.0) as response:
+            assert "openmetrics-text" in response.headers["Content-Type"]
+            families = parse_openmetrics(response.read().decode())
+        assert "quality_regret" in families
+
+        with urllib.request.urlopen(
+            f"http://{exposer.host}:{exposer.port}/metrics.json",
+            timeout=5.0,
+        ) as response:
+            dump = json.loads(response.read().decode())
+        assert dump["metrics"]["counters"]["interp.executions"] == 12.0
+
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(
+                f"http://{exposer.host}:{exposer.port}/nope", timeout=5.0
+            )
+        assert err.value.code == 404
+    finally:
+        exposer.close()
+
+
+def test_http_exposer_sees_live_updates():
+    obs = Observability()
+    counter = obs.metrics.counter("ticks")
+    exposer = start_http_exposer(obs.to_dict, port=0)
+    try:
+        def scrape():
+            with urllib.request.urlopen(exposer.url, timeout=5.0) as r:
+                return parse_openmetrics(r.read().decode())
+
+        assert scrape()["ticks"]["samples"][0]["value"] == 0.0
+        counter.inc(5)
+        assert scrape()["ticks"]["samples"][0]["value"] == 5.0
+    finally:
+        exposer.close()

@@ -79,3 +79,135 @@ def test_registry_exports_sorted_and_serializable():
     assert data["gauges"] == {"mid": 7.0}
     assert data["histograms"]["sizes"]["count"] == 1
     json.dumps(data)  # round-trippable
+
+
+# -- bucket_quantile / Histogram.quantile edge cases ---------------------------
+
+
+def test_quantile_empty_histogram_is_zero():
+    from repro.obs.metrics import bucket_quantile
+
+    h = Histogram("h", bounds=(1.0, 2.0))
+    assert h.quantile(0.5) == 0.0
+    assert bucket_quantile((1.0, 2.0), [0, 0, 0], 0.99) == 0.0
+
+
+def test_quantile_rejects_empty_bounds_and_bad_q():
+    from repro.obs.metrics import bucket_quantile
+
+    with pytest.raises(ValueError, match="at least one bound"):
+        bucket_quantile((), [], 0.5)
+    with pytest.raises(ValueError, match="in \\[0, 1\\]"):
+        bucket_quantile((1.0,), [1, 0], 1.5)
+    with pytest.raises(ValueError, match="in \\[0, 1\\]"):
+        bucket_quantile((1.0,), [1, 0], -0.1)
+
+
+def test_quantile_single_bucket_interpolates_from_zero():
+    h = Histogram("h", bounds=(10.0,))
+    for _ in range(4):
+        h.observe(5.0)
+    # All mass in [0, 10]: q=0.5 interpolates to the middle of the bucket.
+    assert h.quantile(0.5) == pytest.approx(5.0)
+    assert h.quantile(1.0) == pytest.approx(10.0)
+
+
+def test_quantile_q_zero_and_one():
+    h = Histogram("h", bounds=(1.0, 2.0, 4.0))
+    h.observe(0.5)
+    h.observe(1.5)
+    h.observe(3.0)
+    # q=0 targets rank 0: the infimum of the first occupied bucket.
+    assert h.quantile(0.0) == pytest.approx(0.0)
+    assert h.quantile(1.0) == pytest.approx(4.0)
+
+
+def test_quantile_all_overflow_reports_last_bound():
+    h = Histogram("h", bounds=(1.0, 2.0))
+    for _ in range(5):
+        h.observe(100.0)
+    # Deliberate underestimate: the overflow bucket has no upper bound.
+    assert h.quantile(0.5) == 2.0
+    assert h.quantile(0.99) == 2.0
+
+
+# -- snapshot_delta ------------------------------------------------------------
+
+
+def _snap(reg):
+    return reg.to_dict()
+
+
+def test_snapshot_delta_counters_difference():
+    from repro.obs.metrics import snapshot_delta
+
+    reg = MetricsRegistry()
+    reg.counter("a").inc(3)
+    before = _snap(reg)
+    reg.counter("a").inc(2)
+    reg.counter("b").inc(7)  # absent from prev: implicit zero baseline
+    delta = snapshot_delta(before, _snap(reg))
+    assert delta["counters"] == {"a": 2.0, "b": 7.0}
+
+
+def test_snapshot_delta_counter_reset_uses_current_value():
+    from repro.obs.metrics import snapshot_delta
+
+    prev = {"counters": {"a": 100.0}, "histograms": {}}
+    curr = {"counters": {"a": 4.0}, "histograms": {}}
+    assert snapshot_delta(prev, curr)["counters"] == {"a": 4.0}
+
+
+def test_snapshot_delta_histograms_difference_buckets():
+    from repro.obs.metrics import bucket_quantile, snapshot_delta
+
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", bounds=(1.0, 10.0))
+    h.observe(0.5)
+    before = _snap(reg)
+    h.observe(5.0)
+    h.observe(100.0)
+    delta = snapshot_delta(before, _snap(reg))["histograms"]["lat"]
+    assert delta["count"] == 2
+    assert delta["total"] == pytest.approx(105.0)
+    assert delta["counts"] == [0, 1, 1]
+    # Interval quantiles are computable from the delta alone.
+    assert bucket_quantile(delta["bounds"], delta["counts"], 0.5) > 1.0
+
+
+def test_snapshot_delta_histogram_reset_or_rebucket_uses_current():
+    from repro.obs.metrics import snapshot_delta
+
+    curr = {
+        "counters": {},
+        "histograms": {
+            "h": {"bounds": [1.0], "counts": [2, 1], "total": 4.0,
+                  "count": 3}
+        },
+    }
+    shrunk = {
+        "counters": {},
+        "histograms": {
+            "h": {"bounds": [1.0], "counts": [5, 2], "total": 9.0,
+                  "count": 7}
+        },
+    }
+    rebucketed = {
+        "counters": {},
+        "histograms": {
+            "h": {"bounds": [2.0], "counts": [1, 0], "total": 1.0,
+                  "count": 1}
+        },
+    }
+    for prev in (shrunk, rebucketed, {"counters": {}, "histograms": {}}):
+        delta = snapshot_delta(prev, curr)["histograms"]["h"]
+        assert delta["count"] == 3
+        assert delta["counts"] == [2, 1]
+
+
+def test_registry_snapshot_delta_method_matches_function():
+    reg = MetricsRegistry()
+    reg.counter("x").inc(1)
+    before = reg.to_dict()
+    reg.counter("x").inc(4)
+    assert reg.snapshot_delta(before)["counters"] == {"x": 4.0}

@@ -63,3 +63,87 @@ def test_cli_invalid_json(tmp_path, capsys):
     rc = obsreport.main([str(bad)])
     assert rc == 1
     assert "cannot read" in capsys.readouterr().err
+
+
+# -- machine-readable output (--json) ------------------------------------------
+
+
+def _quality_obs():
+    from types import SimpleNamespace
+
+    obs = _sample_obs()
+    obs.enable_quality(regret_window=4)
+    # A harness normally attaches the AdaptationQuality instance; stub
+    # the report shape here so the renderers see a populated section.
+    report = {
+        "config": {"regret_window": 4},
+        "active_pses": [],
+        "transitions": [],
+        "regret": {"messages": 0, "sampled": 0, "unpriced": 0,
+                   "windows": []},
+        "drift": {"rebaselines": 0, "residuals": [], "events": []},
+    }
+    obs.quality = SimpleNamespace(report=lambda: report)
+    from repro.obs.trace import PlanRecomputed, RegretWindow
+
+    obs.trace.record(
+        PlanRecomputed(at_message=10, cut_value=2.5, pse_ids=("s2",))
+    )
+    obs.trace.record(
+        RegretWindow(
+            index=0, start_message=1, end_message=4, count=4,
+            total_regret=2.0, mean_regret=0.5, rel_mean_regret=0.1,
+            per_pse={"s2": 0.5}, transition=10,
+        )
+    )
+    return obs
+
+def test_report_json_schema_and_round_trip(tmp_path, capsys):
+    dump = tmp_path / "run.obs.json"
+    dump.write_text(json.dumps(_sample_obs().to_dict()))
+    rc = obsreport.main([str(dump), "--json"])
+    assert rc == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["schema"] == "mp.obsreport.v1"
+    assert report["counters"]["interp.executions"] == 12.0
+    assert report["gauges"]["pending"] == 3.0
+    hist = report["histograms"]["transport.data.message_bytes"]
+    assert hist["count"] == 1 and hist["mean"] == 512.0
+    assert hist["p50"] > 0
+    assert report["trace"]["counts"]["TriggerFired"] == 1
+    assert report["trace"]["events_kept"] == 2
+    assert report["tracing"] is None
+    json.dumps(report)  # stable, serializable schema
+
+
+def test_report_json_carries_quality_section(tmp_path, capsys):
+    dump = tmp_path / "run.obs.json"
+    dump.write_text(json.dumps(_quality_obs().to_dict()))
+    rc = obsreport.main([str(dump), "--json"])
+    assert rc == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["quality"] is not None
+    assert report["quality"]["regret"]["windows"] == []
+
+
+# -- quality rendering ---------------------------------------------------------
+
+
+def test_render_quality_section_in_text_report():
+    out = obsreport.render(_quality_obs())
+    assert "== adaptation quality ==" in out
+    assert "no closed regret window" in out
+
+
+def test_render_quality_regret_table():
+    report = obsreport.build_quality_report(_quality_obs())
+    assert report["schema"] == "mp.quality.v1"
+    assert report["transitions"] == [
+        {"at_message": 10, "pse_ids": ["s2"]}
+    ]
+    assert len(report["regret_windows"]) == 1
+    text = obsreport.render_quality(report)
+    assert "plan transitions: 1" in text
+    assert "s2=0.5" in text
+    assert "10.00%" in text  # rel_mean_regret column
+    assert "drift events: 0" in text

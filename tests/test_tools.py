@@ -229,3 +229,148 @@ def test_tracereport_rejects_dump_without_tracing(tmp_path, capsys):
     rc = tracereport_cli.main([str(path)])
     assert rc == 1
     assert "no tracing section" in capsys.readouterr().err
+
+
+def test_tracereport_json_schema(traced_dumps, capsys):
+    obs_path, _ = traced_dumps
+    rc = tracereport_cli.main([str(obs_path), "--json"])
+    assert rc == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["schema"] == "mp.tracereport.v1"
+    assert report["summary"]["recorded"] > 0
+    assert report["traces"]
+    first = report["traces"][0]
+    assert first["spans"] >= 1
+    assert "modulate" in {n for t in report["traces"] for n in t["names"]}
+    assert report["decisions"]
+    decision = report["decisions"][0]
+    assert decision["pse_ids"]
+    assert decision["trigger"]["name"]
+    assert decision["breakdown"]
+    json.dumps(report)  # stable, serializable
+
+
+# -- --quality-report and --expose ---------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def quality_run(tmp_path_factory):
+    """One quick quality-accounted run shared by the tests below."""
+    root = tmp_path_factory.mktemp("quality")
+    report_path = root / "quality.json"
+    rc = experiments_cli.main(
+        ["table3", "--quick", "--quality-report", str(report_path)]
+    )
+    assert rc == 0
+    return report_path
+
+
+def test_experiments_quality_report_file(quality_run):
+    report = json.loads(quality_run.read_text())
+    assert report["schema"] == "mp.quality.v1"
+    assert report["counters"]["quality.regret.sampled"] > 0
+    assert report["transitions"]
+    assert report["regret_windows"]
+    # the adaptive run's plan settles: later windows show ~zero regret
+    last = report["regret_windows"][-1]
+    assert last["count"] > 0
+    assert last["transition"] is not None
+
+
+def test_experiments_expose_serves_openmetrics(capsys):
+    import urllib.request
+
+    from repro.obs.exposition import parse_openmetrics
+
+    rc = experiments_cli.main(
+        ["table3", "--quick", "--quality-report", "/dev/null",
+         "--expose", "0"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    port = next(
+        int(line.split()[1])
+        for line in out.splitlines()
+        if line.startswith("EXPOSING ")
+    )
+    # The exposer has shut down by now; the announcement + the in-run
+    # scrape are covered by the liveexp harness.  Here just check the
+    # final report rendered a regret table.
+    assert port > 0
+    assert "=== adaptation quality ===" in out
+    assert "per-PSE" in out
+
+
+# -- monitor -------------------------------------------------------------------
+
+
+def test_monitor_fetch_dump_unwraps_result_files(tmp_path):
+    from repro.tools.monitor import fetch_dump
+
+    obs = {"metrics": {"counters": {"x": 1.0}}}
+    bare = tmp_path / "bare.json"
+    bare.write_text(json.dumps(obs))
+    wrapped = tmp_path / "result.json"
+    wrapped.write_text(json.dumps({"role": "receiver", "obs": obs}))
+    assert fetch_dump(str(bare)) == obs
+    assert fetch_dump(str(wrapped)) == obs
+
+
+def test_monitor_render_frame_sections():
+    from repro.tools.monitor import render_frame
+
+    dump = {
+        "metrics": {
+            "counters": {"transport.bytes": 100.0},
+            "histograms": {},
+        },
+        "quality": {
+            "active_pses": ["s2"],
+            "transitions": [{"at_message": 5, "pse_ids": ["s2"]}],
+            "regret": {
+                "sampled": 8,
+                "windows": [
+                    {"index": 0, "count": 8, "mean_regret": 0.25,
+                     "rel_mean_regret": 0.05, "per_pse": {"s2": 0.25}}
+                ],
+            },
+            "drift": {
+                "residuals": [
+                    {"pse_id": "s2", "channel": "bytes",
+                     "residual": 0.6, "flagged": True, "count": 9}
+                ],
+                "events": [
+                    {"pse_id": "s2", "channel": "bytes",
+                     "residual": 0.6, "at_message": 7}
+                ],
+            },
+        },
+    }
+    frame = render_frame(["src.json"], [dump], [None], 0.0)
+    assert "== src.json" in frame
+    assert "active PSEs: s2" in frame
+    assert "regret window #0: mean 0.25" in frame
+    assert "drift residuals (1 flagged): s2/bytes=+0.60" in frame
+    assert "last drift: s2/bytes" in frame
+    assert "counters (totals" in frame
+
+    moved = {"metrics": {"counters": {"transport.bytes": 300.0},
+                         "histograms": {}}}
+    frame2 = render_frame(["src.json"], [moved], [dump], 2.0)
+    assert "rates over the last 2.0s" in frame2
+    assert "transport.bytes" in frame2
+
+    unreachable = render_frame(["gone"], [None], [None], 0.0)
+    assert "(unreachable)" in unreachable
+
+
+def test_monitor_cli_once(tmp_path, capsys):
+    from repro.tools import monitor
+
+    dump = tmp_path / "d.json"
+    dump.write_text(json.dumps({"metrics": {"counters": {"n": 2.0}}}))
+    rc = monitor.main([str(dump), "--once"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "repro monitor @" in out
+    assert str(dump) in out
