@@ -80,6 +80,27 @@ def static_optimal_plan(cut: ConvexCutResult) -> PartitioningPlan:
     return PartitioningPlan(active=frozenset(active), name="static-optimal")
 
 
+def union_plan(
+    plans: Iterable[PartitioningPlan], name: str = "union"
+) -> PartitioningPlan:
+    """The *deepest common split* plan for a fan-out of subscribers.
+
+    A modulator serving N peers, each on its own plan, can share one
+    run per message only up to the earliest split any peer wants: under
+    the union of all active edge sets the interpreter stops at the
+    first edge that is active for *any* peer — exactly the deepest
+    point to which every peer's sender-side work agrees.  Peers whose
+    own plan splits there ship the shared continuation as-is; peers
+    wanting a deeper split resume (fork) from it under their own flag
+    table.  The union of valid plans is valid: activating more known,
+    non-poisoned PSE edges cannot introduce an unknown or poisoned one.
+    """
+    active: FrozenSet[Edge] = frozenset()
+    for plan in plans:
+        active = active | plan.active
+    return PartitioningPlan(active=active, name=name)
+
+
 def validate_plan(cut: ConvexCutResult, plan: PartitioningPlan) -> None:
     """Raise :class:`InvalidPlanError` unless *plan* is usable with *cut*.
 

@@ -59,12 +59,22 @@ class FeedbackEnvelope:
 
 @dataclass
 class PlanEnvelope:
-    """A plan update, reconfigurator → modulator."""
+    """A plan update, reconfigurator → modulator.
+
+    ``version`` is the idempotency key: the reconfigurator assigns a
+    per-subscription monotonically increasing number to every plan it
+    ships, and the modulator ignores any PLAN frame whose version it has
+    already applied.  A duplicated or retransmitted frame (at-least-once
+    delivery of the head frame across a reconnect) therefore cannot
+    re-run the apply path.  ``version=0`` marks an unversioned frame
+    (legacy senders); those are always applied.
+    """
 
     subscription_id: int
     plan: PartitioningPlan
     seq: int = field(default_factory=next_sequence)
     trace: Optional[Tuple[int, int]] = None
+    version: int = 0
 
 
 def envelope_trace(envelope: object) -> Optional[Tuple[int, int]]:

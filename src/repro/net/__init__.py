@@ -18,6 +18,9 @@ instead of an in-process callback or a simulated link:
   :class:`~repro.core.partitioned.PartitionedMethod` to the transport:
   the full adaptation loop (profiling feedback, trigger, min-cut
   recompute, plan shipped back over the wire) across two OS processes;
+* :mod:`repro.net.broker` — the fan-out tier: one modulator publishing
+  to N subscribers, each on its own active PSE, with modulation shared
+  up to the deepest common split and forked per peer;
 * :mod:`repro.net.live` — the runnable per-process half of the live
   harness (``python -m repro.net.live sender|receiver``), orchestrated
   by :mod:`repro.tools.liveexp`.
@@ -38,10 +41,18 @@ from repro.net.framing import (
 )
 from repro.net.tcp import FrameServer, TcpPeer, TcpTransport
 from repro.net.endpoint import NetReceiverEndpoint, NetSenderEndpoint
+from repro.net.broker import (
+    BrokerSubscriber,
+    NetBrokerEndpoint,
+    PlanRuntimeCache,
+)
 
 __all__ = [
     "NetSenderEndpoint",
     "NetReceiverEndpoint",
+    "NetBrokerEndpoint",
+    "BrokerSubscriber",
+    "PlanRuntimeCache",
     "FrameDecoder",
     "encode_frame",
     "NetEnvelopeCodec",

@@ -1,0 +1,760 @@
+"""Fan-out broker: one modulator, N heterogeneous subscribers.
+
+The paper's host (JECho) is a multi-client event system; this module
+grows :mod:`repro.net` from the strictly two-process sender/receiver
+pair into that shape.  A :class:`NetBrokerEndpoint` publishes every
+event to many subscribers, each of which runs its **own active PSE**
+chosen from the same ConvexCut analysis — a slow peer converges to a
+receiver-light split, a fast peer to a sender-light one, and both are
+fed from a single shared modulation:
+
+* **Deepest common split** — per message the broker runs the handler
+  once under the *union* of all subscriber plans
+  (:func:`~repro.core.plan.union_plan`), so execution stops at the
+  earliest edge any peer wants.  Subscribers whose plan splits there
+  ship the shared continuation as-is; subscribers wanting a deeper
+  split *fork*: the shared continuation is cloned through the codec
+  (serialize/deserialize, so fork state never aliases shipped state)
+  and resumed under that peer's own flag table until it splits again.
+* **Per-peer plan cache** — :class:`PlanRuntimeCache` memoizes
+  ``PlanRuntime`` flag tables keyed on (handler, active PSE set, plan
+  version), so per-message hook lookup is a dict hit rather than an
+  O(#PSE) rebuild.
+* **Per-subscriber bounded queues** — each subscriber's
+  :class:`~repro.net.tcp.TcpPeer` gets its own ``queue_limit``;
+  drop-oldest load leveling sheds a wedged peer's backlog without
+  shrinking anyone else's.
+* **Per-peer control plane** — every subscriber's receiver owns its
+  authoritative Profiling/Reconfiguration Units and ships PLAN frames
+  back on its own connection; the broker applies them per peer (with
+  the same version idempotency as :class:`NetSenderEndpoint`) and
+  rebuilds the union hook lazily.
+* **Per-peer observability** — labeled gauges/counters
+  (``broker.queue_depth{peer="..."}`` etc.) flow through the existing
+  OpenMetrics exposition, and fork spans join the shared ``modulate``
+  span so a merged trace shows one modulation fanning out to N
+  demodulations.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.continuation import ContinuationMessage
+from repro.core.partitioned import PartitionedMethod
+from repro.core.plan import (
+    PartitioningPlan,
+    PlanRuntime,
+    receiver_heavy_plan,
+    union_plan,
+)
+from repro.core.runtime.feedback import RemoteProfilingProxy
+from repro.errors import TransportError
+from repro.ir.interpreter import CycleMeter, Edge
+from repro.jecho.events import (
+    ContinuationEnvelope,
+    FeedbackEnvelope,
+    PlanEnvelope,
+)
+from repro.net.endpoint import _adopt_rate
+from repro.net.framing import Bye
+from repro.net.tcp import TcpPeer, TcpTransport
+from repro.obs.trace import ContinuationShipped
+from repro.serialization import measure_size
+
+__all__ = ["PlanRuntimeCache", "BrokerSubscriber", "NetBrokerEndpoint"]
+
+
+class PlanRuntimeCache:
+    """Memoized :class:`~repro.core.plan.PlanRuntime` flag tables.
+
+    Applying a plan costs O(#PSE) flag writes; a broker consulting one
+    runtime per subscriber per message would pay that on every publish.
+    Runtimes are instead cached keyed on ``(handler name, active edge
+    set, plan version)`` — the version rides along so a re-shipped plan
+    under a fresh idempotency key reads as a distinct (if equal-valued)
+    entry, mirroring how the control plane names plans on the wire.
+    LRU-bounded: fan-outs cycle through a handful of live plans, so a
+    small cache holds the working set.
+    """
+
+    def __init__(self, partitioned: PartitionedMethod, maxsize: int = 64):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.partitioned = partitioned
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Tuple, PlanRuntime]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def runtime(
+        self, plan: PartitioningPlan, version: int = 0
+    ) -> PlanRuntime:
+        key = (
+            self.partitioned.function.name,
+            tuple(sorted(plan.active)),
+            version,
+        )
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        runtime = PlanRuntime(self.partitioned.cut)
+        runtime.apply_plan(plan)
+        self._entries[key] = runtime
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        self.misses += 1
+        return runtime
+
+
+class BrokerSubscriber:
+    """One fan-out destination: peer, plan state, profiling proxy.
+
+    The subscriber's *receiver* owns the authoritative adaptation loop;
+    this record is the broker-side shadow of it — which plan the peer
+    is believed to run (with its idempotency version), the sender-side
+    profiling buffered for it, and per-peer delivery counters.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        peer: TcpPeer,
+        subscription_id: int,
+        plan: PartitioningPlan,
+        proxy: RemoteProfilingProxy,
+    ) -> None:
+        self.name = name
+        self.peer = peer
+        self.subscription_id = subscription_id
+        self.plan = plan
+        self.proxy = proxy
+        #: highest PLAN version applied for this peer (idempotency)
+        self.plan_version_applied = 0
+        self.plan_updates_applied = 0
+        self.plan_duplicates_ignored = 0
+        self.plans_seen: List[str] = []
+        self.shipped = 0
+        self.shared_ships = 0
+        self.forks = 0
+        self.elided = 0
+        self.completed_locally = 0
+        self.feedback_flushes = 0
+        # labeled per-peer instruments, bound by the broker when it has obs
+        self._c_shipped = None
+        self._c_forks = None
+        self._c_plan_updates = None
+        self._g_queue = None
+        self._g_dropped = None
+        self._g_rtt = None
+        self._g_connected = None
+
+    @property
+    def plan_edges(self) -> Tuple[Edge, ...]:
+        return tuple(sorted(self.plan.active))
+
+    def refresh_gauges(self) -> None:
+        """Push the peer's transport health into the labeled gauges."""
+        if self._g_queue is None:
+            return
+        self._g_queue.set(self.peer.queued)
+        self._g_dropped.set(self.peer.dropped_frames)
+        self._g_connected.set(1.0 if self.peer.connected else 0.0)
+        if self.peer.last_rtt is not None:
+            self._g_rtt.set(self.peer.last_rtt)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "subscription_id": self.subscription_id,
+            "plan_edges": [list(e) for e in self.plan_edges],
+            "plan_updates_applied": self.plan_updates_applied,
+            "plan_duplicates_ignored": self.plan_duplicates_ignored,
+            "plans_seen": list(self.plans_seen),
+            "shipped": self.shipped,
+            "shared_ships": self.shared_ships,
+            "forks": self.forks,
+            "elided": self.elided,
+            "completed_locally": self.completed_locally,
+            "feedback_flushes": self.feedback_flushes,
+            "transport": {
+                "queued": self.peer.queued,
+                "connections": self.peer.connections,
+                "reconnects": self.peer.reconnects,
+                "dropped_frames": self.peer.dropped_frames,
+                "frames_sent": self.peer.frames_sent,
+                "frame_bytes_sent": self.peer.frame_bytes_sent,
+                "heartbeats_sent": self.peer.heartbeats_sent,
+                "heartbeats_echoed": self.peer.heartbeats_seen,
+                "send_timeouts": self.peer.send_timeouts,
+                "last_rtt": self.peer.last_rtt,
+            },
+        }
+
+
+class NetBrokerEndpoint:
+    """One modulator publishing to N subscribers with per-peer PSEs.
+
+    ``publish`` runs on the caller's thread; inbound PLAN frames arrive
+    on the transport's loop thread and are routed to the subscriber
+    whose connection carried them — one lock serializes both around the
+    per-peer plan table and the shared-modulation hook it derives.
+    """
+
+    def __init__(
+        self,
+        partitioned: PartitionedMethod,
+        transport: TcpTransport,
+        *,
+        plan: Optional[PartitioningPlan] = None,
+        sample_period: int = 1,
+        feedback_period: int = 8,
+        rate_override: Optional[float] = None,
+        recalibrate=None,
+        queue_limit: Optional[int] = None,
+        obs=None,
+    ) -> None:
+        if feedback_period < 1:
+            raise ValueError("feedback_period must be >= 1")
+        self.partitioned = partitioned
+        self.transport = transport
+        self.default_plan = plan or receiver_heavy_plan(partitioned.cut)
+        self.sample_period = sample_period
+        self.feedback_period = feedback_period
+        self.rate_override = rate_override
+        self.recalibrate = recalibrate
+        self.recalibrations = 0
+        self._rate_stale = False
+        #: default per-subscriber outbound bound (None → transport's)
+        self.queue_limit = queue_limit
+        self.obs = obs
+        self.cache = PlanRuntimeCache(partitioned)
+        self.subscribers: List[BrokerSubscriber] = []
+        self._by_peer: Dict[TcpPeer, BrokerSubscriber] = {}
+        self.lock = threading.Lock()
+        self.published = 0
+        #: shared modulation executions — exactly one per publish, no
+        #: matter how many subscribers (the deepest-common-split claim)
+        self.shared_runs = 0
+        self.shared_cycles_total = 0.0
+        self.fork_cycles_total = 0.0
+        self.forks = 0
+        self.plan_updates_applied = 0
+        self.exposer = None
+        # Hot-path precomputation, mirroring Modulator: the PSE edge set
+        # and per-edge INTER name tuples for size measurement.
+        pses = partitioned.cut.pses
+        self._pse_edges = frozenset(pses)
+        self._inter_names = {
+            e: tuple(v.name for v in p.inter) for e, p in pses.items()
+        }
+        #: lazily rebuilt union-of-plans hook for the shared run
+        self._union_runtime: Optional[PlanRuntime] = None
+        self._union_dirty = True
+        if obs is not None:
+            metrics = obs.metrics
+            self._c_published = metrics.counter("broker.published")
+            self._c_forks = metrics.counter("broker.forks")
+            self._c_plan_updates = metrics.counter("broker.plan_updates")
+        else:
+            self._c_published = None
+            self._c_forks = None
+            self._c_plan_updates = None
+        transport.inbound_handler = self._on_inbound
+
+    def _tracer(self):
+        return self.obs.tracing if self.obs is not None else None
+
+    # -- membership ------------------------------------------------------------
+
+    def subscribe(
+        self,
+        host: str,
+        port: int,
+        *,
+        name: Optional[str] = None,
+        plan: Optional[PartitioningPlan] = None,
+        queue_limit: Optional[int] = None,
+    ) -> BrokerSubscriber:
+        """Add a fan-out destination; returns its subscriber record."""
+        label = name or f"{host}:{port}"
+        peer = self.transport.peer(
+            host,
+            port,
+            name=label,
+            queue_limit=(
+                queue_limit if queue_limit is not None else self.queue_limit
+            ),
+        )
+        with self.lock:
+            if peer in self._by_peer:
+                raise TransportError(
+                    f"peer {label} is already subscribed"
+                )
+            sub = BrokerSubscriber(
+                name=label,
+                peer=peer,
+                subscription_id=len(self.subscribers) + 1,
+                plan=plan or self.default_plan,
+                proxy=RemoteProfilingProxy(
+                    self.partitioned.cut, sample_period=self.sample_period
+                ),
+            )
+            if self.obs is not None:
+                metrics = self.obs.metrics
+                sub._c_shipped = metrics.counter(
+                    f'broker.shipped{{peer="{label}"}}'
+                )
+                sub._c_forks = metrics.counter(
+                    f'broker.forks{{peer="{label}"}}'
+                )
+                sub._c_plan_updates = metrics.counter(
+                    f'broker.plan_updates{{peer="{label}"}}'
+                )
+                sub._g_queue = metrics.gauge(
+                    f'broker.queue_depth{{peer="{label}"}}'
+                )
+                sub._g_dropped = metrics.gauge(
+                    f'broker.dropped_frames{{peer="{label}"}}'
+                )
+                sub._g_rtt = metrics.gauge(
+                    f'broker.heartbeat_rtt{{peer="{label}"}}'
+                )
+                sub._g_connected = metrics.gauge(
+                    f'broker.connected{{peer="{label}"}}'
+                )
+            self.subscribers.append(sub)
+            self._by_peer[peer] = sub
+            self._union_dirty = True
+        return sub
+
+    # -- shared modulation hook --------------------------------------------------
+
+    def _union(self) -> PlanRuntime:
+        """The deepest-common-split hook (lock held, lazily rebuilt)."""
+        if self._union_dirty or self._union_runtime is None:
+            merged = union_plan(
+                (sub.plan for sub in self.subscribers), name="fanout-union"
+            )
+            self._union_runtime = self.cache.runtime(merged)
+            self._union_dirty = False
+        return self._union_runtime
+
+    def _peer_runtime(self, sub: BrokerSubscriber) -> PlanRuntime:
+        return self.cache.runtime(sub.plan, sub.plan_version_applied)
+
+    def _measure_inter(self, edge: Edge, env: Dict[str, object]) -> float:
+        payload = {
+            name: env[name]
+            for name in self._inter_names[edge]
+            if name in env
+        }
+        return float(
+            measure_size(
+                payload,
+                self.partitioned.serializer_registry,
+                use_self_sizing=True,
+            )
+        )
+
+    # -- publish (caller thread) -------------------------------------------------
+
+    def publish(self, event: object) -> None:
+        """Modulate once, ship shared or forked continuations to all."""
+        with self.lock:
+            subs = self.subscribers
+            if not subs:
+                raise TransportError("broker has no subscribers")
+            if self._rate_stale:
+                self._rate_stale = False
+                if self.rate_override is not None:
+                    fresh = (
+                        self.recalibrate()
+                        if self.recalibrate is not None
+                        else self._recalibrate_against(event)
+                    )
+                    self.rate_override = _adopt_rate(
+                        self.rate_override, fresh
+                    )
+                    self.recalibrations += 1
+            for sub in subs:
+                sub.proxy.record_message()
+            union_rt = self._union()
+            tracer = self._tracer()
+            span = None
+            run_ctx: Optional[Tuple[int, int]] = None
+            if tracer is not None:
+                trace_id = tracer.start_trace()
+                if trace_id is not None:
+                    span = tracer.begin("modulate", trace_id=trace_id)
+                    run_ctx = (trace_id, span.span_id)
+            gate = subs[0].proxy  # all proxies share the sampling cadence
+            meter = CycleMeter()
+            observations: List[Tuple[Edge, float, Optional[float]]] = []
+
+            def observer(edge: Edge, env: Dict[str, object]) -> None:
+                size: Optional[float] = None
+                if gate.should_measure(edge):
+                    size = self._measure_inter(edge, env)
+                observations.append((edge, meter.cycles, size))
+
+            started = time.perf_counter()
+            outcome = self.partitioned.interpreter.run(
+                self.partitioned.function,
+                (event,),
+                split_hook=union_rt,
+                edge_observer=observer,
+                observe_edges=self._pse_edges,
+                meter=meter,
+                trace_ctx=run_ctx,
+            )
+            shared_elapsed = time.perf_counter() - started
+            shared_cycles = meter.cycles
+            self.published += 1
+            self.shared_runs += 1
+            self.shared_cycles_total += shared_cycles
+            if self._c_published is not None:
+                self._c_published.inc()
+
+            if outcome.returned:
+                # No forced edge on this path: the whole handler ran at
+                # the broker; every subscriber "completed locally".
+                for sub in subs:
+                    self._replay_shared(sub, observations, split_edge=None)
+                    sub.proxy.record_local_completion()
+                    sub.completed_locally += 1
+                    self._record_rate(sub, shared_cycles, shared_elapsed)
+                self._after_publish(span, outcome="completed")
+                return
+
+            shared_edge = outcome.continuation.edge
+            shared_msg = self._to_message(outcome.continuation)
+            # Shallow subscribers first: each send encodes the frame on
+            # this thread, so shipped bytes are immune to any mutation a
+            # later fork's execution performs on shared values.
+            deep: List[BrokerSubscriber] = []
+            for sub in subs:
+                if shared_edge in self._peer_runtime(sub).split_edge_set():
+                    self._replay_shared(
+                        sub, observations, split_edge=shared_edge
+                    )
+                    self._ship(
+                        sub, shared_msg, shared_cycles, shared=True
+                    )
+                    self._record_rate(sub, shared_cycles, shared_elapsed)
+                else:
+                    deep.append(sub)
+            for sub in deep:
+                self._replay_shared(sub, observations, split_edge=None)
+                self._fork(
+                    sub,
+                    shared_msg,
+                    shared_cycles,
+                    shared_elapsed,
+                    run_ctx,
+                )
+            self._after_publish(
+                span,
+                outcome="split",
+                edge=shared_edge,
+                cycles=shared_cycles,
+                forks=len(deep),
+            )
+
+    def _to_message(self, continuation) -> ContinuationMessage:
+        pse = self.partitioned.cut.pses.get(continuation.edge)
+        pse_id = (
+            pse.pse_id if pse is not None else f"forced{continuation.edge}"
+        )
+        return ContinuationMessage.from_continuation(continuation, pse_id)
+
+    def _replay_shared(
+        self,
+        sub: BrokerSubscriber,
+        observations: List[Tuple[Edge, float, Optional[float]]],
+        *,
+        split_edge: Optional[Edge],
+    ) -> None:
+        """Feed the shared run's edge observations into one peer's proxy.
+
+        The work up to the deepest common split is identical for every
+        subscriber, so each proxy sees the same records — only
+        ``is_split`` differs (a deep subscriber traverses the shared
+        edge without splitting there).
+        """
+        for edge, work_before, size in observations:
+            sub.proxy.record_edge_observation(
+                edge,
+                data_size=size,
+                work_before=work_before,
+                is_split=(edge == split_edge),
+            )
+
+    def _fork(
+        self,
+        sub: BrokerSubscriber,
+        shared_msg: ContinuationMessage,
+        shared_cycles: float,
+        shared_elapsed: float,
+        run_ctx: Optional[Tuple[int, int]],
+    ) -> None:
+        """Resume the shared continuation under *sub*'s deeper plan.
+
+        The clone passes through the codec so the fork's environment
+        shares no mutable state with the shared message or with other
+        forks — exactly what the receiver would have deserialized had
+        the wire carried it.
+        """
+        codec = self.partitioned.codec
+        clone = codec.decode(codec.encode(shared_msg))
+        tracer = self._tracer()
+        fork_span = None
+        fork_ctx: Optional[Tuple[int, int]] = None
+        if tracer is not None and run_ctx is not None:
+            fork_span = tracer.begin(
+                "fork",
+                trace_id=run_ctx[0],
+                parent_id=run_ctx[1],
+                attrs={"peer": sub.name},
+            )
+            fork_ctx = (run_ctx[0], fork_span.span_id)
+        meter = CycleMeter()
+        fork_obs: List[Tuple[Edge, float, Optional[float]]] = []
+
+        def observer(edge: Edge, env: Dict[str, object]) -> None:
+            size: Optional[float] = None
+            if sub.proxy.should_measure(edge):
+                size = self._measure_inter(edge, env)
+            fork_obs.append((edge, meter.cycles, size))
+
+        started = time.perf_counter()
+        outcome = self.partitioned.interpreter.resume(
+            self.partitioned.function,
+            clone.to_continuation(),
+            split_hook=self._peer_runtime(sub),
+            edge_observer=observer,
+            observe_edges=self._pse_edges,
+            meter=meter,
+            trace_ctx=fork_ctx,
+        )
+        elapsed = time.perf_counter() - started
+        self.forks += 1
+        self.fork_cycles_total += meter.cycles
+        sub.forks += 1
+        if self._c_forks is not None:
+            self._c_forks.inc()
+        if sub._c_forks is not None:
+            sub._c_forks.inc()
+        total_cycles = shared_cycles + meter.cycles
+        split_edge = (
+            outcome.continuation.edge if outcome.split else None
+        )
+        for edge, fork_work, size in fork_obs:
+            sub.proxy.record_edge_observation(
+                edge,
+                data_size=size,
+                work_before=shared_cycles + fork_work,
+                is_split=(edge == split_edge),
+            )
+        if outcome.returned:
+            # Possible only when the peer's path holds no forced edge
+            # past the shared split; the work finished broker-side.
+            sub.proxy.record_local_completion()
+            sub.completed_locally += 1
+        else:
+            self._ship(sub, self._to_message(outcome.continuation),
+                       total_cycles, shared=False)
+        self._record_rate(
+            sub, total_cycles, shared_elapsed + elapsed
+        )
+        if fork_span is not None:
+            fork_span.attrs = {
+                "peer": sub.name,
+                "cycles": meter.cycles,
+                "outcome": "return" if outcome.returned else "split",
+            }
+            tracer.end(fork_span)
+
+    def _ship(
+        self,
+        sub: BrokerSubscriber,
+        message: ContinuationMessage,
+        total_cycles: float,
+        *,
+        shared: bool,
+    ) -> None:
+        """Send one continuation to one subscriber (lock held)."""
+        pse = self.partitioned.cut.pses.get(message.edge)
+        if pse is not None and pse.noop_resume and not message.variables:
+            sub.proxy.record_local_completion()
+            sub.elided += 1
+            return
+        sub.proxy.record_mod_total(total_cycles)
+        size = float(self.partitioned.codec.size(message))
+        envelope = ContinuationEnvelope(
+            continuation=message, subscription_id=sub.subscription_id
+        )
+        if self.obs is not None:
+            self.obs.trace.record(
+                ContinuationShipped(
+                    pse_id=str(message.pse_id), bytes=size
+                )
+            )
+            tracer = self.obs.tracing
+            if tracer is not None:
+                tracer.observe_pse(str(message.pse_id), size=size)
+        self.transport.send(sub.peer, envelope, size)
+        sub.shipped += 1
+        if shared:
+            sub.shared_ships += 1
+        if sub._c_shipped is not None:
+            sub._c_shipped.inc()
+
+    def _record_rate(
+        self, sub: BrokerSubscriber, cycles: float, elapsed: float
+    ) -> None:
+        if cycles <= 0:
+            return
+        seconds = (
+            cycles * self.rate_override
+            if self.rate_override is not None
+            else elapsed
+        )
+        sub.proxy.record_sender_rate(seconds, cycles)
+
+    def _after_publish(self, span, *, outcome: str, **attrs) -> None:
+        """Gauges, feedback cadence, span close (lock held)."""
+        for sub in self.subscribers:
+            sub.refresh_gauges()
+        if self.published % self.feedback_period == 0:
+            for sub in self.subscribers:
+                if sub.proxy.pending > 0:
+                    self._flush_feedback(sub)
+        if span is not None:
+            span.attrs = {"outcome": outcome, **{
+                k: (list(v) if isinstance(v, tuple) else v)
+                for k, v in attrs.items()
+            }}
+            self.obs.tracing.end(span)
+
+    def _flush_feedback(self, sub: BrokerSubscriber) -> None:
+        payload, size = sub.proxy.flush()
+        envelope = FeedbackEnvelope(
+            subscription_id=sub.subscription_id, demod_stats=payload
+        )
+        self.transport.send(sub.peer, envelope, size)
+        sub.feedback_flushes += 1
+
+    def _recalibrate_against(self, event: object, repeats: int = 5) -> float:
+        """Same lazy post-transition recalibration as NetSenderEndpoint:
+        min-of-repeats, so noise spikes never inflate the estimate."""
+        best = None
+        for _ in range(repeats):
+            meter = CycleMeter()
+            started = time.perf_counter()
+            self.partitioned.interpreter.run(
+                self.partitioned.function, (event,), meter=meter
+            )
+            elapsed = time.perf_counter() - started
+            if meter.cycles > 0:
+                rate = elapsed / meter.cycles
+                best = rate if best is None else min(best, rate)
+        if best is None:
+            return self.rate_override
+        return best
+
+    # -- control plane (transport loop thread) -----------------------------------
+
+    def _on_inbound(self, envelope: object, peer: TcpPeer) -> None:
+        if not isinstance(envelope, PlanEnvelope):
+            return
+        tracer = self._tracer()
+        with self.lock:
+            sub = self._by_peer.get(peer)
+            if sub is None:
+                return
+            if (
+                envelope.version
+                and envelope.version <= sub.plan_version_applied
+            ):
+                sub.plan_duplicates_ignored += 1
+                return
+            sub.plan = envelope.plan
+            if envelope.version:
+                sub.plan_version_applied = envelope.version
+            sub.plan_updates_applied += 1
+            self.plan_updates_applied += 1
+            sub.plans_seen.append(
+                ",".join(str(e) for e in sorted(envelope.plan.active))
+            )
+            if self._c_plan_updates is not None:
+                self._c_plan_updates.inc()
+            if sub._c_plan_updates is not None:
+                sub._c_plan_updates.inc()
+            self._union_dirty = True
+            if self.rate_override is not None:
+                self._rate_stale = True
+        if tracer is not None and envelope.trace is not None:
+            now = tracer.clock()
+            tracer.record(
+                "plan.apply",
+                trace_id=envelope.trace[0],
+                parent_id=envelope.trace[1],
+                start=now,
+                end=now,
+                attrs={"plan": envelope.plan.name, "peer": sub.name},
+            )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def finish(self) -> None:
+        """Flush profiling tails and say goodbye to every subscriber."""
+        with self.lock:
+            for sub in self.subscribers:
+                if sub.proxy.pending > 0:
+                    self._flush_feedback(sub)
+                self.transport.send(
+                    sub.peer, Bye(sent=sub.shipped), 8.0
+                )
+
+    def expose_metrics(self, host: str = "127.0.0.1", port: int = 0):
+        """Serve this process's observability over HTTP (OpenMetrics)."""
+        if self.obs is None:
+            raise ValueError("expose_metrics requires an attached obs")
+        from repro.obs.exposition import start_http_exposer
+
+        self.exposer = start_http_exposer(
+            self.obs.to_dict, host=host, port=port
+        )
+        return self.exposer
+
+    def close_exposer(self) -> None:
+        if self.exposer is not None:
+            self.exposer.close()
+            self.exposer = None
+
+    # -- results -----------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        with self.lock:
+            return {
+                "published": self.published,
+                "shared_runs": self.shared_runs,
+                "forks": self.forks,
+                "shared_cycles_total": self.shared_cycles_total,
+                "fork_cycles_total": self.fork_cycles_total,
+                "plan_updates_applied": self.plan_updates_applied,
+                "recalibrations": self.recalibrations,
+                "plan_cache": {
+                    "hits": self.cache.hits,
+                    "misses": self.cache.misses,
+                },
+                "subscribers": [
+                    sub.to_dict() for sub in self.subscribers
+                ],
+            }

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.partitioned import PartitionedMethod
 from repro.errors import TransportError
@@ -55,6 +55,28 @@ __all__ = ["NetSenderEndpoint", "NetReceiverEndpoint"]
 
 #: wire size charged for a plan update (a handful of edge flags)
 _PLAN_UPDATE_BYTES = 64.0
+
+#: relative change below which a recalibrated rate is considered noise
+RATE_HYSTERESIS = 0.25
+
+
+def _adopt_rate(current: float, fresh: Optional[float]) -> float:
+    """Adopt a recalibrated seconds-per-cycle only on a material change.
+
+    Successive timed calibrations of an unchanged host land within
+    timer noise of each other, but adopting every measurement rescales
+    all subsequently profiled sender costs — after each plan transition
+    the cost model shifts a little, which can flap a knife-edge min-cut
+    on every recompute.  A fresh rate within :data:`RATE_HYSTERESIS` of
+    the current one is "same host, same speed" and is discarded; a
+    material change (the actual staleness the post-transition refresh
+    guards against) is adopted as measured.
+    """
+    if fresh is None or fresh <= 0.0:
+        return current
+    if abs(fresh - current) <= RATE_HYSTERESIS * current:
+        return current
+    return fresh
 
 
 class NetSenderEndpoint:
@@ -77,6 +99,7 @@ class NetSenderEndpoint:
         sample_period: int = 1,
         feedback_period: int = 8,
         rate_override: Optional[float] = None,
+        recalibrate: Optional[Callable[[], float]] = None,
         obs=None,
     ) -> None:
         """``rate_override`` records a *calibrated* seconds-per-cycle
@@ -86,7 +109,17 @@ class NetSenderEndpoint:
         inflates the apparent sender rate by orders of magnitude; a rate
         calibrated against the full handler (see
         :func:`repro.net.live._calibrate`) measures the host, not the
-        per-message overhead."""
+        per-message overhead.
+
+        A calibration is only valid under the conditions it was taken:
+        when a plan transition changes the modulator's share of the
+        handler, feedback priced with the old number would misstate the
+        new split's sender cost.  Every *applied* plan therefore marks
+        the override stale, and the next publish refreshes it — via
+        ``recalibrate`` (a callable returning a fresh seconds-per-cycle,
+        e.g. ``lambda: _calibrate(...)``) when provided, otherwise by
+        timing one full-handler run on the incoming event (same
+        amortize-the-overhead rationale as the startup calibration)."""
         if feedback_period < 1:
             raise ValueError("feedback_period must be >= 1")
         self.partitioned = partitioned
@@ -95,6 +128,10 @@ class NetSenderEndpoint:
         self.subscription_id = subscription_id
         self.feedback_period = feedback_period
         self.rate_override = rate_override
+        self.recalibrate = recalibrate
+        self.recalibrations = 0
+        #: set on plan apply; the next publish re-grounds the calibration
+        self._rate_stale = False
         self.obs = obs
         self.proxy = RemoteProfilingProxy(
             partitioned.cut, sample_period=sample_period, obs=obs
@@ -113,6 +150,10 @@ class NetSenderEndpoint:
         self.completed_locally = 0
         self.feedback_flushes = 0
         self.plan_updates_applied = 0
+        self.plan_duplicates_ignored = 0
+        #: highest plan version applied; versioned frames at or below
+        #: this are duplicates and must not re-run the apply path
+        self.plan_version_applied = 0
         self.plans_seen: List[str] = []
         self.exposer = None
         transport.inbound_handler = self._on_inbound
@@ -144,6 +185,18 @@ class NetSenderEndpoint:
     def publish(self, event: object) -> None:
         """Modulate one event and ship the continuation (if any)."""
         with self.lock:
+            if self._rate_stale:
+                self._rate_stale = False
+                if self.rate_override is not None:
+                    fresh = (
+                        self.recalibrate()
+                        if self.recalibrate is not None
+                        else self._recalibrate_against(event)
+                    )
+                    self.rate_override = _adopt_rate(
+                        self.rate_override, fresh
+                    )
+                    self.recalibrations += 1
             started = time.perf_counter()
             result = self.modulator.process(event)
             elapsed = time.perf_counter() - started
@@ -216,13 +269,25 @@ class NetSenderEndpoint:
             return
         tracer = self._tracer()
         with self.lock:
+            if (
+                envelope.version
+                and envelope.version <= self.plan_version_applied
+            ):
+                # Idempotency: a duplicated or retransmitted PLAN frame
+                # (at-least-once head-frame delivery across a reconnect)
+                # must not re-run the apply path.
+                self.plan_duplicates_ignored += 1
+                return
             self.modulator.apply_plan(envelope.plan)
+            if envelope.version:
+                self.plan_version_applied = envelope.version
             self.plan_updates_applied += 1
             self.plans_seen.append(
                 ",".join(
                     str(e) for e in sorted(envelope.plan.active)
                 )
             )
+            self._refresh_rate_override()
         if tracer is not None and envelope.trace is not None:
             now = tracer.clock()
             tracer.record(
@@ -233,6 +298,50 @@ class NetSenderEndpoint:
                 end=now,
                 attrs={"plan": envelope.plan.name},
             )
+
+    def _refresh_rate_override(self) -> None:
+        """Mark the calibrated rate stale after a plan transition (lock held).
+
+        The old calibration was taken under the old split; pricing the
+        new split's cycles with it misreports the sender's rate until
+        the EWMA happens to wash it out.  The actual refresh happens
+        lazily on the next :meth:`publish` — recalibration needs a
+        representative event to run the handler on, and the publish
+        path is where one arrives.
+        """
+        if self.rate_override is None:
+            return
+        self._rate_stale = True
+
+    def _recalibrate_against(self, event: object, repeats: int = 5) -> float:
+        """Timed full-handler runs → fresh seconds-per-cycle (lock held).
+
+        Mirrors the startup calibration (:func:`repro.net.live._calibrate`)
+        on the event in hand: the full handler runs enough cycles to
+        amortize the fixed per-call overhead that dominates raw
+        per-message timings.  The reported rate is the *minimum* over
+        the repeats — timing noise (GC pauses, scheduler preemption)
+        only ever inflates a run, so the fastest run is the least-noise
+        estimate, and a stable estimate keeps successive recomputes
+        from flapping a knife-edge min-cut.  The runs' deliveries land
+        in this process's local sink, which the sender role never reads.
+        """
+        from repro.ir.interpreter import CycleMeter
+
+        best = None
+        for _ in range(repeats):
+            meter = CycleMeter()
+            started = time.perf_counter()
+            self.partitioned.interpreter.run(
+                self.partitioned.function, (event,), meter=meter
+            )
+            elapsed = time.perf_counter() - started
+            if meter.cycles > 0:
+                rate = elapsed / meter.cycles
+                best = rate if best is None else min(best, rate)
+        if best is None:
+            return self.rate_override  # nothing measurable; keep the old rate
+        return best
 
     @property
     def current_plan_edges(self) -> Tuple[Tuple[int, int], ...]:
@@ -315,6 +424,10 @@ class NetReceiverEndpoint:
         self.raw_events = 0
         self.feedback_batches = 0
         self.plan_ships = 0
+        #: monotone idempotency key for shipped plans; burned per ship
+        #: *attempt* so a failed attempt's retry uses a strictly fresher
+        #: version (the sender ignores versions it has already applied)
+        self.plan_version = 0
         self.drops_injected = 0
         self.duplicates_skipped = 0
         self.sender_reported_sent: Optional[int] = None
@@ -324,7 +437,14 @@ class NetReceiverEndpoint:
         self.last_demod_at: Optional[float] = None
         #: one-way latency samples per PSE id (same-host wall clocks)
         self.latencies: Dict[str, List[float]] = {}
-        self._seen_seqs: Set[int] = set()
+        #: per-source high-water sequence marks, keyed by (sender
+        #: instance, subscription).  Endpoint-level (survives reconnect)
+        #: but per *peer*: two senders' sequence spaces never collide,
+        #: and a restarted sender (fresh instance token, sequences
+        #: beginning again) is never mistaken for a resumed one — its
+        #: first frame must not be dropped as a "duplicate".  O(1)
+        #: memory per source, unlike a grow-forever seen-set.
+        self._dedupe_high: Dict[Tuple[str, int], int] = {}
 
     def _tracer(self):
         return self.obs.tracing if self.obs is not None else None
@@ -372,19 +492,35 @@ class NetReceiverEndpoint:
             self.sender_reported_sent = envelope.sent
             self.done.set()
 
+    def _dedupe_key(
+        self, envelope: ContinuationEnvelope, conn: ServerConnection
+    ) -> Tuple[str, int]:
+        """Dedupe state key: the sending *process* plus the subscription.
+
+        Falls back to the per-connection peername when the sender's
+        hello carried no instance token (older builds): dedupe then
+        degrades to per-connection — it cannot wrongly drop a fresh
+        frame, only miss a cross-reconnect duplicate.
+        """
+        hello = conn.hello
+        instance = hello.instance if hello is not None else ""
+        return (instance or conn.peername, envelope.subscription_id)
+
     async def _handle_continuation(
         self,
         envelope: ContinuationEnvelope,
         sent_at: float,
         conn: ServerConnection,
     ) -> None:
-        if envelope.seq in self._seen_seqs:
+        source = self._dedupe_key(envelope, conn)
+        if envelope.seq <= self._dedupe_high.get(source, -1):
             # The frame at the head of the sender's queue when a
-            # connection dies is retransmitted (at-least-once); dedupe
-            # keeps delivery effectively-once.
+            # connection dies is retransmitted (at-least-once); frames
+            # within one source are FIFO, so a high-water mark per
+            # source keeps delivery effectively-once.
             self.duplicates_skipped += 1
             return
-        self._seen_seqs.add(envelope.seq)
+        self._dedupe_high[source] = envelope.seq
         started = time.perf_counter()
         outcome = self.demodulator.process(envelope.continuation)
         elapsed = time.perf_counter() - started
@@ -454,7 +590,15 @@ class NetReceiverEndpoint:
             return  # the sender already runs this plan; nothing to ship
         previous = self.sender_plan
         self.sender_plan = plan
-        envelope = PlanEnvelope(subscription_id=1, plan=plan)
+        # The version is burned per ship *attempt*, not per success: a
+        # send that errors after its bytes reached the wire may still be
+        # applied by the sender, so reusing the version on the retry
+        # would get the retried (possibly different) plan ignored as a
+        # duplicate — permanent sender/receiver divergence.
+        self.plan_version += 1
+        envelope = PlanEnvelope(
+            subscription_id=1, plan=plan, version=self.plan_version
+        )
         tracer = self._tracer()
         if tracer is not None and self.reconfig.last_trace_ctx is not None:
             ctx = self.reconfig.last_trace_ctx
@@ -481,6 +625,8 @@ class NetReceiverEndpoint:
         try:
             await conn.send(envelope)
         except TransportError:
+            # Revert the optimistic update so the next trigger fire
+            # re-ships; the burned version keeps the retry fresh.
             self.sender_plan = previous
             return
         self.plan_ships += 1

@@ -173,9 +173,18 @@ class FrameDecoder:
 
 
 class Hello:
-    """Handshake: first frame on every connection, either direction."""
+    """Handshake: first frame on every connection, either direction.
 
-    __slots__ = ("protocol", "cont_version", "role", "name")
+    ``instance`` identifies the sending *process* (one random token per
+    transport lifetime), not the connection: a reconnect from the same
+    process presents the same token, a restarted process presents a
+    fresh one.  Receivers key per-peer state that must survive
+    reconnects — most importantly sequence-dedupe windows — on
+    ``(instance, subscription)``, so a restarted sender whose sequence
+    numbers begin again is never confused with a resumed one.
+    """
+
+    __slots__ = ("protocol", "cont_version", "role", "name", "instance")
 
     def __init__(
         self,
@@ -184,11 +193,13 @@ class Hello:
         cont_version: int = 2,
         role: str = "peer",
         name: str = "",
+        instance: str = "",
     ) -> None:
         self.protocol = protocol
         self.cont_version = cont_version
         self.role = role
         self.name = name
+        self.instance = instance
 
 
 class Heartbeat:
@@ -320,6 +331,7 @@ class NetEnvelopeCodec:
                     envelope.trace,
                     plan.name,
                     tuple(sorted((e[0], e[1]) for e in plan.active)),
+                    envelope.version,
                 )
             )
         if isinstance(envelope, Hello):
@@ -329,6 +341,7 @@ class NetEnvelopeCodec:
                     envelope.cont_version,
                     envelope.role,
                     envelope.name,
+                    envelope.instance,
                 )
             )
         if isinstance(envelope, Heartbeat):
@@ -377,24 +390,40 @@ class NetEnvelopeCodec:
                 env.trace = None if trace is None else (trace[0], trace[1])
                 return env, 0.0
             if kind == KIND_PLAN:
-                sub_id, seq, trace, name, edges = value
+                # Pre-versioning senders ship a 5-tuple; version 0 means
+                # "unversioned", which receivers always apply.
+                if len(value) == 5:
+                    sub_id, seq, trace, name, edges = value
+                    version = 0
+                else:
+                    sub_id, seq, trace, name, edges, version = value
                 plan = PartitioningPlan(
                     active=frozenset((e[0], e[1]) for e in edges),
                     name=name,
                 )
                 env = PlanEnvelope(
-                    subscription_id=sub_id, plan=plan, seq=seq
+                    subscription_id=sub_id,
+                    plan=plan,
+                    seq=seq,
+                    version=version,
                 )
                 env.trace = None if trace is None else (trace[0], trace[1])
                 return env, 0.0
             if kind == KIND_HELLO:
-                protocol, cont_version, role, name = value
+                # The instance token arrived with the dedupe rework; a
+                # 4-tuple hello is an older build of the same protocol.
+                if len(value) == 4:
+                    protocol, cont_version, role, name = value
+                    instance = ""
+                else:
+                    protocol, cont_version, role, name, instance = value
                 return (
                     Hello(
                         protocol=protocol,
                         cont_version=cont_version,
                         role=role,
                         name=name,
+                        instance=instance,
                     ),
                     0.0,
                 )

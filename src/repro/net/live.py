@@ -20,6 +20,16 @@ as a PLAN frame mid-stream.  ``--drop-after N`` injects a TCP reset
 after the Nth delivered continuation, exercising reconnect-with-backoff
 while the endpoint state (plan, profiling history) survives.
 
+A third role fans out::
+
+    python -m repro.net.live broker --ports 54321,54322,54323 ...
+
+one modulator publishing to N receivers (each started with ``--name
+receiverI --index I`` so their trace dumps merge cleanly), sharing
+modulation up to the deepest common split and applying each receiver's
+shipped plans per peer; ``--wedge-after`` on one receiver makes it go
+dark mid-stream, exercising the broker's drop-oldest load leveling.
+
 Each process writes one JSON result file: counters, per-PSE latency
 quantiles, the plan timeline, transport statistics and a full
 observability dump (whose tracer spans — allocated from disjoint
@@ -40,16 +50,20 @@ from repro.apps.sensor.data import make_reading
 from repro.apps.sensor.pipeline import build_partitioned_process
 from repro.core.plan import receiver_heavy_plan
 from repro.core.runtime.triggers import RateTrigger
+from repro.net.broker import NetBrokerEndpoint
 from repro.net.endpoint import NetReceiverEndpoint, NetSenderEndpoint
 from repro.net.framing import NetEnvelopeCodec
 from repro.net.tcp import TcpTransport
 from repro.obs import Observability
 
-__all__ = ["run_sender", "run_receiver", "main"]
+__all__ = ["run_sender", "run_receiver", "run_broker", "main"]
 
 #: disjoint tracer id ranges so merged dumps never collide
 SENDER_ID_BASE = 1 << 40
 RECEIVER_ID_BASE = 2 << 40
+#: per-receiver-index stride inside the receiver range (fan-out mode);
+#: runs record a few thousand spans, so 2^38 ids of headroom is plenty
+RECEIVER_ID_STRIDE = 1 << 38
 
 
 def _calibrate(partitioned, sink, n_samples: int, repeats: int = 5) -> float:
@@ -60,25 +74,30 @@ def _calibrate(partitioned, sink, n_samples: int, repeats: int = 5) -> float:
     so the rate characterizes the host rather than the split choice —
     a raw per-message measurement on the side holding a sliver of the
     work would be overhead-dominated and inflate that host's apparent
-    slowness by orders of magnitude.
+    slowness by orders of magnitude.  The reported rate is the
+    *minimum* over the repeats (noise only inflates a run), matching
+    the endpoints' post-transition recalibration so that an unchanged
+    host re-measures inside the adoption hysteresis band.
     """
     from repro.ir.interpreter import CycleMeter
 
     # Warm up interpreter/compiled-closure caches before timing.
     partitioned.run_reference(make_reading(0, n_samples))
-    cycles = 0.0
-    started = time.perf_counter()
+    best = None
     for i in range(repeats):
         meter = CycleMeter()
+        started = time.perf_counter()
         partitioned.interpreter.run(
             partitioned.function,
             (make_reading(i, n_samples),),
             meter=meter,
         )
-        cycles += meter.cycles
-    elapsed = time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        if meter.cycles > 0:
+            rate = elapsed / meter.cycles
+            best = rate if best is None else min(best, rate)
     sink.clear()  # calibration deliveries are not experiment results
-    return elapsed / cycles if cycles > 0 else 1e-7
+    return best if best is not None else 1e-7
 
 
 def _observability(host: str, id_base: int) -> Observability:
@@ -90,7 +109,11 @@ def _observability(host: str, id_base: int) -> Observability:
 
 
 def run_receiver(args: argparse.Namespace) -> Dict[str, object]:
-    obs = _observability("receiver", RECEIVER_ID_BASE)
+    name = getattr(args, "name", None) or "receiver"
+    index = getattr(args, "index", 0)
+    obs = _observability(
+        name, RECEIVER_ID_BASE + index * RECEIVER_ID_STRIDE
+    )
     if args.quality:
         # Small window so regret windows close within a short stream.
         obs.enable_quality(regret_window=16)
@@ -107,8 +130,12 @@ def run_receiver(args: argparse.Namespace) -> Dict[str, object]:
         rate_override=rate,
         drop_after=args.drop_after if args.drop_after > 0 else None,
         codec=NetEnvelopeCodec(partitioned.serializer_registry),
+        name=name,
         obs=obs,
     )
+    wedge_after = getattr(args, "wedge_after", 0)
+    wedge_seconds = getattr(args, "wedge_seconds", 2.0)
+    wedge_state = {"injected": 0}
 
     async def amain() -> None:
         _, port = await endpoint.start(args.host, args.port)
@@ -120,6 +147,21 @@ def run_receiver(args: argparse.Namespace) -> Dict[str, object]:
         last_progress = started
         last_count = -1
         while not endpoint.done.is_set():
+            if (
+                wedge_after > 0
+                and wedge_state["injected"] == 0
+                and endpoint.demodulated >= wedge_after
+            ):
+                # Fault injection for the fan-out experiment: go dark —
+                # stop the listener, drop the connection, stay down.
+                # The broker's bounded per-peer queue must shed this
+                # peer's backlog (drop-oldest) while the other peers
+                # keep streaming untouched.
+                wedge_state["injected"] = 1
+                await endpoint.server.stop()
+                await asyncio.sleep(wedge_seconds)
+                await endpoint.server.start(args.host, port)
+                last_progress = time.time()
             now = time.time()
             if endpoint.demodulated != last_count:
                 last_count = endpoint.demodulated
@@ -145,6 +187,9 @@ def run_receiver(args: argparse.Namespace) -> Dict[str, object]:
     )
     return {
         "role": "receiver",
+        "name": name,
+        "index": index,
+        "wedges_injected": wedge_state["injected"],
         "demodulated": endpoint.demodulated,
         "delivered": len(sink.results),
         "duplicates_skipped": endpoint.duplicates_skipped,
@@ -212,6 +257,7 @@ def run_sender(args: argparse.Namespace) -> Dict[str, object]:
         plan=plan,
         feedback_period=args.feedback_period,
         rate_override=rate,
+        recalibrate=lambda: _calibrate(partitioned, _sink, args.samples),
         obs=obs,
     )
     if args.expose is not None:
@@ -260,6 +306,73 @@ def run_sender(args: argparse.Namespace) -> Dict[str, object]:
     return result
 
 
+def run_broker(args: argparse.Namespace) -> Dict[str, object]:
+    """One modulator fanning out to every ``--ports`` receiver."""
+    obs = _observability("broker", SENDER_ID_BASE)
+    partitioned, _sink = build_partitioned_process(
+        n_stages=args.n_stages, backend=args.backend
+    )
+    plan = receiver_heavy_plan(partitioned.cut)
+    rate = _calibrate(partitioned, _sink, args.samples)
+    codec = NetEnvelopeCodec(partitioned.serializer_registry)
+    transport = TcpTransport(
+        codec,
+        name="broker",
+        heartbeat_interval=args.heartbeat,
+        connect_timeout=args.timeout,
+        send_timeout=5.0,
+        # Snappy reconnect: a wedged receiver coming back should not
+        # wait out a long backoff before its backlog drains.
+        backoff_base=0.05,
+        backoff_cap=0.5,
+        queue_limit=args.queue_limit,
+    )
+    transport.attach_observability(obs, name="transport.tcp")
+    transport.start()
+    endpoint = NetBrokerEndpoint(
+        partitioned,
+        transport,
+        plan=plan,
+        feedback_period=args.feedback_period,
+        rate_override=rate,
+        recalibrate=lambda: _calibrate(partitioned, _sink, args.samples),
+        queue_limit=args.queue_limit,
+        obs=obs,
+    )
+    ports = [int(p) for p in args.ports.split(",") if p.strip()]
+    for i, port in enumerate(ports):
+        endpoint.subscribe(args.host, port, name=f"receiver{i}")
+    if args.expose is not None:
+        exposer = endpoint.expose_metrics(args.host, args.expose)
+        print(f"EXPOSING {exposer.port}", flush=True)
+    started = time.time()
+    for i in range(args.messages):
+        endpoint.publish(make_reading(i, args.samples))
+        if args.interval > 0:
+            time.sleep(args.interval)
+    endpoint.finish()
+    drained = transport.drain(args.timeout)
+    # Leave a window for PLAN frames racing the tail of the stream.
+    time.sleep(0.3)
+    elapsed = time.time() - started
+    result = {
+        "role": "broker",
+        "ports": ports,
+        "initial_plan_edges": sorted(list(e) for e in plan.active),
+        "elapsed_seconds": elapsed,
+        "drained": drained,
+        **endpoint.to_dict(),
+        "transport_totals": {
+            "messages_sent": transport.messages_sent,
+            "bytes_sent": transport.bytes_sent,
+        },
+        "obs": obs.to_dict(),
+    }
+    endpoint.close_exposer()
+    transport.close()
+    return result
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--messages", type=int, default=120)
@@ -298,6 +411,15 @@ def main(argv=None) -> int:
     recv.add_argument("--quality", action="store_true",
                       help="enable regret/drift accounting on the "
                       "authoritative (receiver-side) adaptation loop")
+    recv.add_argument("--name", default="receiver",
+                      help="host label for this receiver's trace spans")
+    recv.add_argument("--index", type=int, default=0,
+                      help="fan-out slot: offsets the tracer id range so "
+                      "N receiver dumps merge without span collisions")
+    recv.add_argument("--wedge-after", type=int, default=0,
+                      help="go dark (stop listening) after the Nth "
+                      "delivery, for --wedge-seconds (0 disables)")
+    recv.add_argument("--wedge-seconds", type=float, default=2.0)
 
     send = sub.add_parser("sender", help="connect and modulate")
     _add_common(send)
@@ -307,10 +429,26 @@ def main(argv=None) -> int:
                       help="pause between published messages (seconds)")
     send.add_argument("--heartbeat", type=float, default=0.5)
 
-    args = parser.parse_args(argv)
-    result = (
-        run_receiver(args) if args.role == "receiver" else run_sender(args)
+    broker = sub.add_parser(
+        "broker", help="connect to N receivers and fan out"
     )
+    _add_common(broker)
+    broker.add_argument("--ports", required=True,
+                        help="comma-separated receiver ports")
+    broker.add_argument("--feedback-period", type=int, default=8)
+    broker.add_argument("--interval", type=float, default=0.005)
+    broker.add_argument("--heartbeat", type=float, default=0.5)
+    broker.add_argument("--queue-limit", type=int, default=64,
+                        help="per-subscriber outbound frame bound "
+                        "(drop-oldest beyond it)")
+
+    args = parser.parse_args(argv)
+    runners = {
+        "receiver": run_receiver,
+        "sender": run_sender,
+        "broker": run_broker,
+    }
+    result = runners[args.role](args)
     text = json.dumps(result, indent=2, default=str)
     if args.out:
         with open(args.out, "w") as handle:

@@ -45,6 +45,7 @@ import asyncio
 import random
 import threading
 import time
+import uuid
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
@@ -84,11 +85,18 @@ class TcpPeer:
         port: int,
         *,
         name: Optional[str] = None,
+        queue_limit: Optional[int] = None,
     ) -> None:
+        if queue_limit is not None and queue_limit < 1:
+            raise TransportError("queue_limit must be >= 1")
         self.transport = transport
         self.host = host
         self.port = port
         self.name = name or f"{host}:{port}"
+        #: per-peer outbound bound; None inherits the transport's limit.
+        #: A fan-out broker caps each subscriber independently so one
+        #: slow peer sheds its own backlog without shrinking the others'.
+        self.queue_limit = queue_limit
         self.connections = 0
         self.reconnects = 0
         self.dropped_frames = 0
@@ -129,7 +137,12 @@ class TcpPeer:
     def _enqueue(self, frame: bytes) -> None:
         if self._closed:
             return
-        if len(self._outbound) >= self.transport.queue_limit:
+        limit = (
+            self.queue_limit
+            if self.queue_limit is not None
+            else self.transport.queue_limit
+        )
+        if len(self._outbound) >= limit:
             self._outbound.popleft()
             self.dropped_frames += 1
             if self.transport._c_dropped is not None:
@@ -178,7 +191,9 @@ class TcpPeer:
                 self._outbound.appendleft(
                     self.transport.codec.encode_frame(
                         Hello(
-                            role="sender", name=self.transport.name
+                            role="sender",
+                            name=self.transport.name,
+                            instance=self.transport.instance,
                         )
                     )
                 )
@@ -363,6 +378,9 @@ class TcpTransport(Transport):
         self.heartbeat_interval = heartbeat_interval
         self.max_frame = max_frame
         self.jitter_seed = jitter_seed
+        # One token per transport lifetime: reconnects present the same
+        # identity, a restarted process a fresh one (see Hello.instance).
+        self.instance = uuid.uuid4().hex
         self.inbound_handler: Optional[Callable[[object, TcpPeer], None]] = None
         self._trace_host = name
         self._peers: Dict[Tuple[str, int], TcpPeer] = {}
@@ -423,7 +441,12 @@ class TcpTransport(Transport):
         return self._loop
 
     def peer(
-        self, host: str, port: int, *, name: Optional[str] = None
+        self,
+        host: str,
+        port: int,
+        *,
+        name: Optional[str] = None,
+        queue_limit: Optional[int] = None,
     ) -> TcpPeer:
         """The pooled peer for ``(host, port)``, connecting it if new."""
         if self.closed:
@@ -433,7 +456,9 @@ class TcpTransport(Transport):
         existing = self._peers.get(key)
         if existing is not None:
             return existing
-        peer = TcpPeer(self, host, int(port), name=name)
+        peer = TcpPeer(
+            self, host, int(port), name=name, queue_limit=queue_limit
+        )
         self._peers[key] = peer
 
         def _spawn() -> None:

@@ -1,4 +1,4 @@
-"""Two-process live network experiment orchestrator.
+"""Live network experiment orchestrator (two-process and fan-out).
 
 Launches the receiver and the sender halves of :mod:`repro.net.live` as
 separate OS processes on localhost, runs the figure-7-style sensor
@@ -15,10 +15,20 @@ workload over real TCP, and collects:
   over the wire (and applied by the sender), and — when a drop is
   injected — a reconnect with deliveries resuming afterwards.
 
+``--fanout N`` switches to the broker topology: one broker process
+publishing to N receiver processes with *heterogeneous* emulated loads,
+so their adaptation loops converge to different PSEs while the broker
+shares each modulation up to the deepest common split.  One receiver
+goes dark mid-stream (``--wedge-after``) to prove the broker's bounded
+per-peer queues shed that peer's backlog without stalling the others.
+The fan-out run additionally writes ``BENCH_net_fanout.json``
+(aggregate delivered msg/s against N) for CI's benchmark artifacts.
+
 Usage::
 
     python -m repro.tools.liveexp --quick --outdir live-results
     python -m repro.tools.liveexp --messages 300 --drop-after 40
+    python -m repro.tools.liveexp --fanout 3 --quick
 
 Exit status is nonzero when any check fails, so CI can gate on it.
 """
@@ -36,7 +46,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.obs.export import chrome_trace, merge_tracer_dumps
 
-__all__ = ["run_live_experiment", "main"]
+__all__ = ["run_live_experiment", "run_fanout_experiment", "main"]
 
 _SRC_ROOT = str(Path(__file__).resolve().parents[2])
 
@@ -433,6 +443,388 @@ def run_live_experiment(
     return summary, checks
 
 
+def _wait_for_expose(proc: subprocess.Popen, timeout: float) -> int:
+    """Read a process's stdout for its EXPOSING line."""
+    deadline = time.time() + timeout
+    assert proc.stdout is not None
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"process exited early with status {proc.returncode}"
+            )
+        line = proc.stdout.readline()
+        if not line:
+            time.sleep(0.02)
+            continue
+        text = line.strip()
+        if text.startswith("EXPOSING "):
+            return int(text.split()[1])
+    raise RuntimeError("process never announced its metrics port")
+
+
+def _scrape_fanout_metrics(
+    port: int,
+    broker: subprocess.Popen,
+    peers: List[str],
+    timeout: float,
+) -> Dict[str, object]:
+    """Poll the broker's /metrics for the per-peer labeled series.
+
+    Stops early once every subscriber shows up as a ``peer=...`` label
+    on the broker's queue-depth gauge — the per-peer health the monitor
+    dashboard keys on.
+    """
+    import urllib.request
+
+    from repro.obs.exposition import parse_openmetrics
+
+    url = f"http://127.0.0.1:{port}/metrics"
+    state: Dict[str, object] = {
+        "valid": False,
+        "peers_seen": [],
+        "error": None,
+    }
+    wanted = set(peers)
+    deadline = time.time() + timeout
+    broker_gone_attempts = 0
+    while time.time() < deadline and broker_gone_attempts <= 2:
+        if broker.poll() is not None:
+            broker_gone_attempts += 1
+        try:
+            with urllib.request.urlopen(url, timeout=2.0) as response:
+                text = response.read().decode()
+            families = parse_openmetrics(text)
+        except Exception as exc:  # noqa: BLE001 - report the last failure
+            state["error"] = repr(exc)
+            time.sleep(0.2)
+            continue
+        state["valid"] = True
+        seen = {
+            sample["labels"].get("peer")
+            for family in families.values()
+            for sample in family.get("samples", [])
+            if sample["labels"].get("peer")
+        }
+        state["peers_seen"] = sorted(seen & wanted)
+        if wanted <= seen:
+            break
+        time.sleep(0.2)
+    return state
+
+
+def _verify_fanout(
+    broker: Dict[str, object],
+    receivers: List[Dict[str, object]],
+    merged: Dict[str, object],
+    *,
+    wedge_index: int,
+) -> List[Tuple[str, bool, str]]:
+    checks: List[Tuple[str, bool, str]] = []
+    published = int(broker["published"])
+    demod = {r["name"]: int(r["demodulated"]) for r in receivers}
+    _check(
+        checks,
+        "all subscribers got traffic",
+        published > 0 and all(count > 0 for count in demod.values()),
+        f"broker published {published}, demodulated {demod}",
+    )
+    _check(
+        checks,
+        "modulation shared once per message",
+        int(broker["shared_runs"]) == published,
+        f"{broker['shared_runs']} shared runs for {published} publishes",
+    )
+    finals = {
+        r["name"]: tuple(tuple(e) for e in r["final_plan_edges"])
+        for r in receivers
+    }
+    distinct = len(set(finals.values()))
+    _check(
+        checks,
+        "per-peer plans diverged",
+        distinct >= 2,
+        f"{distinct} distinct final plan(s) across {len(receivers)} "
+        f"receivers: {finals}",
+    )
+    _check(
+        checks,
+        "plans applied per peer at broker",
+        int(broker["plan_updates_applied"]) >= 1,
+        f"broker applied {broker['plan_updates_applied']} plan update(s)",
+    )
+    subs = {s["name"]: s for s in broker["subscribers"]}
+    if wedge_index >= 0:
+        wedged = receivers[wedge_index]
+        wedged_sub = subs[wedged["name"]]
+        _check(
+            checks,
+            "wedge injected",
+            int(wedged["wedges_injected"]) >= 1,
+            f"{wedged['name']} went dark "
+            f"{wedged['wedges_injected']} time(s)",
+        )
+        _check(
+            checks,
+            "wedged peer backlog shed (drop-oldest)",
+            int(wedged_sub["transport"]["dropped_frames"]) > 0,
+            f"broker dropped "
+            f"{wedged_sub['transport']['dropped_frames']} frame(s) "
+            f"for {wedged['name']}",
+        )
+        for i, receiver in enumerate(receivers):
+            if i == wedge_index:
+                continue
+            sub = subs[receiver["name"]]
+            shipped = int(sub["shipped"])
+            count = int(receiver["demodulated"])
+            _check(
+                checks,
+                f"{receiver['name']} unaffected by the wedge",
+                shipped > 0 and count >= 0.9 * shipped,
+                f"demodulated {count} of {shipped} shipped "
+                f"(0 drops: {sub['transport']['dropped_frames'] == 0})",
+            )
+    spans = merged.get("spans", [])
+    hosts = {s.get("host") for s in spans}
+    wanted_hosts = {"broker"} | {r["name"] for r in receivers}
+    _check(
+        checks,
+        "merged trace has every host",
+        wanted_hosts <= hosts,
+        f"hosts: {sorted(h for h in hosts if h)}",
+    )
+    names = {str(s["name"]) for s in spans}
+    wanted = {"modulate", "demodulate"}
+    if int(broker["forks"]) > 0:
+        wanted = wanted | {"fork"}
+    _check(
+        checks,
+        "span kinds present",
+        wanted <= names,
+        f"have {sorted(names & (wanted | {'fork', 'ship'}))}",
+    )
+    return checks
+
+
+def run_fanout_experiment(
+    *,
+    fanout: int = 3,
+    messages: int = 300,
+    samples: int = 64,
+    trigger_period: int = 5,
+    feedback_period: int = 8,
+    interval: float = 0.005,
+    timeout: float = 120.0,
+    wedge_after: int = 20,
+    wedge_seconds: float = 2.0,
+    queue_limit: int = 64,
+    outdir: Path = Path("live-results"),
+) -> Tuple[Dict[str, object], List[Tuple[str, bool, str]]]:
+    """Run one broker against ``fanout`` receiver processes.
+
+    Receiver ``i`` emulates a host ``6*i``× slower than receiver 0
+    (``rate_scale``), so the per-peer adaptation loops converge to
+    different PSEs.  Receiver 1 (when present) goes dark for
+    ``wedge_seconds`` after its ``wedge_after``-th delivery, proving
+    per-peer queue isolation.  Writes ``BENCH_net_fanout.json`` with
+    the aggregate delivered msg/s.
+    """
+    if fanout < 2:
+        raise ValueError("--fanout needs at least 2 receivers")
+    outdir.mkdir(parents=True, exist_ok=True)
+    env = _child_env()
+    wedge_index = 1 if wedge_after > 0 else -1
+
+    common = [
+        "--messages", str(messages),
+        "--samples", str(samples),
+        "--timeout", str(timeout),
+    ]
+    receiver_procs: List[subprocess.Popen] = []
+    receiver_outs: List[Path] = []
+    broker_proc: Optional[subprocess.Popen] = None
+    try:
+        ports: List[int] = []
+        for i in range(fanout):
+            out = outdir / f"receiver{i}.json"
+            receiver_outs.append(out)
+            cmd = [
+                sys.executable, "-m", "repro.net.live", "receiver",
+                *common,
+                "--name", f"receiver{i}",
+                "--index", str(i),
+                "--rate-scale", str(1.0 if i == 0 else 6.0 * i),
+                "--trigger-period", str(trigger_period),
+                "--out", str(out),
+            ]
+            if i == wedge_index:
+                cmd += [
+                    "--wedge-after", str(wedge_after),
+                    "--wedge-seconds", str(wedge_seconds),
+                ]
+            proc = subprocess.Popen(
+                cmd,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+                env=env,
+            )
+            receiver_procs.append(proc)
+            port, _ = _wait_for_ports(
+                proc, timeout=min(30.0, timeout), want_expose=False
+            )
+            ports.append(port)
+
+        broker_out = outdir / "broker.json"
+        broker_cmd = [
+            sys.executable, "-m", "repro.net.live", "broker",
+            *common,
+            "--ports", ",".join(str(p) for p in ports),
+            "--feedback-period", str(feedback_period),
+            "--interval", str(interval),
+            "--queue-limit", str(queue_limit),
+            "--expose", "0",
+            "--out", str(broker_out),
+        ]
+        broker_proc = subprocess.Popen(
+            broker_cmd,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        expose_port = _wait_for_expose(
+            broker_proc, timeout=min(30.0, timeout)
+        )
+        exposition = _scrape_fanout_metrics(
+            expose_port,
+            broker_proc,
+            [f"receiver{i}" for i in range(fanout)],
+            timeout=timeout,
+        )
+        broker_status = broker_proc.wait(timeout=timeout)
+        receiver_statuses = [
+            proc.wait(timeout=timeout) for proc in receiver_procs
+        ]
+    finally:
+        for proc in [broker_proc, *receiver_procs]:
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait()
+    if broker_status != 0:
+        raise RuntimeError(f"broker exited with status {broker_status}")
+    for i, status in enumerate(receiver_statuses):
+        if status != 0:
+            raise RuntimeError(
+                f"receiver{i} exited with status {status}"
+            )
+
+    with open(broker_out) as handle:
+        broker_result = json.load(handle)
+    receiver_results = []
+    for out in receiver_outs:
+        with open(out) as handle:
+            receiver_results.append(json.load(handle))
+
+    dumps = [
+        result["obs"]["tracing"]
+        for result in (broker_result, *receiver_results)
+        if "tracing" in result.get("obs", {})
+    ]
+    merged = merge_tracer_dumps(dumps)
+    with open(outdir / "merged_trace.json", "w") as handle:
+        json.dump(merged, handle)
+    with open(outdir / "merged_chrome_trace.json", "w") as handle:
+        json.dump(chrome_trace(merged), handle)
+
+    checks = _verify_fanout(
+        broker_result,
+        receiver_results,
+        merged,
+        wedge_index=wedge_index,
+    )
+    _check(
+        checks,
+        "per-peer broker metrics exposed",
+        bool(exposition["valid"])
+        and len(exposition["peers_seen"]) == fanout,
+        f"peer labels seen: {exposition['peers_seen']}"
+        if exposition["valid"]
+        else f"scrape failed: {exposition['error']}",
+    )
+
+    aggregate = sum(
+        float(r["msgs_per_second"]) for r in receiver_results
+    )
+    bench = {
+        "benchmark": "net_fanout",
+        "n": fanout,
+        "messages": messages,
+        "aggregate_msgs_per_second": aggregate,
+        "broker": {
+            "published": broker_result["published"],
+            "shared_runs": broker_result["shared_runs"],
+            "forks": broker_result["forks"],
+            "elapsed_seconds": broker_result["elapsed_seconds"],
+            "plan_cache": broker_result["plan_cache"],
+        },
+        "per_receiver": [
+            {
+                "name": r["name"],
+                "msgs_per_second": r["msgs_per_second"],
+                "demodulated": r["demodulated"],
+                "duplicates_skipped": r["duplicates_skipped"],
+                "final_plan_edges": r["final_plan_edges"],
+            }
+            for r in receiver_results
+        ],
+    }
+    with open(outdir / "BENCH_net_fanout.json", "w") as handle:
+        json.dump(bench, handle, indent=2)
+
+    summary = {
+        "fanout": fanout,
+        "messages": messages,
+        "wedge_index": wedge_index,
+        "wedge_after": wedge_after,
+        "aggregate_msgs_per_second": aggregate,
+        "broker": {
+            k: broker_result[k]
+            for k in (
+                "published",
+                "shared_runs",
+                "forks",
+                "plan_updates_applied",
+                "recalibrations",
+                "plan_cache",
+                "subscribers",
+            )
+        },
+        "receivers": [
+            {
+                k: r[k]
+                for k in (
+                    "name",
+                    "demodulated",
+                    "delivered",
+                    "duplicates_skipped",
+                    "wedges_injected",
+                    "plan_ships",
+                    "msgs_per_second",
+                    "final_plan_edges",
+                )
+            }
+            for r in receiver_results
+        ],
+        "checks": [
+            {"name": n, "passed": p, "detail": d} for n, p, d in checks
+        ],
+    }
+    with open(outdir / "summary.json", "w") as handle:
+        json.dump(summary, handle, indent=2)
+    return summary, checks
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.liveexp",
@@ -455,11 +847,65 @@ def main(argv=None) -> int:
                         "quality accounting it exposes")
     parser.add_argument("--quick", action="store_true",
                         help="small workload for CI smoke runs")
+    parser.add_argument("--fanout", type=int, default=0, metavar="N",
+                        help="broker topology: one modulator publishing "
+                        "to N heterogeneous receiver processes")
+    parser.add_argument("--wedge-after", type=int, default=20,
+                        help="fan-out: receiver 1 goes dark after its "
+                        "Nth delivery (0 disables)")
+    parser.add_argument("--wedge-seconds", type=float, default=2.0)
+    parser.add_argument("--queue-limit", type=int, default=64,
+                        help="fan-out: per-subscriber outbound bound")
     args = parser.parse_args(argv)
 
     if args.quick:
         args.messages = min(args.messages, 120)
         args.drop_after = min(args.drop_after, 25) if args.drop_after else 0
+        args.wedge_after = (
+            min(args.wedge_after, 10) if args.wedge_after else 0
+        )
+
+    if args.fanout:
+        summary, checks = run_fanout_experiment(
+            fanout=args.fanout,
+            messages=args.messages,
+            samples=args.samples,
+            trigger_period=min(args.trigger_period, 5),
+            feedback_period=args.feedback_period,
+            interval=args.interval,
+            timeout=args.timeout,
+            wedge_after=args.wedge_after,
+            wedge_seconds=args.wedge_seconds,
+            queue_limit=args.queue_limit,
+            outdir=args.outdir,
+        )
+        broker = summary["broker"]
+        print(
+            f"broker: published {broker['published']}, "
+            f"shared runs {broker['shared_runs']}, "
+            f"forks {broker['forks']}, "
+            f"plans applied {broker['plan_updates_applied']}"
+        )
+        for receiver in summary["receivers"]:
+            print(
+                f"{receiver['name']}: "
+                f"demodulated {receiver['demodulated']}, "
+                f"{receiver['msgs_per_second']:.1f} msg/s, "
+                f"plan ships {receiver['plan_ships']}, "
+                f"wedges {receiver['wedges_injected']}"
+            )
+        print(
+            f"aggregate: "
+            f"{summary['aggregate_msgs_per_second']:.1f} msg/s "
+            f"across {summary['fanout']} receivers"
+        )
+        failed = 0
+        for name, passed, detail in checks:
+            mark = "ok  " if passed else "FAIL"
+            print(f"  [{mark}] {name}: {detail}")
+            failed += 0 if passed else 1
+        print(f"artifacts in {args.outdir}/")
+        return 1 if failed else 0
 
     summary, checks = run_live_experiment(
         messages=args.messages,

@@ -153,6 +153,42 @@ def test_plan_envelope_roundtrip():
     assert out.trace == (1, 2)
 
 
+def test_plan_envelope_version_roundtrip():
+    codec = NetEnvelopeCodec()
+    plan = PartitioningPlan(active=frozenset({(2, 3)}), name="v")
+    env = PlanEnvelope(subscription_id=1, plan=plan, seq=1, version=7)
+    out, _ = _roundtrip(codec, env)
+    assert out.version == 7
+
+
+def test_legacy_unversioned_plan_frame_decodes_as_version_zero():
+    # A pre-versioning sender ships a 5-tuple PLAN payload; it must
+    # decode as version 0 ("always apply") rather than fail.
+    codec = NetEnvelopeCodec()
+    legacy = codec._serializer.serialize(
+        (1, 3, None, "old", ((2, 3),))
+    )
+    env, _ = codec.decode(KIND_PLAN, legacy)
+    assert env.version == 0
+    assert env.plan.active == frozenset({(2, 3)})
+    assert env.plan.name == "old"
+
+
+def test_hello_instance_roundtrip_and_legacy_decode():
+    codec = NetEnvelopeCodec()
+    hello, _ = _roundtrip(
+        codec, Hello(role="sender", name="a", instance="tok123")
+    )
+    assert hello.instance == "tok123"
+    # an older build's 4-tuple hello decodes with an empty instance
+    legacy = codec._serializer.serialize(
+        (PROTOCOL_VERSION, WIRE_VERSION, "sender", "a")
+    )
+    old, _ = codec.decode(KIND_HELLO, legacy)
+    assert old.instance == ""
+    assert old.name == "a"
+
+
 def test_control_frames_roundtrip():
     codec = NetEnvelopeCodec()
     hello, _ = _roundtrip(
