@@ -1,10 +1,12 @@
-"""Dispatch-overhead microbenchmark: compiled backend vs tree walker.
+"""Dispatch-overhead microbenchmark: all three execution backends.
 
 Measures messages/sec of a full modulator + demodulator round over a
 dispatch-bound handler — arithmetic-heavy IR with cheap natives, so the
-interpreter's per-instruction dispatch dominates and the closure-compiled
-backend's advantage is isolated.  Emits a machine-readable summary to
-``benchmarks/results/BENCH_dispatch.json`` for CI artifact upload.
+interpreter's per-instruction dispatch dominates and the lowering
+backends' advantage is isolated.  Three series: the tree walker, the
+closure-compiled backend, and the source-codegen backend.  Emits a
+machine-readable summary to ``benchmarks/results/BENCH_dispatch.json``
+for CI artifact upload.
 
 Marked ``bench``: not part of the tier-1 suite (``testpaths`` covers
 ``tests/`` only); run explicitly with ``pytest benchmarks/ -m bench``.
@@ -42,6 +44,8 @@ N_ITERS = 150
 N_MESSAGES = 150
 ROUNDS = 5
 MIN_SPEEDUP = 2.0
+#: codegen must beat the closure backend by this factor (ISSUE 7 criterion)
+MIN_CODEGEN_OVER_COMPILED = 1.4
 
 
 def _build(backend):
@@ -86,9 +90,13 @@ def _throughput(backend):
 def test_compiled_dispatch_speedup(results_dir, record_result):
     tree_rate, tree_sink = _throughput("tree")
     compiled_rate, compiled_sink = _throughput("compiled")
+    codegen_rate, codegen_sink = _throughput("codegen")
     # identical results first — a fast wrong answer is no speedup
     assert compiled_sink == tree_sink
+    assert codegen_sink == tree_sink
     speedup = compiled_rate / tree_rate
+    codegen_speedup = codegen_rate / tree_rate
+    codegen_over_compiled = codegen_rate / compiled_rate
 
     payload = {
         "benchmark": "dispatch_overhead",
@@ -98,9 +106,13 @@ def test_compiled_dispatch_speedup(results_dir, record_result):
         "backends": {
             "tree": {"messages_per_sec": round(tree_rate, 1)},
             "compiled": {"messages_per_sec": round(compiled_rate, 1)},
+            "codegen": {"messages_per_sec": round(codegen_rate, 1)},
         },
         "speedup": round(speedup, 2),
+        "codegen_speedup": round(codegen_speedup, 2),
+        "codegen_over_compiled": round(codegen_over_compiled, 2),
         "min_speedup": MIN_SPEEDUP,
+        "min_codegen_over_compiled": MIN_CODEGEN_OVER_COMPILED,
     }
     (results_dir / "BENCH_dispatch.json").write_text(
         json.dumps(payload, indent=2) + "\n"
@@ -110,10 +122,17 @@ def test_compiled_dispatch_speedup(results_dir, record_result):
         (
             f"tree walker:      {tree_rate:10.1f} msg/s\n"
             f"closure-compiled: {compiled_rate:10.1f} msg/s\n"
-            f"speedup:          {speedup:10.2f}x"
+            f"source-codegen:   {codegen_rate:10.1f} msg/s\n"
+            f"compiled speedup: {speedup:10.2f}x\n"
+            f"codegen speedup:  {codegen_speedup:10.2f}x "
+            f"({codegen_over_compiled:.2f}x over compiled)"
         ),
     )
     assert speedup >= MIN_SPEEDUP, (
         f"compiled backend only {speedup:.2f}x over tree "
         f"(required {MIN_SPEEDUP}x)"
+    )
+    assert codegen_over_compiled >= MIN_CODEGEN_OVER_COMPILED, (
+        f"codegen backend only {codegen_over_compiled:.2f}x over compiled "
+        f"(required {MIN_CODEGEN_OVER_COMPILED}x)"
     )

@@ -209,12 +209,18 @@ class SplitHook:
 class Interpreter:
     """Executes IR functions against a function registry.
 
-    Two execution backends share this front end:
+    Three execution backends share this front end:
 
     * ``"compiled"`` (default) — each function is lowered once into
       per-instruction closures (:mod:`repro.ir.compiler`) and the loop runs
       those; split checks are O(1) set membership when the hook provides
       its edge set.
+    * ``"codegen"`` — each function is lowered once to generated Python
+      source compiled with ``compile()``/``exec``
+      (:mod:`repro.ir.codegen`); registers become real locals and split
+      checks are inlined per active plan.  Executions the generated code
+      cannot reproduce exactly fall back to the closure backend with a
+      counted warning.
     * ``"tree"`` — the original tree-walking evaluator; kept as the
       reference semantics for the differential equivalence suite.
     """
@@ -227,15 +233,15 @@ class Interpreter:
         obs=None,
         backend: str = "compiled",
     ) -> None:
-        if backend not in ("compiled", "tree"):
+        if backend not in ("compiled", "tree", "codegen"):
             raise ValueError(
                 f"unknown interpreter backend {backend!r}; "
-                f"expected 'compiled' or 'tree'"
+                f"expected 'codegen', 'compiled' or 'tree'"
             )
         self.registry = registry
         self.max_steps = max_steps
         self.backend = backend
-        self._compile = None  # lazy import of repro.ir.compiler
+        self._compile = None  # lazy import of repro.ir.compiler / codegen
         self.obs = None
         self._c_instructions = None
         self._c_executions = None
@@ -351,10 +357,13 @@ class Interpreter:
     ) -> Outcome:
         if self._c_executions is not None:
             self._c_executions.inc()
-        if self.backend == "compiled":
+        if self.backend != "tree":
             compile_function = self._compile
             if compile_function is None:
-                from repro.ir.compiler import compile_function
+                if self.backend == "codegen":
+                    from repro.ir.codegen import codegen_function as compile_function
+                else:
+                    from repro.ir.compiler import compile_function
 
                 self._compile = compile_function
             outcome, steps = compile_function(fn, self.registry).execute(

@@ -193,6 +193,9 @@ class BrokerSubscriber:
                 "heartbeats_echoed": self.peer.heartbeats_seen,
                 "send_timeouts": self.peer.send_timeouts,
                 "last_rtt": self.peer.last_rtt,
+                "batching_negotiated": self.peer._batch_ok,
+                "batches_sent": self.peer.batches_sent,
+                "batched_frames_sent": self.peer.batched_frames_sent,
             },
         }
 

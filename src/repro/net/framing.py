@@ -24,6 +24,26 @@ one byte — and it returns the completed frames.  Violations raise
 :class:`~repro.errors.FramingError` (bad magic, unknown version or
 kind, oversized frame): a framing error is unrecoverable for the
 connection, since the stream position is lost.
+
+Two wire-efficiency layers live here as well:
+
+* **Batch frames** — a :data:`KIND_BATCH` frame carries many data
+  sub-frames (``[1-byte kind][4-byte length][payload]`` each) under a
+  single 8-byte header, so a backlogged writer pays one header and one
+  syscall for a whole run of continuations.  The decoder expands
+  batches transparently: read loops see the constituent frames and
+  need no batch handling of their own.  Batching is negotiated — a
+  sender only batches toward a peer whose :class:`Hello` advertised
+  the ``"batch"`` feature — so legacy peers keep decoding plain
+  frames.  Only data kinds (event/continuation/feedback) may ride in
+  a batch; control frames (hello, heartbeat, bye, plan) always travel
+  alone so liveness and plan actuation are never queued behind a
+  partially accumulated batch.
+* **Scatter-gather encoding** — :func:`encode_frame_parts` and
+  :func:`encode_batch_parts` return header and payload buffers
+  *separately* (headers packed into :class:`BufferPool` scratch
+  buffers) so the send path never copies payload bytes into a joined
+  frame; the socket layer gathers the parts.
 """
 
 from __future__ import annotations
@@ -51,6 +71,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "MAGIC",
     "HEADER_SIZE",
+    "SUB_HEADER_SIZE",
     "DEFAULT_MAX_FRAME",
     "KIND_HELLO",
     "KIND_EVENT",
@@ -59,8 +80,15 @@ __all__ = [
     "KIND_PLAN",
     "KIND_HEARTBEAT",
     "KIND_BYE",
+    "KIND_BATCH",
     "KIND_NAMES",
+    "BATCHABLE_KINDS",
+    "FEATURE_BATCH",
+    "LOCAL_FEATURES",
     "encode_frame",
+    "encode_frame_parts",
+    "encode_batch_parts",
+    "BufferPool",
     "FrameDecoder",
     "NetEnvelopeCodec",
     "Hello",
@@ -87,6 +115,8 @@ KIND_EVENT = 0x10
 KIND_CONT = 0x11
 KIND_FEEDBACK = 0x12
 KIND_PLAN = 0x13
+# Aggregate frame: many data sub-frames under one header.
+KIND_BATCH = 0x20
 
 KIND_NAMES = {
     KIND_HELLO: "hello",
@@ -96,25 +126,144 @@ KIND_NAMES = {
     KIND_CONT: "continuation",
     KIND_FEEDBACK: "feedback",
     KIND_PLAN: "plan",
+    KIND_BATCH: "batch",
 }
 
+#: kinds that may ride inside a KIND_BATCH frame.  Control frames are
+#: deliberately excluded: heartbeats and plan updates must never wait
+#: behind a partially accumulated batch.
+BATCHABLE_KINDS = frozenset({KIND_EVENT, KIND_CONT, KIND_FEEDBACK})
+
+#: Hello feature token announcing "I can decode KIND_BATCH frames".
+FEATURE_BATCH = "batch"
+#: the feature set this build advertises in its Hello
+LOCAL_FEATURES = (FEATURE_BATCH,)
+
 _HEADER = struct.Struct(">2sBBI")
+#: batch sub-frame header: [1-byte kind][4-byte payload length]
+_SUB_HEADER = struct.Struct(">BI")
+SUB_HEADER_SIZE = _SUB_HEADER.size
+
+
+def frame_header(kind: int, length: int) -> bytes:
+    """The 8-byte wire header for a *length*-byte payload of *kind*."""
+    if kind not in KIND_NAMES:
+        raise FramingError(f"unknown frame kind 0x{kind:02x}")
+    return _HEADER.pack(MAGIC, PROTOCOL_VERSION, kind, length)
 
 
 def encode_frame(kind: int, payload: bytes) -> bytes:
     """One wire frame for *payload* under *kind*."""
-    if kind not in KIND_NAMES:
-        raise FramingError(f"unknown frame kind 0x{kind:02x}")
-    return _HEADER.pack(MAGIC, PROTOCOL_VERSION, kind, len(payload)) + payload
+    return frame_header(kind, len(payload)) + payload
+
+
+def encode_frame_parts(
+    kind: int, payload: bytes
+) -> Tuple[bytes, bytes]:
+    """``(header, payload)`` buffers for one frame — no payload copy.
+
+    The send path writes the two buffers with scatter-gather
+    (``writelines``); the payload bytes the serializer produced are
+    handed to the socket layer as-is.
+    """
+    return frame_header(kind, len(payload)), payload
+
+
+def encode_batch_parts(
+    entries: "List[Tuple[int, bytes]]",
+    *,
+    pool: "Optional[BufferPool]" = None,
+) -> List[bytes]:
+    """Scatter-gather buffer list for one KIND_BATCH frame.
+
+    ``entries`` is a list of ``(kind, payload)`` pairs, every kind in
+    :data:`BATCHABLE_KINDS`.  Returns ``[batch_header, sub_header_0,
+    payload_0, sub_header_1, payload_1, ...]`` — payload buffers are
+    included by reference, never copied.  With *pool*, sub-headers are
+    packed into pooled scratch buffers (release them after the write).
+    """
+    if not entries:
+        raise FramingError("a batch frame needs at least one sub-frame")
+    parts: List[bytes] = [b""]  # batch header, patched below
+    total = 0
+    for kind, payload in entries:
+        if kind not in BATCHABLE_KINDS:
+            raise FramingError(
+                f"frame kind {KIND_NAMES.get(kind, hex(kind))!r} "
+                f"cannot ride in a batch"
+            )
+        if pool is not None:
+            sub = pool.acquire()
+            _SUB_HEADER.pack_into(sub, 0, kind, len(payload))
+            parts.append(memoryview(sub)[:SUB_HEADER_SIZE])
+        else:
+            parts.append(_SUB_HEADER.pack(kind, len(payload)))
+        parts.append(payload)
+        total += SUB_HEADER_SIZE + len(payload)
+    parts[0] = frame_header(KIND_BATCH, total)
+    return parts
+
+
+class BufferPool:
+    """Reusable scratch buffers for header packing.
+
+    The batched send path packs one sub-header per frame; a small pool
+    of fixed-size bytearrays turns those per-frame allocations into
+    reuse of warm buffers.  Release is explicit (after the write has
+    drained); an unreleased buffer is simply garbage-collected, so a
+    failed write leaks nothing.
+    """
+
+    def __init__(self, size: int = SUB_HEADER_SIZE, capacity: int = 256):
+        if size < 1 or capacity < 1:
+            raise ValueError("size and capacity must be >= 1")
+        self.size = size
+        self.capacity = capacity
+        self._free: List[bytearray] = []
+        self.allocated = 0
+        self.reused = 0
+
+    def acquire(self) -> bytearray:
+        if self._free:
+            self.reused += 1
+            return self._free.pop()
+        self.allocated += 1
+        return bytearray(self.size)
+
+    def release(self, buf) -> None:
+        if isinstance(buf, memoryview):
+            obj = buf.obj
+            buf.release()
+            buf = obj
+        if (
+            isinstance(buf, bytearray)
+            and len(buf) == self.size
+            and len(self._free) < self.capacity
+        ):
+            self._free.append(buf)
+
+
+#: leftover size below which a partial-frame tail is shifted eagerly —
+#: moving a few hundred bytes is cheaper than carrying a dead prefix
+_COMPACT_EAGER = 4096
 
 
 class FrameDecoder:
     """Incremental frame parser for a byte stream.
 
     ``feed`` accepts arbitrary chunk boundaries and returns every frame
-    completed so far as ``(kind, payload)`` pairs.  After a
+    completed so far as ``(kind, payload)`` pairs.  :data:`KIND_BATCH`
+    frames are expanded in place — callers receive the constituent
+    data frames and never see the batch container.  After a
     :class:`~repro.errors.FramingError` the decoder is poisoned: the
     stream offset is unknowable, so every further feed re-raises.
+
+    Consumed bytes are tracked as a read *offset* into the buffer
+    rather than deleted per frame (the old ``del buffer[:n]`` shifted
+    every remaining byte once per frame — quadratic on a chunk holding
+    many frames).  The dead prefix is dropped at most once per feed:
+    free when the buffer emptied, one counted shift
+    (:attr:`compactions`) when a partial frame remains.
     """
 
     def __init__(self, *, max_frame: int = DEFAULT_MAX_FRAME) -> None:
@@ -122,19 +271,61 @@ class FrameDecoder:
             raise ValueError("max_frame must be >= 1")
         self.max_frame = max_frame
         self._buffer = bytearray()
+        self._pos = 0
         self._error: Optional[FramingError] = None
         self.frames_decoded = 0
+        self.batches_decoded = 0
         self.bytes_consumed = 0
+        #: partial-frame buffer shifts — the only copies of buffered
+        #: bytes the decoder ever performs; bounded by feed calls, not
+        #: by frame count (the fuzz test asserts this)
+        self.compactions = 0
+
+    def _expand_batch(
+        self,
+        view: memoryview,
+        start: int,
+        end: int,
+        frames: List[Tuple[int, bytes]],
+    ) -> None:
+        """Append a batch frame's sub-frames to *frames* (or raise)."""
+        pos = start
+        count = 0
+        while pos < end:
+            if end - pos < SUB_HEADER_SIZE:
+                raise FramingError(
+                    f"truncated batch sub-header ({end - pos} bytes)"
+                )
+            kind, length = _SUB_HEADER.unpack_from(view, pos)
+            if kind not in BATCHABLE_KINDS:
+                raise FramingError(
+                    f"frame kind 0x{kind:02x} is not allowed in a batch"
+                )
+            pos += SUB_HEADER_SIZE
+            if end - pos < length:
+                raise FramingError(
+                    f"batch sub-frame of {length} bytes overruns its "
+                    f"batch ({end - pos} left)"
+                )
+            frames.append((kind, bytes(view[pos : pos + length])))
+            pos += length
+            count += 1
+        if count == 0:
+            raise FramingError("empty batch frame")
+        self.frames_decoded += count
 
     def feed(self, data: bytes) -> List[Tuple[int, bytes]]:
         if self._error is not None:
             raise self._error
-        self._buffer += data
+        buffer = self._buffer
+        buffer += data
+        pos = self._pos
         frames: List[Tuple[int, bytes]] = []
+        view = memoryview(buffer)
         try:
-            while len(self._buffer) >= HEADER_SIZE:
+            while len(buffer) - pos >= HEADER_SIZE:
                 magic, version, kind, length = _HEADER.unpack_from(
-                    self._buffer
+                    buffer, pos
                 )
                 if magic != MAGIC:
                     raise FramingError(
@@ -152,24 +343,42 @@ class FrameDecoder:
                         f"frame of {length} bytes exceeds the "
                         f"{self.max_frame}-byte limit"
                     )
-                if len(self._buffer) < HEADER_SIZE + length:
+                if len(buffer) - pos < HEADER_SIZE + length:
                     break
-                payload = bytes(
-                    self._buffer[HEADER_SIZE : HEADER_SIZE + length]
-                )
-                del self._buffer[: HEADER_SIZE + length]
-                self.frames_decoded += 1
+                start = pos + HEADER_SIZE
+                end = start + length
+                if kind == KIND_BATCH:
+                    self._expand_batch(view, start, end, frames)
+                    self.batches_decoded += 1
+                else:
+                    frames.append((kind, bytes(view[start:end])))
+                    self.frames_decoded += 1
+                pos = end
                 self.bytes_consumed += HEADER_SIZE + length
-                frames.append((kind, payload))
         except FramingError as exc:
             self._error = exc
             raise
+        finally:
+            view.release()
+            if pos:
+                if pos == len(buffer):
+                    del buffer[:]
+                    pos = 0
+                elif (
+                    len(buffer) - pos <= _COMPACT_EAGER
+                    or pos >= len(buffer) - pos
+                ):
+                    # Shift the partial tail at most once per feed.
+                    del buffer[:pos]
+                    pos = 0
+                    self.compactions += 1
+            self._pos = pos
         return frames
 
     @property
     def buffered(self) -> int:
         """Bytes awaiting a complete frame."""
-        return len(self._buffer)
+        return len(self._buffer) - self._pos
 
 
 class Hello:
@@ -182,9 +391,23 @@ class Hello:
     reconnects — most importantly sequence-dedupe windows — on
     ``(instance, subscription)``, so a restarted sender whose sequence
     numbers begin again is never confused with a resumed one.
+
+    ``features`` announces optional capabilities *this* endpoint can
+    receive — currently just :data:`FEATURE_BATCH`.  A sender batches
+    toward a peer only after seeing the feature in the peer's hello
+    (the server replies with its own hello for exactly this reason);
+    hellos from older builds decode with an empty feature set, so
+    traffic toward them stays plain-framed.
     """
 
-    __slots__ = ("protocol", "cont_version", "role", "name", "instance")
+    __slots__ = (
+        "protocol",
+        "cont_version",
+        "role",
+        "name",
+        "instance",
+        "features",
+    )
 
     def __init__(
         self,
@@ -194,12 +417,14 @@ class Hello:
         role: str = "peer",
         name: str = "",
         instance: str = "",
+        features: Tuple[str, ...] = LOCAL_FEATURES,
     ) -> None:
         self.protocol = protocol
         self.cont_version = cont_version
         self.role = role
         self.name = name
         self.instance = instance
+        self.features = tuple(features)
 
 
 class Heartbeat:
@@ -342,6 +567,7 @@ class NetEnvelopeCodec:
                     envelope.role,
                     envelope.name,
                     envelope.instance,
+                    tuple(envelope.features),
                 )
             )
         if isinstance(envelope, Heartbeat):
@@ -355,6 +581,18 @@ class NetEnvelopeCodec:
     def encode_frame(self, envelope: object, *, sent_at: float = 0.0) -> bytes:
         kind, payload = self.encode(envelope, sent_at=sent_at)
         return encode_frame(kind, payload)
+
+    def encode_frame_parts(
+        self, envelope: object, *, sent_at: float = 0.0
+    ) -> Tuple[int, bytes, bytes]:
+        """``(kind, header, payload)`` — the scatter-gather send shape.
+
+        The payload buffer the serializer produced goes to the socket
+        layer by reference; batching-capable writers also need the kind
+        to decide whether the frame may ride in a batch.
+        """
+        kind, payload = self.encode(envelope, sent_at=sent_at)
+        return kind, frame_header(kind, len(payload)), payload
 
     # -- decoding --------------------------------------------------------------
 
@@ -410,13 +648,25 @@ class NetEnvelopeCodec:
                 env.trace = None if trace is None else (trace[0], trace[1])
                 return env, 0.0
             if kind == KIND_HELLO:
-                # The instance token arrived with the dedupe rework; a
-                # 4-tuple hello is an older build of the same protocol.
+                # The instance token arrived with the dedupe rework and
+                # the feature tuple with batch negotiation; 4- and
+                # 5-tuple hellos are older builds of the same protocol.
+                instance = ""
+                features: Tuple[str, ...] = ()
                 if len(value) == 4:
                     protocol, cont_version, role, name = value
-                    instance = ""
-                else:
+                elif len(value) == 5:
                     protocol, cont_version, role, name, instance = value
+                else:
+                    (
+                        protocol,
+                        cont_version,
+                        role,
+                        name,
+                        instance,
+                        raw_features,
+                    ) = value
+                    features = tuple(str(f) for f in raw_features)
                 return (
                     Hello(
                         protocol=protocol,
@@ -424,6 +674,7 @@ class NetEnvelopeCodec:
                         role=role,
                         name=name,
                         instance=instance,
+                        features=features,
                     ),
                     0.0,
                 )

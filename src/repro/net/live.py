@@ -246,6 +246,10 @@ def run_sender(args: argparse.Namespace) -> Dict[str, object]:
         heartbeat_interval=args.heartbeat,
         connect_timeout=args.timeout,
         send_timeout=5.0,
+        batching=not args.no_batching,
+        flush_max_bytes=args.flush_max_bytes,
+        flush_max_count=args.flush_max_count,
+        flush_interval=args.flush_interval,
     )
     transport.attach_observability(obs, name="transport.tcp")
     transport.start()
@@ -298,6 +302,9 @@ def run_sender(args: argparse.Namespace) -> Dict[str, object]:
             "heartbeats_echoed": peer.heartbeats_seen,
             "send_timeouts": peer.send_timeouts,
             "last_rtt": peer.last_rtt,
+            "batching_negotiated": peer._batch_ok,
+            "batches_sent": peer.batches_sent,
+            "batched_frames_sent": peer.batched_frames_sent,
         },
         "obs": obs.to_dict(),
     }
@@ -326,6 +333,10 @@ def run_broker(args: argparse.Namespace) -> Dict[str, object]:
         backoff_base=0.05,
         backoff_cap=0.5,
         queue_limit=args.queue_limit,
+        batching=not args.no_batching,
+        flush_max_bytes=args.flush_max_bytes,
+        flush_max_count=args.flush_max_count,
+        flush_interval=args.flush_interval,
     )
     transport.attach_observability(obs, name="transport.tcp")
     transport.start()
@@ -380,7 +391,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="samples per sensor reading")
     parser.add_argument("--n-stages", type=int, default=20)
     parser.add_argument("--backend", default="compiled",
-                        choices=("interpreted", "compiled"))
+                        choices=("tree", "compiled", "codegen"))
     parser.add_argument("--timeout", type=float, default=60.0,
                         help="overall per-process deadline (seconds)")
     parser.add_argument("--out", default=None,
@@ -388,6 +399,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--expose", type=int, default=None, metavar="PORT",
                         help="serve /metrics on this port (0 = ephemeral; "
                         "announced as 'EXPOSING <port>')")
+
+
+def _add_batching(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--no-batching", action="store_true",
+                        help="disable wire batching even when the "
+                        "receiver advertises it (baseline runs)")
+    parser.add_argument("--flush-max-bytes", type=int, default=64 * 1024,
+                        help="batch payload budget before a flush")
+    parser.add_argument("--flush-max-count", type=int, default=32,
+                        help="max frames gathered into one batch")
+    parser.add_argument("--flush-interval", type=float, default=0.0,
+                        help="seconds a lone frame lingers hoping for "
+                        "company (0 = ship immediately)")
 
 
 def main(argv=None) -> int:
@@ -428,6 +452,7 @@ def main(argv=None) -> int:
     send.add_argument("--interval", type=float, default=0.005,
                       help="pause between published messages (seconds)")
     send.add_argument("--heartbeat", type=float, default=0.5)
+    _add_batching(send)
 
     broker = sub.add_parser(
         "broker", help="connect to N receivers and fan out"
@@ -441,6 +466,7 @@ def main(argv=None) -> int:
     broker.add_argument("--queue-limit", type=int, default=64,
                         help="per-subscriber outbound frame bound "
                         "(drop-oldest beyond it)")
+    _add_batching(broker)
 
     args = parser.parse_args(argv)
     runners = {

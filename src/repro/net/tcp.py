@@ -31,6 +31,19 @@ Reliability model, chosen to match what the adaptation loop needs:
   ``heartbeat_interval`` seconds; the server echoes it back with the
   original timestamp, giving both sides liveness (``last_heard``) and
   the client an RTT sample.
+* **Negotiated frame batching** — when both ends advertise the
+  ``"batch"`` feature in their hellos, the write loop gathers the run
+  of batchable frames (events, continuations, feedback) at the head of
+  the queue into one ``KIND_BATCH`` frame, paying a single
+  write+drain event-loop round trip for many logical frames.  Control
+  frames (hello, heartbeat, plan, bye) are never batched and never
+  wait behind one: a run stops at the first non-batchable frame.
+  Batching is *opportunistic* by default (``flush_interval=0``): a
+  lone frame ships immediately, batches only form from genuine
+  backlog, so an idle stream sees no added latency.  The whole batch
+  is popped only after a successful drain, so a connection loss
+  retransmits it intact (at-least-once; the receiver's dedupe
+  high-water marks absorb the duplicates).
 
 :class:`FrameServer` is the listening side: it accepts connections,
 runs the handshake (rejecting protocol-version mismatches), decodes
@@ -42,6 +55,7 @@ plane (plan-ship) and ``abort`` for fault injection in tests.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import random
 import threading
 import time
@@ -58,17 +72,27 @@ from repro.errors import (
 )
 from repro.jecho.transport import Destination, Transport
 from repro.net.framing import (
+    BATCHABLE_KINDS,
     DEFAULT_MAX_FRAME,
+    FEATURE_BATCH,
+    LOCAL_FEATURES,
+    SUB_HEADER_SIZE,
+    BufferPool,
     FrameDecoder,
     Bye,
     Heartbeat,
     Hello,
     NetEnvelopeCodec,
+    encode_batch_parts,
 )
 
 __all__ = ["TcpPeer", "TcpTransport", "FrameServer", "ServerConnection"]
 
 _READ_CHUNK = 65536
+
+#: a queued frame: (kind, header bytes, payload bytes) — kept apart so
+#: the write loop can gather them into batches without re-encoding
+_QueuedFrame = Tuple[int, bytes, bytes]
 
 
 class TcpPeer:
@@ -105,10 +129,16 @@ class TcpPeer:
         self.heartbeats_sent = 0
         self.heartbeats_seen = 0
         self.send_timeouts = 0
+        self.batches_sent = 0
+        self.batched_frames_sent = 0
         self.last_heard: Optional[float] = None
         self.last_rtt: Optional[float] = None
         self.connected = False
-        self._outbound: Deque[bytes] = deque()
+        #: features the remote's hello advertised (per connection)
+        self.peer_features: frozenset = frozenset()
+        self._batch_ok = False
+        self._subpool = BufferPool()
+        self._outbound: Deque[_QueuedFrame] = deque()
         self._wake = asyncio.Event()
         self._conn_lost = asyncio.Event()
         self._drained = asyncio.Event()
@@ -134,7 +164,7 @@ class TcpPeer:
 
     # -- loop-side internals ---------------------------------------------------
 
-    def _enqueue(self, frame: bytes) -> None:
+    def _enqueue(self, frame: _QueuedFrame) -> None:
         if self._closed:
             return
         limit = (
@@ -178,6 +208,10 @@ class TcpPeer:
                 if self.transport._c_reconnects is not None:
                     self.transport._c_reconnects.inc()
             self.connected = True
+            # Batching is negotiated per connection: off until this
+            # connection's server hello advertises the feature.
+            self.peer_features = frozenset()
+            self._batch_ok = False
             self._conn_lost.clear()
             reader_task = asyncio.ensure_future(self._read_loop(reader))
             heartbeat_task = (
@@ -189,7 +223,7 @@ class TcpPeer:
                 # Handshake first: a peer speaking another protocol
                 # version must be rejected before any data frame.
                 self._outbound.appendleft(
-                    self.transport.codec.encode_frame(
+                    self.transport.codec.encode_frame_parts(
                         Hello(
                             role="sender",
                             name=self.transport.name,
@@ -220,6 +254,57 @@ class TcpPeer:
                 break
             await asyncio.sleep(self._backoff_delay(max(attempt, 1)))
 
+    def _collect_run(self) -> List[_QueuedFrame]:
+        """The prefix of the queue that ships as one wire write.
+
+        Without negotiated batching (or with a non-batchable head) the
+        run is just the head frame.  Otherwise it is the contiguous run
+        of batchable frames, capped by the transport's
+        ``flush_max_count`` / ``flush_max_bytes`` thresholds.
+        """
+        head = self._outbound[0]
+        if not self._batch_ok or head[0] not in BATCHABLE_KINDS:
+            return [head]
+        run = [head]
+        total = SUB_HEADER_SIZE + len(head[2])
+        for entry in itertools.islice(
+            self._outbound, 1, self.transport.flush_max_count
+        ):
+            if entry[0] not in BATCHABLE_KINDS:
+                break
+            cost = SUB_HEADER_SIZE + len(entry[2])
+            if total + cost > self.transport.flush_max_bytes:
+                break
+            run.append(entry)
+            total += cost
+        return run
+
+    def _wire_parts(
+        self, run: List[_QueuedFrame]
+    ) -> Tuple[List[bytes], List[bytes]]:
+        """(buffers to write, pooled buffers to release afterwards)."""
+        if len(run) == 1:
+            _, header, payload = run[0]
+            return [header, payload], []
+        parts = encode_batch_parts(
+            [(kind, payload) for kind, _, payload in run],
+            pool=self._subpool,
+        )
+        return parts, parts[1::2]
+
+    async def _linger(self) -> None:
+        """Wait up to ``flush_interval`` for company before flushing."""
+        self._wake.clear()
+        wake = asyncio.ensure_future(self._wake.wait())
+        lost = asyncio.ensure_future(self._conn_lost.wait())
+        _, pending = await asyncio.wait(
+            (wake, lost),
+            timeout=self.transport.flush_interval,
+            return_when=asyncio.FIRST_COMPLETED,
+        )
+        for task in pending:
+            task.cancel()
+
     async def _write_loop(self, writer: asyncio.StreamWriter) -> None:
         while not self._closed:
             while self._outbound:
@@ -227,9 +312,27 @@ class TcpPeer:
                     raise ConnectionLostError(
                         f"peer {self.name} closed the connection"
                     )
-                frame = self._outbound[0]
+                run = self._collect_run()
+                if (
+                    len(run) == 1
+                    and len(self._outbound) == 1
+                    and self._batch_ok
+                    and run[0][0] in BATCHABLE_KINDS
+                    and self.transport.flush_interval > 0
+                ):
+                    # A lone batchable frame may be joined by more
+                    # within the flush window; control frames and
+                    # deeper queues never wait.
+                    await self._linger()
+                    if self._conn_lost.is_set():
+                        raise ConnectionLostError(
+                            f"peer {self.name} closed the connection"
+                        )
+                    run = self._collect_run()
+                buffers, pooled = self._wire_parts(run)
+                wire_bytes = sum(len(b) for b in buffers)
                 try:
-                    writer.write(frame)
+                    writer.writelines(buffers)
                     await asyncio.wait_for(
                         writer.drain(), self.transport.send_timeout
                     )
@@ -245,13 +348,23 @@ class TcpPeer:
                     raise ConnectionLostError(
                         f"connection to {self.name} lost: {exc}"
                     ) from exc
-                # Popped only after a successful drain, so a frame that
-                # was mid-write when the link died is retransmitted.
-                self._outbound.popleft()
-                self.frames_sent += 1
-                self.frame_bytes_sent += len(frame)
+                finally:
+                    # asyncio copies buffers before write returns, so
+                    # the pooled sub-headers recycle even on failure.
+                    for buf in pooled:
+                        self._subpool.release(buf)
+                # Popped only after a successful drain, so a run that
+                # was mid-write when the link died is retransmitted
+                # whole (receiver dedupe absorbs the duplicates).
+                for _ in run:
+                    self._outbound.popleft()
+                self.frames_sent += len(run)
+                self.frame_bytes_sent += wire_bytes
+                if len(run) > 1:
+                    self.batches_sent += 1
+                    self.batched_frames_sent += len(run)
                 if self.transport._c_frame_bytes is not None:
-                    self.transport._c_frame_bytes.inc(len(frame))
+                    self.transport._c_frame_bytes.inc(wire_bytes)
             if not self._outbound:
                 self._drained.set()
             self._wake.clear()
@@ -299,7 +412,16 @@ class TcpPeer:
                         if self.transport._h_rtt is not None and rtt >= 0:
                             self.transport._h_rtt.observe(rtt)
                         continue
-                    if isinstance(envelope, (Hello, Bye)):
+                    if isinstance(envelope, Hello):
+                        # Server hello: adopt its advertised features.
+                        # Batching turns on only when both ends opt in.
+                        self.peer_features = frozenset(envelope.features)
+                        self._batch_ok = (
+                            self.transport.batching
+                            and FEATURE_BATCH in self.peer_features
+                        )
+                        continue
+                    if isinstance(envelope, Bye):
                         continue
                     handler = self.transport.inbound_handler
                     if handler is not None:
@@ -312,7 +434,7 @@ class TcpPeer:
         while not self._closed:
             await asyncio.sleep(interval)
             self._enqueue(
-                self.transport.codec.encode_frame(
+                self.transport.codec.encode_frame_parts(
                     Heartbeat(sent_at=time.time())
                 )
             )
@@ -354,6 +476,10 @@ class TcpTransport(Transport):
         heartbeat_interval: Optional[float] = None,
         max_frame: int = DEFAULT_MAX_FRAME,
         jitter_seed: int = 0,
+        batching: bool = True,
+        flush_max_bytes: int = 64 * 1024,
+        flush_max_count: int = 32,
+        flush_interval: float = 0.0,
         loop: Optional[asyncio.AbstractEventLoop] = None,
     ) -> None:
         super().__init__()
@@ -361,6 +487,14 @@ class TcpTransport(Transport):
             raise TransportError("queue_limit must be >= 1")
         if connect_timeout <= 0 or send_timeout <= 0:
             raise TransportError("timeouts must be positive")
+        if flush_max_count < 1:
+            raise TransportError("flush_max_count must be >= 1")
+        if flush_max_bytes < SUB_HEADER_SIZE + 1:
+            raise TransportError(
+                f"flush_max_bytes must be > {SUB_HEADER_SIZE}"
+            )
+        if flush_interval < 0:
+            raise TransportError("flush_interval must be >= 0")
         if backoff_base <= 0 or backoff_cap < backoff_base:
             raise TransportError(
                 "backoff_base must be positive and <= backoff_cap"
@@ -378,6 +512,12 @@ class TcpTransport(Transport):
         self.heartbeat_interval = heartbeat_interval
         self.max_frame = max_frame
         self.jitter_seed = jitter_seed
+        #: master switch for wire batching; the peer must also advertise
+        #: the "batch" feature in its hello before batches are sent.
+        self.batching = batching
+        self.flush_max_bytes = flush_max_bytes
+        self.flush_max_count = flush_max_count
+        self.flush_interval = flush_interval
         # One token per transport lifetime: reconnects present the same
         # identity, a restarted process a fresh one (see Hello.instance).
         self.instance = uuid.uuid4().hex
@@ -492,9 +632,11 @@ class TcpTransport(Transport):
     ) -> None:
         peer = self._resolve(destination)
         # Encoding happens on the caller's thread (after the base class
-        # restamped the trace context) so the loop thread only does IO.
-        frame = self.codec.encode_frame(envelope, sent_at=time.time())
-        self._require_loop().call_soon_threadsafe(peer._enqueue, frame)
+        # restamped the trace context) so the loop thread only does IO;
+        # header and payload stay separate so the write loop can gather
+        # runs of frames into one batch without re-encoding.
+        parts = self.codec.encode_frame_parts(envelope, sent_at=time.time())
+        self._require_loop().call_soon_threadsafe(peer._enqueue, parts)
 
     # -- draining / shutdown ---------------------------------------------------
 
@@ -620,12 +762,16 @@ class FrameServer:
         name: str = "server",
         send_timeout: float = 5.0,
         max_frame: int = DEFAULT_MAX_FRAME,
+        features: Tuple[str, ...] = LOCAL_FEATURES,
         obs=None,
     ) -> None:
         self.codec = codec or NetEnvelopeCodec()
         self.name = name
         self.send_timeout = send_timeout
         self.max_frame = max_frame
+        #: features this server's hello reply advertises; pass () to
+        #: emulate a legacy (pre-batching) receiver.
+        self.features = tuple(features)
         self.handler: Optional[Callable] = None
         self.connections: List[ServerConnection] = []
         self.accepted = 0
@@ -714,6 +860,19 @@ class FrameServer:
                                 self._c_rejects.inc()
                             return  # finally-block closes the socket
                         conn.hello = envelope
+                        # Reply with our own hello so the client learns
+                        # which features (e.g. batching) this side
+                        # supports; legacy clients just skip it.
+                        try:
+                            await conn.send(
+                                Hello(
+                                    role="server",
+                                    name=self.name,
+                                    features=self.features,
+                                )
+                            )
+                        except (SendTimeoutError, ConnectionLostError):
+                            return
                         continue
                     if isinstance(envelope, Heartbeat):
                         self.heartbeats_seen += 1

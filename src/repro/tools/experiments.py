@@ -11,10 +11,11 @@ Usage::
 benchmark suite (``pytest benchmarks/ --benchmark-only``) runs the
 full-size versions and asserts the paper's shapes.
 
-``--backend {compiled,tree}`` selects the execution backend for the
-adaptive (Method Partitioning) runs.  Both produce byte-identical
+``--backend {compiled,tree,codegen}`` selects the execution backend for
+the adaptive (Method Partitioning) runs.  All three produce byte-identical
 results; ``tree`` is the reference tree-walking interpreter, ``compiled``
-(the default) is the closure-compiled fast path.
+(the default) is the closure-compiled fast path, ``codegen`` lowers each
+handler to generated Python source once and runs the compiled module.
 
 ``--obs-report FILE`` attaches an :class:`repro.obs.Observability` to the
 adaptive (Method Partitioning) runs, prints the instrumentation report
@@ -125,10 +126,11 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true")
     parser.add_argument(
         "--backend",
-        choices=("compiled", "tree"),
+        choices=("compiled", "tree", "codegen"),
         default="compiled",
         help="execution backend for the Method Partitioning version "
-        "(default: compiled; 'tree' is the reference tree-walker)",
+        "(default: compiled; 'tree' is the reference tree-walker, "
+        "'codegen' lowers handlers to generated Python source)",
     )
     parser.add_argument(
         "--obs-report",

@@ -259,6 +259,7 @@ def run_live_experiment(
     interval: float = 0.005,
     timeout: float = 120.0,
     expose: bool = True,
+    batching: bool = True,
     outdir: Path = Path("live-results"),
 ) -> Tuple[Dict[str, object], List[Tuple[str, bool, str]]]:
     """Run the two processes; returns (summary, checks).
@@ -267,6 +268,10 @@ def run_live_experiment(
     quality accounting and its live ``/metrics`` endpoint, scrapes it
     mid-stream and validates the OpenMetrics text — proving the
     telemetry a long-lived deployment would be monitored through.
+
+    ``batching=False`` passes ``--no-batching`` to the sender, keeping
+    the wire plain-framed — the baseline the batched benchmark sweep
+    compares against.
     """
     outdir.mkdir(parents=True, exist_ok=True)
     recv_out = outdir / "receiver.json"
@@ -308,6 +313,8 @@ def run_live_experiment(
             "--interval", str(interval),
             "--out", str(send_out),
         ]
+        if not batching:
+            sender_cmd.append("--no-batching")
         sender = subprocess.Popen(sender_cmd, env=env)
         try:
             if expose_port is not None:
@@ -845,6 +852,9 @@ def main(argv=None) -> int:
     parser.add_argument("--no-expose", action="store_true",
                         help="skip the live /metrics endpoint and the "
                         "quality accounting it exposes")
+    parser.add_argument("--no-batching", action="store_true",
+                        help="keep the sender's wire plain-framed "
+                        "(baseline for the batching sweep)")
     parser.add_argument("--quick", action="store_true",
                         help="small workload for CI smoke runs")
     parser.add_argument("--fanout", type=int, default=0, metavar="N",
@@ -917,6 +927,7 @@ def main(argv=None) -> int:
         interval=args.interval,
         timeout=args.timeout,
         expose=not args.no_expose,
+        batching=not args.no_batching,
         outdir=args.outdir,
     )
     sender = summary["sender"]

@@ -1,8 +1,8 @@
-"""Differential suite: the compiled backend is byte-identical to the tree
-walker.
+"""Differential suite: the compiled and codegen backends are byte-identical
+to the tree walker.
 
 Every sample application handler is pushed through a modulator/demodulator
-pair under *both* execution backends, across every usable partitioning plan
+pair under *all three* execution backends, across every usable partitioning plan
 — including a single-edge plan for each non-poisoned PSE, so resume from a
 continuation is exercised at every split point.  Compared per message:
 
@@ -42,7 +42,7 @@ from repro.serialization import SerializerRegistry
 from repro.simnet import Simulator, intel_pair, wireless_testbed
 from tests.conftest import PUSH_SOURCE, ImageData
 
-BACKENDS = ("tree", "compiled")
+BACKENDS = ("tree", "compiled", "codegen")
 
 
 def _all_plans(cut):
@@ -121,15 +121,16 @@ def _assert_equivalent(build, events, snapshot_sink):
         traces[backend] = _trace(partitioned, events)
         sinks[backend] = snapshot_sink(sink)
     tree_log, tree_counters, tree_spans = traces["tree"]
-    comp_log, comp_counters, comp_spans = traces["compiled"]
-    assert len(tree_log) == len(comp_log)
-    for tree_entry, comp_entry in zip(tree_log, comp_log):
-        assert tree_entry == comp_entry
-    assert tree_counters == comp_counters
-    # identical span sequences: names, trace/span ids, parentage, attrs
-    assert tree_spans == comp_spans
     assert any(span[3] == "modulate" for span in tree_spans)
-    assert sinks["tree"] == sinks["compiled"]
+    for backend in BACKENDS[1:]:
+        log, counters, spans = traces[backend]
+        assert len(tree_log) == len(log), backend
+        for tree_entry, entry in zip(tree_log, log):
+            assert tree_entry == entry, backend
+        assert tree_counters == counters, backend
+        # identical span sequences: names, trace/span ids, parentage, attrs
+        assert tree_spans == spans, backend
+        assert sinks["tree"] == sinks[backend], backend
 
 
 # -- the paper's running example (Appendix A push, data-size model) ----------
@@ -209,7 +210,8 @@ def test_sensor_pipeline_backend_parity():
             version.plan_updates_applied,
             version.sink.results,
         )
-    assert outcomes["tree"] == outcomes["compiled"]
+    for backend in BACKENDS[1:]:
+        assert outcomes["tree"] == outcomes[backend], backend
 
 
 def test_imagestream_pipeline_backend_parity():
@@ -227,4 +229,5 @@ def test_imagestream_pipeline_backend_parity():
             version.plan_updates_applied,
             [(f.width, f.height, f.pixels) for f in version.display.frames],
         )
-    assert outcomes["tree"] == outcomes["compiled"]
+    for backend in BACKENDS[1:]:
+        assert outcomes["tree"] == outcomes[backend], backend

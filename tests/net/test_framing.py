@@ -18,7 +18,9 @@ from repro.jecho.events import (
 )
 from repro.net.framing import (
     DEFAULT_MAX_FRAME,
+    FEATURE_BATCH,
     HEADER_SIZE,
+    KIND_BATCH,
     KIND_BYE,
     KIND_CONT,
     KIND_EVENT,
@@ -26,14 +28,19 @@ from repro.net.framing import (
     KIND_HEARTBEAT,
     KIND_HELLO,
     KIND_PLAN,
+    LOCAL_FEATURES,
     MAGIC,
     PROTOCOL_VERSION,
+    SUB_HEADER_SIZE,
+    BufferPool,
     Bye,
     FrameDecoder,
     Heartbeat,
     Hello,
     NetEnvelopeCodec,
+    encode_batch_parts,
     encode_frame,
+    encode_frame_parts,
 )
 
 
@@ -359,3 +366,221 @@ def test_header_size_matches_layout():
     assert frame[2] == PROTOCOL_VERSION
     assert frame[3] == KIND_BYE
     assert int.from_bytes(frame[4:8], "big") == 3
+
+
+def test_encode_frame_parts_shares_payload_buffer():
+    payload = b"p" * 64
+    header, out = encode_frame_parts(KIND_EVENT, payload)
+    assert out is payload  # by reference — the send path never copies
+    assert header == frame_bytes_header(KIND_EVENT, 64)
+
+
+def frame_bytes_header(kind, length):
+    return MAGIC + bytes([PROTOCOL_VERSION, kind]) + length.to_bytes(4, "big")
+
+
+# -- batch frames ---------------------------------------------------------------
+
+
+def _data_frames():
+    codec = NetEnvelopeCodec()
+    envelopes = [
+        EventEnvelope(payload=[1, 2, 3], seq=0),
+        ContinuationEnvelope(
+            continuation=ContinuationMessage(
+                function="f",
+                pse_id="p1",
+                edge=(1, 2),
+                variables={"v": list(range(8))},
+            ),
+            subscription_id=1,
+            seq=1,
+        ),
+        FeedbackEnvelope(
+            subscription_id=1,
+            demod_stats=[ObservationRecord(kind="message")],
+            seq=2,
+        ),
+    ]
+    return codec, [codec.encode(e, sent_at=1.0) for e in envelopes]
+
+
+def test_batch_roundtrip_expands_to_constituent_frames():
+    codec, frames = _data_frames()
+    parts = encode_batch_parts(frames)
+    wire = b"".join(parts)
+    decoder = FrameDecoder()
+    out = decoder.feed(wire)
+    assert out == frames
+    assert decoder.batches_decoded == 1
+    assert decoder.frames_decoded == len(frames)
+    # every expanded payload decodes as a valid envelope
+    for kind, payload in out:
+        codec.decode(kind, payload)
+
+
+def test_batch_parts_share_payload_buffers():
+    _, frames = _data_frames()
+    parts = encode_batch_parts(frames)
+    # [batch_header, sub0, payload0, sub1, payload1, ...]
+    assert len(parts) == 1 + 2 * len(frames)
+    for (kind, payload), sub, out in zip(
+        frames, parts[1::2], parts[2::2]
+    ):
+        assert out is payload
+        assert bytes(sub) == bytes([kind]) + len(payload).to_bytes(4, "big")
+    declared = int.from_bytes(parts[0][4:8], "big")
+    assert declared == sum(len(b) for b in parts[1:])
+
+
+def test_batch_split_across_chunk_boundaries():
+    _, frames = _data_frames()
+    wire = b"".join(encode_batch_parts(frames))
+    rng = random.Random(7)
+    for _ in range(20):
+        decoder = FrameDecoder()
+        collected = []
+        position = 0
+        while position < len(wire):
+            step = rng.randint(1, 16)
+            collected.extend(decoder.feed(wire[position : position + step]))
+            position += step
+        assert collected == frames
+
+
+def test_empty_batch_rejected_on_encode_and_decode():
+    with pytest.raises(FramingError):
+        encode_batch_parts([])
+    with pytest.raises(FramingError):
+        FrameDecoder().feed(encode_frame(KIND_BATCH, b""))
+
+
+def test_non_batchable_kind_rejected_on_encode():
+    with pytest.raises(FramingError, match="cannot ride in a batch"):
+        encode_batch_parts([(KIND_HEARTBEAT, b"")])
+    with pytest.raises(FramingError, match="cannot ride in a batch"):
+        encode_batch_parts([(KIND_PLAN, b"x")])
+
+
+def test_nested_or_control_sub_frame_rejected_on_decode():
+    sub = bytes([KIND_BATCH]) + (0).to_bytes(4, "big")
+    with pytest.raises(FramingError, match="not allowed in a batch"):
+        FrameDecoder().feed(encode_frame(KIND_BATCH, sub))
+    sub = bytes([KIND_HELLO]) + (0).to_bytes(4, "big")
+    with pytest.raises(FramingError, match="not allowed in a batch"):
+        FrameDecoder().feed(encode_frame(KIND_BATCH, sub))
+
+
+def test_truncated_sub_header_rejected():
+    payload = bytes([KIND_EVENT]) + (1).to_bytes(4, "big") + b"x" + b"\x10"
+    with pytest.raises(FramingError, match="truncated batch sub-header"):
+        FrameDecoder().feed(encode_frame(KIND_BATCH, payload))
+
+
+def test_overrunning_sub_frame_rejected():
+    payload = bytes([KIND_EVENT]) + (99).to_bytes(4, "big") + b"short"
+    with pytest.raises(FramingError, match="overruns"):
+        FrameDecoder().feed(encode_frame(KIND_BATCH, payload))
+
+
+def test_batch_sub_frames_count_toward_decoder_stats():
+    _, frames = _data_frames()
+    wire = b"".join(encode_batch_parts(frames)) + encode_frame(
+        KIND_HEARTBEAT, b""
+    )
+    decoder = FrameDecoder()
+    out = decoder.feed(wire)
+    assert len(out) == len(frames) + 1
+    assert decoder.frames_decoded == len(frames) + 1
+    assert decoder.bytes_consumed == len(wire)
+
+
+# -- hello feature negotiation --------------------------------------------------
+
+
+def test_hello_features_roundtrip():
+    codec = NetEnvelopeCodec()
+    hello, _ = _roundtrip(codec, Hello(role="sender", name="a"))
+    assert hello.features == LOCAL_FEATURES
+    assert FEATURE_BATCH in hello.features
+    explicit, _ = _roundtrip(
+        codec, Hello(role="server", name="b", features=())
+    )
+    assert explicit.features == ()
+
+
+def test_legacy_five_tuple_hello_decodes_with_no_features():
+    codec = NetEnvelopeCodec()
+    legacy = codec._serializer.serialize(
+        (PROTOCOL_VERSION, WIRE_VERSION, "sender", "a", "tok")
+    )
+    old, _ = codec.decode(KIND_HELLO, legacy)
+    assert old.instance == "tok"
+    assert old.features == ()
+
+
+# -- buffer pool ----------------------------------------------------------------
+
+
+def test_buffer_pool_reuses_released_buffers():
+    pool = BufferPool(capacity=4)
+    first = pool.acquire()
+    pool.release(first)
+    second = pool.acquire()
+    assert second is first
+    assert pool.allocated == 1
+    assert pool.reused == 1
+
+
+def test_buffer_pool_release_accepts_memoryviews():
+    pool = BufferPool()
+    buf = pool.acquire()
+    view = memoryview(buf)[:SUB_HEADER_SIZE]
+    pool.release(view)
+    assert pool.acquire() is buf
+
+
+def test_pooled_batch_sub_headers_match_unpooled():
+    _, frames = _data_frames()
+    pool = BufferPool()
+    pooled = encode_batch_parts(frames, pool=pool)
+    plain = encode_batch_parts(frames)
+    assert [bytes(b) for b in pooled] == [bytes(b) for b in plain]
+    for sub in pooled[1::2]:
+        pool.release(sub)
+    again = encode_batch_parts(frames, pool=pool)
+    assert [bytes(b) for b in again] == [bytes(b) for b in plain]
+    assert pool.reused == len(frames)
+
+
+# -- decoder copy behavior ------------------------------------------------------
+
+
+def test_single_feed_of_many_frames_never_compacts():
+    # The quadratic-shift regression test: a chunk holding N complete
+    # frames must decode with zero buffer compactions (the old decoder
+    # shifted the buffer once per frame).
+    frame = encode_frame(KIND_EVENT, b"e" * 20)
+    decoder = FrameDecoder()
+    out = decoder.feed(frame * 2000)
+    assert len(out) == 2000
+    assert decoder.compactions == 0
+    assert decoder.buffered == 0
+
+
+def test_compactions_bounded_by_feeds_not_frames():
+    codec, frames, stream = _sample_frames()
+    rng = random.Random(99)
+    for _ in range(10):
+        decoder = FrameDecoder()
+        feeds = 0
+        position = 0
+        collected = []
+        while position < len(stream):
+            step = rng.randint(1, 48)
+            collected.extend(decoder.feed(stream[position : position + step]))
+            position += step
+            feeds += 1
+        assert [k for k, _ in collected] == [k for k, _ in frames]
+        # at most one compaction per feed call, regardless of frames
+        assert decoder.compactions <= feeds
