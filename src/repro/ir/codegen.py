@@ -55,7 +55,6 @@ from __future__ import annotations
 
 import math as _math
 import re
-import warnings
 from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import InterpreterError
@@ -113,8 +112,11 @@ def fallback_total() -> int:
 
 
 def reset_fallback_counts() -> None:
+    from repro.obs.flight import reset_wide_event_dedupe
+
     fallback_counts.clear()
     _warned.clear()
+    reset_wide_event_dedupe("codegen.fallback")
 
 
 def _count_fallback(fname: str, reason: str) -> None:
@@ -122,11 +124,21 @@ def _count_fallback(fname: str, reason: str) -> None:
     key = (fname, reason)
     if key not in _warned:
         _warned.add(key)
-        warnings.warn(
-            f"codegen backend: {fname}: falling back to the closure "
-            f"backend ({reason})",
-            RuntimeWarning,
-            stacklevel=3,
+        # One structured wide event (and one RuntimeWarning) per
+        # (function, reason); the per-execution tally stays in
+        # fallback_counts.
+        from repro.obs.flight import wide_event
+
+        wide_event(
+            "codegen.fallback",
+            dedupe=f"{fname}:{reason}",
+            warn=(
+                f"codegen backend: {fname}: falling back to the closure "
+                f"backend ({reason})"
+            ),
+            stacklevel=4,
+            function=fname,
+            reason=reason,
         )
 
 

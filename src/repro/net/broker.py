@@ -60,8 +60,9 @@ from repro.jecho.events import (
     PlanEnvelope,
 )
 from repro.net.endpoint import _adopt_rate
-from repro.net.framing import Bye
+from repro.net.framing import Bye, Telemetry
 from repro.net.tcp import TcpPeer, TcpTransport
+from repro.obs.health import HealthConfig, HealthMonitor, PeerHealth
 from repro.obs.trace import ContinuationShipped
 from repro.serialization import measure_size
 
@@ -145,6 +146,17 @@ class BrokerSubscriber:
         self.elided = 0
         self.completed_locally = 0
         self.feedback_flushes = 0
+        #: TELEMETRY frames received from this peer's receiver
+        self.telemetry_frames = 0
+        #: latest TELEMETRY frame's metadata + payload (broker clock)
+        self.last_telemetry: Optional[Dict[str, object]] = None
+        #: health state machine, bound by the broker's HealthMonitor
+        self.health: Optional[PeerHealth] = None
+        #: set by finish(); a disconnect after the goodbye drained is an
+        #: orderly exit, not a fault
+        self.bye_sent = False
+        self._drift_reported = 0
+        self._last_rtt_fed: Optional[float] = None
         # labeled per-peer instruments, bound by the broker when it has obs
         self._c_shipped = None
         self._c_forks = None
@@ -182,6 +194,15 @@ class BrokerSubscriber:
             "elided": self.elided,
             "completed_locally": self.completed_locally,
             "feedback_flushes": self.feedback_flushes,
+            "telemetry_frames": self.telemetry_frames,
+            "telemetry_last_seq": (
+                self.last_telemetry.get("seq")
+                if self.last_telemetry is not None
+                else None
+            ),
+            "health": (
+                self.health.to_dict() if self.health is not None else None
+            ),
             "transport": {
                 "queued": self.peer.queued,
                 "connections": self.peer.connections,
@@ -194,6 +215,8 @@ class BrokerSubscriber:
                 "send_timeouts": self.peer.send_timeouts,
                 "last_rtt": self.peer.last_rtt,
                 "batching_negotiated": self.peer._batch_ok,
+                "telemetry_negotiated": self.peer.telemetry_negotiated,
+                "telemetry_frames_seen": self.peer.telemetry_frames_seen,
                 "batches_sent": self.peer.batches_sent,
                 "batched_frames_sent": self.peer.batched_frames_sent,
             },
@@ -221,9 +244,13 @@ class NetBrokerEndpoint:
         recalibrate=None,
         queue_limit: Optional[int] = None,
         obs=None,
+        health_config: Optional[HealthConfig] = None,
+        health_interval: float = 0.0,
     ) -> None:
         if feedback_period < 1:
             raise ValueError("feedback_period must be >= 1")
+        if health_interval < 0:
+            raise ValueError("health_interval must be >= 0")
         self.partitioned = partitioned
         self.transport = transport
         self.default_plan = plan or receiver_heavy_plan(partitioned.cut)
@@ -259,16 +286,35 @@ class NetBrokerEndpoint:
         #: lazily rebuilt union-of-plans hook for the shared run
         self._union_runtime: Optional[PlanRuntime] = None
         self._union_dirty = True
+        #: fleet health — one PeerHealth per subscriber, fed from the
+        #: transport on every publish and (optionally) by a background
+        #: evaluator so staleness keeps ticking while the publisher is
+        #: quiet (the drain phase is exactly when wedges surface).
+        self.health = HealthMonitor(obs=obs, config=health_config)
+        self.health_interval = health_interval
+        self.telemetry_frames = 0
+        self._health_stop = threading.Event()
+        self._health_thread: Optional[threading.Thread] = None
         if obs is not None:
             metrics = obs.metrics
             self._c_published = metrics.counter("broker.published")
             self._c_forks = metrics.counter("broker.forks")
             self._c_plan_updates = metrics.counter("broker.plan_updates")
+            self._c_telemetry = metrics.counter("broker.telemetry_frames")
+            obs.add_section("fleet", self.health.to_dict)
         else:
             self._c_published = None
             self._c_forks = None
             self._c_plan_updates = None
+            self._c_telemetry = None
         transport.inbound_handler = self._on_inbound
+        if health_interval > 0:
+            self._health_thread = threading.Thread(
+                target=self._health_loop,
+                name="broker-health",
+                daemon=True,
+            )
+            self._health_thread.start()
 
     def _tracer(self):
         return self.obs.tracing if self.obs is not None else None
@@ -308,6 +354,7 @@ class NetBrokerEndpoint:
                     self.partitioned.cut, sample_period=self.sample_period
                 ),
             )
+            sub.health = self.health.peer(label)
             if self.obs is not None:
                 metrics = self.obs.metrics
                 sub._c_shipped = metrics.counter(
@@ -630,10 +677,43 @@ class NetBrokerEndpoint:
         )
         sub.proxy.record_sender_rate(seconds, cycles)
 
+    def _feed_sub_health(self, sub: BrokerSubscriber) -> None:
+        """Pipe one peer's transport state into its health machine."""
+        ph = sub.health
+        if ph is None:
+            return
+        peer = sub.peer
+        if sub.bye_sent and not peer.connected and peer.queued == 0:
+            # Orderly exit: the goodbye drained and the peer hung up.
+            # Pin whatever state the run earned so the post-stream
+            # teardown cannot masquerade as a late fault.
+            if ph.forced_reason is None:
+                ph.force(ph.state, "retired (bye delivered)")
+            return
+        ph.note_connected(peer.connected)
+        if peer.last_heard is not None:
+            # last_heard is time.monotonic-based, same clock family as
+            # the default PeerHealth clock.
+            ph.note_signal(peer.last_heard)
+        if peer.last_rtt is not None and peer.last_rtt != sub._last_rtt_fed:
+            sub._last_rtt_fed = peer.last_rtt
+            ph.note_rtt(peer.last_rtt)
+        ph.note_sheds(peer.dropped_frames)
+
+    def _health_loop(self) -> None:
+        """Background evaluator: staleness ticks even when idle."""
+        while not self._health_stop.wait(self.health_interval):
+            with self.lock:
+                for sub in self.subscribers:
+                    self._feed_sub_health(sub)
+                self.health.evaluate_all()
+
     def _after_publish(self, span, *, outcome: str, **attrs) -> None:
         """Gauges, feedback cadence, span close (lock held)."""
         for sub in self.subscribers:
             sub.refresh_gauges()
+            self._feed_sub_health(sub)
+        self.health.evaluate_all()
         if self.published % self.feedback_period == 0:
             for sub in self.subscribers:
                 if sub.proxy.pending > 0:
@@ -674,6 +754,12 @@ class NetBrokerEndpoint:
     # -- control plane (transport loop thread) -----------------------------------
 
     def _on_inbound(self, envelope: object, peer: TcpPeer) -> None:
+        if isinstance(envelope, Telemetry):
+            with self.lock:
+                sub = self._by_peer.get(peer)
+                if sub is not None:
+                    self._ingest_telemetry(sub, envelope)
+            return
         if not isinstance(envelope, PlanEnvelope):
             return
         tracer = self._tracer()
@@ -713,7 +799,45 @@ class NetBrokerEndpoint:
                 attrs={"plan": envelope.plan.name, "peer": sub.name},
             )
 
+    def _ingest_telemetry(self, sub: BrokerSubscriber, frame: Telemetry) -> None:
+        """Fold one pushed TELEMETRY frame into the fleet view (lock held)."""
+        sub.telemetry_frames += 1
+        self.telemetry_frames += 1
+        if self._c_telemetry is not None:
+            self._c_telemetry.inc()
+        payload = frame.payload or {}
+        sub.last_telemetry = {
+            "source": frame.source,
+            "instance": frame.instance,
+            "seq": frame.seq,
+            "sent_at": frame.sent_at,
+            "received_at": time.time(),
+            "payload": payload,
+        }
+        ph = sub.health
+        if ph is None:
+            return
+        ph.note_telemetry()
+        counters = payload.get("counters") or {}
+        dupes = counters.get("duplicates_skipped")
+        if isinstance(dupes, (int, float)):
+            ph.note_duplicates(int(dupes))
+        drift = payload.get("drift_events")
+        if isinstance(drift, (int, float)):
+            delta = int(drift) - sub._drift_reported
+            if delta > 0:
+                ph.note_drift(delta)
+            sub._drift_reported = int(drift)
+        ph.evaluate()
+
     # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the background health evaluator (idempotent)."""
+        self._health_stop.set()
+        if self._health_thread is not None:
+            self._health_thread.join(timeout=2.0)
+            self._health_thread = None
 
     def finish(self) -> None:
         """Flush profiling tails and say goodbye to every subscriber."""
@@ -724,6 +848,7 @@ class NetBrokerEndpoint:
                 self.transport.send(
                     sub.peer, Bye(sent=sub.shipped), 8.0
                 )
+                sub.bye_sent = True
 
     def expose_metrics(self, host: str = "127.0.0.1", port: int = 0):
         """Serve this process's observability over HTTP (OpenMetrics)."""
@@ -732,7 +857,10 @@ class NetBrokerEndpoint:
         from repro.obs.exposition import start_http_exposer
 
         self.exposer = start_http_exposer(
-            self.obs.to_dict, host=host, port=port
+            self.obs.to_dict,
+            host=host,
+            port=port,
+            health_source=self.health.to_dict,
         )
         return self.exposer
 
@@ -753,6 +881,8 @@ class NetBrokerEndpoint:
                 "fork_cycles_total": self.fork_cycles_total,
                 "plan_updates_applied": self.plan_updates_applied,
                 "recalibrations": self.recalibrations,
+                "telemetry_frames": self.telemetry_frames,
+                "fleet": self.health.to_dict(),
                 "plan_cache": {
                     "hits": self.cache.hits,
                     "misses": self.cache.misses,

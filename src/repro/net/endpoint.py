@@ -32,8 +32,10 @@ no plan state is lost across reconnects.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
+import uuid
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.partitioned import PartitionedMethod
@@ -47,8 +49,14 @@ from repro.jecho.events import (
     FeedbackEnvelope,
     PlanEnvelope,
 )
-from repro.net.framing import Bye, NetEnvelopeCodec
+from repro.net.framing import (
+    FEATURE_TELEMETRY,
+    Bye,
+    NetEnvelopeCodec,
+    Telemetry,
+)
 from repro.net.tcp import FrameServer, ServerConnection, TcpPeer, TcpTransport
+from repro.obs.health import HealthConfig, HealthMonitor
 from repro.obs.trace import ContinuationShipped
 
 __all__ = ["NetSenderEndpoint", "NetReceiverEndpoint"]
@@ -101,6 +109,7 @@ class NetSenderEndpoint:
         rate_override: Optional[float] = None,
         recalibrate: Optional[Callable[[], float]] = None,
         obs=None,
+        health_config: Optional[HealthConfig] = None,
     ) -> None:
         """``rate_override`` records a *calibrated* seconds-per-cycle
         instead of the raw per-message wall clock.  Raw measurements are
@@ -156,6 +165,15 @@ class NetSenderEndpoint:
         self.plan_version_applied = 0
         self.plans_seen: List[str] = []
         self.exposer = None
+        #: per-peer health machine fed from transport state on every
+        #: publish and from inbound TELEMETRY frames; no thread of its
+        #: own — a bare endpoint behaves exactly as before.
+        self.health = HealthMonitor(obs=obs, config=health_config)
+        self.peer_health = self.health.peer(peer.name)
+        self.telemetry_seen = 0
+        self.last_telemetry: Optional[dict] = None
+        self._drift_reported = 0
+        self._last_rtt_fed: Optional[float] = None
         transport.inbound_handler = self._on_inbound
 
     def _tracer(self):
@@ -173,7 +191,10 @@ class NetSenderEndpoint:
         from repro.obs.exposition import start_http_exposer
 
         self.exposer = start_http_exposer(
-            self.obs.to_dict, host=host, port=port
+            self.obs.to_dict,
+            host=host,
+            port=port,
+            health_source=self.health.to_dict,
         )
         return self.exposer
 
@@ -233,6 +254,21 @@ class NetSenderEndpoint:
                 and self.proxy.pending > 0
             ):
                 self._flush_feedback()
+            self._feed_peer_health()
+
+    def _feed_peer_health(self) -> None:
+        """Refresh the peer's health signals from transport state (lock held)."""
+        peer = self.peer
+        ph = self.peer_health
+        ph.note_connected(peer.connected)
+        if peer.last_heard is not None:
+            ph.note_signal(peer.last_heard)
+        rtt = peer.last_rtt
+        if rtt is not None and rtt != self._last_rtt_fed:
+            self._last_rtt_fed = rtt
+            ph.note_rtt(rtt)
+        ph.note_sheds(peer.dropped_frames)
+        ph.evaluate()
 
     def _flush_feedback(self) -> None:
         """Ship buffered observations as a FEEDBACK frame (lock held)."""
@@ -265,6 +301,10 @@ class NetSenderEndpoint:
     # -- control plane (runs on the transport's loop thread) -------------------
 
     def _on_inbound(self, envelope: object, peer: TcpPeer) -> None:
+        if isinstance(envelope, Telemetry):
+            with self.lock:
+                self._ingest_telemetry(envelope)
+            return
         if not isinstance(envelope, PlanEnvelope):
             return
         tracer = self._tracer()
@@ -298,6 +338,23 @@ class NetSenderEndpoint:
                 end=now,
                 attrs={"plan": envelope.plan.name},
             )
+
+    def _ingest_telemetry(self, envelope: Telemetry) -> None:
+        """Fold a pushed telemetry report into the peer's health (lock held)."""
+        self.telemetry_seen += 1
+        self.last_telemetry = envelope.payload
+        ph = self.peer_health
+        ph.note_telemetry()
+        payload = envelope.payload
+        counters = payload.get("counters") or {}
+        dupes = counters.get("duplicates_skipped")
+        if isinstance(dupes, (int, float)):
+            ph.note_duplicates(int(dupes))
+        drift = payload.get("drift_events")
+        if isinstance(drift, (int, float)) and drift > self._drift_reported:
+            ph.note_drift(int(drift) - self._drift_reported)
+            self._drift_reported = int(drift)
+        ph.evaluate()
 
     def _refresh_rate_override(self) -> None:
         """Mark the calibrated rate stale after a plan transition (lock held).
@@ -380,9 +437,19 @@ class NetReceiverEndpoint:
         codec: Optional[NetEnvelopeCodec] = None,
         name: str = "receiver",
         obs=None,
+        telemetry_interval: float = 0.25,
+        health_config: Optional[HealthConfig] = None,
     ) -> None:
+        """``telemetry_interval`` paces the TELEMETRY push loop started
+        by :meth:`start` — every interval the receiver pushes its
+        metrics delta, drift/fallback/ring-drop counts and health state
+        to each connection whose hello advertised the ``telemetry``
+        feature.  0 disables the loop (pushes can still be driven
+        manually via :meth:`push_telemetry`)."""
         if rate_scale <= 0:
             raise ValueError("rate_scale must be positive")
+        if telemetry_interval < 0:
+            raise ValueError("telemetry_interval must be >= 0")
         self.partitioned = partitioned
         self.rate_scale = rate_scale
         self.rate_override = rate_override
@@ -445,6 +512,21 @@ class NetReceiverEndpoint:
         #: first frame must not be dropped as a "duplicate".  O(1)
         #: memory per source, unlike a grow-forever seen-set.
         self._dedupe_high: Dict[Tuple[str, int], int] = {}
+        self.name = name
+        #: one token per endpoint lifetime, same semantics as
+        #: Hello.instance: telemetry from a restarted receiver is
+        #: distinguishable from a resumed one.
+        self.instance = uuid.uuid4().hex
+        self.telemetry_interval = telemetry_interval
+        self.telemetry_pushes = 0
+        self.telemetry_sent = 0
+        self._telemetry_task: Optional[asyncio.Task] = None
+        self._telemetry_prev: Optional[dict] = None
+        #: this process's own health, exposed on /healthz and pushed in
+        #: every telemetry report; live.py forces it around injected
+        #: wedges so the fault is visible on both ends.
+        self.self_health = HealthMonitor(obs=obs, config=health_config)
+        self.self_health.peer("self")
 
     def _tracer(self):
         return self.obs.tracing if self.obs is not None else None
@@ -452,13 +534,105 @@ class NetReceiverEndpoint:
     async def start(
         self, host: str = "127.0.0.1", port: int = 0
     ) -> Tuple[str, int]:
-        return await self.server.start(host, port)
+        bound = await self.server.start(host, port)
+        if self.telemetry_interval > 0 and self._telemetry_task is None:
+            self._telemetry_task = asyncio.get_running_loop().create_task(
+                self._telemetry_loop()
+            )
+        return bound
 
     async def stop(self) -> None:
+        if self._telemetry_task is not None:
+            self._telemetry_task.cancel()
+            try:
+                await self._telemetry_task
+            except asyncio.CancelledError:
+                pass
+            self._telemetry_task = None
         await self.server.stop()
         if self.exposer is not None:
             self.exposer.close()
             self.exposer = None
+
+    # -- telemetry push (event-loop thread) ------------------------------------
+
+    async def _telemetry_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.telemetry_interval)
+            await self.push_telemetry()
+
+    def _telemetry_payload(self) -> dict:
+        """One push's payload: metrics delta + adaptation counters.
+
+        Counters/histograms travel as deltas against the previous push
+        (Prometheus-style reset handling via ``snapshot_delta``) so the
+        aggregator can fold per-interval rates without re-diffing; the
+        first push carries the full snapshot.
+        """
+        payload: dict = {
+            "counters": {
+                "demodulated": self.demodulated,
+                "duplicates_skipped": self.duplicates_skipped,
+                "plan_ships": self.plan_ships,
+                "feedback_batches": self.feedback_batches,
+            },
+            "health": self.self_health.peer("self").state,
+        }
+        from repro.ir import codegen
+
+        payload["codegen_fallbacks"] = dict(codegen.fallback_counts)
+        if self.obs is not None:
+            from repro.obs.metrics import snapshot_delta
+
+            current = self.obs.metrics.to_dict()
+            prev = self._telemetry_prev
+            payload["metrics"] = (
+                current if prev is None else snapshot_delta(prev, current)
+            )
+            self._telemetry_prev = current
+            payload["drift_events"] = self.obs.trace.count("DriftDetected")
+            payload["trace_ring_dropped"] = self.obs.trace.dropped
+            tracer = self.obs.tracing
+            if tracer is not None:
+                payload["tracer_ring_dropped"] = tracer.dropped
+        return payload
+
+    async def push_telemetry(self) -> int:
+        """Push one telemetry report to every negotiated connection.
+
+        Returns the number of connections the report went to (0 when no
+        live peer advertised the feature — the payload is then not even
+        built)."""
+        conns = [
+            c
+            for c in self.server.connections
+            if not c.closed
+            and c.hello is not None
+            and FEATURE_TELEMETRY in c.hello.features
+        ]
+        # The push loop running *is* this process's proof of life; an
+        # injected wedge pins the state via force() instead.
+        self.self_health.peer("self").note_signal()
+        self.self_health.evaluate_all()
+        if not conns:
+            return 0
+        self.telemetry_pushes += 1
+        envelope = Telemetry(
+            source=self.name,
+            instance=self.instance,
+            seq=self.telemetry_pushes,
+            sent_at=time.time(),
+            payload=self._telemetry_payload(),
+        )
+        sent = 0
+        for conn in conns:
+            try:
+                await conn.send(envelope)
+                sent += 1
+            except TransportError:
+                continue  # connection died mid-push; reconnect handles it
+        self.telemetry_sent += sent
+        return sent
 
     def expose_metrics(self, host: str = "127.0.0.1", port: int = 0):
         """Serve this process's observability over HTTP (OpenMetrics).
@@ -472,7 +646,10 @@ class NetReceiverEndpoint:
         from repro.obs.exposition import start_http_exposer
 
         self.exposer = start_http_exposer(
-            self.obs.to_dict, host=host, port=port
+            self.obs.to_dict,
+            host=host,
+            port=port,
+            health_source=lambda: self.self_health.peer("self").to_dict(),
         )
         return self.exposer
 

@@ -81,9 +81,11 @@ __all__ = [
     "KIND_HEARTBEAT",
     "KIND_BYE",
     "KIND_BATCH",
+    "KIND_TELEMETRY",
     "KIND_NAMES",
     "BATCHABLE_KINDS",
     "FEATURE_BATCH",
+    "FEATURE_TELEMETRY",
     "LOCAL_FEATURES",
     "encode_frame",
     "encode_frame_parts",
@@ -94,6 +96,7 @@ __all__ = [
     "Hello",
     "Heartbeat",
     "Bye",
+    "Telemetry",
 ]
 
 #: two magic bytes opening every frame
@@ -117,6 +120,9 @@ KIND_FEEDBACK = 0x12
 KIND_PLAN = 0x13
 # Aggregate frame: many data sub-frames under one header.
 KIND_BATCH = 0x20
+# Fleet telemetry: a receiver pushing its metrics/health deltas
+# upstream, negotiated via FEATURE_TELEMETRY (see Telemetry below).
+KIND_TELEMETRY = 0x21
 
 KIND_NAMES = {
     KIND_HELLO: "hello",
@@ -127,6 +133,7 @@ KIND_NAMES = {
     KIND_FEEDBACK: "feedback",
     KIND_PLAN: "plan",
     KIND_BATCH: "batch",
+    KIND_TELEMETRY: "telemetry",
 }
 
 #: kinds that may ride inside a KIND_BATCH frame.  Control frames are
@@ -136,8 +143,13 @@ BATCHABLE_KINDS = frozenset({KIND_EVENT, KIND_CONT, KIND_FEEDBACK})
 
 #: Hello feature token announcing "I can decode KIND_BATCH frames".
 FEATURE_BATCH = "batch"
+#: Hello feature token announcing "push me KIND_TELEMETRY frames".
+#: Negotiated exactly like batching: a receiver only pushes telemetry
+#: toward a peer whose hello advertised the token, so legacy peers
+#: never see the kind.
+FEATURE_TELEMETRY = "telemetry"
 #: the feature set this build advertises in its Hello
-LOCAL_FEATURES = (FEATURE_BATCH,)
+LOCAL_FEATURES = (FEATURE_BATCH, FEATURE_TELEMETRY)
 
 _HEADER = struct.Struct(">2sBBI")
 #: batch sub-frame header: [1-byte kind][4-byte payload length]
@@ -445,6 +457,41 @@ class Bye:
         self.sent = sent
 
 
+class Telemetry:
+    """One pushed fleet-telemetry report (receiver → broker/sender).
+
+    ``payload`` is a nested plain-value mapping (the serializer's
+    primitive types only): a ``MetricsRegistry.snapshot_delta`` since
+    the previous push plus gauges, drift/fallback/ring-drop counts and
+    the pusher's own health state.  ``source``/``instance`` identify the
+    pushing process (same semantics as :class:`Hello`), ``seq`` is a
+    per-process push counter so the aggregator can spot gaps, and
+    ``sent_at`` is the pusher's wall clock for staleness accounting.
+
+    Telemetry is a control-adjacent frame: deliberately *not* batchable
+    (it must not wait behind an accumulating data batch — staleness is
+    itself a health signal) and only sent toward peers that advertised
+    :data:`FEATURE_TELEMETRY`.
+    """
+
+    __slots__ = ("source", "instance", "seq", "sent_at", "payload")
+
+    def __init__(
+        self,
+        *,
+        source: str = "",
+        instance: str = "",
+        seq: int = 0,
+        sent_at: float = 0.0,
+        payload: Optional[dict] = None,
+    ) -> None:
+        self.source = source
+        self.instance = instance
+        self.seq = seq
+        self.sent_at = sent_at
+        self.payload = payload if payload is not None else {}
+
+
 def _record_tuple(rec: ObservationRecord) -> tuple:
     return (
         rec.kind,
@@ -574,6 +621,16 @@ class NetEnvelopeCodec:
             return KIND_HEARTBEAT, ser((envelope.sent_at,))
         if isinstance(envelope, Bye):
             return KIND_BYE, ser((envelope.sent,))
+        if isinstance(envelope, Telemetry):
+            return KIND_TELEMETRY, ser(
+                (
+                    envelope.source,
+                    envelope.instance,
+                    envelope.seq,
+                    envelope.sent_at if sent_at == 0.0 else sent_at,
+                    envelope.payload,
+                )
+            )
         raise ProtocolError(
             f"cannot encode {type(envelope).__name__} as a net frame"
         )
@@ -684,6 +741,22 @@ class NetEnvelopeCodec:
             if kind == KIND_BYE:
                 (sent,) = value
                 return Bye(sent=sent), 0.0
+            if kind == KIND_TELEMETRY:
+                source, instance, seq, sent_at, payload = value
+                if not isinstance(payload, dict):
+                    raise ProtocolError(
+                        "telemetry payload must be a mapping"
+                    )
+                return (
+                    Telemetry(
+                        source=source,
+                        instance=instance,
+                        seq=seq,
+                        sent_at=sent_at,
+                        payload=payload,
+                    ),
+                    sent_at,
+                )
         except ProtocolError:
             raise
         except (TypeError, ValueError, IndexError) as exc:

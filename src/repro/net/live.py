@@ -54,7 +54,8 @@ from repro.net.broker import NetBrokerEndpoint
 from repro.net.endpoint import NetReceiverEndpoint, NetSenderEndpoint
 from repro.net.framing import NetEnvelopeCodec
 from repro.net.tcp import TcpTransport
-from repro.obs import Observability
+from repro.obs import Observability, wide_event
+from repro.obs.health import WEDGED
 
 __all__ = ["run_sender", "run_receiver", "run_broker", "main"]
 
@@ -100,11 +101,19 @@ def _calibrate(partitioned, sink, n_samples: int, repeats: int = 5) -> float:
     return best if best is not None else 1e-7
 
 
-def _observability(host: str, id_base: int) -> Observability:
+def _observability(
+    host: str, id_base: int, out: Optional[str] = None
+) -> Observability:
     obs = Observability()
     # Wall clock: both processes run on one machine, so timestamps are
     # directly comparable in the merged trace.
     obs.enable_tracing(clock=time.time, host=host, id_base=id_base)
+    # Always-on flight recorder: structured wide events ride along in
+    # the result JSON's obs dump, and a SIGTERM (the harness killing a
+    # stuck process) still leaves a crash dump next to --out.
+    obs.enable_flight(host=host)
+    if out:
+        obs.flight.install_signal_dump(out + ".flight.json")
     return obs
 
 
@@ -112,7 +121,7 @@ def run_receiver(args: argparse.Namespace) -> Dict[str, object]:
     name = getattr(args, "name", None) or "receiver"
     index = getattr(args, "index", 0)
     obs = _observability(
-        name, RECEIVER_ID_BASE + index * RECEIVER_ID_STRIDE
+        name, RECEIVER_ID_BASE + index * RECEIVER_ID_STRIDE, args.out
     )
     if args.quality:
         # Small window so regret windows close within a short stream.
@@ -132,6 +141,7 @@ def run_receiver(args: argparse.Namespace) -> Dict[str, object]:
         codec=NetEnvelopeCodec(partitioned.serializer_registry),
         name=name,
         obs=obs,
+        telemetry_interval=args.telemetry_interval,
     )
     wedge_after = getattr(args, "wedge_after", 0)
     wedge_seconds = getattr(args, "wedge_seconds", 2.0)
@@ -158,9 +168,24 @@ def run_receiver(args: argparse.Namespace) -> Dict[str, object]:
                 # peer's backlog (drop-oldest) while the other peers
                 # keep streaming untouched.
                 wedge_state["injected"] = 1
+                endpoint.self_health.peer("self").force(
+                    WEDGED, "injected wedge"
+                )
+                wide_event(
+                    "fault.wedge",
+                    role=name,
+                    at_message=endpoint.demodulated,
+                    seconds=wedge_seconds,
+                )
                 await endpoint.server.stop()
                 await asyncio.sleep(wedge_seconds)
                 await endpoint.server.start(args.host, port)
+                endpoint.self_health.peer("self").force(None)
+                wide_event(
+                    "fault.wedge.clear",
+                    role=name,
+                    at_message=endpoint.demodulated,
+                )
                 last_progress = time.time()
             now = time.time()
             if endpoint.demodulated != last_count:
@@ -168,9 +193,21 @@ def run_receiver(args: argparse.Namespace) -> Dict[str, object]:
                 last_progress = now
             if now - last_progress > args.idle_timeout:
                 print("IDLE TIMEOUT", file=sys.stderr, flush=True)
+                wide_event(
+                    "run.idle_timeout",
+                    role=name,
+                    demodulated=endpoint.demodulated,
+                    idle_seconds=now - last_progress,
+                )
                 break
             if now - started > args.timeout:
                 print("DEADLINE EXCEEDED", file=sys.stderr, flush=True)
+                wide_event(
+                    "run.deadline_exceeded",
+                    role=name,
+                    demodulated=endpoint.demodulated,
+                    elapsed=now - started,
+                )
                 break
             await asyncio.sleep(0.05)
         # Let a plan frame triggered by the last messages flush out.
@@ -195,6 +232,9 @@ def run_receiver(args: argparse.Namespace) -> Dict[str, object]:
         "duplicates_skipped": endpoint.duplicates_skipped,
         "feedback_batches": endpoint.feedback_batches,
         "plan_ships": endpoint.plan_ships,
+        "telemetry_pushes": endpoint.telemetry_pushes,
+        "telemetry_sent": endpoint.telemetry_sent,
+        "self_health": endpoint.self_health.to_dict(),
         "drops_injected": endpoint.drops_injected,
         "sender_reported_sent": endpoint.sender_reported_sent,
         "initial_plan_edges": sorted(list(e) for e in plan.active),
@@ -233,7 +273,7 @@ def run_receiver(args: argparse.Namespace) -> Dict[str, object]:
 
 
 def run_sender(args: argparse.Namespace) -> Dict[str, object]:
-    obs = _observability("sender", SENDER_ID_BASE)
+    obs = _observability("sender", SENDER_ID_BASE, args.out)
     partitioned, _sink = build_partitioned_process(
         n_stages=args.n_stages, backend=args.backend
     )
@@ -284,6 +324,8 @@ def run_sender(args: argparse.Namespace) -> Dict[str, object]:
         "completed_locally": endpoint.completed_locally,
         "feedback_flushes": endpoint.feedback_flushes,
         "plan_updates_applied": endpoint.plan_updates_applied,
+        "telemetry_seen": endpoint.telemetry_seen,
+        "peer_health": endpoint.health.to_dict(),
         "initial_plan_edges": sorted(list(e) for e in plan.active),
         "final_plan_edges": [
             list(e) for e in endpoint.current_plan_edges
@@ -303,6 +345,8 @@ def run_sender(args: argparse.Namespace) -> Dict[str, object]:
             "send_timeouts": peer.send_timeouts,
             "last_rtt": peer.last_rtt,
             "batching_negotiated": peer._batch_ok,
+            "telemetry_negotiated": peer.telemetry_negotiated,
+            "telemetry_frames_seen": peer.telemetry_frames_seen,
             "batches_sent": peer.batches_sent,
             "batched_frames_sent": peer.batched_frames_sent,
         },
@@ -315,7 +359,7 @@ def run_sender(args: argparse.Namespace) -> Dict[str, object]:
 
 def run_broker(args: argparse.Namespace) -> Dict[str, object]:
     """One modulator fanning out to every ``--ports`` receiver."""
-    obs = _observability("broker", SENDER_ID_BASE)
+    obs = _observability("broker", SENDER_ID_BASE, args.out)
     partitioned, _sink = build_partitioned_process(
         n_stages=args.n_stages, backend=args.backend
     )
@@ -349,6 +393,7 @@ def run_broker(args: argparse.Namespace) -> Dict[str, object]:
         recalibrate=lambda: _calibrate(partitioned, _sink, args.samples),
         queue_limit=args.queue_limit,
         obs=obs,
+        health_interval=args.health_interval,
     )
     ports = [int(p) for p in args.ports.split(",") if p.strip()]
     for i, port in enumerate(ports):
@@ -363,6 +408,16 @@ def run_broker(args: argparse.Namespace) -> Dict[str, object]:
             time.sleep(args.interval)
     endpoint.finish()
     drained = transport.drain(args.timeout)
+    # Snapshot the fleet the instant the drain completes — the Bye
+    # frames just delivered are about to tear every connection down,
+    # and a "disconnected" wobble at exit would mask the states the
+    # run actually produced.
+    endpoint.close()
+    with endpoint.lock:
+        for sub in endpoint.subscribers:
+            endpoint._feed_sub_health(sub)
+        endpoint.health.evaluate_all()
+        fleet_final = endpoint.health.to_dict()
     # Leave a window for PLAN frames racing the tail of the stream.
     time.sleep(0.3)
     elapsed = time.time() - started
@@ -373,6 +428,7 @@ def run_broker(args: argparse.Namespace) -> Dict[str, object]:
         "elapsed_seconds": elapsed,
         "drained": drained,
         **endpoint.to_dict(),
+        "fleet": fleet_final,
         "transport_totals": {
             "messages_sent": transport.messages_sent,
             "bytes_sent": transport.bytes_sent,
@@ -444,6 +500,9 @@ def main(argv=None) -> int:
                       help="go dark (stop listening) after the Nth "
                       "delivery, for --wedge-seconds (0 disables)")
     recv.add_argument("--wedge-seconds", type=float, default=2.0)
+    recv.add_argument("--telemetry-interval", type=float, default=0.25,
+                      help="seconds between pushed TELEMETRY frames "
+                      "(0 disables the push loop)")
 
     send = sub.add_parser("sender", help="connect and modulate")
     _add_common(send)
@@ -466,6 +525,10 @@ def main(argv=None) -> int:
     broker.add_argument("--queue-limit", type=int, default=64,
                         help="per-subscriber outbound frame bound "
                         "(drop-oldest beyond it)")
+    broker.add_argument("--health-interval", type=float, default=0.1,
+                        help="background health-evaluator cadence; keeps "
+                        "staleness ticking through the drain phase "
+                        "(0 disables the thread)")
     _add_batching(broker)
 
     args = parser.parse_args(argv)

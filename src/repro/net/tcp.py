@@ -83,6 +83,7 @@ from repro.net.framing import (
     Heartbeat,
     Hello,
     NetEnvelopeCodec,
+    Telemetry,
     encode_batch_parts,
 )
 
@@ -137,6 +138,8 @@ class TcpPeer:
         #: features the remote's hello advertised (per connection)
         self.peer_features: frozenset = frozenset()
         self._batch_ok = False
+        self.telemetry_frames_seen = 0
+        self._g_queue = None
         self._subpool = BufferPool()
         self._outbound: Deque[_QueuedFrame] = deque()
         self._wake = asyncio.Event()
@@ -162,7 +165,26 @@ class TcpPeer:
     def queued(self) -> int:
         return len(self._outbound)
 
+    @property
+    def telemetry_negotiated(self) -> bool:
+        """True when this connection's server hello offered telemetry."""
+        from repro.net.framing import FEATURE_TELEMETRY
+
+        return FEATURE_TELEMETRY in self.peer_features
+
     # -- loop-side internals ---------------------------------------------------
+
+    def _set_queue_gauge(self) -> None:
+        gauge = self._g_queue
+        if gauge is None:
+            metrics = self.transport._metrics
+            if metrics is None:
+                return
+            gauge = self._g_queue = metrics.gauge(
+                f'{self.transport._obs_name}.queue_depth'
+                f'{{peer="{self.name}"}}'
+            )
+        gauge.set(len(self._outbound))
 
     def _enqueue(self, frame: _QueuedFrame) -> None:
         if self._closed:
@@ -177,9 +199,22 @@ class TcpPeer:
             self.dropped_frames += 1
             if self.transport._c_dropped is not None:
                 self.transport._c_dropped.inc()
+            # Sheds happen at line rate when a peer wedges; record the
+            # first of every 64 so the flight ring shows the burst
+            # without being flooded by it.
+            if self.dropped_frames == 1 or self.dropped_frames % 64 == 0:
+                flight = self.transport._flight()
+                if flight is not None:
+                    flight.record(
+                        "net.shed",
+                        peer=self.name,
+                        dropped_total=self.dropped_frames,
+                        queue_limit=limit,
+                    )
         self._outbound.append(frame)
         self._drained.clear()
         self._wake.set()
+        self._set_queue_gauge()
 
     def _backoff_delay(self, attempt: int) -> float:
         base = self.transport.backoff_base * (2 ** min(attempt, 16))
@@ -207,6 +242,14 @@ class TcpPeer:
                 self.reconnects += 1
                 if self.transport._c_reconnects is not None:
                     self.transport._c_reconnects.inc()
+                flight = self.transport._flight()
+                if flight is not None:
+                    flight.record(
+                        "net.reconnect",
+                        peer=self.name,
+                        reconnects=self.reconnects,
+                        queued=len(self._outbound),
+                    )
             self.connected = True
             # Batching is negotiated per connection: off until this
             # connection's server hello advertises the feature.
@@ -358,6 +401,7 @@ class TcpPeer:
                 # whole (receiver dedupe absorbs the duplicates).
                 for _ in run:
                     self._outbound.popleft()
+                self._set_queue_gauge()
                 self.frames_sent += len(run)
                 self.frame_bytes_sent += wire_bytes
                 if len(run) > 1:
@@ -382,6 +426,8 @@ class TcpPeer:
 
     async def _read_loop(self, reader: asyncio.StreamReader) -> None:
         decoder = FrameDecoder(max_frame=self.transport.max_frame)
+        seen_compactions = 0
+        seen_batches = 0
         try:
             while True:
                 data = await reader.read(_READ_CHUNK)
@@ -393,6 +439,19 @@ class TcpPeer:
                     if self.transport._c_framing_errors is not None:
                         self.transport._c_framing_errors.inc()
                     break
+                finally:
+                    # Decoder stats are cumulative per connection; the
+                    # registry counters aggregate deltas across every
+                    # connection this transport ever held.
+                    if self.transport._c_decoder_compactions is not None:
+                        delta = decoder.compactions - seen_compactions
+                        if delta:
+                            self.transport._c_decoder_compactions.inc(delta)
+                        seen_compactions = decoder.compactions
+                        delta = decoder.batches_decoded - seen_batches
+                        if delta:
+                            self.transport._c_batches_decoded.inc(delta)
+                        seen_batches = decoder.batches_decoded
                 for kind, payload in frames:
                     self.last_heard = time.monotonic()
                     try:
@@ -423,6 +482,8 @@ class TcpPeer:
                         continue
                     if isinstance(envelope, Bye):
                         continue
+                    if isinstance(envelope, Telemetry):
+                        self.telemetry_frames_seen += 1
                     handler = self.transport.inbound_handler
                     if handler is not None:
                         handler(envelope, self)
@@ -535,7 +596,12 @@ class TcpTransport(Transport):
         self._c_frame_bytes = None
         self._c_framing_errors = None
         self._c_decode_errors = None
+        self._c_decoder_compactions = None
+        self._c_batches_decoded = None
         self._h_rtt = None
+        self._metrics = None
+        self._obs = None
+        self._obs_name = "transport.tcp"
 
     # -- observability ---------------------------------------------------------
 
@@ -554,7 +620,24 @@ class TcpTransport(Transport):
             f"{name}.framing_errors"
         )
         self._c_decode_errors = metrics.counter(f"{name}.decode_errors")
+        self._c_decoder_compactions = metrics.counter(
+            f"{name}.decoder_compactions"
+        )
+        self._c_batches_decoded = metrics.counter(
+            f"{name}.decoder_batches_decoded"
+        )
         self._h_rtt = metrics.histogram(f"{name}.heartbeat_rtt")
+        self._metrics = metrics
+        self._obs = obs
+        self._obs_name = name
+        # Re-attach invalidates per-peer gauge handles bound to the old
+        # registry (same rule as the counters above).
+        for peer in self._peers.values():
+            peer._g_queue = None
+
+    def _flight(self):
+        """The attached Observability's flight recorder, if any."""
+        return getattr(self._obs, "flight", None)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -793,11 +876,19 @@ class FrameServer:
             self._c_rejects = metrics.counter(
                 f"{name}.protocol_rejects"
             )
+            self._c_decoder_compactions = metrics.counter(
+                f"{name}.decoder_compactions"
+            )
+            self._c_batches_decoded = metrics.counter(
+                f"{name}.decoder_batches_decoded"
+            )
         else:
             self._c_accepted = None
             self._c_frames = None
             self._c_heartbeats = None
             self._c_rejects = None
+            self._c_decoder_compactions = None
+            self._c_batches_decoded = None
 
     async def start(
         self, host: str = "127.0.0.1", port: int = 0
@@ -834,6 +925,8 @@ class FrameServer:
         if self._c_accepted is not None:
             self._c_accepted.inc()
         decoder = FrameDecoder(max_frame=self.max_frame)
+        seen_compactions = 0
+        seen_batches = 0
         try:
             while True:
                 data = await reader.read(_READ_CHUNK)
@@ -844,6 +937,16 @@ class FrameServer:
                 except FramingError:
                     self.framing_errors += 1
                     break
+                finally:
+                    if self._c_decoder_compactions is not None:
+                        delta = decoder.compactions - seen_compactions
+                        if delta:
+                            self._c_decoder_compactions.inc(delta)
+                        seen_compactions = decoder.compactions
+                        delta = decoder.batches_decoded - seen_batches
+                        if delta:
+                            self._c_batches_decoded.inc(delta)
+                        seen_batches = decoder.batches_decoded
                 for kind, payload in frames:
                     conn.frames_received += 1
                     conn.last_heard = time.monotonic()

@@ -33,6 +33,8 @@ from repro.obs.metrics import (
     MetricsRegistry,
     bucket_quantile,
 )
+from repro.obs.flight import FlightRecorder, wide_event
+from repro.obs.health import HealthConfig, HealthMonitor, PeerHealth
 from repro.obs.quality import QualityConfig
 from repro.obs.tracing import Span, Tracer
 from repro.obs.trace import (
@@ -69,6 +71,11 @@ __all__ = [
     "RegretWindow",
     "DriftDetected",
     "QualityConfig",
+    "FlightRecorder",
+    "HealthConfig",
+    "HealthMonitor",
+    "PeerHealth",
+    "wide_event",
 ]
 
 
@@ -97,6 +104,14 @@ class Observability:
         #: check, like every other instrument here.
         self.quality_config: Optional[QualityConfig] = None
         self.quality = None
+        #: always-on crash flight recorder; None until
+        #: :meth:`enable_flight` — instrumented sites do a single
+        #: ``is None`` check like every other instrument here.
+        self.flight: Optional[FlightRecorder] = None
+        #: extra named sections merged into :meth:`to_dict` — e.g. the
+        #: broker parks its fleet health view here so one ``/metrics.json``
+        #: scrape (or result dump) carries the whole fleet state.
+        self._sections: Dict[str, Callable[[], object]] = {}
 
     def enable_tracing(
         self,
@@ -138,6 +153,40 @@ class Observability:
         self.quality_config = config or QualityConfig(**kwargs)
         return self.quality_config
 
+    def enable_flight(
+        self,
+        *,
+        maxlen: int = 4096,
+        host: Optional[str] = None,
+        install_global: bool = True,
+    ) -> FlightRecorder:
+        """Attach (or return the existing) crash :class:`FlightRecorder`.
+
+        ``install_global=True`` (default) also makes it the
+        process-global recorder that :func:`repro.obs.flight.wide_event`
+        call sites write to — one recorder per process is the expected
+        shape.
+        """
+        if self.flight is None:
+            self.flight = FlightRecorder(maxlen=maxlen, host=host)
+            if install_global:
+                from repro.obs import flight as _flight
+
+                _flight.set_global_recorder(self.flight)
+        return self.flight
+
+    def add_section(self, name: str, supplier: Callable[[], object]) -> None:
+        """Merge ``supplier()`` into :meth:`to_dict` under ``name``.
+
+        Reserved keys (``metrics``, ``trace``, ``tracing``, ``quality``,
+        ``flight``) are rejected.  Suppliers run on every dump — keep
+        them cheap and thread-safe; the HTTP exposer calls ``to_dict``
+        from its serving thread.
+        """
+        if name in ("metrics", "trace", "tracing", "quality", "flight"):
+            raise ValueError(f"section name {name!r} is reserved")
+        self._sections[name] = supplier
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable dump consumed by ``repro.tools.obsreport``."""
         data: Dict[str, object] = {
@@ -152,4 +201,8 @@ class Observability:
             data["tracing"] = self.tracing.to_dict()
         if self.quality is not None:
             data["quality"] = self.quality.report()
+        if self.flight is not None:
+            data["flight"] = self.flight.to_dict()
+        for name, supplier in self._sections.items():
+            data[name] = supplier()
         return data

@@ -279,6 +279,7 @@ def start_http_exposer(
     *,
     host: str = "127.0.0.1",
     port: int = 0,
+    health_source: Optional[Callable[[], object]] = None,
 ) -> MetricsExposer:
     """Serve *source*'s dump over HTTP; port 0 binds an ephemeral port.
 
@@ -287,35 +288,66 @@ def start_http_exposer(
     (``Observability.to_dict()``) or a bare metrics snapshot.  The
     server runs daemon-threaded so a forgotten exposer never blocks
     process exit.
+
+    With ``health_source``, the exposer also serves ``/healthz``: the
+    callable returns either a state string or a mapping with a
+    ``"state"``/``"overall"`` key (e.g. ``HealthMonitor.to_dict``), and
+    the route answers 200 for any state except ``wedged``, which gets
+    503 — so a plain HTTP liveness probe needs no JSON parsing.  Like
+    every other route it is silenced from per-request logging.
     """
 
     class Handler(BaseHTTPRequestHandler):
         def do_GET(self) -> None:  # noqa: N802 - http.server API
             path = self.path.split("?", 1)[0]
+            status = 200
             try:
-                # The source snapshots live registries that another
-                # thread may be extending; retry the rare mid-insert
-                # iteration race instead of failing the scrape.
-                for attempt in range(3):
-                    try:
-                        data = source()
-                        break
-                    except RuntimeError:
-                        if attempt == 2:
-                            raise
-                if path in ("/metrics", "/"):
-                    body = render_openmetrics(data).encode()
-                    ctype = "application/openmetrics-text; version=1.0.0"
-                elif path == "/metrics.json":
-                    body = json.dumps(data, default=str).encode()
+                if path == "/healthz":
+                    if health_source is None:
+                        self.send_error(404, "no health source")
+                        return
+                    health = health_source()
+                    if isinstance(health, Mapping):
+                        state = str(
+                            health.get("state")
+                            or health.get("overall")
+                            or "unknown"
+                        )
+                        payload = dict(health)
+                    else:
+                        state = str(health)
+                        payload = {"state": state}
+                    payload.setdefault("state", state)
+                    if state == "wedged":
+                        status = 503
+                    body = json.dumps(payload, default=str).encode()
                     ctype = "application/json"
                 else:
-                    self.send_error(404, "unknown path")
-                    return
+                    # The source snapshots live registries that another
+                    # thread may be extending; retry the rare mid-insert
+                    # iteration race instead of failing the scrape.
+                    for attempt in range(3):
+                        try:
+                            data = source()
+                            break
+                        except RuntimeError:
+                            if attempt == 2:
+                                raise
+                    if path in ("/metrics", "/"):
+                        body = render_openmetrics(data).encode()
+                        ctype = (
+                            "application/openmetrics-text; version=1.0.0"
+                        )
+                    elif path == "/metrics.json":
+                        body = json.dumps(data, default=str).encode()
+                        ctype = "application/json"
+                    else:
+                        self.send_error(404, "unknown path")
+                        return
             except Exception as exc:  # scrape must not kill the server
                 self.send_error(500, str(exc))
                 return
-            self.send_response(200)
+            self.send_response(status)
             self.send_header("Content-Type", ctype)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()

@@ -1,0 +1,226 @@
+"""Always-on bounded flight recorder of structured wide events.
+
+A :class:`FlightRecorder` is a fixed-size ring of timestamped dict
+events — plan applies/ships, reconnects, queue sheds, health
+transitions, fault injections — cheap enough to leave on in
+production.  Unlike the decision trace (``repro.obs.trace``) it is not
+sampled and not typed: any process-level "something notable happened"
+lands here as a plain dict, and the ring is dumped to JSON on abort,
+wedge, or SIGTERM so the last few thousand events survive a crash.
+
+``liveexp`` merges the per-process dumps (each event carries the
+recorder's ``host`` tag) alongside the tracer dumps, so a fleet run
+leaves one joined record of *what happened where*.
+
+The module also hosts the :func:`wide_event` helper that replaces
+scattered one-shot ``warnings.warn`` / ``print`` call sites: it records
+into the process-global recorder (when one is installed) and optionally
+emits a deduplicated ``RuntimeWarning`` — at most once per
+``(kind, dedupe)`` key, preserving the one-warning-per-(function,
+reason) behaviour the codegen backend relied on.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import socket
+import threading
+import time
+import warnings
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "FlightRecorder",
+    "get_global_recorder",
+    "merge_flight_dumps",
+    "reset_wide_event_dedupe",
+    "set_global_recorder",
+    "wide_event",
+]
+
+_DEFAULT_MAXLEN = 4096
+
+
+class FlightRecorder:
+    """Bounded ring of structured wide events.
+
+    Thread-safe: events are recorded from asyncio loop threads, writer
+    threads and signal handlers alike.  ``maxlen`` bounds memory; the
+    ``dropped`` counter records how many events fell off the head.
+    """
+
+    def __init__(
+        self,
+        *,
+        maxlen: int = _DEFAULT_MAXLEN,
+        host: Optional[str] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if maxlen <= 0:
+            raise ValueError(f"maxlen must be positive, got {maxlen}")
+        self.host = host if host is not None else socket.gethostname()
+        self.clock = clock
+        self._events: Deque[dict] = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+        self.maxlen = maxlen
+        self.recorded = 0
+        self.dropped = 0
+        self._dump_path: Optional[str] = None
+        self._prev_handlers: Dict[int, object] = {}
+
+    def record(self, kind: str, **fields: object) -> dict:
+        """Append one wide event; returns the stored dict."""
+        event = {"t": self.clock(), "host": self.host, "kind": kind}
+        event.update(fields)
+        with self._lock:
+            if len(self._events) == self.maxlen:
+                self.dropped += 1
+            self._events.append(event)
+            self.recorded += 1
+        return event
+
+    def to_list(self) -> List[dict]:
+        with self._lock:
+            return list(self._events)
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "host": self.host,
+                "maxlen": self.maxlen,
+                "recorded": self.recorded,
+                "dropped": self.dropped,
+                "events": list(self._events),
+            }
+
+    def count(self, kind: str) -> int:
+        """How many *kept* events of ``kind`` are in the ring."""
+        with self._lock:
+            return sum(1 for e in self._events if e.get("kind") == kind)
+
+    def dump_json(self, path: str) -> None:
+        """Write the full recorder state to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, default=str)
+            handle.write("\n")
+
+    # -- crash dumping -------------------------------------------------
+
+    def install_signal_dump(
+        self, path: str, signals: Tuple[int, ...] = (signal.SIGTERM,)
+    ) -> None:
+        """Dump the ring to ``path`` when one of ``signals`` arrives.
+
+        Chains any previously installed handler (default SIGTERM
+        disposition is re-raised so the process still dies).  Must be
+        called from the main thread — signal.signal requires it; callers
+        on other threads should use :meth:`dump_json` at shutdown
+        instead.
+        """
+        self._dump_path = path
+        for signum in signals:
+            prev = signal.getsignal(signum)
+            self._prev_handlers[signum] = prev
+            signal.signal(signum, self._on_signal)
+
+    def _on_signal(self, signum, frame) -> None:
+        self.record("signal", signum=int(signum))
+        try:
+            if self._dump_path:
+                self.dump_json(self._dump_path)
+        except OSError:
+            pass
+        prev = self._prev_handlers.get(signum)
+        if callable(prev):
+            prev(signum, frame)
+        elif prev == signal.SIG_DFL:
+            # restore and re-raise so the default disposition applies
+            signal.signal(signum, signal.SIG_DFL)
+            signal.raise_signal(signum)
+
+
+# -- process-global recorder + wide-event helper -----------------------
+
+_global_recorder: Optional[FlightRecorder] = None
+_emitted: Set[Tuple[str, str]] = set()
+_emitted_lock = threading.Lock()
+
+
+def set_global_recorder(recorder: Optional[FlightRecorder]) -> None:
+    """Install (or clear, with None) the process-global recorder."""
+    global _global_recorder
+    _global_recorder = recorder
+
+
+def get_global_recorder() -> Optional[FlightRecorder]:
+    return _global_recorder
+
+
+def reset_wide_event_dedupe(kind: Optional[str] = None) -> None:
+    """Forget dedupe keys — all of them, or just one event kind's."""
+    with _emitted_lock:
+        if kind is None:
+            _emitted.clear()
+        else:
+            for key in [k for k in _emitted if k[0] == kind]:
+                _emitted.discard(key)
+
+
+def wide_event(
+    kind: str,
+    *,
+    recorder: Optional[FlightRecorder] = None,
+    dedupe: Optional[str] = None,
+    warn: Optional[str] = None,
+    stacklevel: int = 2,
+    **fields: object,
+) -> Optional[dict]:
+    """Record a structured wide event; optionally warn once.
+
+    With ``dedupe`` set, only the first event per ``(kind, dedupe)``
+    key is recorded (and warned about) — later occurrences are silent
+    no-ops, matching the old one-``warnings.warn``-per-site behaviour.
+    Without it, every call records.  ``warn`` additionally raises a
+    ``RuntimeWarning`` with the given message (once per dedupe key, or
+    every time when undeduplicated).
+    """
+    if dedupe is not None:
+        key = (kind, dedupe)
+        with _emitted_lock:
+            if key in _emitted:
+                return None
+            _emitted.add(key)
+    rec = recorder if recorder is not None else _global_recorder
+    event = rec.record(kind, **fields) if rec is not None else None
+    if warn is not None:
+        warnings.warn(warn, RuntimeWarning, stacklevel=stacklevel)
+    return event
+
+
+def merge_flight_dumps(dumps: List[dict]) -> dict:
+    """Merge per-process flight dumps into one time-ordered record.
+
+    Each input is a :meth:`FlightRecorder.to_dict` mapping; events
+    already carry their recorder's ``host`` tag, so the merge is a sort
+    on the shared wall clock.
+    """
+    events: List[dict] = []
+    hosts: List[str] = []
+    recorded = 0
+    dropped = 0
+    for dump in dumps:
+        if not dump:
+            continue
+        hosts.append(dump.get("host", "?"))
+        recorded += int(dump.get("recorded", 0))
+        dropped += int(dump.get("dropped", 0))
+        events.extend(dump.get("events", []))
+    events.sort(key=lambda e: e.get("t", 0.0))
+    return {
+        "hosts": hosts,
+        "recorded": recorded,
+        "dropped": dropped,
+        "events": events,
+    }

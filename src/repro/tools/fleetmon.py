@@ -1,0 +1,232 @@
+"""Fleet health dashboard over the broker's aggregated telemetry.
+
+Where :mod:`repro.tools.monitor` watches one process's adaptation loop,
+``fleetmon`` watches the *fleet*: it polls the broker's
+``/metrics.json`` (whose obs dump carries the ``fleet`` section the
+:class:`~repro.obs.health.HealthMonitor` publishes) and renders one row
+per peer — health state, heartbeat-RTT EWMA, outbound queue depth,
+dropped frames with a **drop burn rate** (frames shed per second since
+the previous poll), telemetry freshness, dedupe and drift counts.  A
+peer shedding faster than ``--alert-drop-rate`` gets an ``ALERT`` tag,
+and any peer not ``healthy`` is called out in the frame header.
+
+Sources are URLs (polled live) or paths to dump files (a broker result
+JSON or a bare obs dump; burn rates need two polls, so file sources
+show totals).  Usage::
+
+    python -m repro.tools.fleetmon http://127.0.0.1:9464 --interval 1
+    python -m repro.tools.fleetmon live-results/broker.json --once
+    python -m repro.tools.fleetmon http://127.0.0.1:9464 --json --once
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.tools.monitor import fetch_dump
+
+__all__ = ["fleet_view", "render_fleet_frame", "main"]
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _labeled_gauge(
+    metrics: Dict[str, object], base: str, peer: str
+) -> Optional[float]:
+    value = (metrics.get("gauges") or {}).get(f'{base}{{peer="{peer}"}}')
+    return float(value) if value is not None else None
+
+
+def _fmt_ms(value: Optional[float]) -> str:
+    return f"{value * 1e3:.1f}ms" if value is not None else "-"
+
+
+def fleet_view(
+    dump: Dict[str, object],
+    prev: Optional[Dict[str, object]] = None,
+    seconds: float = 0.0,
+    *,
+    alert_drop_rate: float = 10.0,
+) -> Dict[str, object]:
+    """Distill one obs dump into the fleet table (pure data).
+
+    ``prev`` is the previous poll's dump; with it and a positive
+    ``seconds`` the per-peer dropped-frame delta becomes a burn rate.
+    """
+    fleet = dump.get("fleet") or {}
+    metrics = dump.get("metrics") or {}
+    prev_metrics = (prev or {}).get("metrics") or {}
+    peers = []
+    for name, ph in sorted((fleet.get("peers") or {}).items()):
+        dropped = _labeled_gauge(metrics, "broker.dropped_frames", name)
+        if dropped is None:
+            dropped = float(ph.get("sheds_total") or 0)
+        burn = None
+        before = _labeled_gauge(prev_metrics, "broker.dropped_frames", name)
+        if before is not None and seconds > 0:
+            burn = max(0.0, dropped - before) / seconds
+        peers.append({
+            "peer": name,
+            "state": ph.get("state"),
+            "connected": ph.get("connected"),
+            "rtt_ewma": ph.get("rtt_ewma"),
+            "queue": _labeled_gauge(metrics, "broker.queue_depth", name),
+            "dropped": dropped,
+            "drop_rate": burn,
+            "alert": burn is not None and burn >= alert_drop_rate,
+            "telemetry_frames": ph.get("telemetry_frames"),
+            "staleness": ph.get("staleness"),
+            "duplicates": ph.get("duplicates_total"),
+            "drift": ph.get("drift_total"),
+            "transitions": len(ph.get("transitions") or []),
+        })
+    return {
+        "overall": fleet.get("overall", "?"),
+        "peers": peers,
+        "unhealthy": [
+            p["peer"] for p in peers if p["state"] not in ("healthy", None)
+        ],
+        "alerts": [p["peer"] for p in peers if p["alert"]],
+    }
+
+
+def render_fleet_frame(
+    source: str,
+    view: Optional[Dict[str, object]],
+) -> str:
+    """One dashboard frame; pure text so tests can assert on it."""
+    lines = [f"== {source}"]
+    if view is None:
+        lines.append("  (unreachable)")
+        return "\n".join(lines)
+    header = f"  fleet: {view['overall']}"
+    if view["unhealthy"]:
+        header += f"   not healthy: {', '.join(view['unhealthy'])}"
+    if view["alerts"]:
+        header += f"   SHED ALERT: {', '.join(view['alerts'])}"
+    lines.append(header)
+    if not view["peers"]:
+        lines.append("  (no peers yet)")
+        return "\n".join(lines)
+    lines.append(
+        f"  {'peer':<14} {'state':<11} {'rtt':>8} {'queue':>6} "
+        f"{'dropped':>8} {'drop/s':>7} {'telem':>6} {'stale':>7} "
+        f"{'dup':>5} {'drift':>5}"
+    )
+    for p in view["peers"]:
+        state = str(p["state"] or "?")
+        if p["state"] not in ("healthy", None):
+            state = state.upper()
+        if p["alert"]:
+            state += "!"
+        queue = f"{p['queue']:.0f}" if p["queue"] is not None else "-"
+        burn = f"{p['drop_rate']:.1f}" if p["drop_rate"] is not None else "-"
+        stale = (
+            f"{p['staleness']:.2f}s" if p["staleness"] is not None else "-"
+        )
+        lines.append(
+            f"  {p['peer']:<14} {state:<11} {_fmt_ms(p['rtt_ewma']):>8} "
+            f"{queue:>6} {p['dropped']:>8.0f} {burn:>7} "
+            f"{p['telemetry_frames'] or 0:>6} {stale:>7} "
+            f"{p['duplicates'] or 0:>5} {p['drift'] or 0:>5}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.fleetmon",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "sources", nargs="+",
+        help="broker exposition URLs (http://host:port) and/or dump files",
+    )
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="seconds between polls")
+    parser.add_argument("--iterations", type=int, default=0,
+                        help="stop after N frames (0 = until Ctrl-C)")
+    parser.add_argument("--once", action="store_true",
+                        help="print a single frame and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one JSON object per frame instead of "
+                        "the TTY table")
+    parser.add_argument("--alert-drop-rate", type=float, default=10.0,
+                        help="frames shed per second that flags a peer")
+    parser.add_argument("--no-clear", action="store_true",
+                        help="append frames instead of redrawing the screen")
+    args = parser.parse_args(argv)
+    if args.once:
+        args.iterations = 1
+
+    prev: List[Optional[Dict[str, object]]] = [None] * len(args.sources)
+    last_poll: Optional[float] = None
+    frames = 0
+    try:
+        while True:
+            dumps: List[Optional[Dict[str, object]]] = []
+            for source in args.sources:
+                try:
+                    dumps.append(fetch_dump(source))
+                except Exception:
+                    dumps.append(None)
+            now = time.time()
+            seconds = (now - last_poll) if last_poll is not None else 0.0
+            if args.json:
+                frame = {
+                    "at": now,
+                    "sources": {
+                        source: (
+                            fleet_view(
+                                dump,
+                                before,
+                                seconds,
+                                alert_drop_rate=args.alert_drop_rate,
+                            )
+                            if dump is not None
+                            else None
+                        )
+                        for source, dump, before in zip(
+                            args.sources, dumps, prev
+                        )
+                    },
+                }
+                print(json.dumps(frame, default=str), flush=True)
+            else:
+                if (
+                    not args.once
+                    and not args.no_clear
+                    and sys.stdout.isatty()
+                ):
+                    sys.stdout.write(_CLEAR)
+                stamp = time.strftime("%H:%M:%S")
+                print(f"-- repro fleetmon @ {stamp} --")
+                for source, dump, before in zip(args.sources, dumps, prev):
+                    view = (
+                        fleet_view(
+                            dump,
+                            before,
+                            seconds,
+                            alert_drop_rate=args.alert_drop_rate,
+                        )
+                        if dump is not None
+                        else None
+                    )
+                    print(render_fleet_frame(source, view), flush=True)
+            prev = dumps
+            last_poll = now
+            frames += 1
+            if args.iterations and frames >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

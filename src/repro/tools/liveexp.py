@@ -45,6 +45,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs.export import chrome_trace, merge_tracer_dumps
+from repro.obs.flight import merge_flight_dumps
 
 __all__ = ["run_live_experiment", "run_fanout_experiment", "main"]
 
@@ -245,6 +246,16 @@ def _verify(
         wanted <= names,
         f"have {sorted(names & (wanted | {'plan.ship', 'plan.apply'}))}",
     )
+    transport = sender["transport"]
+    _check(
+        checks,
+        "telemetry negotiated & pushed",
+        bool(transport.get("telemetry_negotiated"))
+        and int(sender.get("telemetry_seen", 0)) >= 1,
+        f"negotiated {transport.get('telemetry_negotiated')}, "
+        f"sender ingested {sender.get('telemetry_seen', 0)} frame(s) "
+        f"of {receiver.get('telemetry_pushes', 0)} pushed",
+    )
     return checks
 
 
@@ -355,6 +366,12 @@ def run_live_experiment(
     chrome_path = outdir / "merged_chrome_trace.json"
     with open(chrome_path, "w") as handle:
         json.dump(chrome_trace(merged), handle)
+    merged_flight = merge_flight_dumps([
+        result.get("obs", {}).get("flight", {})
+        for result in (sender_result, receiver_result)
+    ])
+    with open(outdir / "merged_flight.json", "w") as handle:
+        json.dump(merged_flight, handle, indent=2, default=str)
 
     checks = _verify(
         sender_result, receiver_result, merged, drop_after=drop_after
@@ -422,6 +439,7 @@ def run_live_experiment(
                 "published",
                 "shipped",
                 "plan_updates_applied",
+                "telemetry_seen",
                 "initial_plan_edges",
                 "final_plan_edges",
                 "transport",
@@ -435,6 +453,7 @@ def run_live_experiment(
                 "plan_ships",
                 "drops_injected",
                 "duplicates_skipped",
+                "telemetry_pushes",
                 "msgs_per_second",
                 "latency_by_pse",
                 "final_plan_edges",
@@ -523,6 +542,7 @@ def _verify_fanout(
     broker: Dict[str, object],
     receivers: List[Dict[str, object]],
     merged: Dict[str, object],
+    merged_flight: Dict[str, object],
     *,
     wedge_index: int,
 ) -> List[Tuple[str, bool, str]]:
@@ -610,6 +630,70 @@ def _verify_fanout(
         wanted <= names,
         f"have {sorted(names & (wanted | {'fork', 'ship'}))}",
     )
+
+    # -- fleet telemetry plane ------------------------------------------
+    negotiated = {
+        name: bool(sub["transport"].get("telemetry_negotiated"))
+        and int(sub.get("telemetry_frames", 0)) >= 1
+        for name, sub in subs.items()
+    }
+    _check(
+        checks,
+        "telemetry negotiated & pushed per peer",
+        all(negotiated.values()),
+        "per-peer TELEMETRY frames at broker: "
+        + ", ".join(
+            f"{name}={subs[name].get('telemetry_frames', 0)}"
+            for name in sorted(subs)
+        ),
+    )
+    fleet_peers = broker.get("fleet", {}).get("peers", {})
+    if wedge_index >= 0:
+        wedged_name = receivers[wedge_index]["name"]
+        ph = fleet_peers.get(wedged_name, {})
+        transitions = ph.get("transitions", [])
+        went_wedged = any(t.get("to") == "wedged" for t in transitions)
+        recovered = any(
+            t.get("from") == "wedged" and t.get("to") == "recovering"
+            for t in transitions
+        )
+        _check(
+            checks,
+            "broker observed the wedge",
+            went_wedged
+            and recovered
+            and ph.get("state") in ("recovering", "healthy"),
+            f"{wedged_name} transitions "
+            f"{[(t.get('from'), t.get('to')) for t in transitions]}, "
+            f"final {ph.get('state')}",
+        )
+        live_states = {
+            r["name"]: fleet_peers.get(r["name"], {}).get("state")
+            for i, r in enumerate(receivers)
+            if i != wedge_index
+        }
+        _check(
+            checks,
+            "live peers end healthy",
+            all(state == "healthy" for state in live_states.values()),
+            f"final states: {live_states}",
+        )
+        flight_events = merged_flight.get("events", [])
+        flight_kinds = {e.get("kind") for e in flight_events}
+        flight_wedged = any(
+            e.get("kind") == "health.transition"
+            and e.get("to") == "wedged"
+            and e.get("peer") == wedged_name
+            for e in flight_events
+        )
+        _check(
+            checks,
+            "flight recorder captured the wedge",
+            "net.shed" in flight_kinds
+            and "fault.wedge" in flight_kinds
+            and flight_wedged,
+            f"merged flight kinds: {sorted(k for k in flight_kinds if k)}",
+        )
     return checks
 
 
@@ -743,11 +827,18 @@ def run_fanout_experiment(
         json.dump(merged, handle)
     with open(outdir / "merged_chrome_trace.json", "w") as handle:
         json.dump(chrome_trace(merged), handle)
+    merged_flight = merge_flight_dumps([
+        result.get("obs", {}).get("flight", {})
+        for result in (broker_result, *receiver_results)
+    ])
+    with open(outdir / "merged_flight.json", "w") as handle:
+        json.dump(merged_flight, handle, indent=2, default=str)
 
     checks = _verify_fanout(
         broker_result,
         receiver_results,
         merged,
+        merged_flight,
         wedge_index=wedge_index,
     )
     _check(
@@ -803,6 +894,8 @@ def run_fanout_experiment(
                 "forks",
                 "plan_updates_applied",
                 "recalibrations",
+                "telemetry_frames",
+                "fleet",
                 "plan_cache",
                 "subscribers",
             )
@@ -817,6 +910,8 @@ def run_fanout_experiment(
                     "duplicates_skipped",
                     "wedges_injected",
                     "plan_ships",
+                    "telemetry_pushes",
+                    "self_health",
                     "msgs_per_second",
                     "final_plan_edges",
                 )

@@ -130,6 +130,49 @@ def render_report(
         lines.append("== adaptation quality ==")
         for line in render_quality(quality).splitlines():
             lines.append(f"  {line}")
+
+    flight = data.get("flight")
+    if flight:
+        events = flight.get("events", [])
+        lines.append("")
+        lines.append(
+            f"== flight recorder ({flight.get('recorded', 0)} recorded, "
+            f"{flight.get('dropped', 0)} dropped) =="
+        )
+        by_kind: dict = {}
+        for event in events:
+            by_kind[event.get("kind", "?")] = (
+                by_kind.get(event.get("kind", "?"), 0) + 1
+            )
+        for kind in sorted(by_kind):
+            lines.append(f"  {kind}: {by_kind[kind]}")
+        for event in events[-10:]:
+            fields = ", ".join(
+                f"{k}={_format_value(v)}"
+                for k, v in event.items()
+                if k not in ("kind", "t", "host")
+            )
+            lines.append(f"  {event.get('kind', '?')}({fields})")
+
+    fleet = data.get("fleet")
+    if fleet:
+        lines.append("")
+        lines.append(f"== fleet health (overall: {fleet.get('overall')}) ==")
+        for name, ph in sorted((fleet.get("peers") or {}).items()):
+            rtt = ph.get("rtt_ewma")
+            rtt_text = f"{rtt * 1e3:.1f}ms" if rtt is not None else "-"
+            lines.append(
+                f"  {name}: {ph.get('state')} (rtt {rtt_text}, "
+                f"sheds {ph.get('sheds_total', 0)}, "
+                f"drift {ph.get('drift_total', 0)}, "
+                f"telemetry {ph.get('telemetry_frames', 0)}, "
+                f"{len(ph.get('transitions') or [])} transition(s))"
+            )
+            for t in (ph.get("transitions") or [])[-5:]:
+                lines.append(
+                    f"    {t.get('from')} -> {t.get('to')}: "
+                    f"{t.get('reason')}"
+                )
     return "\n".join(lines)
 
 
@@ -293,6 +336,16 @@ def report_json(data: Mapping) -> dict:
             else None
         ),
         "quality": data.get("quality") or None,
+        "flight": (
+            {
+                "recorded": data["flight"].get("recorded", 0),
+                "dropped": data["flight"].get("dropped", 0),
+                "events_kept": len(data["flight"].get("events", [])),
+            }
+            if data.get("flight")
+            else None
+        ),
+        "fleet": data.get("fleet") or None,
     }
 
 
@@ -327,6 +380,14 @@ def main(argv=None) -> int:
     except (OSError, ValueError) as exc:
         print(f"obsreport: cannot read {args.dump}: {exc}", file=sys.stderr)
         return 1
+    if "metrics" not in data and "obs" in data:
+        # A live result file (broker.json / receiver0.json) wraps the
+        # obs dump under "obs"; the post-drain fleet snapshot rides at
+        # the top level and wins over the dump-time section.
+        wrapped = dict(data["obs"])
+        if "fleet" in data:
+            wrapped["fleet"] = data["fleet"]
+        data = wrapped
     if args.json:
         json.dump(report_json(data), sys.stdout, indent=2)
         print()

@@ -1,0 +1,192 @@
+"""TELEMETRY frames: codec, negotiation gating, end-to-end push."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.apps.sensor.pipeline import build_partitioned_process
+from repro.errors import ProtocolError
+from repro.net.endpoint import NetReceiverEndpoint
+from repro.net.framing import (
+    BATCHABLE_KINDS,
+    FEATURE_BATCH,
+    FEATURE_TELEMETRY,
+    KIND_TELEMETRY,
+    LOCAL_FEATURES,
+    NetEnvelopeCodec,
+    Telemetry,
+)
+from repro.net.tcp import TcpTransport
+
+
+def _wait_until(predicate, timeout=10.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+# -- codec ---------------------------------------------------------------------
+
+
+def test_telemetry_codec_round_trip():
+    codec = NetEnvelopeCodec()
+    payload = {
+        "counters": {"demodulated": 42, "duplicates_skipped": 1},
+        "health": "healthy",
+        "drift_events": 2,
+    }
+    envelope = Telemetry(
+        source="receiver1",
+        instance="abc123",
+        seq=7,
+        sent_at=1234.5,
+        payload=payload,
+    )
+    kind, encoded = codec.encode(envelope)
+    assert kind == KIND_TELEMETRY
+    decoded, sent_at = codec.decode(kind, encoded)
+    assert isinstance(decoded, Telemetry)
+    assert decoded.source == "receiver1"
+    assert decoded.instance == "abc123"
+    assert decoded.seq == 7
+    assert decoded.payload == payload
+    assert sent_at == 1234.5
+
+
+def test_telemetry_payload_must_be_mapping():
+    codec = NetEnvelopeCodec()
+    # Bypass the keyword constructor's intent: a non-dict payload
+    # encodes, but the decoder must reject it.
+    envelope = Telemetry(source="r", seq=1, sent_at=1.0)
+    envelope.payload = ["not", "a", "mapping"]
+    kind, encoded = codec.encode(envelope)
+    with pytest.raises(ProtocolError, match="mapping"):
+        codec.decode(kind, encoded)
+
+
+def test_telemetry_is_control_adjacent():
+    # Staleness is itself a health signal: telemetry must never wait
+    # behind an accumulating data batch.
+    assert KIND_TELEMETRY not in BATCHABLE_KINDS
+    # This build both batches and receives telemetry.
+    assert FEATURE_BATCH in LOCAL_FEATURES
+    assert FEATURE_TELEMETRY in LOCAL_FEATURES
+
+
+# -- negotiation gating (stubbed connections) ----------------------------------
+
+
+class _StubConn:
+    def __init__(self, features, closed=False):
+        self.hello = SimpleNamespace(features=tuple(features))
+        self.closed = closed
+        self.sent = []
+
+    async def send(self, envelope):
+        self.sent.append(envelope)
+
+
+@pytest.fixture()
+def receiver_endpoint():
+    partitioned, _sink = build_partitioned_process(n_stages=4)
+    endpoint = NetReceiverEndpoint(
+        partitioned,
+        codec=NetEnvelopeCodec(partitioned.serializer_registry),
+    )
+    return endpoint
+
+
+def test_push_only_to_advertising_connections(receiver_endpoint):
+    endpoint = receiver_endpoint
+    modern = _StubConn(LOCAL_FEATURES)
+    legacy = _StubConn((FEATURE_BATCH,))  # pre-telemetry build
+    handshaking = _StubConn(LOCAL_FEATURES)
+    handshaking.hello = None  # no hello yet
+    dead = _StubConn(LOCAL_FEATURES, closed=True)
+    endpoint.server.connections.extend(
+        [modern, legacy, handshaking, dead]
+    )
+
+    sent = asyncio.run(endpoint.push_telemetry())
+    assert sent == 1
+    assert len(modern.sent) == 1
+    assert legacy.sent == []
+    assert handshaking.sent == []
+    assert dead.sent == []
+
+    envelope = modern.sent[0]
+    assert isinstance(envelope, Telemetry)
+    assert envelope.source == endpoint.name
+    assert envelope.instance == endpoint.instance
+    assert envelope.seq == 1
+    assert envelope.payload["health"] == "healthy"
+    assert envelope.payload["counters"]["demodulated"] == 0
+
+    # Sequence numbers burn per push, so the aggregator can spot gaps.
+    asyncio.run(endpoint.push_telemetry())
+    assert modern.sent[1].seq == 2
+
+
+def test_push_without_negotiated_peer_is_free(receiver_endpoint):
+    endpoint = receiver_endpoint
+    endpoint.server.connections.append(_StubConn((FEATURE_BATCH,)))
+    assert asyncio.run(endpoint.push_telemetry()) == 0
+    assert endpoint.telemetry_pushes == 0
+    assert endpoint.telemetry_sent == 0
+
+
+# -- end-to-end over a real socket ---------------------------------------------
+
+
+def test_telemetry_pushes_reach_subscribed_client():
+    partitioned, _sink = build_partitioned_process(n_stages=4)
+    endpoint = NetReceiverEndpoint(
+        partitioned,
+        codec=NetEnvelopeCodec(partitioned.serializer_registry),
+        telemetry_interval=0.05,
+    )
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    transport = None
+    try:
+        host, port = asyncio.run_coroutine_threadsafe(
+            endpoint.start(), loop
+        ).result(5.0)
+
+        received = []
+        transport = TcpTransport(
+            NetEnvelopeCodec(partitioned.serializer_registry),
+            backoff_base=0.01,
+            backoff_cap=0.1,
+        ).start()
+        transport.inbound_handler = (
+            lambda envelope, peer: received.append(envelope)
+        )
+        peer = transport.peer(host, port)
+
+        assert _wait_until(lambda: peer.telemetry_frames_seen >= 2)
+        assert peer.telemetry_negotiated
+        frames = [e for e in received if isinstance(e, Telemetry)]
+        assert len(frames) >= 2
+        assert frames[0].instance == endpoint.instance
+        assert frames[0].payload["health"] == "healthy"
+        assert "codegen_fallbacks" in frames[0].payload
+        # Per-process push counter: strictly increasing, gap-free here.
+        seqs = [f.seq for f in frames[:2]]
+        assert seqs == sorted(seqs)
+        assert endpoint.telemetry_sent >= 2
+    finally:
+        if transport is not None:
+            transport.close()
+        asyncio.run_coroutine_threadsafe(endpoint.stop(), loop).result(5.0)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(5.0)

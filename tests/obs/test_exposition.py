@@ -91,6 +91,79 @@ def test_round_trip_preserves_values_and_labels():
     assert [s["value"] for s in buckets] == [1.0, 2.0, 3.0]
 
 
+def test_round_trip_covers_every_family_kind():
+    """Renderer ↔ parser over the full instrument surface.
+
+    Plain and labeled variants of all three kinds, including the
+    transport's queue-depth / decoder gauges and a labeled histogram —
+    the shapes the fleet telemetry plane ships around.
+    """
+    obs = Observability()
+    m = obs.metrics
+    m.counter("broker.telemetry_frames").inc(9)
+    m.counter('health.transitions{peer="r1",to="wedged"}').inc(2)
+    m.gauge("transport.tcp.decoder_compactions").set(4)
+    m.gauge("transport.tcp.decoder_batches_decoded").set(17)
+    m.gauge('transport.tcp.queue_depth{peer="127.0.0.1:9000"}').set(12)
+    m.gauge('health.state{peer="r1"}').set(3)
+    plain = m.histogram("demod_latency", bounds=(0.01, 0.1))
+    for v in (0.005, 0.05, 0.5):
+        plain.observe(v)
+    labeled = m.histogram('stage_latency{pse="p1"}', bounds=(1.0,))
+    labeled.observe(0.5)
+    labeled.observe(2.0)
+
+    families = parse_openmetrics(render_openmetrics(m.to_dict()))
+
+    assert families["broker_telemetry_frames"]["type"] == "counter"
+    assert (
+        families["broker_telemetry_frames"]["samples"][0]["value"] == 9.0
+    )
+    transitions = families["health_transitions"]["samples"]
+    assert transitions == [
+        {
+            "name": "health_transitions_total",
+            "labels": {"peer": "r1", "to": "wedged"},
+            "value": 2.0,
+        }
+    ]
+    assert (
+        families["transport_tcp_decoder_compactions"]["samples"][0]["value"]
+        == 4.0
+    )
+    queue = families["transport_tcp_queue_depth"]["samples"][0]
+    assert queue["labels"] == {"peer": "127.0.0.1:9000"}
+    assert queue["value"] == 12.0
+    state = families["health_state"]["samples"][0]
+    assert state["labels"] == {"peer": "r1"}
+    assert state["value"] == 3.0
+
+    plain_buckets = [
+        s
+        for s in families["demod_latency"]["samples"]
+        if s["name"] == "demod_latency_bucket"
+    ]
+    assert [s["labels"]["le"] for s in plain_buckets] == [
+        "0.01", "0.1", "+Inf",
+    ]
+    assert [s["value"] for s in plain_buckets] == [1.0, 2.0, 3.0]
+
+    assert families["stage_latency"]["type"] == "histogram"
+    labeled_samples = families["stage_latency"]["samples"]
+    by_name = {}
+    for sample in labeled_samples:
+        assert sample["labels"]["pse"] == "p1"
+        by_name.setdefault(sample["name"], []).append(sample)
+    assert [s["labels"]["le"] for s in by_name["stage_latency_bucket"]] == [
+        "1", "+Inf",
+    ]
+    assert [s["value"] for s in by_name["stage_latency_bucket"]] == [
+        1.0, 2.0,
+    ]
+    assert by_name["stage_latency_sum"][0]["value"] == 2.5
+    assert by_name["stage_latency_count"][0]["value"] == 2.0
+
+
 @pytest.mark.parametrize(
     "text, match",
     [
@@ -146,6 +219,63 @@ def test_http_exposer_serves_text_and_json():
                 f"http://{exposer.host}:{exposer.port}/nope", timeout=5.0
             )
         assert err.value.code == 404
+    finally:
+        exposer.close()
+
+
+def test_healthz_absent_without_source():
+    obs = _sample_registry()
+    exposer = start_http_exposer(obs.to_dict, port=0)
+    try:
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(
+                f"http://{exposer.host}:{exposer.port}/healthz",
+                timeout=5.0,
+            )
+        assert err.value.code == 404
+    finally:
+        exposer.close()
+
+
+def test_healthz_reports_state_string_and_mapping():
+    obs = _sample_registry()
+    state = {"value": "healthy"}
+    exposer = start_http_exposer(
+        obs.to_dict, port=0, health_source=lambda: state["value"]
+    )
+    try:
+        url = f"http://{exposer.host}:{exposer.port}/healthz"
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"] == "application/json"
+            assert json.loads(response.read()) == {"state": "healthy"}
+        # Mapping form (a HealthMonitor dump): the overall key drives
+        # the status, the payload passes through.
+        state["value"] = {"overall": "degraded", "peers": {}}
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            assert response.status == 200
+            payload = json.loads(response.read())
+        assert payload["state"] == "degraded"
+        assert payload["peers"] == {}
+    finally:
+        exposer.close()
+
+
+def test_healthz_returns_503_when_wedged():
+    obs = _sample_registry()
+    exposer = start_http_exposer(
+        obs.to_dict,
+        port=0,
+        health_source=lambda: {"state": "wedged", "forced": "injected"},
+    )
+    try:
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(
+                f"http://{exposer.host}:{exposer.port}/healthz",
+                timeout=5.0,
+            )
+        assert err.value.code == 503
+        assert json.loads(err.value.read())["state"] == "wedged"
     finally:
         exposer.close()
 

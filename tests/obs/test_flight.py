@@ -1,0 +1,177 @@
+"""Flight recorder: bounded ring, crash dumps, wide-event dedupe."""
+
+import json
+
+import pytest
+
+from repro.obs.flight import (
+    FlightRecorder,
+    get_global_recorder,
+    merge_flight_dumps,
+    reset_wide_event_dedupe,
+    set_global_recorder,
+    wide_event,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_state():
+    prev = get_global_recorder()
+    set_global_recorder(None)
+    reset_wide_event_dedupe()
+    yield
+    set_global_recorder(prev)
+    reset_wide_event_dedupe()
+
+
+def _fake_clock(start=100.0, step=1.0):
+    state = {"t": start - step}
+
+    def clock():
+        state["t"] += step
+        return state["t"]
+
+    return clock
+
+
+class TestFlightRecorder:
+    def test_record_stamps_time_host_and_kind(self):
+        rec = FlightRecorder(host="worker-1", clock=_fake_clock())
+        event = rec.record("net.shed", peer="r0", dropped=3)
+        assert event == {
+            "t": 100.0,
+            "host": "worker-1",
+            "kind": "net.shed",
+            "peer": "r0",
+            "dropped": 3,
+        }
+        assert rec.to_list() == [event]
+
+    def test_ring_is_bounded_and_counts_drops(self):
+        rec = FlightRecorder(maxlen=3, host="h", clock=_fake_clock())
+        for i in range(5):
+            rec.record("tick", i=i)
+        kept = rec.to_list()
+        assert [e["i"] for e in kept] == [2, 3, 4]
+        assert rec.recorded == 5
+        assert rec.dropped == 2
+        dump = rec.to_dict()
+        assert dump["maxlen"] == 3
+        assert dump["recorded"] == 5
+        assert dump["dropped"] == 2
+        assert len(dump["events"]) == 3
+
+    def test_rejects_nonpositive_maxlen(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(maxlen=0)
+
+    def test_count_by_kind(self):
+        rec = FlightRecorder(host="h")
+        rec.record("a")
+        rec.record("b")
+        rec.record("a")
+        assert rec.count("a") == 2
+        assert rec.count("b") == 1
+        assert rec.count("missing") == 0
+
+    def test_dump_json_round_trips(self, tmp_path):
+        rec = FlightRecorder(host="h", clock=_fake_clock())
+        rec.record("fault.wedge", role="receiver1", seconds=2.0)
+        path = tmp_path / "flight.json"
+        rec.dump_json(str(path))
+        data = json.loads(path.read_text())
+        assert data["host"] == "h"
+        assert data["events"][0]["kind"] == "fault.wedge"
+        assert data["events"][0]["role"] == "receiver1"
+
+
+class TestWideEvent:
+    def test_no_global_recorder_is_a_safe_noop(self):
+        assert wide_event("codegen.fallback", reason="loop") is None
+
+    def test_records_into_global_recorder(self):
+        rec = FlightRecorder(host="h")
+        set_global_recorder(rec)
+        event = wide_event("net.reconnect", peer="r0", attempt=2)
+        assert event is not None
+        assert event["kind"] == "net.reconnect"
+        assert rec.count("net.reconnect") == 1
+
+    def test_explicit_recorder_wins_over_global(self):
+        global_rec = FlightRecorder(host="g")
+        local_rec = FlightRecorder(host="l")
+        set_global_recorder(global_rec)
+        wide_event("x", recorder=local_rec)
+        assert local_rec.count("x") == 1
+        assert global_rec.count("x") == 0
+
+    def test_dedupe_records_and_warns_once(self):
+        rec = FlightRecorder(host="h")
+        set_global_recorder(rec)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            first = wide_event(
+                "codegen.fallback",
+                dedupe="f:loop",
+                warn="falling back to interpreter",
+                fn="f",
+            )
+        assert first is not None
+        # Second occurrence: no event, no warning.
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            second = wide_event(
+                "codegen.fallback",
+                dedupe="f:loop",
+                warn="falling back to interpreter",
+                fn="f",
+            )
+        assert second is None
+        assert rec.count("codegen.fallback") == 1
+        # A different dedupe key under the same kind still records.
+        with pytest.warns(RuntimeWarning):
+            wide_event(
+                "codegen.fallback", dedupe="g:closure", warn="other", fn="g"
+            )
+        assert rec.count("codegen.fallback") == 2
+
+    def test_reset_dedupe_restores_emission(self):
+        rec = FlightRecorder(host="h")
+        set_global_recorder(rec)
+        wide_event("a", dedupe="k")
+        wide_event("b", dedupe="k")
+        assert wide_event("a", dedupe="k") is None
+        reset_wide_event_dedupe("a")
+        assert wide_event("a", dedupe="k") is not None
+        assert wide_event("b", dedupe="k") is None
+        reset_wide_event_dedupe()
+        assert wide_event("b", dedupe="k") is not None
+
+
+class TestMergeFlightDumps:
+    def test_merge_orders_by_time_across_hosts(self):
+        a = FlightRecorder(host="a", clock=_fake_clock(start=10.0, step=10.0))
+        b = FlightRecorder(host="b", clock=_fake_clock(start=15.0, step=10.0))
+        a.record("e1")
+        b.record("e2")
+        a.record("e3")
+        merged = merge_flight_dumps([a.to_dict(), b.to_dict()])
+        assert merged["hosts"] == ["a", "b"]
+        assert merged["recorded"] == 3
+        assert merged["dropped"] == 0
+        assert [(e["t"], e["host"]) for e in merged["events"]] == [
+            (10.0, "a"),
+            (15.0, "b"),
+            (20.0, "a"),
+        ]
+
+    def test_merge_skips_empty_dumps_and_sums_drops(self):
+        rec = FlightRecorder(maxlen=1, host="only")
+        rec.record("x")
+        rec.record("y")
+        merged = merge_flight_dumps([{}, rec.to_dict(), None])
+        assert merged["hosts"] == ["only"]
+        assert merged["recorded"] == 2
+        assert merged["dropped"] == 1
+        assert [e["kind"] for e in merged["events"]] == ["y"]
