@@ -49,6 +49,7 @@ from repro.core.plan import (
     PartitioningPlan,
     PlanRuntime,
     receiver_heavy_plan,
+    sender_heavy_plan,
     union_plan,
 )
 from repro.core.runtime.feedback import RemoteProfilingProxy
@@ -60,9 +61,23 @@ from repro.jecho.events import (
     PlanEnvelope,
 )
 from repro.net.endpoint import _adopt_rate
-from repro.net.framing import Bye, Telemetry
+from repro.net.framing import FEATURE_ELECTION, Bye, Election, Telemetry
+from repro.net.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BREAKER_STATE_CODES,
+    BreakerConfig,
+    Bulkhead,
+    CircuitBreaker,
+)
 from repro.net.tcp import TcpPeer, TcpTransport
-from repro.obs.health import HealthConfig, HealthMonitor, PeerHealth
+from repro.obs.health import (
+    WEDGED,
+    HealthConfig,
+    HealthMonitor,
+    PeerHealth,
+)
 from repro.obs.trace import ContinuationShipped
 from repro.serialization import measure_size
 
@@ -152,11 +167,36 @@ class BrokerSubscriber:
         self.last_telemetry: Optional[Dict[str, object]] = None
         #: health state machine, bound by the broker's HealthMonitor
         self.health: Optional[PeerHealth] = None
+        #: circuit breaker + bulkhead, bound by the broker's resilience
+        #: plane (None when the broker was built with resilience off)
+        self.breaker: Optional[CircuitBreaker] = None
+        self.bulkhead: Optional[Bulkhead] = None
+        #: publishes whose tail ran fully broker-side because the
+        #: breaker was open (the live half of a retraction)
+        self.absorbed = 0
+        #: ship attempts refused at the last gate (forced-edge ship
+        #: while open, or bulkhead admission rejected)
+        self.ships_suppressed = 0
+        #: retraction state: ``retracting`` while the outbound queue
+        #: drains, ``retracted`` once the plan has switched sender-side
+        self.retracting = False
+        self.retracted = False
+        self.retraction_deadline: Optional[float] = None
+        self.retractions = 0
+        self.resplits = 0
+        #: the split to restore on recovery (plan + idempotency version)
+        self.saved_plan: Optional[PartitioningPlan] = None
+        self.saved_plan_version = 0
+        #: newest PLAN frame deferred while retracted (kept, not lost)
+        self.pending_plan: Optional[PlanEnvelope] = None
+        self.plans_deferred = 0
         #: set by finish(); a disconnect after the goodbye drained is an
         #: orderly exit, not a fault
         self.bye_sent = False
         self._drift_reported = 0
         self._last_rtt_fed: Optional[float] = None
+        self._send_timeouts_fed = 0
+        self._g_breaker = None
         # labeled per-peer instruments, bound by the broker when it has obs
         self._c_shipped = None
         self._c_forks = None
@@ -203,6 +243,23 @@ class BrokerSubscriber:
             "health": (
                 self.health.to_dict() if self.health is not None else None
             ),
+            "breaker": (
+                self.breaker.to_dict()
+                if self.breaker is not None
+                else None
+            ),
+            "bulkhead": (
+                self.bulkhead.to_dict()
+                if self.bulkhead is not None
+                else None
+            ),
+            "absorbed": self.absorbed,
+            "ships_suppressed": self.ships_suppressed,
+            "retracting": self.retracting,
+            "retracted": self.retracted,
+            "retractions": self.retractions,
+            "resplits": self.resplits,
+            "plans_deferred": self.plans_deferred,
             "transport": {
                 "queued": self.peer.queued,
                 "connections": self.peer.connections,
@@ -246,6 +303,8 @@ class NetBrokerEndpoint:
         obs=None,
         health_config: Optional[HealthConfig] = None,
         health_interval: float = 0.0,
+        breaker_config: Optional[BreakerConfig] = None,
+        resilience: bool = True,
     ) -> None:
         if feedback_period < 1:
             raise ValueError("feedback_period must be >= 1")
@@ -293,6 +352,27 @@ class NetBrokerEndpoint:
         self.health = HealthMonitor(obs=obs, config=health_config)
         self.health_interval = health_interval
         self.telemetry_frames = 0
+        #: resilience plane: per-subscriber breakers fed by health
+        #: transitions (a wedged peer trips) and send failures; on trip
+        #: the peer's split is retracted fully sender-side, on recovery
+        #: it is re-split.  A closed breaker costs the publish path one
+        #: attribute check, so the plane defaults on.
+        self.resilience = resilience
+        self.breaker_config = (
+            breaker_config if breaker_config is not None else BreakerConfig()
+        )
+        self._retraction_plan = sender_heavy_plan(partitioned.cut)
+        self.retractions = 0
+        self.resplits = 0
+        #: the last receiver to announce coordinatorship via a relayed
+        #: ELECTION frame (None when no election traffic has flowed)
+        self.leader: Optional[str] = None
+        self.leader_priority: Optional[int] = None
+        self.election_frames = 0
+        self.elections_relayed = 0
+        self._by_name: Dict[str, BrokerSubscriber] = {}
+        if resilience:
+            self.health.add_listener(self._on_health_transition)
         self._health_stop = threading.Event()
         self._health_thread: Optional[threading.Thread] = None
         if obs is not None:
@@ -301,12 +381,23 @@ class NetBrokerEndpoint:
             self._c_forks = metrics.counter("broker.forks")
             self._c_plan_updates = metrics.counter("broker.plan_updates")
             self._c_telemetry = metrics.counter("broker.telemetry_frames")
+            self._c_retractions = metrics.counter("broker.retractions")
+            self._c_resplits = metrics.counter("broker.resplits")
+            self._c_absorbed = metrics.counter("broker.absorbed")
+            self._c_suppressed = metrics.counter("broker.ships_suppressed")
+            self._c_elections = metrics.counter("broker.election_frames")
             obs.add_section("fleet", self.health.to_dict)
+            obs.add_section("resilience", self._resilience_dump)
         else:
             self._c_published = None
             self._c_forks = None
             self._c_plan_updates = None
             self._c_telemetry = None
+            self._c_retractions = None
+            self._c_resplits = None
+            self._c_absorbed = None
+            self._c_suppressed = None
+            self._c_elections = None
         transport.inbound_handler = self._on_inbound
         if health_interval > 0:
             self._health_thread = threading.Thread(
@@ -355,6 +446,16 @@ class NetBrokerEndpoint:
                 ),
             )
             sub.health = self.health.peer(label)
+            if self.resilience:
+                sub.breaker = CircuitBreaker(
+                    label,
+                    self.breaker_config,
+                    on_transition=self._on_breaker_transition,
+                )
+                if self.breaker_config.bulkhead_limit is not None:
+                    sub.bulkhead = Bulkhead(
+                        self.breaker_config.bulkhead_limit
+                    )
             if self.obs is not None:
                 metrics = self.obs.metrics
                 sub._c_shipped = metrics.counter(
@@ -378,8 +479,16 @@ class NetBrokerEndpoint:
                 sub._g_connected = metrics.gauge(
                     f'broker.connected{{peer="{label}"}}'
                 )
+                if sub.breaker is not None:
+                    sub._g_breaker = metrics.gauge(
+                        f'broker.breaker_state{{peer="{label}"}}'
+                    )
+                    sub._g_breaker.set(
+                        BREAKER_STATE_CODES[sub.breaker.state]
+                    )
             self.subscribers.append(sub)
             self._by_peer[peer] = sub
+            self._by_name[label] = sub
             self._union_dirty = True
         return sub
 
@@ -488,7 +597,21 @@ class NetBrokerEndpoint:
             # this thread, so shipped bytes are immune to any mutation a
             # later fork's execution performs on shared values.
             deep: List[BrokerSubscriber] = []
+            absorbed: List[BrokerSubscriber] = []
             for sub in subs:
+                br = sub.breaker
+                if (
+                    br is not None
+                    and not br.is_closed
+                    and not br.allow()
+                ):
+                    # Open breaker (or exhausted half-open probe
+                    # budget): this message's tail runs broker-side —
+                    # the live half of the retraction, active from the
+                    # instant of the trip while the plan swap awaits
+                    # the queue drain.
+                    absorbed.append(sub)
+                    continue
                 if shared_edge in self._peer_runtime(sub).split_edge_set():
                     self._replay_shared(
                         sub, observations, split_edge=shared_edge
@@ -507,6 +630,19 @@ class NetBrokerEndpoint:
                     shared_cycles,
                     shared_elapsed,
                     run_ctx,
+                )
+            for sub in absorbed:
+                sub.absorbed += 1
+                if self._c_absorbed is not None:
+                    self._c_absorbed.inc()
+                self._replay_shared(sub, observations, split_edge=None)
+                self._fork(
+                    sub,
+                    shared_msg,
+                    shared_cycles,
+                    shared_elapsed,
+                    run_ctx,
+                    runtime=self.cache.runtime(self._retraction_plan),
                 )
             self._after_publish(
                 span,
@@ -552,13 +688,17 @@ class NetBrokerEndpoint:
         shared_cycles: float,
         shared_elapsed: float,
         run_ctx: Optional[Tuple[int, int]],
+        *,
+        runtime: Optional[PlanRuntime] = None,
     ) -> None:
         """Resume the shared continuation under *sub*'s deeper plan.
 
         The clone passes through the codec so the fork's environment
         shares no mutable state with the shared message or with other
         forks — exactly what the receiver would have deserialized had
-        the wire carried it.
+        the wire carried it.  *runtime* overrides the subscriber's plan
+        runtime — the absorb path passes the sender-heavy runtime so a
+        tripped peer's tail runs to completion broker-side.
         """
         codec = self.partitioned.codec
         clone = codec.decode(codec.encode(shared_msg))
@@ -586,7 +726,9 @@ class NetBrokerEndpoint:
         outcome = self.partitioned.interpreter.resume(
             self.partitioned.function,
             clone.to_continuation(),
-            split_hook=self._peer_runtime(sub),
+            split_hook=(
+                runtime if runtime is not None else self._peer_runtime(sub)
+            ),
             edge_observer=observer,
             observe_edges=self._pse_edges,
             meter=meter,
@@ -643,6 +785,21 @@ class NetBrokerEndpoint:
         if pse is not None and pse.noop_resume and not message.variables:
             sub.proxy.record_local_completion()
             sub.elided += 1
+            return
+        br = sub.breaker
+        if br is not None and br.state == BREAKER_OPEN:
+            # Reachable only for a forced-edge split surviving the
+            # sender-heavy absorb resume: nowhere left to run it.
+            self._suppress_ship(sub, "breaker open")
+            return
+        bh = sub.bulkhead
+        if bh is not None and not bh.admit(sub.peer.queued):
+            # Admission refused before paying for the encode: the
+            # peer's outbound queue already holds `limit` frames, so
+            # drop-oldest shedding was imminent anyway.
+            self._suppress_ship(sub, "bulkhead full")
+            if br is not None:
+                br.record_failure("bulkhead full")
             return
         sub.proxy.record_mod_total(total_cycles)
         size = float(self.partitioned.codec.size(message))
@@ -707,6 +864,9 @@ class NetBrokerEndpoint:
                 for sub in self.subscribers:
                     self._feed_sub_health(sub)
                 self.health.evaluate_all()
+                now = time.monotonic()
+                for sub in self.subscribers:
+                    self._resilience_tick(sub, now)
 
     def _after_publish(self, span, *, outcome: str, **attrs) -> None:
         """Gauges, feedback cadence, span close (lock held)."""
@@ -714,6 +874,9 @@ class NetBrokerEndpoint:
             sub.refresh_gauges()
             self._feed_sub_health(sub)
         self.health.evaluate_all()
+        now = time.monotonic()
+        for sub in self.subscribers:
+            self._resilience_tick(sub, now)
         if self.published % self.feedback_period == 0:
             for sub in self.subscribers:
                 if sub.proxy.pending > 0:
@@ -751,6 +914,223 @@ class NetBrokerEndpoint:
             return self.rate_override
         return best
 
+    # -- resilience plane (breaker / retraction / re-split) ----------------------
+    #
+    # Everything here runs with self.lock held: health transitions fire
+    # inside evaluate_all / force calls (publish thread, health thread,
+    # or inbound telemetry — all under the lock), and breaker
+    # transitions fire inside trip/allow/record_* calls driven from the
+    # same places.
+
+    def _flight(self):
+        return getattr(self.obs, "flight", None) if self.obs else None
+
+    def _on_health_transition(self, ph: PeerHealth, record: dict) -> None:
+        """HealthMonitor listener: a wedged peer trips its breaker."""
+        sub = self._by_name.get(ph.name)
+        if sub is None or sub.breaker is None:
+            return
+        if record["to"] == WEDGED:
+            sub.breaker.trip(f"health wedged: {record['reason']}")
+
+    def _on_breaker_transition(
+        self, breaker: CircuitBreaker, record: dict
+    ) -> None:
+        """Breaker edges actuate the split: trip retracts, close re-splits."""
+        sub = self._by_name.get(breaker.name)
+        if sub is None:
+            return
+        if sub._g_breaker is not None:
+            sub._g_breaker.set(BREAKER_STATE_CODES[record["to"]])
+        flight = self._flight()
+        if flight is not None:
+            flight.record(
+                "breaker.transition",
+                peer=breaker.name,
+                **{"from": record["from"], "to": record["to"]},
+                reason=record["reason"],
+            )
+        if record["to"] == BREAKER_OPEN:
+            self._start_retraction(sub)
+        elif record["to"] == BREAKER_CLOSED:
+            self._resplit(sub)
+
+    def _start_retraction(self, sub: BrokerSubscriber) -> None:
+        """Begin migrating *sub*'s split back to fully sender-side.
+
+        The plan swap waits (bounded by ``drain_timeout``) for the
+        peer's outbound queue to drain so continuations already encoded
+        toward the old split are not interleaved with the new plan;
+        publishes arriving meanwhile are absorbed broker-side by the
+        open breaker, so nothing is lost during the wait.
+        """
+        if sub.retracting or sub.retracted:
+            return
+        sub.retracting = True
+        sub.retraction_deadline = (
+            time.monotonic() + self.breaker_config.drain_timeout
+        )
+        flight = self._flight()
+        if flight is not None:
+            flight.record(
+                "breaker.retract_begin",
+                peer=sub.name,
+                queued=sub.peer.queued,
+            )
+        self._maybe_complete_retraction(sub, time.monotonic())
+
+    def _maybe_complete_retraction(
+        self, sub: BrokerSubscriber, now: float
+    ) -> None:
+        """Switch plans once in-flight frames drained (or timed out)."""
+        if not sub.retracting:
+            return
+        drained = sub.peer.queued == 0
+        if not drained and (
+            sub.retraction_deadline is None
+            or now < sub.retraction_deadline
+        ):
+            return
+        sub.saved_plan = sub.plan
+        sub.saved_plan_version = sub.plan_version_applied
+        sub.plan = self._retraction_plan
+        sub.retracting = False
+        sub.retracted = True
+        sub.retraction_deadline = None
+        sub.retractions += 1
+        self.retractions += 1
+        if self._c_retractions is not None:
+            self._c_retractions.inc()
+        self._union_dirty = True
+        if self.rate_override is not None:
+            self._rate_stale = True
+        flight = self._flight()
+        if flight is not None:
+            flight.record(
+                "breaker.retract",
+                peer=sub.name,
+                drained=drained,
+                saved_plan=sub.saved_plan.name,
+            )
+
+    def _resplit(self, sub: BrokerSubscriber) -> None:
+        """Restore the split after the breaker closed (recovery).
+
+        The receiver may have shipped newer PLAN frames while retracted
+        (they were deferred, not applied); the newest deferred version
+        wins over the saved pre-trip plan.
+        """
+        if not (sub.retracting or sub.retracted):
+            return
+        target: Optional[PartitioningPlan] = None
+        version = 0
+        pending = sub.pending_plan
+        if pending is not None and pending.version > sub.saved_plan_version:
+            target = pending.plan
+            version = pending.version
+        elif sub.saved_plan is not None:
+            target = sub.saved_plan
+            version = sub.saved_plan_version
+        sub.pending_plan = None
+        sub.retracting = False
+        sub.retracted = False
+        sub.retraction_deadline = None
+        if target is None:
+            return
+        sub.plan = target
+        if version > sub.plan_version_applied:
+            sub.plan_version_applied = version
+        sub.resplits += 1
+        self.resplits += 1
+        if self._c_resplits is not None:
+            self._c_resplits.inc()
+        self._union_dirty = True
+        if self.rate_override is not None:
+            self._rate_stale = True
+        flight = self._flight()
+        if flight is not None:
+            flight.record(
+                "breaker.resplit",
+                peer=sub.name,
+                plan=target.name,
+                version=version,
+            )
+
+    def _resilience_tick(self, sub: BrokerSubscriber, now: float) -> None:
+        """Advance one peer's breaker/retraction state (lock held)."""
+        br = sub.breaker
+        if br is None:
+            return
+        # Send failures count toward the trip threshold even while the
+        # health machine still calls the peer degraded.
+        delta = sub.peer.send_timeouts - sub._send_timeouts_fed
+        if delta > 0:
+            sub._send_timeouts_fed = sub.peer.send_timeouts
+            for _ in range(min(delta, 8)):
+                br.record_failure("send timeout", now)
+        if br.state == BREAKER_OPEN:
+            # Advancing past the probe backoff transitions to half-open
+            # (the consumed probe admits the next publish's ship).
+            br.allow(now)
+        if br.state == BREAKER_HALF_OPEN:
+            # Half-open: judge the probe window on connectivity + the
+            # health machine's verdict + signal freshness.
+            ph = sub.health
+            state = ph.state if ph is not None else None
+            if not sub.peer.connected or state == WEDGED:
+                br.record_failure("peer still wedged", now)
+            else:
+                last = sub.peer.last_heard
+                fresh = (
+                    last is not None
+                    and now - last < self.health.config.stale_degraded
+                )
+                if fresh:
+                    br.record_success(now)
+        if sub.retracting:
+            self._maybe_complete_retraction(sub, now)
+
+    def _suppress_ship(self, sub: BrokerSubscriber, reason: str) -> None:
+        sub.ships_suppressed += 1
+        sub.proxy.record_local_completion()
+        if self._c_suppressed is not None:
+            self._c_suppressed.inc()
+        flight = self._flight()
+        if flight is not None:
+            flight.record(
+                "breaker.suppress", peer=sub.name, reason=reason
+            )
+
+    def _resilience_dump(self) -> Dict[str, object]:
+        return {
+            "retractions": self.retractions,
+            "resplits": self.resplits,
+            "leader": self.leader,
+            "leader_priority": self.leader_priority,
+            "election_frames": self.election_frames,
+            "elections_relayed": self.elections_relayed,
+            "peers": {
+                sub.name: {
+                    "breaker": (
+                        sub.breaker.to_dict()
+                        if sub.breaker is not None
+                        else None
+                    ),
+                    "bulkhead": (
+                        sub.bulkhead.to_dict()
+                        if sub.bulkhead is not None
+                        else None
+                    ),
+                    "retracting": sub.retracting,
+                    "retracted": sub.retracted,
+                    "absorbed": sub.absorbed,
+                    "ships_suppressed": sub.ships_suppressed,
+                    "plans_deferred": sub.plans_deferred,
+                }
+                for sub in self.subscribers
+            },
+        }
+
     # -- control plane (transport loop thread) -----------------------------------
 
     def _on_inbound(self, envelope: object, peer: TcpPeer) -> None:
@@ -759,6 +1139,9 @@ class NetBrokerEndpoint:
                 sub = self._by_peer.get(peer)
                 if sub is not None:
                     self._ingest_telemetry(sub, envelope)
+            return
+        if isinstance(envelope, Election):
+            self._relay_election(envelope, peer)
             return
         if not isinstance(envelope, PlanEnvelope):
             return
@@ -772,6 +1155,17 @@ class NetBrokerEndpoint:
                 and envelope.version <= sub.plan_version_applied
             ):
                 sub.plan_duplicates_ignored += 1
+                return
+            if sub.retracting or sub.retracted:
+                # The peer is mid-retraction: defer the update instead
+                # of re-splitting toward a tripped peer.  Newest
+                # version wins; _resplit applies it on recovery.
+                if (
+                    sub.pending_plan is None
+                    or envelope.version >= sub.pending_plan.version
+                ):
+                    sub.pending_plan = envelope
+                sub.plans_deferred += 1
                 return
             sub.plan = envelope.plan
             if envelope.version:
@@ -798,6 +1192,44 @@ class NetBrokerEndpoint:
                 end=now,
                 attrs={"plan": envelope.plan.name, "peer": sub.name},
             )
+
+    def _relay_election(self, envelope: Election, peer: TcpPeer) -> None:
+        """Fan an ELECTION frame out to the other receivers.
+
+        Receivers cannot see each other directly — their only shared
+        vertex is this broker — so the bully protocol's broadcasts are
+        relayed here: every inbound announcement goes to every *other*
+        subscriber whose connection negotiated the election feature.
+        The broker also shadows the outcome (``leader``) for fleetmon.
+        """
+        with self.lock:
+            self.election_frames += 1
+            if self._c_elections is not None:
+                self._c_elections.inc()
+            if envelope.op == "coordinator":
+                if self.leader != envelope.member:
+                    flight = self._flight()
+                    if flight is not None:
+                        flight.record(
+                            "election.leader",
+                            leader=envelope.member,
+                            priority=envelope.priority,
+                            term=envelope.term,
+                        )
+                self.leader = envelope.member
+                self.leader_priority = envelope.priority
+            targets = [
+                sub
+                for sub in self.subscribers
+                if sub.peer is not peer
+                and FEATURE_ELECTION in sub.peer.peer_features
+            ]
+            for sub in targets:
+                try:
+                    self.transport.send(sub.peer, envelope, 64.0)
+                    self.elections_relayed += 1
+                except TransportError:
+                    pass
 
     def _ingest_telemetry(self, sub: BrokerSubscriber, frame: Telemetry) -> None:
         """Fold one pushed TELEMETRY frame into the fleet view (lock held)."""
@@ -882,6 +1314,11 @@ class NetBrokerEndpoint:
                 "plan_updates_applied": self.plan_updates_applied,
                 "recalibrations": self.recalibrations,
                 "telemetry_frames": self.telemetry_frames,
+                "retractions": self.retractions,
+                "resplits": self.resplits,
+                "leader": self.leader,
+                "election_frames": self.election_frames,
+                "elections_relayed": self.elections_relayed,
                 "fleet": self.health.to_dict(),
                 "plan_cache": {
                     "hits": self.cache.hits,

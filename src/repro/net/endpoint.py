@@ -40,7 +40,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.partitioned import PartitionedMethod
 from repro.errors import TransportError
-from repro.core.plan import PartitioningPlan
+from repro.core.plan import PartitioningPlan, sender_heavy_plan
 from repro.core.runtime.feedback import RemoteProfilingProxy, ingest
 from repro.core.runtime.triggers import FeedbackTrigger, RateTrigger
 from repro.jecho.events import (
@@ -50,13 +50,24 @@ from repro.jecho.events import (
     PlanEnvelope,
 )
 from repro.net.framing import (
+    FEATURE_ELECTION,
     FEATURE_TELEMETRY,
     Bye,
+    Election,
     NetEnvelopeCodec,
     Telemetry,
 )
+from repro.net.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+    ElectionConfig,
+    ElectionMember,
+)
 from repro.net.tcp import FrameServer, ServerConnection, TcpPeer, TcpTransport
-from repro.obs.health import HealthConfig, HealthMonitor
+from repro.obs.health import WEDGED, HealthConfig, HealthMonitor
 from repro.obs.trace import ContinuationShipped
 
 __all__ = ["NetSenderEndpoint", "NetReceiverEndpoint"]
@@ -110,6 +121,8 @@ class NetSenderEndpoint:
         recalibrate: Optional[Callable[[], float]] = None,
         obs=None,
         health_config: Optional[HealthConfig] = None,
+        breaker_config: Optional[BreakerConfig] = None,
+        resilience: bool = True,
     ) -> None:
         """``rate_override`` records a *calibrated* seconds-per-cycle
         instead of the raw per-message wall clock.  Raw measurements are
@@ -174,6 +187,31 @@ class NetSenderEndpoint:
         self.last_telemetry: Optional[dict] = None
         self._drift_reported = 0
         self._last_rtt_fed: Optional[float] = None
+        #: circuit breaker over the single peer: wedged health or send
+        #: failures trip it, and while it is not closed the endpoint
+        #: *retracts the split* — the modulator runs the sender-heavy
+        #: plan, continuations complete in-process (via a lazily built
+        #: local demodulator for the one already in hand), and inbound
+        #: PLAN frames are deferred until the breaker re-closes.
+        self.resilience = resilience
+        self.breaker: Optional[CircuitBreaker] = None
+        self._retraction_plan = sender_heavy_plan(partitioned.cut)
+        self._local_demod = None
+        self.absorbed = 0
+        self.retractions = 0
+        self.resplits = 0
+        self.retracted = False
+        self.saved_plan: Optional[PartitioningPlan] = None
+        self.saved_plan_version = 0
+        self.pending_plan: Optional[PlanEnvelope] = None
+        self.plans_deferred = 0
+        if resilience:
+            self.breaker = CircuitBreaker(
+                peer.name,
+                breaker_config,
+                on_transition=self._on_breaker_transition,
+            )
+            self.health.add_listener(self._on_health_transition)
         transport.inbound_handler = self._on_inbound
 
     def _tracer(self):
@@ -230,7 +268,15 @@ class NetSenderEndpoint:
                 self.proxy.record_sender_rate(seconds, result.cycles)
             self.published += 1
             message = result.message
-            if message is not None:
+            br = self.breaker
+            if message is None:
+                self.completed_locally += 1
+            elif br is not None and not br.is_closed and not br.allow():
+                # Breaker open (or half-open with the probe budget
+                # spent): the continuation completes in-process instead
+                # of shipping toward a peer known to be in trouble.
+                self._absorb(message)
+            else:
                 size = float(self.partitioned.codec.size(message))
                 envelope = ContinuationEnvelope(
                     continuation=message,
@@ -245,16 +291,24 @@ class NetSenderEndpoint:
                     tracer = self.obs.tracing
                     if tracer is not None:
                         tracer.observe_pse(str(message.pse_id), size=size)
-                self.transport.send(self.peer, envelope, size)
-                self.shipped += 1
-            else:
-                self.completed_locally += 1
+                try:
+                    self.transport.send(self.peer, envelope, size)
+                except TransportError as exc:
+                    # The send path failing is a breaker signal *and*
+                    # must not lose the message: absorb it locally.
+                    if br is not None:
+                        br.record_failure(f"send failed: {exc}")
+                    self._absorb(message)
+                else:
+                    self.shipped += 1
             if (
                 self.published % self.feedback_period == 0
                 and self.proxy.pending > 0
             ):
                 self._flush_feedback()
             self._feed_peer_health()
+            if br is not None:
+                self._resilience_tick()
 
     def _feed_peer_health(self) -> None:
         """Refresh the peer's health signals from transport state (lock held)."""
@@ -269,6 +323,130 @@ class NetSenderEndpoint:
             ph.note_rtt(rtt)
         ph.note_sheds(peer.dropped_frames)
         ph.evaluate()
+
+    # -- resilience (breaker + split retraction; all lock held) ----------------
+
+    def _absorb(self, message) -> None:
+        """Complete a continuation in-process instead of shipping it.
+
+        The local demodulator is this process's copy of the receiver
+        tail — both sides build the same partitioned method from the
+        same program text, so resuming here is semantically identical
+        to resuming across the wire, minus the bytes.  Counted into
+        ``completed_locally`` so the conservation identity
+        ``shipped + completed_locally == published`` holds regardless
+        of breaker state.
+        """
+        if self._local_demod is None:
+            self._local_demod = self.partitioned.make_demodulator(
+                record_rates=False
+            )
+        self._local_demod.process(message)
+        self.absorbed += 1
+        self.completed_locally += 1
+
+    def _on_health_transition(self, ph, record: dict) -> None:
+        """HealthMonitor listener: the peer going wedged trips the breaker."""
+        if self.breaker is None or ph is not self.peer_health:
+            return
+        if record["to"] == WEDGED:
+            self.breaker.trip(f"health wedged: {record['reason']}")
+
+    def _on_breaker_transition(
+        self, breaker: CircuitBreaker, record: dict
+    ) -> None:
+        """Breaker edges actuate the split (fires under ``self.lock``)."""
+        from repro.obs.flight import get_global_recorder
+
+        flight = get_global_recorder()
+        if flight is not None:
+            flight.record(
+                "breaker.transition",
+                peer=self.peer.name,
+                frm=record["from"],
+                to=record["to"],
+                reason=record["reason"],
+            )
+        if record["to"] == BREAKER_OPEN:
+            self._retract()
+        elif record["to"] == BREAKER_CLOSED:
+            self._restore_split()
+
+    def _retract(self) -> None:
+        """Swap the modulator to the sender-heavy plan (lock held).
+
+        Unlike the broker there is no receiver-side queue to drain — the
+        modulator *is* the only producer, and the caller already holds
+        the lock that serializes it, so the swap is immediate: every
+        message from the next ``process`` on completes locally.
+        """
+        if self.retracted:
+            return
+        plan = self.modulator.plan_runtime.current_plan
+        self.saved_plan = plan
+        self.saved_plan_version = self.plan_version_applied
+        self.modulator.apply_plan(self._retraction_plan)
+        self.retracted = True
+        self.retractions += 1
+
+    def _restore_split(self) -> None:
+        """Breaker closed: re-apply the best plan known (lock held).
+
+        A PLAN frame deferred during retraction supersedes the saved
+        plan when its version is fresher — the receiver recomputed
+        while we were retracted, and its view wins, exactly as it would
+        have had the breaker never opened.
+        """
+        if not self.retracted:
+            return
+        self.retracted = False
+        pending = self.pending_plan
+        self.pending_plan = None
+        if (
+            pending is not None
+            and pending.version > self.saved_plan_version
+        ):
+            self.modulator.apply_plan(pending.plan)
+            self.plan_version_applied = pending.version
+            self.plan_updates_applied += 1
+        elif self.saved_plan is not None:
+            self.modulator.apply_plan(self.saved_plan)
+        self.saved_plan = None
+        self.resplits += 1
+        self._refresh_rate_override()
+
+    def _resilience_tick(self) -> None:
+        """Feed the breaker's probe verdicts from transport state (lock held)."""
+        br = self.breaker
+        now = time.monotonic()
+        if br.state == BREAKER_OPEN:
+            # Past the backoff the next allow() flips to half-open; the
+            # publish path consults allow() anyway, so nothing to do.
+            return
+        if br.state == BREAKER_HALF_OPEN:
+            peer = self.peer
+            if not peer.connected or self.peer_health.state == WEDGED:
+                br.record_failure("probe: peer unhealthy")
+                return
+            heard = peer.last_heard
+            if (
+                heard is not None
+                and now - heard < self.health.config.stale_degraded
+            ):
+                br.record_success()
+
+    def resilience_dump(self) -> dict:
+        """Breaker + retraction state for dashboards and dumps."""
+        return {
+            "breaker": (
+                self.breaker.to_dict() if self.breaker is not None else None
+            ),
+            "absorbed": self.absorbed,
+            "retracted": self.retracted,
+            "retractions": self.retractions,
+            "resplits": self.resplits,
+            "plans_deferred": self.plans_deferred,
+        }
 
     def _flush_feedback(self) -> None:
         """Ship buffered observations as a FEEDBACK frame (lock held)."""
@@ -317,6 +495,17 @@ class NetSenderEndpoint:
                 # (at-least-once head-frame delivery across a reconnect)
                 # must not re-run the apply path.
                 self.plan_duplicates_ignored += 1
+                return
+            if self.retracted:
+                # Split is retracted while the breaker is open: park the
+                # plan (newest version wins) and apply it on re-split —
+                # actuating now would ship toward a peer in trouble.
+                if (
+                    self.pending_plan is None
+                    or envelope.version > self.pending_plan.version
+                ):
+                    self.pending_plan = envelope
+                self.plans_deferred += 1
                 return
             self.modulator.apply_plan(envelope.plan)
             if envelope.version:
@@ -439,6 +628,8 @@ class NetReceiverEndpoint:
         obs=None,
         telemetry_interval: float = 0.25,
         health_config: Optional[HealthConfig] = None,
+        election_priority: Optional[int] = None,
+        election_config: Optional[ElectionConfig] = None,
     ) -> None:
         """``telemetry_interval`` paces the TELEMETRY push loop started
         by :meth:`start` — every interval the receiver pushes its
@@ -527,6 +718,21 @@ class NetReceiverEndpoint:
         #: wedges so the fault is visible on both ends.
         self.self_health = HealthMonitor(obs=obs, config=health_config)
         self.self_health.peer("self")
+        #: bully election among the receivers of one sender, relayed
+        #: frame-by-frame through the broker (receivers share no direct
+        #: link).  With no priority configured the endpoint runs solo —
+        #: it *is* the leader, exactly the pre-election behaviour.
+        self.election: Optional[ElectionMember] = None
+        self.election_frames = 0
+        self._election_task: Optional[asyncio.Task] = None
+        self._election_outbox: List[Tuple[str, int]] = []
+        if election_priority is not None:
+            self.election = ElectionMember(
+                f"{name}#{self.instance[:6]}",
+                election_priority,
+                send=self._queue_election,
+                config=election_config,
+            )
 
     def _tracer(self):
         return self.obs.tracing if self.obs is not None else None
@@ -539,16 +745,22 @@ class NetReceiverEndpoint:
             self._telemetry_task = asyncio.get_running_loop().create_task(
                 self._telemetry_loop()
             )
+        if self.election is not None and self._election_task is None:
+            self._election_task = asyncio.get_running_loop().create_task(
+                self._election_loop()
+            )
         return bound
 
     async def stop(self) -> None:
-        if self._telemetry_task is not None:
-            self._telemetry_task.cancel()
-            try:
-                await self._telemetry_task
-            except asyncio.CancelledError:
-                pass
-            self._telemetry_task = None
+        for attr in ("_telemetry_task", "_election_task"):
+            task = getattr(self, attr)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                setattr(self, attr, None)
         await self.server.stop()
         if self.exposer is not None:
             self.exposer.close()
@@ -577,7 +789,10 @@ class NetReceiverEndpoint:
                 "feedback_batches": self.feedback_batches,
             },
             "health": self.self_health.peer("self").state,
+            "leader": self.is_leader,
         }
+        if self.election is not None:
+            payload["election"] = self.election.to_dict()
         from repro.ir import codegen
 
         payload["codegen_fallbacks"] = dict(codegen.fallback_counts)
@@ -634,6 +849,65 @@ class NetReceiverEndpoint:
         self.telemetry_sent += sent
         return sent
 
+    # -- leader election (event-loop thread) -----------------------------------
+
+    @property
+    def is_leader(self) -> bool:
+        """Whether this receiver owns the ReconfigurationUnit.
+
+        Solo receivers (no election configured) always lead; in a fleet
+        exactly one member holds the coordinator role at a time, so only
+        one process recomputes and ships plans for the shared sender.
+        """
+        if self.election is None:
+            return True
+        return self.election.is_leader
+
+    def _queue_election(self, op: str, term: int) -> None:
+        """ElectionMember's send hook: park the frame for async flush.
+
+        ``tick()`` and ``on_message()`` are synchronous; connection
+        writes are not — the outbox decouples the state machine from
+        the wire without threading (everything runs on the loop).
+        """
+        self._election_outbox.append((op, term))
+
+    async def _flush_election(self) -> None:
+        member = self.election
+        if member is None or not self._election_outbox:
+            return
+        outbox, self._election_outbox = self._election_outbox, []
+        conns = [
+            c
+            for c in self.server.connections
+            if not c.closed
+            and c.hello is not None
+            and FEATURE_ELECTION in c.hello.features
+        ]
+        for op, term in outbox:
+            envelope = Election(
+                op=op,
+                term=term,
+                member=member.member_id,
+                priority=member.priority,
+            )
+            for conn in conns:
+                try:
+                    await conn.send(envelope)
+                except TransportError:
+                    continue  # reconnect machinery owns dead conns
+
+    async def _election_loop(self) -> None:
+        member = self.election
+        interval = min(
+            member.config.challenge_timeout,
+            member.config.coordinator_interval,
+        ) / 2.0
+        while True:
+            await asyncio.sleep(interval)
+            member.tick()
+            await self._flush_election()
+
     def expose_metrics(self, host: str = "127.0.0.1", port: int = 0):
         """Serve this process's observability over HTTP (OpenMetrics).
 
@@ -663,6 +937,16 @@ class NetReceiverEndpoint:
         elif isinstance(envelope, FeedbackEnvelope):
             self._handle_feedback(envelope)
             await self._maybe_reconfigure(conn)
+        elif isinstance(envelope, Election):
+            self.election_frames += 1
+            if self.election is not None:
+                self.election.on_message(
+                    envelope.op,
+                    envelope.term,
+                    envelope.member,
+                    envelope.priority,
+                )
+                await self._flush_election()
         elif isinstance(envelope, EventEnvelope):
             self.raw_events += 1
         elif isinstance(envelope, Bye):
@@ -757,6 +1041,11 @@ class NetReceiverEndpoint:
             self.feedback_batches += 1
 
     async def _maybe_reconfigure(self, conn: ServerConnection) -> None:
+        if not self.is_leader:
+            # Only the elected leader owns the ReconfigurationUnit:
+            # followers keep profiling (their observations still count)
+            # but never race the leader with conflicting plan ships.
+            return
         plan = self.reconfig.consider(self.profiling)
         if plan is None:
             return

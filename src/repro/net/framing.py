@@ -82,10 +82,12 @@ __all__ = [
     "KIND_BYE",
     "KIND_BATCH",
     "KIND_TELEMETRY",
+    "KIND_ELECTION",
     "KIND_NAMES",
     "BATCHABLE_KINDS",
     "FEATURE_BATCH",
     "FEATURE_TELEMETRY",
+    "FEATURE_ELECTION",
     "LOCAL_FEATURES",
     "encode_frame",
     "encode_frame_parts",
@@ -97,6 +99,7 @@ __all__ = [
     "Heartbeat",
     "Bye",
     "Telemetry",
+    "Election",
 ]
 
 #: two magic bytes opening every frame
@@ -123,6 +126,9 @@ KIND_BATCH = 0x20
 # Fleet telemetry: a receiver pushing its metrics/health deltas
 # upstream, negotiated via FEATURE_TELEMETRY (see Telemetry below).
 KIND_TELEMETRY = 0x21
+# Leader election among receivers sharing a sender (bully protocol,
+# relayed through the broker), negotiated via FEATURE_ELECTION.
+KIND_ELECTION = 0x22
 
 KIND_NAMES = {
     KIND_HELLO: "hello",
@@ -134,6 +140,7 @@ KIND_NAMES = {
     KIND_PLAN: "plan",
     KIND_BATCH: "batch",
     KIND_TELEMETRY: "telemetry",
+    KIND_ELECTION: "election",
 }
 
 #: kinds that may ride inside a KIND_BATCH frame.  Control frames are
@@ -148,8 +155,12 @@ FEATURE_BATCH = "batch"
 #: toward a peer whose hello advertised the token, so legacy peers
 #: never see the kind.
 FEATURE_TELEMETRY = "telemetry"
+#: Hello feature token announcing "relay me KIND_ELECTION frames".
+#: Election, like telemetry, is control-adjacent: never batched, and
+#: only relayed toward peers whose hello advertised the token.
+FEATURE_ELECTION = "election"
 #: the feature set this build advertises in its Hello
-LOCAL_FEATURES = (FEATURE_BATCH, FEATURE_TELEMETRY)
+LOCAL_FEATURES = (FEATURE_BATCH, FEATURE_TELEMETRY, FEATURE_ELECTION)
 
 _HEADER = struct.Struct(">2sBBI")
 #: batch sub-frame header: [1-byte kind][4-byte payload length]
@@ -276,22 +287,86 @@ class FrameDecoder:
     many frames).  The dead prefix is dropped at most once per feed:
     free when the buffer emptied, one counted shift
     (:attr:`compactions`) when a partial frame remains.
+
+    With a *payload_pool*, large payloads that still fit the pool's
+    buffer size are copied into pooled bytearrays and returned as
+    exact-length memoryviews instead of fresh ``bytes`` objects — the
+    decode-side mirror of the pooled sub-header encodes.  The copy
+    itself is unavoidable (the frame bytes must outlive the stream
+    buffer, whose compaction shift would be forbidden under a live
+    export), but the *allocation* is recycled: call :meth:`recycle`
+    with the frames once their payloads are decoded and the buffers
+    return to the pool.
+
+    Pooling is gated on ``pool_min`` (default: 3/4 of the pool's
+    buffer size): for small payloads ``bytes(view)`` is a single C
+    allocate-and-copy that pure-Python pooling cannot beat — measured
+    ~4x slower on 50-byte event frames — so the hot path keeps it.
+    Only near-pool-size payloads, where the memcpy dominates and the
+    recycled allocation is the one that matters for GC pressure, take
+    the pooled path.  Payloads larger than the pool's buffers fall
+    back to plain ``bytes`` either way.
     """
 
-    def __init__(self, *, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+    def __init__(
+        self,
+        *,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        payload_pool: "Optional[BufferPool]" = None,
+        pool_min: Optional[int] = None,
+    ) -> None:
         if max_frame < 1:
             raise ValueError("max_frame must be >= 1")
         self.max_frame = max_frame
+        self.payload_pool = payload_pool
+        if pool_min is not None:
+            self.pool_min = pool_min
+        else:
+            self.pool_min = (
+                max(1, payload_pool.size * 3 // 4)
+                if payload_pool is not None
+                else 0
+            )
         self._buffer = bytearray()
         self._pos = 0
         self._error: Optional[FramingError] = None
         self.frames_decoded = 0
         self.batches_decoded = 0
         self.bytes_consumed = 0
+        #: payloads served from the pool (vs. fresh bytes objects)
+        self.pooled_payloads = 0
         #: partial-frame buffer shifts — the only copies of buffered
-        #: bytes the decoder ever performs; bounded by feed calls, not
-        #: by frame count (the fuzz test asserts this)
+        #: bytes the decoder ever performs besides the payload
+        #: extraction itself; bounded by feed calls, not by frame count
+        #: (the fuzz test asserts this)
         self.compactions = 0
+
+    def _payload(self, view: memoryview, start: int, end: int):
+        """Extract one payload — pooled memoryview when it's worth it."""
+        pool = self.payload_pool
+        length = end - start
+        if pool is not None and self.pool_min <= length <= pool.size:
+            buf = pool.acquire()
+            buf[:length] = view[start:end]
+            self.pooled_payloads += 1
+            return memoryview(buf)[:length]
+        return bytes(view[start:end])
+
+    def recycle(self, frames: "List[Tuple[int, object]]") -> None:
+        """Return pooled payload buffers from *frames* to the pool.
+
+        Call after the payloads have been decoded (a deserialized
+        envelope shares no state with the raw payload — the serializer
+        copies every value out).  Frames whose payloads were plain
+        ``bytes`` are ignored, so callers may pass every decoded frame
+        back unconditionally.
+        """
+        pool = self.payload_pool
+        if pool is None:
+            return
+        for _kind, payload in frames:
+            if type(payload) is memoryview:
+                pool.release(payload)
 
     def _expand_batch(
         self,
@@ -319,7 +394,7 @@ class FrameDecoder:
                     f"batch sub-frame of {length} bytes overruns its "
                     f"batch ({end - pos} left)"
                 )
-            frames.append((kind, bytes(view[pos : pos + length])))
+            frames.append((kind, self._payload(view, pos, pos + length)))
             pos += length
             count += 1
         if count == 0:
@@ -363,7 +438,7 @@ class FrameDecoder:
                     self._expand_batch(view, start, end, frames)
                     self.batches_decoded += 1
                 else:
-                    frames.append((kind, bytes(view[start:end])))
+                    frames.append((kind, self._payload(view, start, end)))
                     self.frames_decoded += 1
                 pos = end
                 self.bytes_consumed += HEADER_SIZE + length
@@ -490,6 +565,39 @@ class Telemetry:
         self.seq = seq
         self.sent_at = sent_at
         self.payload = payload if payload is not None else {}
+
+
+class Election:
+    """One bully-election announcement (receiver ↔ receiver via broker).
+
+    ``op`` is one of ``"election"`` (challenge), ``"ok"`` (a
+    higher-ranked member suppressing a challenger) or ``"coordinator"``
+    (the winner announcing / heartbeating leadership); ``term`` is the
+    challenger's monotone election round, ``member``/``priority`` are
+    the sender's identity and rank (ties broken by the member id), and
+    ``sent_at`` is the sender's wall clock.  The frame is
+    control-adjacent like :class:`Telemetry`: never batched — a
+    coordinator heartbeat queued behind an accumulating data batch
+    would read as leader death — and only relayed toward peers whose
+    hello advertised :data:`FEATURE_ELECTION`.
+    """
+
+    __slots__ = ("op", "term", "member", "priority", "sent_at")
+
+    def __init__(
+        self,
+        *,
+        op: str = "",
+        term: int = 0,
+        member: str = "",
+        priority: int = 0,
+        sent_at: float = 0.0,
+    ) -> None:
+        self.op = op
+        self.term = term
+        self.member = member
+        self.priority = priority
+        self.sent_at = sent_at
 
 
 def _record_tuple(rec: ObservationRecord) -> tuple:
@@ -631,6 +739,16 @@ class NetEnvelopeCodec:
                     envelope.payload,
                 )
             )
+        if isinstance(envelope, Election):
+            return KIND_ELECTION, ser(
+                (
+                    envelope.op,
+                    envelope.term,
+                    envelope.member,
+                    envelope.priority,
+                    envelope.sent_at if sent_at == 0.0 else sent_at,
+                )
+            )
         raise ProtocolError(
             f"cannot encode {type(envelope).__name__} as a net frame"
         )
@@ -754,6 +872,22 @@ class NetEnvelopeCodec:
                         seq=seq,
                         sent_at=sent_at,
                         payload=payload,
+                    ),
+                    sent_at,
+                )
+            if kind == KIND_ELECTION:
+                op, term, member, priority, sent_at = value
+                if op not in ("election", "ok", "coordinator"):
+                    raise ProtocolError(
+                        f"unknown election op {op!r}"
+                    )
+                return (
+                    Election(
+                        op=op,
+                        term=int(term),
+                        member=str(member),
+                        priority=int(priority),
+                        sent_at=sent_at,
                     ),
                     sent_at,
                 )

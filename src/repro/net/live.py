@@ -42,6 +42,8 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
+import signal
 import sys
 import time
 from typing import Dict, Optional
@@ -55,7 +57,7 @@ from repro.net.endpoint import NetReceiverEndpoint, NetSenderEndpoint
 from repro.net.framing import NetEnvelopeCodec
 from repro.net.tcp import TcpTransport
 from repro.obs import Observability, wide_event
-from repro.obs.health import WEDGED
+from repro.obs.health import WEDGED, HealthConfig
 
 __all__ = ["run_sender", "run_receiver", "run_broker", "main"]
 
@@ -117,6 +119,25 @@ def _observability(
     return obs
 
 
+def _health_config(args: argparse.Namespace) -> Optional[HealthConfig]:
+    """Build a HealthConfig from ``--stale-*`` overrides, if any.
+
+    The chaos harness shortens the staleness thresholds so a partition
+    trips the breaker within a sub-second window instead of the
+    production-paced defaults.
+    """
+    degraded = getattr(args, "stale_degraded", None)
+    wedged = getattr(args, "stale_wedged", None)
+    if degraded is None and wedged is None:
+        return None
+    kwargs = {}
+    if degraded is not None:
+        kwargs["stale_degraded"] = degraded
+    if wedged is not None:
+        kwargs["stale_wedged"] = wedged
+    return HealthConfig(**kwargs)
+
+
 def run_receiver(args: argparse.Namespace) -> Dict[str, object]:
     name = getattr(args, "name", None) or "receiver"
     index = getattr(args, "index", 0)
@@ -142,10 +163,12 @@ def run_receiver(args: argparse.Namespace) -> Dict[str, object]:
         name=name,
         obs=obs,
         telemetry_interval=args.telemetry_interval,
+        election_priority=getattr(args, "election_priority", None),
     )
     wedge_after = getattr(args, "wedge_after", 0)
     wedge_seconds = getattr(args, "wedge_seconds", 2.0)
     wedge_state = {"injected": 0}
+    kill_after_plan_ships = getattr(args, "kill_after_plan_ships", 0)
 
     async def amain() -> None:
         _, port = await endpoint.start(args.host, args.port)
@@ -157,6 +180,20 @@ def run_receiver(args: argparse.Namespace) -> Dict[str, object]:
         last_progress = started
         last_count = -1
         while not endpoint.done.is_set():
+            if (
+                kill_after_plan_ships > 0
+                and endpoint.plan_ships >= kill_after_plan_ships
+            ):
+                # Chaos fault: die without any goodbye, the hardest way,
+                # right inside the plan-apply window — the just-shipped
+                # PLAN frame is in flight toward the sender when the
+                # process vanishes.  No flight dump happens here; the
+                # surviving processes' recorders are the evidence.
+                wide_event(
+                    "fault.kill", role=name, plan_ships=endpoint.plan_ships
+                )
+                sys.stdout.flush()
+                os.kill(os.getpid(), signal.SIGKILL)
             if (
                 wedge_after > 0
                 and wedge_state["injected"] == 0
@@ -234,6 +271,13 @@ def run_receiver(args: argparse.Namespace) -> Dict[str, object]:
         "plan_ships": endpoint.plan_ships,
         "telemetry_pushes": endpoint.telemetry_pushes,
         "telemetry_sent": endpoint.telemetry_sent,
+        "leader": endpoint.is_leader,
+        "election_frames": endpoint.election_frames,
+        "election": (
+            endpoint.election.to_dict()
+            if endpoint.election is not None
+            else None
+        ),
         "self_health": endpoint.self_health.to_dict(),
         "drops_injected": endpoint.drops_injected,
         "sender_reported_sent": endpoint.sender_reported_sent,
@@ -303,6 +347,7 @@ def run_sender(args: argparse.Namespace) -> Dict[str, object]:
         rate_override=rate,
         recalibrate=lambda: _calibrate(partitioned, _sink, args.samples),
         obs=obs,
+        health_config=_health_config(args),
     )
     if args.expose is not None:
         exposer = endpoint.expose_metrics(args.host, args.expose)
@@ -324,7 +369,9 @@ def run_sender(args: argparse.Namespace) -> Dict[str, object]:
         "completed_locally": endpoint.completed_locally,
         "feedback_flushes": endpoint.feedback_flushes,
         "plan_updates_applied": endpoint.plan_updates_applied,
+        "plan_duplicates_ignored": endpoint.plan_duplicates_ignored,
         "telemetry_seen": endpoint.telemetry_seen,
+        "resilience": endpoint.resilience_dump(),
         "peer_health": endpoint.health.to_dict(),
         "initial_plan_edges": sorted(list(e) for e in plan.active),
         "final_plan_edges": [
@@ -394,6 +441,7 @@ def run_broker(args: argparse.Namespace) -> Dict[str, object]:
         queue_limit=args.queue_limit,
         obs=obs,
         health_interval=args.health_interval,
+        health_config=_health_config(args),
     )
     ports = [int(p) for p in args.ports.split(",") if p.strip()]
     for i, port in enumerate(ports):
@@ -457,6 +505,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         "announced as 'EXPOSING <port>')")
 
 
+def _add_health_overrides(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--stale-degraded", type=float, default=None,
+                        help="seconds of peer silence before degraded "
+                        "(default: HealthConfig's)")
+    parser.add_argument("--stale-wedged", type=float, default=None,
+                        help="seconds of peer silence before wedged — "
+                        "the breaker's trip signal (default: "
+                        "HealthConfig's)")
+
+
 def _add_batching(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-batching", action="store_true",
                         help="disable wire batching even when the "
@@ -503,6 +561,12 @@ def main(argv=None) -> int:
     recv.add_argument("--telemetry-interval", type=float, default=0.25,
                       help="seconds between pushed TELEMETRY frames "
                       "(0 disables the push loop)")
+    recv.add_argument("--election-priority", type=int, default=None,
+                      help="join the receiver-side bully election with "
+                      "this rank (omitted = run solo, always leader)")
+    recv.add_argument("--kill-after-plan-ships", type=int, default=0,
+                      help="chaos fault: SIGKILL this process right "
+                      "after its Nth shipped plan (0 disables)")
 
     send = sub.add_parser("sender", help="connect and modulate")
     _add_common(send)
@@ -511,6 +575,7 @@ def main(argv=None) -> int:
     send.add_argument("--interval", type=float, default=0.005,
                       help="pause between published messages (seconds)")
     send.add_argument("--heartbeat", type=float, default=0.5)
+    _add_health_overrides(send)
     _add_batching(send)
 
     broker = sub.add_parser(
@@ -529,6 +594,7 @@ def main(argv=None) -> int:
                         help="background health-evaluator cadence; keeps "
                         "staleness ticking through the drain phase "
                         "(0 disables the thread)")
+    _add_health_overrides(broker)
     _add_batching(broker)
 
     args = parser.parse_args(argv)

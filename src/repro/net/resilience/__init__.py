@@ -1,0 +1,47 @@
+"""Resilience control plane: circuit breakers, bulkheads, elections.
+
+The actuator layer on top of PR 8's fleet telemetry — per-peer
+circuit breakers and bulkheads (:mod:`.breaker`) that the broker uses
+to retract/re-split live partitions, and bully-style leader election
+(:mod:`.election`) so exactly one receiver owns reconfiguration when
+many share a sender.  The chaos suite driving both lives in
+:mod:`repro.tools.chaos`.
+"""
+
+from .breaker import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BREAKER_STATE_CODES,
+    BreakerConfig,
+    Bulkhead,
+    CircuitBreaker,
+)
+from .election import (
+    OP_COORDINATOR,
+    OP_ELECTION,
+    OP_OK,
+    ROLE_CANDIDATE,
+    ROLE_FOLLOWER,
+    ROLE_LEADER,
+    ElectionConfig,
+    ElectionMember,
+)
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "BREAKER_STATE_CODES",
+    "BreakerConfig",
+    "Bulkhead",
+    "CircuitBreaker",
+    "ElectionConfig",
+    "ElectionMember",
+    "OP_COORDINATOR",
+    "OP_ELECTION",
+    "OP_OK",
+    "ROLE_CANDIDATE",
+    "ROLE_FOLLOWER",
+    "ROLE_LEADER",
+]

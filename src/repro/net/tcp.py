@@ -91,6 +91,13 @@ __all__ = ["TcpPeer", "TcpTransport", "FrameServer", "ServerConnection"]
 
 _READ_CHUNK = 65536
 
+#: decode-side payload pool geometry: most envelopes (continuations,
+#: events, telemetry) fit a few KB; oversized payloads fall back to
+#: plain bytes inside the decoder.  One pool per connection — the pool
+#: is only touched from that connection's read loop, so no locking.
+_PAYLOAD_POOL_SIZE = 4096
+_PAYLOAD_POOL_CAPACITY = 64
+
 #: a queued frame: (kind, header bytes, payload bytes) — kept apart so
 #: the write loop can gather them into batches without re-encoding
 _QueuedFrame = Tuple[int, bytes, bytes]
@@ -425,9 +432,16 @@ class TcpPeer:
                 task.cancel()
 
     async def _read_loop(self, reader: asyncio.StreamReader) -> None:
-        decoder = FrameDecoder(max_frame=self.transport.max_frame)
+        decoder = FrameDecoder(
+            max_frame=self.transport.max_frame,
+            payload_pool=BufferPool(
+                size=_PAYLOAD_POOL_SIZE,
+                capacity=_PAYLOAD_POOL_CAPACITY,
+            ),
+        )
         seen_compactions = 0
         seen_batches = 0
+        seen_pooled = 0
         try:
             while True:
                 data = await reader.read(_READ_CHUNK)
@@ -452,6 +466,12 @@ class TcpPeer:
                         if delta:
                             self.transport._c_batches_decoded.inc(delta)
                         seen_batches = decoder.batches_decoded
+                        delta = decoder.pooled_payloads - seen_pooled
+                        if delta and (
+                            self.transport._c_pooled_payloads is not None
+                        ):
+                            self.transport._c_pooled_payloads.inc(delta)
+                        seen_pooled = decoder.pooled_payloads
                 for kind, payload in frames:
                     self.last_heard = time.monotonic()
                     try:
@@ -487,6 +507,9 @@ class TcpPeer:
                     handler = self.transport.inbound_handler
                     if handler is not None:
                         handler(envelope, self)
+                # Envelopes own their decoded values; the raw payload
+                # buffers can go back to the pool.
+                decoder.recycle(frames)
         finally:
             self._conn_lost.set()
 
@@ -598,6 +621,7 @@ class TcpTransport(Transport):
         self._c_decode_errors = None
         self._c_decoder_compactions = None
         self._c_batches_decoded = None
+        self._c_pooled_payloads = None
         self._h_rtt = None
         self._metrics = None
         self._obs = None
@@ -625,6 +649,9 @@ class TcpTransport(Transport):
         )
         self._c_batches_decoded = metrics.counter(
             f"{name}.decoder_batches_decoded"
+        )
+        self._c_pooled_payloads = metrics.counter(
+            f"{name}.decoder_pooled_payloads"
         )
         self._h_rtt = metrics.histogram(f"{name}.heartbeat_rtt")
         self._metrics = metrics
@@ -882,6 +909,9 @@ class FrameServer:
             self._c_batches_decoded = metrics.counter(
                 f"{name}.decoder_batches_decoded"
             )
+            self._c_pooled_payloads = metrics.counter(
+                f"{name}.decoder_pooled_payloads"
+            )
         else:
             self._c_accepted = None
             self._c_frames = None
@@ -889,6 +919,7 @@ class FrameServer:
             self._c_rejects = None
             self._c_decoder_compactions = None
             self._c_batches_decoded = None
+            self._c_pooled_payloads = None
 
     async def start(
         self, host: str = "127.0.0.1", port: int = 0
@@ -924,9 +955,16 @@ class FrameServer:
         self.accepted += 1
         if self._c_accepted is not None:
             self._c_accepted.inc()
-        decoder = FrameDecoder(max_frame=self.max_frame)
+        decoder = FrameDecoder(
+            max_frame=self.max_frame,
+            payload_pool=BufferPool(
+                size=_PAYLOAD_POOL_SIZE,
+                capacity=_PAYLOAD_POOL_CAPACITY,
+            ),
+        )
         seen_compactions = 0
         seen_batches = 0
+        seen_pooled = 0
         try:
             while True:
                 data = await reader.read(_READ_CHUNK)
@@ -947,6 +985,10 @@ class FrameServer:
                         if delta:
                             self._c_batches_decoded.inc(delta)
                         seen_batches = decoder.batches_decoded
+                        delta = decoder.pooled_payloads - seen_pooled
+                        if delta and self._c_pooled_payloads is not None:
+                            self._c_pooled_payloads.inc(delta)
+                        seen_pooled = decoder.pooled_payloads
                 for kind, payload in frames:
                     conn.frames_received += 1
                     conn.last_heard = time.monotonic()
@@ -990,6 +1032,7 @@ class FrameServer:
                         result = self.handler(envelope, sent_at, conn)
                         if asyncio.iscoroutine(result):
                             await result
+                decoder.recycle(frames)
         finally:
             conn.closed = True
             if conn in self.connections:

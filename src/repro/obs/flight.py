@@ -109,15 +109,19 @@ class FlightRecorder:
     # -- crash dumping -------------------------------------------------
 
     def install_signal_dump(
-        self, path: str, signals: Tuple[int, ...] = (signal.SIGTERM,)
+        self,
+        path: str,
+        signals: Tuple[int, ...] = (signal.SIGTERM, signal.SIGINT),
     ) -> None:
         """Dump the ring to ``path`` when one of ``signals`` arrives.
 
-        Chains any previously installed handler (default SIGTERM
-        disposition is re-raised so the process still dies).  Must be
-        called from the main thread — signal.signal requires it; callers
-        on other threads should use :meth:`dump_json` at shutdown
-        instead.
+        Chains any previously installed handler — for SIGINT that is
+        Python's ``default_int_handler``, so a ctrl-C'd chaos run still
+        raises ``KeyboardInterrupt`` *after* the ring has hit disk
+        (default SIGTERM disposition is re-raised so the process still
+        dies).  Must be called from the main thread — signal.signal
+        requires it; callers on other threads should use
+        :meth:`dump_json` at shutdown instead.
         """
         self._dump_path = path
         for signum in signals:
@@ -204,20 +208,26 @@ def merge_flight_dumps(dumps: List[dict]) -> dict:
 
     Each input is a :meth:`FlightRecorder.to_dict` mapping; events
     already carry their recorder's ``host`` tag, so the merge is a sort
-    on the shared wall clock.
+    on the shared wall clock.  Events sharing a timestamp (coarse
+    clocks, bursts in a tight loop) tie-break on host and then on
+    within-dump position, so the merge is deterministic and never
+    reorders one process's own events relative to each other.
     """
-    events: List[dict] = []
+    decorated: List[Tuple[float, str, int, dict]] = []
     hosts: List[str] = []
     recorded = 0
     dropped = 0
     for dump in dumps:
         if not dump:
             continue
-        hosts.append(dump.get("host", "?"))
+        host = dump.get("host", "?")
+        hosts.append(host)
         recorded += int(dump.get("recorded", 0))
         dropped += int(dump.get("dropped", 0))
-        events.extend(dump.get("events", []))
-    events.sort(key=lambda e: e.get("t", 0.0))
+        for index, event in enumerate(dump.get("events", [])):
+            decorated.append((event.get("t", 0.0), host, index, event))
+    decorated.sort(key=lambda item: item[:3])
+    events = [item[3] for item in decorated]
     return {
         "hosts": hosts,
         "recorded": recorded,

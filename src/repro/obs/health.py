@@ -322,6 +322,20 @@ class HealthMonitor:
         self.clock = clock
         self.metric_prefix = metric_prefix
         self._peers: Dict[str, PeerHealth] = {}
+        self._listeners: List[Callable[[PeerHealth, dict], None]] = []
+
+    def add_listener(
+        self, fn: Callable[[PeerHealth, dict], None]
+    ) -> None:
+        """Subscribe *fn* to every peer transition (after emission).
+
+        This is the hand-off point to actuators — the broker's circuit
+        breakers trip on ``wedged`` transitions through exactly this
+        hook.  Listeners run on whichever thread drove the transition
+        (a publish or the background evaluator); a raising listener is
+        isolated so it can never poison the health machine itself.
+        """
+        self._listeners.append(fn)
 
     def peer(self, name: str) -> PeerHealth:
         ph = self._peers.get(name)
@@ -400,3 +414,8 @@ class HealthMonitor:
                     **{"from": record["from"], "to": record["to"]},
                     reason=record["reason"],
                 )
+        for fn in self._listeners:
+            try:
+                fn(ph, record)
+            except Exception:  # noqa: BLE001 - listener bugs stay local
+                pass

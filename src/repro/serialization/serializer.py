@@ -198,7 +198,9 @@ class Serializer:
         if tag == wf.TAG_STR:
             (n,) = _LEN_PACK.unpack_from(data, offset)
             offset += wf.LEN_SIZE
-            return data[offset : offset + n].decode("utf-8"), offset + n
+            # str() decodes any buffer-protocol object (bytes,
+            # bytearray, pooled memoryview payloads) identically.
+            return str(data[offset : offset + n], "utf-8"), offset + n
         if tag == wf.TAG_REF:
             (idx,) = _LEN_PACK.unpack_from(data, offset)
             offset += wf.REF_SIZE
@@ -212,6 +214,11 @@ class Serializer:
             (n,) = _LEN_PACK.unpack_from(data, offset)
             offset += wf.LEN_SIZE
             value = data[offset : offset + n]
+            if type(value) is not bytes:
+                # Slicing a memoryview (pooled frame payload) yields a
+                # view that would alias the recycled buffer; decoded
+                # values must own their bytes.
+                value = bytes(value)
             memo.append(value)
             return value, offset + n
         if tag == wf.TAG_BYTEARRAY:
@@ -296,7 +303,7 @@ class Serializer:
         if tag == wf.TAG_OBJ:
             (n,) = _LEN_PACK.unpack_from(data, offset)
             offset += wf.LEN_SIZE
-            name = data[offset : offset + n].decode("utf-8")
+            name = str(data[offset : offset + n], "utf-8")
             offset += n
             entry = self.registry.by_name(name)
             obj = entry.cls.__new__(entry.cls)
@@ -306,7 +313,7 @@ class Serializer:
             for _ in range(nfields):
                 (fn,) = _LEN_PACK.unpack_from(data, offset)
                 offset += wf.LEN_SIZE
-                fname = data[offset : offset + fn].decode("utf-8")
+                fname = str(data[offset : offset + fn], "utf-8")
                 offset += fn
                 fval, offset = self._decode(data, offset, memo)
                 object.__setattr__(obj, fname, fval)

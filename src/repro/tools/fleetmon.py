@@ -4,11 +4,20 @@ Where :mod:`repro.tools.monitor` watches one process's adaptation loop,
 ``fleetmon`` watches the *fleet*: it polls the broker's
 ``/metrics.json`` (whose obs dump carries the ``fleet`` section the
 :class:`~repro.obs.health.HealthMonitor` publishes) and renders one row
-per peer — health state, heartbeat-RTT EWMA, outbound queue depth,
-dropped frames with a **drop burn rate** (frames shed per second since
-the previous poll), telemetry freshness, dedupe and drift counts.  A
-peer shedding faster than ``--alert-drop-rate`` gets an ``ALERT`` tag,
-and any peer not ``healthy`` is called out in the frame header.
+per peer — health state, **circuit-breaker state**, heartbeat-RTT EWMA,
+outbound queue depth, dropped frames with a **drop burn rate** (frames
+shed per second since the previous poll), telemetry freshness, dedupe
+and drift counts.  The frame header names the elected **leader** (the
+receiver owning the ReconfigurationUnit, from the broker's resilience
+section).  A peer shedding faster than ``--alert-drop-rate`` gets an
+``ALERT`` tag, and any peer not ``healthy`` is called out in the frame
+header.
+
+A source going unreachable does not kill the dashboard: the last good
+frame keeps rendering under a ``STALE`` banner while the poller retries
+with exponential backoff (capped at ``--backoff-cap``), and the banner
+counts the silence so a dead broker is obvious without the tool dying
+mid-incident.
 
 Sources are URLs (polled live) or paths to dump files (a broker result
 JSON or a bare obs dump; burn rates need two polls, so file sources
@@ -59,6 +68,8 @@ def fleet_view(
     """
     fleet = dump.get("fleet") or {}
     metrics = dump.get("metrics") or {}
+    resilience = dump.get("resilience") or {}
+    res_peers = resilience.get("peers") or {}
     prev_metrics = (prev or {}).get("metrics") or {}
     peers = []
     for name, ph in sorted((fleet.get("peers") or {}).items()):
@@ -69,9 +80,15 @@ def fleet_view(
         before = _labeled_gauge(prev_metrics, "broker.dropped_frames", name)
         if before is not None and seconds > 0:
             burn = max(0.0, dropped - before) / seconds
+        res = res_peers.get(name) or {}
+        breaker = res.get("breaker") or {}
         peers.append({
             "peer": name,
             "state": ph.get("state"),
+            "breaker": breaker.get("state"),
+            "retracted": bool(
+                res.get("retracted") or res.get("retracting")
+            ),
             "connected": ph.get("connected"),
             "rtt_ewma": ph.get("rtt_ewma"),
             "queue": _labeled_gauge(metrics, "broker.queue_depth", name),
@@ -86,9 +103,16 @@ def fleet_view(
         })
     return {
         "overall": fleet.get("overall", "?"),
+        "leader": resilience.get("leader"),
+        "retractions": resilience.get("retractions"),
         "peers": peers,
         "unhealthy": [
             p["peer"] for p in peers if p["state"] not in ("healthy", None)
+        ],
+        "open_breakers": [
+            p["peer"]
+            for p in peers
+            if p["breaker"] not in ("closed", None)
         ],
         "alerts": [p["peer"] for p in peers if p["alert"]],
     }
@@ -97,15 +121,34 @@ def fleet_view(
 def render_fleet_frame(
     source: str,
     view: Optional[Dict[str, object]],
+    *,
+    stale_seconds: Optional[float] = None,
+    failures: int = 0,
 ) -> str:
-    """One dashboard frame; pure text so tests can assert on it."""
-    lines = [f"== {source}"]
+    """One dashboard frame; pure text so tests can assert on it.
+
+    ``stale_seconds`` marks the view as the *last good* poll of a
+    currently unreachable source: the table still renders (an operator
+    mid-incident wants the last known state, not a blank screen) under
+    a banner counting the silence and the failed polls.
+    """
+    title = f"== {source}"
+    if stale_seconds is not None:
+        title += (
+            f"   [STALE {stale_seconds:.1f}s, "
+            f"{failures} failed poll(s), retrying]"
+        )
+    lines = [title]
     if view is None:
-        lines.append("  (unreachable)")
+        lines.append("  (unreachable, no data yet — retrying)")
         return "\n".join(lines)
     header = f"  fleet: {view['overall']}"
+    if view.get("leader"):
+        header += f"   leader: {view['leader']}"
     if view["unhealthy"]:
         header += f"   not healthy: {', '.join(view['unhealthy'])}"
+    if view.get("open_breakers"):
+        header += f"   BREAKER: {', '.join(view['open_breakers'])}"
     if view["alerts"]:
         header += f"   SHED ALERT: {', '.join(view['alerts'])}"
     lines.append(header)
@@ -113,9 +156,9 @@ def render_fleet_frame(
         lines.append("  (no peers yet)")
         return "\n".join(lines)
     lines.append(
-        f"  {'peer':<14} {'state':<11} {'rtt':>8} {'queue':>6} "
-        f"{'dropped':>8} {'drop/s':>7} {'telem':>6} {'stale':>7} "
-        f"{'dup':>5} {'drift':>5}"
+        f"  {'peer':<14} {'state':<11} {'brk':<10} {'rtt':>8} "
+        f"{'queue':>6} {'dropped':>8} {'drop/s':>7} {'telem':>6} "
+        f"{'stale':>7} {'dup':>5} {'drift':>5}"
     )
     for p in view["peers"]:
         state = str(p["state"] or "?")
@@ -123,13 +166,19 @@ def render_fleet_frame(
             state = state.upper()
         if p["alert"]:
             state += "!"
+        brk = str(p.get("breaker") or "-")
+        if p.get("breaker") not in ("closed", None):
+            brk = brk.upper()
+        if p.get("retracted"):
+            brk += "*"
         queue = f"{p['queue']:.0f}" if p["queue"] is not None else "-"
         burn = f"{p['drop_rate']:.1f}" if p["drop_rate"] is not None else "-"
         stale = (
             f"{p['staleness']:.2f}s" if p["staleness"] is not None else "-"
         )
         lines.append(
-            f"  {p['peer']:<14} {state:<11} {_fmt_ms(p['rtt_ewma']):>8} "
+            f"  {p['peer']:<14} {state:<11} {brk:<10} "
+            f"{_fmt_ms(p['rtt_ewma']):>8} "
             f"{queue:>6} {p['dropped']:>8.0f} {burn:>7} "
             f"{p['telemetry_frames'] or 0:>6} {stale:>7} "
             f"{p['duplicates'] or 0:>5} {p['drift'] or 0:>5}"
@@ -158,42 +207,82 @@ def main(argv=None) -> int:
                         "the TTY table")
     parser.add_argument("--alert-drop-rate", type=float, default=10.0,
                         help="frames shed per second that flags a peer")
+    parser.add_argument("--backoff-cap", type=float, default=30.0,
+                        help="max seconds between retries of an "
+                        "unreachable source")
     parser.add_argument("--no-clear", action="store_true",
                         help="append frames instead of redrawing the screen")
     args = parser.parse_args(argv)
     if args.once:
         args.iterations = 1
 
-    prev: List[Optional[Dict[str, object]]] = [None] * len(args.sources)
-    last_poll: Optional[float] = None
+    # Per-source poll state: the last good dump keeps rendering (under
+    # a STALE banner) while an unreachable source is retried with
+    # exponential backoff — a dead broker must not kill the dashboard.
+    states: List[Dict[str, object]] = [
+        {
+            "last_good": None,
+            "good_at": None,
+            "prev": None,
+            "prev_at": None,
+            "failures": 0,
+            "next_try": 0.0,
+        }
+        for _ in args.sources
+    ]
     frames = 0
     try:
         while True:
-            dumps: List[Optional[Dict[str, object]]] = []
-            for source in args.sources:
-                try:
-                    dumps.append(fetch_dump(source))
-                except Exception:
-                    dumps.append(None)
             now = time.time()
-            seconds = (now - last_poll) if last_poll is not None else 0.0
+            for source, st in zip(args.sources, states):
+                if st["failures"] and now < st["next_try"]:
+                    continue  # still backing off this source
+                try:
+                    dump = fetch_dump(source)
+                except Exception:
+                    st["failures"] = int(st["failures"]) + 1
+                    st["next_try"] = now + min(
+                        args.interval * (2 ** int(st["failures"])),
+                        args.backoff_cap,
+                    )
+                    continue
+                st["prev"] = st["last_good"]
+                st["prev_at"] = st["good_at"]
+                st["last_good"] = dump
+                st["good_at"] = now
+                st["failures"] = 0
+                st["next_try"] = 0.0
+
+            def view_of(st: Dict[str, object]):
+                if st["last_good"] is None:
+                    return None
+                seconds = (
+                    float(st["good_at"]) - float(st["prev_at"])
+                    if st["prev_at"] is not None
+                    else 0.0
+                )
+                return fleet_view(
+                    st["last_good"],
+                    st["prev"],
+                    seconds,
+                    alert_drop_rate=args.alert_drop_rate,
+                )
+
             if args.json:
                 frame = {
                     "at": now,
                     "sources": {
-                        source: (
-                            fleet_view(
-                                dump,
-                                before,
-                                seconds,
-                                alert_drop_rate=args.alert_drop_rate,
-                            )
-                            if dump is not None
-                            else None
-                        )
-                        for source, dump, before in zip(
-                            args.sources, dumps, prev
-                        )
+                        source: {
+                            "view": view_of(st),
+                            "stale_seconds": (
+                                now - float(st["good_at"])
+                                if st["failures"]
+                                and st["good_at"] is not None
+                                else None
+                            ),
+                            "failed_polls": st["failures"],
+                        }
+                        for source, st in zip(args.sources, states)
                     },
                 }
                 print(json.dumps(frame, default=str), flush=True)
@@ -206,20 +295,21 @@ def main(argv=None) -> int:
                     sys.stdout.write(_CLEAR)
                 stamp = time.strftime("%H:%M:%S")
                 print(f"-- repro fleetmon @ {stamp} --")
-                for source, dump, before in zip(args.sources, dumps, prev):
-                    view = (
-                        fleet_view(
-                            dump,
-                            before,
-                            seconds,
-                            alert_drop_rate=args.alert_drop_rate,
-                        )
-                        if dump is not None
+                for source, st in zip(args.sources, states):
+                    stale = (
+                        now - float(st["good_at"])
+                        if st["failures"] and st["good_at"] is not None
                         else None
                     )
-                    print(render_fleet_frame(source, view), flush=True)
-            prev = dumps
-            last_poll = now
+                    print(
+                        render_fleet_frame(
+                            source,
+                            view_of(st),
+                            stale_seconds=stale,
+                            failures=int(st["failures"]),
+                        ),
+                        flush=True,
+                    )
             frames += 1
             if args.iterations and frames >= args.iterations:
                 return 0

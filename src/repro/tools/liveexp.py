@@ -961,7 +961,30 @@ def main(argv=None) -> int:
     parser.add_argument("--wedge-seconds", type=float, default=2.0)
     parser.add_argument("--queue-limit", type=int, default=64,
                         help="fan-out: per-subscriber outbound bound")
+    parser.add_argument("--chaos", action="store_true",
+                        help="run the chaos suite (see "
+                        "repro.tools.chaos) instead of the standard "
+                        "experiment; honors --quick and --outdir")
+    parser.add_argument("--scenario", action="append", default=None,
+                        metavar="NAME",
+                        help="with --chaos: run only this scenario "
+                        "(repeatable)")
     args = parser.parse_args(argv)
+
+    if args.chaos:
+        from repro.tools.chaos import run_chaos
+
+        summary, checks = run_chaos(
+            outdir=args.outdir,
+            quick=args.quick,
+            scenarios=args.scenario,
+        )
+        failed = int(summary["failed"])
+        print(
+            f"chaos: {len(checks) - failed}/{len(checks)} checks passed, "
+            f"artifacts in {args.outdir}/"
+        )
+        return 1 if failed else 0
 
     if args.quick:
         args.messages = min(args.messages, 120)

@@ -1,0 +1,261 @@
+"""Bully election state machine: deterministic clock, scripted sends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.resilience import (
+    OP_COORDINATOR,
+    OP_ELECTION,
+    OP_OK,
+    ROLE_CANDIDATE,
+    ROLE_FOLLOWER,
+    ROLE_LEADER,
+    ElectionConfig,
+    ElectionMember,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_member(member_id="m1", priority=1, **config):
+    clock = FakeClock()
+    sent = []
+    member = ElectionMember(
+        member_id,
+        priority,
+        send=lambda op, term: sent.append((op, term)),
+        config=ElectionConfig(**config) if config else ElectionConfig(),
+        clock=clock,
+    )
+    return member, clock, sent
+
+
+# -- config validation ----------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"challenge_timeout": 0.0},
+        {"coordinator_interval": 0.0},
+        {"coordinator_interval": 1.0, "leader_timeout": 1.0},
+    ],
+)
+def test_election_config_rejects_invalid(kwargs):
+    with pytest.raises(ValueError):
+        ElectionConfig(**kwargs)
+
+
+# -- bootstrap ------------------------------------------------------------------
+
+
+def test_lone_member_bootstraps_and_wins():
+    member, clock, sent = make_member(challenge_timeout=0.5)
+    member.tick()  # never heard from anyone: starts an election
+    assert member.role == ROLE_CANDIDATE
+    assert sent == [(OP_ELECTION, 1)]
+    clock.now = 0.6  # challenge window elapses unanswered
+    member.tick()
+    assert member.role == ROLE_LEADER
+    assert member.leader_id == "m1"
+    assert member.elections_won == 1
+    assert (OP_COORDINATOR, 1) in sent
+
+
+def test_leader_heartbeats_coordinator_frames():
+    member, clock, sent = make_member(
+        challenge_timeout=0.1, coordinator_interval=0.5, leader_timeout=2.0
+    )
+    member.tick()
+    clock.now = 0.2
+    member.tick()  # wins
+    sent.clear()
+    clock.now = 0.8  # past next_coordinator_at
+    member.tick()
+    assert sent == [(OP_COORDINATOR, 1)]
+
+
+# -- challenge / suppression ----------------------------------------------------
+
+
+def test_higher_rank_suppresses_challenger():
+    member, clock, sent = make_member("m1", priority=1)
+    member.start_election("test")
+    sent.clear()
+    # a higher-ranked member says ok: stand down
+    member.on_message(OP_OK, 1, "m9", 9)
+    assert member.role == ROLE_FOLLOWER
+    assert member.challenge_deadline is None
+
+
+def test_outranked_challenger_is_answered_and_contested():
+    member, clock, sent = make_member("m5", priority=5)
+    member.on_message(OP_ELECTION, 1, "m1", 1)
+    # we outrank the challenger: reply ok, then challenge ourselves
+    assert (OP_OK, 1) in sent
+    assert member.role == ROLE_CANDIDATE
+    assert any(op == OP_ELECTION for op, _ in sent)
+
+
+def test_sitting_leader_reannounces_to_lower_challenger():
+    member, clock, sent = make_member("m5", priority=5, challenge_timeout=0.1)
+    member.tick()
+    clock.now = 0.2
+    member.tick()  # leader now
+    sent.clear()
+    member.on_message(OP_ELECTION, 2, "m1", 1)
+    assert (OP_OK, 2) in sent
+    assert (OP_COORDINATOR, 2) in sent
+    assert member.role == ROLE_LEADER
+
+
+def test_higher_challenger_quiets_lower_member():
+    member, clock, sent = make_member("m1", priority=1)
+    member.on_message(OP_ELECTION, 1, "m9", 9)
+    assert member.role == ROLE_FOLLOWER
+    assert sent == []  # lower rank stays quiet
+
+
+def test_own_relayed_broadcast_is_ignored():
+    member, clock, sent = make_member("m1", priority=1)
+    member.on_message(OP_ELECTION, 1, "m1", 1)
+    assert member.messages_seen == 0
+    assert sent == []
+
+
+# -- coordinator handling -------------------------------------------------------
+
+
+def test_coordinator_from_higher_rank_is_accepted():
+    member, clock, sent = make_member("m1", priority=1)
+    member.on_message(OP_COORDINATOR, 3, "m9", 9)
+    assert member.role == ROLE_FOLLOWER
+    assert member.leader_id == "m9"
+    assert member.term == 3
+
+
+def test_stale_lower_ranked_coordinator_is_usurped():
+    member, clock, sent = make_member("m5", priority=5)
+    member.on_message(OP_COORDINATOR, 1, "m1", 1)
+    # a lower rank claiming leadership triggers our own election
+    assert member.role == ROLE_CANDIDATE
+    assert any(op == OP_ELECTION for op, _ in sent)
+
+
+def test_leader_steps_down_to_higher_coordinator():
+    member, clock, sent = make_member("m5", priority=5, challenge_timeout=0.1)
+    member.tick()
+    clock.now = 0.2
+    member.tick()
+    assert member.role == ROLE_LEADER
+    member.on_message(OP_COORDINATOR, 5, "m9", 9)
+    assert member.role == ROLE_FOLLOWER
+    assert member.leader_id == "m9"
+    assert member.stepdowns == 1
+
+
+# -- leader death ---------------------------------------------------------------
+
+
+def test_follower_reelects_after_leader_timeout():
+    member, clock, sent = make_member(
+        "m1",
+        priority=1,
+        challenge_timeout=0.5,
+        coordinator_interval=0.5,
+        leader_timeout=2.0,
+    )
+    member.on_message(OP_COORDINATOR, 1, "m9", 9)
+    clock.now = 1.0
+    member.tick()  # leader still fresh
+    assert member.role == ROLE_FOLLOWER
+    clock.now = 3.1  # leader silent past leader_timeout
+    member.tick()
+    assert member.role == ROLE_CANDIDATE
+    assert member.leader_id is None
+    clock.now = 3.7  # nobody answers: we inherit leadership
+    member.tick()
+    assert member.role == ROLE_LEADER
+    assert member.leader_id == "m1"
+
+
+def test_three_member_cluster_converges_on_highest_rank():
+    # Wire three members through a relay list, drive ticks by hand.
+    clock = FakeClock()
+    members = {}
+    outbox = []
+
+    def sender_for(mid):
+        return lambda op, term: outbox.append((mid, op, term))
+
+    for mid, pri in (("a", 1), ("b", 2), ("c", 3)):
+        members[mid] = ElectionMember(
+            mid,
+            pri,
+            send=sender_for(mid),
+            config=ElectionConfig(
+                challenge_timeout=0.5,
+                coordinator_interval=0.5,
+                leader_timeout=2.0,
+            ),
+            clock=clock,
+        )
+
+    def deliver():
+        while outbox:
+            frm, op, term = outbox.pop(0)
+            sender = members[frm]
+            for mid, m in members.items():
+                if mid != frm:
+                    m.on_message(op, term, frm, sender.priority)
+
+    for m in members.values():
+        m.tick()  # all bootstrap elections
+    deliver()
+    clock.now = 0.6
+    for m in members.values():
+        m.tick()
+    deliver()
+    roles = {mid: m.role for mid, m in members.items()}
+    assert roles["c"] == ROLE_LEADER
+    assert roles["a"] == ROLE_FOLLOWER
+    assert roles["b"] == ROLE_FOLLOWER
+    assert members["a"].leader_id == "c"
+    assert members["b"].leader_id == "c"
+
+    # kill the leader: the next-highest rank takes over
+    del members["c"]
+    clock.now = 3.0
+    for m in members.values():
+        m.tick()
+    deliver()
+    clock.now = 3.6
+    for m in members.values():
+        m.tick()
+    deliver()
+    assert members["b"].role == ROLE_LEADER
+    assert members["a"].leader_id == "b"
+
+
+def test_transitions_and_dump_shape():
+    member, clock, sent = make_member("m1", priority=1, challenge_timeout=0.1)
+    member.tick()
+    clock.now = 0.2
+    member.tick()
+    dump = member.to_dict()
+    assert dump["member"] == "m1"
+    assert dump["role"] == ROLE_LEADER
+    assert dump["leader"] == "m1"
+    assert dump["elections_started"] == 1
+    assert dump["elections_won"] == 1
+    assert [t["to"] for t in dump["transitions"]] == [
+        ROLE_CANDIDATE,
+        ROLE_LEADER,
+    ]

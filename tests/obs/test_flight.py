@@ -175,3 +175,74 @@ class TestMergeFlightDumps:
         assert merged["recorded"] == 2
         assert merged["dropped"] == 1
         assert [e["kind"] for e in merged["events"]] == ["y"]
+
+
+class TestMergeTieOrdering:
+    def test_shared_timestamps_tie_break_on_host_then_index(self):
+        # Coarse clocks produce bursts at identical t; the merge must
+        # still be deterministic (host order) and never reorder one
+        # process's own events relative to each other.
+        a = {
+            "host": "a",
+            "recorded": 3,
+            "dropped": 0,
+            "events": [
+                {"t": 5.0, "host": "a", "kind": "a0"},
+                {"t": 5.0, "host": "a", "kind": "a1"},
+                {"t": 5.0, "host": "a", "kind": "a2"},
+            ],
+        }
+        b = {
+            "host": "b",
+            "recorded": 2,
+            "dropped": 0,
+            "events": [
+                {"t": 5.0, "host": "b", "kind": "b0"},
+                {"t": 5.0, "host": "b", "kind": "b1"},
+            ],
+        }
+        # feed b first: host tie-break must still put a's burst first
+        merged = merge_flight_dumps([b, a])
+        assert [e["kind"] for e in merged["events"]] == [
+            "a0",
+            "a1",
+            "a2",
+            "b0",
+            "b1",
+        ]
+        # and the merge is stable under input permutation
+        again = merge_flight_dumps([a, b])
+        assert merged["events"] == again["events"]
+
+    def test_identical_event_dicts_do_not_collapse_or_crash(self):
+        # Events can be value-identical dicts (same t, host, kind);
+        # the sort key must never fall through to dict comparison.
+        event = {"t": 1.0, "host": "x", "kind": "dup"}
+        dump = {
+            "host": "x",
+            "recorded": 2,
+            "dropped": 0,
+            "events": [dict(event), dict(event)],
+        }
+        merged = merge_flight_dumps([dump, dump])
+        assert len(merged["events"]) == 4
+
+
+class TestSignalDump:
+    def test_sigint_dump_chains_keyboard_interrupt(self, tmp_path):
+        import signal as _signal
+
+        recorder = FlightRecorder(host="sig", clock=_fake_clock())
+        recorder.record("before")
+        path = tmp_path / "flight.json"
+        prev = _signal.getsignal(_signal.SIGINT)
+        recorder.install_signal_dump(str(path), signals=(_signal.SIGINT,))
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                _signal.raise_signal(_signal.SIGINT)
+        finally:
+            _signal.signal(_signal.SIGINT, prev)
+        dump = json.loads(path.read_text())
+        kinds = [e["kind"] for e in dump["events"]]
+        assert "before" in kinds
+        assert "signal" in kinds  # the dump recorded its own trigger

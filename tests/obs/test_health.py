@@ -292,3 +292,52 @@ class TestHealthMonitor:
         assert len(events) == 1
         assert events[0]["to"] == "wedged"
         assert events[0]["from"] == "healthy"
+
+
+class TestForceEvaluatorRace:
+    def test_pin_defeats_a_hammering_background_evaluator(self, clock):
+        # The chaos suite pins known-injected wedges with force() while
+        # the broker's background evaluator keeps calling evaluate():
+        # once pinned, no amount of staleness-driven evaluation may
+        # displace the forced state or append transitions.
+        import threading
+
+        monitor = HealthMonitor(config=HealthConfig(), clock=clock)
+        peer = monitor.peer("r0")
+        clock.advance(10.0)  # stale enough that evaluate() wants WEDGED
+        peer.force(HEALTHY, "chaos: known-good injection")
+        baseline = len(peer.transitions)
+
+        stop = threading.Event()
+
+        def evaluator():
+            while not stop.is_set():
+                monitor.evaluate_all()
+
+        thread = threading.Thread(target=evaluator, daemon=True)
+        thread.start()
+        try:
+            for _ in range(50):
+                clock.advance(5.0)  # keep feeding wedge-worthy staleness
+                assert peer.state == HEALTHY
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+        assert peer.state == HEALTHY
+        assert len(peer.transitions) == baseline
+        assert peer.forced_reason == "chaos: known-good injection"
+
+    def test_release_resumes_evaluation_from_pinned_state(self, clock):
+        peer = make_peer(clock)
+        clock.advance(10.0)
+        peer.force(WEDGED, "injected")
+        assert peer.evaluate() is None  # pinned: evaluation is a no-op
+        peer.force(None)
+        # a fresh signal after release exits through recovering, never
+        # straight back to healthy
+        peer.note_signal()
+        peer.note_connected(True)
+        clock.advance(peer.config.min_dwell + 0.01)
+        record = peer.evaluate()
+        assert record is not None
+        assert record["to"] == RECOVERING
