@@ -386,6 +386,18 @@ class NetBrokerEndpoint:
             self._c_absorbed = metrics.counter("broker.absorbed")
             self._c_suppressed = metrics.counter("broker.ships_suppressed")
             self._c_elections = metrics.counter("broker.election_frames")
+            # Exact publish-path phase timings, cross-checkable against
+            # the sampling profiler's attribution (the encode/enqueue
+            # phases live in TcpTransport._deliver, same metric family).
+            self._h_phase_modulate = metrics.histogram(
+                'net.publish.phase_seconds{phase="modulate"}'
+            )
+            self._h_phase_fork = metrics.histogram(
+                'net.publish.phase_seconds{phase="fork"}'
+            )
+            self._h_phase_ship = metrics.histogram(
+                'net.publish.phase_seconds{phase="ship"}'
+            )
             obs.add_section("fleet", self.health.to_dict)
             obs.add_section("resilience", self._resilience_dump)
         else:
@@ -398,6 +410,9 @@ class NetBrokerEndpoint:
             self._c_absorbed = None
             self._c_suppressed = None
             self._c_elections = None
+            self._h_phase_modulate = None
+            self._h_phase_fork = None
+            self._h_phase_ship = None
         transport.inbound_handler = self._on_inbound
         if health_interval > 0:
             self._health_thread = threading.Thread(
@@ -573,6 +588,8 @@ class NetBrokerEndpoint:
                 trace_ctx=run_ctx,
             )
             shared_elapsed = time.perf_counter() - started
+            if self._h_phase_modulate is not None:
+                self._h_phase_modulate.observe(shared_elapsed)
             shared_cycles = meter.cycles
             self.published += 1
             self.shared_runs += 1
@@ -735,6 +752,8 @@ class NetBrokerEndpoint:
             trace_ctx=fork_ctx,
         )
         elapsed = time.perf_counter() - started
+        if self._h_phase_fork is not None:
+            self._h_phase_fork.observe(elapsed)
         self.forks += 1
         self.fork_cycles_total += meter.cycles
         sub.forks += 1
@@ -802,6 +821,9 @@ class NetBrokerEndpoint:
                 br.record_failure("bulkhead full")
             return
         sub.proxy.record_mod_total(total_cycles)
+        ship_started = (
+            time.perf_counter() if self._h_phase_ship is not None else None
+        )
         size = float(self.partitioned.codec.size(message))
         envelope = ContinuationEnvelope(
             continuation=message, subscription_id=sub.subscription_id
@@ -816,6 +838,8 @@ class NetBrokerEndpoint:
             if tracer is not None:
                 tracer.observe_pse(str(message.pse_id), size=size)
         self.transport.send(sub.peer, envelope, size)
+        if ship_started is not None:
+            self._h_phase_ship.observe(time.perf_counter() - ship_started)
         sub.shipped += 1
         if shared:
             sub.shared_ships += 1

@@ -155,6 +155,18 @@ class NetSenderEndpoint:
         #: set on plan apply; the next publish re-grounds the calibration
         self._rate_stale = False
         self.obs = obs
+        # Publish-path phase timers, same metric family as the broker's
+        # (and as TcpTransport._deliver's encode/enqueue phases).
+        if obs is not None:
+            self._h_phase_modulate = obs.metrics.histogram(
+                'net.publish.phase_seconds{phase="modulate"}'
+            )
+            self._h_phase_ship = obs.metrics.histogram(
+                'net.publish.phase_seconds{phase="ship"}'
+            )
+        else:
+            self._h_phase_modulate = None
+            self._h_phase_ship = None
         self.proxy = RemoteProfilingProxy(
             partitioned.cut, sample_period=sample_period, obs=obs
         )
@@ -259,6 +271,8 @@ class NetSenderEndpoint:
             started = time.perf_counter()
             result = self.modulator.process(event)
             elapsed = time.perf_counter() - started
+            if self._h_phase_modulate is not None:
+                self._h_phase_modulate.observe(elapsed)
             if result.cycles > 0:
                 seconds = (
                     result.cycles * self.rate_override
@@ -277,6 +291,11 @@ class NetSenderEndpoint:
                 # of shipping toward a peer known to be in trouble.
                 self._absorb(message)
             else:
+                ship_started = (
+                    time.perf_counter()
+                    if self._h_phase_ship is not None
+                    else None
+                )
                 size = float(self.partitioned.codec.size(message))
                 envelope = ContinuationEnvelope(
                     continuation=message,
@@ -301,6 +320,10 @@ class NetSenderEndpoint:
                     self._absorb(message)
                 else:
                     self.shipped += 1
+                    if ship_started is not None:
+                        self._h_phase_ship.observe(
+                            time.perf_counter() - ship_started
+                        )
             if (
                 self.published % self.feedback_period == 0
                 and self.proxy.pending > 0
@@ -646,6 +669,19 @@ class NetReceiverEndpoint:
         self.rate_override = rate_override
         self.drop_after = drop_after
         self.obs = obs
+        # Receive-side phase timer, same labeled family as the sender's
+        # modulate/ship and the transport's encode/enqueue phases — one
+        # table covers the whole message pipeline.
+        self._h_phase_demodulate = (
+            obs.metrics.histogram(
+                'net.publish.phase_seconds{phase="demodulate"}'
+            )
+            if obs is not None
+            else None
+        )
+        #: cumulative seconds spent building telemetry payloads —
+        #: observability cost, surfaced as an ``obs.overhead.*`` gauge
+        self.telemetry_encode_seconds = 0.0
         self.profiling = partitioned.make_profiling_unit(
             sample_period=sample_period, obs=obs
         )
@@ -781,6 +817,7 @@ class NetReceiverEndpoint:
         aggregator can fold per-interval rates without re-diffing; the
         first push carries the full snapshot.
         """
+        build_started = time.perf_counter()
         payload: dict = {
             "counters": {
                 "demodulated": self.demodulated,
@@ -810,6 +847,16 @@ class NetReceiverEndpoint:
             tracer = self.obs.tracing
             if tracer is not None:
                 payload["tracer_ring_dropped"] = tracer.dropped
+        self.telemetry_encode_seconds += (
+            time.perf_counter() - build_started
+        )
+        if self.obs is not None:
+            # Observability's own cost: telemetry payload builds walk
+            # the full metric registry, so their time is accounted in
+            # the same obs.overhead family as tracer/profiler time.
+            self.obs.metrics.gauge(
+                "obs.overhead.telemetry_encode_seconds"
+            ).set(self.telemetry_encode_seconds)
         return payload
 
     async def push_telemetry(self) -> int:
@@ -985,6 +1032,8 @@ class NetReceiverEndpoint:
         started = time.perf_counter()
         outcome = self.demodulator.process(envelope.continuation)
         elapsed = time.perf_counter() - started
+        if self._h_phase_demodulate is not None:
+            self._h_phase_demodulate.observe(elapsed)
         if outcome.cycles > 0:
             seconds = (
                 outcome.cycles * self.rate_override

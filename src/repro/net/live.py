@@ -104,7 +104,12 @@ def _calibrate(partitioned, sink, n_samples: int, repeats: int = 5) -> float:
 
 
 def _observability(
-    host: str, id_base: int, out: Optional[str] = None
+    host: str,
+    id_base: int,
+    out: Optional[str] = None,
+    *,
+    profile: bool = False,
+    profile_interval: Optional[float] = None,
 ) -> Observability:
     obs = Observability()
     # Wall clock: both processes run on one machine, so timestamps are
@@ -116,7 +121,26 @@ def _observability(
     obs.enable_flight(host=host)
     if out:
         obs.flight.install_signal_dump(out + ".flight.json")
+    if profile:
+        # Continuous sampling profiler: the dump rides in the result
+        # JSON's obs dump and liveexp merges the per-process profiles.
+        obs.enable_profiler(
+            interval=profile_interval, host=host, autostart=True
+        )
     return obs
+
+
+def _obs_args(args: argparse.Namespace) -> Dict[str, object]:
+    return {
+        "profile": getattr(args, "profile", False),
+        "profile_interval": getattr(args, "profile_interval", None),
+    }
+
+
+def _finish_profile(obs: Observability) -> None:
+    """Stop sampling before the dump so the result JSON is stable."""
+    if obs.profiler is not None:
+        obs.profiler.stop()
 
 
 def _health_config(args: argparse.Namespace) -> Optional[HealthConfig]:
@@ -142,7 +166,10 @@ def run_receiver(args: argparse.Namespace) -> Dict[str, object]:
     name = getattr(args, "name", None) or "receiver"
     index = getattr(args, "index", 0)
     obs = _observability(
-        name, RECEIVER_ID_BASE + index * RECEIVER_ID_STRIDE, args.out
+        name,
+        RECEIVER_ID_BASE + index * RECEIVER_ID_STRIDE,
+        args.out,
+        **_obs_args(args),
     )
     if args.quality:
         # Small window so regret windows close within a short stream.
@@ -252,6 +279,7 @@ def run_receiver(args: argparse.Namespace) -> Dict[str, object]:
         await endpoint.stop()
 
     asyncio.run(amain())
+    _finish_profile(obs)
 
     window = (
         endpoint.last_demod_at - endpoint.first_demod_at
@@ -317,7 +345,9 @@ def run_receiver(args: argparse.Namespace) -> Dict[str, object]:
 
 
 def run_sender(args: argparse.Namespace) -> Dict[str, object]:
-    obs = _observability("sender", SENDER_ID_BASE, args.out)
+    obs = _observability(
+        "sender", SENDER_ID_BASE, args.out, **_obs_args(args)
+    )
     partitioned, _sink = build_partitioned_process(
         n_stages=args.n_stages, backend=args.backend
     )
@@ -359,6 +389,7 @@ def run_sender(args: argparse.Namespace) -> Dict[str, object]:
             time.sleep(args.interval)
     endpoint.finish()
     drained = transport.drain(args.timeout)
+    _finish_profile(obs)
     # Leave a window for a PLAN frame racing the tail of the stream.
     time.sleep(0.3)
     elapsed = time.time() - started
@@ -406,7 +437,9 @@ def run_sender(args: argparse.Namespace) -> Dict[str, object]:
 
 def run_broker(args: argparse.Namespace) -> Dict[str, object]:
     """One modulator fanning out to every ``--ports`` receiver."""
-    obs = _observability("broker", SENDER_ID_BASE, args.out)
+    obs = _observability(
+        "broker", SENDER_ID_BASE, args.out, **_obs_args(args)
+    )
     partitioned, _sink = build_partitioned_process(
         n_stages=args.n_stages, backend=args.backend
     )
@@ -456,6 +489,7 @@ def run_broker(args: argparse.Namespace) -> Dict[str, object]:
             time.sleep(args.interval)
     endpoint.finish()
     drained = transport.drain(args.timeout)
+    _finish_profile(obs)
     # Snapshot the fleet the instant the drain completes — the Bye
     # frames just delivered are about to tear every connection down,
     # and a "disconnected" wobble at exit would mask the states the
@@ -503,6 +537,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--expose", type=int, default=None, metavar="PORT",
                         help="serve /metrics on this port (0 = ephemeral; "
                         "announced as 'EXPOSING <port>')")
+    parser.add_argument("--profile", action="store_true",
+                        help="run the continuous sampling profiler; the "
+                        "dump rides in the result JSON's obs section")
+    parser.add_argument("--profile-interval", type=float, default=None,
+                        help="seconds between profiler samples (default "
+                        "0.01 = 100 Hz)")
 
 
 def _add_health_overrides(parser: argparse.ArgumentParser) -> None:

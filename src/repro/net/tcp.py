@@ -623,6 +623,8 @@ class TcpTransport(Transport):
         self._c_batches_decoded = None
         self._c_pooled_payloads = None
         self._h_rtt = None
+        self._h_phase_encode = None
+        self._h_phase_enqueue = None
         self._metrics = None
         self._obs = None
         self._obs_name = "transport.tcp"
@@ -654,6 +656,15 @@ class TcpTransport(Transport):
             f"{name}.decoder_pooled_payloads"
         )
         self._h_rtt = metrics.histogram(f"{name}.heartbeat_rtt")
+        # Publish-path phase timers (same family as the broker's
+        # modulate/fork/ship phases): the caller-thread encode and the
+        # threadsafe handoff to the loop, the two halves of _deliver.
+        self._h_phase_encode = metrics.histogram(
+            'net.publish.phase_seconds{phase="encode"}'
+        )
+        self._h_phase_enqueue = metrics.histogram(
+            'net.publish.phase_seconds{phase="enqueue"}'
+        )
         self._metrics = metrics
         self._obs = obs
         self._obs_name = name
@@ -745,8 +756,19 @@ class TcpTransport(Transport):
         # restamped the trace context) so the loop thread only does IO;
         # header and payload stay separate so the write loop can gather
         # runs of frames into one batch without re-encoding.
+        h_encode = self._h_phase_encode
+        if h_encode is None:
+            parts = self.codec.encode_frame_parts(
+                envelope, sent_at=time.time()
+            )
+            self._require_loop().call_soon_threadsafe(peer._enqueue, parts)
+            return
+        t0 = time.perf_counter()
         parts = self.codec.encode_frame_parts(envelope, sent_at=time.time())
+        t1 = time.perf_counter()
+        h_encode.observe(t1 - t0)
         self._require_loop().call_soon_threadsafe(peer._enqueue, parts)
+        self._h_phase_enqueue.observe(time.perf_counter() - t1)
 
     # -- draining / shutdown ---------------------------------------------------
 

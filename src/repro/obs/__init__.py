@@ -35,6 +35,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.flight import FlightRecorder, wide_event
 from repro.obs.health import HealthConfig, HealthMonitor, PeerHealth
+from repro.obs.prof import SamplingProfiler
 from repro.obs.quality import QualityConfig
 from repro.obs.tracing import Span, Tracer
 from repro.obs.trace import (
@@ -72,6 +73,7 @@ __all__ = [
     "DriftDetected",
     "QualityConfig",
     "FlightRecorder",
+    "SamplingProfiler",
     "HealthConfig",
     "HealthMonitor",
     "PeerHealth",
@@ -108,6 +110,10 @@ class Observability:
         #: :meth:`enable_flight` — instrumented sites do a single
         #: ``is None`` check like every other instrument here.
         self.flight: Optional[FlightRecorder] = None
+        #: continuous sampling profiler; None until
+        #: :meth:`enable_profiler`, and even then nothing samples until
+        #: its ``start()`` — same opt-in shape as the other instruments.
+        self.profiler: Optional[SamplingProfiler] = None
         #: extra named sections merged into :meth:`to_dict` — e.g. the
         #: broker parks its fleet health view here so one ``/metrics.json``
         #: scrape (or result dump) carries the whole fleet state.
@@ -175,20 +181,73 @@ class Observability:
                 _flight.set_global_recorder(self.flight)
         return self.flight
 
+    def enable_profiler(
+        self,
+        *,
+        interval: Optional[float] = None,
+        host: Optional[str] = None,
+        autostart: bool = False,
+        **kwargs,
+    ) -> SamplingProfiler:
+        """Attach (or return the existing) :class:`SamplingProfiler`.
+
+        ``autostart=True`` begins sampling immediately; otherwise the
+        caller starts/stops it around the region of interest.  Extra
+        keyword arguments pass through to the profiler constructor
+        (``rules``, ``thread_ids``, ``max_stacks``).
+        """
+        if self.profiler is None:
+            from repro.obs.prof import DEFAULT_INTERVAL
+
+            self.profiler = SamplingProfiler(
+                interval=interval if interval is not None else (
+                    DEFAULT_INTERVAL
+                ),
+                host=host,
+                **kwargs,
+            )
+            if autostart:
+                self.profiler.start()
+        return self.profiler
+
     def add_section(self, name: str, supplier: Callable[[], object]) -> None:
         """Merge ``supplier()`` into :meth:`to_dict` under ``name``.
 
         Reserved keys (``metrics``, ``trace``, ``tracing``, ``quality``,
-        ``flight``) are rejected.  Suppliers run on every dump — keep
-        them cheap and thread-safe; the HTTP exposer calls ``to_dict``
-        from its serving thread.
+        ``flight``, ``profile``) are rejected.  Suppliers run on every
+        dump — keep them cheap and thread-safe; the HTTP exposer calls
+        ``to_dict`` from its serving thread.
         """
-        if name in ("metrics", "trace", "tracing", "quality", "flight"):
+        if name in (
+            "metrics", "trace", "tracing", "quality", "flight", "profile"
+        ):
             raise ValueError(f"section name {name!r} is reserved")
         self._sections[name] = supplier
 
+    def refresh_overhead(self) -> None:
+        """Publish observability's own cost as ``obs.overhead.*`` gauges.
+
+        Gauges appear only for instruments actually enabled (so the
+        metric set of an untouched Observability is unchanged), and are
+        refreshed on every :meth:`to_dict` — scrapes and dumps always
+        carry current numbers.
+        """
+        if self.tracing is not None:
+            self.metrics.gauge("obs.overhead.tracer_seconds").set(
+                self.tracing.overhead_seconds
+            )
+        if self.profiler is not None:
+            self.metrics.gauge("obs.overhead.profiler_self_seconds").set(
+                self.profiler.self_seconds
+            )
+        if self.flight is not None:
+            self.metrics.gauge("obs.overhead.flight_seconds").set(
+                self.flight.overhead_seconds
+            )
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable dump consumed by ``repro.tools.obsreport``."""
+        self.refresh_overhead()
         data: Dict[str, object] = {
             "metrics": self.metrics.to_dict(),
             "trace": {
@@ -203,6 +262,8 @@ class Observability:
             data["quality"] = self.quality.report()
         if self.flight is not None:
             data["flight"] = self.flight.to_dict()
+        if self.profiler is not None:
+            data["profile"] = self.profiler.to_dict()
         for name, supplier in self._sections.items():
             data[name] = supplier()
         return data

@@ -57,28 +57,47 @@ class FlightRecorder:
         maxlen: int = _DEFAULT_MAXLEN,
         host: Optional[str] = None,
         clock: Callable[[], float] = time.time,
+        mono_clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if maxlen <= 0:
             raise ValueError(f"maxlen must be positive, got {maxlen}")
         self.host = host if host is not None else socket.gethostname()
         self.clock = clock
+        self.mono_clock = mono_clock
         self._events: Deque[dict] = deque(maxlen=maxlen)
         self._lock = threading.Lock()
         self.maxlen = maxlen
         self.recorded = 0
         self.dropped = 0
+        #: seconds spent inside :meth:`record` — same self-accounting
+        #: idiom as ``Tracer.overhead_seconds``, surfaced by
+        #: ``Observability.refresh_overhead`` as ``obs.overhead.*``.
+        self.overhead_seconds = 0.0
         self._dump_path: Optional[str] = None
         self._prev_handlers: Dict[int, object] = {}
 
     def record(self, kind: str, **fields: object) -> dict:
-        """Append one wide event; returns the stored dict."""
-        event = {"t": self.clock(), "host": self.host, "kind": kind}
+        """Append one wide event; returns the stored dict.
+
+        Each event carries a (wall, monotonic) clock pair: ``t`` for
+        humans and cross-host alignment, ``mono`` so the merge can keep
+        one host's events in true order even when its wall clock steps
+        mid-run (see :func:`merge_flight_dumps`).
+        """
+        started = time.perf_counter()
+        event = {
+            "t": self.clock(),
+            "mono": self.mono_clock(),
+            "host": self.host,
+            "kind": kind,
+        }
         event.update(fields)
         with self._lock:
             if len(self._events) == self.maxlen:
                 self.dropped += 1
             self._events.append(event)
             self.recorded += 1
+        self.overhead_seconds += time.perf_counter() - started
         return event
 
     def to_list(self) -> List[dict]:
@@ -92,6 +111,7 @@ class FlightRecorder:
                 "maxlen": self.maxlen,
                 "recorded": self.recorded,
                 "dropped": self.dropped,
+                "overhead_seconds": self.overhead_seconds,
                 "events": list(self._events),
             }
 
@@ -203,15 +223,38 @@ def wide_event(
     return event
 
 
+def _merge_key_offset(events: List[dict]) -> Optional[float]:
+    """Median wall-minus-monotonic offset of one dump's events.
+
+    The median (rather than the first event's offset) keeps the anchor
+    honest when the wall clock *steps* partway through a run — the
+    majority of events vote, so a single NTP jump cannot drag the whole
+    host's timeline with it.
+    """
+    diffs = sorted(
+        float(e["t"]) - float(e["mono"])
+        for e in events
+        if "mono" in e and "t" in e
+    )
+    if not diffs:
+        return None
+    return diffs[len(diffs) // 2]
+
+
 def merge_flight_dumps(dumps: List[dict]) -> dict:
     """Merge per-process flight dumps into one time-ordered record.
 
     Each input is a :meth:`FlightRecorder.to_dict` mapping; events
-    already carry their recorder's ``host`` tag, so the merge is a sort
-    on the shared wall clock.  Events sharing a timestamp (coarse
-    clocks, bursts in a tight loop) tie-break on host and then on
-    within-dump position, so the merge is deterministic and never
-    reorders one process's own events relative to each other.
+    already carry their recorder's ``host`` tag.  When events carry
+    the (wall, monotonic) clock pair the sort key is the *corrected*
+    wall time — each dump's median ``t - mono`` offset re-bases its
+    monotonic clock onto the shared wall timeline, so one host's
+    events keep their true relative order even when its wall clock
+    steps mid-run, while cross-host alignment still follows wall
+    time.  Events without ``mono`` (older dumps) fall back to raw
+    ``t``, and ties break on host and then within-dump position — the
+    merge is deterministic and never reorders one process's own
+    events relative to each other.
     """
     decorated: List[Tuple[float, str, int, dict]] = []
     hosts: List[str] = []
@@ -224,8 +267,14 @@ def merge_flight_dumps(dumps: List[dict]) -> dict:
         hosts.append(host)
         recorded += int(dump.get("recorded", 0))
         dropped += int(dump.get("dropped", 0))
-        for index, event in enumerate(dump.get("events", [])):
-            decorated.append((event.get("t", 0.0), host, index, event))
+        events = list(dump.get("events", []))
+        offset = _merge_key_offset(events)
+        for index, event in enumerate(events):
+            if offset is not None and "mono" in event:
+                key_t = offset + float(event["mono"])
+            else:
+                key_t = event.get("t", 0.0)
+            decorated.append((key_t, host, index, event))
     decorated.sort(key=lambda item: item[:3])
     events = [item[3] for item in decorated]
     return {

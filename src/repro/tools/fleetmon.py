@@ -201,7 +201,9 @@ def main(argv=None) -> int:
     parser.add_argument("--iterations", type=int, default=0,
                         help="stop after N frames (0 = until Ctrl-C)")
     parser.add_argument("--once", action="store_true",
-                        help="print a single frame and exit")
+                        help="print a single frame and exit; status is 1 "
+                        "when any source is unreachable or any peer is "
+                        "unhealthy, breaker-open or shed-alerting")
     parser.add_argument("--json", action="store_true",
                         help="emit one JSON object per frame instead of "
                         "the TTY table")
@@ -312,7 +314,24 @@ def main(argv=None) -> int:
                     )
             frames += 1
             if args.iterations and frames >= args.iterations:
-                return 0
+                if not args.once:
+                    return 0
+                # Single-shot gate: nonzero when any source is
+                # unreachable or any peer needs attention, so cron and
+                # CI can alert on the fleet without parsing the frame.
+                bad = False
+                for st in states:
+                    if st["last_good"] is None or st["failures"]:
+                        bad = True
+                        continue
+                    view = view_of(st)
+                    if view is not None and (
+                        view["unhealthy"]
+                        or view["open_breakers"]
+                        or view["alerts"]
+                    ):
+                        bad = True
+                return 1 if bad else 0
             time.sleep(args.interval)
     except KeyboardInterrupt:
         return 0

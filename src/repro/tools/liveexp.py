@@ -46,6 +46,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.obs.export import chrome_trace, merge_tracer_dumps
 from repro.obs.flight import merge_flight_dumps
+from repro.obs.prof import merge_profile_dumps, speedscope_from_dump
 
 __all__ = ["run_live_experiment", "run_fanout_experiment", "main"]
 
@@ -137,6 +138,33 @@ def _scrape_exposition(
             break
         time.sleep(0.2)
     return state
+
+
+def _merge_profiles(
+    results: List[Dict[str, object]], outdir: Path
+) -> Optional[Dict[str, object]]:
+    """Merge per-process profiler dumps into one cross-host profile.
+
+    Writes ``merged_profile.json`` (raw dump, the input format for
+    ``repro.tools.profreport``) and ``profile.speedscope.json``
+    alongside the trace/flight merges.  Returns the merged dump, or
+    ``None`` when no process ran with ``--profile``.
+    """
+    dumps = [
+        result["obs"]["profile"]
+        for result in results
+        if "profile" in result.get("obs", {})
+    ]
+    if not dumps:
+        return None
+    merged = merge_profile_dumps(dumps)
+    with open(outdir / "merged_profile.json", "w") as handle:
+        json.dump(merged, handle, indent=2)
+    with open(outdir / "profile.speedscope.json", "w") as handle:
+        json.dump(
+            speedscope_from_dump(merged, name="liveexp"), handle
+        )
+    return merged
 
 
 def _check(
@@ -271,6 +299,8 @@ def run_live_experiment(
     timeout: float = 120.0,
     expose: bool = True,
     batching: bool = True,
+    profile: bool = False,
+    profile_interval: Optional[float] = None,
     outdir: Path = Path("live-results"),
 ) -> Tuple[Dict[str, object], List[Tuple[str, bool, str]]]:
     """Run the two processes; returns (summary, checks).
@@ -294,6 +324,10 @@ def run_live_experiment(
         "--samples", str(samples),
         "--timeout", str(timeout),
     ]
+    if profile:
+        common.append("--profile")
+        if profile_interval is not None:
+            common += ["--profile-interval", str(profile_interval)]
     receiver_cmd = [
         sys.executable, "-m", "repro.net.live", "receiver",
         *common,
@@ -372,10 +406,28 @@ def run_live_experiment(
     ])
     with open(outdir / "merged_flight.json", "w") as handle:
         json.dump(merged_flight, handle, indent=2, default=str)
+    merged_profile = _merge_profiles(
+        [sender_result, receiver_result], outdir
+    )
 
     checks = _verify(
         sender_result, receiver_result, merged, drop_after=drop_after
     )
+    if profile:
+        hosts = (
+            set(merged_profile.get("hosts", []))
+            if merged_profile
+            else set()
+        )
+        samples = (
+            int(merged_profile["samples"]) if merged_profile else 0
+        )
+        _check(
+            checks,
+            "profiles captured on both hosts",
+            {"sender", "receiver"} <= hosts and samples > 0,
+            f"{samples} samples across hosts {sorted(hosts)}",
+        )
     if exposition is not None:
         if exposition["text"]:
             with open(outdir / "metrics.txt", "w") as handle:
@@ -709,6 +761,8 @@ def run_fanout_experiment(
     wedge_after: int = 20,
     wedge_seconds: float = 2.0,
     queue_limit: int = 64,
+    profile: bool = False,
+    profile_interval: Optional[float] = None,
     outdir: Path = Path("live-results"),
 ) -> Tuple[Dict[str, object], List[Tuple[str, bool, str]]]:
     """Run one broker against ``fanout`` receiver processes.
@@ -731,6 +785,10 @@ def run_fanout_experiment(
         "--samples", str(samples),
         "--timeout", str(timeout),
     ]
+    if profile:
+        common.append("--profile")
+        if profile_interval is not None:
+            common += ["--profile-interval", str(profile_interval)]
     receiver_procs: List[subprocess.Popen] = []
     receiver_outs: List[Path] = []
     broker_proc: Optional[subprocess.Popen] = None
@@ -833,6 +891,9 @@ def run_fanout_experiment(
     ])
     with open(outdir / "merged_flight.json", "w") as handle:
         json.dump(merged_flight, handle, indent=2, default=str)
+    merged_profile = _merge_profiles(
+        [broker_result, *receiver_results], outdir
+    )
 
     checks = _verify_fanout(
         broker_result,
@@ -850,6 +911,24 @@ def run_fanout_experiment(
         if exposition["valid"]
         else f"scrape failed: {exposition['error']}",
     )
+    if profile:
+        hosts = (
+            set(merged_profile.get("hosts", []))
+            if merged_profile
+            else set()
+        )
+        samples = (
+            int(merged_profile["samples"]) if merged_profile else 0
+        )
+        wanted_hosts = {"broker"} | {
+            f"receiver{i}" for i in range(fanout)
+        }
+        _check(
+            checks,
+            "profiles captured on every host",
+            wanted_hosts <= hosts and samples > 0,
+            f"{samples} samples across hosts {sorted(hosts)}",
+        )
 
     aggregate = sum(
         float(r["msgs_per_second"]) for r in receiver_results
@@ -952,6 +1031,13 @@ def main(argv=None) -> int:
                         "(baseline for the batching sweep)")
     parser.add_argument("--quick", action="store_true",
                         help="small workload for CI smoke runs")
+    parser.add_argument("--profile", action="store_true",
+                        help="run the continuous sampling profiler in "
+                        "every process and merge the dumps into "
+                        "merged_profile.json + profile.speedscope.json")
+    parser.add_argument("--profile-interval", type=float, default=None,
+                        help="seconds between profiler samples "
+                        "(default 0.01 = 100 Hz)")
     parser.add_argument("--fanout", type=int, default=0, metavar="N",
                         help="broker topology: one modulator publishing "
                         "to N heterogeneous receiver processes")
@@ -1005,6 +1091,8 @@ def main(argv=None) -> int:
             wedge_after=args.wedge_after,
             wedge_seconds=args.wedge_seconds,
             queue_limit=args.queue_limit,
+            profile=args.profile,
+            profile_interval=args.profile_interval,
             outdir=args.outdir,
         )
         broker = summary["broker"]
@@ -1046,6 +1134,8 @@ def main(argv=None) -> int:
         timeout=args.timeout,
         expose=not args.no_expose,
         batching=not args.no_batching,
+        profile=args.profile,
+        profile_interval=args.profile_interval,
         outdir=args.outdir,
     )
     sender = summary["sender"]

@@ -68,6 +68,36 @@ def _render_event(event: Mapping) -> str:
     return f"  {kind}({fields})"
 
 
+def _overhead_rows(data: Mapping) -> List:
+    """(label, seconds) rows describing what observability itself cost.
+
+    Prefers the ``obs.overhead.*`` gauges refreshed at dump time and
+    falls back to the per-instrument dump fields for older artifacts,
+    so one report answers "what did watching this run cost us?".
+    """
+    rows: dict = {}
+    gauges = data.get("metrics", {}).get("gauges", {})
+    for name, value in gauges.items():
+        if name.startswith("obs.overhead."):
+            rows[name[len("obs.overhead."):]] = float(value)
+    tracing = data.get("tracing") or {}
+    if "overhead_seconds" in tracing:
+        rows.setdefault(
+            "tracer_seconds", float(tracing["overhead_seconds"])
+        )
+    flight = data.get("flight") or {}
+    if "overhead_seconds" in flight:
+        rows.setdefault(
+            "flight_seconds", float(flight["overhead_seconds"])
+        )
+    profile = data.get("profile") or {}
+    if "self_seconds" in profile:
+        rows.setdefault(
+            "profiler_self_seconds", float(profile["self_seconds"])
+        )
+    return sorted(rows.items())
+
+
 def render_report(
     data: Mapping, *, event_limit: Optional[int] = _DEFAULT_EVENT_LIMIT
 ) -> str:
@@ -153,6 +183,36 @@ def render_report(
                 if k not in ("kind", "t", "host")
             )
             lines.append(f"  {event.get('kind', '?')}({fields})")
+
+    profile = data.get("profile")
+    if profile:
+        from repro.obs.prof import component_table
+
+        rate = (
+            f"{1.0 / profile['interval']:.0f} Hz"
+            if profile.get("interval")
+            else "?"
+        )
+        lines.append("")
+        lines.append(
+            f"== profile ({profile.get('samples', 0)} samples @ {rate}) =="
+        )
+        for row in component_table(profile):
+            lines.append(
+                f"  {row['component']:<14} {row['samples']:>8} "
+                f"{row['share']:>7.1%}"
+            )
+        if profile.get("truncated"):
+            lines.append(
+                f"  ({profile['truncated']} sample(s) in overflow bucket)"
+            )
+
+    overhead = _overhead_rows(data)
+    if overhead:
+        lines.append("")
+        lines.append("== observability cost ==")
+        for name, seconds in overhead:
+            lines.append(f"  {name}: {_format_value(seconds)}s")
 
     fleet = data.get("fleet")
     if fleet:
@@ -346,6 +406,21 @@ def report_json(data: Mapping) -> dict:
             else None
         ),
         "fleet": data.get("fleet") or None,
+        "profile": (
+            {
+                "samples": data["profile"].get("samples", 0),
+                "interval": data["profile"].get("interval"),
+                "self_seconds": data["profile"].get("self_seconds", 0.0),
+                "components": dict(
+                    sorted(
+                        (data["profile"].get("components") or {}).items()
+                    )
+                ),
+            }
+            if data.get("profile")
+            else None
+        ),
+        "obs_overhead": dict(_overhead_rows(data)),
     }
 
 

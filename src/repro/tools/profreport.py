@@ -1,0 +1,227 @@
+"""Render a sampling-profile dump: component table, top stacks.
+
+Usage::
+
+    python -m repro.tools.profreport live-results/merged_profile.json
+    python -m repro.tools.profreport broker.json --top 20
+    python -m repro.tools.profreport run.obs.json --json
+    python -m repro.tools.profreport prof.json --speedscope out.speedscope.json
+    python -m repro.tools.profreport prof.json --collapsed out.collapsed.txt
+
+The input is any of: a raw :meth:`SamplingProfiler.to_dict` dump, a
+merged dump from :func:`repro.obs.prof.merge_profile_dumps`, an
+``Observability.to_dict()`` dump (profile under ``"profile"``), or a
+live result file (obs dump under ``"obs"``).  When the input carries a
+metric registry too, the exact ``net.publish.phase_seconds`` phase
+timers are rendered next to the sampled attribution so the two can be
+cross-checked.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Mapping, Optional
+
+from repro.obs.prof import (
+    collapsed_from_dump,
+    component_table,
+    speedscope_from_dump,
+)
+
+_DEFAULT_TOP = 10
+
+_PHASE_METRIC = "net.publish.phase_seconds"
+
+
+def extract_profile(data: Mapping) -> Optional[Mapping]:
+    """Find the profile dump inside whatever file shape was given."""
+    if "stacks" in data or "components" in data:
+        return data
+    if "profile" in data:
+        return data["profile"]
+    obs = data.get("obs")
+    if isinstance(obs, Mapping) and "profile" in obs:
+        return obs["profile"]
+    return None
+
+
+def extract_metrics(data: Mapping) -> Optional[Mapping]:
+    if "metrics" in data:
+        return data["metrics"]
+    obs = data.get("obs")
+    if isinstance(obs, Mapping) and "metrics" in obs:
+        return obs["metrics"]
+    return None
+
+
+def phase_table(metrics: Mapping) -> List[dict]:
+    """Exact publish-path phase timings from the metric registry."""
+    from repro.obs.exposition import _split_labels
+
+    rows = []
+    for name, h in sorted((metrics.get("histograms") or {}).items()):
+        base, labels = _split_labels(name)
+        if base != _PHASE_METRIC:
+            continue
+        phase = labels.split('="')[-1].rstrip('"') if labels else "?"
+        count = int(h.get("count", 0))
+        total = float(h.get("total", 0.0))
+        rows.append({
+            "phase": phase,
+            "count": count,
+            "total_seconds": total,
+            "mean_seconds": total / count if count else 0.0,
+        })
+    rows.sort(key=lambda row: -row["total_seconds"])
+    return rows
+
+
+def report_json(
+    data: Mapping, *, top: int = _DEFAULT_TOP
+) -> Optional[dict]:
+    """Machine-readable summary (schema ``mp.profreport.v1``)."""
+    profile = extract_profile(data)
+    if profile is None:
+        return None
+    components = component_table(profile)
+    attributed = sum(
+        row["share"] for row in components if row["component"] != "other"
+    )
+    metrics = extract_metrics(data)
+    return {
+        "schema": "mp.profreport.v1",
+        "host": profile.get("host"),
+        "hosts": profile.get("hosts"),
+        "interval": profile.get("interval"),
+        "samples": profile.get("samples", 0),
+        "passes": profile.get("passes", 0),
+        "self_seconds": profile.get("self_seconds", 0.0),
+        "wall_seconds": profile.get("wall_seconds"),
+        "truncated": profile.get("truncated", 0),
+        "components": components,
+        "attributed_share": attributed,
+        "stacks_kept": len(profile.get("stacks", [])),
+        "top_stacks": list(profile.get("stacks", []))[:top],
+        "phases": phase_table(metrics) if metrics is not None else None,
+    }
+
+
+def render_report(data: Mapping, *, top: int = _DEFAULT_TOP) -> str:
+    """Text report from any supported dump shape."""
+    profile = extract_profile(data)
+    if profile is None:
+        return "(no profile section in this dump)"
+    lines: List[str] = []
+    samples = profile.get("samples", 0)
+    interval = profile.get("interval")
+    hosts = profile.get("hosts") or (
+        [profile["host"]] if profile.get("host") else []
+    )
+    header = f"== profile: {samples} samples"
+    if interval:
+        header += f" @ {1.0 / interval:.0f} Hz"
+    if hosts:
+        header += f" across {', '.join(str(h) for h in hosts)}"
+    lines.append(header + " ==")
+    self_seconds = float(profile.get("self_seconds", 0.0))
+    wall = profile.get("wall_seconds")
+    overhead = f"  sampler self-time: {self_seconds:.6f}s"
+    if wall:
+        overhead += f" ({self_seconds / float(wall):.3%} of profiled wall)"
+    lines.append(overhead)
+    if profile.get("truncated"):
+        lines.append(
+            f"  {profile['truncated']} sample(s) in the overflow bucket "
+            "(max_stacks reached)"
+        )
+    lines.append("")
+    lines.append("== components ==")
+    for row in component_table(profile):
+        bar = "#" * int(round(row["share"] * 40))
+        lines.append(
+            f"  {row['component']:<14} {row['samples']:>8} "
+            f"{row['share']:>8.1%}  {bar}"
+        )
+    metrics = extract_metrics(data)
+    phases = phase_table(metrics) if metrics is not None else []
+    if phases:
+        lines.append("")
+        lines.append("== exact phase timers (net.publish.phase_seconds) ==")
+        for row in phases:
+            lines.append(
+                f"  {row['phase']:<14} n={row['count']:<8} "
+                f"total={row['total_seconds']:.6f}s "
+                f"mean={row['mean_seconds'] * 1e6:.1f}us"
+            )
+    stacks = list(profile.get("stacks", []))[:top]
+    if stacks:
+        lines.append("")
+        lines.append(f"== top {len(stacks)} stacks ==")
+        for stack in stacks:
+            lines.append(
+                f"  {stack['count']:>8}  [{stack.get('component', '?')}]"
+            )
+            for frame in stack["frames"][-8:]:
+                lines.append(f"            {frame}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.profreport", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "dump",
+        help="profile dump, obs dump, merged profile, or live result JSON",
+    )
+    parser.add_argument(
+        "--top", type=int, default=_DEFAULT_TOP,
+        help="how many stacks to show (default %(default)s)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable mp.profreport.v1 summary",
+    )
+    parser.add_argument(
+        "--speedscope", metavar="PATH",
+        help="also write a speedscope JSON profile to PATH",
+    )
+    parser.add_argument(
+        "--collapsed", metavar="PATH",
+        help="also write collapsed-stack text (flamegraph input) to PATH",
+    )
+    args = parser.parse_args(argv)
+    try:
+        with open(args.dump, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"profreport: cannot read {args.dump}: {exc}", file=sys.stderr)
+        return 1
+    profile = extract_profile(data)
+    if profile is None:
+        print(
+            f"profreport: no profile section in {args.dump} "
+            "(was the run profiled? liveexp needs --profile)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.speedscope:
+        with open(args.speedscope, "w", encoding="utf-8") as handle:
+            json.dump(speedscope_from_dump(profile), handle, indent=2)
+            handle.write("\n")
+    if args.collapsed:
+        with open(args.collapsed, "w", encoding="utf-8") as handle:
+            handle.write(collapsed_from_dump(profile))
+    if args.json:
+        json.dump(report_json(data, top=args.top), sys.stdout, indent=2)
+        print()
+    else:
+        print(render_report(data, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

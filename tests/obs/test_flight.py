@@ -35,17 +35,29 @@ def _fake_clock(start=100.0, step=1.0):
 
 
 class TestFlightRecorder:
-    def test_record_stamps_time_host_and_kind(self):
-        rec = FlightRecorder(host="worker-1", clock=_fake_clock())
+    def test_record_stamps_clock_pair_host_and_kind(self):
+        rec = FlightRecorder(
+            host="worker-1",
+            clock=_fake_clock(),
+            mono_clock=_fake_clock(start=50.0),
+        )
         event = rec.record("net.shed", peer="r0", dropped=3)
         assert event == {
             "t": 100.0,
+            "mono": 50.0,
             "host": "worker-1",
             "kind": "net.shed",
             "peer": "r0",
             "dropped": 3,
         }
         assert rec.to_list() == [event]
+
+    def test_record_accounts_its_own_overhead(self):
+        rec = FlightRecorder(host="h")
+        for i in range(10):
+            rec.record("tick", i=i)
+        assert rec.overhead_seconds > 0.0
+        assert rec.to_dict()["overhead_seconds"] == rec.overhead_seconds
 
     def test_ring_is_bounded_and_counts_drops(self):
         rec = FlightRecorder(maxlen=3, host="h", clock=_fake_clock())
@@ -151,8 +163,18 @@ class TestWideEvent:
 
 class TestMergeFlightDumps:
     def test_merge_orders_by_time_across_hosts(self):
-        a = FlightRecorder(host="a", clock=_fake_clock(start=10.0, step=10.0))
-        b = FlightRecorder(host="b", clock=_fake_clock(start=15.0, step=10.0))
+        # Wall and monotonic clocks tick together (no skew): the merge
+        # reduces to plain wall-time order.
+        a = FlightRecorder(
+            host="a",
+            clock=_fake_clock(start=10.0, step=10.0),
+            mono_clock=_fake_clock(start=10.0, step=10.0),
+        )
+        b = FlightRecorder(
+            host="b",
+            clock=_fake_clock(start=15.0, step=10.0),
+            mono_clock=_fake_clock(start=15.0, step=10.0),
+        )
         a.record("e1")
         b.record("e2")
         a.record("e3")
@@ -226,6 +248,93 @@ class TestMergeTieOrdering:
         }
         merged = merge_flight_dumps([dump, dump])
         assert len(merged["events"]) == 4
+
+
+class TestClockPairSkewMerge:
+    def test_wall_step_mid_run_does_not_reorder_host_events(self):
+        # Host a's wall clock steps back ~31s (NTP correction) between
+        # its 2nd and 3rd event; monotonic keeps counting.  A raw-t
+        # sort would put a2 first — the median offset re-bases onto
+        # mono so the host's true order survives.
+        a = {
+            "host": "a",
+            "recorded": 3,
+            "dropped": 0,
+            "events": [
+                {"t": 100.0, "mono": 10.0, "host": "a", "kind": "a0"},
+                {"t": 101.0, "mono": 11.0, "host": "a", "kind": "a1"},
+                {"t": 71.0, "mono": 12.0, "host": "a", "kind": "a2"},
+            ],
+        }
+        merged = merge_flight_dumps([a])
+        assert [e["kind"] for e in merged["events"]] == ["a0", "a1", "a2"]
+
+    def test_cross_host_alignment_still_follows_wall_time(self):
+        # Two hosts with wildly different monotonic epochs: the per-dump
+        # offset puts both on the shared wall timeline, interleaved by
+        # when events actually happened.
+        a = {
+            "host": "a",
+            "recorded": 2,
+            "dropped": 0,
+            "events": [
+                {"t": 100.0, "mono": 10.0, "host": "a", "kind": "a0"},
+                {"t": 102.0, "mono": 12.0, "host": "a", "kind": "a1"},
+            ],
+        }
+        b = {
+            "host": "b",
+            "recorded": 1,
+            "dropped": 0,
+            "events": [
+                {"t": 101.0, "mono": 9999.0, "host": "b", "kind": "b0"},
+            ],
+        }
+        merged = merge_flight_dumps([b, a])
+        assert [e["kind"] for e in merged["events"]] == ["a0", "b0", "a1"]
+
+    def test_dumps_without_mono_fall_back_to_raw_t(self):
+        # Old dumps (pre clock pair) still merge, on raw wall time.
+        old = {
+            "host": "old",
+            "recorded": 2,
+            "dropped": 0,
+            "events": [
+                {"t": 100.5, "host": "old", "kind": "legacy0"},
+                {"t": 101.5, "host": "old", "kind": "legacy1"},
+            ],
+        }
+        new = {
+            "host": "new",
+            "recorded": 1,
+            "dropped": 0,
+            "events": [
+                {"t": 101.0, "mono": 1.0, "host": "new", "kind": "n0"},
+            ],
+        }
+        merged = merge_flight_dumps([old, new])
+        assert [e["kind"] for e in merged["events"]] == [
+            "legacy0",
+            "n0",
+            "legacy1",
+        ]
+
+    def test_majority_vote_beats_a_single_stepped_event(self):
+        # One event recorded during a transient wall-clock excursion
+        # must not drag the whole host's anchor: the median offset is
+        # the majority's, so only the outlier re-bases.
+        a = {
+            "host": "a",
+            "recorded": 3,
+            "dropped": 0,
+            "events": [
+                {"t": 100.0, "mono": 10.0, "host": "a", "kind": "a0"},
+                {"t": 1100.0, "mono": 11.0, "host": "a", "kind": "a1"},
+                {"t": 102.0, "mono": 12.0, "host": "a", "kind": "a2"},
+            ],
+        }
+        merged = merge_flight_dumps([a])
+        assert [e["kind"] for e in merged["events"]] == ["a0", "a1", "a2"]
 
 
 class TestSignalDump:

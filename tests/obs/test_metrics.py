@@ -158,6 +158,32 @@ def test_snapshot_delta_counter_reset_uses_current_value():
     assert snapshot_delta(prev, curr)["counters"] == {"a": 4.0}
 
 
+def test_snapshot_delta_labeled_series_first_appearance_is_full_value():
+    from repro.obs.metrics import snapshot_delta
+
+    reg = MetricsRegistry()
+    reg.counter('broker.dropped_frames{peer="r0"}').inc(2)
+    h = reg.histogram('net.publish.phase_seconds{phase="modulate"}')
+    h.observe(0.5)
+    before = _snap(reg)
+    # A new peer and a new phase appear mid-window: their deltas are
+    # the full current values (implicit zero baseline), not a KeyError.
+    reg.counter('broker.dropped_frames{peer="r1"}').inc(7)
+    h2 = reg.histogram('net.publish.phase_seconds{phase="fork"}')
+    h2.observe(0.25)
+    h2.observe(0.75)
+    delta = snapshot_delta(before, _snap(reg))
+    assert delta["counters"]['broker.dropped_frames{peer="r1"}'] == 7.0
+    assert delta["counters"]['broker.dropped_frames{peer="r0"}'] == 0.0
+    fork = delta["histograms"]['net.publish.phase_seconds{phase="fork"}']
+    assert fork["count"] == 2
+    assert fork["total"] == pytest.approx(1.0)
+    modulate = delta["histograms"][
+        'net.publish.phase_seconds{phase="modulate"}'
+    ]
+    assert modulate["count"] == 0  # unchanged series: empty delta
+
+
 def test_snapshot_delta_histograms_difference_buckets():
     from repro.obs.metrics import bucket_quantile, snapshot_delta
 

@@ -147,3 +147,45 @@ def test_render_quality_regret_table():
     assert "s2=0.5" in text
     assert "10.00%" in text  # rel_mean_regret column
     assert "drift events: 0" in text
+
+
+# -- profile + observability-cost sections -------------------------------------
+
+
+def _profiled_obs():
+    obs = _sample_obs()
+    profiler = obs.enable_profiler(interval=0.005, host="unit")
+    profiler.ingest(
+        [("/x/src/repro/serialization/core.py", "dumps")], count=3
+    )
+    profiler.ingest([("/elsewhere.py", "main")])
+    return obs
+
+
+def test_render_profile_and_obs_cost_sections():
+    out = obsreport.render(_profiled_obs())
+    assert "== profile (4 samples @ 200 Hz) ==" in out
+    assert "serialization" in out
+    assert "== observability cost ==" in out
+    assert "profiler_self_seconds" in out
+
+
+def test_render_without_profiler_omits_profile_section():
+    out = obsreport.render(_sample_obs())
+    assert "== profile" not in out
+
+
+def test_report_json_carries_profile_and_overhead():
+    report = obsreport.report_json(_profiled_obs().to_dict())
+    assert report["profile"]["samples"] == 4
+    assert report["profile"]["components"] == {
+        "other": 1,
+        "serialization": 3,
+    }
+    assert "profiler_self_seconds" in report["obs_overhead"]
+    json.dumps(report)
+
+
+def test_report_json_without_profiler_has_null_profile():
+    report = obsreport.report_json(_sample_obs().to_dict())
+    assert report["profile"] is None

@@ -374,3 +374,180 @@ def test_monitor_cli_once(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "repro monitor @" in out
     assert str(dump) in out
+
+
+# -- profreport ----------------------------------------------------------------
+
+
+def _profile_dump(tmp_path, *, wrap=None):
+    from repro.obs.prof import SamplingProfiler
+
+    p = SamplingProfiler(interval=0.005, host="unit")
+    p.ingest(
+        [
+            ("/x/src/repro/net/tcp.py", "_deliver"),
+            ("/x/src/repro/serialization/core.py", "dumps"),
+        ],
+        count=6,
+    )
+    p.ingest([("/elsewhere.py", "main")], count=2)
+    data = p.to_dict()
+    if wrap == "obs":
+        data = {"metrics": {"counters": {}, "gauges": {},
+                            "histograms": {}}, "profile": data}
+    elif wrap == "result":
+        data = {"obs": {"profile": data}}
+    path = tmp_path / "profile.json"
+    path.write_text(json.dumps(data))
+    return path
+
+
+def test_profreport_renders_component_table(tmp_path, capsys):
+    from repro.tools import profreport
+
+    rc = profreport.main([str(_profile_dump(tmp_path))])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "8 samples" in out
+    assert "serialization" in out
+    assert "other" in out
+
+
+def test_profreport_json_schema(tmp_path, capsys):
+    from repro.tools import profreport
+
+    rc = profreport.main([str(_profile_dump(tmp_path)), "--json"])
+    assert rc == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["schema"] == "mp.profreport.v1"
+    assert report["samples"] == 8
+    comps = {
+        row["component"]: row["samples"] for row in report["components"]
+    }
+    assert comps["serialization"] == 6
+    assert report["attributed_share"] == pytest.approx(0.75)
+    assert report["top_stacks"][0]["count"] == 6
+    json.dumps(report)  # stable, serializable schema
+
+
+def test_profreport_unwraps_obs_and_result_files(tmp_path, capsys):
+    from repro.tools import profreport
+
+    for wrap in ("obs", "result"):
+        rc = profreport.main(
+            [str(_profile_dump(tmp_path, wrap=wrap)), "--json"]
+        )
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["samples"] == 8
+
+
+def test_profreport_writes_speedscope_and_collapsed(tmp_path, capsys):
+    from repro.tools import profreport
+
+    speedscope = tmp_path / "out.speedscope.json"
+    collapsed = tmp_path / "out.collapsed.txt"
+    rc = profreport.main([
+        str(_profile_dump(tmp_path)),
+        "--speedscope", str(speedscope),
+        "--collapsed", str(collapsed),
+    ])
+    assert rc == 0
+    doc = json.loads(speedscope.read_text())
+    assert doc["$schema"] == (
+        "https://www.speedscope.app/file-format-schema.json"
+    )
+    assert doc["profiles"][0]["type"] == "sampled"
+    text = collapsed.read_text()
+    assert text.splitlines()[0].endswith(" 6")
+
+
+def test_profreport_rejects_dump_without_profile(tmp_path, capsys):
+    from repro.tools import profreport
+
+    path = tmp_path / "plain.json"
+    path.write_text(json.dumps({"metrics": {}}))
+    assert profreport.main([str(path)]) == 1
+    assert "--profile" in capsys.readouterr().err
+
+
+def test_profreport_unreadable_file(tmp_path, capsys):
+    from repro.tools import profreport
+
+    assert profreport.main([str(tmp_path / "missing.json")]) == 1
+
+
+# -- fleetmon --once -----------------------------------------------------------
+
+
+def _fleet_dump(tmp_path, name, state="healthy", breaker="closed"):
+    dump = {
+        "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        "fleet": {
+            "overall": "healthy" if state == "healthy" else "degraded",
+            "peers": {
+                "r0": {
+                    "state": state,
+                    "transitions": [],
+                    "sheds_total": 0,
+                }
+            },
+        },
+        "resilience": {
+            "leader": "r0",
+            "peers": {"r0": {"breaker": {"state": breaker}}},
+        },
+    }
+    path = tmp_path / name
+    path.write_text(json.dumps(dump))
+    return path
+
+
+def test_fleetmon_once_healthy_fleet_exits_zero(tmp_path, capsys):
+    from repro.tools import fleetmon
+
+    path = _fleet_dump(tmp_path, "ok.json")
+    rc = fleetmon.main([str(path), "--once", "--json"])
+    assert rc == 0
+    frame = json.loads(capsys.readouterr().out)
+    view = frame["sources"][str(path)]["view"]
+    assert view["unhealthy"] == []
+    assert view["leader"] == "r0"
+
+
+def test_fleetmon_once_unhealthy_peer_exits_nonzero(tmp_path, capsys):
+    from repro.tools import fleetmon
+
+    path = _fleet_dump(tmp_path, "bad.json", state="wedged")
+    rc = fleetmon.main([str(path), "--once", "--json"])
+    assert rc == 1
+    frame = json.loads(capsys.readouterr().out)
+    assert frame["sources"][str(path)]["view"]["unhealthy"] == ["r0"]
+
+
+def test_fleetmon_once_open_breaker_exits_nonzero(tmp_path, capsys):
+    from repro.tools import fleetmon
+
+    path = _fleet_dump(tmp_path, "brk.json", breaker="open")
+    rc = fleetmon.main([str(path), "--once", "--json"])
+    assert rc == 1
+
+
+def test_fleetmon_once_unreachable_source_exits_nonzero(tmp_path, capsys):
+    from repro.tools import fleetmon
+
+    rc = fleetmon.main(
+        [str(tmp_path / "missing.json"), "--once", "--json"]
+    )
+    assert rc == 1
+
+
+def test_fleetmon_once_renders_tty_table(tmp_path, capsys):
+    from repro.tools import fleetmon
+
+    path = _fleet_dump(tmp_path, "ok.json")
+    rc = fleetmon.main([str(path), "--once", "--no-clear"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fleet: healthy" in out
+    assert "r0" in out
